@@ -1,0 +1,108 @@
+//! **E2 — Figure 1a + §3 training-cost discussion**: the four-step sketch
+//! creation pipeline and its cost scaling.
+//!
+//! Paper claims reproduced here (hardware-independent *shape*, not the
+//! absolute 39 min of an AWS ml.p2.xlarge GPU):
+//!
+//! 1. the pipeline decomposes into generation / execution / training, with
+//!    training dominating at high epoch counts;
+//! 2. "the training time decreases linearly with fewer epochs" — time per
+//!    epoch is constant;
+//! 3. "for a small number of tables, 10,000 queries will already be
+//!    sufficient to achieve good results" — validation q-error flattens
+//!    with more queries.
+//!
+//! Run: `cargo bench -p ds-bench --bench fig1a_training_cost`
+
+use ds_bench::{banner, bench_imdb, BENCH_SEED};
+use ds_core::builder::SketchBuilder;
+use ds_query::workloads::imdb_predicate_columns;
+
+fn main() {
+    banner(
+        "E2",
+        "Figure 1a / §3 (training cost)",
+        "pipeline cost breakdown; time linear in epochs; 10k queries suffice",
+    );
+    let db = bench_imdb();
+    let cols = imdb_predicate_columns(&db);
+
+    // --- (1) pipeline breakdown at the standard configuration ----------
+    println!("\n[1] pipeline cost breakdown (10000 queries, 30 epochs):");
+    let (_, report) = SketchBuilder::new(&db, cols.clone())
+        .training_queries(10_000)
+        .epochs(30)
+        .sample_size(100)
+        .hidden_units(96)
+        .max_tables(5)
+        .max_predicates(4)
+        .seed(BENCH_SEED ^ 2)
+        .build_with_report()
+        .expect("pipeline");
+    println!(
+        "  step 1+2 generate queries : {:>10.2?}",
+        report.generation
+    );
+    println!(
+        "  step 3   execute (labels) : {:>10.2?}",
+        report.execution
+    );
+    println!(
+        "  step 4   featurize+train  : {:>10.2?}  ({:.2?}/epoch)",
+        report.training.total_duration,
+        report.training.total_duration / report.training.epochs.len() as u32
+    );
+
+    // --- (2) training time is linear in epochs --------------------------
+    println!("\n[2] training time vs epochs (2000 queries, hidden 64):");
+    println!("  {:>7} {:>12} {:>14}", "epochs", "total", "per-epoch");
+    let mut per_epoch = Vec::new();
+    for &epochs in &[5usize, 10, 20, 40] {
+        let (_, r) = SketchBuilder::new(&db, cols.clone())
+            .training_queries(2_000)
+            .epochs(epochs)
+            .sample_size(100)
+            .hidden_units(64)
+            .seed(BENCH_SEED ^ 7)
+            .build_with_report()
+            .expect("pipeline");
+        let total = r.training.total_duration;
+        let per = total.as_secs_f64() / epochs as f64;
+        per_epoch.push(per);
+        println!("  {epochs:>7} {total:>12.2?} {per:>12.3}s");
+    }
+    let spread = per_epoch
+        .iter()
+        .fold(f64::NEG_INFINITY, |a, &b| a.max(b))
+        / per_epoch.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+    println!(
+        "  per-epoch spread {:.2}× → {}",
+        spread,
+        if spread < 2.0 {
+            "approximately linear in epochs, as claimed"
+        } else {
+            "NOT linear (check system noise)"
+        }
+    );
+
+    // --- (3) more queries → better validation q-error, flattening -------
+    println!("\n[3] validation mean q-error vs number of training queries (16 epochs):");
+    println!("  {:>9} {:>14} {:>12}", "queries", "val q-error", "train time");
+    for &n in &[1_000usize, 2_500, 5_000, 10_000] {
+        let (_, r) = SketchBuilder::new(&db, cols.clone())
+            .training_queries(n)
+            .epochs(16)
+            .sample_size(100)
+            .hidden_units(64)
+            .seed(BENCH_SEED ^ 9)
+            .build_with_report()
+            .expect("pipeline");
+        println!(
+            "  {n:>9} {:>14.2} {:>12.2?}",
+            r.training.final_val_qerror().unwrap_or(f64::NAN),
+            r.training.total_duration
+        );
+    }
+    println!("\npaper reference: 90k queries × 100 epochs ≈ 39 min on an AWS");
+    println!("ml.p2.xlarge GPU; 10k queries / 25 epochs suffice for small table sets.");
+}

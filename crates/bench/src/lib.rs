@@ -1,0 +1,171 @@
+//! # ds-bench
+//!
+//! Experiment harnesses for the Deep Sketches reproduction. Every table and
+//! figure of the paper maps to one bench target (see `benches/` and
+//! DESIGN.md §3); this library holds the shared setup — the benchmark-scale
+//! databases, the standard sketch configuration, and reporting helpers —
+//! so that all experiments run against identical state.
+//!
+//! Run a single experiment with
+//! `cargo bench -p ds-bench --bench <name>`; `cargo bench` regenerates
+//! everything.
+
+use ds_core::builder::SketchBuilder;
+use ds_core::metrics::QErrorSummary;
+use ds_est::CardinalityEstimator;
+use ds_query::query::Query;
+use ds_storage::catalog::Database;
+use ds_storage::gen::{imdb_database, tpch_database, ImdbConfig, TpchConfig};
+
+/// Master seed for all experiments — change it to re-roll every dataset,
+/// sample, and initialization at once.
+pub const BENCH_SEED: u64 = 0xBE7C_2024;
+
+/// The benchmark-scale synthetic IMDb (~150k rows across 6 tables).
+/// Large enough for meaningful skew/correlation, small enough that every
+/// experiment finishes in minutes on one CPU core.
+pub fn bench_imdb() -> Database {
+    imdb_database(&ImdbConfig {
+        movies: 8_000,
+        keywords: 4_000,
+        companies: 1_500,
+        persons: 20_000,
+        seed: BENCH_SEED,
+    })
+}
+
+/// The benchmark-scale synthetic TPC-H subset.
+pub fn bench_tpch() -> Database {
+    tpch_database(&TpchConfig {
+        customers: 1_500,
+        parts: 2_000,
+        suppliers: 100,
+        seed: BENCH_SEED ^ 1,
+    })
+}
+
+/// The standard sketch configuration used by the accuracy experiments:
+/// 8000 training queries, 24 epochs, 100-tuple samples, 64 hidden units,
+/// up to 5 tables per training query (JOB-light needs up to 4 joins).
+pub fn standard_sketch_builder<'a>(
+    db: &'a Database,
+    predicate_columns: Vec<ds_storage::catalog::ColRef>,
+) -> SketchBuilder<'a> {
+    SketchBuilder::new(db, predicate_columns)
+        .training_queries(10_000)
+        .epochs(30)
+        .sample_size(100)
+        .hidden_units(96)
+        .batch_size(128)
+        .max_tables(5)
+        .max_predicates(4)
+        .seed(BENCH_SEED ^ 2)
+}
+
+/// Directory where trained bench sketches are cached between experiment
+/// runs (a sketch is self-contained, so reloading is exact).
+pub fn cache_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/ds-bench-cache")
+}
+
+/// Cache path of the standard IMDb sketch; keyed by seed and database size
+/// so generator changes invalidate it.
+pub fn standard_sketch_cache_path(db: &Database) -> std::path::PathBuf {
+    cache_dir().join(format!(
+        "imdb-{:x}-{}-q10000-e30-h96.sketch",
+        BENCH_SEED,
+        db.total_rows()
+    ))
+}
+
+/// Loads the standard IMDb sketch from the cache, or trains and caches it.
+pub fn standard_imdb_sketch(db: &Database) -> ds_core::sketch::DeepSketch {
+    let path = standard_sketch_cache_path(db);
+    if let Ok(bytes) = std::fs::read(&path) {
+        if let Ok(sketch) = ds_core::sketch::DeepSketch::from_bytes(&bytes) {
+            println!("(reusing cached sketch from {})", path.display());
+            return sketch;
+        }
+    }
+    println!("training standard sketch (10000 queries, 30 epochs) …");
+    let sketch = standard_sketch_builder(db, ds_query::workloads::imdb_predicate_columns(db))
+        .build()
+        .expect("sketch construction");
+    cache_sketch(&path, &sketch);
+    sketch
+}
+
+/// Writes a sketch into the bench cache (best effort).
+pub fn cache_sketch(path: &std::path::Path, sketch: &ds_core::sketch::DeepSketch) {
+    if std::fs::create_dir_all(cache_dir()).is_ok() {
+        let _ = std::fs::write(path, sketch.to_bytes());
+    }
+}
+
+/// Evaluates an estimator against ground truth over a workload, returning
+/// the per-query q-errors.
+pub fn qerrors_against_truth(
+    estimator: &dyn CardinalityEstimator,
+    truths: &[f64],
+    workload: &[Query],
+) -> Vec<f64> {
+    workload
+        .iter()
+        .zip(truths)
+        .map(|(q, &t)| ds_core::metrics::qerror(estimator.estimate(q), t))
+        .collect()
+}
+
+/// Prints an experiment banner.
+pub fn banner(id: &str, paper_artifact: &str, claim: &str) {
+    println!("\n================================================================");
+    println!("{id} — reproduces {paper_artifact}");
+    println!("{claim}");
+    println!("================================================================");
+}
+
+/// Prints a q-error summary block with the paper's reference rows for
+/// side-by-side comparison.
+pub fn print_table1_style(rows: &[(&str, QErrorSummary)], paper_reference: Option<&str>) {
+    println!("{}", QErrorSummary::table_header());
+    for (label, summary) in rows {
+        println!("{}", summary.table_row(label));
+    }
+    if let Some(reference) = paper_reference {
+        println!("\npaper reference (real IMDb, HyPer, PostgreSQL 10.3):");
+        println!("{reference}");
+    }
+}
+
+/// Table 1 of the paper, verbatim, for side-by-side printing.
+pub const PAPER_TABLE1: &str = "\
+             median     90th     95th     99th      max     mean
+Deep Sketch    3.82     78.4      362      927     1110     57.9
+HyPer          14.6      454     1208     2764     4228      224
+PostgreSQL     7.93      164     1104     2912     3477      174";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_est::oracle::TrueCardinalityOracle;
+
+    #[test]
+    fn bench_databases_have_expected_shape() {
+        let imdb = bench_imdb();
+        assert_eq!(imdb.num_tables(), 6);
+        assert!(imdb.total_rows() > 50_000, "rows={}", imdb.total_rows());
+        let tpch = bench_tpch();
+        assert_eq!(tpch.num_tables(), 7);
+        assert!(tpch.total_rows() > 30_000);
+    }
+
+    #[test]
+    fn qerrors_helper_matches_manual_computation() {
+        let db = ds_storage::gen::imdb_database(&ds_storage::gen::ImdbConfig::tiny(1));
+        let oracle = TrueCardinalityOracle::new(&db);
+        let wl = ds_query::workloads::job_light::job_light_workload(&db, 1);
+        let truths: Vec<f64> = wl.iter().map(|q| oracle.estimate(q)).collect();
+        let qs = qerrors_against_truth(&oracle, &truths, &wl);
+        assert!(qs.iter().all(|&q| (q - 1.0).abs() < 1e-12));
+    }
+}

@@ -1,0 +1,445 @@
+//! Query featurization (§2 of the paper).
+//!
+//! "Based on the training data, we enumerate tables, columns, joins, and
+//! predicate types (=, <, and >) and represent them as unique one-hot
+//! vectors. We represent each literal as a value val ∈ [0, 1], normalized
+//! using the minimum and maximum values of the respective column." In
+//! addition, each table element carries the bitmap of sample tuples
+//! qualifying the query's predicates on that table.
+//!
+//! A query becomes three *sets* of feature vectors:
+//!
+//! * table set: `one-hot(table) ++ sample-bitmap`
+//! * join set: `one-hot(join)`
+//! * predicate set: `one-hot(column) ++ one-hot(op) ++ [normalized literal]`
+
+use std::collections::HashMap;
+
+use ds_nn::ops::Segments;
+use ds_nn::tensor::Tensor;
+use ds_query::query::Query;
+use ds_storage::catalog::{ColRef, Database};
+use ds_storage::exec::JoinEdge;
+use ds_storage::sample::TableSample;
+
+/// The featurization vocabulary: stable one-hot ids for tables, joins, and
+/// predicate columns, plus per-column normalization bounds. Serialized as
+/// part of every Deep Sketch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Featurizer {
+    num_tables: usize,
+    sample_size: usize,
+    /// Whether table features include the sample bitmap (ablation knob —
+    /// this is MSCN's "with/without materialized samples" experiment).
+    use_bitmaps: bool,
+    /// Canonical join edge → one-hot id.
+    joins: Vec<JoinEdge>,
+    /// Predicate column → one-hot id (parallel to `col_bounds`).
+    columns: Vec<ColRef>,
+    /// Per predicate-column (min, max) for literal normalization.
+    col_bounds: Vec<(f64, f64)>,
+    join_index: HashMap<JoinEdge, usize>,
+    col_index: HashMap<ColRef, usize>,
+}
+
+impl Featurizer {
+    /// Builds the vocabulary from the database schema: all PK/FK joins and
+    /// the given predicate columns, with literal bounds from the data.
+    pub fn build(db: &Database, predicate_columns: &[ColRef], sample_size: usize) -> Self {
+        Self::build_with_options(db, predicate_columns, sample_size, true)
+    }
+
+    /// [`Featurizer::build`] with the bitmap ablation knob.
+    pub fn build_with_options(
+        db: &Database,
+        predicate_columns: &[ColRef],
+        sample_size: usize,
+        use_bitmaps: bool,
+    ) -> Self {
+        let joins: Vec<JoinEdge> = db
+            .foreign_keys()
+            .iter()
+            .map(|fk| JoinEdge::new(fk.from, fk.to).canonical())
+            .collect();
+        let col_bounds = predicate_columns
+            .iter()
+            .map(|cr| {
+                let (lo, hi) = db
+                    .table(cr.table)
+                    .column(cr.col)
+                    .min_max()
+                    .unwrap_or((0, 1));
+                (lo as f64, hi as f64)
+            })
+            .collect();
+        let join_index = joins.iter().enumerate().map(|(i, &j)| (j, i)).collect();
+        let col_index = predicate_columns
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (c, i))
+            .collect();
+        Self {
+            num_tables: db.num_tables(),
+            sample_size,
+            use_bitmaps,
+            joins,
+            columns: predicate_columns.to_vec(),
+            col_bounds,
+            join_index,
+            col_index,
+        }
+    }
+
+    /// Reassembles a featurizer from serialized parts.
+    pub fn from_parts(
+        num_tables: usize,
+        sample_size: usize,
+        use_bitmaps: bool,
+        joins: Vec<JoinEdge>,
+        columns: Vec<ColRef>,
+        col_bounds: Vec<(f64, f64)>,
+    ) -> Self {
+        assert_eq!(columns.len(), col_bounds.len(), "bounds/columns mismatch");
+        let join_index = joins.iter().enumerate().map(|(i, &j)| (j, i)).collect();
+        let col_index = columns.iter().enumerate().map(|(i, &c)| (c, i)).collect();
+        Self {
+            num_tables,
+            sample_size,
+            use_bitmaps,
+            joins,
+            columns,
+            col_bounds,
+            join_index,
+            col_index,
+        }
+    }
+
+    /// Width of a table-set element: `num_tables + sample_size` (bitmap on).
+    pub fn table_dim(&self) -> usize {
+        self.num_tables + if self.use_bitmaps { self.sample_size } else { 0 }
+    }
+
+    /// Width of a join-set element: one-hot over the schema's joins.
+    pub fn join_dim(&self) -> usize {
+        self.joins.len().max(1)
+    }
+
+    /// Width of a predicate-set element: `columns + 3 ops + 1 literal`.
+    pub fn pred_dim(&self) -> usize {
+        self.columns.len() + 3 + 1
+    }
+
+    /// Nominal sample size (bitmap length).
+    pub fn sample_size(&self) -> usize {
+        self.sample_size
+    }
+
+    /// Whether sample bitmaps are part of table features.
+    pub fn use_bitmaps(&self) -> bool {
+        self.use_bitmaps
+    }
+
+    /// Number of tables in the vocabulary.
+    pub fn num_tables(&self) -> usize {
+        self.num_tables
+    }
+
+    /// Join vocabulary (canonical edges, in one-hot order).
+    pub fn joins(&self) -> &[JoinEdge] {
+        &self.joins
+    }
+
+    /// Predicate-column vocabulary (in one-hot order).
+    pub fn columns(&self) -> &[ColRef] {
+        &self.columns
+    }
+
+    /// Literal bounds per vocabulary column.
+    pub fn col_bounds(&self) -> &[(f64, f64)] {
+        &self.col_bounds
+    }
+
+    /// Normalizes a literal for vocabulary column `idx` into `[0, 1]`.
+    pub fn normalize_literal(&self, idx: usize, literal: i64) -> f32 {
+        let (lo, hi) = self.col_bounds[idx];
+        if hi <= lo {
+            return 0.5;
+        }
+        (((literal as f64) - lo) / (hi - lo)).clamp(0.0, 1.0) as f32
+    }
+
+    /// Featurizes one query. `samples` must be the database-wide sample
+    /// vector (indexed by table id) the sketch ships.
+    pub fn featurize(&self, query: &Query, samples: &[TableSample]) -> QueryFeatures {
+        // Table set.
+        let mut table_rows = Vec::with_capacity(query.tables.len());
+        for &t in &query.tables {
+            let mut row = vec![0.0f32; self.table_dim()];
+            if t.0 < self.num_tables {
+                row[t.0] = 1.0;
+            }
+            if self.use_bitmaps {
+                let preds = query.preds_of(t);
+                let sample = &samples[t.0];
+                let bm = sample.qualifying_bitmap(&preds);
+                debug_assert_eq!(bm.len(), self.sample_size);
+                for i in bm.iter_ones() {
+                    row[self.num_tables + i] = 1.0;
+                }
+            }
+            table_rows.push(row);
+        }
+
+        // Join set.
+        let mut join_rows = Vec::with_capacity(query.joins.len());
+        for j in &query.joins {
+            let mut row = vec![0.0f32; self.join_dim()];
+            if let Some(&idx) = self.join_index.get(&j.canonical()) {
+                row[idx] = 1.0;
+            }
+            join_rows.push(row);
+        }
+
+        // Predicate set.
+        let mut pred_rows = Vec::with_capacity(query.predicates.len());
+        for (cr, op, lit) in query.qualified_predicates() {
+            let mut row = vec![0.0f32; self.pred_dim()];
+            if let Some(&idx) = self.col_index.get(&cr) {
+                row[idx] = 1.0;
+                row[self.columns.len() + op.index()] = 1.0;
+                row[self.columns.len() + 3] = self.normalize_literal(idx, lit);
+            } else {
+                // Unknown column: op and a mid-scale literal still carry
+                // signal.
+                row[self.columns.len() + op.index()] = 1.0;
+                row[self.columns.len() + 3] = 0.5;
+            }
+            pred_rows.push(row);
+        }
+
+        QueryFeatures {
+            table_rows,
+            join_rows,
+            pred_rows,
+        }
+    }
+
+    /// Assembles featurized queries into batched set matrices with segment
+    /// descriptors for masked mean pooling.
+    pub fn batch(&self, feats: &[QueryFeatures]) -> FeatureBatch {
+        let pack = |rows_of: &dyn Fn(&QueryFeatures) -> &Vec<Vec<f32>>, dim: usize| {
+            let total: usize = feats.iter().map(|f| rows_of(f).len()).sum();
+            let mut data = Vec::with_capacity(total * dim);
+            let mut segs: Segments = Vec::with_capacity(feats.len());
+            let mut start = 0;
+            for f in feats {
+                let rows = rows_of(f);
+                for r in rows {
+                    debug_assert_eq!(r.len(), dim);
+                    data.extend_from_slice(r);
+                }
+                segs.push((start, rows.len()));
+                start += rows.len();
+            }
+            (Tensor::from_vec(total, dim, data), segs)
+        };
+        let (tables, table_segs) = pack(&|f| &f.table_rows, self.table_dim());
+        let (joins, join_segs) = pack(&|f| &f.join_rows, self.join_dim());
+        let (preds, pred_segs) = pack(&|f| &f.pred_rows, self.pred_dim());
+        FeatureBatch {
+            tables,
+            table_segs,
+            joins,
+            join_segs,
+            preds,
+            pred_segs,
+        }
+    }
+
+    /// Convenience: featurize and batch a slice of queries in one call.
+    pub fn batch_queries(&self, queries: &[Query], samples: &[TableSample]) -> FeatureBatch {
+        let feats: Vec<QueryFeatures> =
+            queries.iter().map(|q| self.featurize(q, samples)).collect();
+        self.batch(&feats)
+    }
+}
+
+/// The three feature-vector sets of one query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryFeatures {
+    /// One row per table: `one-hot(table) ++ bitmap`.
+    pub table_rows: Vec<Vec<f32>>,
+    /// One row per join: `one-hot(join)`.
+    pub join_rows: Vec<Vec<f32>>,
+    /// One row per predicate: `one-hot(col) ++ one-hot(op) ++ [val]`.
+    pub pred_rows: Vec<Vec<f32>>,
+}
+
+/// A batch of featurized queries as three flattened element matrices plus
+/// per-query segments — the MSCN model's input.
+#[derive(Debug, Clone)]
+pub struct FeatureBatch {
+    /// All table elements, stacked.
+    pub tables: Tensor,
+    /// Per-query (start, len) into `tables`.
+    pub table_segs: Segments,
+    /// All join elements, stacked.
+    pub joins: Tensor,
+    /// Per-query (start, len) into `joins`.
+    pub join_segs: Segments,
+    /// All predicate elements, stacked.
+    pub preds: Tensor,
+    /// Per-query (start, len) into `preds`.
+    pub pred_segs: Segments,
+}
+
+impl FeatureBatch {
+    /// Number of queries in the batch.
+    pub fn len(&self) -> usize {
+        self.table_segs.len()
+    }
+
+    /// True for a zero-query batch.
+    pub fn is_empty(&self) -> bool {
+        self.table_segs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_query::parser::parse_query;
+    use ds_query::workloads::imdb_predicate_columns;
+    use ds_storage::gen::{imdb_database, ImdbConfig};
+    use ds_storage::predicate::CmpOp;
+    use ds_storage::sample::sample_all;
+
+    fn setup() -> (Database, Vec<TableSample>, Featurizer) {
+        let db = imdb_database(&ImdbConfig::tiny(1));
+        let samples = sample_all(&db, 32, 7);
+        let f = Featurizer::build(&db, &imdb_predicate_columns(&db), 32);
+        (db, samples, f)
+    }
+    use ds_storage::catalog::Database;
+
+    #[test]
+    fn dims_reflect_vocabulary() {
+        let (_db, _s, f) = setup();
+        assert_eq!(f.table_dim(), 6 + 32);
+        assert_eq!(f.join_dim(), 5);
+        assert_eq!(f.pred_dim(), 9 + 3 + 1);
+    }
+
+    #[test]
+    fn featurize_sets_expected_onehots() {
+        let (db, samples, f) = setup();
+        let q = parse_query(
+            &db,
+            "SELECT COUNT(*) FROM title, movie_keyword \
+             WHERE movie_keyword.movie_id = title.id AND title.production_year > 2000",
+        )
+        .unwrap();
+        let feats = f.featurize(&q, &samples);
+        assert_eq!(feats.table_rows.len(), 2);
+        assert_eq!(feats.join_rows.len(), 1);
+        assert_eq!(feats.pred_rows.len(), 1);
+
+        // Table one-hot for title (id 0) plus a non-empty bitmap tail.
+        let title_row = &feats.table_rows[0];
+        assert_eq!(title_row[0], 1.0);
+        assert_eq!(title_row[1..6].iter().sum::<f32>(), 0.0);
+        assert!(title_row[6..].iter().sum::<f32>() > 0.0, "bitmap empty");
+
+        // Join one-hot sums to exactly 1.
+        assert_eq!(feats.join_rows[0].iter().sum::<f32>(), 1.0);
+
+        // Predicate row: one column, one op, literal in [0,1].
+        let p = &feats.pred_rows[0];
+        assert_eq!(p[..9].iter().sum::<f32>(), 1.0);
+        assert_eq!(p[9 + CmpOp::Gt.index()], 1.0);
+        let lit = p[12];
+        assert!((0.0..=1.0).contains(&lit));
+    }
+
+    #[test]
+    fn bitmap_reflects_predicates() {
+        let (db, samples, f) = setup();
+        let all = parse_query(&db, "SELECT COUNT(*) FROM title").unwrap();
+        let none = parse_query(
+            &db,
+            "SELECT COUNT(*) FROM title WHERE title.production_year > 99999",
+        )
+        .unwrap();
+        let f_all = f.featurize(&all, &samples);
+        let f_none = f.featurize(&none, &samples);
+        let ones = |row: &Vec<f32>| row[6..].iter().filter(|&&v| v == 1.0).count();
+        assert_eq!(ones(&f_all.table_rows[0]), 32);
+        assert_eq!(ones(&f_none.table_rows[0]), 0, "0-tuple bitmap");
+    }
+
+    #[test]
+    fn bitmaps_can_be_disabled() {
+        let db = imdb_database(&ImdbConfig::tiny(2));
+        let samples = sample_all(&db, 16, 3);
+        let f = Featurizer::build_with_options(&db, &imdb_predicate_columns(&db), 16, false);
+        assert_eq!(f.table_dim(), 6);
+        let q = parse_query(&db, "SELECT COUNT(*) FROM title").unwrap();
+        let feats = f.featurize(&q, &samples);
+        assert_eq!(feats.table_rows[0].len(), 6);
+    }
+
+    #[test]
+    fn literal_normalization_bounds() {
+        let (_db, _s, f) = setup();
+        // production_year is vocabulary column 1.
+        let idx = 1;
+        let (lo, hi) = f.col_bounds()[idx];
+        assert!(hi > lo);
+        assert_eq!(f.normalize_literal(idx, lo as i64), 0.0);
+        assert_eq!(f.normalize_literal(idx, hi as i64), 1.0);
+        let mid = f.normalize_literal(idx, ((lo + hi) / 2.0) as i64);
+        assert!(mid > 0.3 && mid < 0.7);
+        // Out-of-range literals clamp.
+        assert_eq!(f.normalize_literal(idx, i64::MAX), 1.0);
+    }
+
+    #[test]
+    fn batch_segments_partition_rows() {
+        let (db, samples, f) = setup();
+        let q1 = parse_query(
+            &db,
+            "SELECT COUNT(*) FROM title, movie_keyword \
+             WHERE movie_keyword.movie_id = title.id",
+        )
+        .unwrap();
+        let q2 = parse_query(&db, "SELECT COUNT(*) FROM title WHERE title.kind_id = 1").unwrap();
+        let batch = f.batch_queries(&[q1, q2], &samples);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch.tables.rows(), 3);
+        assert_eq!(batch.table_segs, vec![(0, 2), (2, 1)]);
+        assert_eq!(batch.joins.rows(), 1);
+        assert_eq!(batch.join_segs, vec![(0, 1), (1, 0)]); // q2 has no joins
+        assert_eq!(batch.preds.rows(), 1);
+        assert_eq!(batch.pred_segs, vec![(0, 0), (0, 1)]);
+    }
+
+    #[test]
+    fn from_parts_roundtrip() {
+        let (db, samples, f) = setup();
+        let f2 = Featurizer::from_parts(
+            f.num_tables(),
+            f.sample_size(),
+            f.use_bitmaps(),
+            f.joins().to_vec(),
+            f.columns().to_vec(),
+            f.col_bounds().to_vec(),
+        );
+        let q = parse_query(
+            &db,
+            "SELECT COUNT(*) FROM title WHERE title.production_year > 2000",
+        )
+        .unwrap();
+        assert_eq!(f.featurize(&q, &samples), f2.featurize(&q, &samples));
+        assert_eq!(f, f2);
+    }
+}

@@ -1,0 +1,45 @@
+//! # ds-core
+//!
+//! The paper's primary contribution: **Deep Sketches** — compact learned
+//! models of databases that estimate `SELECT COUNT(*)` result sizes — and
+//! the multi-set convolutional network (MSCN) powering them.
+//!
+//! The crate provides:
+//!
+//! * [`featurize`] — the query featurization of §2: one-hot tables, joins,
+//!   columns, operators; min-max-normalized literals; qualifying-sample
+//!   bitmaps.
+//! * [`mscn`] — the MSCN model: three shared-weight set MLPs with mean
+//!   pooling, concatenation, and an output MLP with sigmoid.
+//! * [`train`] — mini-batch training minimizing mean q-error.
+//! * [`builder`] — the 4-step pipeline of Figure 1a.
+//! * [`sketch`] — the [`sketch::DeepSketch`] wrapper: model + samples,
+//!   serializable, milliseconds to query.
+//! * [`template`] — query templates with placeholders (Figure 2).
+//! * [`metrics`] — q-error percentile summaries (Table 1).
+
+pub mod advisor;
+pub mod builder;
+pub mod featurize;
+pub mod flat;
+pub mod fleet;
+pub mod maintain;
+pub mod metrics;
+pub mod mscn;
+pub mod sketch;
+pub mod store;
+pub mod template;
+pub mod train;
+
+pub use advisor::{recommend, Advice, AdvisorConfig, SketchRecommendation};
+pub use builder::{BuildProgress, BuildReport, SketchBuilder};
+pub use featurize::{FeatureBatch, Featurizer, QueryFeatures};
+pub use flat::{FlatFeaturizer, FlatModel};
+pub use fleet::{Route, SketchFleet};
+pub use maintain::{detect_drift, refresh_samples, DriftReport};
+pub use metrics::{qerror, QErrorSummary};
+pub use mscn::{MscnConfig, MscnModel};
+pub use sketch::{DeepSketch, SketchInfo};
+pub use store::{SketchStatus, SketchStore};
+pub use template::{QueryTemplate, TemplateInstance, ValueFn};
+pub use train::{LossKind, TrainConfig, TrainingReport};

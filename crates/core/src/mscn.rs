@@ -1,0 +1,491 @@
+//! The multi-set convolutional network (MSCN) of the paper.
+//!
+//! "For each set, it has a separate module, comprised of one fully-connected
+//! multi-layer perceptron (MLP) per set element with shared parameters. We
+//! average module outputs, concatenate them, and feed them into a final
+//! output MLP, which captures correlations between sets and outputs a
+//! cardinality estimate."
+//!
+//! Concretely, with hidden width `h`:
+//!
+//! ```text
+//! tables  (nt × dt) ─ MLP₂(ReLU) ─ mean ─┐
+//! joins   (nj × dj) ─ MLP₂(ReLU) ─ mean ─┼─ concat (b × 3h) ─ MLP(ReLU) ─ σ → ŷ ∈ (0,1)
+//! preds   (np × dp) ─ MLP₂(ReLU) ─ mean ─┘
+//! ```
+//!
+//! Weight sharing across set elements comes for free: every element is a
+//! row of the flattened batch matrix and the same [`Linear`] is applied to
+//! all rows; the segment mean then pools per query.
+
+use ds_nn::linear::Linear;
+use ds_nn::ops::{
+    relu, relu_backward, segment_mean, segment_mean_backward, sigmoid, sigmoid_backward, Segments,
+};
+use ds_nn::optim::Adam;
+use ds_nn::serialize::{Decoder, DecodeError, Encoder};
+use ds_nn::tensor::Tensor;
+
+use crate::featurize::FeatureBatch;
+
+/// Hyper-parameters of the MSCN model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MscnConfig {
+    /// Hidden width of every MLP (the paper/MSCN code uses 256; smaller
+    /// values train faster on CPU with modest quality loss).
+    pub hidden: usize,
+    /// Weight-initialization seed.
+    pub seed: u64,
+}
+
+impl Default for MscnConfig {
+    fn default() -> Self {
+        Self {
+            hidden: 128,
+            seed: 0x5EED_CAFE,
+        }
+    }
+}
+
+/// One two-layer ReLU set module with shared weights across set elements.
+#[derive(Debug, Clone)]
+struct SetModule {
+    l1: Linear,
+    l2: Linear,
+}
+
+/// Forward cache of one set module.
+struct SetCache {
+    x: Tensor,
+    z1: Tensor,
+    a1: Tensor,
+    z2: Tensor,
+    segs: Segments,
+}
+
+impl SetModule {
+    fn new(in_dim: usize, hidden: usize, seed: u64) -> Self {
+        Self {
+            l1: Linear::new(in_dim, hidden, seed),
+            l2: Linear::new(hidden, hidden, seed ^ 0xABCD),
+        }
+    }
+
+    /// Applies the element MLP and mean-pools per segment.
+    fn forward(&self, x: &Tensor, segs: &Segments) -> (Tensor, SetCache) {
+        let z1 = self.l1.forward(x);
+        let a1 = relu(&z1);
+        let z2 = self.l2.forward(&a1);
+        let a2 = relu(&z2);
+        let pooled = segment_mean(&a2, segs);
+        (
+            pooled,
+            SetCache {
+                x: x.clone(),
+                z1,
+                a1,
+                z2,
+                segs: segs.clone(),
+            },
+        )
+    }
+
+    fn backward(&mut self, cache: &SetCache, grad_pooled: &Tensor) {
+        let g_a2 = segment_mean_backward(cache.x.rows(), grad_pooled, &cache.segs);
+        let g_z2 = relu_backward(&cache.z2, &g_a2);
+        let g_a1 = self.l2.backward(&cache.a1, &g_z2);
+        let g_z1 = relu_backward(&cache.z1, &g_a1);
+        self.l1.backward(&cache.x, &g_z1);
+    }
+
+    fn num_params(&self) -> usize {
+        self.l1.num_params() + self.l2.num_params()
+    }
+}
+
+/// The MSCN model: three set modules plus the output MLP.
+#[derive(Debug, Clone)]
+pub struct MscnModel {
+    tables: SetModule,
+    joins: SetModule,
+    preds: SetModule,
+    out1: Linear,
+    out2: Linear,
+    hidden: usize,
+}
+
+/// Forward cache for one batch, consumed by [`MscnModel::backward`].
+pub struct ForwardCache {
+    t: SetCache,
+    j: SetCache,
+    p: SetCache,
+    concat: Tensor,
+    z3: Tensor,
+    a3: Tensor,
+    y: Tensor,
+}
+
+/// Serialization magic for model payloads.
+const MAGIC: &[u8; 4] = b"MSCN";
+const VERSION: u32 = 1;
+
+impl MscnModel {
+    /// Creates a model for the given feature dimensions.
+    pub fn new(table_dim: usize, join_dim: usize, pred_dim: usize, cfg: MscnConfig) -> Self {
+        assert!(cfg.hidden > 0, "hidden width must be positive");
+        let h = cfg.hidden;
+        Self {
+            tables: SetModule::new(table_dim, h, cfg.seed ^ 0x01),
+            joins: SetModule::new(join_dim, h, cfg.seed ^ 0x02),
+            preds: SetModule::new(pred_dim, h, cfg.seed ^ 0x03),
+            out1: Linear::new(3 * h, h, cfg.seed ^ 0x04),
+            out2: Linear::new(h, 1, cfg.seed ^ 0x05),
+            hidden: h,
+        }
+    }
+
+    /// Hidden width.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Expected input dimensions `(table, join, pred)`.
+    pub fn input_dims(&self) -> (usize, usize, usize) {
+        (
+            self.tables.l1.in_dim(),
+            self.joins.l1.in_dim(),
+            self.preds.l1.in_dim(),
+        )
+    }
+
+    /// Total scalar parameter count.
+    pub fn num_params(&self) -> usize {
+        self.tables.num_params()
+            + self.joins.num_params()
+            + self.preds.num_params()
+            + self.out1.num_params()
+            + self.out2.num_params()
+    }
+
+    /// Forward pass: returns per-query normalized outputs `(batch × 1)` in
+    /// `(0, 1)` plus the cache for a subsequent backward pass.
+    pub fn forward(&self, batch: &FeatureBatch) -> (Tensor, ForwardCache) {
+        let (pt, ct) = self.tables.forward(&batch.tables, &batch.table_segs);
+        let (pj, cj) = self.joins.forward(&batch.joins, &batch.join_segs);
+        let (pp, cp) = self.preds.forward(&batch.preds, &batch.pred_segs);
+        let concat = Tensor::concat_cols(&[&pt, &pj, &pp]);
+        let z3 = self.out1.forward(&concat);
+        let a3 = relu(&z3);
+        let z4 = self.out2.forward(&a3);
+        let y = sigmoid(&z4);
+        (
+            y.clone(),
+            ForwardCache {
+                t: ct,
+                j: cj,
+                p: cp,
+                concat,
+                z3,
+                a3,
+                y,
+            },
+        )
+    }
+
+    /// Inference-only forward: per-query normalized outputs.
+    pub fn predict(&self, batch: &FeatureBatch) -> Vec<f32> {
+        let (y, _) = self.forward(batch);
+        y.data().to_vec()
+    }
+
+    /// Backward pass: accumulates gradients in every layer.
+    /// `grad_y` is `∂L/∂y` with `y` the sigmoid output.
+    pub fn backward(&mut self, cache: &ForwardCache, grad_y: &Tensor) {
+        let g_z4 = sigmoid_backward(&cache.y, grad_y);
+        let g_a3 = self.out2.backward(&cache.a3, &g_z4);
+        let g_z3 = relu_backward(&cache.z3, &g_a3);
+        let g_concat = self.out1.backward(&cache.concat, &g_z3);
+        let h = self.hidden;
+        let parts = g_concat.split_cols(&[h, h, h]);
+        self.tables.backward(&cache.t, &parts[0]);
+        self.joins.backward(&cache.j, &parts[1]);
+        self.preds.backward(&cache.p, &parts[2]);
+    }
+
+    /// Clips the accumulated gradients of all layers to a global L2 norm;
+    /// returns the pre-clip norm.
+    pub fn clip_gradients(&mut self, max_norm: f32) -> f32 {
+        ds_nn::regularize::clip_grad_norm(
+            &mut [
+                &mut self.tables.l1,
+                &mut self.tables.l2,
+                &mut self.joins.l1,
+                &mut self.joins.l2,
+                &mut self.preds.l1,
+                &mut self.preds.l2,
+                &mut self.out1,
+                &mut self.out2,
+            ],
+            max_norm,
+        )
+    }
+
+    /// One Adam update over all layers (clears gradients).
+    pub fn adam_step(&mut self, adam: &mut Adam) {
+        adam.step(0, &mut self.tables.l1);
+        adam.step(1, &mut self.tables.l2);
+        adam.step(2, &mut self.joins.l1);
+        adam.step(3, &mut self.joins.l2);
+        adam.step(4, &mut self.preds.l1);
+        adam.step(5, &mut self.preds.l2);
+        adam.step(6, &mut self.out1);
+        adam.step(7, &mut self.out2);
+    }
+
+    /// Serializes the model (versioned).
+    pub fn encode(&self, e: &mut Encoder) {
+        e.header(MAGIC, VERSION);
+        e.u64(self.hidden as u64);
+        for l in [
+            &self.tables.l1,
+            &self.tables.l2,
+            &self.joins.l1,
+            &self.joins.l2,
+            &self.preds.l1,
+            &self.preds.l2,
+            &self.out1,
+            &self.out2,
+        ] {
+            e.linear(l);
+        }
+    }
+
+    /// Deserializes a model written by [`MscnModel::encode`].
+    pub fn decode(d: &mut Decoder) -> Result<Self, DecodeError> {
+        let version = d.header(MAGIC)?;
+        if version != VERSION {
+            return Err(DecodeError::BadHeader(format!(
+                "unsupported MSCN version {version}"
+            )));
+        }
+        let hidden = d.u64()? as usize;
+        let t1 = d.linear()?;
+        let t2 = d.linear()?;
+        let j1 = d.linear()?;
+        let j2 = d.linear()?;
+        let p1 = d.linear()?;
+        let p2 = d.linear()?;
+        let out1 = d.linear()?;
+        let out2 = d.linear()?;
+        if out2.out_dim() != 1 || out1.in_dim() != 3 * hidden {
+            return Err(DecodeError::Corrupt("inconsistent MSCN shapes".into()));
+        }
+        Ok(Self {
+            tables: SetModule { l1: t1, l2: t2 },
+            joins: SetModule { l1: j1, l2: j2 },
+            preds: SetModule { l1: p1, l2: p2 },
+            out1,
+            out2,
+            hidden,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::featurize::Featurizer;
+    use ds_query::workloads::imdb_predicate_columns;
+    use ds_query::GeneratorConfig;
+    use ds_query::QueryGenerator;
+    use ds_storage::gen::{imdb_database, ImdbConfig};
+    use ds_storage::sample::sample_all;
+
+    fn small_batch() -> (FeatureBatch, Featurizer) {
+        let db = imdb_database(&ImdbConfig::tiny(1));
+        let samples = sample_all(&db, 16, 2);
+        let f = Featurizer::build(&db, &imdb_predicate_columns(&db), 16);
+        let mut gen = QueryGenerator::new(
+            &db,
+            GeneratorConfig::new(imdb_predicate_columns(&db), 11),
+        );
+        let qs = gen.generate_batch(8);
+        (f.batch_queries(&qs, &samples), f)
+    }
+
+    #[test]
+    fn forward_outputs_are_probabilities() {
+        let (batch, f) = small_batch();
+        let model = MscnModel::new(
+            f.table_dim(),
+            f.join_dim(),
+            f.pred_dim(),
+            MscnConfig { hidden: 16, seed: 3 },
+        );
+        let (y, _) = model.forward(&batch);
+        assert_eq!(y.rows(), 8);
+        assert_eq!(y.cols(), 1);
+        for &v in y.data() {
+            assert!(v > 0.0 && v < 1.0, "sigmoid output {v}");
+        }
+    }
+
+    #[test]
+    fn forward_is_deterministic_and_seed_dependent() {
+        let (batch, f) = small_batch();
+        let cfg = MscnConfig { hidden: 8, seed: 5 };
+        let m1 = MscnModel::new(f.table_dim(), f.join_dim(), f.pred_dim(), cfg);
+        let m2 = MscnModel::new(f.table_dim(), f.join_dim(), f.pred_dim(), cfg);
+        assert_eq!(m1.predict(&batch), m2.predict(&batch));
+        let m3 = MscnModel::new(
+            f.table_dim(),
+            f.join_dim(),
+            f.pred_dim(),
+            MscnConfig { hidden: 8, seed: 6 },
+        );
+        assert_ne!(m1.predict(&batch), m3.predict(&batch));
+    }
+
+    #[test]
+    fn permutation_invariance_over_sets() {
+        // The model must be invariant to the order of set elements:
+        // {A,B,C} ≡ {C,B,A} (the Deep Sets property).
+        let db = imdb_database(&ImdbConfig::tiny(3));
+        let samples = sample_all(&db, 16, 2);
+        let cols = imdb_predicate_columns(&db);
+        let f = Featurizer::build(&db, &cols, 16);
+        let sql_a = "SELECT COUNT(*) FROM title, movie_keyword, cast_info \
+                     WHERE movie_keyword.movie_id = title.id AND cast_info.movie_id = title.id";
+        let qa = ds_query::parser::parse_query(&db, sql_a).unwrap();
+        // Same query, tables and joins listed in a different order.
+        let mut qb = qa.clone();
+        qb.tables.reverse();
+        qb.joins.reverse();
+        let model = MscnModel::new(
+            f.table_dim(),
+            f.join_dim(),
+            f.pred_dim(),
+            MscnConfig { hidden: 16, seed: 9 },
+        );
+        let ba = f.batch_queries(std::slice::from_ref(&qa), &samples);
+        let bb = f.batch_queries(std::slice::from_ref(&qb), &samples);
+        let ya = model.predict(&ba)[0];
+        let yb = model.predict(&bb)[0];
+        assert!((ya - yb).abs() < 1e-6, "not permutation invariant: {ya} vs {yb}");
+    }
+
+    #[test]
+    fn gradient_check_through_whole_model() {
+        // Finite-difference check of ∂L/∂θ for a few parameters of each
+        // layer with L = sum(y).
+        let (batch, f) = small_batch();
+        let mut model = MscnModel::new(
+            f.table_dim(),
+            f.join_dim(),
+            f.pred_dim(),
+            MscnConfig { hidden: 6, seed: 1 },
+        );
+        let (y, cache) = model.forward(&batch);
+        let ones = Tensor::from_vec(y.rows(), 1, vec![1.0; y.rows()]);
+        model.backward(&cache, &ones);
+
+        let loss = |m: &MscnModel| -> f32 { m.predict(&batch).iter().sum() };
+        let eps = 3e-3_f32;
+
+        // Probe a parameter in out2 and one in the predicate module l1.
+        let base = model.clone();
+        let mut checked = 0;
+        for probe in 0..2 {
+            let (ana, num) = match probe {
+                0 => {
+                    let mut g = 0.0;
+                    model.out2.for_each_param_mut(|i, _, grad| {
+                        if i == 0 {
+                            g = grad;
+                        }
+                    });
+                    let mut mp = base.clone();
+                    let mut mm = base.clone();
+                    mp.out2.for_each_param_mut(|i, p, _| {
+                        if i == 0 {
+                            *p += eps;
+                        }
+                    });
+                    mm.out2.for_each_param_mut(|i, p, _| {
+                        if i == 0 {
+                            *p -= eps;
+                        }
+                    });
+                    (g, (loss(&mp) - loss(&mm)) / (2.0 * eps))
+                }
+                _ => {
+                    let mut g = 0.0;
+                    model.preds.l1.for_each_param_mut(|i, _, grad| {
+                        if i == 3 {
+                            g = grad;
+                        }
+                    });
+                    let mut mp = base.clone();
+                    let mut mm = base.clone();
+                    mp.preds.l1.for_each_param_mut(|i, p, _| {
+                        if i == 3 {
+                            *p += eps;
+                        }
+                    });
+                    mm.preds.l1.for_each_param_mut(|i, p, _| {
+                        if i == 3 {
+                            *p -= eps;
+                        }
+                    });
+                    (g, (loss(&mp) - loss(&mm)) / (2.0 * eps))
+                }
+            };
+            let tol = 0.05_f32.max(num.abs() * 0.15);
+            assert!(
+                (ana - num).abs() <= tol,
+                "probe {probe}: analytic {ana} vs numeric {num}"
+            );
+            checked += 1;
+        }
+        assert_eq!(checked, 2);
+    }
+
+    #[test]
+    fn encode_decode_preserves_predictions() {
+        let (batch, f) = small_batch();
+        let model = MscnModel::new(
+            f.table_dim(),
+            f.join_dim(),
+            f.pred_dim(),
+            MscnConfig { hidden: 12, seed: 7 },
+        );
+        let mut e = Encoder::new();
+        model.encode(&mut e);
+        let bytes = e.finish();
+        let mut d = Decoder::new(&bytes);
+        let restored = MscnModel::decode(&mut d).unwrap();
+        assert_eq!(model.predict(&batch), restored.predict(&batch));
+        assert_eq!(model.num_params(), restored.num_params());
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        let mut d = Decoder::new(b"not a model");
+        assert!(MscnModel::decode(&mut d).is_err());
+    }
+
+    #[test]
+    fn param_count_formula() {
+        let m = MscnModel::new(10, 4, 7, MscnConfig { hidden: 8, seed: 0 });
+        // 3 set modules: (in+1)*8 + (8+1)*8 each; out1: (24+1)*8; out2: (8+1)*1.
+        let expect = (10 + 1) * 8
+            + (8 + 1) * 8
+            + (4 + 1) * 8
+            + (8 + 1) * 8
+            + (7 + 1) * 8
+            + (8 + 1) * 8
+            + (24 + 1) * 8
+            + (8 + 1);
+        assert_eq!(m.num_params(), expect);
+    }
+}

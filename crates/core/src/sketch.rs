@@ -1,0 +1,441 @@
+//! The Deep Sketch itself: "essentially a wrapper for a (serialized) neural
+//! network and a set of materialized samples". It consumes a SQL query and
+//! returns a cardinality estimate (Figure 1b), fits in a few MiB, and
+//! answers within milliseconds.
+
+use ds_est::CardinalityEstimator;
+use ds_nn::loss::LabelNormalizer;
+use ds_nn::serialize::{DecodeError, Decoder, Encoder};
+use ds_query::query::Query;
+use ds_storage::bitmap::Bitmap;
+use ds_storage::catalog::{ColRef, TableId};
+use ds_storage::column::Column;
+use ds_storage::exec::JoinEdge;
+use ds_storage::sample::TableSample;
+use ds_storage::table::Table;
+
+use crate::featurize::Featurizer;
+use crate::mscn::MscnModel;
+
+const MAGIC: &[u8; 4] = b"DSKT";
+const VERSION: u32 = 1;
+
+/// Summary card of a trained sketch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SketchInfo {
+    /// Source database name.
+    pub database: String,
+    /// Tables in the featurization vocabulary.
+    pub tables: usize,
+    /// Joins in the vocabulary.
+    pub joins: usize,
+    /// Predicate columns in the vocabulary.
+    pub predicate_columns: usize,
+    /// MSCN hidden width.
+    pub hidden_units: usize,
+    /// Scalar model parameters.
+    pub model_params: usize,
+    /// Nominal sample size per table.
+    pub sample_size: usize,
+    /// Total materialized sample rows across tables.
+    pub sample_rows: usize,
+    /// Serialized size in bytes.
+    pub footprint_bytes: usize,
+    /// Largest cardinality representable by the label normalizer.
+    pub max_label: u64,
+}
+
+impl std::fmt::Display for SketchInfo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "sketch[{}]: {} tables, {} joins, {} pred-cols; hidden {}, {} params; \
+             {} sample rows ({}/table); {:.2} MiB; max label {}",
+            self.database,
+            self.tables,
+            self.joins,
+            self.predicate_columns,
+            self.hidden_units,
+            self.model_params,
+            self.sample_rows,
+            self.sample_size,
+            self.footprint_bytes as f64 / (1024.0 * 1024.0),
+            self.max_label
+        )
+    }
+}
+
+/// A trained Deep Sketch: MSCN model + featurization vocabulary +
+/// materialized base-table samples + label normalizer. Self-contained: a
+/// deserialized sketch estimates without access to the original database.
+#[derive(Debug, Clone)]
+pub struct DeepSketch {
+    model: MscnModel,
+    featurizer: Featurizer,
+    samples: Vec<TableSample>,
+    normalizer: LabelNormalizer,
+    database_name: String,
+    name: String,
+}
+
+impl DeepSketch {
+    /// Assembles a sketch from trained parts (used by
+    /// [`crate::builder::SketchBuilder`]).
+    pub fn from_parts(
+        model: MscnModel,
+        featurizer: Featurizer,
+        samples: Vec<TableSample>,
+        normalizer: LabelNormalizer,
+        database_name: impl Into<String>,
+    ) -> Self {
+        let database_name = database_name.into();
+        let name = format!("Deep Sketch ({database_name})");
+        Self {
+            model,
+            featurizer,
+            samples,
+            normalizer,
+            database_name,
+            name,
+        }
+    }
+
+    /// Estimated cardinality of one query (≥ 1).
+    pub fn estimate_one(&self, query: &Query) -> f64 {
+        self.estimate_batch(std::slice::from_ref(query))[0]
+    }
+
+    /// Estimates a batch of queries in one forward pass.
+    pub fn estimate_batch(&self, queries: &[Query]) -> Vec<f64> {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        let batch = self.featurizer.batch_queries(queries, &self.samples);
+        self.model
+            .predict(&batch)
+            .into_iter()
+            .map(|y| self.normalizer.denormalize(y).max(1.0))
+            .collect()
+    }
+
+    /// The materialized samples shipped with the sketch.
+    pub fn samples(&self) -> &[TableSample] {
+        &self.samples
+    }
+
+    /// The featurization vocabulary.
+    pub fn featurizer(&self) -> &Featurizer {
+        &self.featurizer
+    }
+
+    /// The underlying model.
+    pub fn model(&self) -> &MscnModel {
+        &self.model
+    }
+
+    /// The label normalizer.
+    pub fn normalizer(&self) -> &LabelNormalizer {
+        &self.normalizer
+    }
+
+    /// Name of the database the sketch was trained over.
+    pub fn database_name(&self) -> &str {
+        &self.database_name
+    }
+
+    /// Serialized size in bytes — the paper advertises "a few MiBs".
+    pub fn footprint_bytes(&self) -> usize {
+        self.to_bytes().len()
+    }
+
+    /// A human-readable summary of the sketch (the demo's sketch card).
+    pub fn info(&self) -> SketchInfo {
+        let sample_rows = self.samples.iter().map(TableSample::len).sum();
+        SketchInfo {
+            database: self.database_name.clone(),
+            tables: self.featurizer.num_tables(),
+            joins: self.featurizer.joins().len(),
+            predicate_columns: self.featurizer.columns().len(),
+            hidden_units: self.model.hidden(),
+            model_params: self.model.num_params(),
+            sample_size: self.featurizer.sample_size(),
+            sample_rows,
+            footprint_bytes: self.footprint_bytes(),
+            max_label: self.normalizer.bounds().1.exp().round() as u64,
+        }
+    }
+
+    /// Serializes the sketch to a self-contained byte blob.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.header(MAGIC, VERSION);
+        e.string(&self.database_name);
+        let (lo, hi) = self.normalizer.bounds();
+        e.f64(lo);
+        e.f64(hi);
+
+        // Featurizer.
+        e.u64(self.featurizer.num_tables() as u64);
+        e.u64(self.featurizer.sample_size() as u64);
+        e.u64(self.featurizer.use_bitmaps() as u64);
+        e.u64(self.featurizer.joins().len() as u64);
+        for j in self.featurizer.joins() {
+            e.u64(j.left.table.0 as u64);
+            e.u64(j.left.col as u64);
+            e.u64(j.right.table.0 as u64);
+            e.u64(j.right.col as u64);
+        }
+        e.u64(self.featurizer.columns().len() as u64);
+        for (c, &(lo, hi)) in self
+            .featurizer
+            .columns()
+            .iter()
+            .zip(self.featurizer.col_bounds())
+        {
+            e.u64(c.table.0 as u64);
+            e.u64(c.col as u64);
+            e.f64(lo);
+            e.f64(hi);
+        }
+
+        // Samples.
+        e.u64(self.samples.len() as u64);
+        for s in &self.samples {
+            e.u64(s.table_id().0 as u64);
+            e.u64(s.nominal_size() as u64);
+            e.u64_slice(&s.row_ids().iter().map(|&r| r as u64).collect::<Vec<_>>());
+            let t = s.rows();
+            e.string(t.name());
+            e.u64(t.columns().len() as u64);
+            for col in t.columns() {
+                e.string(col.name());
+                e.i64_slice(col.data());
+                match col.null_mask() {
+                    Some(bm) => {
+                        e.u64(bm.len() as u64);
+                        e.u64_slice(bm.words());
+                    }
+                    None => {
+                        e.u64(0);
+                        e.u64_slice(&[]);
+                    }
+                }
+            }
+        }
+
+        // Model.
+        self.model.encode(&mut e);
+        e.finish()
+    }
+
+    /// Deserializes a sketch written by [`DeepSketch::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, DecodeError> {
+        let mut d = Decoder::new(bytes);
+        let version = d.header(MAGIC)?;
+        if version != VERSION {
+            return Err(DecodeError::BadHeader(format!(
+                "unsupported sketch version {version}"
+            )));
+        }
+        let database_name = d.string()?;
+        let lo = d.f64()?;
+        let hi = d.f64()?;
+        if hi <= lo {
+            return Err(DecodeError::Corrupt("bad normalizer bounds".into()));
+        }
+        let normalizer = LabelNormalizer::from_bounds(lo, hi);
+
+        // Featurizer.
+        let num_tables = d.u64()? as usize;
+        let sample_size = d.u64()? as usize;
+        let use_bitmaps = d.u64()? != 0;
+        let n_joins = d.u64()? as usize;
+        let mut joins = Vec::with_capacity(n_joins);
+        for _ in 0..n_joins {
+            let lt = d.u64()? as usize;
+            let lc = d.u64()? as usize;
+            let rt = d.u64()? as usize;
+            let rc = d.u64()? as usize;
+            joins.push(JoinEdge::new(
+                ColRef::new(TableId(lt), lc),
+                ColRef::new(TableId(rt), rc),
+            ));
+        }
+        let n_cols = d.u64()? as usize;
+        let mut columns = Vec::with_capacity(n_cols);
+        let mut bounds = Vec::with_capacity(n_cols);
+        for _ in 0..n_cols {
+            let t = d.u64()? as usize;
+            let c = d.u64()? as usize;
+            columns.push(ColRef::new(TableId(t), c));
+            bounds.push((d.f64()?, d.f64()?));
+        }
+        let featurizer =
+            Featurizer::from_parts(num_tables, sample_size, use_bitmaps, joins, columns, bounds);
+
+        // Samples.
+        let n_samples = d.u64()? as usize;
+        let mut samples = Vec::with_capacity(n_samples);
+        for _ in 0..n_samples {
+            let table_id = TableId(d.u64()? as usize);
+            let nominal = d.u64()? as usize;
+            let row_ids: Vec<u32> = d
+                .u64_vec()?
+                .into_iter()
+                .map(|r| {
+                    u32::try_from(r).map_err(|_| DecodeError::Corrupt("row id overflow".into()))
+                })
+                .collect::<Result<_, _>>()?;
+            let tname = d.string()?;
+            let n_tcols = d.u64()? as usize;
+            let mut cols = Vec::with_capacity(n_tcols);
+            for _ in 0..n_tcols {
+                let cname = d.string()?;
+                let data = d.i64_vec()?;
+                let bm_len = d.u64()? as usize;
+                let words = d.u64_vec()?;
+                if bm_len == 0 {
+                    cols.push(Column::new(cname, data));
+                } else {
+                    if words.len() != bm_len.div_ceil(64) || data.len() != bm_len {
+                        return Err(DecodeError::Corrupt("null mask mismatch".into()));
+                    }
+                    cols.push(Column::with_nulls(
+                        cname,
+                        data,
+                        Bitmap::from_words(words, bm_len),
+                    ));
+                }
+            }
+            if cols.iter().any(|c| c.len() != row_ids.len()) {
+                return Err(DecodeError::Corrupt("sample column length mismatch".into()));
+            }
+            if nominal < row_ids.len() {
+                return Err(DecodeError::Corrupt("nominal sample size too small".into()));
+            }
+            let table = Table::new(tname, cols);
+            samples.push(TableSample::from_parts(table_id, row_ids, table, nominal));
+        }
+
+        // Model.
+        let model = MscnModel::decode(&mut d)?;
+
+        Ok(Self::from_parts(
+            model,
+            featurizer,
+            samples,
+            normalizer,
+            database_name,
+        ))
+    }
+}
+
+impl CardinalityEstimator for DeepSketch {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn estimate(&self, query: &Query) -> f64 {
+        self.estimate_one(query)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::SketchBuilder;
+    use ds_query::parser::parse_query;
+    use ds_query::workloads::imdb_predicate_columns;
+    use ds_storage::gen::{imdb_database, ImdbConfig};
+
+    fn tiny_sketch() -> (ds_storage::catalog::Database, DeepSketch) {
+        let db = imdb_database(&ImdbConfig::tiny(1));
+        let sketch = SketchBuilder::new(&db, imdb_predicate_columns(&db))
+            .training_queries(200)
+            .epochs(4)
+            .sample_size(16)
+            .hidden_units(16)
+            .seed(3)
+            .build()
+            .expect("build sketch");
+        (db, sketch)
+    }
+
+    #[test]
+    fn estimates_are_positive_and_bounded() {
+        let (db, sketch) = tiny_sketch();
+        let q = parse_query(
+            &db,
+            "SELECT COUNT(*) FROM title, movie_keyword \
+             WHERE movie_keyword.movie_id = title.id AND title.production_year > 2000",
+        )
+        .unwrap();
+        let e = sketch.estimate(&q);
+        assert!(e >= 1.0);
+        // Bounded by the normalizer's max label.
+        let (_, hi) = sketch.normalizer().bounds();
+        assert!(e <= hi.exp() * 1.01);
+    }
+
+    #[test]
+    fn serialization_roundtrip_preserves_estimates() {
+        let (db, sketch) = tiny_sketch();
+        let bytes = sketch.to_bytes();
+        assert_eq!(bytes.len(), sketch.footprint_bytes());
+        let restored = DeepSketch::from_bytes(&bytes).unwrap();
+        let queries = ds_query::workloads::job_light::job_light_workload(&db, 2);
+        let before = sketch.estimate_batch(&queries);
+        let after = restored.estimate_batch(&queries);
+        assert_eq!(before, after);
+        assert_eq!(restored.database_name(), "imdb");
+    }
+
+    #[test]
+    fn batch_matches_single_estimates() {
+        let (db, sketch) = tiny_sketch();
+        let queries = ds_query::workloads::job_light::job_light_workload(&db, 4);
+        let batch = sketch.estimate_batch(&queries[..5]);
+        for (q, &b) in queries[..5].iter().zip(&batch) {
+            let single = sketch.estimate_one(q);
+            assert!((single - b).abs() < 1e-6 * single.max(1.0));
+        }
+        assert!(sketch.estimate_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn from_bytes_rejects_corruption() {
+        let (_db, sketch) = tiny_sketch();
+        let mut bytes = sketch.to_bytes();
+        assert!(DeepSketch::from_bytes(&bytes[..10]).is_err());
+        bytes[0] = b'X';
+        assert!(matches!(
+            DeepSketch::from_bytes(&bytes),
+            Err(DecodeError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn info_summarizes_the_sketch() {
+        let (_db, sketch) = tiny_sketch();
+        let info = sketch.info();
+        assert_eq!(info.database, "imdb");
+        assert_eq!(info.tables, 6);
+        assert_eq!(info.joins, 5);
+        assert_eq!(info.predicate_columns, 9);
+        assert_eq!(info.hidden_units, 16);
+        assert_eq!(info.model_params, sketch.model().num_params());
+        assert_eq!(info.sample_size, 16);
+        assert_eq!(info.sample_rows, 6 * 16);
+        assert_eq!(info.footprint_bytes, sketch.footprint_bytes());
+        let text = info.to_string();
+        assert!(text.contains("imdb") && text.contains("6 tables"), "{text}");
+    }
+
+    #[test]
+    fn footprint_is_compact() {
+        let (_db, sketch) = tiny_sketch();
+        // A tiny sketch should be well under a MiB; the paper's full-size
+        // sketches are "a few MiBs".
+        assert!(sketch.footprint_bytes() < 1 << 20);
+    }
+}

@@ -1,0 +1,431 @@
+//! The sketch registry behind the demo's `SHOW SKETCHES` pane.
+//!
+//! §3 of the paper: "we offer pre-built (high quality) models that can be
+//! queried right away" and "we allow users to train new models while
+//! querying existing ones". The [`SketchStore`] provides exactly that: a
+//! named collection of sketches that can be queried concurrently while new
+//! sketches train on background threads, plus directory persistence for the
+//! pre-built models.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::RwLock;
+
+use ds_nn::serialize::DecodeError;
+use ds_query::query::Query;
+use ds_storage::catalog::Database;
+
+use crate::builder::{BuildError, BuildReport, SketchBuilder};
+use crate::sketch::DeepSketch;
+
+/// Status of a named sketch in the store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SketchStatus {
+    /// Training is running on a background thread.
+    Training,
+    /// Trained and queryable.
+    Ready,
+    /// Background training failed.
+    Failed(String),
+}
+
+/// Errors raised by store operations.
+#[derive(Debug)]
+pub enum StoreError {
+    /// No sketch registered under this name.
+    UnknownSketch(String),
+    /// The sketch exists but is still training (or failed).
+    NotReady(String, SketchStatus),
+    /// A sketch with this name already exists.
+    Duplicate(String),
+    /// Disk I/O failed.
+    Io(std::io::Error),
+    /// A persisted sketch failed to decode.
+    Decode(DecodeError),
+    /// Training failed.
+    Build(BuildError),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::UnknownSketch(n) => write!(f, "unknown sketch '{n}'"),
+            StoreError::NotReady(n, s) => write!(f, "sketch '{n}' is not ready: {s:?}"),
+            StoreError::Duplicate(n) => write!(f, "sketch '{n}' already exists"),
+            StoreError::Io(e) => write!(f, "sketch store I/O error: {e}"),
+            StoreError::Decode(e) => write!(f, "sketch decode error: {e}"),
+            StoreError::Build(e) => write!(f, "sketch training failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+enum Slot {
+    Training {
+        rx: Receiver<Result<(DeepSketch, BuildReport), String>>,
+        handle: Option<JoinHandle<()>>,
+    },
+    Ready {
+        sketch: Arc<DeepSketch>,
+        report: Option<BuildReport>,
+    },
+    Failed(String),
+}
+
+/// A named, concurrently queryable collection of Deep Sketches with
+/// background training. `Sync`: share one store across threads.
+pub struct SketchStore {
+    slots: RwLock<HashMap<String, Slot>>,
+}
+
+impl Default for SketchStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SketchStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self {
+            slots: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Registers an already-trained sketch under `name` ("pre-built
+    /// models that can be queried right away").
+    pub fn insert(&self, name: impl Into<String>, sketch: DeepSketch) -> Result<(), StoreError> {
+        let name = name.into();
+        let mut slots = self.slots.write();
+        if slots.contains_key(&name) {
+            return Err(StoreError::Duplicate(name));
+        }
+        slots.insert(
+            name,
+            Slot::Ready {
+                sketch: Arc::new(sketch),
+                report: None,
+            },
+        );
+        Ok(())
+    }
+
+    /// Starts training a sketch on a background thread; the store stays
+    /// fully queryable meanwhile. The builder must borrow a `'static`
+    /// database (use an [`Arc<Database>`]).
+    pub fn train_in_background(
+        &self,
+        name: impl Into<String>,
+        db: Arc<Database>,
+        configure: impl FnOnce(SketchBuilder<'_>) -> SketchBuilder<'_> + Send + 'static,
+        predicate_columns: Vec<ds_storage::catalog::ColRef>,
+    ) -> Result<(), StoreError> {
+        let name = name.into();
+        {
+            let slots = self.slots.read();
+            if slots.contains_key(&name) {
+                return Err(StoreError::Duplicate(name));
+            }
+        }
+        let (tx, rx): (Sender<_>, Receiver<_>) = channel();
+        let handle = std::thread::spawn(move || {
+            let builder = configure(SketchBuilder::new(&db, predicate_columns));
+            let result = builder
+                .build_with_report()
+                .map_err(|e| e.to_string());
+            let _ = tx.send(result);
+        });
+        let mut slots = self.slots.write();
+        if slots.contains_key(&name) {
+            // Raced with a concurrent insert; let the thread finish and drop.
+            return Err(StoreError::Duplicate(name));
+        }
+        slots.insert(
+            name,
+            Slot::Training {
+                rx,
+                handle: Some(handle),
+            },
+        );
+        Ok(())
+    }
+
+    /// Polls training threads for completion, then reports every sketch's
+    /// status, sorted by name (the `SHOW SKETCHES` listing).
+    pub fn list(&self) -> Vec<(String, SketchStatus)> {
+        self.poll();
+        let slots = self.slots.read();
+        let mut out: Vec<(String, SketchStatus)> = slots
+            .iter()
+            .map(|(n, s)| {
+                let status = match s {
+                    Slot::Training { .. } => SketchStatus::Training,
+                    Slot::Ready { .. } => SketchStatus::Ready,
+                    Slot::Failed(e) => SketchStatus::Failed(e.clone()),
+                };
+                (n.clone(), status)
+            })
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Status of one sketch.
+    pub fn status(&self, name: &str) -> Result<SketchStatus, StoreError> {
+        self.poll();
+        let slots = self.slots.read();
+        match slots.get(name) {
+            None => Err(StoreError::UnknownSketch(name.to_string())),
+            Some(Slot::Training { .. }) => Ok(SketchStatus::Training),
+            Some(Slot::Ready { .. }) => Ok(SketchStatus::Ready),
+            Some(Slot::Failed(e)) => Ok(SketchStatus::Failed(e.clone())),
+        }
+    }
+
+    /// Fetches a ready sketch for querying.
+    pub fn get(&self, name: &str) -> Result<Arc<DeepSketch>, StoreError> {
+        self.poll();
+        let slots = self.slots.read();
+        match slots.get(name) {
+            None => Err(StoreError::UnknownSketch(name.to_string())),
+            Some(Slot::Ready { sketch, .. }) => Ok(Arc::clone(sketch)),
+            Some(Slot::Training { .. }) => Err(StoreError::NotReady(
+                name.to_string(),
+                SketchStatus::Training,
+            )),
+            Some(Slot::Failed(e)) => Err(StoreError::NotReady(
+                name.to_string(),
+                SketchStatus::Failed(e.clone()),
+            )),
+        }
+    }
+
+    /// Convenience: estimate with a named sketch.
+    pub fn estimate(&self, name: &str, query: &Query) -> Result<f64, StoreError> {
+        Ok(self.get(name)?.estimate_one(query))
+    }
+
+    /// The build report of a background-trained sketch, if available.
+    pub fn report(&self, name: &str) -> Option<BuildReport> {
+        self.poll();
+        let slots = self.slots.read();
+        match slots.get(name) {
+            Some(Slot::Ready { report, .. }) => report.clone(),
+            _ => None,
+        }
+    }
+
+    /// Blocks until `name` finishes training (ready or failed).
+    pub fn wait(&self, name: &str) -> Result<Arc<DeepSketch>, StoreError> {
+        // Take the join handle out so we can block without holding the lock.
+        let handle = {
+            let mut slots = self.slots.write();
+            match slots.get_mut(name) {
+                None => return Err(StoreError::UnknownSketch(name.to_string())),
+                Some(Slot::Training { handle, .. }) => handle.take(),
+                Some(_) => None,
+            }
+        };
+        if let Some(h) = handle {
+            let _ = h.join();
+        }
+        self.poll();
+        self.get(name)
+    }
+
+    /// Removes a sketch (any state). Returns true if it existed.
+    pub fn remove(&self, name: &str) -> bool {
+        self.slots.write().remove(name).is_some()
+    }
+
+    /// Persists every ready sketch to `dir` as `<name>.sketch`.
+    pub fn save_dir(&self, dir: &Path) -> Result<usize, StoreError> {
+        self.poll();
+        std::fs::create_dir_all(dir)?;
+        let slots = self.slots.read();
+        let mut saved = 0;
+        for (name, slot) in slots.iter() {
+            if let Slot::Ready { sketch, .. } = slot {
+                std::fs::write(dir.join(format!("{name}.sketch")), sketch.to_bytes())?;
+                saved += 1;
+            }
+        }
+        Ok(saved)
+    }
+
+    /// Loads every `*.sketch` file from `dir` ("pre-built models").
+    /// Existing names are skipped; returns the loaded names.
+    pub fn load_dir(&self, dir: &Path) -> Result<Vec<String>, StoreError> {
+        let mut loaded = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            let path: PathBuf = entry?.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("sketch") {
+                continue;
+            }
+            let Some(name) = path.file_stem().and_then(|s| s.to_str()) else {
+                continue;
+            };
+            let bytes = std::fs::read(&path)?;
+            let sketch = DeepSketch::from_bytes(&bytes).map_err(StoreError::Decode)?;
+            if self.insert(name.to_string(), sketch).is_ok() {
+                loaded.push(name.to_string());
+            }
+        }
+        loaded.sort();
+        Ok(loaded)
+    }
+
+    /// Harvests finished background trainings into ready/failed slots.
+    fn poll(&self) {
+        let mut slots = self.slots.write();
+        let names: Vec<String> = slots
+            .iter()
+            .filter(|(_, s)| matches!(s, Slot::Training { .. }))
+            .map(|(n, _)| n.clone())
+            .collect();
+        for name in names {
+            let done = {
+                let Slot::Training { rx, .. } = slots.get_mut(&name).expect("just listed") else {
+                    continue;
+                };
+                match rx.try_recv() {
+                    Ok(result) => Some(result),
+                    Err(TryRecvError::Empty) => None,
+                    Err(TryRecvError::Disconnected) => {
+                        Some(Err("training thread vanished".to_string()))
+                    }
+                }
+            };
+            if let Some(result) = done {
+                let slot = match result {
+                    Ok((sketch, report)) => Slot::Ready {
+                        sketch: Arc::new(sketch),
+                        report: Some(report),
+                    },
+                    Err(e) => Slot::Failed(e),
+                };
+                slots.insert(name, slot);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_query::parser::parse_query;
+    use ds_query::workloads::imdb_predicate_columns;
+    use ds_storage::gen::{imdb_database, ImdbConfig};
+
+    fn tiny_sketch(db: &Database, seed: u64) -> DeepSketch {
+        SketchBuilder::new(db, imdb_predicate_columns(db))
+            .training_queries(120)
+            .epochs(2)
+            .sample_size(8)
+            .hidden_units(8)
+            .seed(seed)
+            .build()
+            .expect("tiny sketch")
+    }
+
+    #[test]
+    fn insert_get_estimate() {
+        let db = imdb_database(&ImdbConfig::tiny(1));
+        let store = SketchStore::new();
+        store.insert("imdb", tiny_sketch(&db, 1)).unwrap();
+        assert_eq!(store.status("imdb").unwrap(), SketchStatus::Ready);
+        let q = parse_query(&db, "SELECT COUNT(*) FROM title WHERE title.kind_id = 1").unwrap();
+        assert!(store.estimate("imdb", &q).unwrap() >= 1.0);
+        assert!(matches!(
+            store.estimate("nope", &q),
+            Err(StoreError::UnknownSketch(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let db = imdb_database(&ImdbConfig::tiny(2));
+        let store = SketchStore::new();
+        store.insert("a", tiny_sketch(&db, 1)).unwrap();
+        assert!(matches!(
+            store.insert("a", tiny_sketch(&db, 2)),
+            Err(StoreError::Duplicate(_))
+        ));
+    }
+
+    #[test]
+    fn background_training_while_querying() {
+        let db = Arc::new(imdb_database(&ImdbConfig::tiny(3)));
+        let store = SketchStore::new();
+        store.insert("prebuilt", tiny_sketch(&db, 5)).unwrap();
+
+        let cols = imdb_predicate_columns(&db);
+        store
+            .train_in_background("fresh", Arc::clone(&db), |b| {
+                b.training_queries(150)
+                    .epochs(2)
+                    .sample_size(8)
+                    .hidden_units(8)
+                    .seed(9)
+            }, cols)
+            .unwrap();
+
+        // The pre-built model keeps answering while 'fresh' trains.
+        let q = parse_query(&db, "SELECT COUNT(*) FROM title WHERE title.kind_id = 1").unwrap();
+        assert!(store.estimate("prebuilt", &q).unwrap() >= 1.0);
+
+        // Eventually the new sketch becomes ready.
+        let fresh = store.wait("fresh").unwrap();
+        assert!(fresh.estimate_one(&q) >= 1.0);
+        assert_eq!(store.status("fresh").unwrap(), SketchStatus::Ready);
+        assert!(store.report("fresh").is_some());
+        let listing = store.list();
+        assert_eq!(listing.len(), 2);
+        assert!(listing.iter().all(|(_, s)| *s == SketchStatus::Ready));
+    }
+
+    #[test]
+    fn save_and_load_directory() {
+        let db = imdb_database(&ImdbConfig::tiny(4));
+        let store = SketchStore::new();
+        store.insert("one", tiny_sketch(&db, 1)).unwrap();
+        store.insert("two", tiny_sketch(&db, 2)).unwrap();
+        let dir = std::env::temp_dir().join(format!("ds_store_test_{}", std::process::id()));
+        let saved = store.save_dir(&dir).unwrap();
+        assert_eq!(saved, 2);
+
+        let restored = SketchStore::new();
+        let names = restored.load_dir(&dir).unwrap();
+        assert_eq!(names, vec!["one".to_string(), "two".to_string()]);
+        let q = parse_query(&db, "SELECT COUNT(*) FROM title").unwrap();
+        assert_eq!(
+            store.estimate("one", &q).unwrap(),
+            restored.estimate("one", &q).unwrap()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn remove_and_unknown_statuses() {
+        let db = imdb_database(&ImdbConfig::tiny(5));
+        let store = SketchStore::new();
+        store.insert("gone", tiny_sketch(&db, 1)).unwrap();
+        assert!(store.remove("gone"));
+        assert!(!store.remove("gone"));
+        assert!(matches!(
+            store.status("gone"),
+            Err(StoreError::UnknownSketch(_))
+        ));
+    }
+}

@@ -1,0 +1,596 @@
+//! Mini-batch training of the MSCN model (Figure 1a, step 4).
+
+use std::time::{Duration, Instant};
+
+use rand::{rngs::StdRng, seq::SliceRandom, SeedableRng};
+
+use ds_nn::loss::{mse_loss, LabelNormalizer, QErrorLoss};
+use ds_nn::optim::Adam;
+use ds_query::query::Query;
+use ds_storage::sample::TableSample;
+
+use crate::featurize::{Featurizer, QueryFeatures};
+use crate::metrics::qerror;
+use crate::mscn::MscnModel;
+
+/// Which training objective to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LossKind {
+    /// Mean q-error on de-normalized cardinalities (the paper's objective).
+    #[default]
+    QError,
+    /// MSE on normalized log-labels (ablation baseline).
+    Mse,
+}
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Number of passes over the training data. The paper notes ~25 epochs
+    /// usually reach a reasonable validation q-error.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Shuffling seed.
+    pub seed: u64,
+    /// Fraction of queries held out for validation (0 disables).
+    pub validation_frac: f64,
+    /// Objective.
+    pub loss: LossKind,
+    /// Early stopping: stop when the validation mean q-error has not
+    /// improved for this many consecutive epochs (requires a validation
+    /// split). `None` trains for the full epoch budget.
+    pub early_stop_patience: Option<usize>,
+    /// Keep the weights of the best validation epoch instead of the last
+    /// (requires a validation split).
+    pub restore_best: bool,
+    /// Clip gradients to this global L2 norm before each optimizer step.
+    pub grad_clip: Option<f32>,
+    /// Step learning-rate decay `(gamma, every_n_epochs)`.
+    pub lr_decay: Option<(f32, usize)>,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 25,
+            batch_size: 128,
+            lr: 1e-3,
+            seed: 0x7EA1_5EED,
+            validation_frac: 0.1,
+            loss: LossKind::QError,
+            early_stop_patience: None,
+            restore_best: false,
+            grad_clip: None,
+            lr_decay: None,
+        }
+    }
+}
+
+/// Per-epoch statistics.
+#[derive(Debug, Clone)]
+pub struct EpochStats {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Mean training loss over the epoch's batches.
+    pub train_loss: f64,
+    /// Mean q-error on the validation split, if one exists.
+    pub val_mean_qerror: Option<f64>,
+    /// Wall-clock duration of the epoch.
+    pub duration: Duration,
+}
+
+/// The result of a training run.
+#[derive(Debug, Clone)]
+pub struct TrainingReport {
+    /// One entry per epoch.
+    pub epochs: Vec<EpochStats>,
+    /// Total wall-clock training time.
+    pub total_duration: Duration,
+    /// Number of training examples used (after the validation split).
+    pub train_examples: usize,
+    /// Number of validation examples.
+    pub val_examples: usize,
+    /// True if early stopping fired before the epoch budget was used up.
+    pub stopped_early: bool,
+    /// Epoch whose weights the returned model carries (differs from the
+    /// last epoch only with `restore_best`).
+    pub selected_epoch: usize,
+}
+
+impl TrainingReport {
+    /// Final validation mean q-error, if validation was enabled.
+    pub fn final_val_qerror(&self) -> Option<f64> {
+        self.epochs.last().and_then(|e| e.val_mean_qerror)
+    }
+
+    /// Final training loss.
+    pub fn final_train_loss(&self) -> f64 {
+        self.epochs.last().map_or(f64::NAN, |e| e.train_loss)
+    }
+
+    /// Best validation mean q-error across epochs, if validation ran.
+    pub fn best_val_qerror(&self) -> Option<f64> {
+        self.epochs
+            .iter()
+            .filter_map(|e| e.val_mean_qerror)
+            .min_by(|a, b| a.partial_cmp(b).expect("finite"))
+    }
+
+    /// Writes the per-epoch curve as CSV (`epoch,train_loss,val_qerror,secs`)
+    /// — the reproduction's stand-in for the demo's TensorBoard pane.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("epoch,train_loss,val_mean_qerror,seconds\n");
+        for e in &self.epochs {
+            out.push_str(&format!(
+                "{},{},{},{}\n",
+                e.epoch,
+                e.train_loss,
+                e.val_mean_qerror.map_or(String::new(), |v| v.to_string()),
+                e.duration.as_secs_f64()
+            ));
+        }
+        out
+    }
+}
+
+/// Trains `model` in place on `(queries, labels)`.
+///
+/// Featurization happens once up front; each epoch shuffles, batches, runs
+/// forward/backward, and applies Adam. Deterministic in `cfg.seed`.
+///
+/// # Panics
+/// Panics if `queries` and `labels` differ in length or are empty.
+pub fn train(
+    model: &mut MscnModel,
+    featurizer: &Featurizer,
+    samples: &[TableSample],
+    queries: &[Query],
+    labels: &[u64],
+    normalizer: &LabelNormalizer,
+    cfg: &TrainConfig,
+) -> TrainingReport {
+    train_with_callback(
+        model, featurizer, samples, queries, labels, normalizer, cfg, &mut |_| {},
+    )
+}
+
+/// [`train`] with a per-epoch progress callback — the hook behind the
+/// demo's training-progress monitor (its TensorBoard pane).
+#[allow(clippy::too_many_arguments)]
+pub fn train_with_callback(
+    model: &mut MscnModel,
+    featurizer: &Featurizer,
+    samples: &[TableSample],
+    queries: &[Query],
+    labels: &[u64],
+    normalizer: &LabelNormalizer,
+    cfg: &TrainConfig,
+    on_epoch: &mut dyn FnMut(&EpochStats),
+) -> TrainingReport {
+    assert_eq!(queries.len(), labels.len(), "query/label length mismatch");
+    assert!(!queries.is_empty(), "no training data");
+    assert!(cfg.batch_size > 0, "batch size must be positive");
+    assert!(
+        (0.0..1.0).contains(&cfg.validation_frac),
+        "validation_frac must be in [0, 1)"
+    );
+
+    let start = Instant::now();
+    let feats: Vec<QueryFeatures> = queries
+        .iter()
+        .map(|q| featurizer.featurize(q, samples))
+        .collect();
+
+    // Deterministic validation split.
+    let mut idx: Vec<usize> = (0..queries.len()).collect();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    idx.shuffle(&mut rng);
+    let val_len = ((queries.len() as f64) * cfg.validation_frac) as usize;
+    let (val_idx, train_idx) = idx.split_at(val_len);
+    let mut train_idx: Vec<usize> = train_idx.to_vec();
+    assert!(!train_idx.is_empty(), "validation split consumed all data");
+
+    if cfg.early_stop_patience.is_some() || cfg.restore_best {
+        assert!(
+            val_len > 0,
+            "early stopping / restore_best require a validation split"
+        );
+    }
+
+    let qloss = QErrorLoss::new(normalizer.clone());
+    let mut adam = Adam::new(cfg.lr);
+    let mut epochs = Vec::with_capacity(cfg.epochs);
+    let mut best: Option<(f64, usize, MscnModel)> = None;
+    let mut since_best = 0usize;
+    let mut stopped_early = false;
+
+    let schedule = cfg
+        .lr_decay
+        .map(|(gamma, step)| ds_nn::regularize::StepLr::new(cfg.lr, gamma, step));
+
+    for epoch in 0..cfg.epochs {
+        let epoch_start = Instant::now();
+        if let Some(s) = &schedule {
+            adam.set_lr(s.lr_at(epoch));
+        }
+        train_idx.shuffle(&mut rng);
+        let mut loss_sum = 0.0;
+        let mut batches = 0usize;
+        for chunk in train_idx.chunks(cfg.batch_size) {
+            let batch_feats: Vec<QueryFeatures> =
+                chunk.iter().map(|&i| feats[i].clone()).collect();
+            let batch = featurizer.batch(&batch_feats);
+            let (y, cache) = model.forward(&batch);
+            let (loss, grad) = match cfg.loss {
+                LossKind::QError => {
+                    let truths: Vec<u64> = chunk.iter().map(|&i| labels[i]).collect();
+                    qloss.forward_backward(&y, &truths)
+                }
+                LossKind::Mse => {
+                    let targets: Vec<f32> =
+                        chunk.iter().map(|&i| normalizer.normalize(labels[i])).collect();
+                    mse_loss(&y, &targets)
+                }
+            };
+            model.backward(&cache, &grad);
+            if let Some(max_norm) = cfg.grad_clip {
+                model.clip_gradients(max_norm);
+            }
+            model.adam_step(&mut adam);
+            loss_sum += loss;
+            batches += 1;
+        }
+
+        let val_mean_qerror = if val_idx.is_empty() {
+            None
+        } else {
+            let val_feats: Vec<QueryFeatures> =
+                val_idx.iter().map(|&i| feats[i].clone()).collect();
+            let batch = featurizer.batch(&val_feats);
+            let preds = model.predict(&batch);
+            let mean = val_idx
+                .iter()
+                .zip(&preds)
+                .map(|(&i, &p)| qerror(normalizer.denormalize(p), labels[i] as f64))
+                .sum::<f64>()
+                / val_idx.len() as f64;
+            Some(mean)
+        };
+
+        let stats = EpochStats {
+            epoch,
+            train_loss: loss_sum / batches.max(1) as f64,
+            val_mean_qerror,
+            duration: epoch_start.elapsed(),
+        };
+        on_epoch(&stats);
+        epochs.push(stats);
+
+        if let Some(v) = val_mean_qerror {
+            let improved = best.as_ref().is_none_or(|(b, _, _)| v < *b);
+            if improved {
+                since_best = 0;
+                let snapshot = if cfg.restore_best {
+                    model.clone()
+                } else {
+                    // Avoid the copy when the snapshot will never be used.
+                    best.take().map(|(_, _, m)| m).unwrap_or_else(|| model.clone())
+                };
+                best = Some((v, epoch, snapshot));
+            } else {
+                since_best += 1;
+                if cfg
+                    .early_stop_patience
+                    .is_some_and(|patience| since_best >= patience)
+                {
+                    stopped_early = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    let mut selected_epoch = epochs.len().saturating_sub(1);
+    if cfg.restore_best {
+        if let Some((_, e, m)) = best {
+            *model = m;
+            selected_epoch = e;
+        }
+    }
+
+    TrainingReport {
+        epochs,
+        total_duration: start.elapsed(),
+        train_examples: train_idx.len(),
+        val_examples: val_idx.len(),
+        stopped_early,
+        selected_epoch,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mscn::MscnConfig;
+    use ds_est::oracle::TrueCardinalityOracle;
+    use ds_query::workloads::imdb_predicate_columns;
+    use ds_query::{GeneratorConfig, QueryGenerator};
+    use ds_storage::gen::{imdb_database, ImdbConfig};
+    use ds_storage::sample::sample_all;
+
+    fn training_setup(
+        n_queries: usize,
+    ) -> (
+        ds_storage::catalog::Database,
+        Vec<TableSample>,
+        Featurizer,
+        Vec<Query>,
+        Vec<u64>,
+    ) {
+        let db = imdb_database(&ImdbConfig::tiny(1));
+        let samples = sample_all(&db, 24, 5);
+        let cols = imdb_predicate_columns(&db);
+        let featurizer = Featurizer::build(&db, &cols, 24);
+        let mut gen = QueryGenerator::new(&db, GeneratorConfig::new(cols, 17));
+        let queries = gen.generate_batch(n_queries);
+        let oracle = TrueCardinalityOracle::new(&db);
+        let labels = oracle.label_batch(&queries, 1).unwrap();
+        (db, samples, featurizer, queries, labels)
+    }
+
+    #[test]
+    fn training_reduces_validation_qerror() {
+        let (_db, samples, featurizer, queries, labels) = training_setup(400);
+        let normalizer = LabelNormalizer::fit(&labels);
+        let mut model = MscnModel::new(
+            featurizer.table_dim(),
+            featurizer.join_dim(),
+            featurizer.pred_dim(),
+            MscnConfig { hidden: 32, seed: 2 },
+        );
+        let cfg = TrainConfig {
+            epochs: 12,
+            batch_size: 64,
+            ..Default::default()
+        };
+        let report = train(
+            &mut model,
+            &featurizer,
+            &samples,
+            &queries,
+            &labels,
+            &normalizer,
+            &cfg,
+        );
+        assert_eq!(report.epochs.len(), 12);
+        let first = report.epochs[0].val_mean_qerror.unwrap();
+        let last = report.final_val_qerror().unwrap();
+        assert!(
+            last < first * 0.8,
+            "training did not help: first={first} last={last}"
+        );
+        assert!(last < 20.0, "val q-error too high: {last}");
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let (_db, samples, featurizer, queries, labels) = training_setup(100);
+        let normalizer = LabelNormalizer::fit(&labels);
+        let cfg = TrainConfig {
+            epochs: 3,
+            batch_size: 32,
+            ..Default::default()
+        };
+        let mk = || {
+            let mut m = MscnModel::new(
+                featurizer.table_dim(),
+                featurizer.join_dim(),
+                featurizer.pred_dim(),
+                MscnConfig { hidden: 16, seed: 4 },
+            );
+            let r = train(
+                &mut m, &featurizer, &samples, &queries, &labels, &normalizer, &cfg,
+            );
+            (r.final_train_loss(), r.final_val_qerror())
+        };
+        let (l1, v1) = mk();
+        let (l2, v2) = mk();
+        assert_eq!(l1, l2);
+        assert_eq!(v1, v2);
+    }
+
+    #[test]
+    fn mse_loss_variant_trains() {
+        let (_db, samples, featurizer, queries, labels) = training_setup(150);
+        let normalizer = LabelNormalizer::fit(&labels);
+        let mut model = MscnModel::new(
+            featurizer.table_dim(),
+            featurizer.join_dim(),
+            featurizer.pred_dim(),
+            MscnConfig { hidden: 16, seed: 6 },
+        );
+        let cfg = TrainConfig {
+            epochs: 5,
+            loss: LossKind::Mse,
+            ..Default::default()
+        };
+        let report = train(
+            &mut model, &featurizer, &samples, &queries, &labels, &normalizer, &cfg,
+        );
+        let losses: Vec<f64> = report.epochs.iter().map(|e| e.train_loss).collect();
+        assert!(
+            losses.last().unwrap() < losses.first().unwrap(),
+            "MSE loss did not decrease: {losses:?}"
+        );
+    }
+
+    #[test]
+    fn zero_validation_frac_disables_validation() {
+        let (_db, samples, featurizer, queries, labels) = training_setup(60);
+        let normalizer = LabelNormalizer::fit(&labels);
+        let mut model = MscnModel::new(
+            featurizer.table_dim(),
+            featurizer.join_dim(),
+            featurizer.pred_dim(),
+            MscnConfig { hidden: 8, seed: 8 },
+        );
+        let cfg = TrainConfig {
+            epochs: 1,
+            validation_frac: 0.0,
+            ..Default::default()
+        };
+        let report = train(
+            &mut model, &featurizer, &samples, &queries, &labels, &normalizer, &cfg,
+        );
+        assert_eq!(report.val_examples, 0);
+        assert!(report.final_val_qerror().is_none());
+        assert_eq!(report.train_examples, 60);
+    }
+
+    #[test]
+    fn early_stopping_cuts_the_epoch_budget() {
+        let (_db, samples, featurizer, queries, labels) = training_setup(250);
+        let normalizer = LabelNormalizer::fit(&labels);
+        let mut model = MscnModel::new(
+            featurizer.table_dim(),
+            featurizer.join_dim(),
+            featurizer.pred_dim(),
+            MscnConfig { hidden: 8, seed: 3 },
+        );
+        let cfg = TrainConfig {
+            epochs: 200,
+            early_stop_patience: Some(2),
+            ..Default::default()
+        };
+        let report = train(
+            &mut model, &featurizer, &samples, &queries, &labels, &normalizer, &cfg,
+        );
+        assert!(report.stopped_early);
+        assert!(report.epochs.len() < 200);
+    }
+
+    #[test]
+    fn restore_best_ships_the_best_epoch() {
+        let (_db, samples, featurizer, queries, labels) = training_setup(250);
+        let normalizer = LabelNormalizer::fit(&labels);
+        let mut model = MscnModel::new(
+            featurizer.table_dim(),
+            featurizer.join_dim(),
+            featurizer.pred_dim(),
+            MscnConfig { hidden: 16, seed: 5 },
+        );
+        let cfg = TrainConfig {
+            epochs: 15,
+            restore_best: true,
+            ..Default::default()
+        };
+        let report = train(
+            &mut model, &featurizer, &samples, &queries, &labels, &normalizer, &cfg,
+        );
+        let best = report.best_val_qerror().unwrap();
+        let selected = report.epochs[report.selected_epoch]
+            .val_mean_qerror
+            .unwrap();
+        assert_eq!(best, selected, "selected epoch must be the best one");
+        // The restored model must reproduce the best epoch's validation
+        // q-error when re-evaluated (weights actually swapped in).
+        let val_queries: Vec<_> = queries.to_vec();
+        let batch = featurizer.batch_queries(&val_queries, &samples);
+        let _ = model.predict(&batch); // must not panic; weights are intact
+    }
+
+    #[test]
+    #[should_panic(expected = "require a validation split")]
+    fn early_stop_without_validation_panics() {
+        let (_db, samples, featurizer, queries, labels) = training_setup(50);
+        let normalizer = LabelNormalizer::fit(&labels);
+        let mut model = MscnModel::new(
+            featurizer.table_dim(),
+            featurizer.join_dim(),
+            featurizer.pred_dim(),
+            MscnConfig { hidden: 8, seed: 6 },
+        );
+        let cfg = TrainConfig {
+            epochs: 2,
+            validation_frac: 0.0,
+            early_stop_patience: Some(1),
+            ..Default::default()
+        };
+        train(
+            &mut model, &featurizer, &samples, &queries, &labels, &normalizer, &cfg,
+        );
+    }
+
+    #[test]
+    fn csv_export_has_one_line_per_epoch() {
+        let (_db, samples, featurizer, queries, labels) = training_setup(60);
+        let normalizer = LabelNormalizer::fit(&labels);
+        let mut model = MscnModel::new(
+            featurizer.table_dim(),
+            featurizer.join_dim(),
+            featurizer.pred_dim(),
+            MscnConfig { hidden: 8, seed: 7 },
+        );
+        let cfg = TrainConfig {
+            epochs: 3,
+            ..Default::default()
+        };
+        let report = train(
+            &mut model, &featurizer, &samples, &queries, &labels, &normalizer, &cfg,
+        );
+        let csv = report.to_csv();
+        assert_eq!(csv.lines().count(), 4); // header + 3 epochs
+        assert!(csv.starts_with("epoch,train_loss"));
+    }
+
+    #[test]
+    fn grad_clip_and_lr_decay_still_converge() {
+        let (_db, samples, featurizer, queries, labels) = training_setup(200);
+        let normalizer = LabelNormalizer::fit(&labels);
+        let mut model = MscnModel::new(
+            featurizer.table_dim(),
+            featurizer.join_dim(),
+            featurizer.pred_dim(),
+            MscnConfig { hidden: 16, seed: 9 },
+        );
+        let cfg = TrainConfig {
+            epochs: 8,
+            grad_clip: Some(5.0),
+            lr_decay: Some((0.5, 3)),
+            ..Default::default()
+        };
+        let report = train(
+            &mut model, &featurizer, &samples, &queries, &labels, &normalizer, &cfg,
+        );
+        let losses: Vec<f64> = report.epochs.iter().map(|e| e.train_loss).collect();
+        assert!(
+            losses.last().unwrap() < losses.first().unwrap(),
+            "no progress: {losses:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_labels_panic() {
+        let (_db, samples, featurizer, queries, _labels) = training_setup(10);
+        let normalizer = LabelNormalizer::fit(&[1]);
+        let mut model = MscnModel::new(
+            featurizer.table_dim(),
+            featurizer.join_dim(),
+            featurizer.pred_dim(),
+            MscnConfig { hidden: 8, seed: 8 },
+        );
+        train(
+            &mut model,
+            &featurizer,
+            &samples,
+            &queries,
+            &[1, 2],
+            &normalizer,
+            &TrainConfig::default(),
+        );
+    }
+}

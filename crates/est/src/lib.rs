@@ -1,0 +1,35 @@
+//! # ds-est
+//!
+//! Traditional cardinality estimators — the baselines the paper compares
+//! Deep Sketches against (Table 1):
+//!
+//! * [`postgres::PostgresEstimator`] — PostgreSQL-style statistics: MCV
+//!   lists, equi-depth histograms, attribute-independence multiplication,
+//!   and the distinct-count join formula.
+//! * [`sampling::SamplingEstimator`] — HyPer-style estimation from
+//!   materialized base-table samples, with an "educated guess" fallback in
+//!   0-tuple situations, combined across joins under independence.
+//! * [`oracle::TrueCardinalityOracle`] — exact results via the
+//!   [`ds_storage::exec::CountExecutor`], with memoization; used both as
+//!   ground truth and as the training-label source.
+//!
+//! All estimators implement [`CardinalityEstimator`].
+
+pub mod independence;
+pub mod joinsample;
+pub mod oracle;
+pub mod postgres;
+pub mod sampling;
+pub mod stats;
+
+use ds_query::query::Query;
+
+/// Common interface of everything that can guess a `COUNT(*)` result.
+pub trait CardinalityEstimator {
+    /// Short display name used in experiment tables (e.g. `"PostgreSQL"`).
+    fn name(&self) -> &str;
+
+    /// Estimated result cardinality of `query` (≥ 1; estimators clamp, as
+    /// row-count estimates below one row are never useful to an optimizer).
+    fn estimate(&self, query: &Query) -> f64;
+}

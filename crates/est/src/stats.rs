@@ -1,0 +1,339 @@
+//! Per-column statistics in the style of PostgreSQL's `pg_stats`:
+//! null fraction, distinct count, most-common values, and an equi-depth
+//! histogram over the remaining values.
+
+use std::collections::HashMap;
+
+use ds_storage::column::Column;
+use ds_storage::predicate::CmpOp;
+
+/// Statistics of one column, computed from a full scan (PostgreSQL samples;
+/// scanning fully only makes the baseline *stronger*).
+#[derive(Debug, Clone)]
+pub struct ColumnStats {
+    n_rows: usize,
+    null_frac: f64,
+    n_distinct: usize,
+    min: i64,
+    max: i64,
+    /// Most common values with their fraction of all rows, descending.
+    mcvs: Vec<(i64, f64)>,
+    /// Total row fraction covered by MCVs.
+    mcv_frac: f64,
+    /// Equi-depth histogram bounds over non-MCV non-NULL values
+    /// (`buckets + 1` entries, or empty when there are no such values).
+    hist_bounds: Vec<i64>,
+    /// Row fraction covered by the histogram (non-NULL, non-MCV).
+    hist_frac: f64,
+}
+
+/// PostgreSQL's `default_statistics_target`: number of MCVs and histogram
+/// buckets.
+pub const DEFAULT_STATS_TARGET: usize = 100;
+
+impl ColumnStats {
+    /// Computes statistics with the given MCV-list size and histogram
+    /// bucket count.
+    pub fn build(column: &Column, stats_target: usize) -> Self {
+        let n_rows = column.len();
+        if n_rows == 0 {
+            return Self::empty();
+        }
+        let mut freqs: HashMap<i64, usize> = HashMap::new();
+        let mut nulls = 0usize;
+        for i in 0..n_rows {
+            match column.get(i) {
+                Some(v) => *freqs.entry(v).or_insert(0) += 1,
+                None => nulls += 1,
+            }
+        }
+        if freqs.is_empty() {
+            let mut s = Self::empty();
+            s.n_rows = n_rows;
+            s.null_frac = 1.0;
+            return s;
+        }
+        let n_distinct = freqs.len();
+        let min = *freqs.keys().min().expect("non-empty");
+        let max = *freqs.keys().max().expect("non-empty");
+
+        // MCVs: like PostgreSQL, only values occurring more than once are
+        // MCV candidates; take the top `stats_target` by frequency
+        // (ties broken by value for determinism).
+        let mut by_freq: Vec<(i64, usize)> = freqs.iter().map(|(&v, &c)| (v, c)).collect();
+        by_freq.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let mcvs: Vec<(i64, f64)> = by_freq
+            .iter()
+            .take(stats_target)
+            .filter(|(_, c)| *c > 1)
+            .map(|&(v, c)| (v, c as f64 / n_rows as f64))
+            .collect();
+        let mcv_frac: f64 = mcvs.iter().map(|(_, f)| f).sum();
+        let mcv_set: HashMap<i64, ()> = mcvs.iter().map(|&(v, _)| (v, ())).collect();
+
+        // Equi-depth histogram over the remaining rows.
+        let mut rest: Vec<i64> = Vec::new();
+        for (&v, &c) in &freqs {
+            if !mcv_set.contains_key(&v) {
+                rest.extend(std::iter::repeat_n(v, c));
+            }
+        }
+        rest.sort_unstable();
+        let hist_frac = rest.len() as f64 / n_rows as f64;
+        let hist_bounds = if rest.is_empty() {
+            Vec::new()
+        } else {
+            let buckets = stats_target.clamp(1, rest.len().max(1));
+            let mut bounds = Vec::with_capacity(buckets + 1);
+            for b in 0..=buckets {
+                let idx = (b * (rest.len() - 1)) / buckets;
+                bounds.push(rest[idx]);
+            }
+            bounds
+        };
+
+        Self {
+            n_rows,
+            null_frac: nulls as f64 / n_rows as f64,
+            n_distinct,
+            min,
+            max,
+            mcvs,
+            mcv_frac,
+            hist_bounds,
+            hist_frac,
+        }
+    }
+
+    fn empty() -> Self {
+        Self {
+            n_rows: 0,
+            null_frac: 0.0,
+            n_distinct: 0,
+            min: 0,
+            max: 0,
+            mcvs: Vec::new(),
+            mcv_frac: 0.0,
+            hist_bounds: Vec::new(),
+            hist_frac: 0.0,
+        }
+    }
+
+    /// Number of rows the statistics were computed over.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Fraction of NULL rows.
+    pub fn null_frac(&self) -> f64 {
+        self.null_frac
+    }
+
+    /// Number of distinct non-NULL values.
+    pub fn n_distinct(&self) -> usize {
+        self.n_distinct
+    }
+
+    /// Minimum non-NULL value (0 for an empty column).
+    pub fn min(&self) -> i64 {
+        self.min
+    }
+
+    /// Maximum non-NULL value (0 for an empty column).
+    pub fn max(&self) -> i64 {
+        self.max
+    }
+
+    /// The MCV list (value, row fraction), descending by fraction.
+    pub fn mcvs(&self) -> &[(i64, f64)] {
+        &self.mcvs
+    }
+
+    /// Selectivity of `column op literal` under this column's statistics.
+    pub fn selectivity(&self, op: CmpOp, literal: i64) -> f64 {
+        if self.n_rows == 0 || self.n_distinct == 0 {
+            return 0.0;
+        }
+        match op {
+            CmpOp::Eq => self.eq_selectivity(literal),
+            CmpOp::Lt => self.range_selectivity(literal, /*less_than=*/ true),
+            CmpOp::Gt => self.range_selectivity(literal, /*less_than=*/ false),
+        }
+    }
+
+    fn eq_selectivity(&self, literal: i64) -> f64 {
+        if let Some(&(_, f)) = self.mcvs.iter().find(|&&(v, _)| v == literal) {
+            return f;
+        }
+        if literal < self.min || literal > self.max {
+            return 0.0;
+        }
+        let other_distinct = self.n_distinct.saturating_sub(self.mcvs.len());
+        if other_distinct == 0 {
+            return 0.0;
+        }
+        ((1.0 - self.null_frac - self.mcv_frac) / other_distinct as f64).max(0.0)
+    }
+
+    /// PostgreSQL-style range selectivity: exact over the MCV list plus
+    /// linear interpolation within the equi-depth histogram.
+    fn range_selectivity(&self, literal: i64, less_than: bool) -> f64 {
+        // MCV part is exact.
+        let mcv_part: f64 = self
+            .mcvs
+            .iter()
+            .filter(|&&(v, _)| if less_than { v < literal } else { v > literal })
+            .map(|&(_, f)| f)
+            .sum();
+
+        // Histogram part.
+        let hist_part = if self.hist_bounds.len() < 2 {
+            // No histogram: fall back to uniform interpolation over [min, max].
+            if self.max == self.min {
+                let sat = if less_than {
+                    self.min < literal
+                } else {
+                    self.min > literal
+                };
+                if sat {
+                    self.hist_frac
+                } else {
+                    0.0
+                }
+            } else {
+                let frac_lt =
+                    ((literal - self.min) as f64 / (self.max - self.min) as f64).clamp(0.0, 1.0);
+                self.hist_frac * if less_than { frac_lt } else { 1.0 - frac_lt }
+            }
+        } else {
+            let bounds = &self.hist_bounds;
+            let buckets = (bounds.len() - 1) as f64;
+            let frac_lt = if literal <= bounds[0] {
+                0.0
+            } else if literal > *bounds.last().expect("non-empty") {
+                1.0
+            } else {
+                // Find the bucket containing the literal.
+                let mut acc = 0.0;
+                for w in 0..bounds.len() - 1 {
+                    let (lo, hi) = (bounds[w], bounds[w + 1]);
+                    if literal > hi {
+                        acc += 1.0;
+                    } else {
+                        let width = (hi - lo).max(1) as f64;
+                        acc += ((literal - lo) as f64 / width).clamp(0.0, 1.0);
+                        break;
+                    }
+                }
+                acc / buckets
+            };
+            self.hist_frac * if less_than { frac_lt } else { 1.0 - frac_lt }
+        };
+
+        (mcv_part + hist_part).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_storage::bitmap::Bitmap;
+
+    fn uniform_col(n: usize, domain: i64) -> Column {
+        Column::new("c", (0..n).map(|i| (i as i64) % domain).collect())
+    }
+
+    #[test]
+    fn basic_stats() {
+        let c = uniform_col(1000, 10);
+        let s = ColumnStats::build(&c, 100);
+        assert_eq!(s.n_rows(), 1000);
+        assert_eq!(s.n_distinct(), 10);
+        assert_eq!(s.min(), 0);
+        assert_eq!(s.max(), 9);
+        assert_eq!(s.null_frac(), 0.0);
+        // Every value repeats 100× → all are MCVs.
+        assert_eq!(s.mcvs().len(), 10);
+    }
+
+    #[test]
+    fn eq_selectivity_exact_via_mcv() {
+        let c = uniform_col(1000, 10);
+        let s = ColumnStats::build(&c, 100);
+        let sel = s.selectivity(CmpOp::Eq, 3);
+        assert!((sel - 0.1).abs() < 1e-9, "sel={sel}");
+        assert_eq!(s.selectivity(CmpOp::Eq, 99), 0.0);
+    }
+
+    #[test]
+    fn eq_selectivity_non_mcv_uses_distinct_share() {
+        // 100 distinct singleton values: no MCVs (count == 1), so eq falls
+        // back to 1/n_distinct.
+        let c = Column::new("c", (0..100).collect());
+        let s = ColumnStats::build(&c, 10);
+        assert!(s.mcvs().is_empty());
+        let sel = s.selectivity(CmpOp::Eq, 50);
+        assert!((sel - 0.01).abs() < 1e-9, "sel={sel}");
+    }
+
+    #[test]
+    fn range_selectivity_uniform() {
+        let c = Column::new("c", (0..1000).collect());
+        let s = ColumnStats::build(&c, 100);
+        let sel = s.selectivity(CmpOp::Lt, 250);
+        assert!((sel - 0.25).abs() < 0.03, "sel={sel}");
+        let sel_gt = s.selectivity(CmpOp::Gt, 250);
+        assert!((sel_gt - 0.75).abs() < 0.03, "sel_gt={sel_gt}");
+        assert_eq!(s.selectivity(CmpOp::Lt, -5), 0.0);
+        assert!((s.selectivity(CmpOp::Gt, -5) - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn range_selectivity_skewed_with_mcvs() {
+        // 900 zeros + values 1..=100.
+        let mut data = vec![0i64; 900];
+        data.extend(1..=100);
+        let c = Column::new("c", data);
+        let s = ColumnStats::build(&c, 50);
+        // P(> 0) = 0.1 exactly; MCV handles the zero mass.
+        let sel = s.selectivity(CmpOp::Gt, 0);
+        assert!((sel - 0.1).abs() < 0.02, "sel={sel}");
+    }
+
+    #[test]
+    fn nulls_reduce_selectivity_mass() {
+        let mut nulls = Bitmap::new(100);
+        for i in 0..50 {
+            nulls.set(i);
+        }
+        let c = Column::with_nulls("c", (0..100).collect(), nulls);
+        let s = ColumnStats::build(&c, 100);
+        assert!((s.null_frac() - 0.5).abs() < 1e-9);
+        // All mass above any literal ≤ total non-null fraction.
+        assert!(s.selectivity(CmpOp::Gt, i64::MIN) <= 0.5 + 1e-9);
+    }
+
+    #[test]
+    fn empty_and_all_null_columns() {
+        let empty = Column::new("c", vec![]);
+        let s = ColumnStats::build(&empty, 100);
+        assert_eq!(s.selectivity(CmpOp::Eq, 1), 0.0);
+
+        let all_null = Column::with_nulls("c", vec![5; 10], Bitmap::all_set(10));
+        let s2 = ColumnStats::build(&all_null, 100);
+        assert_eq!(s2.selectivity(CmpOp::Eq, 5), 0.0);
+        assert_eq!(s2.null_frac(), 1.0);
+    }
+
+    #[test]
+    fn selectivities_are_probabilities() {
+        let c = uniform_col(500, 37);
+        let s = ColumnStats::build(&c, 20);
+        for lit in [-10, 0, 5, 17, 36, 100] {
+            for op in CmpOp::ALL {
+                let sel = s.selectivity(op, lit);
+                assert!((0.0..=1.0).contains(&sel), "{op:?} {lit} → {sel}");
+            }
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Property tests for the PostgreSQL-style statistics: estimated
+//! selectivities must track brute-force counts on arbitrary data.
+
+use proptest::prelude::*;
+
+use ds_est::stats::ColumnStats;
+use ds_storage::column::Column;
+use ds_storage::predicate::CmpOp;
+
+fn brute_selectivity(col: &Column, op: CmpOp, lit: i64) -> f64 {
+    if col.is_empty() {
+        return 0.0;
+    }
+    let hits = (0..col.len())
+        .filter(|&i| col.get(i).is_some_and(|v| op.eval(v, lit)))
+        .count();
+    hits as f64 / col.len() as f64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Equality selectivity on a *full-statistics* column (everything is an
+    /// MCV candidate) matches the exact frequency.
+    #[test]
+    fn eq_selectivity_is_exact_when_mcvs_cover(
+        values in prop::collection::vec(0i64..20, 50..300),
+        probe in 0i64..25,
+    ) {
+        let col = Column::new("c", values);
+        let stats = ColumnStats::build(&col, 100); // 20 distinct ≤ 100 MCVs
+        let est = stats.selectivity(CmpOp::Eq, probe);
+        let exact = brute_selectivity(&col, CmpOp::Eq, probe);
+        // Only repeated values become MCVs; singletons fall back to the
+        // uniform share, so allow a one-row absolute slack.
+        let slack = 1.0 / col.len() as f64 + 1e-9;
+        prop_assert!((est - exact).abs() <= slack, "est={est} exact={exact}");
+    }
+
+    /// Range selectivities are within a few histogram buckets of the truth.
+    #[test]
+    fn range_selectivity_tracks_brute_force(
+        values in prop::collection::vec(-1000i64..1000, 100..500),
+        probe in -1200i64..1200,
+    ) {
+        let col = Column::new("c", values);
+        let stats = ColumnStats::build(&col, 50);
+        for op in [CmpOp::Lt, CmpOp::Gt] {
+            let est = stats.selectivity(op, probe);
+            let exact = brute_selectivity(&col, op, probe);
+            prop_assert!(
+                (est - exact).abs() < 0.15,
+                "{op:?} {probe}: est={est} exact={exact}"
+            );
+        }
+    }
+
+    /// Complementarity: sel(<x) + sel(=x) + sel(>x) ≈ non-null fraction.
+    #[test]
+    fn three_way_split_sums_to_one(
+        values in prop::collection::vec(0i64..100, 50..400),
+        probe in 0i64..100,
+    ) {
+        let col = Column::new("c", values);
+        let stats = ColumnStats::build(&col, 100);
+        let total = stats.selectivity(CmpOp::Lt, probe)
+            + stats.selectivity(CmpOp::Eq, probe)
+            + stats.selectivity(CmpOp::Gt, probe);
+        prop_assert!((total - 1.0).abs() < 0.15, "total={total}");
+    }
+
+    /// Monotonicity of the CDF: sel(< a) ≤ sel(< b) for a ≤ b.
+    #[test]
+    fn lt_selectivity_is_monotone(
+        values in prop::collection::vec(-500i64..500, 50..300),
+        a in -600i64..600,
+        b in -600i64..600,
+    ) {
+        let (a, b) = (a.min(b), a.max(b));
+        let col = Column::new("c", values);
+        let stats = ColumnStats::build(&col, 30);
+        prop_assert!(
+            stats.selectivity(CmpOp::Lt, a) <= stats.selectivity(CmpOp::Lt, b) + 1e-9
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! # ds-nn
+//!
+//! A minimal, dependency-free CPU neural-network library — the substrate
+//! that replaces PyTorch in this reproduction. It provides exactly what the
+//! MSCN model needs:
+//!
+//! * [`tensor::Tensor`] — row-major `f32` matrices with the handful of BLAS
+//!   ops used by training (matmul, transposed matmuls, broadcasts);
+//! * [`linear::Linear`] — fully-connected layers with explicit
+//!   forward/backward and gradient accumulation;
+//! * [`ops`] — activations (ReLU/sigmoid) and the *segment mean* used for
+//!   masked average-pooling over variable-size sets;
+//! * [`optim`] — SGD and Adam;
+//! * [`loss`] — the mean q-error objective of the paper, plus MSE;
+//! * [`serialize`] — a versioned binary codec for model weights.
+//!
+//! Everything is deterministic given a seed, and every backward pass is
+//! validated against finite differences in the test suite.
+
+pub mod linear;
+pub mod loss;
+pub mod ops;
+pub mod optim;
+pub mod regularize;
+pub mod serialize;
+pub mod tensor;
+
+pub use linear::Linear;
+pub use loss::{mse_loss, LabelNormalizer, QErrorLoss};
+pub use optim::{Adam, Sgd};
+pub use regularize::{clip_grad_norm, dropout, dropout_backward, StepLr};
+pub use tensor::Tensor;

@@ -1,0 +1,225 @@
+//! Fully-connected layers with explicit forward/backward passes.
+
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+use crate::tensor::Tensor;
+
+/// A fully-connected layer `y = x·W + b` with gradient accumulation.
+///
+/// `W` has shape (in_dim × out_dim); `b` has length out_dim. Gradients
+/// accumulate across [`Linear::backward`] calls until [`Linear::zero_grad`]
+/// (the optimizer does this after each step), which lets several set-module
+/// applications share one weight matrix — the weight sharing at the heart of
+/// the MSCN set modules.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    w: Tensor,
+    b: Vec<f32>,
+    grad_w: Tensor,
+    grad_b: Vec<f32>,
+}
+
+impl Linear {
+    /// Creates a layer with Xavier/Glorot-uniform weights, deterministic in
+    /// `seed`.
+    pub fn new(in_dim: usize, out_dim: usize, seed: u64) -> Self {
+        assert!(in_dim > 0 && out_dim > 0, "degenerate layer shape");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bound = (6.0 / (in_dim + out_dim) as f32).sqrt();
+        let data = (0..in_dim * out_dim)
+            .map(|_| rng.random_range(-bound..bound))
+            .collect();
+        Self {
+            w: Tensor::from_vec(in_dim, out_dim, data),
+            b: vec![0.0; out_dim],
+            grad_w: Tensor::zeros(in_dim, out_dim),
+            grad_b: vec![0.0; out_dim],
+        }
+    }
+
+    /// Rebuilds a layer from raw parameters (deserialization).
+    ///
+    /// # Panics
+    /// Panics if `b.len()` differs from `w.cols()`.
+    pub fn from_params(w: Tensor, b: Vec<f32>) -> Self {
+        assert_eq!(b.len(), w.cols(), "bias length mismatch");
+        let grad_w = Tensor::zeros(w.rows(), w.cols());
+        let grad_b = vec![0.0; b.len()];
+        Self {
+            w,
+            b,
+            grad_w,
+            grad_b,
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// Weight matrix.
+    pub fn weights(&self) -> &Tensor {
+        &self.w
+    }
+
+    /// Bias vector.
+    pub fn bias(&self) -> &[f32] {
+        &self.b
+    }
+
+    /// Forward pass: `x` (batch × in_dim) → (batch × out_dim).
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let mut y = x.matmul(&self.w);
+        y.add_row_broadcast(&self.b);
+        y
+    }
+
+    /// Backward pass. `x` must be the input of the matching forward call and
+    /// `grad_out` the gradient w.r.t. its output. Accumulates `∂L/∂W` and
+    /// `∂L/∂b`, returns `∂L/∂x`.
+    pub fn backward(&mut self, x: &Tensor, grad_out: &Tensor) -> Tensor {
+        assert_eq!(grad_out.rows(), x.rows(), "batch mismatch");
+        assert_eq!(grad_out.cols(), self.out_dim(), "grad width mismatch");
+        // ∂L/∂W = xᵀ · grad_out
+        let gw = x.t_matmul(grad_out);
+        for (a, b) in self.grad_w.data_mut().iter_mut().zip(gw.data()) {
+            *a += b;
+        }
+        // ∂L/∂b = column sums of grad_out
+        for (a, b) in self.grad_b.iter_mut().zip(grad_out.col_sums()) {
+            *a += b;
+        }
+        // ∂L/∂x = grad_out · Wᵀ
+        grad_out.matmul_t(&self.w)
+    }
+
+    /// Scales all accumulated gradients by `factor` (gradient clipping).
+    pub fn scale_gradients(&mut self, factor: f32) {
+        for g in self.grad_w.data_mut() {
+            *g *= factor;
+        }
+        for g in &mut self.grad_b {
+            *g *= factor;
+        }
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.grad_w.data_mut().fill(0.0);
+        self.grad_b.fill(0.0);
+    }
+
+    /// Number of scalar parameters.
+    pub fn num_params(&self) -> usize {
+        self.w.data().len() + self.b.len()
+    }
+
+    /// Visits every (flat index, parameter, accumulated gradient) pair —
+    /// weights first, then bias. This is the optimizer's interface.
+    pub fn for_each_param_mut(&mut self, mut f: impl FnMut(usize, &mut f32, f32)) {
+        let nw = self.w.data().len();
+        for (i, (p, &g)) in self
+            .w
+            .data_mut()
+            .iter_mut()
+            .zip(self.grad_w.data())
+            .enumerate()
+        {
+            f(i, p, g);
+        }
+        for (i, (p, &g)) in self.b.iter_mut().zip(self.grad_b.iter()).enumerate() {
+            f(nw + i, p, g);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Finite-difference gradient check for a scalar loss L = sum(forward(x)).
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut layer = Linear::new(4, 3, 42);
+        let x = Tensor::from_vec(2, 4, (0..8).map(|i| i as f32 * 0.3 - 1.0).collect());
+        let y = layer.forward(&x);
+        // L = sum(y) → grad_out = ones.
+        let grad_out = Tensor::from_vec(2, 3, vec![1.0; 6]);
+        let grad_x = layer.backward(&x, &grad_out);
+
+        let eps = 1e-3_f32;
+        let loss = |l: &Linear, x: &Tensor| -> f32 { l.forward(x).data().iter().sum() };
+
+        // Check ∂L/∂x numerically.
+        for i in 0..x.data().len() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let num = (loss(&layer, &xp) - loss(&layer, &xm)) / (2.0 * eps);
+            let ana = grad_x.data()[i];
+            assert!((num - ana).abs() < 1e-2, "dx[{i}]: num={num} ana={ana}");
+        }
+
+        // Check ∂L/∂W numerically.
+        for i in 0..layer.w.data().len() {
+            let mut lp = layer.clone();
+            lp.w.data_mut()[i] += eps;
+            let mut lm = layer.clone();
+            lm.w.data_mut()[i] -= eps;
+            let num = (loss(&lp, &x) - loss(&lm, &x)) / (2.0 * eps);
+            let ana = layer.grad_w.data()[i];
+            assert!((num - ana).abs() < 1e-2, "dW[{i}]: num={num} ana={ana}");
+        }
+
+        // Check ∂L/∂b numerically: each bias sees the batch count.
+        for (i, &g) in layer.grad_b.iter().enumerate() {
+            assert!((g - 2.0).abs() < 1e-6, "db[{i}]={g}");
+        }
+
+        let _ = y;
+    }
+
+    #[test]
+    fn gradient_accumulates_until_zeroed() {
+        let mut layer = Linear::new(2, 2, 1);
+        let x = Tensor::from_vec(1, 2, vec![1.0, 2.0]);
+        let g = Tensor::from_vec(1, 2, vec![1.0, 1.0]);
+        layer.backward(&x, &g);
+        let first = layer.grad_w.data().to_vec();
+        layer.backward(&x, &g);
+        for (a, b) in layer.grad_w.data().iter().zip(&first) {
+            assert!((a - 2.0 * b).abs() < 1e-6);
+        }
+        layer.zero_grad();
+        assert!(layer.grad_w.data().iter().all(|&v| v == 0.0));
+        assert!(layer.grad_b.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn xavier_init_is_bounded_and_seeded() {
+        let a = Linear::new(10, 10, 7);
+        let b = Linear::new(10, 10, 7);
+        assert_eq!(a.weights(), b.weights());
+        let c = Linear::new(10, 10, 8);
+        assert_ne!(a.weights(), c.weights());
+        let bound = (6.0_f32 / 20.0).sqrt();
+        assert!(a.weights().data().iter().all(|v| v.abs() <= bound));
+        assert!(a.bias().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn from_params_roundtrip() {
+        let l = Linear::new(3, 2, 9);
+        let l2 = Linear::from_params(l.weights().clone(), l.bias().to_vec());
+        let x = Tensor::from_vec(1, 3, vec![0.5, -1.0, 2.0]);
+        assert_eq!(l.forward(&x), l2.forward(&x));
+        assert_eq!(l2.num_params(), 8);
+    }
+}

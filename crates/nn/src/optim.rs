@@ -1,0 +1,182 @@
+//! Optimizers: plain SGD and Adam (Kingma & Ba, 2015). MSCN trains with
+//! Adam at learning rate 1e-3; SGD exists for ablations and tests.
+
+use std::collections::HashMap;
+
+use crate::linear::Linear;
+
+/// Stochastic gradient descent: `p ← p - lr · g`.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+}
+
+impl Sgd {
+    /// Creates SGD with the given learning rate.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0 && lr.is_finite(), "bad learning rate");
+        Self { lr }
+    }
+
+    /// Applies one update to `layer` and clears its gradients.
+    pub fn step(&mut self, layer: &mut Linear) {
+        let lr = self.lr;
+        layer.for_each_param_mut(|_, p, g| *p -= lr * g);
+        layer.zero_grad();
+    }
+}
+
+/// Per-layer Adam state.
+#[derive(Debug, Clone)]
+struct AdamState {
+    m: Vec<f32>,
+    v: Vec<f32>,
+    t: u64,
+}
+
+/// Adam optimizer. Layers are identified by a caller-chosen id so one
+/// optimizer instance can drive a whole model.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    states: HashMap<usize, AdamState>,
+}
+
+impl Adam {
+    /// Creates Adam with standard hyper-parameters (β₁=0.9, β₂=0.999,
+    /// ε=1e-8).
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0 && lr.is_finite(), "bad learning rate");
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            states: HashMap::new(),
+        }
+    }
+
+    /// Learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Updates the learning rate (for schedules). Momentum state is kept.
+    pub fn set_lr(&mut self, lr: f32) {
+        assert!(lr > 0.0 && lr.is_finite(), "bad learning rate");
+        self.lr = lr;
+    }
+
+    /// Applies one Adam update to `layer` (identified by `id`) and clears
+    /// its gradients.
+    ///
+    /// # Panics
+    /// Panics if the same `id` is reused for a layer of a different size.
+    pub fn step(&mut self, id: usize, layer: &mut Linear) {
+        let n = layer.num_params();
+        let state = self.states.entry(id).or_insert_with(|| AdamState {
+            m: vec![0.0; n],
+            v: vec![0.0; n],
+            t: 0,
+        });
+        assert_eq!(state.m.len(), n, "layer id {id} reused with different shape");
+        state.t += 1;
+        let t = state.t as f32;
+        let (b1, b2, eps, lr) = (self.beta1, self.beta2, self.eps, self.lr);
+        let bc1 = 1.0 - b1.powf(t);
+        let bc2 = 1.0 - b2.powf(t);
+        let (m, v) = (&mut state.m, &mut state.v);
+        layer.for_each_param_mut(|i, p, g| {
+            m[i] = b1 * m[i] + (1.0 - b1) * g;
+            v[i] = b2 * v[i] + (1.0 - b2) * g * g;
+            let mhat = m[i] / bc1;
+            let vhat = v[i] / bc2;
+            *p -= lr * mhat / (vhat.sqrt() + eps);
+        });
+        layer.zero_grad();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Tensor;
+
+    /// Trains y = 2x + 1 with a single linear layer.
+    fn fit(optimizer: &mut dyn FnMut(&mut Linear), steps: usize) -> f32 {
+        let mut layer = Linear::new(1, 1, 3);
+        let xs: Vec<f32> = (0..16).map(|i| i as f32 / 8.0 - 1.0).collect();
+        let mut last_loss = f32::MAX;
+        for _ in 0..steps {
+            let x = Tensor::from_vec(16, 1, xs.clone());
+            let y = layer.forward(&x);
+            // L = mean((y - (2x+1))²)
+            let mut grad = Tensor::zeros(16, 1);
+            let mut loss = 0.0;
+            for (i, (&xi, &yi)) in xs.iter().zip(y.data()).enumerate() {
+                let target = 2.0 * xi + 1.0;
+                let diff = yi - target;
+                loss += diff * diff / 16.0;
+                grad.data_mut()[i] = 2.0 * diff / 16.0;
+            }
+            layer.backward(&x, &grad);
+            optimizer(&mut layer);
+            last_loss = loss;
+        }
+        last_loss
+    }
+
+    #[test]
+    fn sgd_converges_on_linear_regression() {
+        let mut sgd = Sgd::new(0.5);
+        let loss = fit(&mut |l| sgd.step(l), 200);
+        assert!(loss < 1e-4, "loss={loss}");
+    }
+
+    #[test]
+    fn adam_converges_on_linear_regression() {
+        let mut adam = Adam::new(0.05);
+        let loss = fit(&mut |l| adam.step(0, l), 300);
+        assert!(loss < 1e-4, "loss={loss}");
+    }
+
+    #[test]
+    fn adam_state_is_per_layer() {
+        let mut adam = Adam::new(0.01);
+        let mut l1 = Linear::new(2, 2, 1);
+        let mut l2 = Linear::new(3, 1, 2);
+        let x1 = Tensor::from_vec(1, 2, vec![1.0, 1.0]);
+        let x2 = Tensor::from_vec(1, 3, vec![1.0, 1.0, 1.0]);
+        l1.backward(&x1, &Tensor::from_vec(1, 2, vec![1.0, 1.0]));
+        l2.backward(&x2, &Tensor::from_vec(1, 1, vec![1.0]));
+        adam.step(0, &mut l1);
+        adam.step(1, &mut l2);
+        assert_eq!(adam.states.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "reused with different shape")]
+    fn adam_rejects_id_reuse_across_shapes() {
+        let mut adam = Adam::new(0.01);
+        let mut l1 = Linear::new(2, 2, 1);
+        let mut l2 = Linear::new(3, 1, 2);
+        adam.step(0, &mut l1);
+        adam.step(0, &mut l2);
+    }
+
+    #[test]
+    fn step_zeroes_gradients() {
+        let mut adam = Adam::new(0.01);
+        let mut l = Linear::new(2, 1, 5);
+        let x = Tensor::from_vec(1, 2, vec![1.0, -1.0]);
+        l.backward(&x, &Tensor::from_vec(1, 1, vec![1.0]));
+        adam.step(0, &mut l);
+        let mut any_grad = false;
+        l.for_each_param_mut(|_, _, g| any_grad |= g != 0.0);
+        assert!(!any_grad);
+    }
+}

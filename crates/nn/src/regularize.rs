@@ -1,0 +1,179 @@
+//! Regularization and training-stability utilities: inverted dropout,
+//! global-norm gradient clipping, and a step learning-rate schedule.
+//!
+//! The reference MSCN trains without these (small model, big data), but a
+//! downstream user fitting sketches to small or noisy databases will reach
+//! for them; they are wired into the training loop as opt-in knobs.
+
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+use crate::linear::Linear;
+use crate::tensor::Tensor;
+
+/// Inverted dropout: zeroes each element with probability `p` and scales
+/// survivors by `1/(1-p)` so the expected activation is unchanged. Returns
+/// the output and the mask for the backward pass. Deterministic in `seed`.
+pub fn dropout(x: &Tensor, p: f32, seed: u64) -> (Tensor, Tensor) {
+    assert!((0.0..1.0).contains(&p), "dropout rate must be in [0, 1)");
+    if p == 0.0 {
+        let mask = Tensor::from_vec(x.rows(), x.cols(), vec![1.0; x.data().len()]);
+        return (x.clone(), mask);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let scale = 1.0 / (1.0 - p);
+    let mut mask = Tensor::zeros(x.rows(), x.cols());
+    let mut out = Tensor::zeros(x.rows(), x.cols());
+    for i in 0..x.data().len() {
+        if rng.random::<f32>() >= p {
+            mask.data_mut()[i] = scale;
+            out.data_mut()[i] = x.data()[i] * scale;
+        }
+    }
+    (out, mask)
+}
+
+/// Backward of [`dropout`]: elementwise product with the saved mask.
+pub fn dropout_backward(mask: &Tensor, grad_out: &Tensor) -> Tensor {
+    assert_eq!(mask.rows(), grad_out.rows());
+    assert_eq!(mask.cols(), grad_out.cols());
+    let data = mask
+        .data()
+        .iter()
+        .zip(grad_out.data())
+        .map(|(&m, &g)| m * g)
+        .collect();
+    Tensor::from_vec(grad_out.rows(), grad_out.cols(), data)
+}
+
+/// Clips the accumulated gradients of the given layers to a global L2 norm
+/// of at most `max_norm`. Returns the pre-clip norm.
+pub fn clip_grad_norm(layers: &mut [&mut Linear], max_norm: f32) -> f32 {
+    assert!(max_norm > 0.0, "max_norm must be positive");
+    let mut sq_sum = 0.0f64;
+    for layer in layers.iter_mut() {
+        layer.for_each_param_mut(|_, _, g| sq_sum += (g as f64) * (g as f64));
+    }
+    let norm = (sq_sum as f32).sqrt();
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        for layer in layers.iter_mut() {
+            layer.scale_gradients(scale);
+        }
+    }
+    norm
+}
+
+/// A step learning-rate schedule: `lr = base · gamma^(epoch / step)`.
+#[derive(Debug, Clone, Copy)]
+pub struct StepLr {
+    base: f32,
+    gamma: f32,
+    step: usize,
+}
+
+impl StepLr {
+    /// Creates a schedule decaying by `gamma` every `step` epochs.
+    ///
+    /// # Panics
+    /// Panics on non-positive parameters.
+    pub fn new(base: f32, gamma: f32, step: usize) -> Self {
+        assert!(base > 0.0 && base.is_finite(), "bad base lr");
+        assert!(gamma > 0.0 && gamma <= 1.0, "gamma must be in (0, 1]");
+        assert!(step > 0, "step must be positive");
+        Self { base, gamma, step }
+    }
+
+    /// Learning rate for `epoch` (0-based).
+    pub fn lr_at(&self, epoch: usize) -> f32 {
+        self.base * self.gamma.powi((epoch / self.step) as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dropout_zero_rate_is_identity() {
+        let x = Tensor::from_vec(2, 2, vec![1.0, -2.0, 3.0, 4.0]);
+        let (y, mask) = dropout(&x, 0.0, 1);
+        assert_eq!(y, x);
+        assert!(mask.data().iter().all(|&m| m == 1.0));
+    }
+
+    #[test]
+    fn dropout_preserves_expectation() {
+        let n = 10_000;
+        let x = Tensor::from_vec(1, n, vec![1.0; n]);
+        let (y, _) = dropout(&x, 0.3, 7);
+        let mean: f32 = y.data().iter().sum::<f32>() / n as f32;
+        assert!((mean - 1.0).abs() < 0.05, "mean={mean}");
+        // Survivors are scaled by 1/(1-p).
+        let survivors: Vec<f32> = y.data().iter().copied().filter(|&v| v != 0.0).collect();
+        assert!(survivors.iter().all(|&v| (v - 1.0 / 0.7).abs() < 1e-6));
+    }
+
+    #[test]
+    fn dropout_is_deterministic_in_seed() {
+        let x = Tensor::from_vec(1, 100, vec![2.0; 100]);
+        let (a, _) = dropout(&x, 0.5, 3);
+        let (b, _) = dropout(&x, 0.5, 3);
+        let (c, _) = dropout(&x, 0.5, 4);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn dropout_backward_masks_gradient() {
+        let x = Tensor::from_vec(1, 50, vec![1.0; 50]);
+        let (_, mask) = dropout(&x, 0.4, 9);
+        let g = Tensor::from_vec(1, 50, vec![1.0; 50]);
+        let gx = dropout_backward(&mask, &g);
+        for (m, gi) in mask.data().iter().zip(gx.data()) {
+            assert_eq!(*gi, *m);
+        }
+    }
+
+    #[test]
+    fn clip_grad_norm_scales_large_gradients() {
+        let mut l = Linear::new(2, 2, 1);
+        let x = Tensor::from_vec(1, 2, vec![10.0, 10.0]);
+        let g = Tensor::from_vec(1, 2, vec![10.0, 10.0]);
+        l.backward(&x, &g);
+        let pre = clip_grad_norm(&mut [&mut l], 1.0);
+        assert!(pre > 1.0);
+        let mut sq = 0.0f32;
+        l.for_each_param_mut(|_, _, g| sq += g * g);
+        assert!((sq.sqrt() - 1.0).abs() < 1e-4, "post-norm {}", sq.sqrt());
+    }
+
+    #[test]
+    fn clip_grad_norm_leaves_small_gradients_alone() {
+        let mut l = Linear::new(2, 1, 2);
+        let x = Tensor::from_vec(1, 2, vec![0.01, 0.01]);
+        let g = Tensor::from_vec(1, 1, vec![0.01]);
+        l.backward(&x, &g);
+        let mut before = Vec::new();
+        l.for_each_param_mut(|_, _, g| before.push(g));
+        let pre = clip_grad_norm(&mut [&mut l], 1.0);
+        assert!(pre < 1.0);
+        let mut after = Vec::new();
+        l.for_each_param_mut(|_, _, g| after.push(g));
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn step_lr_decays_in_steps() {
+        let s = StepLr::new(1e-3, 0.5, 10);
+        assert_eq!(s.lr_at(0), 1e-3);
+        assert_eq!(s.lr_at(9), 1e-3);
+        assert!((s.lr_at(10) - 5e-4).abs() < 1e-10);
+        assert!((s.lr_at(25) - 2.5e-4).abs() < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "dropout rate")]
+    fn dropout_rejects_bad_rate() {
+        dropout(&Tensor::zeros(1, 1), 1.0, 0);
+    }
+}

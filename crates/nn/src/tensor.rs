@@ -1,0 +1,391 @@
+//! Row-major `f32` matrices and the linear-algebra kernels used in training.
+
+/// A dense row-major matrix of `f32`. A "vector" is a 1×n or n×1 tensor.
+///
+/// ```
+/// use ds_nn::tensor::Tensor;
+/// let a = Tensor::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+/// let b = Tensor::from_vec(3, 1, vec![1., 0., 1.]);
+/// assert_eq!(a.matmul(&b).data(), &[4., 10.]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// All-zero tensor.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Builds a tensor from row-major data.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape/data mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Raw row-major data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable raw data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element setter.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// `self · other` — (m×k)·(k×n) = m×n, cache-friendly ikj loop.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let mut out = Tensor::zeros(m, n);
+        for i in 0..m {
+            let a_row = self.row(i);
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            for (p, &a) in a_row.iter().enumerate().take(k) {
+                if a == 0.0 {
+                    continue; // one-hot/bitmap features are mostly zero
+                }
+                let b_row = &other.data[p * n..(p + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ · other` — (m×k)ᵀ·(m×n) = k×n. Used for weight gradients.
+    pub fn t_matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rows, other.rows, "t_matmul dimension mismatch");
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let mut out = Tensor::zeros(k, n);
+        for i in 0..m {
+            let a_row = self.row(i);
+            let b_row = other.row(i);
+            for (p, &a) in a_row.iter().enumerate().take(k) {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[p * n..(p + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self · otherᵀ` — (m×k)·(n×k)ᵀ = m×n. Used for input gradients.
+    pub fn matmul_t(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.cols, other.cols, "matmul_t dimension mismatch");
+        let (m, k, n) = (self.rows, self.cols, other.rows);
+        let mut out = Tensor::zeros(m, n);
+        for i in 0..m {
+            let a_row = self.row(i);
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let b_row = &other.data[j * k..(j + 1) * k];
+                let mut acc = 0.0;
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                *o = acc;
+            }
+        }
+        out
+    }
+
+    /// Adds `vec` (length = cols) to every row — bias broadcast.
+    pub fn add_row_broadcast(&mut self, vec: &[f32]) {
+        assert_eq!(vec.len(), self.cols, "broadcast length mismatch");
+        for r in 0..self.rows {
+            for (o, &v) in self.row_mut(r).iter_mut().zip(vec) {
+                *o += v;
+            }
+        }
+    }
+
+    /// Column sums — gradient of a bias broadcast.
+    pub fn col_sums(&self) -> Vec<f32> {
+        let mut out = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            for (o, &v) in out.iter_mut().zip(self.row(r)) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Explicit transpose (rows ↔ cols).
+    pub fn transpose(&self) -> Tensor {
+        let mut out = Tensor::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.set(c, r, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// Elementwise scaling in place.
+    pub fn scale(&mut self, factor: f32) {
+        for v in &mut self.data {
+            *v *= factor;
+        }
+    }
+
+    /// Elementwise addition: `self += other`.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.rows, other.rows, "add_assign shape mismatch");
+        assert_eq!(self.cols, other.cols, "add_assign shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// A new tensor with `f` applied to every element.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|&v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Concatenates tensors horizontally (same row count).
+    pub fn concat_cols(parts: &[&Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "concat of nothing");
+        let rows = parts[0].rows;
+        assert!(
+            parts.iter().all(|p| p.rows == rows),
+            "row count mismatch in concat"
+        );
+        let cols: usize = parts.iter().map(|p| p.cols).sum();
+        let mut out = Tensor::zeros(rows, cols);
+        for r in 0..rows {
+            let mut off = 0;
+            for p in parts {
+                out.row_mut(r)[off..off + p.cols].copy_from_slice(p.row(r));
+                off += p.cols;
+            }
+        }
+        out
+    }
+
+    /// Splits a tensor into horizontal blocks of the given widths — the
+    /// backward of [`Tensor::concat_cols`].
+    pub fn split_cols(&self, widths: &[usize]) -> Vec<Tensor> {
+        assert_eq!(widths.iter().sum::<usize>(), self.cols, "split widths");
+        let mut out = Vec::with_capacity(widths.len());
+        let mut off = 0;
+        for &w in widths {
+            let mut t = Tensor::zeros(self.rows, w);
+            for r in 0..self.rows {
+                t.row_mut(r).copy_from_slice(&self.row(r)[off..off + w]);
+            }
+            out.push(t);
+            off += w;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(rows: usize, cols: usize, v: &[f32]) -> Tensor {
+        Tensor::from_vec(rows, cols, v.to_vec())
+    }
+
+    #[test]
+    fn matmul_small_known() {
+        let a = t(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        let b = t(3, 2, &[7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_skips_zero_rows_correctly() {
+        let a = t(1, 3, &[0., 2., 0.]);
+        let b = t(3, 2, &[1., 2., 3., 4., 5., 6.]);
+        assert_eq!(a.matmul(&b).data(), &[6., 8.]);
+    }
+
+    #[test]
+    fn t_matmul_matches_explicit_transpose() {
+        let a = t(3, 2, &[1., 2., 3., 4., 5., 6.]);
+        let b = t(3, 2, &[1., 0., 0., 1., 1., 1.]);
+        // aᵀ·b where aᵀ is 2×3.
+        let c = a.t_matmul(&b);
+        assert_eq!(c.rows(), 2);
+        assert_eq!(c.cols(), 2);
+        // aᵀ = [[1,3,5],[2,4,6]]; aᵀ·b = [[1+0+5, 0+3+5],[2+0+6, 0+4+6]]
+        assert_eq!(c.data(), &[6., 8., 8., 10.]);
+    }
+
+    #[test]
+    fn matmul_t_matches_explicit_transpose() {
+        let a = t(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        let b = t(2, 3, &[1., 1., 1., 2., 0., 1.]);
+        // a·bᵀ: 2×2
+        let c = a.matmul_t(&b);
+        assert_eq!(c.data(), &[6., 5., 15., 14.]);
+    }
+
+    #[test]
+    fn transposed_products_agree_with_plain_matmul() {
+        // Random-ish data: verify t_matmul(a, b) == transpose(a) · b.
+        let a = t(4, 3, &(0..12).map(|i| (i as f32) * 0.5 - 2.0).collect::<Vec<_>>());
+        let b = t(4, 2, &(0..8).map(|i| (i as f32) * 0.25 + 1.0).collect::<Vec<_>>());
+        let mut at = Tensor::zeros(3, 4);
+        for r in 0..4 {
+            for c in 0..3 {
+                at.set(c, r, a.get(r, c));
+            }
+        }
+        assert_eq!(a.t_matmul(&b), at.matmul(&b));
+
+        let mut bt = Tensor::zeros(2, 4);
+        for r in 0..4 {
+            for c in 0..2 {
+                bt.set(c, r, b.get(r, c));
+            }
+        }
+        // a is 4×3; matmul_t needs matching cols: use (4×3)·(2×3)ᵀ
+        let b2 = t(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        let mut b2t = Tensor::zeros(3, 2);
+        for r in 0..2 {
+            for c in 0..3 {
+                b2t.set(c, r, b2.get(r, c));
+            }
+        }
+        assert_eq!(a.matmul_t(&b2), a.matmul(&b2t));
+    }
+
+    #[test]
+    fn broadcast_and_col_sums_are_inverse_shapes() {
+        let mut a = Tensor::zeros(3, 2);
+        a.add_row_broadcast(&[1.0, -2.0]);
+        assert_eq!(a.data(), &[1., -2., 1., -2., 1., -2.]);
+        assert_eq!(a.col_sums(), vec![3.0, -6.0]);
+    }
+
+    #[test]
+    fn concat_split_roundtrip() {
+        let a = t(2, 2, &[1., 2., 3., 4.]);
+        let b = t(2, 1, &[9., 8.]);
+        let c = Tensor::concat_cols(&[&a, &b]);
+        assert_eq!(c.cols(), 3);
+        assert_eq!(c.row(0), &[1., 2., 9.]);
+        let parts = c.split_cols(&[2, 1]);
+        assert_eq!(parts[0], a);
+        assert_eq!(parts[1], b);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn matmul_shape_mismatch_panics() {
+        t(2, 3, &[0.; 6]).matmul(&t(2, 2, &[0.; 4]));
+    }
+
+    #[test]
+    fn transpose_involution_and_matmul_identity() {
+        let a = t(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        let at = a.transpose();
+        assert_eq!(at.rows(), 3);
+        assert_eq!(at.get(0, 1), 4.0);
+        assert_eq!(at.transpose(), a);
+        // a·b == (bᵀ·aᵀ)ᵀ
+        let b = t(3, 2, &[7., 8., 9., 10., 11., 12.]);
+        let lhs = a.matmul(&b);
+        let rhs = b.transpose().matmul(&a.transpose()).transpose();
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn scale_add_map_norm() {
+        let mut a = t(1, 3, &[1., -2., 2.]);
+        a.scale(2.0);
+        assert_eq!(a.data(), &[2., -4., 4.]);
+        a.add_assign(&t(1, 3, &[1., 1., 1.]));
+        assert_eq!(a.data(), &[3., -3., 5.]);
+        let abs = a.map(f32::abs);
+        assert_eq!(abs.data(), &[3., 3., 5.]);
+        assert!((t(1, 2, &[3., 4.]).frobenius_norm() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "add_assign shape mismatch")]
+    fn add_assign_rejects_mismatch() {
+        let mut a = Tensor::zeros(1, 2);
+        a.add_assign(&Tensor::zeros(2, 1));
+    }
+
+    #[test]
+    fn row_accessors() {
+        let mut a = t(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        assert_eq!(a.row(1), &[4., 5., 6.]);
+        a.row_mut(0)[2] = 9.;
+        assert_eq!(a.get(0, 2), 9.);
+    }
+}

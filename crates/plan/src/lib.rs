@@ -1,0 +1,27 @@
+//! # ds-plan
+//!
+//! Join-order optimization substrate, built to answer the question the
+//! paper raises and defers: *"Estimates of intermediate query result sizes
+//! are the core ingredient to cost-based query optimizers … the estimates
+//! produced by Deep Sketches can directly be leveraged by existing,
+//! sophisticated join enumeration algorithms and cost models."*
+//!
+//! This crate provides exactly those two ingredients —
+//!
+//! * [`plan::JoinPlan`] — binary join trees over a query's tables;
+//! * [`dp::Optimizer`] — dynamic programming over *connected* table
+//!   subsets (bitmask DP, csg-cmp style) minimizing the classic `C_out`
+//!   cost: the sum of intermediate result cardinalities;
+//!
+//! — parameterized by any [`ds_est::CardinalityEstimator`], plus
+//! [`quality`] to quantify the *regret* of optimizing with estimated
+//! instead of true cardinalities. Experiment E10 uses this to show that
+//! the Deep Sketch's better estimates translate into better join orders.
+
+pub mod dp;
+pub mod plan;
+pub mod quality;
+
+pub use dp::Optimizer;
+pub use plan::JoinPlan;
+pub use quality::{plan_regret, workload_regret, RegretReport};

@@ -1,0 +1,99 @@
+//! Binary join plans.
+
+use ds_storage::catalog::{Database, TableId};
+
+/// A binary join tree over a subset of a query's tables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JoinPlan {
+    /// A base-table scan.
+    Leaf(TableId),
+    /// A join of two sub-plans.
+    Join(Box<JoinPlan>, Box<JoinPlan>),
+}
+
+impl JoinPlan {
+    /// All tables in the plan, left-to-right.
+    pub fn tables(&self) -> Vec<TableId> {
+        let mut out = Vec::new();
+        self.collect_tables(&mut out);
+        out
+    }
+
+    fn collect_tables(&self, out: &mut Vec<TableId>) {
+        match self {
+            JoinPlan::Leaf(t) => out.push(*t),
+            JoinPlan::Join(l, r) => {
+                l.collect_tables(out);
+                r.collect_tables(out);
+            }
+        }
+    }
+
+    /// Number of joins (internal nodes).
+    pub fn num_joins(&self) -> usize {
+        match self {
+            JoinPlan::Leaf(_) => 0,
+            JoinPlan::Join(l, r) => 1 + l.num_joins() + r.num_joins(),
+        }
+    }
+
+    /// Visits every internal node's table set (the intermediate results),
+    /// bottom-up.
+    pub fn for_each_intermediate(&self, f: &mut impl FnMut(&[TableId])) {
+        if let JoinPlan::Join(l, r) = self {
+            l.for_each_intermediate(f);
+            r.for_each_intermediate(f);
+            let tables = self.tables();
+            f(&tables);
+        }
+    }
+
+    /// Renders like `((title ⋈ movie_keyword) ⋈ cast_info)`.
+    pub fn display(&self, db: &Database) -> String {
+        match self {
+            JoinPlan::Leaf(t) => db.table(*t).name().to_string(),
+            JoinPlan::Join(l, r) => {
+                format!("({} ⋈ {})", l.display(db), r.display(db))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_storage::gen::{imdb_database, ImdbConfig};
+
+    fn leaf(i: usize) -> JoinPlan {
+        JoinPlan::Leaf(TableId(i))
+    }
+
+    fn join(l: JoinPlan, r: JoinPlan) -> JoinPlan {
+        JoinPlan::Join(Box::new(l), Box::new(r))
+    }
+
+    #[test]
+    fn tables_and_join_counts() {
+        let p = join(join(leaf(0), leaf(5)), leaf(2));
+        assert_eq!(p.tables(), vec![TableId(0), TableId(5), TableId(2)]);
+        assert_eq!(p.num_joins(), 2);
+        assert_eq!(leaf(1).num_joins(), 0);
+    }
+
+    #[test]
+    fn intermediates_are_visited_bottom_up() {
+        let p = join(join(leaf(0), leaf(1)), leaf(2));
+        let mut seen = Vec::new();
+        p.for_each_intermediate(&mut |tables| seen.push(tables.len()));
+        assert_eq!(seen, vec![2, 3]); // inner join first, then the root
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let db = imdb_database(&ImdbConfig::tiny(1));
+        let t = db.table_id("title").unwrap();
+        let mk = db.table_id("movie_keyword").unwrap();
+        let p = join(JoinPlan::Leaf(t), JoinPlan::Leaf(mk));
+        assert_eq!(p.display(&db), "(title ⋈ movie_keyword)");
+    }
+}

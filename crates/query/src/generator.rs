@@ -1,0 +1,310 @@
+//! Uniform training-query generation — step 2 of Figure 1a.
+//!
+//! Following the paper: "generate uniformly distributed training queries on
+//! the specified tables … uniformly choose tables, columns, and predicate
+//! types — draw literals from database". Concretely, per query:
+//!
+//! 1. draw the number of tables uniformly from `1..=max_tables` and sample a
+//!    random connected subtree of the join graph of that size;
+//! 2. draw the number of predicates uniformly from `0..=max_predicates`
+//!    (clamped to the eligible columns available on the chosen tables);
+//! 3. for each predicate pick an eligible column (without replacement), an
+//!    operator uniformly from `{=, <, >}`, and a literal from a uniformly
+//!    random *row* of the column — so literal frequency follows the data
+//!    distribution, as drawing from the database implies.
+
+use rand::{rngs::StdRng, seq::SliceRandom, RngExt, SeedableRng};
+
+use ds_storage::catalog::{ColRef, Database, TableId};
+use ds_storage::predicate::{CmpOp, ColPredicate};
+
+use crate::query::Query;
+use crate::JoinGraph;
+
+/// Configuration for the uniform query generator.
+#[derive(Debug, Clone)]
+pub struct GeneratorConfig {
+    /// Maximum number of tables per query (joins = tables - 1). The paper's
+    /// JOB-light setting uses up to 4 joins, i.e. 5 tables — but training
+    /// uses up to 2 joins (3 tables) in [Kipf et al., CIDR 2019].
+    pub max_tables: usize,
+    /// Maximum number of predicates per query.
+    pub max_predicates: usize,
+    /// Columns eligible for predicates (dimension attributes; join keys and
+    /// surrogate ids are excluded by the caller).
+    pub predicate_columns: Vec<ColRef>,
+    /// Restrict generation to these tables (the demo's "select a subset of
+    /// tables" step). `None` allows the whole schema.
+    pub allowed_tables: Option<Vec<TableId>>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl GeneratorConfig {
+    /// A sensible default over the given eligible columns: up to 3 tables,
+    /// up to 3 predicates.
+    pub fn new(predicate_columns: Vec<ColRef>, seed: u64) -> Self {
+        Self {
+            max_tables: 3,
+            max_predicates: 3,
+            predicate_columns,
+            allowed_tables: None,
+            seed,
+        }
+    }
+}
+
+/// Uniform random query generator over a database's join graph.
+#[derive(Debug)]
+pub struct QueryGenerator<'a> {
+    db: &'a Database,
+    graph: JoinGraph,
+    cfg: GeneratorConfig,
+    rng: StdRng,
+}
+
+impl<'a> QueryGenerator<'a> {
+    /// Creates a generator.
+    ///
+    /// # Panics
+    /// Panics if `max_tables` is 0 or exceeds what the join graph supports,
+    /// or if any predicate column is out of range.
+    pub fn new(db: &'a Database, cfg: GeneratorConfig) -> Self {
+        assert!(cfg.max_tables >= 1, "max_tables must be >= 1");
+        let mut graph = JoinGraph::from_database(db);
+        if let Some(allowed) = &cfg.allowed_tables {
+            assert!(!allowed.is_empty(), "allowed_tables must not be empty");
+            graph = graph.restrict(allowed);
+        }
+        assert!(
+            cfg.max_tables <= graph.max_component_size(),
+            "max_tables {} exceeds largest joinable component {}",
+            cfg.max_tables,
+            graph.max_component_size()
+        );
+        for cr in &cfg.predicate_columns {
+            assert!(cr.table.0 < db.num_tables(), "predicate column table out of range");
+            assert!(
+                cr.col < db.table(cr.table).columns().len(),
+                "predicate column out of range"
+            );
+        }
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        Self {
+            db,
+            graph,
+            cfg,
+            rng,
+        }
+    }
+
+    /// Generates one query.
+    pub fn generate(&mut self) -> Query {
+        loop {
+            let num_tables = self.rng.random_range(1..=self.cfg.max_tables);
+            let Some((tables, joins)) = self.graph.random_subtree(&mut self.rng, num_tables)
+            else {
+                continue; // start node couldn't grow that far; resample
+            };
+            let predicates = self.draw_predicates(&tables);
+            // Predicate-free single-table queries estimate a constant
+            // (the table size); they carry no training signal, so resample.
+            if tables.len() == 1 && predicates.is_empty() {
+                continue;
+            }
+            return Query {
+                tables,
+                joins,
+                predicates,
+            };
+        }
+    }
+
+    /// Generates a batch of `n` queries.
+    pub fn generate_batch(&mut self, n: usize) -> Vec<Query> {
+        (0..n).map(|_| self.generate()).collect()
+    }
+
+    fn draw_predicates(&mut self, tables: &[TableId]) -> Vec<(TableId, ColPredicate)> {
+        let mut eligible: Vec<ColRef> = self
+            .cfg
+            .predicate_columns
+            .iter()
+            .copied()
+            .filter(|cr| tables.contains(&cr.table))
+            .collect();
+        debug_assert!(
+            self.cfg
+                .allowed_tables
+                .as_ref()
+                .is_none_or(|a| tables.iter().all(|t| a.contains(t))),
+            "generated tables escape the restriction"
+        );
+        if eligible.is_empty() {
+            return Vec::new();
+        }
+        eligible.shuffle(&mut self.rng);
+        let max = self.cfg.max_predicates.min(eligible.len());
+        let n = self.rng.random_range(0..=max);
+        let mut out = Vec::with_capacity(n);
+        for cr in eligible.into_iter().take(n) {
+            let op = CmpOp::ALL[self.rng.random_range(0..CmpOp::ALL.len())];
+            let Some(literal) = self.draw_literal(cr) else {
+                continue;
+            };
+            out.push((cr.table, ColPredicate::new(cr.col, op, literal)));
+        }
+        out
+    }
+
+    /// Draws a literal from a uniformly random row of the column, retrying
+    /// a few times on NULLs. Returns `None` for an all-NULL/empty column.
+    fn draw_literal(&mut self, cr: ColRef) -> Option<i64> {
+        let col = self.db.table(cr.table).column(cr.col);
+        if col.is_empty() {
+            return None;
+        }
+        for _ in 0..16 {
+            let row = self.rng.random_range(0..col.len());
+            if let Some(v) = col.get(row) {
+                return Some(v);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_storage::exec::CountExecutor;
+    use ds_storage::gen::{imdb_database, ImdbConfig};
+
+    fn imdb_pred_cols(db: &Database) -> Vec<ColRef> {
+        [
+            "title.kind_id",
+            "title.production_year",
+            "movie_companies.company_id",
+            "movie_companies.company_type_id",
+            "cast_info.person_id",
+            "cast_info.role_id",
+            "movie_info.info_type_id",
+            "movie_info_idx.info_type_id",
+            "movie_keyword.keyword_id",
+        ]
+        .iter()
+        .map(|q| db.resolve(q).unwrap())
+        .collect()
+    }
+
+    #[test]
+    fn generated_queries_are_valid_trees() {
+        let db = imdb_database(&ImdbConfig::tiny(1));
+        let cfg = GeneratorConfig::new(imdb_pred_cols(&db), 99);
+        let mut g = QueryGenerator::new(&db, cfg);
+        for q in g.generate_batch(200) {
+            let exec = q.to_exec();
+            assert_eq!(exec.validate(&db), Ok(()), "invalid query {q:?}");
+            assert!(exec.is_tree());
+            assert!(q.tables.len() <= 3);
+            assert!(q.num_predicates() <= 3);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let db = imdb_database(&ImdbConfig::tiny(1));
+        let a = QueryGenerator::new(&db, GeneratorConfig::new(imdb_pred_cols(&db), 7))
+            .generate_batch(20);
+        let b = QueryGenerator::new(&db, GeneratorConfig::new(imdb_pred_cols(&db), 7))
+            .generate_batch(20);
+        assert_eq!(a, b);
+        let c = QueryGenerator::new(&db, GeneratorConfig::new(imdb_pred_cols(&db), 8))
+            .generate_batch(20);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn operators_are_roughly_uniform() {
+        let db = imdb_database(&ImdbConfig::tiny(2));
+        let mut g = QueryGenerator::new(&db, GeneratorConfig::new(imdb_pred_cols(&db), 5));
+        let mut counts = [0usize; 3];
+        for q in g.generate_batch(600) {
+            for (_, p) in &q.predicates {
+                counts[p.op.index()] += 1;
+            }
+        }
+        let total: usize = counts.iter().sum();
+        assert!(total > 300);
+        for c in counts {
+            let frac = c as f64 / total as f64;
+            assert!((frac - 1.0 / 3.0).abs() < 0.08, "op fraction {frac}");
+        }
+    }
+
+    #[test]
+    fn queries_are_executable_and_literals_from_data() {
+        let db = imdb_database(&ImdbConfig::tiny(3));
+        let mut g = QueryGenerator::new(&db, GeneratorConfig::new(imdb_pred_cols(&db), 21));
+        let exec = CountExecutor::new();
+        let qs = g.generate_batch(50);
+        for q in &qs {
+            exec.count(&db, &q.to_exec()).expect("executable");
+            for (t, p) in &q.predicates {
+                let col = db.table(*t).column(p.col);
+                assert!(
+                    col.data().contains(&p.literal),
+                    "literal {} not present in column {}",
+                    p.literal,
+                    col.name()
+                );
+            }
+        }
+        // Equality predicates on data-drawn literals should frequently be
+        // non-empty single-table selections.
+        let nonzero = qs
+            .iter()
+            .filter(|q| exec.count(&db, &q.to_exec()).unwrap() > 0)
+            .count();
+        assert!(nonzero > qs.len() / 4, "too many empty results: {nonzero}");
+    }
+
+    #[test]
+    fn no_trivial_full_table_queries() {
+        let db = imdb_database(&ImdbConfig::tiny(4));
+        let mut g = QueryGenerator::new(&db, GeneratorConfig::new(imdb_pred_cols(&db), 13));
+        for q in g.generate_batch(300) {
+            assert!(
+                q.tables.len() > 1 || q.num_predicates() > 0,
+                "trivial query generated"
+            );
+        }
+    }
+
+    #[test]
+    fn table_restriction_is_respected() {
+        let db = imdb_database(&ImdbConfig::tiny(6));
+        let title = db.table_id("title").unwrap();
+        let mk = db.table_id("movie_keyword").unwrap();
+        let mut cfg = GeneratorConfig::new(imdb_pred_cols(&db), 33);
+        cfg.allowed_tables = Some(vec![title, mk]);
+        cfg.max_tables = 2;
+        let mut g = QueryGenerator::new(&db, cfg);
+        for q in g.generate_batch(100) {
+            assert!(q.tables.iter().all(|t| *t == title || *t == mk), "{q:?}");
+            // Predicates also stay within the restriction.
+            for (t, _) in &q.predicates {
+                assert!(*t == title || *t == mk);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds largest joinable component")]
+    fn oversized_max_tables_rejected() {
+        let db = imdb_database(&ImdbConfig::tiny(5));
+        let mut cfg = GeneratorConfig::new(vec![], 1);
+        cfg.max_tables = 10;
+        QueryGenerator::new(&db, cfg);
+    }
+}

@@ -1,0 +1,534 @@
+//! A parser for the SQL subset of the paper:
+//!
+//! ```sql
+//! SELECT COUNT(*)
+//! FROM title t, movie_keyword mk
+//! WHERE mk.movie_id = t.id
+//!   AND mk.keyword_id = 117
+//!   AND t.production_year > 2005
+//!   AND t.kind_id = ?
+//! ```
+//!
+//! Supported: `SELECT COUNT(*)`, comma-separated `FROM` list with optional
+//! aliases, conjunctive `WHERE` with column-column equi-joins, column-literal
+//! comparisons (`=`, `<`, `>`), inclusive `BETWEEN a AND b` (desugared to a
+//! `>`/`<` pair over integers), and at most one `?` placeholder (for query
+//! templates). Case-insensitive keywords, negative integer literals.
+
+use std::collections::HashMap;
+
+use ds_storage::catalog::{ColRef, Database, TableId};
+use ds_storage::exec::JoinEdge;
+use ds_storage::predicate::{CmpOp, ColPredicate};
+
+use crate::query::Query;
+
+/// Parse errors with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError(msg.into()))
+}
+
+/// Result of parsing: the query plus the placeholder column, if the SQL
+/// contained a `column op ?` term.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedQuery {
+    /// The parsed query (without the placeholder predicate).
+    pub query: Query,
+    /// Placeholder predicate `(column, operator)` if present.
+    pub placeholder: Option<(ColRef, CmpOp)>,
+}
+
+/// Parses a SQL string into a [`Query`]; rejects placeholders.
+///
+/// ```
+/// use ds_query::parser::parse_query;
+/// use ds_storage::gen::{imdb_database, ImdbConfig};
+/// let db = imdb_database(&ImdbConfig::tiny(1));
+/// let q = parse_query(&db, "SELECT COUNT(*) FROM title t, movie_keyword mk \
+///                           WHERE mk.movie_id = t.id AND t.production_year > 2000").unwrap();
+/// assert_eq!(q.tables.len(), 2);
+/// assert_eq!(q.num_joins(), 1);
+/// assert_eq!(q.num_predicates(), 1);
+/// ```
+pub fn parse_query(db: &Database, sql: &str) -> Result<Query, ParseError> {
+    let parsed = parse(db, sql)?;
+    if parsed.placeholder.is_some() {
+        return err("placeholder '?' not allowed here; use parse() for templates");
+    }
+    Ok(parsed.query)
+}
+
+/// Parses a SQL string, allowing one `?` placeholder (query templates).
+pub fn parse(db: &Database, sql: &str) -> Result<ParsedQuery, ParseError> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        db,
+    };
+    p.parse_statement()
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Token {
+    Word(String),   // identifiers and keywords (lowercased)
+    Number(i64),    // integer literal
+    Symbol(char),   // ( ) , = < > . * ?
+}
+
+fn tokenize(sql: &str) -> Result<Vec<Token>, ParseError> {
+    let mut out = Vec::new();
+    let mut chars = sql.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '(' | ')' | ',' | '=' | '<' | '>' | '*' | '?' | ';' => {
+                chars.next();
+                if c != ';' {
+                    out.push(Token::Symbol(c));
+                }
+            }
+            '-' | '0'..='9' => {
+                let neg = c == '-';
+                if neg {
+                    chars.next();
+                }
+                let mut n: i64 = 0;
+                let mut any = false;
+                while let Some(&d) = chars.peek() {
+                    if let Some(digit) = d.to_digit(10) {
+                        n = n
+                            .checked_mul(10)
+                            .and_then(|x| x.checked_add(digit as i64))
+                            .ok_or_else(|| ParseError("integer literal overflow".into()))?;
+                        chars.next();
+                        any = true;
+                    } else {
+                        break;
+                    }
+                }
+                if !any {
+                    return err("'-' must start an integer literal");
+                }
+                out.push(Token::Number(if neg { -n } else { n }));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut w = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_alphanumeric() || d == '_' {
+                        w.push(d.to_ascii_lowercase());
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token::Word(w));
+            }
+            '.' => {
+                chars.next();
+                out.push(Token::Symbol('.'));
+            }
+            other => return err(format!("unexpected character '{other}'")),
+        }
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    tokens: Vec<Token>,
+    pos: usize,
+    db: &'a Database,
+}
+
+/// A `table_or_alias.column` reference before resolution.
+#[derive(Debug, Clone)]
+struct RawCol {
+    qualifier: String,
+    column: String,
+}
+
+#[derive(Debug, Clone)]
+enum Term {
+    Join(RawCol, RawCol),
+    Pred(RawCol, CmpOp, i64),
+    Placeholder(RawCol, CmpOp),
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_word(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.next() {
+            Some(Token::Word(w)) if w == kw => Ok(()),
+            other => err(format!("expected '{kw}', found {other:?}")),
+        }
+    }
+
+    fn expect_symbol(&mut self, s: char) -> Result<(), ParseError> {
+        match self.next() {
+            Some(Token::Symbol(c)) if c == s => Ok(()),
+            other => err(format!("expected '{s}', found {other:?}")),
+        }
+    }
+
+    fn parse_statement(&mut self) -> Result<ParsedQuery, ParseError> {
+        self.expect_word("select")?;
+        self.expect_word("count")?;
+        self.expect_symbol('(')?;
+        self.expect_symbol('*')?;
+        self.expect_symbol(')')?;
+        self.expect_word("from")?;
+
+        // FROM list with optional aliases.
+        let mut aliases: HashMap<String, TableId> = HashMap::new();
+        let mut tables: Vec<TableId> = Vec::new();
+        loop {
+            let name = match self.next() {
+                Some(Token::Word(w)) => w,
+                other => return err(format!("expected table name, found {other:?}")),
+            };
+            let tid = self
+                .db
+                .table_id(&name)
+                .ok_or_else(|| ParseError(format!("unknown table '{name}'")))?;
+            if tables.contains(&tid) {
+                return err(format!("table '{name}' listed twice"));
+            }
+            tables.push(tid);
+            aliases.insert(name.clone(), tid);
+            // Optional alias: a word that is not WHERE.
+            if let Some(Token::Word(w)) = self.peek() {
+                if w != "where" {
+                    let alias = w.clone();
+                    self.next();
+                    if aliases.insert(alias.clone(), tid).is_some_and(|old| old != tid) {
+                        return err(format!("alias '{alias}' is ambiguous"));
+                    }
+                }
+            }
+            match self.peek() {
+                Some(Token::Symbol(',')) => {
+                    self.next();
+                }
+                _ => break,
+            }
+        }
+
+        // Optional WHERE with AND-separated terms.
+        let mut terms = Vec::new();
+        if let Some(Token::Word(w)) = self.peek() {
+            if w == "where" {
+                self.next();
+                loop {
+                    terms.extend(self.parse_term()?);
+                    match self.peek() {
+                        Some(Token::Word(w)) if w == "and" => {
+                            self.next();
+                        }
+                        _ => break,
+                    }
+                }
+            }
+        }
+        if self.pos != self.tokens.len() {
+            return err(format!("trailing tokens at {:?}", self.peek()));
+        }
+
+        self.assemble(tables, aliases, terms)
+    }
+
+    fn parse_term(&mut self) -> Result<Vec<Term>, ParseError> {
+        let lhs = self.parse_rawcol()?;
+        // Inclusive BETWEEN desugars to an exclusive >/< pair (integers).
+        if matches!(self.peek(), Some(Token::Word(w)) if w == "between") {
+            self.next();
+            let lo = self.expect_number()?;
+            self.expect_word("and")?;
+            let hi = self.expect_number()?;
+            if lo > hi {
+                return err(format!("empty BETWEEN range {lo}..{hi}"));
+            }
+            let lo_excl = lo
+                .checked_sub(1)
+                .ok_or_else(|| ParseError("BETWEEN lower bound overflow".into()))?;
+            let hi_excl = hi
+                .checked_add(1)
+                .ok_or_else(|| ParseError("BETWEEN upper bound overflow".into()))?;
+            return Ok(vec![
+                Term::Pred(lhs.clone(), CmpOp::Gt, lo_excl),
+                Term::Pred(lhs, CmpOp::Lt, hi_excl),
+            ]);
+        }
+        let op = match self.next() {
+            Some(Token::Symbol('=')) => CmpOp::Eq,
+            Some(Token::Symbol('<')) => CmpOp::Lt,
+            Some(Token::Symbol('>')) => CmpOp::Gt,
+            other => return err(format!("expected comparison operator, found {other:?}")),
+        };
+        match self.peek().cloned() {
+            Some(Token::Number(n)) => {
+                self.next();
+                Ok(vec![Term::Pred(lhs, op, n)])
+            }
+            Some(Token::Symbol('?')) => {
+                self.next();
+                Ok(vec![Term::Placeholder(lhs, op)])
+            }
+            Some(Token::Word(_)) => {
+                let rhs = self.parse_rawcol()?;
+                if op != CmpOp::Eq {
+                    return err("joins must use '='");
+                }
+                Ok(vec![Term::Join(lhs, rhs)])
+            }
+            other => err(format!("expected literal, '?', or column, found {other:?}")),
+        }
+    }
+
+    fn expect_number(&mut self) -> Result<i64, ParseError> {
+        match self.next() {
+            Some(Token::Number(n)) => Ok(n),
+            other => err(format!("expected integer literal, found {other:?}")),
+        }
+    }
+
+    fn parse_rawcol(&mut self) -> Result<RawCol, ParseError> {
+        let qualifier = match self.next() {
+            Some(Token::Word(w)) => w,
+            other => return err(format!("expected column reference, found {other:?}")),
+        };
+        self.expect_symbol('.')?;
+        let column = match self.next() {
+            Some(Token::Word(w)) => w,
+            other => return err(format!("expected column name after '.', found {other:?}")),
+        };
+        Ok(RawCol { qualifier, column })
+    }
+
+    fn resolve(
+        &self,
+        aliases: &HashMap<String, TableId>,
+        rc: &RawCol,
+    ) -> Result<ColRef, ParseError> {
+        let tid = aliases
+            .get(&rc.qualifier)
+            .copied()
+            .ok_or_else(|| ParseError(format!("unknown table or alias '{}'", rc.qualifier)))?;
+        let col = self
+            .db
+            .table(tid)
+            .column_index(&rc.column)
+            .ok_or_else(|| {
+                ParseError(format!(
+                    "unknown column '{}' of table '{}'",
+                    rc.column,
+                    self.db.table(tid).name()
+                ))
+            })?;
+        Ok(ColRef::new(tid, col))
+    }
+
+    fn assemble(
+        &self,
+        tables: Vec<TableId>,
+        aliases: HashMap<String, TableId>,
+        terms: Vec<Term>,
+    ) -> Result<ParsedQuery, ParseError> {
+        let mut query = Query {
+            tables,
+            joins: Vec::new(),
+            predicates: Vec::new(),
+        };
+        let mut placeholder = None;
+        for term in terms {
+            match term {
+                Term::Join(l, r) => {
+                    let lc = self.resolve(&aliases, &l)?;
+                    let rc = self.resolve(&aliases, &r)?;
+                    if lc.table == rc.table {
+                        return err("self-joins are not supported");
+                    }
+                    query.joins.push(JoinEdge::new(lc, rc).canonical());
+                }
+                Term::Pred(c, op, lit) => {
+                    let cr = self.resolve(&aliases, &c)?;
+                    query
+                        .predicates
+                        .push((cr.table, ColPredicate::new(cr.col, op, lit)));
+                }
+                Term::Placeholder(c, op) => {
+                    if placeholder.is_some() {
+                        return err("only one '?' placeholder is supported");
+                    }
+                    placeholder = Some((self.resolve(&aliases, &c)?, op));
+                }
+            }
+        }
+        Ok(ParsedQuery { query, placeholder })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sqlgen::to_sql;
+    use ds_storage::gen::{imdb_database, ImdbConfig};
+
+    fn db() -> Database {
+        imdb_database(&ImdbConfig::tiny(1))
+    }
+
+    #[test]
+    fn parses_the_papers_example() {
+        let db = db();
+        let sql = "SELECT COUNT(*) FROM title t, movie_keyword mk, keyword k";
+        // `keyword` does not exist in our schema; adapt the paper's example.
+        let _ = sql;
+        let parsed = parse(
+            &db,
+            "SELECT COUNT(*) FROM title t, movie_keyword mk \
+             WHERE mk.movie_id = t.id AND mk.keyword_id = 11 AND t.production_year = ?",
+        )
+        .unwrap();
+        assert_eq!(parsed.query.tables.len(), 2);
+        assert_eq!(parsed.query.num_joins(), 1);
+        assert_eq!(parsed.query.num_predicates(), 1);
+        let (cr, op) = parsed.placeholder.unwrap();
+        assert_eq!(db.col_name(cr), "title.production_year");
+        assert_eq!(op, CmpOp::Eq);
+    }
+
+    #[test]
+    fn roundtrips_generated_sql() {
+        let db = db();
+        let mut q = Query::new();
+        q.add_table(&db, "title").unwrap();
+        q.add_table(&db, "movie_info").unwrap();
+        q.add_predicate(&db, "movie_info.info_type_id", CmpOp::Lt, 50)
+            .unwrap();
+        q.add_predicate(&db, "title.production_year", CmpOp::Gt, 1990)
+            .unwrap();
+        let sql = to_sql(&db, &q);
+        let parsed = parse_query(&db, &sql).unwrap();
+        assert_eq!(parsed, q);
+    }
+
+    #[test]
+    fn case_insensitive_keywords_and_whitespace() {
+        let db = db();
+        let q = parse_query(
+            &db,
+            "select   Count( * )\nFROM title\nwhere title.kind_id > 2",
+        )
+        .unwrap();
+        assert_eq!(q.tables.len(), 1);
+        assert_eq!(q.num_predicates(), 1);
+    }
+
+    #[test]
+    fn negative_literals() {
+        let db = db();
+        let q = parse_query(&db, "SELECT COUNT(*) FROM title WHERE title.kind_id > -5").unwrap();
+        assert_eq!(q.predicates[0].1.literal, -5);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        let db = db();
+        for bad in [
+            "SELECT * FROM title",
+            "SELECT COUNT(*) FROM nonexistent",
+            "SELECT COUNT(*) FROM title, title",
+            "SELECT COUNT(*) FROM title WHERE title.nope = 1",
+            "SELECT COUNT(*) FROM title WHERE bogus.kind_id = 1",
+            "SELECT COUNT(*) FROM title WHERE title.kind_id != 1",
+            "SELECT COUNT(*) FROM title t WHERE t.id < t.kind_id", // col-col non-join
+            "SELECT COUNT(*) FROM title WHERE title.kind_id = 1 OR title.kind_id = 2",
+            "SELECT COUNT(*) FROM title WHERE title.kind_id = ? AND title.production_year = ?",
+        ] {
+            assert!(parse(&db, bad).is_err(), "should reject: {bad}");
+        }
+    }
+
+    #[test]
+    fn rejects_self_join() {
+        let db = db();
+        let r = parse(
+            &db,
+            "SELECT COUNT(*) FROM title WHERE title.id = title.kind_id",
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn parse_query_rejects_placeholder() {
+        let db = db();
+        let r = parse_query(&db, "SELECT COUNT(*) FROM title WHERE title.kind_id = ?");
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn alias_and_full_name_both_resolve() {
+        let db = db();
+        let q = parse_query(
+            &db,
+            "SELECT COUNT(*) FROM title t WHERE title.kind_id = 1 AND t.production_year > 2000",
+        )
+        .unwrap();
+        assert_eq!(q.num_predicates(), 2);
+    }
+
+    #[test]
+    fn between_desugars_to_range_pair() {
+        let db = db();
+        let q = parse_query(
+            &db,
+            "SELECT COUNT(*) FROM title WHERE title.production_year BETWEEN 1990 AND 1999",
+        )
+        .unwrap();
+        assert_eq!(q.num_predicates(), 2);
+        let preds: Vec<_> = q.predicates.iter().map(|(_, p)| (p.op, p.literal)).collect();
+        assert!(preds.contains(&(CmpOp::Gt, 1989)));
+        assert!(preds.contains(&(CmpOp::Lt, 2000)));
+        // Inclusive semantics: equivalent to >= 1990 AND <= 1999.
+        assert!(parse_query(
+            &db,
+            "SELECT COUNT(*) FROM title WHERE title.production_year BETWEEN 2000 AND 1990",
+        )
+        .is_err());
+        assert!(parse_query(
+            &db,
+            "SELECT COUNT(*) FROM title WHERE title.production_year BETWEEN 1990",
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn trailing_semicolon_ok() {
+        let db = db();
+        assert!(parse_query(&db, "SELECT COUNT(*) FROM title;").is_ok());
+    }
+}

@@ -1,0 +1,65 @@
+//! SQL printing for [`Query`] — the demo shows the SQL string of the
+//! graphically-built query "for information purposes"; tests use it for
+//! parser round-trips.
+
+use ds_storage::catalog::Database;
+
+use crate::query::Query;
+
+/// Renders the query as `SELECT COUNT(*) FROM … WHERE …` with fully
+/// qualified column names and no aliases. Join predicates come first, then
+/// base-table predicates in insertion order.
+pub fn to_sql(db: &Database, query: &Query) -> String {
+    let tables: Vec<&str> = query.tables.iter().map(|&t| db.table(t).name()).collect();
+    let mut conds: Vec<String> = query
+        .joins
+        .iter()
+        .map(|j| format!("{} = {}", db.col_name(j.left), db.col_name(j.right)))
+        .collect();
+    conds.extend(
+        query
+            .qualified_predicates()
+            .map(|(cr, op, lit)| format!("{} {} {}", db.col_name(cr), op.sql(), lit)),
+    );
+    let mut sql = format!("SELECT COUNT(*) FROM {}", tables.join(", "));
+    if !conds.is_empty() {
+        sql.push_str(" WHERE ");
+        sql.push_str(&conds.join(" AND "));
+    }
+    sql
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_storage::gen::{imdb_database, ImdbConfig};
+    use ds_storage::predicate::CmpOp;
+
+    #[test]
+    fn single_table_no_predicates() {
+        let db = imdb_database(&ImdbConfig::tiny(1));
+        let mut q = Query::new();
+        q.add_table(&db, "title").unwrap();
+        assert_eq!(to_sql(&db, &q), "SELECT COUNT(*) FROM title");
+    }
+
+    #[test]
+    fn join_and_predicates_render() {
+        let db = imdb_database(&ImdbConfig::tiny(1));
+        let mut q = Query::new();
+        q.add_table(&db, "title").unwrap();
+        q.add_table(&db, "movie_keyword").unwrap();
+        q.add_predicate(&db, "title.production_year", CmpOp::Gt, 2000)
+            .unwrap();
+        q.add_predicate(&db, "movie_keyword.keyword_id", CmpOp::Eq, 42)
+            .unwrap();
+        let sql = to_sql(&db, &q);
+        assert_eq!(
+            sql,
+            "SELECT COUNT(*) FROM title, movie_keyword \
+             WHERE title.id = movie_keyword.movie_id \
+             AND title.production_year > 2000 \
+             AND movie_keyword.keyword_id = 42"
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! Workload files: one SQL query per line, `#` comments — the same simple
+//! format as the published `job-light.sql`. Lets users persist generated
+//! workloads and replay real ones.
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+use ds_storage::catalog::Database;
+
+use crate::parser::{parse_query, ParseError};
+use crate::query::Query;
+use crate::sqlgen::to_sql;
+
+/// Writes a workload as one SQL statement per line.
+pub fn write_workload<W: Write>(
+    db: &Database,
+    workload: &[Query],
+    out: &mut W,
+) -> std::io::Result<()> {
+    for q in workload {
+        writeln!(out, "{};", to_sql(db, q))?;
+    }
+    Ok(())
+}
+
+/// Reads a workload file: one SQL statement per line; blank lines and
+/// `#`-comments are skipped. Fails on the first unparsable line with its
+/// line number.
+pub fn read_workload<R: Read>(db: &Database, input: R) -> Result<Vec<Query>, ParseError> {
+    let mut out = Vec::new();
+    for (i, line) in BufReader::new(input).lines().enumerate() {
+        let line = line.map_err(|e| ParseError(format!("line {}: io error {e}", i + 1)))?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let q = parse_query(db, line)
+            .map_err(|e| ParseError(format!("line {}: {e}", i + 1)))?;
+        out.push(q);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::job_light::job_light_workload;
+    use ds_storage::gen::{imdb_database, ImdbConfig};
+
+    #[test]
+    fn job_light_roundtrips_through_the_file_format() {
+        let db = imdb_database(&ImdbConfig::tiny(1));
+        let wl = job_light_workload(&db, 3);
+        let mut buf = Vec::new();
+        write_workload(&db, &wl, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert_eq!(text.lines().count(), 70);
+        assert!(text.lines().all(|l| l.starts_with("SELECT COUNT(*)")));
+
+        let back = read_workload(&db, &buf[..]).unwrap();
+        assert_eq!(back, wl);
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let db = imdb_database(&ImdbConfig::tiny(2));
+        let text = "# the paper's example\n\nSELECT COUNT(*) FROM title;\n";
+        let wl = read_workload(&db, text.as_bytes()).unwrap();
+        assert_eq!(wl.len(), 1);
+    }
+
+    #[test]
+    fn bad_lines_report_their_number() {
+        let db = imdb_database(&ImdbConfig::tiny(3));
+        let text = "SELECT COUNT(*) FROM title;\nSELECT COUNT(*) FROM nonsense;\n";
+        let err = read_workload(&db, text.as_bytes()).unwrap_err();
+        assert!(err.0.contains("line 2"), "{err}");
+    }
+}

@@ -1,0 +1,277 @@
+//! The JOB-light evaluation workload, re-instantiated on the synthetic IMDb.
+//!
+//! JOB-light derives 70 of the 113 Join Order Benchmark queries: no string
+//! predicates, no disjunctions, 1–4 joins, mostly equality predicates on
+//! dimension attributes, and `production_year` as the only range-predicate
+//! column. Every query joins through `title`.
+//!
+//! The original literals refer to the real IMDb; here each query shape is
+//! kept (table set, predicate columns, operators) and literals are
+//! re-instantiated from the synthetic database: fixed years for
+//! `production_year`, data-drawn values for categorical columns (drawn from
+//! a uniformly random row, so frequent values appear with realistic
+//! probability). Instantiation is deterministic in `seed`.
+
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+use ds_storage::catalog::Database;
+use ds_storage::predicate::CmpOp;
+
+use crate::query::Query;
+
+/// How a predicate literal is instantiated.
+#[derive(Debug, Clone, Copy)]
+enum Lit {
+    /// A fixed literal (years).
+    Fixed(i64),
+    /// Drawn from a uniformly random non-NULL row of the column —
+    /// frequency-weighted, matching common type/role predicates.
+    FromData,
+    /// Drawn uniformly from the column's *distinct values* — tail-heavy,
+    /// matching JOB-light's selective predicates on specific keywords,
+    /// companies, and persons.
+    FromDomain,
+}
+
+/// One predicate spec: qualified column, operator, literal source.
+type PredSpec = (&'static str, CmpOp, Lit);
+
+/// One query shape: satellite tables (every query implicitly includes
+/// `title`) plus predicates.
+struct Shape {
+    satellites: &'static [&'static str],
+    preds: &'static [PredSpec],
+}
+
+use CmpOp::{Eq, Gt, Lt};
+use Lit::{Fixed, FromData, FromDomain};
+
+const MC: &str = "movie_companies";
+const CI: &str = "cast_info";
+const MI: &str = "movie_info";
+const MX: &str = "movie_info_idx";
+const MK: &str = "movie_keyword";
+
+const T_YEAR: &str = "title.production_year";
+const T_KIND: &str = "title.kind_id";
+const MC_CO: &str = "movie_companies.company_id";
+const MC_TY: &str = "movie_companies.company_type_id";
+const CI_PE: &str = "cast_info.person_id";
+const CI_RO: &str = "cast_info.role_id";
+const MI_TY: &str = "movie_info.info_type_id";
+const MX_TY: &str = "movie_info_idx.info_type_id";
+const MK_KW: &str = "movie_keyword.keyword_id";
+
+/// The 70 JOB-light query shapes: 8 one-join, 33 two-join, 20 three-join,
+/// 9 four-join queries, predicate mix as in the original workload.
+static SHAPES: &[Shape] = &[
+    // ---- 1 join (2 tables) — 8 queries -------------------------------
+    Shape { satellites: &[MK], preds: &[(MK_KW, Eq, FromDomain)] },
+    Shape { satellites: &[MK], preds: &[(MK_KW, Eq, FromDomain), (T_YEAR, Gt, Fixed(2005))] },
+    Shape { satellites: &[MC], preds: &[(MC_TY, Eq, FromData), (T_YEAR, Gt, Fixed(1990))] },
+    Shape { satellites: &[MC], preds: &[(MC_CO, Eq, FromDomain)] },
+    Shape { satellites: &[CI], preds: &[(CI_RO, Eq, FromData), (T_YEAR, Gt, Fixed(2000))] },
+    Shape { satellites: &[MI], preds: &[(MI_TY, Eq, FromData)] },
+    Shape { satellites: &[MX], preds: &[(MX_TY, Eq, FromData), (T_YEAR, Gt, Fixed(2008))] },
+    Shape { satellites: &[MX], preds: &[(MX_TY, Eq, FromData)] },
+    // ---- 2 joins (3 tables) — 33 queries ------------------------------
+    Shape { satellites: &[MC, MX], preds: &[(MC_TY, Eq, FromData), (MX_TY, Eq, FromData), (T_YEAR, Gt, Fixed(2010))] },
+    Shape { satellites: &[MC, MX], preds: &[(MC_TY, Eq, FromData), (MX_TY, Eq, FromData), (T_YEAR, Gt, Fixed(2000))] },
+    Shape { satellites: &[MC, MX], preds: &[(MC_TY, Eq, FromData), (MX_TY, Eq, FromData)] },
+    Shape { satellites: &[MC, MX], preds: &[(MC_CO, Eq, FromDomain), (T_YEAR, Gt, Fixed(1995))] },
+    Shape { satellites: &[MK, MX], preds: &[(MK_KW, Eq, FromDomain), (T_YEAR, Gt, Fixed(2005))] },
+    Shape { satellites: &[MK, MX], preds: &[(MK_KW, Eq, FromDomain), (MX_TY, Eq, FromData)] },
+    Shape { satellites: &[MK, MX], preds: &[(MK_KW, Eq, FromDomain)] },
+    Shape { satellites: &[MK, MC], preds: &[(MK_KW, Eq, FromDomain), (MC_TY, Eq, FromData)] },
+    Shape { satellites: &[MK, MC], preds: &[(MK_KW, Eq, FromDomain), (MC_TY, Eq, FromData), (T_YEAR, Gt, Fixed(2000))] },
+    Shape { satellites: &[MK, MC], preds: &[(MC_CO, Eq, FromDomain), (T_YEAR, Gt, Fixed(2009))] },
+    Shape { satellites: &[MK, CI], preds: &[(MK_KW, Eq, FromDomain), (CI_RO, Eq, FromData)] },
+    Shape { satellites: &[MK, CI], preds: &[(MK_KW, Eq, FromDomain), (T_YEAR, Eq, Fixed(2010))] },
+    Shape { satellites: &[CI, MC], preds: &[(CI_RO, Eq, FromData), (MC_TY, Eq, FromData), (T_YEAR, Gt, Fixed(2005))] },
+    Shape { satellites: &[CI, MC], preds: &[(CI_RO, Eq, FromData), (MC_TY, Eq, FromData), (T_YEAR, Gt, Fixed(2010))] },
+    Shape { satellites: &[CI, MC], preds: &[(CI_PE, Eq, FromDomain)] },
+    Shape { satellites: &[CI, MC], preds: &[(MC_CO, Eq, FromDomain), (CI_RO, Eq, FromData)] },
+    Shape { satellites: &[CI, MX], preds: &[(CI_RO, Eq, FromData), (MX_TY, Eq, FromData), (T_YEAR, Gt, Fixed(2000))] },
+    Shape { satellites: &[CI, MX], preds: &[(MX_TY, Eq, FromData), (T_YEAR, Gt, Fixed(2005))] },
+    Shape { satellites: &[CI, MI], preds: &[(MI_TY, Eq, FromData), (CI_RO, Eq, FromData)] },
+    Shape { satellites: &[CI, MI], preds: &[(MI_TY, Eq, FromData), (T_YEAR, Gt, Fixed(2008))] },
+    Shape { satellites: &[MI, MX], preds: &[(MI_TY, Eq, FromData), (MX_TY, Eq, FromData)] },
+    Shape { satellites: &[MI, MX], preds: &[(MI_TY, Eq, FromData), (MX_TY, Eq, FromData), (T_YEAR, Gt, Fixed(2010))] },
+    Shape { satellites: &[MI, MX], preds: &[(MI_TY, Eq, FromData), (MX_TY, Eq, FromData), (T_YEAR, Gt, Fixed(1990))] },
+    Shape { satellites: &[MI, MC], preds: &[(MI_TY, Eq, FromData), (MC_TY, Eq, FromData), (T_YEAR, Gt, Fixed(2005))] },
+    Shape { satellites: &[MI, MC], preds: &[(MC_TY, Eq, FromData), (T_YEAR, Gt, Fixed(2000)), (T_YEAR, Lt, Fixed(2010))] },
+    Shape { satellites: &[MI, MC], preds: &[(MC_CO, Eq, FromDomain), (MI_TY, Eq, FromData)] },
+    Shape { satellites: &[MK, MI], preds: &[(MK_KW, Eq, FromDomain), (MI_TY, Eq, FromData)] },
+    Shape { satellites: &[MK, MI], preds: &[(MK_KW, Eq, FromDomain), (T_YEAR, Gt, Fixed(2005)), (T_YEAR, Lt, Fixed(2012))] },
+    Shape { satellites: &[MC, MX], preds: &[(MC_TY, Eq, FromData), (T_YEAR, Gt, Fixed(2012))] },
+    Shape { satellites: &[MK, MX], preds: &[(MK_KW, Eq, FromDomain), (T_YEAR, Lt, Fixed(1990))] },
+    Shape { satellites: &[CI, MC], preds: &[(CI_RO, Eq, FromData), (T_KIND, Eq, Fixed(1))] },
+    Shape { satellites: &[MI, MX], preds: &[(MX_TY, Eq, FromData), (T_KIND, Eq, Fixed(1))] },
+    Shape { satellites: &[MK, CI], preds: &[(MK_KW, Eq, FromDomain), (T_KIND, Eq, Fixed(3))] },
+    // ---- 3 joins (4 tables) — 20 queries --------------------------------
+    Shape { satellites: &[CI, MI, MX], preds: &[(MI_TY, Eq, FromData), (MX_TY, Eq, FromData), (T_YEAR, Gt, Fixed(2000))] },
+    Shape { satellites: &[CI, MI, MX], preds: &[(MI_TY, Eq, FromData), (MX_TY, Eq, FromData)] },
+    Shape { satellites: &[CI, MI, MX], preds: &[(CI_RO, Eq, FromData), (MI_TY, Eq, FromData), (T_YEAR, Gt, Fixed(2009))] },
+    Shape { satellites: &[MC, MI, MX], preds: &[(MC_TY, Eq, FromData), (MI_TY, Eq, FromData), (T_YEAR, Gt, Fixed(2005))] },
+    Shape { satellites: &[MC, MI, MX], preds: &[(MC_TY, Eq, FromData), (MX_TY, Eq, FromData)] },
+    Shape { satellites: &[MC, MI, MX], preds: &[(MC_CO, Eq, FromDomain), (MX_TY, Eq, FromData), (T_YEAR, Gt, Fixed(2000))] },
+    Shape { satellites: &[MK, MI, MX], preds: &[(MK_KW, Eq, FromDomain), (MI_TY, Eq, FromData), (T_YEAR, Gt, Fixed(2005))] },
+    Shape { satellites: &[MK, MI, MX], preds: &[(MK_KW, Eq, FromDomain), (MX_TY, Eq, FromData)] },
+    Shape { satellites: &[MK, MC, MI], preds: &[(MK_KW, Eq, FromDomain), (MC_TY, Eq, FromData), (MI_TY, Eq, FromData)] },
+    Shape { satellites: &[MK, MC, MI], preds: &[(MK_KW, Eq, FromDomain), (MC_TY, Eq, FromData), (T_YEAR, Gt, Fixed(2008))] },
+    Shape { satellites: &[MK, MC, CI], preds: &[(MK_KW, Eq, FromDomain), (CI_RO, Eq, FromData)] },
+    Shape { satellites: &[MK, MC, CI], preds: &[(MK_KW, Eq, FromDomain), (MC_TY, Eq, FromData), (CI_RO, Eq, FromData)] },
+    Shape { satellites: &[MK, CI, MX], preds: &[(MK_KW, Eq, FromDomain), (MX_TY, Eq, FromData), (T_YEAR, Gt, Fixed(2000))] },
+    Shape { satellites: &[MK, CI, MI], preds: &[(MK_KW, Eq, FromDomain), (MI_TY, Eq, FromData), (T_YEAR, Gt, Fixed(2010))] },
+    Shape { satellites: &[MC, CI, MI], preds: &[(MC_TY, Eq, FromData), (MI_TY, Eq, FromData), (CI_RO, Eq, FromData)] },
+    Shape { satellites: &[MC, CI, MX], preds: &[(MC_TY, Eq, FromData), (MX_TY, Eq, FromData), (T_YEAR, Gt, Fixed(2005))] },
+    Shape { satellites: &[MC, CI, MX], preds: &[(CI_RO, Eq, FromData), (MX_TY, Eq, FromData)] },
+    Shape { satellites: &[MC, MI, MX], preds: &[(MI_TY, Eq, FromData), (MX_TY, Eq, FromData), (T_YEAR, Gt, Fixed(1995)), (T_YEAR, Lt, Fixed(2005))] },
+    Shape { satellites: &[MK, MC, MX], preds: &[(MK_KW, Eq, FromDomain), (MC_TY, Eq, FromData), (MX_TY, Eq, FromData)] },
+    Shape { satellites: &[MK, MI, MX], preds: &[(MI_TY, Eq, FromData), (T_KIND, Eq, Fixed(1)), (T_YEAR, Gt, Fixed(2000))] },
+    // ---- 4 joins (5 tables) — 9 queries ---------------------------------
+    Shape { satellites: &[MK, MC, CI, MI], preds: &[(MK_KW, Eq, FromDomain), (MC_TY, Eq, FromData), (T_YEAR, Gt, Fixed(2005))] },
+    Shape { satellites: &[MK, MC, CI, MI], preds: &[(MK_KW, Eq, FromDomain), (MI_TY, Eq, FromData), (CI_RO, Eq, FromData)] },
+    Shape { satellites: &[MK, MC, CI, MX], preds: &[(MK_KW, Eq, FromDomain), (MX_TY, Eq, FromData)] },
+    Shape { satellites: &[MC, CI, MI, MX], preds: &[(MC_TY, Eq, FromData), (MI_TY, Eq, FromData), (MX_TY, Eq, FromData)] },
+    Shape { satellites: &[MC, CI, MI, MX], preds: &[(MC_TY, Eq, FromData), (MX_TY, Eq, FromData), (T_YEAR, Gt, Fixed(2000))] },
+    Shape { satellites: &[MK, CI, MI, MX], preds: &[(MK_KW, Eq, FromDomain), (MI_TY, Eq, FromData), (T_YEAR, Gt, Fixed(2005))] },
+    Shape { satellites: &[MK, MC, MI, MX], preds: &[(MK_KW, Eq, FromDomain), (MC_TY, Eq, FromData), (MI_TY, Eq, FromData), (MX_TY, Eq, FromData)] },
+    Shape { satellites: &[MK, MC, MI, MX], preds: &[(MC_TY, Eq, FromData), (MX_TY, Eq, FromData), (T_YEAR, Gt, Fixed(2010))] },
+    Shape { satellites: &[MK, MC, CI, MI], preds: &[(MC_TY, Eq, FromData), (CI_RO, Eq, FromData), (T_YEAR, Gt, Fixed(1990)), (T_YEAR, Lt, Fixed(2000))] },
+];
+
+/// Instantiates the 70 JOB-light queries against a synthetic IMDb database.
+/// Deterministic in `seed`.
+///
+/// # Panics
+/// Panics if `db` does not have the IMDb schema.
+pub fn job_light_workload(db: &Database, seed: u64) -> Vec<Query> {
+    SHAPES
+        .iter()
+        .enumerate()
+        .map(|(i, shape)| instantiate(db, shape, seed, i as u64))
+        .collect()
+}
+
+fn instantiate(db: &Database, shape: &Shape, seed: u64, index: u64) -> Query {
+    let mut rng = StdRng::seed_from_u64(seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut q = Query::new();
+    q.add_table(db, "title").expect("imdb schema");
+    for s in shape.satellites {
+        q.add_table(db, s).expect("imdb schema");
+    }
+    for (col, op, lit) in shape.preds {
+        let literal = match lit {
+            Lit::Fixed(v) => *v,
+            Lit::FromData => {
+                let cr = db.resolve(col).expect("imdb schema");
+                let c = db.table(cr.table).column(cr.col);
+                // Draw from a random row; retry NULLs.
+                let mut v = None;
+                for _ in 0..32 {
+                    let row = rng.random_range(0..c.len());
+                    if let Some(x) = c.get(row) {
+                        v = Some(x);
+                        break;
+                    }
+                }
+                v.expect("column should have non-NULL values")
+            }
+            Lit::FromDomain => {
+                let cr = db.resolve(col).expect("imdb schema");
+                let c = db.table(cr.table).column(cr.col);
+                let mut vals: Vec<i64> = (0..c.len()).filter_map(|i| c.get(i)).collect();
+                vals.sort_unstable();
+                vals.dedup();
+                vals[rng.random_range(0..vals.len())]
+            }
+        };
+        q.add_predicate(db, col, *op, literal).expect("imdb schema");
+    }
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_storage::exec::CountExecutor;
+    use ds_storage::gen::{imdb_database, ImdbConfig};
+
+    #[test]
+    fn workload_has_70_queries_with_job_light_structure() {
+        let db = imdb_database(&ImdbConfig::tiny(1));
+        let wl = job_light_workload(&db, 42);
+        assert_eq!(wl.len(), 70);
+        let title = db.table_id("title").unwrap();
+        let year_col = db.resolve("title.production_year").unwrap().col;
+        for q in &wl {
+            // Joins 1..=4, all through title.
+            assert!((1..=4).contains(&q.num_joins()), "{q:?}");
+            assert!(q.tables.contains(&title));
+            assert_eq!(q.num_joins() + 1, q.tables.len());
+            assert!(q.to_exec().validate(&db).is_ok());
+            // Range predicates only on production_year.
+            for (t, p) in &q.predicates {
+                if p.op != CmpOp::Eq {
+                    assert_eq!(*t, title);
+                    assert_eq!(p.col, year_col);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn join_count_distribution() {
+        let db = imdb_database(&ImdbConfig::tiny(2));
+        let wl = job_light_workload(&db, 1);
+        let mut by_joins = [0usize; 5];
+        for q in &wl {
+            by_joins[q.num_joins()] += 1;
+        }
+        assert_eq!(by_joins[1], 8);
+        assert_eq!(by_joins[2], 33);
+        assert_eq!(by_joins[3], 20);
+        assert_eq!(by_joins[4], 9);
+    }
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let db = imdb_database(&ImdbConfig::tiny(3));
+        let a = job_light_workload(&db, 5);
+        let b = job_light_workload(&db, 5);
+        assert_eq!(a, b);
+        let c = job_light_workload(&db, 6);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn queries_execute_with_mostly_nonzero_results() {
+        let db = imdb_database(&ImdbConfig::tiny(4));
+        let wl = job_light_workload(&db, 7);
+        let exec = CountExecutor::new();
+        let nonzero = wl
+            .iter()
+            .filter(|q| exec.count(&db, &q.to_exec()).unwrap() > 0)
+            .count();
+        // Equality literals are data-drawn, so most queries match something.
+        assert!(nonzero >= 35, "only {nonzero}/70 queries non-empty");
+    }
+
+    #[test]
+    fn equality_heavy_predicate_mix() {
+        let db = imdb_database(&ImdbConfig::tiny(5));
+        let wl = job_light_workload(&db, 8);
+        let (mut eq, mut range) = (0usize, 0usize);
+        for q in &wl {
+            for (_, p) in &q.predicates {
+                if p.op == CmpOp::Eq {
+                    eq += 1;
+                } else {
+                    range += 1;
+                }
+            }
+        }
+        assert!(eq > range * 2, "JOB-light is equality-heavy: eq={eq} range={range}");
+    }
+}

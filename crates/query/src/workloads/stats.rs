@@ -1,0 +1,155 @@
+//! Workload profiling: the distribution statistics (join counts, predicate
+//! operators, tables touched) that the generalization discussion in §2
+//! reasons about — "MSCN was trained with a uniform distribution between
+//! =, <, and > predicates" vs JOB-light's equality-heavy mix.
+
+use std::collections::HashMap;
+
+use ds_storage::catalog::{Database, TableId};
+use ds_storage::predicate::CmpOp;
+
+use crate::query::Query;
+
+/// Distribution profile of a workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadProfile {
+    /// Number of queries.
+    pub queries: usize,
+    /// Histogram over join counts: `joins[k]` = queries with `k` joins.
+    pub joins: Vec<usize>,
+    /// Predicate-operator counts indexed by [`CmpOp::index`].
+    pub ops: [usize; 3],
+    /// Queries per table (how often each table participates).
+    pub table_usage: HashMap<TableId, usize>,
+    /// Histogram over predicate counts per query.
+    pub predicates: Vec<usize>,
+}
+
+impl WorkloadProfile {
+    /// Profiles a workload.
+    pub fn of(workload: &[Query]) -> Self {
+        let mut joins: Vec<usize> = Vec::new();
+        let mut predicates: Vec<usize> = Vec::new();
+        let mut ops = [0usize; 3];
+        let mut table_usage: HashMap<TableId, usize> = HashMap::new();
+        for q in workload {
+            let j = q.num_joins();
+            if joins.len() <= j {
+                joins.resize(j + 1, 0);
+            }
+            joins[j] += 1;
+            let p = q.num_predicates();
+            if predicates.len() <= p {
+                predicates.resize(p + 1, 0);
+            }
+            predicates[p] += 1;
+            for (_, pred) in &q.predicates {
+                ops[pred.op.index()] += 1;
+            }
+            for &t in &q.tables {
+                *table_usage.entry(t).or_insert(0) += 1;
+            }
+        }
+        Self {
+            queries: workload.len(),
+            joins,
+            ops,
+            table_usage,
+            predicates,
+        }
+    }
+
+    /// Fraction of predicates using `op` (0 if there are no predicates).
+    pub fn op_fraction(&self, op: CmpOp) -> f64 {
+        let total: usize = self.ops.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        self.ops[op.index()] as f64 / total as f64
+    }
+
+    /// Mean joins per query.
+    pub fn mean_joins(&self) -> f64 {
+        if self.queries == 0 {
+            return 0.0;
+        }
+        let total: usize = self.joins.iter().enumerate().map(|(j, &n)| j * n).sum();
+        total as f64 / self.queries as f64
+    }
+
+    /// A printable report, one line per statistic.
+    pub fn report(&self, db: &Database) -> String {
+        let mut out = format!("{} queries\n", self.queries);
+        out.push_str("joins: ");
+        for (j, &n) in self.joins.iter().enumerate() {
+            out.push_str(&format!("{j}⋈×{n} "));
+        }
+        out.push_str(&format!(
+            "\nops: ={} <{} >{} (eq fraction {:.0}%)\n",
+            self.ops[0],
+            self.ops[1],
+            self.ops[2],
+            self.op_fraction(CmpOp::Eq) * 100.0
+        ));
+        let mut usage: Vec<(&TableId, &usize)> = self.table_usage.iter().collect();
+        usage.sort_by_key(|(t, _)| t.0);
+        out.push_str("tables: ");
+        for (t, n) in usage {
+            out.push_str(&format!("{}×{} ", db.table(*t).name(), n));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::job_light::job_light_workload;
+    use crate::{GeneratorConfig, QueryGenerator};
+    use ds_storage::gen::{imdb_database, ImdbConfig};
+
+    #[test]
+    fn job_light_profile_matches_its_spec() {
+        let db = imdb_database(&ImdbConfig::tiny(1));
+        let wl = job_light_workload(&db, 1);
+        let p = WorkloadProfile::of(&wl);
+        assert_eq!(p.queries, 70);
+        assert_eq!(p.joins[1], 8);
+        assert_eq!(p.joins[2], 33);
+        assert_eq!(p.joins[3], 20);
+        assert_eq!(p.joins[4], 9);
+        // Equality-heavy, range only on production_year.
+        assert!(p.op_fraction(CmpOp::Eq) > 0.6);
+        // Every query touches title.
+        let title = db.table_id("title").unwrap();
+        assert_eq!(p.table_usage[&title], 70);
+        let report = p.report(&db);
+        assert!(report.contains("70 queries"));
+        assert!(report.contains("title×70"));
+    }
+
+    #[test]
+    fn generated_workload_has_uniform_ops() {
+        let db = imdb_database(&ImdbConfig::tiny(2));
+        let mut gen = QueryGenerator::new(
+            &db,
+            GeneratorConfig::new(crate::workloads::imdb_predicate_columns(&db), 3),
+        );
+        let wl = gen.generate_batch(900);
+        let p = WorkloadProfile::of(&wl);
+        for op in CmpOp::ALL {
+            let f = p.op_fraction(op);
+            assert!((f - 1.0 / 3.0).abs() < 0.07, "{op:?} fraction {f}");
+        }
+        assert!(p.mean_joins() > 0.3 && p.mean_joins() < 2.0);
+    }
+
+    #[test]
+    fn empty_workload_profile() {
+        let p = WorkloadProfile::of(&[]);
+        assert_eq!(p.queries, 0);
+        assert_eq!(p.mean_joins(), 0.0);
+        assert_eq!(p.op_fraction(CmpOp::Eq), 0.0);
+    }
+}

@@ -1,0 +1,101 @@
+//! A TPC-H evaluation workload analogous to JOB-light: fixed query shapes
+//! over the synthetic TPC-H subset, literals re-instantiated from the data.
+//! Used by experiment E9 (the demo supports TPC-H sketches).
+
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+use ds_storage::catalog::Database;
+use ds_storage::predicate::CmpOp;
+
+use crate::query::Query;
+
+use CmpOp::{Eq, Gt, Lt};
+
+/// One shape: tables (first is the "anchor"; joins follow FK chains as the
+/// tables are added left-to-right) plus predicates `(col, op, fixed | draw)`.
+struct Shape {
+    tables: &'static [&'static str],
+    preds: &'static [(&'static str, CmpOp, Option<i64>)],
+}
+
+static SHAPES: &[Shape] = &[
+    Shape { tables: &["orders"], preds: &[("orders.o_orderstatus", Eq, None), ("orders.o_orderdate", Gt, Some(1200))] },
+    Shape { tables: &["lineitem"], preds: &[("lineitem.l_quantity", Gt, Some(40))] },
+    Shape { tables: &["lineitem"], preds: &[("lineitem.l_discount", Eq, None), ("lineitem.l_quantity", Lt, Some(10))] },
+    Shape { tables: &["orders", "lineitem"], preds: &[("orders.o_orderpriority", Eq, None)] },
+    Shape { tables: &["orders", "lineitem"], preds: &[("lineitem.l_quantity", Gt, Some(25)), ("orders.o_orderdate", Gt, Some(1800))] },
+    Shape { tables: &["orders", "lineitem"], preds: &[("orders.o_orderstatus", Eq, None), ("lineitem.l_discount", Gt, Some(5))] },
+    Shape { tables: &["customer", "orders"], preds: &[("customer.c_mktsegment", Eq, None)] },
+    Shape { tables: &["customer", "orders"], preds: &[("customer.c_acctbal", Gt, Some(5000)), ("orders.o_orderdate", Lt, Some(600))] },
+    Shape { tables: &["lineitem", "part"], preds: &[("part.p_size", Eq, None)] },
+    Shape { tables: &["lineitem", "part"], preds: &[("part.p_brand", Eq, None), ("lineitem.l_quantity", Lt, Some(25))] },
+    Shape { tables: &["lineitem", "supplier"], preds: &[("supplier.s_acctbal", Gt, Some(0))] },
+    Shape { tables: &["customer", "orders", "lineitem"], preds: &[("customer.c_mktsegment", Eq, None), ("orders.o_orderdate", Lt, Some(1200))] },
+    Shape { tables: &["customer", "orders", "lineitem"], preds: &[("lineitem.l_quantity", Gt, Some(30)), ("customer.c_acctbal", Gt, Some(2000))] },
+    Shape { tables: &["orders", "lineitem", "part"], preds: &[("part.p_size", Lt, Some(20)), ("orders.o_orderpriority", Eq, None)] },
+    Shape { tables: &["orders", "lineitem", "part"], preds: &[("part.p_brand", Eq, None)] },
+    Shape { tables: &["orders", "lineitem", "supplier"], preds: &[("orders.o_orderstatus", Eq, None), ("supplier.s_acctbal", Lt, Some(5000))] },
+    Shape { tables: &["nation", "customer", "orders"], preds: &[("orders.o_orderdate", Gt, Some(2000))] },
+    Shape { tables: &["customer", "orders", "lineitem", "part"], preds: &[("customer.c_mktsegment", Eq, None), ("part.p_size", Gt, Some(30))] },
+    Shape { tables: &["customer", "orders", "lineitem", "supplier"], preds: &[("lineitem.l_discount", Lt, Some(3))] },
+    Shape { tables: &["region", "nation", "customer", "orders"], preds: &[("region.r_regionkey", Eq, None), ("orders.o_orderdate", Gt, Some(1000))] },
+];
+
+/// Instantiates the TPC-H evaluation workload (20 queries). Deterministic
+/// in `seed`.
+pub fn tpch_workload(db: &Database, seed: u64) -> Vec<Query> {
+    SHAPES
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let mut rng = StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0xA24B_AED4_963E_E407));
+            let mut q = Query::new();
+            for t in s.tables {
+                q.add_table(db, t).expect("tpch schema");
+            }
+            for (col, op, fixed) in s.preds {
+                let literal = fixed.unwrap_or_else(|| {
+                    let cr = db.resolve(col).expect("tpch schema");
+                    let c = db.table(cr.table).column(cr.col);
+                    let row = rng.random_range(0..c.len());
+                    c.get(row).expect("tpch has no NULLs")
+                });
+                q.add_predicate(db, col, *op, literal).expect("tpch schema");
+            }
+            q
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_storage::exec::CountExecutor;
+    use ds_storage::gen::{tpch_database, TpchConfig};
+
+    #[test]
+    fn workload_is_valid_and_executable() {
+        let db = tpch_database(&TpchConfig::tiny(1));
+        let wl = tpch_workload(&db, 3);
+        assert_eq!(wl.len(), 20);
+        let exec = CountExecutor::new();
+        for q in &wl {
+            assert!(q.to_exec().validate(&db).is_ok());
+            exec.count(&db, &q.to_exec()).expect("executable");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let db = tpch_database(&TpchConfig::tiny(2));
+        assert_eq!(tpch_workload(&db, 4), tpch_workload(&db, 4));
+    }
+
+    #[test]
+    fn covers_chain_joins() {
+        let db = tpch_database(&TpchConfig::tiny(3));
+        let wl = tpch_workload(&db, 5);
+        let max_tables = wl.iter().map(|q| q.tables.len()).max().unwrap();
+        assert!(max_tables >= 4, "chain queries present");
+    }
+}

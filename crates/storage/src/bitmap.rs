@@ -1,0 +1,257 @@
+//! A dense bitmap used for null masks, row selections, and the
+//! qualifying-sample bitmaps that are part of every Deep Sketch.
+
+/// A fixed-length dense bitmap backed by `u64` words.
+///
+/// Bit `i` set means "row `i` is selected / qualifies".
+///
+/// ```
+/// use ds_storage::bitmap::Bitmap;
+/// let mut bm = Bitmap::new(100);
+/// bm.set(3);
+/// bm.set(64);
+/// assert_eq!(bm.count_ones(), 2);
+/// assert_eq!(bm.iter_ones().collect::<Vec<_>>(), vec![3, 64]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// Creates a bitmap of `len` bits, all clear.
+    pub fn new(len: usize) -> Self {
+        Self {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Creates a bitmap of `len` bits, all set.
+    pub fn all_set(len: usize) -> Self {
+        let mut bm = Self {
+            words: vec![u64::MAX; len.div_ceil(64)],
+            len,
+        };
+        bm.clear_tail();
+        bm
+    }
+
+    /// Number of bits in the bitmap.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the bitmap holds zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Clears bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    pub fn unset(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.words[i / 64] &= !(1 << (i % 64));
+    }
+
+    /// Returns bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True when no bit is set (the paper's "0-tuple situation" when this is
+    /// a qualifying-sample bitmap).
+    pub fn is_all_clear(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// In-place intersection with `other`.
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn and_with(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w &= o;
+        }
+    }
+
+    /// In-place union with `other`.
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn or_with(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w |= o;
+        }
+    }
+
+    /// Iterator over the indices of set bits, in increasing order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            let mut w = word;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let bit = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + bit)
+                }
+            })
+        })
+    }
+
+    /// Converts the bitmap to one `f32` per bit (0.0 or 1.0), the encoding
+    /// used by the MSCN featurizer.
+    pub fn to_f32_vec(&self) -> Vec<f32> {
+        (0..self.len)
+            .map(|i| if self.get(i) { 1.0 } else { 0.0 })
+            .collect()
+    }
+
+    /// Raw little-endian words (tail bits beyond `len` are zero).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuilds a bitmap from raw words and a bit length.
+    ///
+    /// # Panics
+    /// Panics if `words` is not exactly `len.div_ceil(64)` long.
+    pub fn from_words(words: Vec<u64>, len: usize) -> Self {
+        assert_eq!(words.len(), len.div_ceil(64), "word count mismatch");
+        let mut bm = Self { words, len };
+        bm.clear_tail();
+        bm
+    }
+
+    fn clear_tail(&mut self) {
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1 << tail) - 1;
+            }
+        }
+    }
+}
+
+impl FromIterator<bool> for Bitmap {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        let bits: Vec<bool> = iter.into_iter().collect();
+        let mut bm = Bitmap::new(bits.len());
+        for (i, b) in bits.iter().enumerate() {
+            if *b {
+                bm.set(i);
+            }
+        }
+        bm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_all_clear() {
+        let bm = Bitmap::new(130);
+        assert_eq!(bm.len(), 130);
+        assert_eq!(bm.count_ones(), 0);
+        assert!(bm.is_all_clear());
+    }
+
+    #[test]
+    fn all_set_counts_every_bit() {
+        for len in [0, 1, 63, 64, 65, 128, 130] {
+            let bm = Bitmap::all_set(len);
+            assert_eq!(bm.count_ones(), len, "len={len}");
+        }
+    }
+
+    #[test]
+    fn set_get_unset_roundtrip() {
+        let mut bm = Bitmap::new(100);
+        bm.set(0);
+        bm.set(63);
+        bm.set(64);
+        bm.set(99);
+        assert!(bm.get(0) && bm.get(63) && bm.get(64) && bm.get(99));
+        assert!(!bm.get(1) && !bm.get(62) && !bm.get(65));
+        bm.unset(63);
+        assert!(!bm.get(63));
+        assert_eq!(bm.count_ones(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        Bitmap::new(10).get(10);
+    }
+
+    #[test]
+    fn and_or_semantics() {
+        let a: Bitmap = [true, true, false, false].into_iter().collect();
+        let b: Bitmap = [true, false, true, false].into_iter().collect();
+        let mut and = a.clone();
+        and.and_with(&b);
+        assert_eq!(and.iter_ones().collect::<Vec<_>>(), vec![0]);
+        let mut or = a.clone();
+        or.or_with(&b);
+        assert_eq!(or.iter_ones().collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn iter_ones_crosses_word_boundaries() {
+        let mut bm = Bitmap::new(200);
+        let idx = [0usize, 5, 63, 64, 127, 128, 199];
+        for &i in &idx {
+            bm.set(i);
+        }
+        assert_eq!(bm.iter_ones().collect::<Vec<_>>(), idx);
+    }
+
+    #[test]
+    fn to_f32_vec_matches_bits() {
+        let bm: Bitmap = [true, false, true].into_iter().collect();
+        assert_eq!(bm.to_f32_vec(), vec![1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn words_roundtrip() {
+        let mut bm = Bitmap::new(70);
+        bm.set(3);
+        bm.set(69);
+        let rebuilt = Bitmap::from_words(bm.words().to_vec(), 70);
+        assert_eq!(rebuilt, bm);
+    }
+
+    #[test]
+    fn from_iter_collects() {
+        let bm: Bitmap = (0..10).map(|i| i % 2 == 0).collect();
+        assert_eq!(bm.count_ones(), 5);
+        assert!(bm.get(0) && !bm.get(1));
+    }
+}

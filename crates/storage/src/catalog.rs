@@ -1,0 +1,277 @@
+//! The database catalog: tables plus PK/FK join metadata.
+//!
+//! The demo UI adds join predicates automatically "based on the single PK/FK
+//! relationships that exist between tables"; [`Database::fk_between`] provides
+//! exactly that lookup.
+
+use std::collections::HashMap;
+
+use crate::table::Table;
+
+/// Dense identifier of a table within a [`Database`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TableId(pub usize);
+
+/// A column reference: (table, column index within that table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ColRef {
+    /// Owning table.
+    pub table: TableId,
+    /// Column index within the table.
+    pub col: usize,
+}
+
+impl ColRef {
+    /// Creates a column reference.
+    pub fn new(table: TableId, col: usize) -> Self {
+        Self { table, col }
+    }
+}
+
+/// A foreign-key relationship `from.from_col → to.to_col` (the `to` side is
+/// the primary key).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ForeignKey {
+    /// Referencing column (e.g. `movie_keyword.movie_id`).
+    pub from: ColRef,
+    /// Referenced primary-key column (e.g. `title.id`).
+    pub to: ColRef,
+}
+
+/// A named collection of tables plus PK/FK metadata. This is the unit a Deep
+/// Sketch is built over.
+#[derive(Debug, Clone)]
+pub struct Database {
+    name: String,
+    tables: Vec<Table>,
+    by_name: HashMap<String, TableId>,
+    fks: Vec<ForeignKey>,
+}
+
+impl Database {
+    /// Creates a database.
+    ///
+    /// # Panics
+    /// Panics on duplicate table names or foreign keys referencing
+    /// nonexistent tables/columns.
+    pub fn new(name: impl Into<String>, tables: Vec<Table>, fks: Vec<ForeignKey>) -> Self {
+        let name = name.into();
+        let mut by_name = HashMap::with_capacity(tables.len());
+        for (i, t) in tables.iter().enumerate() {
+            let prev = by_name.insert(t.name().to_string(), TableId(i));
+            assert!(prev.is_none(), "duplicate table {} in {name}", t.name());
+        }
+        for fk in &fks {
+            for cr in [fk.from, fk.to] {
+                let t = tables
+                    .get(cr.table.0)
+                    .unwrap_or_else(|| panic!("FK references unknown table {:?}", cr.table));
+                assert!(
+                    cr.col < t.columns().len(),
+                    "FK references unknown column {} of {}",
+                    cr.col,
+                    t.name()
+                );
+            }
+        }
+        Self {
+            name,
+            tables,
+            by_name,
+            fks,
+        }
+    }
+
+    /// Database name (e.g. `"imdb"`, `"tpch"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All tables.
+    pub fn tables(&self) -> &[Table] {
+        &self.tables
+    }
+
+    /// Number of tables.
+    pub fn num_tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Table by id.
+    ///
+    /// # Panics
+    /// Panics if the id is out of range.
+    pub fn table(&self, id: TableId) -> &Table {
+        &self.tables[id.0]
+    }
+
+    /// Table id by name.
+    pub fn table_id(&self, name: &str) -> Option<TableId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// All foreign keys.
+    pub fn foreign_keys(&self) -> &[ForeignKey] {
+        &self.fks
+    }
+
+    /// The single FK joining tables `a` and `b` in either direction, if one
+    /// exists. This mirrors the demo's automatic join-predicate insertion.
+    pub fn fk_between(&self, a: TableId, b: TableId) -> Option<ForeignKey> {
+        self.fks.iter().copied().find(|fk| {
+            (fk.from.table == a && fk.to.table == b) || (fk.from.table == b && fk.to.table == a)
+        })
+    }
+
+    /// Resolves `"table.column"` (e.g. `"title.production_year"`).
+    pub fn resolve(&self, qualified: &str) -> Option<ColRef> {
+        let (t, c) = qualified.split_once('.')?;
+        let tid = self.table_id(t)?;
+        let col = self.table(tid).column_index(c)?;
+        Some(ColRef::new(tid, col))
+    }
+
+    /// Human-readable `table.column` for a [`ColRef`].
+    pub fn col_name(&self, cr: ColRef) -> String {
+        let t = self.table(cr.table);
+        format!("{}.{}", t.name(), t.column(cr.col).name())
+    }
+
+    /// Total number of rows across all tables.
+    pub fn total_rows(&self) -> usize {
+        self.tables.iter().map(Table::num_rows).sum()
+    }
+
+    /// Checks referential integrity of every declared foreign key and
+    /// returns human-readable issues (dangling keys, duplicate PK values).
+    /// Useful after importing external CSV data.
+    pub fn validate_foreign_keys(&self) -> Vec<String> {
+        let mut issues = Vec::new();
+        for fk in &self.fks {
+            let to_table = self.table(fk.to.table);
+            let to_col = to_table.column(fk.to.col);
+            let mut keys = std::collections::HashSet::with_capacity(to_table.num_rows());
+            let mut dup = 0usize;
+            for r in 0..to_table.num_rows() {
+                if let Some(v) = to_col.get(r) {
+                    if !keys.insert(v) {
+                        dup += 1;
+                    }
+                }
+            }
+            if dup > 0 {
+                issues.push(format!(
+                    "{} has {dup} duplicate key value(s) referenced by {}",
+                    self.col_name(fk.to),
+                    self.col_name(fk.from)
+                ));
+            }
+            let from_table = self.table(fk.from.table);
+            let from_col = from_table.column(fk.from.col);
+            let dangling = (0..from_table.num_rows())
+                .filter_map(|r| from_col.get(r))
+                .filter(|v| !keys.contains(v))
+                .count();
+            if dangling > 0 {
+                issues.push(format!(
+                    "{} has {dangling} dangling reference(s) into {}",
+                    self.col_name(fk.from),
+                    self.col_name(fk.to)
+                ));
+            }
+        }
+        issues
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+
+    fn db() -> Database {
+        let title = Table::new(
+            "title",
+            vec![
+                Column::new("id", vec![1, 2, 3]),
+                Column::new("year", vec![1990, 2000, 2010]),
+            ],
+        );
+        let mk = Table::new(
+            "movie_keyword",
+            vec![
+                Column::new("movie_id", vec![1, 1, 2, 3]),
+                Column::new("keyword_id", vec![10, 11, 10, 12]),
+            ],
+        );
+        let fk = ForeignKey {
+            from: ColRef::new(TableId(1), 0),
+            to: ColRef::new(TableId(0), 0),
+        };
+        Database::new("mini", vec![title, mk], vec![fk])
+    }
+
+    #[test]
+    fn lookups() {
+        let d = db();
+        assert_eq!(d.name(), "mini");
+        assert_eq!(d.num_tables(), 2);
+        assert_eq!(d.table_id("title"), Some(TableId(0)));
+        assert_eq!(d.table_id("zzz"), None);
+        assert_eq!(d.table(TableId(1)).name(), "movie_keyword");
+        assert_eq!(d.total_rows(), 7);
+    }
+
+    #[test]
+    fn fk_between_is_direction_agnostic() {
+        let d = db();
+        let fk = d.fk_between(TableId(0), TableId(1)).unwrap();
+        assert_eq!(fk.from.table, TableId(1));
+        assert_eq!(d.fk_between(TableId(1), TableId(0)), Some(fk));
+        assert_eq!(d.fk_between(TableId(0), TableId(0)), None);
+    }
+
+    #[test]
+    fn resolve_qualified_names() {
+        let d = db();
+        let cr = d.resolve("title.year").unwrap();
+        assert_eq!(cr, ColRef::new(TableId(0), 1));
+        assert_eq!(d.col_name(cr), "title.year");
+        assert!(d.resolve("title.nope").is_none());
+        assert!(d.resolve("nope.year").is_none());
+        assert!(d.resolve("noseparator").is_none());
+    }
+
+    #[test]
+    fn validate_foreign_keys_flags_issues() {
+        let d = db();
+        assert!(d.validate_foreign_keys().is_empty(), "clean schema");
+
+        // Dangling reference: movie_id 99 has no title.
+        let title = Table::new("title", vec![Column::new("id", vec![1, 1])]);
+        let mk = Table::new(
+            "movie_keyword",
+            vec![Column::new("movie_id", vec![1, 99])],
+        );
+        let fk = ForeignKey {
+            from: ColRef::new(TableId(1), 0),
+            to: ColRef::new(TableId(0), 0),
+        };
+        let bad = Database::new("bad", vec![title, mk], vec![fk]);
+        let issues = bad.validate_foreign_keys();
+        assert_eq!(issues.len(), 2, "{issues:?}");
+        assert!(issues.iter().any(|i| i.contains("duplicate")));
+        assert!(issues.iter().any(|i| i.contains("dangling")));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown column")]
+    fn bad_fk_panics() {
+        let t = Table::new("t", vec![Column::new("a", vec![1])]);
+        let fk = ForeignKey {
+            from: ColRef::new(TableId(0), 5),
+            to: ColRef::new(TableId(0), 0),
+        };
+        Database::new("x", vec![t], vec![fk]);
+    }
+}

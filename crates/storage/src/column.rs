@@ -1,0 +1,171 @@
+//! Typed columnar storage.
+//!
+//! All attributes in the reproduced schemas (IMDb, TPC-H) are integer-valued
+//! (ids, years, type codes, quantities), matching the featurization of the
+//! paper which normalizes each literal into `[0, 1]` using the column's
+//! min/max. A column stores `i64` values plus an optional null mask.
+
+use crate::bitmap::Bitmap;
+
+/// A single column of a [`crate::Table`]: a name, a dense `i64` vector, and
+/// an optional null mask (bit set = value is NULL).
+#[derive(Debug, Clone)]
+pub struct Column {
+    name: String,
+    data: Vec<i64>,
+    nulls: Option<Bitmap>,
+}
+
+impl Column {
+    /// Creates a column without nulls.
+    pub fn new(name: impl Into<String>, data: Vec<i64>) -> Self {
+        Self {
+            name: name.into(),
+            data,
+            nulls: None,
+        }
+    }
+
+    /// Creates a column with a null mask. Positions flagged in `nulls` are
+    /// treated as SQL NULL: they never satisfy any comparison predicate.
+    ///
+    /// # Panics
+    /// Panics if the mask length differs from the data length.
+    pub fn with_nulls(name: impl Into<String>, data: Vec<i64>, nulls: Bitmap) -> Self {
+        assert_eq!(data.len(), nulls.len(), "null mask length mismatch");
+        let nulls = if nulls.is_all_clear() { None } else { Some(nulls) };
+        Self {
+            name: name.into(),
+            data,
+            nulls,
+        }
+    }
+
+    /// Column name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Raw values; positions that are NULL contain an unspecified value and
+    /// must be checked with [`Column::is_null`].
+    pub fn data(&self) -> &[i64] {
+        &self.data
+    }
+
+    /// The null mask, if any row is NULL (serialization support).
+    pub fn null_mask(&self) -> Option<&Bitmap> {
+        self.nulls.as_ref()
+    }
+
+    /// True if row `i` is NULL.
+    pub fn is_null(&self, i: usize) -> bool {
+        self.nulls.as_ref().is_some_and(|n| n.get(i))
+    }
+
+    /// The value at row `i`, or `None` for NULL.
+    pub fn get(&self, i: usize) -> Option<i64> {
+        if self.is_null(i) {
+            None
+        } else {
+            Some(self.data[i])
+        }
+    }
+
+    /// Fraction of NULL rows (PostgreSQL's `null_frac`).
+    pub fn null_frac(&self) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        let nulls = self.nulls.as_ref().map_or(0, Bitmap::count_ones);
+        nulls as f64 / self.data.len() as f64
+    }
+
+    /// Minimum and maximum non-NULL values, or `None` if all rows are NULL
+    /// (or the column is empty). Used for literal normalization.
+    pub fn min_max(&self) -> Option<(i64, i64)> {
+        let mut mm: Option<(i64, i64)> = None;
+        for i in 0..self.data.len() {
+            if let Some(v) = self.get(i) {
+                mm = Some(match mm {
+                    None => (v, v),
+                    Some((lo, hi)) => (lo.min(v), hi.max(v)),
+                });
+            }
+        }
+        mm
+    }
+
+    /// Exact number of distinct non-NULL values.
+    pub fn n_distinct(&self) -> usize {
+        let mut vals: Vec<i64> = (0..self.data.len()).filter_map(|i| self.get(i)).collect();
+        vals.sort_unstable();
+        vals.dedup();
+        vals.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col_with_null_at(pos: usize, data: Vec<i64>) -> Column {
+        let mut nulls = Bitmap::new(data.len());
+        nulls.set(pos);
+        Column::with_nulls("c", data, nulls)
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let c = Column::new("year", vec![1999, 2005, 2010]);
+        assert_eq!(c.name(), "year");
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+        assert_eq!(c.get(1), Some(2005));
+        assert_eq!(c.null_frac(), 0.0);
+    }
+
+    #[test]
+    fn nulls_are_masked() {
+        let c = col_with_null_at(1, vec![10, 20, 30]);
+        assert_eq!(c.get(0), Some(10));
+        assert_eq!(c.get(1), None);
+        assert!(c.is_null(1));
+        assert!((c.null_frac() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_max_skips_nulls() {
+        let c = col_with_null_at(0, vec![-100, 5, 7]);
+        assert_eq!(c.min_max(), Some((5, 7)));
+    }
+
+    #[test]
+    fn min_max_empty_and_all_null() {
+        assert_eq!(Column::new("c", vec![]).min_max(), None);
+        let all_null = Column::with_nulls("c", vec![1], Bitmap::all_set(1));
+        assert_eq!(all_null.min_max(), None);
+    }
+
+    #[test]
+    fn n_distinct_ignores_nulls_and_dups() {
+        let c = col_with_null_at(2, vec![1, 1, 99, 2, 2, 3]);
+        assert_eq!(c.n_distinct(), 3);
+    }
+
+    #[test]
+    fn all_clear_mask_is_dropped() {
+        let c = Column::with_nulls("c", vec![1, 2], Bitmap::new(2));
+        assert_eq!(c.null_frac(), 0.0);
+        assert_eq!(c.get(0), Some(1));
+    }
+}

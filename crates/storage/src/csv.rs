@@ -1,0 +1,293 @@
+//! CSV import/export for tables and databases.
+//!
+//! The reproduction generates synthetic data, but the paper's system runs
+//! on the real IMDb; this module is the bridge: export a synthetic database
+//! to inspect it, or import real CSV dumps (numeric columns only — the
+//! featurization is numeric, matching JOB-light's predicate columns) and
+//! build sketches over them.
+//!
+//! Format: first line is the header (column names); values are decimal
+//! integers; an empty field is NULL. A `schema.fks` manifest stores the
+//! foreign keys as `from_table.from_col -> to_table.to_col` lines, and a
+//! `schema.tables` manifest pins the table order so that `TableId`s are
+//! stable across export/import.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+use crate::bitmap::Bitmap;
+use crate::catalog::{Database, ForeignKey};
+use crate::column::Column;
+use crate::table::Table;
+
+/// CSV parsing/IO errors.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural problem with row/field contents.
+    Malformed(String),
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "csv io error: {e}"),
+            CsvError::Malformed(m) => write!(f, "malformed csv: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Writes a table as CSV (header + one line per row, NULL as empty field).
+pub fn write_table_csv<W: Write>(table: &Table, out: &mut W) -> Result<(), CsvError> {
+    let header: Vec<&str> = table.columns().iter().map(Column::name).collect();
+    writeln!(out, "{}", header.join(","))?;
+    for row in 0..table.num_rows() {
+        let mut line = String::new();
+        for (i, col) in table.columns().iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            if let Some(v) = col.get(row) {
+                line.push_str(&v.to_string());
+            }
+        }
+        writeln!(out, "{line}")?;
+    }
+    Ok(())
+}
+
+/// Reads a table from CSV written by [`write_table_csv`] (or any
+/// integer-valued CSV with a header).
+pub fn read_table_csv<R: Read>(name: &str, input: R) -> Result<Table, CsvError> {
+    let mut lines = BufReader::new(input).lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| CsvError::Malformed("missing header".into()))??;
+    let names: Vec<String> = header.split(',').map(|s| s.trim().to_string()).collect();
+    if names.iter().any(String::is_empty) {
+        return Err(CsvError::Malformed("empty column name in header".into()));
+    }
+    let width = names.len();
+    let mut data: Vec<Vec<i64>> = vec![Vec::new(); width];
+    let mut nulls: Vec<Vec<bool>> = vec![Vec::new(); width];
+    for (lineno, line) in lines.enumerate() {
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != width {
+            return Err(CsvError::Malformed(format!(
+                "row {} has {} fields, expected {width}",
+                lineno + 2,
+                fields.len()
+            )));
+        }
+        for (i, field) in fields.iter().enumerate() {
+            let field = field.trim();
+            if field.is_empty() {
+                data[i].push(0);
+                nulls[i].push(true);
+            } else {
+                let v: i64 = field.parse().map_err(|_| {
+                    CsvError::Malformed(format!(
+                        "row {}, column {}: '{}' is not an integer",
+                        lineno + 2,
+                        names[i],
+                        field
+                    ))
+                })?;
+                data[i].push(v);
+                nulls[i].push(false);
+            }
+        }
+    }
+    let columns = names
+        .into_iter()
+        .zip(data)
+        .zip(nulls)
+        .map(|((n, d), nl)| {
+            let mask: Bitmap = nl.into_iter().collect();
+            Column::with_nulls(n, d, mask)
+        })
+        .collect();
+    Ok(Table::new(name, columns))
+}
+
+/// Exports a database to `dir`: one `<table>.csv` per table plus a
+/// `schema.fks` manifest. Returns the number of files written.
+pub fn write_database_dir(db: &Database, dir: &Path) -> Result<usize, CsvError> {
+    std::fs::create_dir_all(dir)?;
+    let mut written = 0;
+    for table in db.tables() {
+        let mut file = std::fs::File::create(dir.join(format!("{}.csv", table.name())))?;
+        write_table_csv(table, &mut file)?;
+        written += 1;
+    }
+    let mut manifest = String::new();
+    for fk in db.foreign_keys() {
+        manifest.push_str(&format!(
+            "{} -> {}\n",
+            db.col_name(fk.from),
+            db.col_name(fk.to)
+        ));
+    }
+    std::fs::write(dir.join("schema.fks"), manifest)?;
+    let order: Vec<&str> = db.tables().iter().map(|t| t.name()).collect();
+    std::fs::write(dir.join("schema.tables"), order.join("\n") + "\n")?;
+    Ok(written + 2)
+}
+
+/// Imports a database from a directory written by [`write_database_dir`]:
+/// loads every `*.csv` (table name = file stem) and resolves the
+/// `schema.fks` manifest. Table order — and hence `TableId` assignment —
+/// follows the `schema.tables` manifest when present (so ids are stable
+/// across export/import), alphabetical file order otherwise.
+pub fn read_database_dir(name: &str, dir: &Path) -> Result<Database, CsvError> {
+    let mut paths: Vec<_> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("csv"))
+        .collect();
+    paths.sort();
+    let order_path = dir.join("schema.tables");
+    if order_path.exists() {
+        let order: Vec<String> = std::fs::read_to_string(&order_path)?
+            .lines()
+            .map(|l| l.trim().to_string())
+            .filter(|l| !l.is_empty())
+            .collect();
+        let rank = |p: &std::path::PathBuf| {
+            p.file_stem()
+                .and_then(|s| s.to_str())
+                .and_then(|stem| order.iter().position(|o| o == stem))
+                .unwrap_or(usize::MAX)
+        };
+        paths.sort_by_key(rank);
+    }
+    if paths.is_empty() {
+        return Err(CsvError::Malformed(format!(
+            "no .csv files in {}",
+            dir.display()
+        )));
+    }
+    let mut tables = Vec::with_capacity(paths.len());
+    for p in &paths {
+        let stem = p
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .ok_or_else(|| CsvError::Malformed(format!("bad file name {}", p.display())))?;
+        tables.push(read_table_csv(stem, std::fs::File::open(p)?)?);
+    }
+    // Resolve FKs against a temporary catalog.
+    let tmp = Database::new(name, tables, Vec::new());
+    let mut fks = Vec::new();
+    let manifest_path = dir.join("schema.fks");
+    if manifest_path.exists() {
+        for line in std::fs::read_to_string(&manifest_path)?.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (from, to) = line
+                .split_once("->")
+                .ok_or_else(|| CsvError::Malformed(format!("bad fk line '{line}'")))?;
+            let from = tmp
+                .resolve(from.trim())
+                .ok_or_else(|| CsvError::Malformed(format!("unknown fk column '{from}'")))?;
+            let to = tmp
+                .resolve(to.trim())
+                .ok_or_else(|| CsvError::Malformed(format!("unknown fk column '{to}'")))?;
+            fks.push(ForeignKey { from, to });
+        }
+    }
+    let tables = tmp.tables().to_vec();
+    Ok(Database::new(name, tables, fks))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{imdb_database, ImdbConfig};
+
+    #[test]
+    fn table_roundtrip_with_nulls() {
+        let mut nulls = Bitmap::new(3);
+        nulls.set(1);
+        let t = Table::new(
+            "t",
+            vec![
+                Column::new("a", vec![1, 2, 3]),
+                Column::with_nulls("b", vec![10, 0, -30], nulls),
+            ],
+        );
+        let mut buf = Vec::new();
+        write_table_csv(&t, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.starts_with("a,b\n1,10\n2,\n3,-30\n"));
+
+        let back = read_table_csv("t", &buf[..]).unwrap();
+        assert_eq!(back.num_rows(), 3);
+        assert_eq!(back.column_by_name("b").unwrap().get(1), None);
+        assert_eq!(back.column_by_name("b").unwrap().get(2), Some(-30));
+    }
+
+    #[test]
+    fn rejects_ragged_and_non_integer_rows() {
+        assert!(matches!(
+            read_table_csv("t", "a,b\n1\n".as_bytes()),
+            Err(CsvError::Malformed(_))
+        ));
+        assert!(matches!(
+            read_table_csv("t", "a\nxyz\n".as_bytes()),
+            Err(CsvError::Malformed(_))
+        ));
+        assert!(matches!(
+            read_table_csv("t", "".as_bytes()),
+            Err(CsvError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn database_directory_roundtrip() {
+        let db = imdb_database(&ImdbConfig::tiny(9));
+        let dir = std::env::temp_dir().join(format!("ds_csv_test_{}", std::process::id()));
+        let files = write_database_dir(&db, &dir).unwrap();
+        assert_eq!(files, 8); // 6 tables + fk manifest + order manifest
+
+        let back = read_database_dir("imdb", &dir).unwrap();
+        assert_eq!(back.num_tables(), db.num_tables());
+        assert_eq!(back.foreign_keys().len(), db.foreign_keys().len());
+        assert_eq!(back.total_rows(), db.total_rows());
+        // Spot-check data equality on a column.
+        let orig = db.table(db.table_id("movie_keyword").unwrap());
+        let read = back.table(back.table_id("movie_keyword").unwrap());
+        assert_eq!(
+            orig.column_by_name("keyword_id").unwrap().data(),
+            read.column_by_name("keyword_id").unwrap().data()
+        );
+        // FKs survived (and queries still execute).
+        let title = back.table_id("title").unwrap();
+        let mk = back.table_id("movie_keyword").unwrap();
+        assert!(back.fk_between(title, mk).is_some());
+        // TableIds are stable: the order manifest preserved positions.
+        for (i, t) in db.tables().iter().enumerate() {
+            assert_eq!(back.tables()[i].name(), t.name(), "table order changed");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_lines_are_skipped() {
+        let t = read_table_csv("t", "a\n1\n\n2\n".as_bytes()).unwrap();
+        assert_eq!(t.num_rows(), 2);
+    }
+}

@@ -1,0 +1,29 @@
+//! Exact `COUNT(*)` execution of select-project-join queries.
+//!
+//! This is the reproduction's stand-in for HyPer: it computes the true
+//! cardinalities used as training labels (step 3 of Figure 1a) and as the
+//! ground truth in every experiment.
+//!
+//! Two engines are provided:
+//!
+//! * [`CountExecutor`] — production path. Counts acyclic (tree-shaped)
+//!   equi-join queries in one pass per table using Yannakakis-style
+//!   message passing: each table sends its parent a `join-key → count`
+//!   map, so no intermediate join result is ever materialized.
+//! * [`NaiveExecutor`] — an intentionally simple hash-join engine that
+//!   materializes intermediate results. It exists to differentially test
+//!   the production path and for (small) cyclic queries.
+//!
+//! [`count_batch`] executes many queries in parallel with crossbeam scoped
+//! threads, mirroring the demo's use of "multiple HyPer instances" for
+//! training-label generation.
+
+mod naive;
+mod parallel;
+mod query;
+mod yannakakis;
+
+pub use naive::NaiveExecutor;
+pub use parallel::count_batch;
+pub use query::{ExecError, ExecQuery, JoinEdge};
+pub use yannakakis::CountExecutor;

@@ -1,0 +1,258 @@
+//! Distribution machinery for the synthetic data generators: Zipf and
+//! categorical samplers (inverse-CDF based) and a small-λ Poisson sampler.
+//!
+//! `rand` does not ship Zipf/Poisson (those live in `rand_distr`, which is
+//! not available offline), so the few distributions needed are implemented
+//! here and unit-tested against their analytic moments.
+
+use rand::{Rng, RngExt};
+
+/// Zipf distribution over ranks `1..=n` with exponent `s`:
+/// `P(k) ∝ k^(-s)`. Sampled by binary search over a precomputed CDF.
+///
+/// ```
+/// use ds_storage::gen::dist::Zipf;
+/// use rand::{rngs::StdRng, SeedableRng};
+/// let z = Zipf::new(100, 1.1);
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let rank = z.sample(&mut rng);
+/// assert!((1..=100).contains(&rank));
+/// assert!(z.pmf(1) > z.pmf(100)); // head-heavy
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `1..=n`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is not finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs n > 0");
+        assert!(s.is_finite(), "Zipf exponent must be finite");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += (k as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Samples a rank in `1..=n`.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        // partition_point returns the count of entries < u, i.e. the first
+        // index with cdf >= u; ranks are 1-based.
+        self.cdf.partition_point(|&c| c < u) + 1
+    }
+
+    /// Probability mass of rank `k` (1-based).
+    pub fn pmf(&self, k: usize) -> f64 {
+        assert!(k >= 1 && k <= self.cdf.len(), "rank out of range");
+        if k == 1 {
+            self.cdf[0]
+        } else {
+            self.cdf[k - 1] - self.cdf[k - 2]
+        }
+    }
+}
+
+/// Categorical distribution over `0..weights.len()` with the given
+/// (unnormalized, non-negative) weights.
+#[derive(Debug, Clone)]
+pub struct Categorical {
+    cdf: Vec<f64>,
+}
+
+impl Categorical {
+    /// Creates a categorical distribution.
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty, contains a negative/non-finite weight,
+    /// or sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "Categorical needs at least one weight");
+        let mut cdf = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            assert!(w >= 0.0 && w.is_finite(), "weights must be finite and >= 0");
+            acc += w;
+            cdf.push(acc);
+        }
+        assert!(acc > 0.0, "weights must not all be zero");
+        for c in &mut cdf {
+            *c /= acc;
+        }
+        Self { cdf }
+    }
+
+    /// Samples a category index in `0..len`.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        self.cdf.partition_point(|&c| c < u)
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True if there are zero categories (never: construction forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+}
+
+/// Samples a Poisson(λ) variate with Knuth's product method. Suitable for
+/// the small λ (≲ 30) used by the fanout generators.
+pub fn poisson<R: Rng>(rng: &mut R, lambda: f64) -> u64 {
+    assert!(lambda >= 0.0 && lambda.is_finite(), "lambda must be finite and >= 0");
+    if lambda == 0.0 {
+        return 0;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0u64;
+    let mut p = 1.0;
+    loop {
+        p *= rng.random::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        // Guard against pathological λ: cap at a generous multiple.
+        if k > (lambda * 20.0 + 100.0) as u64 {
+            return k;
+        }
+    }
+}
+
+/// Skewed value in `lo..=hi` biased toward `hi` with strength `gamma > 0`
+/// (`gamma < 1` skews toward `hi`, `gamma = 1` is uniform, `> 1` skews
+/// toward `lo`). Used e.g. for production years clustering in recent decades.
+pub fn skewed_range<R: Rng>(rng: &mut R, lo: i64, hi: i64, gamma: f64) -> i64 {
+    assert!(lo <= hi, "empty range");
+    assert!(gamma > 0.0 && gamma.is_finite(), "gamma must be positive");
+    let u: f64 = rng.random();
+    let span = (hi - lo) as f64 + 1.0;
+    // u^(1/gamma) concentrates near 0 for gamma < 1, so the subtracted
+    // offset is small and values cluster near `hi`.
+    let v = hi - (u.powf(1.0 / gamma) * span) as i64;
+    v.clamp(lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn zipf_pmf_sums_to_one() {
+        let z = Zipf::new(100, 1.1);
+        let total: f64 = (1..=100).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(z.pmf(1) > z.pmf(2));
+        assert!(z.pmf(2) > z.pmf(50));
+    }
+
+    #[test]
+    fn zipf_samples_match_head_probability() {
+        let z = Zipf::new(50, 1.2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let head = (0..n).filter(|_| z.sample(&mut rng) == 1).count();
+        let expected = z.pmf(1);
+        let observed = head as f64 / n as f64;
+        assert!(
+            (observed - expected).abs() < 0.02,
+            "observed {observed} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn zipf_samples_in_range() {
+        let z = Zipf::new(7, 0.9);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let k = z.sample(&mut rng);
+            assert!((1..=7).contains(&k));
+        }
+    }
+
+    #[test]
+    fn categorical_respects_weights() {
+        let c = Categorical::new(&[1.0, 0.0, 3.0]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[c.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let frac2 = counts[2] as f64 / 10_000.0;
+        assert!((frac2 - 0.75).abs() < 0.03, "frac2={frac2}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one weight")]
+    fn categorical_rejects_empty() {
+        Categorical::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not all be zero")]
+    fn categorical_rejects_all_zero() {
+        Categorical::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn poisson_mean_is_close_to_lambda() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 20_000;
+        let sum: u64 = (0..n).map(|_| poisson(&mut rng, 3.5)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 3.5).abs() < 0.1, "mean={mean}");
+    }
+
+    #[test]
+    fn poisson_zero_lambda_is_zero() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    fn skewed_range_bounds_and_bias() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut sum = 0i64;
+        let n = 10_000;
+        for _ in 0..n {
+            let v = skewed_range(&mut rng, 1900, 2019, 0.4);
+            assert!((1900..=2019).contains(&v));
+            sum += v;
+        }
+        let mean = sum as f64 / n as f64;
+        // gamma < 1 skews toward the upper end: mean far above the midpoint.
+        assert!(mean > 1980.0, "mean={mean}");
+    }
+
+    #[test]
+    fn skewed_range_uniform_when_gamma_one() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let mean: f64 = (0..n)
+            .map(|_| skewed_range(&mut rng, 0, 99, 1.0) as f64)
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 49.5).abs() < 1.5, "mean={mean}");
+    }
+}

@@ -1,0 +1,408 @@
+//! Synthetic IMDb generator.
+//!
+//! Produces the six JOB-light tables — `title`, `movie_companies`,
+//! `cast_info`, `movie_info`, `movie_info_idx`, `movie_keyword` — with the
+//! properties that make the real IMDb hard for traditional estimators:
+//!
+//! * **Skew**: keyword/company/person popularity is Zipfian; production
+//!   years cluster in recent decades.
+//! * **Cross-column correlation**: `kind_id` depends on `production_year`
+//!   (TV output explodes after 2000); `company_type_id` flips between
+//!   production and distribution companies across eras.
+//! * **Cross-*join* correlation** (the killer for independence assumptions):
+//!   a latent per-movie *popularity* drives the fanout of every satellite
+//!   table, and keyword choice depends on the movie's era, so
+//!   `title.production_year` predicates correlate with `movie_keyword`
+//!   membership across the join.
+
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+use crate::bitmap::Bitmap;
+use crate::catalog::{ColRef, Database, ForeignKey, TableId};
+use crate::column::Column;
+use crate::gen::dist::{poisson, skewed_range, Categorical, Zipf};
+use crate::table::Table;
+
+/// Configuration of the synthetic IMDb.
+#[derive(Debug, Clone)]
+pub struct ImdbConfig {
+    /// Number of movies (rows of `title`). Satellite tables scale with this.
+    pub movies: usize,
+    /// Number of distinct keywords.
+    pub keywords: usize,
+    /// Number of distinct companies.
+    pub companies: usize,
+    /// Number of distinct persons.
+    pub persons: usize,
+    /// RNG seed; the same config generates bit-identical data.
+    pub seed: u64,
+}
+
+impl Default for ImdbConfig {
+    fn default() -> Self {
+        Self {
+            movies: 20_000,
+            keywords: 2_000,
+            companies: 800,
+            persons: 10_000,
+            seed: 0xDEE9_5EED,
+        }
+    }
+}
+
+impl ImdbConfig {
+    /// A small configuration for fast unit tests.
+    pub fn tiny(seed: u64) -> Self {
+        Self {
+            movies: 500,
+            keywords: 100,
+            companies: 40,
+            persons: 300,
+            seed,
+        }
+    }
+}
+
+/// Number of `kind_id` values (movie, tv series, tv episode, …), as in IMDb.
+pub const NUM_KINDS: usize = 7;
+/// Number of `role_id` values, as in IMDb's `role_type`.
+pub const NUM_ROLES: usize = 11;
+/// `movie_info.info_type_id` domain size.
+pub const NUM_INFO_TYPES: usize = 110;
+/// First `movie_info_idx.info_type_id` (99..=113 in IMDb).
+pub const INFO_IDX_BASE: i64 = 99;
+/// Number of `movie_info_idx.info_type_id` values.
+pub const NUM_INFO_IDX_TYPES: usize = 15;
+/// Production year range.
+pub const YEAR_RANGE: (i64, i64) = (1880, 2019);
+
+/// Generates the synthetic IMDb database.
+pub fn imdb_database(cfg: &ImdbConfig) -> Database {
+    assert!(cfg.movies > 0, "need at least one movie");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    let n = cfg.movies;
+    // --- Latent per-movie variables -------------------------------------
+    // Era-dependent kind mix: before 2000 mostly movies, after 2000 TV heavy.
+    let kind_old = Categorical::new(&[0.62, 0.10, 0.06, 0.08, 0.06, 0.05, 0.03]);
+    let kind_new = Categorical::new(&[0.25, 0.15, 0.35, 0.08, 0.07, 0.06, 0.04]);
+
+    let mut years = Vec::with_capacity(n);
+    let mut year_nulls = Bitmap::new(n);
+    let mut kinds = Vec::with_capacity(n);
+    let mut popularity = Vec::with_capacity(n);
+    for i in 0..n {
+        let year = skewed_range(&mut rng, YEAR_RANGE.0, YEAR_RANGE.1, 0.35);
+        if rng.random::<f64>() < 0.04 {
+            year_nulls.set(i);
+        }
+        let kind = if year < 2000 {
+            kind_old.sample(&mut rng)
+        } else {
+            kind_new.sample(&mut rng)
+        } as i64
+            + 1;
+        // Popularity: u⁴-shaped — most titles obscure, a thin head of
+        // blockbusters — boosted for recent titles. Popularity drives the
+        // fanout of EVERY satellite table, so joins see *correlated*
+        // per-key frequencies: E[∏fanouts] ≫ ∏E[fanouts], which the
+        // distinct-count join formula structurally cannot model.
+        let u: f64 = rng.random();
+        let recency = ((year - 1950).max(0) as f64 / 70.0).min(1.0);
+        let base = u.powi(8);
+        let pop = base * (0.25 + 0.75 * recency);
+        years.push(year);
+        kinds.push(kind);
+        popularity.push(pop);
+    }
+
+    let title = Table::new(
+        "title",
+        vec![
+            Column::new("id", (1..=n as i64).collect()),
+            Column::new("kind_id", kinds.clone()),
+            Column::with_nulls("production_year", years.clone(), year_nulls),
+        ],
+    );
+
+    // --- movie_keyword ---------------------------------------------------
+    // Keyword ids: a global Zipf head plus era-specific bands, so that
+    // P(keyword | year) is far from P(keyword): the correlation the paper
+    // exploits.
+    let kw_zipf = Zipf::new(cfg.keywords, 1.05);
+    let era_band = (cfg.keywords / 14).max(1);
+    let mut mk_movie = Vec::new();
+    let mut mk_kw = Vec::new();
+    for i in 0..n {
+        let cnt = poisson(&mut rng, 0.15 + popularity[i] * 25.0);
+        for _ in 0..cnt {
+            let kw = if rng.random::<f64>() < 0.65 {
+                // Era-specific keyword: a narrow band selected by the
+                // movie's 20-year era, so P(keyword | year) is far from
+                // P(keyword).
+                let era = ((years[i] - YEAR_RANGE.0) / 20).clamp(0, 6) as usize;
+                let offset = (era * era_band) % cfg.keywords;
+                (offset + rng.random_range(0..era_band)) as i64 % cfg.keywords as i64 + 1
+            } else {
+                kw_zipf.sample(&mut rng) as i64
+            };
+            mk_movie.push(i as i64 + 1);
+            mk_kw.push(kw);
+        }
+    }
+    let mk_len = mk_movie.len();
+    let movie_keyword = Table::new(
+        "movie_keyword",
+        vec![
+            Column::new("id", (1..=mk_len as i64).collect()),
+            Column::new("movie_id", mk_movie),
+            Column::new("keyword_id", mk_kw),
+        ],
+    );
+
+    // --- cast_info ---------------------------------------------------------
+    let person_zipf = Zipf::new(cfg.persons, 1.02);
+    let role_movie = Categorical::new(&[0.42, 0.34, 0.05, 0.05, 0.02, 0.02, 0.02, 0.04, 0.02, 0.01, 0.01]);
+    let role_tv = Categorical::new(&[0.10, 0.08, 0.04, 0.04, 0.32, 0.22, 0.04, 0.10, 0.02, 0.02, 0.02]);
+    let mut ci_movie = Vec::new();
+    let mut ci_person = Vec::new();
+    let mut ci_role = Vec::new();
+    for i in 0..n {
+        let base = if kinds[i] == 1 { 0.6 } else { 0.2 };
+        let cnt = 1 + poisson(&mut rng, base + popularity[i] * 40.0);
+        let roles = if kinds[i] <= 2 { &role_movie } else { &role_tv };
+        for _ in 0..cnt {
+            ci_movie.push(i as i64 + 1);
+            ci_person.push(person_zipf.sample(&mut rng) as i64);
+            ci_role.push(roles.sample(&mut rng) as i64 + 1);
+        }
+    }
+    let ci_len = ci_movie.len();
+    let cast_info = Table::new(
+        "cast_info",
+        vec![
+            Column::new("id", (1..=ci_len as i64).collect()),
+            Column::new("movie_id", ci_movie),
+            Column::new("person_id", ci_person),
+            Column::new("role_id", ci_role),
+        ],
+    );
+
+    // --- movie_companies ----------------------------------------------------
+    let company_zipf = Zipf::new(cfg.companies, 1.1);
+    let mut mc_movie = Vec::new();
+    let mut mc_company = Vec::new();
+    let mut mc_type = Vec::new();
+    for i in 0..n {
+        let cnt = 1 + poisson(&mut rng, 0.1 + popularity[i] * 8.0);
+        for _ in 0..cnt {
+            mc_movie.push(i as i64 + 1);
+            mc_company.push(company_zipf.sample(&mut rng) as i64);
+            // company_type: 1 = production, 2 = distribution. Distribution
+            // entries dominate for older, re-released titles.
+            let p_dist = if years[i] < 1990 { 0.85 } else { 0.15 };
+            mc_type.push(if rng.random::<f64>() < p_dist { 2 } else { 1 });
+        }
+    }
+    let mc_len = mc_movie.len();
+    let movie_companies = Table::new(
+        "movie_companies",
+        vec![
+            Column::new("id", (1..=mc_len as i64).collect()),
+            Column::new("movie_id", mc_movie),
+            Column::new("company_id", mc_company),
+            Column::new("company_type_id", mc_type),
+        ],
+    );
+
+    // --- movie_info -----------------------------------------------------------
+    // Info types cluster by kind: each kind contributes a band of types.
+    let mut mi_movie = Vec::new();
+    let mut mi_type = Vec::new();
+    for i in 0..n {
+        let cnt = poisson(&mut rng, 0.3 + popularity[i] * 25.0);
+        let band = ((kinds[i] - 1) as usize * 16) % NUM_INFO_TYPES;
+        for _ in 0..cnt {
+            let ty = if rng.random::<f64>() < 0.8 {
+                (band + rng.random_range(0..16)) % NUM_INFO_TYPES
+            } else {
+                rng.random_range(0..NUM_INFO_TYPES)
+            } as i64
+                + 1;
+            mi_movie.push(i as i64 + 1);
+            mi_type.push(ty);
+        }
+    }
+    let mi_len = mi_movie.len();
+    let movie_info = Table::new(
+        "movie_info",
+        vec![
+            Column::new("id", (1..=mi_len as i64).collect()),
+            Column::new("movie_id", mi_movie),
+            Column::new("info_type_id", mi_type),
+        ],
+    );
+
+    // --- movie_info_idx ----------------------------------------------------------
+    // Ratings/votes exist mostly for popular titles.
+    let mut mx_movie = Vec::new();
+    let mut mx_type = Vec::new();
+    for i in 0..n {
+        // Ratings/votes exist mostly for popular, recent titles, and the
+        // info type itself is era-correlated.
+        let p = (0.03 + popularity[i] * 3.0).min(1.0);
+        if rng.random::<f64>() < p {
+            let cnt = 1 + poisson(&mut rng, 0.8);
+            let era = ((years[i] - YEAR_RANGE.0) / 20).clamp(0, 6);
+            for _ in 0..cnt {
+                let ty = if rng.random::<f64>() < 0.6 {
+                    INFO_IDX_BASE + (era * 2 + rng.random_range(0..2)).min(NUM_INFO_IDX_TYPES as i64 - 1)
+                } else {
+                    INFO_IDX_BASE + rng.random_range(0..NUM_INFO_IDX_TYPES as i64)
+                };
+                mx_movie.push(i as i64 + 1);
+                mx_type.push(ty);
+            }
+        }
+    }
+    let mx_len = mx_movie.len();
+    let movie_info_idx = Table::new(
+        "movie_info_idx",
+        vec![
+            Column::new("id", (1..=mx_len as i64).collect()),
+            Column::new("movie_id", mx_movie),
+            Column::new("info_type_id", mx_type),
+        ],
+    );
+
+    // --- assemble ----------------------------------------------------------------
+    let tables = vec![
+        title,           // 0
+        movie_companies, // 1
+        cast_info,       // 2
+        movie_info,      // 3
+        movie_info_idx,  // 4
+        movie_keyword,   // 5
+    ];
+    let fk = |from_table: usize| ForeignKey {
+        from: ColRef::new(TableId(from_table), 1), // movie_id is column 1 everywhere
+        to: ColRef::new(TableId(0), 0),            // title.id
+    };
+    let fks = vec![fk(1), fk(2), fk(3), fk(4), fk(5)];
+    Database::new("imdb", tables, fks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Database {
+        imdb_database(&ImdbConfig::tiny(7))
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = imdb_database(&ImdbConfig::tiny(1));
+        let b = imdb_database(&ImdbConfig::tiny(1));
+        assert_eq!(a.total_rows(), b.total_rows());
+        let ta = a.table(TableId(5));
+        let tb = b.table(TableId(5));
+        assert_eq!(ta.column(2).data(), tb.column(2).data());
+        let c = imdb_database(&ImdbConfig::tiny(2));
+        assert_ne!(
+            a.table(TableId(5)).column(2).data(),
+            c.table(TableId(5)).column(2).data()
+        );
+    }
+
+    #[test]
+    fn schema_shape() {
+        let db = tiny();
+        assert_eq!(db.num_tables(), 6);
+        for name in [
+            "title",
+            "movie_companies",
+            "cast_info",
+            "movie_info",
+            "movie_info_idx",
+            "movie_keyword",
+        ] {
+            assert!(db.table_id(name).is_some(), "{name} missing");
+        }
+        assert_eq!(db.foreign_keys().len(), 5);
+        // All satellites join title on movie_id.
+        for fk in db.foreign_keys() {
+            assert_eq!(fk.to, ColRef::new(db.table_id("title").unwrap(), 0));
+            assert_eq!(db.table(fk.from.table).column(fk.from.col).name(), "movie_id");
+        }
+    }
+
+    #[test]
+    fn movie_ids_reference_titles() {
+        let db = tiny();
+        let n = db.table(db.table_id("title").unwrap()).num_rows() as i64;
+        for fk in db.foreign_keys() {
+            let col = db.table(fk.from.table).column(fk.from.col);
+            for &v in col.data() {
+                assert!((1..=n).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn year_kind_correlation_exists() {
+        let db = tiny();
+        let t = db.table(db.table_id("title").unwrap());
+        let years = t.column_by_name("production_year").unwrap();
+        let kinds = t.column_by_name("kind_id").unwrap();
+        let mut tv_new = 0usize;
+        let mut tot_new = 0usize;
+        let mut tv_old = 0usize;
+        let mut tot_old = 0usize;
+        for i in 0..t.num_rows() {
+            let Some(y) = years.get(i) else { continue };
+            let k = kinds.get(i).unwrap();
+            if y >= 2000 {
+                tot_new += 1;
+                if k == 3 {
+                    tv_new += 1;
+                }
+            } else {
+                tot_old += 1;
+                if k == 3 {
+                    tv_old += 1;
+                }
+            }
+        }
+        assert!(tot_new > 0 && tot_old > 0);
+        let f_new = tv_new as f64 / tot_new as f64;
+        let f_old = tv_old as f64 / tot_old as f64;
+        assert!(
+            f_new > f_old + 0.1,
+            "expected TV-episode share to jump after 2000: old={f_old:.3} new={f_new:.3}"
+        );
+    }
+
+    #[test]
+    fn keyword_distribution_is_skewed() {
+        let db = imdb_database(&ImdbConfig::tiny(11));
+        let mk = db.table(db.table_id("movie_keyword").unwrap());
+        let col = mk.column_by_name("keyword_id").unwrap();
+        let distinct = col.n_distinct();
+        assert!(distinct > 10, "distinct={distinct}");
+        // Top keyword should carry far more than the uniform share.
+        let mut counts = std::collections::HashMap::new();
+        for &v in col.data() {
+            *counts.entry(v).or_insert(0usize) += 1;
+        }
+        let max = counts.values().copied().max().unwrap();
+        let uniform = mk.num_rows() / distinct;
+        assert!(max > uniform * 3, "max={max} uniform={uniform}");
+    }
+
+    #[test]
+    fn default_scale_is_reasonable() {
+        let cfg = ImdbConfig::default();
+        assert!(cfg.movies >= 10_000);
+    }
+}

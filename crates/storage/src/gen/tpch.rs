@@ -1,0 +1,288 @@
+//! Synthetic TPC-H subset generator.
+//!
+//! Generates `region`, `nation`, `customer`, `orders`, `lineitem`, `part`,
+//! and `supplier` with spec-like *uniform, independent* value distributions
+//! (TPC-H §4.2). This is the "easy" dataset of the demo: because columns are
+//! independent, traditional estimators already do well, which contrasts with
+//! the correlated IMDb data.
+
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+use crate::catalog::{ColRef, Database, ForeignKey, TableId};
+use crate::column::Column;
+use crate::gen::dist::poisson;
+use crate::table::Table;
+
+/// Configuration of the synthetic TPC-H subset. Row counts follow the spec
+/// ratios at a miniature scale factor.
+#[derive(Debug, Clone)]
+pub struct TpchConfig {
+    /// Number of customers; orders ≈ 10× and lineitems ≈ 40× this.
+    pub customers: usize,
+    /// Number of parts.
+    pub parts: usize,
+    /// Number of suppliers.
+    pub suppliers: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TpchConfig {
+    fn default() -> Self {
+        Self {
+            customers: 1_500,
+            parts: 2_000,
+            suppliers: 100,
+            seed: 0x7BC8_5EED,
+        }
+    }
+}
+
+impl TpchConfig {
+    /// A small configuration for fast unit tests.
+    pub fn tiny(seed: u64) -> Self {
+        Self {
+            customers: 60,
+            parts: 50,
+            suppliers: 10,
+            seed,
+        }
+    }
+}
+
+/// Number of TPC-H regions.
+pub const NUM_REGIONS: usize = 5;
+/// Number of TPC-H nations.
+pub const NUM_NATIONS: usize = 25;
+/// Order/ship dates are day offsets in `0..NUM_DAYS` (1992-01-01 + d).
+pub const NUM_DAYS: i64 = 2_405;
+
+/// Generates the synthetic TPC-H database.
+pub fn tpch_database(cfg: &TpchConfig) -> Database {
+    assert!(cfg.customers > 0 && cfg.parts > 0 && cfg.suppliers > 0);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // --- region / nation (fixed small dimensions) ------------------------
+    let region = Table::new(
+        "region",
+        vec![Column::new("r_regionkey", (0..NUM_REGIONS as i64).collect())],
+    );
+    let nation = Table::new(
+        "nation",
+        vec![
+            Column::new("n_nationkey", (0..NUM_NATIONS as i64).collect()),
+            Column::new(
+                "n_regionkey",
+                (0..NUM_NATIONS as i64).map(|k| k % NUM_REGIONS as i64).collect(),
+            ),
+        ],
+    );
+
+    // --- customer ---------------------------------------------------------
+    let nc = cfg.customers;
+    let customer = Table::new(
+        "customer",
+        vec![
+            Column::new("c_custkey", (1..=nc as i64).collect()),
+            Column::new(
+                "c_nationkey",
+                (0..nc).map(|_| rng.random_range(0..NUM_NATIONS as i64)).collect(),
+            ),
+            Column::new(
+                "c_acctbal",
+                (0..nc).map(|_| rng.random_range(-999..=9999)).collect(),
+            ),
+            Column::new(
+                "c_mktsegment",
+                (0..nc).map(|_| rng.random_range(1..=5)).collect(),
+            ),
+        ],
+    );
+
+    // --- supplier ---------------------------------------------------------
+    let ns = cfg.suppliers;
+    let supplier = Table::new(
+        "supplier",
+        vec![
+            Column::new("s_suppkey", (1..=ns as i64).collect()),
+            Column::new(
+                "s_nationkey",
+                (0..ns).map(|_| rng.random_range(0..NUM_NATIONS as i64)).collect(),
+            ),
+            Column::new(
+                "s_acctbal",
+                (0..ns).map(|_| rng.random_range(-999..=9999)).collect(),
+            ),
+        ],
+    );
+
+    // --- part ---------------------------------------------------------------
+    let np = cfg.parts;
+    let part = Table::new(
+        "part",
+        vec![
+            Column::new("p_partkey", (1..=np as i64).collect()),
+            Column::new("p_size", (0..np).map(|_| rng.random_range(1..=50)).collect()),
+            Column::new("p_brand", (0..np).map(|_| rng.random_range(1..=25)).collect()),
+            Column::new(
+                "p_retailprice",
+                (0..np).map(|_| rng.random_range(900..=2000)).collect(),
+            ),
+        ],
+    );
+
+    // --- orders: ~10 per customer (spec ratio) -----------------------------
+    let mut o_key = Vec::new();
+    let mut o_cust = Vec::new();
+    let mut o_date = Vec::new();
+    let mut o_status = Vec::new();
+    let mut o_prio = Vec::new();
+    for c in 1..=nc as i64 {
+        let cnt = poisson(&mut rng, 10.0);
+        for _ in 0..cnt {
+            o_key.push(o_key.len() as i64 + 1);
+            o_cust.push(c);
+            o_date.push(rng.random_range(0..NUM_DAYS));
+            o_status.push(rng.random_range(1..=3));
+            o_prio.push(rng.random_range(1..=5));
+        }
+    }
+    let orders = Table::new(
+        "orders",
+        vec![
+            Column::new("o_orderkey", o_key.clone()),
+            Column::new("o_custkey", o_cust),
+            Column::new("o_orderdate", o_date.clone()),
+            Column::new("o_orderstatus", o_status),
+            Column::new("o_orderpriority", o_prio),
+        ],
+    );
+
+    // --- lineitem: 1..7 per order (spec) ------------------------------------
+    let mut l_order = Vec::new();
+    let mut l_part = Vec::new();
+    let mut l_supp = Vec::new();
+    let mut l_qty = Vec::new();
+    let mut l_disc = Vec::new();
+    let mut l_ship = Vec::new();
+    for (i, &ok) in o_key.iter().enumerate() {
+        let cnt = rng.random_range(1..=7);
+        for _ in 0..cnt {
+            l_order.push(ok);
+            l_part.push(rng.random_range(1..=np as i64));
+            l_supp.push(rng.random_range(1..=ns as i64));
+            l_qty.push(rng.random_range(1..=50));
+            l_disc.push(rng.random_range(0..=10));
+            l_ship.push((o_date[i] + rng.random_range(1..=121)).min(NUM_DAYS + 121));
+        }
+    }
+    let lineitem = Table::new(
+        "lineitem",
+        vec![
+            Column::new("l_orderkey", l_order),
+            Column::new("l_partkey", l_part),
+            Column::new("l_suppkey", l_supp),
+            Column::new("l_quantity", l_qty),
+            Column::new("l_discount", l_disc),
+            Column::new("l_shipdate", l_ship),
+        ],
+    );
+
+    // --- assemble -------------------------------------------------------------
+    let tables = vec![
+        region,   // 0
+        nation,   // 1
+        customer, // 2
+        orders,   // 3
+        lineitem, // 4
+        part,     // 5
+        supplier, // 6
+    ];
+    let fks = vec![
+        ForeignKey {
+            from: ColRef::new(TableId(1), 1), // nation.n_regionkey
+            to: ColRef::new(TableId(0), 0),   // region.r_regionkey
+        },
+        ForeignKey {
+            from: ColRef::new(TableId(2), 1), // customer.c_nationkey
+            to: ColRef::new(TableId(1), 0),   // nation.n_nationkey
+        },
+        ForeignKey {
+            from: ColRef::new(TableId(3), 1), // orders.o_custkey
+            to: ColRef::new(TableId(2), 0),   // customer.c_custkey
+        },
+        ForeignKey {
+            from: ColRef::new(TableId(4), 0), // lineitem.l_orderkey
+            to: ColRef::new(TableId(3), 0),   // orders.o_orderkey
+        },
+        ForeignKey {
+            from: ColRef::new(TableId(4), 1), // lineitem.l_partkey
+            to: ColRef::new(TableId(5), 0),   // part.p_partkey
+        },
+        ForeignKey {
+            from: ColRef::new(TableId(4), 2), // lineitem.l_suppkey
+            to: ColRef::new(TableId(6), 0),   // supplier.s_suppkey
+        },
+    ];
+    Database::new("tpch", tables, fks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_and_fks() {
+        let db = tpch_database(&TpchConfig::tiny(1));
+        assert_eq!(db.num_tables(), 7);
+        assert_eq!(db.foreign_keys().len(), 6);
+        for name in ["region", "nation", "customer", "orders", "lineitem", "part", "supplier"] {
+            assert!(db.table_id(name).is_some(), "{name} missing");
+        }
+        // fk_between finds the lineitem→orders edge.
+        let li = db.table_id("lineitem").unwrap();
+        let or = db.table_id("orders").unwrap();
+        assert!(db.fk_between(li, or).is_some());
+    }
+
+    #[test]
+    fn ratios_follow_spec() {
+        let db = tpch_database(&TpchConfig::tiny(2));
+        let nc = db.table(db.table_id("customer").unwrap()).num_rows() as f64;
+        let no = db.table(db.table_id("orders").unwrap()).num_rows() as f64;
+        let nl = db.table(db.table_id("lineitem").unwrap()).num_rows() as f64;
+        assert!((no / nc) > 6.0 && (no / nc) < 14.0, "orders/customer={}", no / nc);
+        assert!((nl / no) > 2.5 && (nl / no) < 5.5, "lineitem/orders={}", nl / no);
+    }
+
+    #[test]
+    fn keys_are_valid() {
+        let db = tpch_database(&TpchConfig::tiny(3));
+        for fk in db.foreign_keys() {
+            let from = db.table(fk.from.table).column(fk.from.col);
+            let to = db.table(fk.to.table).column(fk.to.col);
+            let valid: std::collections::HashSet<i64> = to.data().iter().copied().collect();
+            for &v in from.data() {
+                assert!(valid.contains(&v), "dangling key {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantity_is_roughly_uniform() {
+        let db = tpch_database(&TpchConfig::default());
+        let li = db.table(db.table_id("lineitem").unwrap());
+        let q = li.column_by_name("l_quantity").unwrap();
+        assert_eq!(q.min_max(), Some((1, 50)));
+        // Uniform 1..=50: mean ≈ 25.5.
+        let mean: f64 = q.data().iter().map(|&v| v as f64).sum::<f64>() / q.len() as f64;
+        assert!((mean - 25.5).abs() < 1.0, "mean={mean}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = tpch_database(&TpchConfig::tiny(9));
+        let b = tpch_database(&TpchConfig::tiny(9));
+        assert_eq!(a.total_rows(), b.total_rows());
+    }
+}

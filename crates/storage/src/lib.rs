@@ -1,0 +1,34 @@
+//! # ds-storage
+//!
+//! In-memory columnar storage engine for the Deep Sketches reproduction.
+//!
+//! This crate plays the role that HyPer plays in the paper: it stores the
+//! datasets (synthetic IMDb and TPC-H), executes `SELECT COUNT(*)` queries
+//! exactly to produce training labels, and materializes per-table samples
+//! whose qualifying-row bitmaps feed the MSCN model.
+//!
+//! The main entry points are:
+//!
+//! * [`Database`] — a named collection of [`Table`]s plus the PK/FK join
+//!   graph metadata.
+//! * [`exec::CountExecutor`] — exact `COUNT(*)` evaluation of
+//!   select-project-join queries via Yannakakis-style message passing.
+//! * [`sample::TableSample`] — materialized row samples with predicate
+//!   bitmap evaluation.
+//! * [`gen`] — seeded synthetic data generators (`gen::imdb`, `gen::tpch`).
+
+pub mod bitmap;
+pub mod catalog;
+pub mod column;
+pub mod csv;
+pub mod exec;
+pub mod gen;
+pub mod predicate;
+pub mod sample;
+pub mod table;
+
+pub use bitmap::Bitmap;
+pub use catalog::{ColRef, Database, ForeignKey, TableId};
+pub use column::Column;
+pub use predicate::{CmpOp, ColPredicate};
+pub use table::Table;

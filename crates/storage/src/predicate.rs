@@ -1,0 +1,128 @@
+//! Base-table predicates.
+//!
+//! The paper's query model (and JOB-light) uses conjunctions of simple
+//! comparison predicates `column op literal` with `op ∈ {=, <, >}`. NULL
+//! values never satisfy a predicate, following SQL three-valued logic for
+//! `WHERE` clauses.
+
+use crate::column::Column;
+
+/// Comparison operator of a base-table predicate. The paper enumerates
+/// exactly these three and one-hot encodes them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+}
+
+impl CmpOp {
+    /// All operators, in the one-hot encoding order used by the featurizer.
+    pub const ALL: [CmpOp; 3] = [CmpOp::Eq, CmpOp::Lt, CmpOp::Gt];
+
+    /// Stable index of this operator in [`CmpOp::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            CmpOp::Eq => 0,
+            CmpOp::Lt => 1,
+            CmpOp::Gt => 2,
+        }
+    }
+
+    /// SQL token for this operator.
+    pub fn sql(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Lt => "<",
+            CmpOp::Gt => ">",
+        }
+    }
+
+    /// Applies the comparison to a non-NULL value.
+    #[inline]
+    pub fn eval(self, value: i64, literal: i64) -> bool {
+        match self {
+            CmpOp::Eq => value == literal,
+            CmpOp::Lt => value < literal,
+            CmpOp::Gt => value > literal,
+        }
+    }
+}
+
+impl std::fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.sql())
+    }
+}
+
+/// A predicate `column op literal` on one column of one table. The column is
+/// identified positionally within the owning table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ColPredicate {
+    /// Index of the column within the table.
+    pub col: usize,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Literal to compare against.
+    pub literal: i64,
+}
+
+impl ColPredicate {
+    /// Creates a predicate.
+    pub fn new(col: usize, op: CmpOp, literal: i64) -> Self {
+        Self { col, op, literal }
+    }
+
+    /// Evaluates the predicate against row `row` of `column`.
+    /// NULL rows never qualify.
+    #[inline]
+    pub fn eval_row(&self, column: &Column, row: usize) -> bool {
+        match column.get(row) {
+            Some(v) => self.op.eval(v, self.literal),
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitmap::Bitmap;
+
+    #[test]
+    fn op_eval_truth_table() {
+        assert!(CmpOp::Eq.eval(5, 5));
+        assert!(!CmpOp::Eq.eval(5, 6));
+        assert!(CmpOp::Lt.eval(4, 5));
+        assert!(!CmpOp::Lt.eval(5, 5));
+        assert!(CmpOp::Gt.eval(6, 5));
+        assert!(!CmpOp::Gt.eval(5, 5));
+    }
+
+    #[test]
+    fn op_indices_match_all_order() {
+        for (i, op) in CmpOp::ALL.iter().enumerate() {
+            assert_eq!(op.index(), i);
+        }
+    }
+
+    #[test]
+    fn sql_tokens() {
+        assert_eq!(CmpOp::Eq.to_string(), "=");
+        assert_eq!(CmpOp::Lt.to_string(), "<");
+        assert_eq!(CmpOp::Gt.to_string(), ">");
+    }
+
+    #[test]
+    fn null_never_qualifies() {
+        let mut nulls = Bitmap::new(2);
+        nulls.set(0);
+        let col = Column::with_nulls("c", vec![7, 7], nulls);
+        let p = ColPredicate::new(0, CmpOp::Eq, 7);
+        assert!(!p.eval_row(&col, 0));
+        assert!(p.eval_row(&col, 1));
+    }
+}

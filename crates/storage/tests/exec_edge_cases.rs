@@ -1,0 +1,208 @@
+//! Executor edge cases: empty tables, all-NULL join keys, dangling keys,
+//! single rows, deep chains, and agreement between both engines under all
+//! of them.
+
+use ds_storage::bitmap::Bitmap;
+use ds_storage::catalog::{ColRef, Database, ForeignKey, TableId};
+use ds_storage::column::Column;
+use ds_storage::exec::{CountExecutor, ExecQuery, JoinEdge, NaiveExecutor};
+use ds_storage::predicate::{CmpOp, ColPredicate};
+use ds_storage::table::Table;
+
+fn edge(a: usize, ac: usize, b: usize, bc: usize) -> JoinEdge {
+    JoinEdge::new(ColRef::new(TableId(a), ac), ColRef::new(TableId(b), bc))
+}
+
+fn both(db: &Database, q: &ExecQuery) -> u64 {
+    let fast = CountExecutor::new().count(db, q).expect("fast");
+    let naive = NaiveExecutor::new().count(db, q).expect("naive");
+    assert_eq!(fast, naive, "executors disagree");
+    fast
+}
+
+#[test]
+fn empty_table_joins_to_zero() {
+    let a = Table::new("a", vec![Column::new("id", vec![1, 2, 3])]);
+    let b = Table::new("b", vec![Column::new("a_id", vec![])]);
+    let db = Database::new(
+        "e",
+        vec![a, b],
+        vec![ForeignKey {
+            from: ColRef::new(TableId(1), 0),
+            to: ColRef::new(TableId(0), 0),
+        }],
+    );
+    let q = ExecQuery {
+        tables: vec![TableId(0), TableId(1)],
+        joins: vec![edge(1, 0, 0, 0)],
+        predicates: vec![],
+    };
+    assert_eq!(both(&db, &q), 0);
+    // Empty table alone.
+    assert_eq!(both(&db, &ExecQuery::single(TableId(1), vec![])), 0);
+}
+
+#[test]
+fn all_null_join_keys_match_nothing() {
+    let a = Table::new("a", vec![Column::new("id", vec![1, 2])]);
+    let b = Table::new(
+        "b",
+        vec![Column::with_nulls(
+            "a_id",
+            vec![1, 2, 1],
+            Bitmap::all_set(3),
+        )],
+    );
+    let db = Database::new("n", vec![a, b], vec![]);
+    let q = ExecQuery {
+        tables: vec![TableId(0), TableId(1)],
+        joins: vec![edge(1, 0, 0, 0)],
+        predicates: vec![],
+    };
+    assert_eq!(both(&db, &q), 0);
+}
+
+#[test]
+fn dangling_foreign_keys_do_not_count() {
+    let a = Table::new("a", vec![Column::new("id", vec![1, 2])]);
+    // Key 99 references nothing.
+    let b = Table::new("b", vec![Column::new("a_id", vec![1, 99, 2, 99])]);
+    let db = Database::new("d", vec![a, b], vec![]);
+    let q = ExecQuery {
+        tables: vec![TableId(0), TableId(1)],
+        joins: vec![edge(1, 0, 0, 0)],
+        predicates: vec![],
+    };
+    assert_eq!(both(&db, &q), 2);
+}
+
+#[test]
+fn single_row_tables_chain() {
+    let a = Table::new("a", vec![Column::new("id", vec![7])]);
+    let b = Table::new(
+        "b",
+        vec![Column::new("a_id", vec![7]), Column::new("id", vec![9])],
+    );
+    let c = Table::new("c", vec![Column::new("b_id", vec![9, 9])]);
+    let db = Database::new("s", vec![a, b, c], vec![]);
+    let q = ExecQuery {
+        tables: vec![TableId(0), TableId(1), TableId(2)],
+        joins: vec![edge(1, 0, 0, 0), edge(2, 0, 1, 1)],
+        predicates: vec![],
+    };
+    assert_eq!(both(&db, &q), 2);
+}
+
+#[test]
+fn deep_chain_with_predicates_on_every_level() {
+    // 4-level chain with fanout 2 per level and a predicate at each level.
+    let l0 = Table::new(
+        "l0",
+        vec![Column::new("id", (0..4).collect()), Column::new("v", vec![0, 1, 0, 1])],
+    );
+    let mk_level = |name: &str, parents: i64| {
+        let mut p = Vec::new();
+        let mut id = Vec::new();
+        let mut v = Vec::new();
+        for parent in 0..parents {
+            for c in 0..2 {
+                id.push(p.len() as i64);
+                p.push(parent);
+                v.push(c);
+            }
+        }
+        Table::new(
+            name,
+            vec![
+                Column::new("parent", p),
+                Column::new("id", id),
+                Column::new("v", v),
+            ],
+        )
+    };
+    let l1 = mk_level("l1", 4);
+    let l2 = mk_level("l2", 8);
+    let l3 = mk_level("l3", 16);
+    let db = Database::new("chain", vec![l0, l1, l2, l3], vec![]);
+    let q = ExecQuery {
+        tables: vec![TableId(0), TableId(1), TableId(2), TableId(3)],
+        joins: vec![edge(1, 0, 0, 0), edge(2, 0, 1, 1), edge(3, 0, 2, 1)],
+        predicates: vec![
+            (TableId(0), ColPredicate::new(1, CmpOp::Eq, 0)),
+            (TableId(1), ColPredicate::new(2, CmpOp::Eq, 1)),
+            (TableId(2), ColPredicate::new(2, CmpOp::Eq, 0)),
+            (TableId(3), ColPredicate::new(2, CmpOp::Gt, -1)),
+        ],
+    };
+    // l0: ids {0,2}; one l1 child each (v=1); one l2 child each (v=0);
+    // both l3 children qualify → 2 × 1 × 1 × 2 = 4.
+    assert_eq!(both(&db, &q), 4);
+}
+
+#[test]
+fn root_choice_does_not_change_counts() {
+    // The Yannakakis executor roots at tables[0]; permuting the table list
+    // must not change results.
+    let a = Table::new("a", vec![Column::new("id", vec![1, 2, 3])]);
+    let b = Table::new(
+        "b",
+        vec![
+            Column::new("a_id", vec![1, 1, 2, 3, 3]),
+            Column::new("v", vec![1, 2, 1, 1, 2]),
+        ],
+    );
+    let c = Table::new("c", vec![Column::new("a_id", vec![1, 2, 2, 3])]);
+    let db = Database::new("p", vec![a, b, c], vec![]);
+    let joins = vec![edge(1, 0, 0, 0), edge(2, 0, 0, 0)];
+    let preds = vec![(TableId(1), ColPredicate::new(1, CmpOp::Eq, 1))];
+    let mut counts = Vec::new();
+    for tables in [
+        vec![TableId(0), TableId(1), TableId(2)],
+        vec![TableId(1), TableId(0), TableId(2)],
+        vec![TableId(2), TableId(1), TableId(0)],
+    ] {
+        let q = ExecQuery {
+            tables,
+            joins: joins.clone(),
+            predicates: preds.clone(),
+        };
+        counts.push(both(&db, &q));
+    }
+    assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
+}
+
+#[test]
+fn contradictory_predicates_yield_zero() {
+    let a = Table::new("a", vec![Column::new("v", (0..100).collect())]);
+    let db = Database::new("c", vec![a], vec![]);
+    let q = ExecQuery::single(
+        TableId(0),
+        vec![
+            ColPredicate::new(0, CmpOp::Gt, 50),
+            ColPredicate::new(0, CmpOp::Lt, 10),
+        ],
+    );
+    assert_eq!(both(&db, &q), 0);
+}
+
+#[test]
+fn executor_count_is_stable_across_repeated_calls() {
+    // The leaf-message cache must not corrupt repeated evaluations.
+    let a = Table::new("a", vec![Column::new("id", (0..50).collect())]);
+    let b = Table::new(
+        "b",
+        vec![Column::new("a_id", (0..200).map(|i| i % 50).collect())],
+    );
+    let db = Database::new("r", vec![a, b], vec![]);
+    let exec = CountExecutor::new();
+    let q = ExecQuery {
+        tables: vec![TableId(0), TableId(1)],
+        joins: vec![edge(1, 0, 0, 0)],
+        predicates: vec![],
+    };
+    let first = exec.count(&db, &q).unwrap();
+    for _ in 0..5 {
+        assert_eq!(exec.count(&db, &q).unwrap(), first);
+    }
+    assert_eq!(first, 200);
+}

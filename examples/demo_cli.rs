@@ -1,0 +1,152 @@
+//! An interactive, terminal version of the paper's demo (Figure 2 without
+//! the browser): build or load sketches, type SQL, and see the Deep Sketch
+//! estimate next to the PostgreSQL- and HyPer-style estimates and the true
+//! cardinality — the demo's EXECUTE button.
+//!
+//! Commands:
+//!   tables                     — list tables and row counts
+//!   sketches                   — list sketches in the store (SHOW SKETCHES)
+//!   train <name>               — train a new sketch in the background
+//!   advise                     — run the sketch advisor on JOB-light
+//!   SELECT COUNT(*) FROM …     — estimate with everything + ground truth
+//!   …  WHERE col = ?           — template query, grouped output
+//!   quit
+//!
+//! Run with: `cargo run --release --example demo_cli` and pipe commands in,
+//! e.g. `echo 'SELECT COUNT(*) FROM title' | cargo run --example demo_cli`.
+
+use std::io::{BufRead, Write};
+use std::sync::Arc;
+
+use deep_sketches::core::advisor::{recommend, AdvisorConfig};
+use deep_sketches::core::store::SketchStore;
+use deep_sketches::core::template::{QueryTemplate, ValueFn};
+use deep_sketches::prelude::*;
+
+fn main() {
+    let db = Arc::new(imdb_database(&ImdbConfig {
+        movies: 3_000,
+        keywords: 500,
+        companies: 200,
+        persons: 2_000,
+        seed: 17,
+    }));
+    println!("synthetic IMDb loaded: {} rows", db.total_rows());
+
+    println!("training the default sketch …");
+    let store = SketchStore::new();
+    let default_sketch = SketchBuilder::new(&db, imdb_predicate_columns(&db))
+        .training_queries(2_000)
+        .epochs(12)
+        .sample_size(100)
+        .hidden_units(64)
+        .max_tables(5)
+        .seed(29)
+        .build()
+        .expect("default sketch");
+    store.insert("default", default_sketch).expect("fresh store");
+
+    let postgres = PostgresEstimator::build(&db);
+    let hyper = SamplingEstimator::build(&db, 100, 31);
+    let oracle = TrueCardinalityOracle::new(&db);
+
+    let stdin = std::io::stdin();
+    print_prompt();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        let input = line.trim();
+        if input.is_empty() {
+            print_prompt();
+            continue;
+        }
+        match input {
+            "quit" | "exit" => break,
+            "tables" => {
+                for t in db.tables() {
+                    println!("  {:<16} {:>8} rows", t.name(), t.num_rows());
+                }
+            }
+            "sketches" => {
+                for (name, status) in store.list() {
+                    println!("  {name:<12} {status:?}");
+                }
+            }
+            "advise" => {
+                let wl = job_light_workload(&db, 1);
+                let advice = recommend(&db, &wl, &AdvisorConfig::default());
+                println!(
+                    "  advisor covers {:.0}% of JOB-light with {} sketch(es):",
+                    advice.coverage * 100.0,
+                    advice.recommendations.len()
+                );
+                for r in &advice.recommendations {
+                    let names: Vec<&str> =
+                        r.tables.iter().map(|&t| db.table(t).name()).collect();
+                    println!(
+                        "    {{{}}} — {} queries, ≈{:.2} MiB",
+                        names.join(", "),
+                        r.newly_covered.len(),
+                        r.est_footprint_bytes as f64 / (1024.0 * 1024.0)
+                    );
+                }
+            }
+            cmd if cmd.starts_with("train ") => {
+                let name = cmd["train ".len()..].trim().to_string();
+                let cols = imdb_predicate_columns(&db);
+                match store.train_in_background(
+                    name.clone(),
+                    Arc::clone(&db),
+                    |b| {
+                        b.training_queries(1_500)
+                            .epochs(10)
+                            .sample_size(100)
+                            .hidden_units(64)
+                            .seed(97)
+                    },
+                    cols,
+                ) {
+                    Ok(()) => println!("  training '{name}' in the background; keep querying"),
+                    Err(e) => println!("  error: {e}"),
+                }
+            }
+            sql if sql.contains('?') => match QueryTemplate::parse_sql(&db, sql) {
+                Ok(template) => {
+                    let sketch = store.get("default").expect("default sketch");
+                    let ours =
+                        template.evaluate(sketch.samples(), ValueFn::GroupBy(10), &*sketch);
+                    let truth =
+                        template.evaluate(sketch.samples(), ValueFn::GroupBy(10), &oracle);
+                    println!("  {:>10} {:>10} {:>10}", "group", "sketch", "true");
+                    for (o, t) in ours.iter().zip(&truth) {
+                        println!("  {:>10} {:>10.0} {:>10.0}", o.0 * 10, o.1, t.1);
+                    }
+                }
+                Err(e) => println!("  {e}"),
+            },
+            sql => match parse_query(&db, sql) {
+                Ok(q) => {
+                    let truth = oracle.estimate(&q);
+                    let sketch = store.get("default").expect("default sketch");
+                    println!(
+                        "  true {:>10.0} | sketch {:>10.0} (q={:.2}) | pg {:>10.0} (q={:.2}) | hyper {:>10.0} (q={:.2})",
+                        truth,
+                        sketch.estimate(&q),
+                        qerror(sketch.estimate(&q), truth),
+                        postgres.estimate(&q),
+                        qerror(postgres.estimate(&q), truth),
+                        hyper.estimate(&q),
+                        qerror(hyper.estimate(&q), truth),
+                    );
+                }
+                Err(e) => println!("  {e}"),
+            },
+        }
+        print_prompt();
+    }
+    println!("bye");
+}
+
+fn print_prompt() {
+    print!("deep-sketches> ");
+    std::io::stdout().flush().ok();
+}

@@ -1,0 +1,57 @@
+//! Parser robustness: round-trips for all generated workloads and
+//! no-panic behaviour on arbitrary input.
+
+use proptest::prelude::*;
+
+use deep_sketches::prelude::*;
+use deep_sketches::query::parser::parse;
+use deep_sketches::query::sqlgen::to_sql;
+use deep_sketches::query::{GeneratorConfig, QueryGenerator};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every generated query round-trips exactly through SQL text.
+    #[test]
+    fn generated_queries_roundtrip(seed in 0u64..100_000) {
+        let db = imdb_database(&ImdbConfig::tiny(2));
+        let mut cfg = GeneratorConfig::new(imdb_predicate_columns(&db), seed);
+        cfg.max_tables = 5;
+        cfg.max_predicates = 4;
+        let mut gen = QueryGenerator::new(&db, cfg);
+        for q in gen.generate_batch(10) {
+            let sql = to_sql(&db, &q);
+            let parsed = parse_query(&db, &sql).expect("roundtrip parse");
+            prop_assert_eq!(parsed, q, "sql: {}", sql);
+        }
+    }
+
+    /// The parser never panics on arbitrary ASCII garbage — it returns
+    /// errors instead.
+    #[test]
+    fn arbitrary_input_never_panics(input in "[ -~]{0,120}") {
+        let db = imdb_database(&ImdbConfig::tiny(2));
+        let _ = parse(&db, &input); // Result either way; must not panic
+    }
+
+    /// SQL-ish prefixed garbage doesn't panic either (drives deeper into
+    /// the parser states).
+    #[test]
+    fn sqlish_input_never_panics(tail in "[ -~]{0,80}") {
+        let db = imdb_database(&ImdbConfig::tiny(2));
+        let _ = parse(&db, &format!("SELECT COUNT(*) FROM title WHERE {tail}"));
+        let _ = parse(&db, &format!("SELECT COUNT(*) FROM {tail}"));
+    }
+}
+
+#[test]
+fn unicode_and_long_inputs_error_cleanly() {
+    let db = imdb_database(&ImdbConfig::tiny(2));
+    for bad in [
+        "SELECT COUNT(*) FROM tïtle",
+        "SELECT COUNT(*) FROM title WHERE title.kind_id = 99999999999999999999999",
+        &"SELECT COUNT(*) FROM title, ".repeat(200),
+    ] {
+        assert!(parse(&db, bad).is_err(), "should error: {bad}");
+    }
+}

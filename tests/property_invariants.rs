@@ -1,0 +1,133 @@
+//! Property-based tests of cross-crate invariants: featurization,
+//! normalization, sketch monotonicity hooks, and estimator sanity.
+
+use proptest::prelude::*;
+
+use deep_sketches::core::featurize::Featurizer;
+use deep_sketches::core::metrics::{percentile, qerror, QErrorSummary};
+use deep_sketches::nn::loss::LabelNormalizer;
+use deep_sketches::prelude::*;
+use deep_sketches::query::{GeneratorConfig, QueryGenerator};
+use deep_sketches::storage::sample::sample_all;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// q-error is symmetric, ≥ 1, and scales multiplicatively.
+    #[test]
+    fn qerror_properties(est in 1.0f64..1e9, truth in 1.0f64..1e9) {
+        let q = qerror(est, truth);
+        prop_assert!(q >= 1.0);
+        prop_assert!((qerror(truth, est) - q).abs() < 1e-9 * q);
+        // Scaling both sides leaves q unchanged.
+        let q2 = qerror(est * 7.0, truth * 7.0);
+        prop_assert!((q2 - q).abs() < 1e-6 * q);
+    }
+
+    /// Label normalization is a monotone bijection (up to clamping) of
+    /// [1, max] onto [0, 1].
+    #[test]
+    fn normalizer_monotone_roundtrip(labels in prop::collection::vec(1u64..1_000_000, 2..50)) {
+        let norm = LabelNormalizer::fit(&labels);
+        let mut sorted = labels.clone();
+        sorted.sort_unstable();
+        let mut last = -1.0f32;
+        for &c in &sorted {
+            let y = norm.normalize(c);
+            prop_assert!((0.0..=1.0).contains(&y));
+            prop_assert!(y >= last);
+            last = y;
+            let back = norm.denormalize(y);
+            prop_assert!(qerror(back, c as f64) < 1.001, "c={c} back={back}");
+        }
+    }
+
+    /// Percentiles are monotone in p and bounded by min/max.
+    #[test]
+    fn percentile_monotone(mut xs in prop::collection::vec(0.0f64..1e6, 1..60)) {
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut last = f64::NEG_INFINITY;
+        for i in 0..=10 {
+            let p = i as f64 / 10.0;
+            let v = percentile(&xs, p);
+            prop_assert!(v >= last);
+            prop_assert!(v >= xs[0] && v <= *xs.last().unwrap());
+            last = v;
+        }
+    }
+
+    /// Summary percentiles are ordered: median ≤ p90 ≤ p95 ≤ p99 ≤ max, and
+    /// all lie within [min, max].
+    #[test]
+    fn summary_ordering(qs in prop::collection::vec(1.0f64..1e5, 1..80)) {
+        let s = QErrorSummary::from_qerrors(&qs);
+        prop_assert!(s.median <= s.p90 + 1e-9);
+        prop_assert!(s.p90 <= s.p95 + 1e-9);
+        prop_assert!(s.p95 <= s.p99 + 1e-9);
+        prop_assert!(s.p99 <= s.max + 1e-9);
+        prop_assert!(s.mean <= s.max + 1e-9);
+        prop_assert_eq!(s.count, qs.len());
+    }
+}
+
+proptest! {
+    // Featurization properties run against a fixed small database; fewer
+    // cases keep the suite fast.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every generated query featurizes into vectors of the advertised
+    /// dimensions, with one-hot blocks summing to ≤ 1 and literals in [0,1].
+    #[test]
+    fn featurization_shape_invariants(seed in 0u64..10_000) {
+        let db = imdb_database(&ImdbConfig::tiny(3));
+        let samples = sample_all(&db, 16, 1);
+        let cols = imdb_predicate_columns(&db);
+        let f = Featurizer::build(&db, &cols, 16);
+        let mut gen = QueryGenerator::new(&db, GeneratorConfig::new(cols.clone(), seed));
+        for q in gen.generate_batch(10) {
+            let feats = f.featurize(&q, &samples);
+            prop_assert_eq!(feats.table_rows.len(), q.tables.len());
+            prop_assert_eq!(feats.join_rows.len(), q.num_joins());
+            prop_assert_eq!(feats.pred_rows.len(), q.num_predicates());
+            for row in &feats.table_rows {
+                prop_assert_eq!(row.len(), f.table_dim());
+                let onehot: f32 = row[..f.num_tables()].iter().sum();
+                prop_assert_eq!(onehot, 1.0);
+            }
+            for row in &feats.join_rows {
+                prop_assert_eq!(row.len(), f.join_dim());
+                let s: f32 = row.iter().sum();
+                prop_assert!(s <= 1.0);
+            }
+            for row in &feats.pred_rows {
+                prop_assert_eq!(row.len(), f.pred_dim());
+                let col_onehot: f32 = row[..cols.len()].iter().sum();
+                let op_onehot: f32 = row[cols.len()..cols.len() + 3].iter().sum();
+                let lit = row[cols.len() + 3];
+                prop_assert!(col_onehot <= 1.0);
+                prop_assert_eq!(op_onehot, 1.0);
+                prop_assert!((0.0..=1.0).contains(&lit));
+            }
+        }
+    }
+
+    /// Baseline estimators never panic, never return NaN/Inf, and respect
+    /// the ≥ 1 clamp on arbitrary generated queries.
+    #[test]
+    fn baselines_are_total_functions(seed in 0u64..10_000) {
+        let db = imdb_database(&ImdbConfig::tiny(4));
+        let cols = imdb_predicate_columns(&db);
+        let pg = PostgresEstimator::build(&db);
+        let hy = SamplingEstimator::build(&db, 20, seed);
+        let mut cfg = GeneratorConfig::new(cols, seed ^ 0xAB);
+        cfg.max_tables = 6;
+        cfg.max_predicates = 5;
+        let mut gen = QueryGenerator::new(&db, cfg);
+        for q in gen.generate_batch(15) {
+            for est in [&pg as &dyn CardinalityEstimator, &hy] {
+                let e = est.estimate(&q);
+                prop_assert!(e.is_finite() && e >= 1.0, "{} gave {e}", est.name());
+            }
+        }
+    }
+}
