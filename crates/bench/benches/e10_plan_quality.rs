@@ -40,11 +40,7 @@ fn main() {
         "{:<14} {:>10} {:>12} {:>10}",
         "estimator", "mean", "optimal-%", "max"
     );
-    for est in [
-        &sketch as &dyn CardinalityEstimator,
-        &hyper,
-        &postgres,
-    ] {
+    for est in [&sketch as &dyn CardinalityEstimator, &hyper, &postgres] {
         let label = if est.name().starts_with("Deep") {
             "Deep Sketch"
         } else {

@@ -58,10 +58,7 @@ fn main() {
         .seed(BENCH_SEED ^ 0xE11)
         .build()
         .expect("mscn");
-    println!(
-        "  {} parameters",
-        mscn_sketch.model().num_params()
-    );
+    println!("  {} parameters", mscn_sketch.model().num_params());
 
     // --- Flat MLP ----------------------------------------------------------
     // The flat input is much wider (bitmaps are not shared across tables),
@@ -102,8 +99,14 @@ fn main() {
 
     println!("\nq-errors on JOB-light:");
     println!("{}", QErrorSummary::table_header());
-    println!("{}", QErrorSummary::from_qerrors(&mscn_q).table_row("MSCN (sets)"));
-    println!("{}", QErrorSummary::from_qerrors(&flat_q).table_row("flat MLP"));
+    println!(
+        "{}",
+        QErrorSummary::from_qerrors(&mscn_q).table_row("MSCN (sets)")
+    );
+    println!(
+        "{}",
+        QErrorSummary::from_qerrors(&flat_q).table_row("flat MLP")
+    );
 
     let m = QErrorSummary::from_qerrors(&mscn_q);
     let f = QErrorSummary::from_qerrors(&flat_q);

@@ -75,16 +75,22 @@ fn main() {
     let stale = QErrorSummary::from_qerrors(&qerrors_against_truth(&sketch_v1, &truths, &workload));
 
     let refreshed_sketch = refresh_samples(&sketch_v1, &db_v2, BENCH_SEED ^ 0xD2);
-    let refreshed =
-        QErrorSummary::from_qerrors(&qerrors_against_truth(&refreshed_sketch, &truths, &workload));
+    let refreshed = QErrorSummary::from_qerrors(&qerrors_against_truth(
+        &refreshed_sketch,
+        &truths,
+        &workload,
+    ));
 
     println!("\nretraining on v2 …");
     let retrained_sketch = standard_sketch_builder(&db_v2, imdb_predicate_columns(&db_v2))
         .seed(BENCH_SEED ^ 0xD3)
         .build()
         .expect("v2 sketch");
-    let retrained =
-        QErrorSummary::from_qerrors(&qerrors_against_truth(&retrained_sketch, &truths, &workload));
+    let retrained = QErrorSummary::from_qerrors(&qerrors_against_truth(
+        &retrained_sketch,
+        &truths,
+        &workload,
+    ));
 
     println!("\nJOB-light q-errors against the evolved database:");
     println!("{}", QErrorSummary::table_header());

@@ -38,7 +38,10 @@ fn main() {
         .collect();
 
     let max = vals.iter().cloned().fold(f64::MIN, f64::max);
-    println!("\n{:>6} {:>14} {:>12}  curve", "epoch", "val q-error", "train loss");
+    println!(
+        "\n{:>6} {:>14} {:>12}  curve",
+        "epoch", "val q-error", "train loss"
+    );
     for (i, e) in report.training.epochs.iter().enumerate() {
         let bar = "▆".repeat(((vals[i] / max) * 40.0).round() as usize);
         println!(

@@ -10,9 +10,7 @@
 //!
 //! Run: `cargo bench -p ds-bench --bench e5_zero_tuple`
 
-use ds_bench::{
-    banner, bench_imdb, qerrors_against_truth, standard_imdb_sketch, BENCH_SEED,
-};
+use ds_bench::{banner, bench_imdb, qerrors_against_truth, standard_imdb_sketch, BENCH_SEED};
 use ds_core::metrics::QErrorSummary;
 use ds_est::oracle::TrueCardinalityOracle;
 use ds_est::postgres::PostgresEstimator;
@@ -41,24 +39,22 @@ fn main() {
     let mut generator = QueryGenerator::new(&db, cfg);
     let queries = generator.generate_batch(3_000);
 
-    let (zero, nonzero): (Vec<_>, Vec<_>) = queries
-        .into_iter()
-        .partition(|q| hyper.is_zero_tuple(q));
+    let (zero, nonzero): (Vec<_>, Vec<_>) =
+        queries.into_iter().partition(|q| hyper.is_zero_tuple(q));
     println!(
         "\n{} 0-tuple queries, {} non-0-tuple queries (100-tuple samples)",
         zero.len(),
         nonzero.len()
     );
 
-    for (name, subset) in [("0-TUPLE situations", &zero), ("non-0-tuple queries", &nonzero)] {
+    for (name, subset) in [
+        ("0-TUPLE situations", &zero),
+        ("non-0-tuple queries", &nonzero),
+    ] {
         let truths: Vec<f64> = subset.iter().map(|q| oracle.estimate(q)).collect();
         println!("\nq-errors on {name} ({} queries):", subset.len());
         println!("{}", QErrorSummary::table_header());
-        for est in [
-            &sketch as &dyn CardinalityEstimator,
-            &hyper,
-            &postgres,
-        ] {
+        for est in [&sketch as &dyn CardinalityEstimator, &hyper, &postgres] {
             let label = if est.name().starts_with("Deep") {
                 "Deep Sketch"
             } else {

@@ -64,8 +64,7 @@ fn main() {
     let s_ho = QErrorSummary::from_qerrors(&qerrors_against_truth(&sketch, &truths_ho, &held_out));
     println!("{}", s_ho.table_row("in-dist."));
     let truths_jl: Vec<f64> = job_light.iter().map(|q| oracle.estimate(q)).collect();
-    let s_jl =
-        QErrorSummary::from_qerrors(&qerrors_against_truth(&sketch, &truths_jl, &job_light));
+    let s_jl = QErrorSummary::from_qerrors(&qerrors_against_truth(&sketch, &truths_jl, &job_light));
     println!("{}", s_jl.table_row("JOB-light"));
     println!(
         "  median shift {:.2}× → {}",

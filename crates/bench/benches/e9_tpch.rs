@@ -9,9 +9,9 @@ use ds_bench::{banner, bench_tpch, qerrors_against_truth, BENCH_SEED};
 use ds_core::builder::SketchBuilder;
 use ds_core::metrics::QErrorSummary;
 use ds_est::oracle::TrueCardinalityOracle;
-use ds_est::CardinalityEstimator;
 use ds_est::postgres::PostgresEstimator;
 use ds_est::sampling::SamplingEstimator;
+use ds_est::CardinalityEstimator;
 use ds_query::workloads::tpch::tpch_workload;
 use ds_query::workloads::tpch_predicate_columns;
 

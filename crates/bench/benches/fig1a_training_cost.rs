@@ -39,14 +39,8 @@ fn main() {
         .seed(BENCH_SEED ^ 2)
         .build_with_report()
         .expect("pipeline");
-    println!(
-        "  step 1+2 generate queries : {:>10.2?}",
-        report.generation
-    );
-    println!(
-        "  step 3   execute (labels) : {:>10.2?}",
-        report.execution
-    );
+    println!("  step 1+2 generate queries : {:>10.2?}", report.generation);
+    println!("  step 3   execute (labels) : {:>10.2?}", report.execution);
     println!(
         "  step 4   featurize+train  : {:>10.2?}  ({:.2?}/epoch)",
         report.training.total_duration,
@@ -71,9 +65,7 @@ fn main() {
         per_epoch.push(per);
         println!("  {epochs:>7} {total:>12.2?} {per:>12.3}s");
     }
-    let spread = per_epoch
-        .iter()
-        .fold(f64::NEG_INFINITY, |a, &b| a.max(b))
+    let spread = per_epoch.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b))
         / per_epoch.iter().fold(f64::INFINITY, |a, &b| a.min(b));
     println!(
         "  per-epoch spread {:.2}× → {}",
@@ -87,7 +79,10 @@ fn main() {
 
     // --- (3) more queries → better validation q-error, flattening -------
     println!("\n[3] validation mean q-error vs number of training queries (16 epochs):");
-    println!("  {:>9} {:>14} {:>12}", "queries", "val q-error", "train time");
+    println!(
+        "  {:>9} {:>14} {:>12}",
+        "queries", "val q-error", "train time"
+    );
     for &n in &[1_000usize, 2_500, 5_000, 10_000] {
         let (_, r) = SketchBuilder::new(&db, cols.clone())
             .training_queries(n)

@@ -92,8 +92,14 @@ fn main() {
                 AND mc.company_type_id = ?";
     let template2 = QueryTemplate::parse_sql(&db, sql2).expect("template SQL");
     for (label, series) in [
-        ("true", template2.evaluate(sketch.samples(), ValueFn::Identity, &oracle)),
-        ("sketch", template2.evaluate(sketch.samples(), ValueFn::Identity, &sketch)),
+        (
+            "true",
+            template2.evaluate(sketch.samples(), ValueFn::Identity, &oracle),
+        ),
+        (
+            "sketch",
+            template2.evaluate(sketch.samples(), ValueFn::Identity, &sketch),
+        ),
     ] {
         print!("  {label:<7}");
         for (v, c) in &series {

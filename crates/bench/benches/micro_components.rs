@@ -106,13 +106,45 @@ fn bench_training_step(c: &mut Criterion) {
             |(mut m, mut adam)| {
                 let (y, cache) = m.forward(&batch);
                 let (_, grad) = loss.forward_backward(&y, &labels);
-                m.backward(&cache, &grad);
+                m.backward(&batch, &cache, &grad);
                 m.adam_step(&mut adam);
                 black_box(m.num_params())
             },
             BatchSize::SmallInput,
         )
     });
+}
+
+fn bench_matmul_shapes(c: &mut Criterion) {
+    use ds_nn::pool::PoolConfig;
+    use ds_nn::tensor::{Kernel, Tensor};
+    let filled = |rows: usize, cols: usize, seed: u64| {
+        let mut s = seed | 1;
+        let data = (0..rows * cols)
+            .map(|_| {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((s >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+            })
+            .collect();
+        Tensor::from_vec(rows, cols, data)
+    };
+    // The three MSCN-critical shapes: input layer (batch×feature_dim into
+    // 256 hidden units), hidden 256×256, and the 256→1 output head.
+    for (name, m, k, n) in [
+        ("input_384x106x256", 384, 106, 256),
+        ("hidden_384x256x256", 384, 256, 256),
+        ("head_384x256x1", 384, 256, 1),
+    ] {
+        let a = filled(m, k, 0xA0 ^ m as u64);
+        let b = filled(k, n, 0xB0 ^ n as u64);
+        c.bench_function(&format!("matmul/{name}"), |bch| {
+            bch.iter(|| {
+                black_box(a.matmul_pool(black_box(&b), Kernel::Dense, PoolConfig::single()))
+            })
+        });
+    }
 }
 
 fn bench_estimators(c: &mut Criterion) {
@@ -139,6 +171,6 @@ criterion_group! {
         .sample_size(20)
         .measurement_time(std::time::Duration::from_secs(4))
         .warm_up_time(std::time::Duration::from_secs(1));
-    targets = bench_executor, bench_featurizer, bench_forward, bench_training_step, bench_estimators
+    targets = bench_executor, bench_featurizer, bench_forward, bench_training_step, bench_matmul_shapes, bench_estimators
 }
 criterion_main!(benches);

@@ -1,0 +1,176 @@
+//! **NN kernel + pipeline throughput** — the numbers behind the compute
+//! backbone: matmul kernel timings at the MSCN-critical shapes, end-to-end
+//! training cost at the fig1a configuration (10k queries), and batched vs
+//! looped serving latency on a JOB-light-style workload.
+//!
+//! Writes machine-readable results to `BENCH_nn_kernels.json` at the repo
+//! root (hand-rolled JSON; no serde in the offline build).
+//!
+//! Run: `cargo bench -p ds-bench --bench nn_kernels`
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use ds_bench::{banner, bench_imdb, BENCH_SEED};
+use ds_core::builder::SketchBuilder;
+use ds_nn::pool::PoolConfig;
+use ds_nn::tensor::{reference, Kernel, Tensor};
+use ds_query::workloads::imdb_predicate_columns;
+use ds_query::workloads::job_light::job_light_workload;
+
+/// Median wall-clock seconds of `iters` runs of `f`.
+fn median_secs<R>(iters: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut times = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t = Instant::now();
+        black_box(f());
+        times.push(t.elapsed().as_secs_f64());
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+fn filled(rows: usize, cols: usize, seed: u64) -> Tensor {
+    // Cheap deterministic pseudo-random fill; value distribution is
+    // irrelevant for timing.
+    let mut s = seed | 1;
+    let data = (0..rows * cols)
+        .map(|_| {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((s >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+        })
+        .collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+struct Shape {
+    name: &'static str,
+    m: usize,
+    k: usize,
+    n: usize,
+}
+
+fn main() {
+    banner(
+        "NN",
+        "kernel + pipeline throughput",
+        "tiled matmul at MSCN shapes; fig1a training cost; batched serving",
+    );
+
+    // --- (1) matmul kernels at the MSCN-critical shapes -----------------
+    // batch×feature_dim · feature_dim×256 (input layer), 256×256 (hidden),
+    // 256×1 (output head).
+    let shapes = [
+        Shape {
+            name: "input_384x106_x256",
+            m: 384,
+            k: 106,
+            n: 256,
+        },
+        Shape {
+            name: "hidden_384x256_x256",
+            m: 384,
+            k: 256,
+            n: 256,
+        },
+        Shape {
+            name: "head_384x256_x1",
+            m: 384,
+            k: 256,
+            n: 1,
+        },
+    ];
+    println!("\n[1] matmul kernel medians (seconds):");
+    println!(
+        "  {:<22} {:>12} {:>12} {:>12} {:>8}",
+        "shape", "reference", "tiled", "threaded(4)", "speedup"
+    );
+    let mut kernel_lines = Vec::new();
+    for s in &shapes {
+        let a = filled(s.m, s.k, 0xA0 ^ s.m as u64);
+        let b = filled(s.k, s.n, 0xB0 ^ s.n as u64);
+        let iters = 30;
+        let t_ref = median_secs(iters, || reference::matmul(&a, &b));
+        let t_tiled = median_secs(iters, || {
+            a.matmul_pool(&b, Kernel::Dense, PoolConfig::single())
+        });
+        let t_thr = median_secs(iters, || {
+            a.matmul_pool(&b, Kernel::Dense, PoolConfig::new(4))
+        });
+        // Sanity: all three paths must agree exactly.
+        assert_eq!(
+            reference::matmul(&a, &b).data(),
+            a.matmul_pool(&b, Kernel::Dense, PoolConfig::new(4)).data(),
+            "kernel paths diverged at {}",
+            s.name
+        );
+        let speedup = t_ref / t_tiled;
+        println!(
+            "  {:<22} {t_ref:>12.6} {t_tiled:>12.6} {t_thr:>12.6} {speedup:>7.2}x",
+            s.name
+        );
+        kernel_lines.push(format!(
+            "    {{\"shape\": \"{}\", \"m\": {}, \"k\": {}, \"n\": {}, \
+             \"reference_secs\": {t_ref:.9}, \"tiled_secs\": {t_tiled:.9}, \
+             \"threaded4_secs\": {t_thr:.9}, \"tiled_speedup\": {speedup:.4}}}",
+            s.name, s.m, s.k, s.n
+        ));
+    }
+
+    // --- (2) fig1a training cost at 10k queries -------------------------
+    println!("\n[2] fig1a pipeline at 10k queries / 30 epochs:");
+    let db = bench_imdb();
+    let cols = imdb_predicate_columns(&db);
+    let (sketch, report) = SketchBuilder::new(&db, cols.clone())
+        .training_queries(10_000)
+        .epochs(30)
+        .sample_size(100)
+        .hidden_units(96)
+        .max_tables(5)
+        .max_predicates(4)
+        .seed(BENCH_SEED ^ 2)
+        .build_with_report()
+        .expect("pipeline");
+    let train_secs = report.training.total_duration.as_secs_f64();
+    let exec_secs = report.execution.as_secs_f64();
+    println!("  execute (labels) : {exec_secs:>10.2}s");
+    println!("  featurize+train  : {train_secs:>10.2}s");
+    println!(
+        "  final val q-error: {:>10.2}",
+        report.training.final_val_qerror().unwrap_or(f64::NAN)
+    );
+
+    // --- (3) batched vs looped serving on 1k JOB-light queries ----------
+    println!("\n[3] serving 1000 JOB-light queries:");
+    let base = job_light_workload(&db, 4);
+    let queries: Vec<_> = base.iter().cycle().take(1000).cloned().collect();
+    let looped_secs = median_secs(3, || {
+        queries
+            .iter()
+            .map(|q| sketch.estimate_one(q))
+            .collect::<Vec<f64>>()
+    });
+    let batch_secs = median_secs(3, || sketch.estimate_batch(&queries));
+    // Sanity: both paths must agree exactly.
+    let a = queries
+        .iter()
+        .map(|q| sketch.estimate_one(q))
+        .collect::<Vec<f64>>();
+    let b = sketch.estimate_batch(&queries);
+    assert_eq!(a, b, "batched serving must match looped serving exactly");
+    let speedup = looped_secs / batch_secs;
+    println!("  looped estimate_one: {looped_secs:>10.4}s");
+    println!("  estimate_batch     : {batch_secs:>10.4}s  ({speedup:.2}x)");
+
+    // --- machine-readable dump ------------------------------------------
+    let json = format!(
+        "{{\n  \"kernels\": [\n{}\n  ],\n  \"training_fig1a_10k\": {{\"train_secs\": {train_secs:.4}, \"execute_secs\": {exec_secs:.4}, \"val_qerror\": {:.4}}},\n  \"serving_1k_job_light\": {{\"looped_secs\": {looped_secs:.6}, \"batch_secs\": {batch_secs:.6}, \"speedup\": {speedup:.4}}}\n}}\n",
+        kernel_lines.join(",\n"),
+        report.training.final_val_qerror().unwrap_or(f64::NAN),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_nn_kernels.json");
+    std::fs::write(path, &json).expect("write BENCH_nn_kernels.json");
+    println!("\nwrote {path}");
+}

@@ -84,8 +84,7 @@ fn main() {
     // fixes the cross-join fanout correlation but keeps the 0-tuple
     // weakness, isolating what the learned model adds.
     let cs2 = ds_est::joinsample::JoinSamplingEstimator::build(&db, 0.05);
-    let cs2_summary =
-        QErrorSummary::from_qerrors(&qerrors_against_truth(&cs2, &truths, &workload));
+    let cs2_summary = QErrorSummary::from_qerrors(&qerrors_against_truth(&cs2, &truths, &workload));
     let independence = ds_est::independence::IndependenceOracleEstimator::new(&db);
     let ind_summary =
         QErrorSummary::from_qerrors(&qerrors_against_truth(&independence, &truths, &workload));

@@ -165,14 +165,12 @@ pub fn recommend(db: &Database, workload: &[Query], cfg: &AdvisorConfig) -> Advi
             if newly.is_empty() {
                 continue;
             }
-            let footprint =
-                estimate_footprint(db, cand, cfg.sample_size, cfg.hidden_units) as f64;
+            let footprint = estimate_footprint(db, cand, cfg.sample_size, cfg.hidden_units) as f64;
             let score = newly.len() as f64 / footprint;
             let better = match &best {
                 None => true,
                 Some((s, b, n)) => {
-                    score > *s
-                        || (score == *s && (newly.len(), cand.len()) > (n.len(), b.len()))
+                    score > *s || (score == *s && (newly.len(), cand.len()) > (n.len(), b.len()))
                 }
             };
             if better {
@@ -188,12 +186,7 @@ pub fn recommend(db: &Database, workload: &[Query], cfg: &AdvisorConfig) -> Advi
         }
         recommendations.push(SketchRecommendation {
             tables: cand.clone(),
-            est_footprint_bytes: estimate_footprint(
-                db,
-                cand,
-                cfg.sample_size,
-                cfg.hidden_units,
-            ),
+            est_footprint_bytes: estimate_footprint(db, cand, cfg.sample_size, cfg.hidden_units),
             newly_covered: newly,
         });
     }

@@ -146,7 +146,8 @@ impl<'a> SketchBuilder<'a> {
     /// clamped to its size.
     pub fn tables(mut self, tables: Vec<ds_storage::catalog::TableId>) -> Self {
         assert!(!tables.is_empty(), "table subset must not be empty");
-        self.predicate_columns.retain(|cr| tables.contains(&cr.table));
+        self.predicate_columns
+            .retain(|cr| tables.contains(&cr.table));
         self.tables = Some(tables);
         self
     }
@@ -230,7 +231,9 @@ impl<'a> SketchBuilder<'a> {
         self
     }
 
-    /// Worker threads for training-query execution.
+    /// Worker threads for the whole pipeline: training-query execution,
+    /// the training matmul kernels, and the built sketch's batched
+    /// serving. Results are bit-identical at any thread count.
     pub fn threads(mut self, n: usize) -> Self {
         self.threads = n.max(1);
         self
@@ -316,6 +319,7 @@ impl<'a> SketchBuilder<'a> {
             restore_best: self.restore_best,
             grad_clip: None,
             lr_decay: None,
+            threads: self.threads,
         };
         let total_epochs = self.epochs;
         let training = train_with_callback(
@@ -334,13 +338,14 @@ impl<'a> SketchBuilder<'a> {
             },
         );
 
-        let sketch = DeepSketch::from_parts(
+        let mut sketch = DeepSketch::from_parts(
             model,
             featurizer,
             samples,
             normalizer,
             self.db.name().to_string(),
         );
+        sketch.set_threads(self.threads);
         let footprint_bytes = sketch.footprint_bytes();
         let report = BuildReport {
             generation,

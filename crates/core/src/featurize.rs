@@ -116,7 +116,12 @@ impl Featurizer {
 
     /// Width of a table-set element: `num_tables + sample_size` (bitmap on).
     pub fn table_dim(&self) -> usize {
-        self.num_tables + if self.use_bitmaps { self.sample_size } else { 0 }
+        self.num_tables
+            + if self.use_bitmaps {
+                self.sample_size
+            } else {
+                0
+            }
     }
 
     /// Width of a join-set element: one-hot over the schema's joins.
@@ -227,13 +232,22 @@ impl Featurizer {
     /// Assembles featurized queries into batched set matrices with segment
     /// descriptors for masked mean pooling.
     pub fn batch(&self, feats: &[QueryFeatures]) -> FeatureBatch {
+        let idx: Vec<usize> = (0..feats.len()).collect();
+        self.batch_indexed(feats, &idx)
+    }
+
+    /// [`Featurizer::batch`] over the subset `idx` of `feats`, in `idx`
+    /// order. This is the training loop's batching path: epochs shuffle
+    /// and chunk an index vector and pack each chunk directly from the
+    /// featurized pool, with no per-batch [`QueryFeatures`] clones.
+    pub fn batch_indexed(&self, feats: &[QueryFeatures], idx: &[usize]) -> FeatureBatch {
         let pack = |rows_of: &dyn Fn(&QueryFeatures) -> &Vec<Vec<f32>>, dim: usize| {
-            let total: usize = feats.iter().map(|f| rows_of(f).len()).sum();
+            let total: usize = idx.iter().map(|&i| rows_of(&feats[i]).len()).sum();
             let mut data = Vec::with_capacity(total * dim);
-            let mut segs: Segments = Vec::with_capacity(feats.len());
+            let mut segs: Segments = Vec::with_capacity(idx.len());
             let mut start = 0;
-            for f in feats {
-                let rows = rows_of(f);
+            for &i in idx {
+                let rows = rows_of(&feats[i]);
                 for r in rows {
                     debug_assert_eq!(r.len(), dim);
                     data.extend_from_slice(r);

@@ -48,7 +48,10 @@ impl FlatFeaturizer {
         } else {
             0
         };
-        self.vocab.num_tables() + self.vocab.joins().len() + 4 * self.vocab.columns().len() + bitmaps
+        self.vocab.num_tables()
+            + self.vocab.joins().len()
+            + 4 * self.vocab.columns().len()
+            + bitmaps
     }
 
     /// Encodes one query as a flat vector.
@@ -61,12 +64,7 @@ impl FlatFeaturizer {
             v[t.0] = 1.0;
         }
         for j in &query.joins {
-            if let Some(idx) = self
-                .vocab
-                .joins()
-                .iter()
-                .position(|e| *e == j.canonical())
-            {
+            if let Some(idx) = self.vocab.joins().iter().position(|e| *e == j.canonical()) {
                 v[nt + idx] = 1.0;
             }
         }

@@ -201,10 +201,7 @@ mod tests {
             .seed(2)
             .build()
             .unwrap();
-        let fleet = SketchFleet::new(vec![
-            (vec![title, mk, ci], big),
-            (vec![title, mk], small),
-        ]);
+        let fleet = SketchFleet::new(vec![(vec![title, mk, ci], big), (vec![title, mk], small)]);
         let mut q = Query::new();
         q.add_table(&db, "title").unwrap();
         q.add_table(&db, "movie_keyword").unwrap();
@@ -218,14 +215,13 @@ mod tests {
         let db = db();
         let title = db.table_id("title").unwrap();
         let mk = db.table_id("movie_keyword").unwrap();
-        let sketch = quick(
-            SketchBuilder::new(&db, imdb_predicate_columns(&db)).tables(vec![title, mk]),
-        )
-        .training_queries(400)
-        .epochs(8)
-        .seed(3)
-        .build()
-        .unwrap();
+        let sketch =
+            quick(SketchBuilder::new(&db, imdb_predicate_columns(&db)).tables(vec![title, mk]))
+                .training_queries(400)
+                .epochs(8)
+                .seed(3)
+                .build()
+                .unwrap();
         let oracle = TrueCardinalityOracle::new(&db);
         let wl: Vec<Query> = job_light_workload(&db, 5)
             .into_iter()

@@ -129,10 +129,7 @@ pub fn detect_drift(sketch: &DeepSketch, db: &Database, seed: u64) -> DriftRepor
             let b: Vec<i64> = (0..new_col.len()).filter_map(|r| new_col.get(r)).collect();
             let d = ks_statistic(&a, &b);
             max_drift = max_drift.max(d);
-            if vocab
-                .iter()
-                .any(|cr| cr.table == table && cr.col == ci)
-            {
+            if vocab.iter().any(|cr| cr.table == table && cr.col == ci) {
                 predicate_drift = predicate_drift.max(d);
             }
             column_drifts.push((col.name().to_string(), d));
@@ -251,10 +248,7 @@ mod tests {
         let sketch = tiny_sketch(&db);
         let refreshed = refresh_samples(&sketch, &db, 12345);
         // Model identical.
-        assert_eq!(
-            sketch.model().num_params(),
-            refreshed.model().num_params()
-        );
+        assert_eq!(sketch.model().num_params(), refreshed.model().num_params());
         // Samples differ (different seed) but are drawn from the same data.
         assert_ne!(
             sketch.samples()[0].row_ids(),

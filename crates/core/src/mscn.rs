@@ -20,11 +20,13 @@
 
 use ds_nn::linear::Linear;
 use ds_nn::ops::{
-    relu, relu_backward, segment_mean, segment_mean_backward, sigmoid, sigmoid_backward, Segments,
+    relu_backward_inplace, relu_into, segment_mean_backward_into, segment_mean_into,
+    sigmoid_backward_into, sigmoid_scalar, Segments,
 };
 use ds_nn::optim::Adam;
-use ds_nn::serialize::{Decoder, DecodeError, Encoder};
-use ds_nn::tensor::Tensor;
+use ds_nn::pool::PoolConfig;
+use ds_nn::serialize::{DecodeError, Decoder, Encoder};
+use ds_nn::tensor::{Kernel, Tensor};
 
 use crate::featurize::FeatureBatch;
 
@@ -54,13 +56,25 @@ struct SetModule {
     l2: Linear,
 }
 
-/// Forward cache of one set module.
+/// Forward cache of one set module: pre-activations (for the ReLU masks in
+/// backward), the hidden activation (for `l2`'s weight gradient), and the
+/// pooled per-query output. The raw input and segments are *not* cloned —
+/// backward reads them straight from the [`FeatureBatch`].
+#[derive(Default)]
 struct SetCache {
-    x: Tensor,
     z1: Tensor,
     a1: Tensor,
     z2: Tensor,
-    segs: Segments,
+    a2: Tensor,
+    pooled: Tensor,
+}
+
+/// Reusable backward scratch of one set module.
+#[derive(Default)]
+struct SetScratch {
+    g_a: Tensor,
+    g_b: Tensor,
+    gw: Tensor,
 }
 
 impl SetModule {
@@ -71,31 +85,38 @@ impl SetModule {
         }
     }
 
-    /// Applies the element MLP and mean-pools per segment.
-    fn forward(&self, x: &Tensor, segs: &Segments) -> (Tensor, SetCache) {
-        let z1 = self.l1.forward(x);
-        let a1 = relu(&z1);
-        let z2 = self.l2.forward(&a1);
-        let a2 = relu(&z2);
-        let pooled = segment_mean(&a2, segs);
-        (
-            pooled,
-            SetCache {
-                x: x.clone(),
-                z1,
-                a1,
-                z2,
-                segs: segs.clone(),
-            },
-        )
+    /// Applies the element MLP and mean-pools per segment into `cache`.
+    /// The input layer runs the zero-skip kernel — set-element features
+    /// are one-hot/bitmap rows that are mostly zero.
+    fn forward_into(&self, x: &Tensor, segs: &Segments, pool: PoolConfig, cache: &mut SetCache) {
+        self.l1.forward_into(x, Kernel::Sparse, pool, &mut cache.z1);
+        relu_into(&cache.z1, &mut cache.a1);
+        self.l2
+            .forward_into(&cache.a1, Kernel::Dense, pool, &mut cache.z2);
+        relu_into(&cache.z2, &mut cache.a2);
+        segment_mean_into(&cache.a2, segs, &mut cache.pooled);
     }
 
-    fn backward(&mut self, cache: &SetCache, grad_pooled: &Tensor) {
-        let g_a2 = segment_mean_backward(cache.x.rows(), grad_pooled, &cache.segs);
-        let g_z2 = relu_backward(&cache.z2, &g_a2);
-        let g_a1 = self.l2.backward(&cache.a1, &g_z2);
-        let g_z1 = relu_backward(&cache.z1, &g_a1);
-        self.l1.backward(&cache.x, &g_z1);
+    /// Accumulates gradients for both layers. The gradient w.r.t. the raw
+    /// input features is never needed, so `l1` only accumulates — the
+    /// whole `grad · Wᵀ` product of the widest layer is skipped.
+    fn backward_with(
+        &mut self,
+        x: &Tensor,
+        segs: &Segments,
+        cache: &SetCache,
+        grad_pooled: &Tensor,
+        pool: PoolConfig,
+        s: &mut SetScratch,
+    ) {
+        segment_mean_backward_into(cache.z1.rows(), grad_pooled, segs, &mut s.g_a);
+        relu_backward_inplace(&cache.z2, &mut s.g_a); // g_a is now ∂L/∂z2
+        self.l2
+            .accumulate_grads(&cache.a1, &s.g_a, Kernel::Dense, pool, &mut s.gw);
+        self.l2.input_grad_into(&s.g_a, pool, &mut s.g_b);
+        relu_backward_inplace(&cache.z1, &mut s.g_b); // g_b is now ∂L/∂z1
+        self.l1
+            .accumulate_grads(x, &s.g_b, Kernel::Sparse, pool, &mut s.gw);
     }
 
     fn num_params(&self) -> usize {
@@ -112,9 +133,13 @@ pub struct MscnModel {
     out1: Linear,
     out2: Linear,
     hidden: usize,
+    pool: PoolConfig,
 }
 
-/// Forward cache for one batch, consumed by [`MscnModel::backward`].
+/// Forward cache for one batch, consumed by [`MscnModel::backward`]. All
+/// buffers are reused across [`MscnModel::forward_into`] calls, so a
+/// training loop that keeps one cache alive allocates nothing per batch.
+#[derive(Default)]
 pub struct ForwardCache {
     t: SetCache,
     j: SetCache,
@@ -123,6 +148,37 @@ pub struct ForwardCache {
     z3: Tensor,
     a3: Tensor,
     y: Tensor,
+}
+
+impl ForwardCache {
+    /// An empty cache; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The sigmoid outputs of the forward pass that filled this cache
+    /// (batch × 1).
+    pub fn output(&self) -> &Tensor {
+        &self.y
+    }
+}
+
+/// Reusable backward scratch, the companion of [`ForwardCache`].
+#[derive(Default)]
+pub struct BackwardScratch {
+    g_z4: Tensor,
+    g_a3: Tensor,
+    g_concat: Tensor,
+    g_parts: [Tensor; 3],
+    gw: Tensor,
+    set: SetScratch,
+}
+
+impl BackwardScratch {
+    /// An empty scratch arena; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 /// Serialization magic for model payloads.
@@ -141,12 +197,24 @@ impl MscnModel {
             out1: Linear::new(3 * h, h, cfg.seed ^ 0x04),
             out2: Linear::new(h, 1, cfg.seed ^ 0x05),
             hidden: h,
+            pool: PoolConfig::single(),
         }
     }
 
     /// Hidden width.
     pub fn hidden(&self) -> usize {
         self.hidden
+    }
+
+    /// Thread pool used by the matmul kernels. Results are bit-identical
+    /// at any thread count; this only affects speed.
+    pub fn pool(&self) -> PoolConfig {
+        self.pool
+    }
+
+    /// Sets the kernel thread pool (see [`MscnModel::pool`]).
+    pub fn set_pool(&mut self, pool: PoolConfig) {
+        self.pool = pool;
     }
 
     /// Expected input dimensions `(table, join, pred)`.
@@ -170,26 +238,33 @@ impl MscnModel {
     /// Forward pass: returns per-query normalized outputs `(batch × 1)` in
     /// `(0, 1)` plus the cache for a subsequent backward pass.
     pub fn forward(&self, batch: &FeatureBatch) -> (Tensor, ForwardCache) {
-        let (pt, ct) = self.tables.forward(&batch.tables, &batch.table_segs);
-        let (pj, cj) = self.joins.forward(&batch.joins, &batch.join_segs);
-        let (pp, cp) = self.preds.forward(&batch.preds, &batch.pred_segs);
-        let concat = Tensor::concat_cols(&[&pt, &pj, &pp]);
-        let z3 = self.out1.forward(&concat);
-        let a3 = relu(&z3);
-        let z4 = self.out2.forward(&a3);
-        let y = sigmoid(&z4);
-        (
-            y.clone(),
-            ForwardCache {
-                t: ct,
-                j: cj,
-                p: cp,
-                concat,
-                z3,
-                a3,
-                y,
-            },
-        )
+        let mut cache = ForwardCache::new();
+        self.forward_into(batch, &mut cache);
+        (cache.y.clone(), cache)
+    }
+
+    /// [`MscnModel::forward`] into a reusable cache; read the outputs via
+    /// [`ForwardCache::output`]. This is the allocation-free hot path.
+    pub fn forward_into(&self, batch: &FeatureBatch, cache: &mut ForwardCache) {
+        let pool = self.pool;
+        self.tables
+            .forward_into(&batch.tables, &batch.table_segs, pool, &mut cache.t);
+        self.joins
+            .forward_into(&batch.joins, &batch.join_segs, pool, &mut cache.j);
+        self.preds
+            .forward_into(&batch.preds, &batch.pred_segs, pool, &mut cache.p);
+        Tensor::concat_cols_into(
+            &[&cache.t.pooled, &cache.j.pooled, &cache.p.pooled],
+            &mut cache.concat,
+        );
+        self.out1
+            .forward_into(&cache.concat, Kernel::Dense, pool, &mut cache.z3);
+        relu_into(&cache.z3, &mut cache.a3);
+        self.out2
+            .forward_into(&cache.a3, Kernel::Dense, pool, &mut cache.y);
+        for v in cache.y.data_mut() {
+            *v = sigmoid_scalar(*v);
+        }
     }
 
     /// Inference-only forward: per-query normalized outputs.
@@ -198,18 +273,57 @@ impl MscnModel {
         y.data().to_vec()
     }
 
-    /// Backward pass: accumulates gradients in every layer.
-    /// `grad_y` is `∂L/∂y` with `y` the sigmoid output.
-    pub fn backward(&mut self, cache: &ForwardCache, grad_y: &Tensor) {
-        let g_z4 = sigmoid_backward(&cache.y, grad_y);
-        let g_a3 = self.out2.backward(&cache.a3, &g_z4);
-        let g_z3 = relu_backward(&cache.z3, &g_a3);
-        let g_concat = self.out1.backward(&cache.concat, &g_z3);
+    /// Backward pass: accumulates gradients in every layer. `batch` must
+    /// be the batch of the matching forward pass, `grad_y` is `∂L/∂y`
+    /// with `y` the sigmoid output.
+    pub fn backward(&mut self, batch: &FeatureBatch, cache: &ForwardCache, grad_y: &Tensor) {
+        let mut scratch = BackwardScratch::new();
+        self.backward_with(batch, cache, grad_y, &mut scratch);
+    }
+
+    /// [`MscnModel::backward`] with a reusable scratch arena.
+    pub fn backward_with(
+        &mut self,
+        batch: &FeatureBatch,
+        cache: &ForwardCache,
+        grad_y: &Tensor,
+        s: &mut BackwardScratch,
+    ) {
+        let pool = self.pool;
+        sigmoid_backward_into(&cache.y, grad_y, &mut s.g_z4);
+        self.out2
+            .accumulate_grads(&cache.a3, &s.g_z4, Kernel::Dense, pool, &mut s.gw);
+        self.out2.input_grad_into(&s.g_z4, pool, &mut s.g_a3);
+        relu_backward_inplace(&cache.z3, &mut s.g_a3); // now ∂L/∂z3
+        self.out1
+            .accumulate_grads(&cache.concat, &s.g_a3, Kernel::Dense, pool, &mut s.gw);
+        self.out1.input_grad_into(&s.g_a3, pool, &mut s.g_concat);
         let h = self.hidden;
-        let parts = g_concat.split_cols(&[h, h, h]);
-        self.tables.backward(&cache.t, &parts[0]);
-        self.joins.backward(&cache.j, &parts[1]);
-        self.preds.backward(&cache.p, &parts[2]);
+        s.g_concat.split_cols_into(&[h, h, h], &mut s.g_parts);
+        self.tables.backward_with(
+            &batch.tables,
+            &batch.table_segs,
+            &cache.t,
+            &s.g_parts[0],
+            pool,
+            &mut s.set,
+        );
+        self.joins.backward_with(
+            &batch.joins,
+            &batch.join_segs,
+            &cache.j,
+            &s.g_parts[1],
+            pool,
+            &mut s.set,
+        );
+        self.preds.backward_with(
+            &batch.preds,
+            &batch.pred_segs,
+            &cache.p,
+            &s.g_parts[2],
+            pool,
+            &mut s.set,
+        );
     }
 
     /// Clips the accumulated gradients of all layers to a global L2 norm;
@@ -287,6 +401,9 @@ impl MscnModel {
             out1,
             out2,
             hidden,
+            // The pool is a runtime knob, never serialized: a sketch must
+            // produce the same bytes regardless of the builder's threads.
+            pool: PoolConfig::single(),
         })
     }
 }
@@ -305,10 +422,8 @@ mod tests {
         let db = imdb_database(&ImdbConfig::tiny(1));
         let samples = sample_all(&db, 16, 2);
         let f = Featurizer::build(&db, &imdb_predicate_columns(&db), 16);
-        let mut gen = QueryGenerator::new(
-            &db,
-            GeneratorConfig::new(imdb_predicate_columns(&db), 11),
-        );
+        let mut gen =
+            QueryGenerator::new(&db, GeneratorConfig::new(imdb_predicate_columns(&db), 11));
         let qs = gen.generate_batch(8);
         (f.batch_queries(&qs, &samples), f)
     }
@@ -320,7 +435,10 @@ mod tests {
             f.table_dim(),
             f.join_dim(),
             f.pred_dim(),
-            MscnConfig { hidden: 16, seed: 3 },
+            MscnConfig {
+                hidden: 16,
+                seed: 3,
+            },
         );
         let (y, _) = model.forward(&batch);
         assert_eq!(y.rows(), 8);
@@ -365,13 +483,19 @@ mod tests {
             f.table_dim(),
             f.join_dim(),
             f.pred_dim(),
-            MscnConfig { hidden: 16, seed: 9 },
+            MscnConfig {
+                hidden: 16,
+                seed: 9,
+            },
         );
         let ba = f.batch_queries(std::slice::from_ref(&qa), &samples);
         let bb = f.batch_queries(std::slice::from_ref(&qb), &samples);
         let ya = model.predict(&ba)[0];
         let yb = model.predict(&bb)[0];
-        assert!((ya - yb).abs() < 1e-6, "not permutation invariant: {ya} vs {yb}");
+        assert!(
+            (ya - yb).abs() < 1e-6,
+            "not permutation invariant: {ya} vs {yb}"
+        );
     }
 
     #[test]
@@ -387,7 +511,7 @@ mod tests {
         );
         let (y, cache) = model.forward(&batch);
         let ones = Tensor::from_vec(y.rows(), 1, vec![1.0; y.rows()]);
-        model.backward(&cache, &ones);
+        model.backward(&batch, &cache, &ones);
 
         let loss = |m: &MscnModel| -> f32 { m.predict(&batch).iter().sum() };
         let eps = 3e-3_f32;
@@ -457,7 +581,10 @@ mod tests {
             f.table_dim(),
             f.join_dim(),
             f.pred_dim(),
-            MscnConfig { hidden: 12, seed: 7 },
+            MscnConfig {
+                hidden: 12,
+                seed: 7,
+            },
         );
         let mut e = Encoder::new();
         model.encode(&mut e);

@@ -15,10 +15,16 @@ use ds_storage::sample::TableSample;
 use ds_storage::table::Table;
 
 use crate::featurize::Featurizer;
-use crate::mscn::MscnModel;
+use crate::mscn::{ForwardCache, MscnModel};
 
 const MAGIC: &[u8; 4] = b"DSKT";
 const VERSION: u32 = 1;
+
+/// Queries per serving batch. Bounds the flattened set matrices (keeping
+/// them cache-resident) and is the unit of work parallelized across
+/// serving threads. Chunking never changes results: every query's rows
+/// flow through row-independent kernels and its own pooling segments.
+const SERVE_CHUNK: usize = 256;
 
 /// Summary card of a trained sketch.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -76,6 +82,9 @@ pub struct DeepSketch {
     normalizer: LabelNormalizer,
     database_name: String,
     name: String,
+    /// Serving threads for [`DeepSketch::estimate_batch`]. A runtime knob:
+    /// never serialized, never affects results.
+    threads: usize,
 }
 
 impl DeepSketch {
@@ -97,7 +106,14 @@ impl DeepSketch {
             normalizer,
             database_name,
             name,
+            threads: 1,
         }
+    }
+
+    /// Sets the serving thread count for [`DeepSketch::estimate_batch`].
+    /// Estimates are bit-identical at any value; this only affects speed.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
     }
 
     /// Estimated cardinality of one query (≥ 1).
@@ -105,17 +121,47 @@ impl DeepSketch {
         self.estimate_batch(std::slice::from_ref(query))[0]
     }
 
-    /// Estimates a batch of queries in one forward pass.
+    /// Estimates a batch of queries: featurizes and forwards
+    /// [`SERVE_CHUNK`]-query chunks, spreading chunks across the
+    /// configured serving threads. Returns exactly what a loop of
+    /// [`DeepSketch::estimate_one`] calls would.
     pub fn estimate_batch(&self, queries: &[Query]) -> Vec<f64> {
         if queries.is_empty() {
             return Vec::new();
         }
+        let mut out = vec![0.0f64; queries.len()];
+        let n_chunks = queries.len().div_ceil(SERVE_CHUNK);
+        let threads = self.threads.min(n_chunks);
+        if threads <= 1 {
+            let mut cache = ForwardCache::new();
+            for (qs, os) in queries.chunks(SERVE_CHUNK).zip(out.chunks_mut(SERVE_CHUNK)) {
+                self.estimate_chunk(qs, os, &mut cache);
+            }
+        } else {
+            // Contiguous spans of whole chunks per worker; each worker owns
+            // a disjoint slice of the output and its own scratch cache.
+            let span = n_chunks.div_ceil(threads) * SERVE_CHUNK;
+            std::thread::scope(|s| {
+                for (qs, os) in queries.chunks(span).zip(out.chunks_mut(span)) {
+                    s.spawn(move || {
+                        let mut cache = ForwardCache::new();
+                        for (q, o) in qs.chunks(SERVE_CHUNK).zip(os.chunks_mut(SERVE_CHUNK)) {
+                            self.estimate_chunk(q, o, &mut cache);
+                        }
+                    });
+                }
+            });
+        }
+        out
+    }
+
+    /// Featurizes and forwards one chunk into its output slice.
+    fn estimate_chunk(&self, queries: &[Query], out: &mut [f64], cache: &mut ForwardCache) {
         let batch = self.featurizer.batch_queries(queries, &self.samples);
-        self.model
-            .predict(&batch)
-            .into_iter()
-            .map(|y| self.normalizer.denormalize(y).max(1.0))
-            .collect()
+        self.model.forward_into(&batch, cache);
+        for (o, &y) in out.iter_mut().zip(cache.output().data()) {
+            *o = self.normalizer.denormalize(y).max(1.0);
+        }
     }
 
     /// The materialized samples shipped with the sketch.
@@ -400,6 +446,53 @@ mod tests {
             assert!((single - b).abs() < 1e-6 * single.max(1.0));
         }
         assert!(sketch.estimate_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn estimate_batch_is_exactly_the_looped_estimates() {
+        // The batched serving path (chunked, optionally threaded) must
+        // return *exactly* `queries.iter().map(|q| estimate_one(q))` —
+        // chunking and threads may never change a single bit.
+        let (db, mut sketch) = tiny_sketch();
+        let mut queries = ds_query::workloads::job_light::job_light_workload(&db, 4);
+        // Single-table query: empty join set (and no predicates).
+        queries.push(parse_query(&db, "SELECT COUNT(*) FROM title").unwrap());
+        // Join without predicates: empty predicate set.
+        queries.push(
+            parse_query(
+                &db,
+                "SELECT COUNT(*) FROM title, movie_keyword \
+                 WHERE movie_keyword.movie_id = title.id",
+            )
+            .unwrap(),
+        );
+        // Single table with a predicate: empty join set, non-empty preds.
+        queries.push(
+            parse_query(
+                &db,
+                "SELECT COUNT(*) FROM title WHERE title.production_year > 1990",
+            )
+            .unwrap(),
+        );
+        assert!(queries.iter().any(|q| q.joins.is_empty()));
+        assert!(queries.iter().any(|q| q.predicates.is_empty()));
+        // Cycle past SERVE_CHUNK so multiple chunks (and with threads > 1,
+        // multiple workers) are exercised.
+        let many: Vec<_> = queries
+            .iter()
+            .cycle()
+            .take(3 * SERVE_CHUNK + 7)
+            .cloned()
+            .collect();
+        let looped: Vec<f64> = many.iter().map(|q| sketch.estimate_one(q)).collect();
+        for threads in [1, 2, 8] {
+            sketch.set_threads(threads);
+            assert_eq!(
+                sketch.estimate_batch(&many),
+                looped,
+                "batched serving diverged at threads={threads}"
+            );
+        }
     }
 
     #[test]

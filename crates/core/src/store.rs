@@ -141,9 +141,7 @@ impl SketchStore {
         let (tx, rx): (Sender<_>, Receiver<_>) = channel();
         let handle = std::thread::spawn(move || {
             let builder = configure(SketchBuilder::new(&db, predicate_columns));
-            let result = builder
-                .build_with_report()
-                .map_err(|e| e.to_string());
+            let result = builder.build_with_report().map_err(|e| e.to_string());
             let _ = tx.send(result);
         });
         let mut slots = self.slots.write();
@@ -372,13 +370,18 @@ mod tests {
 
         let cols = imdb_predicate_columns(&db);
         store
-            .train_in_background("fresh", Arc::clone(&db), |b| {
-                b.training_queries(150)
-                    .epochs(2)
-                    .sample_size(8)
-                    .hidden_units(8)
-                    .seed(9)
-            }, cols)
+            .train_in_background(
+                "fresh",
+                Arc::clone(&db),
+                |b| {
+                    b.training_queries(150)
+                        .epochs(2)
+                        .sample_size(8)
+                        .hidden_units(8)
+                        .seed(9)
+                },
+                cols,
+            )
             .unwrap();
 
         // The pre-built model keeps answering while 'fresh' trains.

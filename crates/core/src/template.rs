@@ -164,7 +164,11 @@ mod tests {
     use ds_storage::gen::{imdb_database, ImdbConfig};
     use ds_storage::sample::sample_all;
 
-    fn setup() -> (ds_storage::catalog::Database, Vec<TableSample>, QueryTemplate) {
+    fn setup() -> (
+        ds_storage::catalog::Database,
+        Vec<TableSample>,
+        QueryTemplate,
+    ) {
         let db = imdb_database(&ImdbConfig::tiny(1));
         let samples = sample_all(&db, 64, 3);
         let tpl = QueryTemplate::parse_sql(
@@ -236,10 +240,7 @@ mod tests {
         let (db, samples, tpl) = setup();
         let oracle = TrueCardinalityOracle::new(&db);
         let instances = tpl.instantiate(&samples, ValueFn::Buckets(5));
-        let total: f64 = instances
-            .iter()
-            .map(|i| oracle.estimate(&i.query))
-            .sum();
+        let total: f64 = instances.iter().map(|i| oracle.estimate(&i.query)).sum();
         let year_col = db.resolve("title.production_year").unwrap().col;
         let vals = samples[0].distinct_values(year_col);
         let (min, max) = (vals[0], *vals.last().unwrap());

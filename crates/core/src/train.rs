@@ -6,12 +6,13 @@ use rand::{rngs::StdRng, seq::SliceRandom, SeedableRng};
 
 use ds_nn::loss::{mse_loss, LabelNormalizer, QErrorLoss};
 use ds_nn::optim::Adam;
+use ds_nn::pool::PoolConfig;
 use ds_query::query::Query;
 use ds_storage::sample::TableSample;
 
 use crate::featurize::{Featurizer, QueryFeatures};
 use crate::metrics::qerror;
-use crate::mscn::MscnModel;
+use crate::mscn::{BackwardScratch, ForwardCache, MscnModel};
 
 /// Which training objective to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -50,6 +51,9 @@ pub struct TrainConfig {
     pub grad_clip: Option<f32>,
     /// Step learning-rate decay `(gamma, every_n_epochs)`.
     pub lr_decay: Option<(f32, usize)>,
+    /// Worker threads for the matmul kernels. Training results are
+    /// bit-identical at any thread count; this only affects speed.
+    pub threads: usize,
 }
 
 impl Default for TrainConfig {
@@ -65,6 +69,7 @@ impl Default for TrainConfig {
             restore_best: false,
             grad_clip: None,
             lr_decay: None,
+            threads: 1,
         }
     }
 }
@@ -153,7 +158,14 @@ pub fn train(
     cfg: &TrainConfig,
 ) -> TrainingReport {
     train_with_callback(
-        model, featurizer, samples, queries, labels, normalizer, cfg, &mut |_| {},
+        model,
+        featurizer,
+        samples,
+        queries,
+        labels,
+        normalizer,
+        cfg,
+        &mut |_| {},
     )
 }
 
@@ -211,6 +223,13 @@ pub fn train_with_callback(
         .lr_decay
         .map(|(gamma, step)| ds_nn::regularize::StepLr::new(cfg.lr, gamma, step));
 
+    model.set_pool(PoolConfig::new(cfg.threads));
+    // Forward/backward scratch shared across all batches of all epochs,
+    // and the validation batch packed exactly once.
+    let mut cache = ForwardCache::new();
+    let mut scratch = BackwardScratch::new();
+    let val_batch = (!val_idx.is_empty()).then(|| featurizer.batch_indexed(&feats, val_idx));
+
     for epoch in 0..cfg.epochs {
         let epoch_start = Instant::now();
         if let Some(s) = &schedule {
@@ -220,22 +239,23 @@ pub fn train_with_callback(
         let mut loss_sum = 0.0;
         let mut batches = 0usize;
         for chunk in train_idx.chunks(cfg.batch_size) {
-            let batch_feats: Vec<QueryFeatures> =
-                chunk.iter().map(|&i| feats[i].clone()).collect();
-            let batch = featurizer.batch(&batch_feats);
-            let (y, cache) = model.forward(&batch);
+            let batch = featurizer.batch_indexed(&feats, chunk);
+            model.forward_into(&batch, &mut cache);
+            let y = cache.output();
             let (loss, grad) = match cfg.loss {
                 LossKind::QError => {
                     let truths: Vec<u64> = chunk.iter().map(|&i| labels[i]).collect();
-                    qloss.forward_backward(&y, &truths)
+                    qloss.forward_backward(y, &truths)
                 }
                 LossKind::Mse => {
-                    let targets: Vec<f32> =
-                        chunk.iter().map(|&i| normalizer.normalize(labels[i])).collect();
-                    mse_loss(&y, &targets)
+                    let targets: Vec<f32> = chunk
+                        .iter()
+                        .map(|&i| normalizer.normalize(labels[i]))
+                        .collect();
+                    mse_loss(y, &targets)
                 }
             };
-            model.backward(&cache, &grad);
+            model.backward_with(&batch, &cache, &grad, &mut scratch);
             if let Some(max_norm) = cfg.grad_clip {
                 model.clip_gradients(max_norm);
             }
@@ -244,21 +264,15 @@ pub fn train_with_callback(
             batches += 1;
         }
 
-        let val_mean_qerror = if val_idx.is_empty() {
-            None
-        } else {
-            let val_feats: Vec<QueryFeatures> =
-                val_idx.iter().map(|&i| feats[i].clone()).collect();
-            let batch = featurizer.batch(&val_feats);
-            let preds = model.predict(&batch);
-            let mean = val_idx
+        let val_mean_qerror = val_batch.as_ref().map(|batch| {
+            model.forward_into(batch, &mut cache);
+            val_idx
                 .iter()
-                .zip(&preds)
+                .zip(cache.output().data())
                 .map(|(&i, &p)| qerror(normalizer.denormalize(p), labels[i] as f64))
                 .sum::<f64>()
-                / val_idx.len() as f64;
-            Some(mean)
-        };
+                / val_idx.len() as f64
+        });
 
         let stats = EpochStats {
             epoch,
@@ -277,7 +291,9 @@ pub fn train_with_callback(
                     model.clone()
                 } else {
                     // Avoid the copy when the snapshot will never be used.
-                    best.take().map(|(_, _, m)| m).unwrap_or_else(|| model.clone())
+                    best.take()
+                        .map(|(_, _, m)| m)
+                        .unwrap_or_else(|| model.clone())
                 };
                 best = Some((v, epoch, snapshot));
             } else {
@@ -349,7 +365,10 @@ mod tests {
             featurizer.table_dim(),
             featurizer.join_dim(),
             featurizer.pred_dim(),
-            MscnConfig { hidden: 32, seed: 2 },
+            MscnConfig {
+                hidden: 32,
+                seed: 2,
+            },
         );
         let cfg = TrainConfig {
             epochs: 12,
@@ -379,27 +398,49 @@ mod tests {
     fn training_is_deterministic() {
         let (_db, samples, featurizer, queries, labels) = training_setup(100);
         let normalizer = LabelNormalizer::fit(&labels);
-        let cfg = TrainConfig {
-            epochs: 3,
-            batch_size: 32,
-            ..Default::default()
-        };
-        let mk = || {
+        // Identical runs must agree bit-for-bit — including across kernel
+        // thread counts, since parallelism only partitions output rows.
+        let mk = |threads: usize| {
+            let cfg = TrainConfig {
+                epochs: 3,
+                batch_size: 32,
+                threads,
+                ..Default::default()
+            };
             let mut m = MscnModel::new(
                 featurizer.table_dim(),
                 featurizer.join_dim(),
                 featurizer.pred_dim(),
-                MscnConfig { hidden: 16, seed: 4 },
+                MscnConfig {
+                    hidden: 16,
+                    seed: 4,
+                },
             );
             let r = train(
-                &mut m, &featurizer, &samples, &queries, &labels, &normalizer, &cfg,
+                &mut m,
+                &featurizer,
+                &samples,
+                &queries,
+                &labels,
+                &normalizer,
+                &cfg,
             );
-            (r.final_train_loss(), r.final_val_qerror())
+            let batch = featurizer.batch_queries(&queries, &samples);
+            (
+                r.final_train_loss(),
+                r.final_val_qerror(),
+                m.predict(&batch),
+            )
         };
-        let (l1, v1) = mk();
-        let (l2, v2) = mk();
+        let (l1, v1, p1) = mk(1);
+        let (l2, v2, p2) = mk(1);
         assert_eq!(l1, l2);
         assert_eq!(v1, v2);
+        assert_eq!(p1, p2);
+        let (l4, v4, p4) = mk(4);
+        assert_eq!(l1, l4, "thread count changed the training loss");
+        assert_eq!(v1, v4, "thread count changed validation q-error");
+        assert_eq!(p1, p4, "thread count changed the trained weights");
     }
 
     #[test]
@@ -410,7 +451,10 @@ mod tests {
             featurizer.table_dim(),
             featurizer.join_dim(),
             featurizer.pred_dim(),
-            MscnConfig { hidden: 16, seed: 6 },
+            MscnConfig {
+                hidden: 16,
+                seed: 6,
+            },
         );
         let cfg = TrainConfig {
             epochs: 5,
@@ -418,7 +462,13 @@ mod tests {
             ..Default::default()
         };
         let report = train(
-            &mut model, &featurizer, &samples, &queries, &labels, &normalizer, &cfg,
+            &mut model,
+            &featurizer,
+            &samples,
+            &queries,
+            &labels,
+            &normalizer,
+            &cfg,
         );
         let losses: Vec<f64> = report.epochs.iter().map(|e| e.train_loss).collect();
         assert!(
@@ -443,7 +493,13 @@ mod tests {
             ..Default::default()
         };
         let report = train(
-            &mut model, &featurizer, &samples, &queries, &labels, &normalizer, &cfg,
+            &mut model,
+            &featurizer,
+            &samples,
+            &queries,
+            &labels,
+            &normalizer,
+            &cfg,
         );
         assert_eq!(report.val_examples, 0);
         assert!(report.final_val_qerror().is_none());
@@ -466,7 +522,13 @@ mod tests {
             ..Default::default()
         };
         let report = train(
-            &mut model, &featurizer, &samples, &queries, &labels, &normalizer, &cfg,
+            &mut model,
+            &featurizer,
+            &samples,
+            &queries,
+            &labels,
+            &normalizer,
+            &cfg,
         );
         assert!(report.stopped_early);
         assert!(report.epochs.len() < 200);
@@ -480,7 +542,10 @@ mod tests {
             featurizer.table_dim(),
             featurizer.join_dim(),
             featurizer.pred_dim(),
-            MscnConfig { hidden: 16, seed: 5 },
+            MscnConfig {
+                hidden: 16,
+                seed: 5,
+            },
         );
         let cfg = TrainConfig {
             epochs: 15,
@@ -488,7 +553,13 @@ mod tests {
             ..Default::default()
         };
         let report = train(
-            &mut model, &featurizer, &samples, &queries, &labels, &normalizer, &cfg,
+            &mut model,
+            &featurizer,
+            &samples,
+            &queries,
+            &labels,
+            &normalizer,
+            &cfg,
         );
         let best = report.best_val_qerror().unwrap();
         let selected = report.epochs[report.selected_epoch]
@@ -520,7 +591,13 @@ mod tests {
             ..Default::default()
         };
         train(
-            &mut model, &featurizer, &samples, &queries, &labels, &normalizer, &cfg,
+            &mut model,
+            &featurizer,
+            &samples,
+            &queries,
+            &labels,
+            &normalizer,
+            &cfg,
         );
     }
 
@@ -539,7 +616,13 @@ mod tests {
             ..Default::default()
         };
         let report = train(
-            &mut model, &featurizer, &samples, &queries, &labels, &normalizer, &cfg,
+            &mut model,
+            &featurizer,
+            &samples,
+            &queries,
+            &labels,
+            &normalizer,
+            &cfg,
         );
         let csv = report.to_csv();
         assert_eq!(csv.lines().count(), 4); // header + 3 epochs
@@ -554,7 +637,10 @@ mod tests {
             featurizer.table_dim(),
             featurizer.join_dim(),
             featurizer.pred_dim(),
-            MscnConfig { hidden: 16, seed: 9 },
+            MscnConfig {
+                hidden: 16,
+                seed: 9,
+            },
         );
         let cfg = TrainConfig {
             epochs: 8,
@@ -563,7 +649,13 @@ mod tests {
             ..Default::default()
         };
         let report = train(
-            &mut model, &featurizer, &samples, &queries, &labels, &normalizer, &cfg,
+            &mut model,
+            &featurizer,
+            &samples,
+            &queries,
+            &labels,
+            &normalizer,
+            &cfg,
         );
         let losses: Vec<f64> = report.epochs.iter().map(|e| e.train_loss).collect();
         assert!(

@@ -96,10 +96,7 @@ impl JoinSamplingEstimator {
             let tid = TableId(ti);
             let keep: Vec<u32> = if tid == hub {
                 (0..table.num_rows() as u32)
-                    .filter(|&r| {
-                        keys.get(r as usize)
-                            .is_some_and(|k| sampled.contains(&k))
-                    })
+                    .filter(|&r| keys.get(r as usize).is_some_and(|k| sampled.contains(&k)))
                     .collect()
             } else if let Some(fk) = db
                 .foreign_keys()
@@ -109,11 +106,7 @@ impl JoinSamplingEstimator {
                 covered.insert(tid);
                 let fk_col: &Column = table.column(fk.from.col);
                 (0..table.num_rows() as u32)
-                    .filter(|&r| {
-                        fk_col
-                            .get(r as usize)
-                            .is_some_and(|k| sampled.contains(&k))
-                    })
+                    .filter(|&r| fk_col.get(r as usize).is_some_and(|k| sampled.contains(&k)))
                     .collect()
             } else {
                 // Outside the star: keep everything (queries touching these

@@ -116,10 +116,7 @@ mod tests {
         let db = imdb_database(&ImdbConfig::tiny(3));
         let oracle = TrueCardinalityOracle::new(&db);
         let q = parse_query(&db, "SELECT COUNT(*) FROM title WHERE title.kind_id = 1").unwrap();
-        assert_eq!(
-            oracle.estimate(&q),
-            oracle.cardinality(&q).unwrap() as f64
-        );
+        assert_eq!(oracle.estimate(&q), oracle.cardinality(&q).unwrap() as f64);
         assert_eq!(oracle.name(), "True");
     }
 }

@@ -161,7 +161,10 @@ mod tests {
             let e = est.estimate(q);
             worst = worst.max((e / truth).max(truth / e));
         }
-        assert!(worst > 3.0, "PG should err on correlated data, worst={worst}");
+        assert!(
+            worst > 3.0,
+            "PG should err on correlated data, worst={worst}"
+        );
     }
 
     #[test]

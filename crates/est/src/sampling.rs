@@ -163,7 +163,10 @@ mod tests {
         let e = est.estimate(&q);
         // Fallback: 0.5/50 of the title rows, clamped ≥ 1.
         let expected = (db.table(db.table_id("title").unwrap()).num_rows() as f64 * 0.01).max(1.0);
-        assert!((e - expected).abs() / expected < 0.01, "e={e} expected={expected}");
+        assert!(
+            (e - expected).abs() / expected < 0.01,
+            "e={e} expected={expected}"
+        );
     }
 
     #[test]

@@ -5,7 +5,11 @@
 //! MSCN model needs:
 //!
 //! * [`tensor::Tensor`] — row-major `f32` matrices with the handful of BLAS
-//!   ops used by training (matmul, transposed matmuls, broadcasts);
+//!   ops used by training (matmul, transposed matmuls, broadcasts), backed
+//!   by register-blocked micro-kernels with a zero-skip fast path for
+//!   one-hot/bitmap inputs;
+//! * [`pool`] — deterministic intra-op parallelism: kernels split output
+//!   rows across scoped threads with bit-identical results at any count;
 //! * [`linear::Linear`] — fully-connected layers with explicit
 //!   forward/backward and gradient accumulation;
 //! * [`ops`] — activations (ReLU/sigmoid) and the *segment mean* used for
@@ -21,6 +25,7 @@ pub mod linear;
 pub mod loss;
 pub mod ops;
 pub mod optim;
+pub mod pool;
 pub mod regularize;
 pub mod serialize;
 pub mod tensor;
@@ -28,5 +33,6 @@ pub mod tensor;
 pub use linear::Linear;
 pub use loss::{mse_loss, LabelNormalizer, QErrorLoss};
 pub use optim::{Adam, Sgd};
+pub use pool::PoolConfig;
 pub use regularize::{clip_grad_norm, dropout, dropout_backward, StepLr};
-pub use tensor::Tensor;
+pub use tensor::{Kernel, Tensor};

@@ -2,7 +2,8 @@
 
 use rand::{rngs::StdRng, RngExt, SeedableRng};
 
-use crate::tensor::Tensor;
+use crate::pool::PoolConfig;
+use crate::tensor::{Kernel, Tensor};
 
 /// A fully-connected layer `y = x·W + b` with gradient accumulation.
 ///
@@ -75,28 +76,70 @@ impl Linear {
 
     /// Forward pass: `x` (batch × in_dim) → (batch × out_dim).
     pub fn forward(&self, x: &Tensor) -> Tensor {
-        let mut y = x.matmul(&self.w);
-        y.add_row_broadcast(&self.b);
+        self.forward_with(x, Kernel::Dense, PoolConfig::single())
+    }
+
+    /// [`Linear::forward`] with an explicit kernel and thread pool. Pass
+    /// [`Kernel::Sparse`] for input layers fed one-hot/bitmap features.
+    pub fn forward_with(&self, x: &Tensor, kernel: Kernel, pool: PoolConfig) -> Tensor {
+        let mut y = Tensor::zeros(0, 0);
+        self.forward_into(x, kernel, pool, &mut y);
         y
+    }
+
+    /// [`Linear::forward`] into a reusable output tensor.
+    pub fn forward_into(&self, x: &Tensor, kernel: Kernel, pool: PoolConfig, out: &mut Tensor) {
+        x.matmul_into(&self.w, kernel, pool, out);
+        out.add_row_broadcast(&self.b);
     }
 
     /// Backward pass. `x` must be the input of the matching forward call and
     /// `grad_out` the gradient w.r.t. its output. Accumulates `∂L/∂W` and
     /// `∂L/∂b`, returns `∂L/∂x`.
     pub fn backward(&mut self, x: &Tensor, grad_out: &Tensor) -> Tensor {
+        let mut scratch = Tensor::zeros(0, 0);
+        self.accumulate_grads(
+            x,
+            grad_out,
+            Kernel::Dense,
+            PoolConfig::single(),
+            &mut scratch,
+        );
+        let mut gx = Tensor::zeros(0, 0);
+        self.input_grad_into(grad_out, PoolConfig::single(), &mut gx);
+        gx
+    }
+
+    /// Accumulates `∂L/∂W` and `∂L/∂b` for this layer *without* computing
+    /// `∂L/∂x` — the input-layer fast path, where the gradient w.r.t. the
+    /// raw features is never used. `gw_scratch` is a reusable buffer for
+    /// the weight-gradient product.
+    pub fn accumulate_grads(
+        &mut self,
+        x: &Tensor,
+        grad_out: &Tensor,
+        kernel: Kernel,
+        pool: PoolConfig,
+        gw_scratch: &mut Tensor,
+    ) {
         assert_eq!(grad_out.rows(), x.rows(), "batch mismatch");
         assert_eq!(grad_out.cols(), self.out_dim(), "grad width mismatch");
-        // ∂L/∂W = xᵀ · grad_out
-        let gw = x.t_matmul(grad_out);
-        for (a, b) in self.grad_w.data_mut().iter_mut().zip(gw.data()) {
+        // ∂L/∂W = xᵀ · grad_out — computed in full, then accumulated, so
+        // the FP order matches the original single-allocation backward.
+        x.t_matmul_into(grad_out, kernel, pool, gw_scratch);
+        for (a, b) in self.grad_w.data_mut().iter_mut().zip(gw_scratch.data()) {
             *a += b;
         }
         // ∂L/∂b = column sums of grad_out
         for (a, b) in self.grad_b.iter_mut().zip(grad_out.col_sums()) {
             *a += b;
         }
-        // ∂L/∂x = grad_out · Wᵀ
-        grad_out.matmul_t(&self.w)
+    }
+
+    /// Computes `∂L/∂x = grad_out · Wᵀ` into a reusable tensor. Combined
+    /// with [`Linear::accumulate_grads`] this is the full backward pass.
+    pub fn input_grad_into(&self, grad_out: &Tensor, pool: PoolConfig, out: &mut Tensor) {
+        grad_out.matmul_t_into(&self.w, pool, out);
     }
 
     /// Scales all accumulated gradients by `factor` (gradient clipping).

@@ -5,21 +5,35 @@ use crate::tensor::Tensor;
 
 /// Elementwise ReLU.
 pub fn relu(x: &Tensor) -> Tensor {
-    let data = x.data().iter().map(|&v| v.max(0.0)).collect();
-    Tensor::from_vec(x.rows(), x.cols(), data)
+    let mut out = Tensor::zeros(0, 0);
+    relu_into(x, &mut out);
+    out
+}
+
+/// [`relu`] into a reusable output tensor.
+pub fn relu_into(x: &Tensor, out: &mut Tensor) {
+    out.resize(x.rows(), x.cols());
+    for (o, &v) in out.data_mut().iter_mut().zip(x.data()) {
+        *o = v.max(0.0);
+    }
 }
 
 /// Backward of ReLU: passes gradient where the *input* was positive.
 pub fn relu_backward(x: &Tensor, grad_out: &Tensor) -> Tensor {
-    assert_eq!(x.rows(), grad_out.rows());
-    assert_eq!(x.cols(), grad_out.cols());
-    let data = x
-        .data()
-        .iter()
-        .zip(grad_out.data())
-        .map(|(&xi, &g)| if xi > 0.0 { g } else { 0.0 })
-        .collect();
-    Tensor::from_vec(x.rows(), x.cols(), data)
+    let mut grad = grad_out.clone();
+    relu_backward_inplace(x, &mut grad);
+    grad
+}
+
+/// [`relu_backward`] masking `grad` in place — the scratch-arena variant.
+pub fn relu_backward_inplace(x: &Tensor, grad: &mut Tensor) {
+    assert_eq!(x.rows(), grad.rows());
+    assert_eq!(x.cols(), grad.cols());
+    for (g, &xi) in grad.data_mut().iter_mut().zip(x.data()) {
+        if xi <= 0.0 {
+            *g = 0.0;
+        }
+    }
 }
 
 /// Elementwise logistic sigmoid.
@@ -41,15 +55,19 @@ pub fn sigmoid_scalar(v: f32) -> f32 {
 
 /// Backward of sigmoid given its *output* `y`: `grad_in = grad_out·y·(1-y)`.
 pub fn sigmoid_backward(y: &Tensor, grad_out: &Tensor) -> Tensor {
+    let mut out = Tensor::zeros(0, 0);
+    sigmoid_backward_into(y, grad_out, &mut out);
+    out
+}
+
+/// [`sigmoid_backward`] into a reusable output tensor.
+pub fn sigmoid_backward_into(y: &Tensor, grad_out: &Tensor, out: &mut Tensor) {
     assert_eq!(y.rows(), grad_out.rows());
     assert_eq!(y.cols(), grad_out.cols());
-    let data = y
-        .data()
-        .iter()
-        .zip(grad_out.data())
-        .map(|(&yi, &g)| g * yi * (1.0 - yi))
-        .collect();
-    Tensor::from_vec(y.rows(), y.cols(), data)
+    out.resize(y.rows(), y.cols());
+    for ((o, &yi), &g) in out.data_mut().iter_mut().zip(y.data()).zip(grad_out.data()) {
+        *o = g * yi * (1.0 - yi);
+    }
 }
 
 /// Segments of a flattened set batch: `segments[q] = (start, len)` selects
@@ -64,8 +82,15 @@ pub type Segments = Vec<(usize, usize)>;
 /// # Panics
 /// Panics if segments overflow the input rows.
 pub fn segment_mean(x: &Tensor, segments: &Segments) -> Tensor {
+    let mut out = Tensor::zeros(0, 0);
+    segment_mean_into(x, segments, &mut out);
+    out
+}
+
+/// [`segment_mean`] into a reusable output tensor.
+pub fn segment_mean_into(x: &Tensor, segments: &Segments, out: &mut Tensor) {
     let d = x.cols();
-    let mut out = Tensor::zeros(segments.len(), d);
+    out.resize(segments.len(), d);
     for (q, &(start, len)) in segments.iter().enumerate() {
         if len == 0 {
             continue;
@@ -80,19 +105,26 @@ pub fn segment_mean(x: &Tensor, segments: &Segments) -> Tensor {
             }
         }
     }
-    out
 }
 
 /// Backward of [`segment_mean`]: scatters `grad_out[q] / len` to every row
 /// of segment `q`.
-pub fn segment_mean_backward(
+pub fn segment_mean_backward(total_rows: usize, grad_out: &Tensor, segments: &Segments) -> Tensor {
+    let mut out = Tensor::zeros(0, 0);
+    segment_mean_backward_into(total_rows, grad_out, segments, &mut out);
+    out
+}
+
+/// [`segment_mean_backward`] into a reusable output tensor.
+pub fn segment_mean_backward_into(
     total_rows: usize,
     grad_out: &Tensor,
     segments: &Segments,
-) -> Tensor {
+    out: &mut Tensor,
+) {
     assert_eq!(grad_out.rows(), segments.len(), "segment count mismatch");
     let d = grad_out.cols();
-    let mut out = Tensor::zeros(total_rows, d);
+    out.resize(total_rows, d);
     for (q, &(start, len)) in segments.iter().enumerate() {
         if len == 0 {
             continue;
@@ -106,7 +138,6 @@ pub fn segment_mean_backward(
             }
         }
     }
-    out
 }
 
 #[cfg(test)]
@@ -145,8 +176,7 @@ mod tests {
             xp.data_mut()[i] += eps;
             let mut xm = x.clone();
             xm.data_mut()[i] -= eps;
-            let num =
-                (sigmoid(&xp).data()[i] - sigmoid(&xm).data()[i]) / (2.0 * eps);
+            let num = (sigmoid(&xp).data()[i] - sigmoid(&xm).data()[i]) / (2.0 * eps);
             assert!((num - gx.data()[i]).abs() < 1e-3);
         }
     }

@@ -83,7 +83,11 @@ impl Adam {
             v: vec![0.0; n],
             t: 0,
         });
-        assert_eq!(state.m.len(), n, "layer id {id} reused with different shape");
+        assert_eq!(
+            state.m.len(),
+            n,
+            "layer id {id} reused with different shape"
+        );
         state.t += 1;
         let t = state.t as f32;
         let (b1, b2, eps, lr) = (self.beta1, self.beta2, self.eps, self.lr);

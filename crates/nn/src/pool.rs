@@ -1,0 +1,126 @@
+//! Deterministic intra-op parallelism for the tensor kernels.
+//!
+//! The contract mirrors `ds_storage::exec::parallel`: work is split into
+//! **disjoint, contiguous output-row ranges**, one per scoped worker thread.
+//! Because every output element is computed by exactly one thread with an
+//! identical per-element accumulation order, results are bit-for-bit
+//! independent of the thread count — `threads = 1` and `threads = 64`
+//! produce the same bytes. This is what keeps training reproducible while
+//! still scaling across cores.
+
+/// Thread-count configuration threaded through the model, the training
+/// loop, and the sketch builder. `threads = 1` means fully serial kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolConfig {
+    threads: usize,
+}
+
+/// Minimum multiply-add count before a kernel fans out to worker threads;
+/// below this the spawn/join overhead dominates any parallel win. Purely a
+/// performance heuristic — results are identical either way.
+const PAR_MIN_FLOPS: usize = 1 << 15;
+
+impl PoolConfig {
+    /// A pool running `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The serial configuration.
+    pub fn single() -> Self {
+        Self::new(1)
+    }
+
+    /// Configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Worker count a kernel should actually use for a job with `rows`
+    /// independent output rows and roughly `flops` multiply-adds.
+    pub fn threads_for(&self, rows: usize, flops: usize) -> usize {
+        if self.threads <= 1 || flops < PAR_MIN_FLOPS {
+            1
+        } else {
+            self.threads.min(rows.max(1))
+        }
+    }
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        Self::single()
+    }
+}
+
+/// Runs `f` over disjoint contiguous row blocks of a `rows × cols`
+/// row-major buffer, fanning out across `threads` scoped workers. `f`
+/// receives `(first_row, block)` where `block` covers complete rows
+/// starting at `first_row`. With `threads <= 1` it runs inline.
+pub fn for_each_row_block<F>(data: &mut [f32], rows: usize, cols: usize, threads: usize, f: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    debug_assert_eq!(data.len(), rows * cols);
+    if data.is_empty() {
+        return;
+    }
+    let t = threads.max(1).min(rows);
+    if t == 1 {
+        f(0, data);
+        return;
+    }
+    let block_rows = rows.div_ceil(t);
+    std::thread::scope(|s| {
+        for (bi, block) in data.chunks_mut(block_rows * cols).enumerate() {
+            let f = &f;
+            s.spawn(move || f(bi * block_rows, block));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_config_clamps_and_gates() {
+        let p = PoolConfig::new(0);
+        assert_eq!(p.threads(), 1);
+        let p = PoolConfig::new(8);
+        assert_eq!(p.threads_for(100, 10), 1, "tiny job stays serial");
+        assert_eq!(p.threads_for(100, PAR_MIN_FLOPS), 8);
+        assert_eq!(p.threads_for(3, PAR_MIN_FLOPS), 3, "capped by rows");
+        assert_eq!(PoolConfig::default(), PoolConfig::single());
+    }
+
+    #[test]
+    fn row_blocks_are_disjoint_and_complete() {
+        for threads in [1, 2, 3, 7, 16] {
+            let (rows, cols) = (11, 3);
+            let mut data = vec![0.0f32; rows * cols];
+            for_each_row_block(&mut data, rows, cols, threads, |first_row, block| {
+                for (r, row) in block.chunks_mut(cols).enumerate() {
+                    for v in row.iter_mut() {
+                        *v += (first_row + r) as f32 + 1.0;
+                    }
+                }
+            });
+            // Every row written exactly once with its own index.
+            for r in 0..rows {
+                for c in 0..cols {
+                    assert_eq!(data[r * cols + c], r as f32 + 1.0, "t={threads} r={r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_work_is_a_noop() {
+        let mut data: Vec<f32> = Vec::new();
+        for_each_row_block(&mut data, 0, 4, 8, |_, _| panic!("no work expected"));
+        for_each_row_block(&mut data, 4, 0, 8, |_, _| panic!("no work expected"));
+    }
+}

@@ -1,0 +1,158 @@
+//! Property tests pinning the tiled/parallel matmul kernels to the naive
+//! reference oracle (`ds_nn::tensor::reference`) — **exact** f32 equality,
+//! not approximate: the tiled kernels only re-tile the output, never a
+//! reduction, so every element must come out bit-identical. Each property
+//! runs at thread counts {1, 2, 8} on both dense-random and mostly-zero
+//! (one-hot-like) inputs.
+
+use ds_nn::pool::PoolConfig;
+use ds_nn::tensor::{reference, Kernel, Tensor};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// Dense tensor with uniform values in [-1, 1).
+fn dense(rows: usize, cols: usize, rng: &mut StdRng) -> Tensor {
+    let data = (0..rows * cols)
+        .map(|_| rng.random_range(-1.0f32..1.0))
+        .collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+/// Mostly-zero tensor: each entry is nonzero with probability ~1/8,
+/// mimicking the one-hot/bitmap feature rows of the MSCN input layer.
+fn sparse(rows: usize, cols: usize, rng: &mut StdRng) -> Tensor {
+    let data = (0..rows * cols)
+        .map(|_| {
+            if rng.random_bool(0.125) {
+                rng.random_range(-1.0f32..1.0)
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+/// Asserts exact (bitwise, via `==` on finite data) equality.
+fn assert_same(got: &Tensor, want: &Tensor, what: &str) -> Result<(), TestCaseError> {
+    prop_assert_eq!(got.rows(), want.rows(), "{} rows", what);
+    prop_assert_eq!(got.cols(), want.cols(), "{} cols", what);
+    for (i, (g, w)) in got.data().iter().zip(want.data()).enumerate() {
+        prop_assert!(
+            g == w,
+            "{} element {} differs: {} vs {} (bits {:08x} vs {:08x})",
+            what,
+            i,
+            g,
+            w,
+            g.to_bits(),
+            w.to_bits()
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn matmul_matches_reference(m in 1usize..40, k in 1usize..40, n in 1usize..40, seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for a in [dense(m, k, &mut rng), sparse(m, k, &mut rng)] {
+            let b = dense(k, n, &mut rng);
+            let want = reference::matmul(&a, &b);
+            for threads in THREAD_COUNTS {
+                let pool = PoolConfig::new(threads);
+                for kernel in [Kernel::Dense, Kernel::Sparse] {
+                    let got = a.matmul_pool(&b, kernel, pool);
+                    assert_same(&got, &want, &format!("matmul t={threads} {kernel:?}"))?;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn t_matmul_matches_reference(m in 1usize..40, k in 1usize..40, n in 1usize..40, seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for a in [dense(m, k, &mut rng), sparse(m, k, &mut rng)] {
+            let b = dense(m, n, &mut rng);
+            let want = reference::t_matmul(&a, &b);
+            for threads in THREAD_COUNTS {
+                let pool = PoolConfig::new(threads);
+                for kernel in [Kernel::Dense, Kernel::Sparse] {
+                    let got = a.t_matmul_pool(&b, kernel, pool);
+                    assert_same(&got, &want, &format!("t_matmul t={threads} {kernel:?}"))?;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_t_matches_reference(m in 1usize..40, k in 1usize..40, n in 1usize..40, seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for a in [dense(m, k, &mut rng), sparse(m, k, &mut rng)] {
+            let b = dense(n, k, &mut rng);
+            let want = reference::matmul_t(&a, &b);
+            for threads in THREAD_COUNTS {
+                let got = a.matmul_t_pool(&b, PoolConfig::new(threads));
+                assert_same(&got, &want, &format!("matmul_t t={threads}"))?;
+            }
+        }
+    }
+
+    #[test]
+    fn into_variants_reuse_allocations(m in 1usize..24, k in 1usize..24, n in 1usize..24, seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = dense(m, k, &mut rng);
+        let b = dense(k, n, &mut rng);
+        // Start from a scratch tensor of the wrong shape filled with junk;
+        // the _into kernels must fully overwrite it.
+        let mut out = dense(7, 3, &mut rng);
+        a.matmul_into(&b, Kernel::Dense, PoolConfig::new(2), &mut out);
+        assert_same(&out, &reference::matmul(&a, &b), "matmul_into")?;
+        let b2 = dense(m, n, &mut rng);
+        a.t_matmul_into(&b2, Kernel::Sparse, PoolConfig::new(2), &mut out);
+        assert_same(&out, &reference::t_matmul(&a, &b2), "t_matmul_into")?;
+        let b3 = dense(n, k, &mut rng);
+        a.matmul_t_into(&b3, PoolConfig::new(2), &mut out);
+        assert_same(&out, &reference::matmul_t(&a, &b3), "matmul_t_into")?;
+    }
+}
+
+/// Shapes larger than the parallel-gate threshold actually fan out; make
+/// sure the bit-identity holds there too (the proptest shapes above stay
+/// below `PAR_MIN_FLOPS`, so they exercise the serial path).
+#[test]
+fn large_shapes_are_bit_identical_across_thread_counts() {
+    let mut rng = StdRng::seed_from_u64(0xD15C);
+    for (m, k, n) in [(128, 96, 64), (257, 33, 129)] {
+        let a = dense(m, k, &mut rng);
+        let s = sparse(m, k, &mut rng);
+        let b = dense(k, n, &mut rng);
+        let bt = dense(n, k, &mut rng);
+        let bm = dense(m, n, &mut rng);
+        let base_mm = reference::matmul(&a, &b);
+        let base_mm_sparse = reference::matmul(&s, &b);
+        let base_tm = reference::t_matmul(&a, &bm);
+        let base_mt = reference::matmul_t(&a, &bt);
+        for threads in THREAD_COUNTS {
+            let pool = PoolConfig::new(threads);
+            assert_eq!(
+                a.matmul_pool(&b, Kernel::Dense, pool).data(),
+                base_mm.data()
+            );
+            assert_eq!(
+                s.matmul_pool(&b, Kernel::Sparse, pool).data(),
+                base_mm_sparse.data()
+            );
+            assert_eq!(
+                a.t_matmul_pool(&bm, Kernel::Dense, pool).data(),
+                base_tm.data()
+            );
+            assert_eq!(a.matmul_t_pool(&bt, pool).data(), base_mt.data());
+        }
+    }
+}

@@ -3,7 +3,9 @@
 //! validate the set-pooling path outside MSCN.
 
 use ds_nn::linear::Linear;
-use ds_nn::ops::{relu, relu_backward, segment_mean, segment_mean_backward, sigmoid, sigmoid_backward, Segments};
+use ds_nn::ops::{
+    relu, relu_backward, segment_mean, segment_mean_backward, sigmoid, sigmoid_backward, Segments,
+};
 use ds_nn::optim::Adam;
 use ds_nn::serialize::{Decoder, Encoder};
 use ds_nn::tensor::Tensor;

@@ -74,9 +74,11 @@ impl<'a> Optimizer<'a> {
             .collect();
         let full: u32 = (1u32 << n) - 1;
 
-        let connects = |s1: u32, s2: u32| edges.iter().any(|&(a, b)| {
-            (a & s1 != 0 && b & s2 != 0) || (a & s2 != 0 && b & s1 != 0)
-        });
+        let connects = |s1: u32, s2: u32| {
+            edges
+                .iter()
+                .any(|&(a, b)| (a & s1 != 0 && b & s2 != 0) || (a & s2 != 0 && b & s1 != 0))
+        };
         let connected = |s: u32| {
             let start = s & s.wrapping_neg(); // lowest set bit
             let mut reach = start;
@@ -182,9 +184,7 @@ impl<'a> Optimizer<'a> {
             .collect();
         let mut total = 0.0;
         plan.for_each_intermediate(&mut |tables| {
-            let mask = tables
-                .iter()
-                .fold(0u32, |m, t| m | (1 << index[t]));
+            let mask = tables.iter().fold(0u32, |m, t| m | (1 << index[t]));
             let sub = induced_subquery(query, mask, &index);
             total += self.estimator.estimate(&sub).max(1.0);
         });
@@ -350,7 +350,11 @@ mod tests {
         .unwrap();
         let dp = opt.optimize(&q);
         let brute = brute_force_best(&opt, &q);
-        assert!((dp.estimated_cost - brute).abs() < 1e-6, "dp={} brute={brute}", dp.estimated_cost);
+        assert!(
+            (dp.estimated_cost - brute).abs() < 1e-6,
+            "dp={} brute={brute}",
+            dp.estimated_cost
+        );
         assert_eq!(dp.plan.num_joins(), 3);
     }
 

@@ -83,7 +83,10 @@ impl<'a> QueryGenerator<'a> {
             graph.max_component_size()
         );
         for cr in &cfg.predicate_columns {
-            assert!(cr.table.0 < db.num_tables(), "predicate column table out of range");
+            assert!(
+                cr.table.0 < db.num_tables(),
+                "predicate column table out of range"
+            );
             assert!(
                 cr.col < db.table(cr.table).columns().len(),
                 "predicate column out of range"
@@ -102,8 +105,7 @@ impl<'a> QueryGenerator<'a> {
     pub fn generate(&mut self) -> Query {
         loop {
             let num_tables = self.rng.random_range(1..=self.cfg.max_tables);
-            let Some((tables, joins)) = self.graph.random_subtree(&mut self.rng, num_tables)
-            else {
+            let Some((tables, joins)) = self.graph.random_subtree(&mut self.rng, num_tables) else {
                 continue; // start node couldn't grow that far; resample
             };
             let predicates = self.draw_predicates(&tables);

@@ -205,7 +205,9 @@ mod tests {
         let g = JoinGraph::from_database(&db);
         let mut rng = StdRng::seed_from_u64(5);
         for size in 1..=6 {
-            let (tables, edges) = g.random_subtree(&mut rng, size).expect("imdb supports size 6");
+            let (tables, edges) = g
+                .random_subtree(&mut rng, size)
+                .expect("imdb supports size 6");
             assert_eq!(tables.len(), size);
             assert_eq!(edges.len(), size - 1);
             // Distinct tables.

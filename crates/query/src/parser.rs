@@ -72,19 +72,15 @@ pub fn parse_query(db: &Database, sql: &str) -> Result<Query, ParseError> {
 /// Parses a SQL string, allowing one `?` placeholder (query templates).
 pub fn parse(db: &Database, sql: &str) -> Result<ParsedQuery, ParseError> {
     let tokens = tokenize(sql)?;
-    let mut p = Parser {
-        tokens,
-        pos: 0,
-        db,
-    };
+    let mut p = Parser { tokens, pos: 0, db };
     p.parse_statement()
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum Token {
-    Word(String),   // identifiers and keywords (lowercased)
-    Number(i64),    // integer literal
-    Symbol(char),   // ( ) , = < > . * ?
+    Word(String), // identifiers and keywords (lowercased)
+    Number(i64),  // integer literal
+    Symbol(char), // ( ) , = < > . * ?
 }
 
 fn tokenize(sql: &str) -> Result<Vec<Token>, ParseError> {
@@ -224,7 +220,10 @@ impl<'a> Parser<'a> {
                 if w != "where" {
                     let alias = w.clone();
                     self.next();
-                    if aliases.insert(alias.clone(), tid).is_some_and(|old| old != tid) {
+                    if aliases
+                        .insert(alias.clone(), tid)
+                        .is_some_and(|old| old != tid)
+                    {
                         return err(format!("alias '{alias}' is ambiguous"));
                     }
                 }
@@ -337,17 +336,13 @@ impl<'a> Parser<'a> {
             .get(&rc.qualifier)
             .copied()
             .ok_or_else(|| ParseError(format!("unknown table or alias '{}'", rc.qualifier)))?;
-        let col = self
-            .db
-            .table(tid)
-            .column_index(&rc.column)
-            .ok_or_else(|| {
-                ParseError(format!(
-                    "unknown column '{}' of table '{}'",
-                    rc.column,
-                    self.db.table(tid).name()
-                ))
-            })?;
+        let col = self.db.table(tid).column_index(&rc.column).ok_or_else(|| {
+            ParseError(format!(
+                "unknown column '{}' of table '{}'",
+                rc.column,
+                self.db.table(tid).name()
+            ))
+        })?;
         Ok(ColRef::new(tid, col))
     }
 
@@ -510,7 +505,11 @@ mod tests {
         )
         .unwrap();
         assert_eq!(q.num_predicates(), 2);
-        let preds: Vec<_> = q.predicates.iter().map(|(_, p)| (p.op, p.literal)).collect();
+        let preds: Vec<_> = q
+            .predicates
+            .iter()
+            .map(|(_, p)| (p.op, p.literal))
+            .collect();
         assert!(preds.contains(&(CmpOp::Gt, 1989)));
         assert!(preds.contains(&(CmpOp::Lt, 2000)));
         // Inclusive semantics: equivalent to >= 1990 AND <= 1999.

@@ -223,7 +223,9 @@ mod tests {
             .add_predicate(&db, "movie_keyword.keyword_id", CmpOp::Eq, 3)
             .unwrap_err();
         assert!(matches!(err, QueryBuildError::UnknownTable(_)));
-        let err2 = q.add_predicate(&db, "title.nope", CmpOp::Eq, 3).unwrap_err();
+        let err2 = q
+            .add_predicate(&db, "title.nope", CmpOp::Eq, 3)
+            .unwrap_err();
         assert!(matches!(err2, QueryBuildError::UnknownColumn(_)));
     }
 

@@ -33,8 +33,7 @@ pub fn read_workload<R: Read>(db: &Database, input: R) -> Result<Vec<Query>, Par
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let q = parse_query(db, line)
-            .map_err(|e| ParseError(format!("line {}: {e}", i + 1)))?;
+        let q = parse_query(db, line).map_err(|e| ParseError(format!("line {}: {e}", i + 1)))?;
         out.push(q);
     }
     Ok(out)

@@ -66,79 +66,428 @@ const MK_KW: &str = "movie_keyword.keyword_id";
 /// 9 four-join queries, predicate mix as in the original workload.
 static SHAPES: &[Shape] = &[
     // ---- 1 join (2 tables) — 8 queries -------------------------------
-    Shape { satellites: &[MK], preds: &[(MK_KW, Eq, FromDomain)] },
-    Shape { satellites: &[MK], preds: &[(MK_KW, Eq, FromDomain), (T_YEAR, Gt, Fixed(2005))] },
-    Shape { satellites: &[MC], preds: &[(MC_TY, Eq, FromData), (T_YEAR, Gt, Fixed(1990))] },
-    Shape { satellites: &[MC], preds: &[(MC_CO, Eq, FromDomain)] },
-    Shape { satellites: &[CI], preds: &[(CI_RO, Eq, FromData), (T_YEAR, Gt, Fixed(2000))] },
-    Shape { satellites: &[MI], preds: &[(MI_TY, Eq, FromData)] },
-    Shape { satellites: &[MX], preds: &[(MX_TY, Eq, FromData), (T_YEAR, Gt, Fixed(2008))] },
-    Shape { satellites: &[MX], preds: &[(MX_TY, Eq, FromData)] },
+    Shape {
+        satellites: &[MK],
+        preds: &[(MK_KW, Eq, FromDomain)],
+    },
+    Shape {
+        satellites: &[MK],
+        preds: &[(MK_KW, Eq, FromDomain), (T_YEAR, Gt, Fixed(2005))],
+    },
+    Shape {
+        satellites: &[MC],
+        preds: &[(MC_TY, Eq, FromData), (T_YEAR, Gt, Fixed(1990))],
+    },
+    Shape {
+        satellites: &[MC],
+        preds: &[(MC_CO, Eq, FromDomain)],
+    },
+    Shape {
+        satellites: &[CI],
+        preds: &[(CI_RO, Eq, FromData), (T_YEAR, Gt, Fixed(2000))],
+    },
+    Shape {
+        satellites: &[MI],
+        preds: &[(MI_TY, Eq, FromData)],
+    },
+    Shape {
+        satellites: &[MX],
+        preds: &[(MX_TY, Eq, FromData), (T_YEAR, Gt, Fixed(2008))],
+    },
+    Shape {
+        satellites: &[MX],
+        preds: &[(MX_TY, Eq, FromData)],
+    },
     // ---- 2 joins (3 tables) — 33 queries ------------------------------
-    Shape { satellites: &[MC, MX], preds: &[(MC_TY, Eq, FromData), (MX_TY, Eq, FromData), (T_YEAR, Gt, Fixed(2010))] },
-    Shape { satellites: &[MC, MX], preds: &[(MC_TY, Eq, FromData), (MX_TY, Eq, FromData), (T_YEAR, Gt, Fixed(2000))] },
-    Shape { satellites: &[MC, MX], preds: &[(MC_TY, Eq, FromData), (MX_TY, Eq, FromData)] },
-    Shape { satellites: &[MC, MX], preds: &[(MC_CO, Eq, FromDomain), (T_YEAR, Gt, Fixed(1995))] },
-    Shape { satellites: &[MK, MX], preds: &[(MK_KW, Eq, FromDomain), (T_YEAR, Gt, Fixed(2005))] },
-    Shape { satellites: &[MK, MX], preds: &[(MK_KW, Eq, FromDomain), (MX_TY, Eq, FromData)] },
-    Shape { satellites: &[MK, MX], preds: &[(MK_KW, Eq, FromDomain)] },
-    Shape { satellites: &[MK, MC], preds: &[(MK_KW, Eq, FromDomain), (MC_TY, Eq, FromData)] },
-    Shape { satellites: &[MK, MC], preds: &[(MK_KW, Eq, FromDomain), (MC_TY, Eq, FromData), (T_YEAR, Gt, Fixed(2000))] },
-    Shape { satellites: &[MK, MC], preds: &[(MC_CO, Eq, FromDomain), (T_YEAR, Gt, Fixed(2009))] },
-    Shape { satellites: &[MK, CI], preds: &[(MK_KW, Eq, FromDomain), (CI_RO, Eq, FromData)] },
-    Shape { satellites: &[MK, CI], preds: &[(MK_KW, Eq, FromDomain), (T_YEAR, Eq, Fixed(2010))] },
-    Shape { satellites: &[CI, MC], preds: &[(CI_RO, Eq, FromData), (MC_TY, Eq, FromData), (T_YEAR, Gt, Fixed(2005))] },
-    Shape { satellites: &[CI, MC], preds: &[(CI_RO, Eq, FromData), (MC_TY, Eq, FromData), (T_YEAR, Gt, Fixed(2010))] },
-    Shape { satellites: &[CI, MC], preds: &[(CI_PE, Eq, FromDomain)] },
-    Shape { satellites: &[CI, MC], preds: &[(MC_CO, Eq, FromDomain), (CI_RO, Eq, FromData)] },
-    Shape { satellites: &[CI, MX], preds: &[(CI_RO, Eq, FromData), (MX_TY, Eq, FromData), (T_YEAR, Gt, Fixed(2000))] },
-    Shape { satellites: &[CI, MX], preds: &[(MX_TY, Eq, FromData), (T_YEAR, Gt, Fixed(2005))] },
-    Shape { satellites: &[CI, MI], preds: &[(MI_TY, Eq, FromData), (CI_RO, Eq, FromData)] },
-    Shape { satellites: &[CI, MI], preds: &[(MI_TY, Eq, FromData), (T_YEAR, Gt, Fixed(2008))] },
-    Shape { satellites: &[MI, MX], preds: &[(MI_TY, Eq, FromData), (MX_TY, Eq, FromData)] },
-    Shape { satellites: &[MI, MX], preds: &[(MI_TY, Eq, FromData), (MX_TY, Eq, FromData), (T_YEAR, Gt, Fixed(2010))] },
-    Shape { satellites: &[MI, MX], preds: &[(MI_TY, Eq, FromData), (MX_TY, Eq, FromData), (T_YEAR, Gt, Fixed(1990))] },
-    Shape { satellites: &[MI, MC], preds: &[(MI_TY, Eq, FromData), (MC_TY, Eq, FromData), (T_YEAR, Gt, Fixed(2005))] },
-    Shape { satellites: &[MI, MC], preds: &[(MC_TY, Eq, FromData), (T_YEAR, Gt, Fixed(2000)), (T_YEAR, Lt, Fixed(2010))] },
-    Shape { satellites: &[MI, MC], preds: &[(MC_CO, Eq, FromDomain), (MI_TY, Eq, FromData)] },
-    Shape { satellites: &[MK, MI], preds: &[(MK_KW, Eq, FromDomain), (MI_TY, Eq, FromData)] },
-    Shape { satellites: &[MK, MI], preds: &[(MK_KW, Eq, FromDomain), (T_YEAR, Gt, Fixed(2005)), (T_YEAR, Lt, Fixed(2012))] },
-    Shape { satellites: &[MC, MX], preds: &[(MC_TY, Eq, FromData), (T_YEAR, Gt, Fixed(2012))] },
-    Shape { satellites: &[MK, MX], preds: &[(MK_KW, Eq, FromDomain), (T_YEAR, Lt, Fixed(1990))] },
-    Shape { satellites: &[CI, MC], preds: &[(CI_RO, Eq, FromData), (T_KIND, Eq, Fixed(1))] },
-    Shape { satellites: &[MI, MX], preds: &[(MX_TY, Eq, FromData), (T_KIND, Eq, Fixed(1))] },
-    Shape { satellites: &[MK, CI], preds: &[(MK_KW, Eq, FromDomain), (T_KIND, Eq, Fixed(3))] },
+    Shape {
+        satellites: &[MC, MX],
+        preds: &[
+            (MC_TY, Eq, FromData),
+            (MX_TY, Eq, FromData),
+            (T_YEAR, Gt, Fixed(2010)),
+        ],
+    },
+    Shape {
+        satellites: &[MC, MX],
+        preds: &[
+            (MC_TY, Eq, FromData),
+            (MX_TY, Eq, FromData),
+            (T_YEAR, Gt, Fixed(2000)),
+        ],
+    },
+    Shape {
+        satellites: &[MC, MX],
+        preds: &[(MC_TY, Eq, FromData), (MX_TY, Eq, FromData)],
+    },
+    Shape {
+        satellites: &[MC, MX],
+        preds: &[(MC_CO, Eq, FromDomain), (T_YEAR, Gt, Fixed(1995))],
+    },
+    Shape {
+        satellites: &[MK, MX],
+        preds: &[(MK_KW, Eq, FromDomain), (T_YEAR, Gt, Fixed(2005))],
+    },
+    Shape {
+        satellites: &[MK, MX],
+        preds: &[(MK_KW, Eq, FromDomain), (MX_TY, Eq, FromData)],
+    },
+    Shape {
+        satellites: &[MK, MX],
+        preds: &[(MK_KW, Eq, FromDomain)],
+    },
+    Shape {
+        satellites: &[MK, MC],
+        preds: &[(MK_KW, Eq, FromDomain), (MC_TY, Eq, FromData)],
+    },
+    Shape {
+        satellites: &[MK, MC],
+        preds: &[
+            (MK_KW, Eq, FromDomain),
+            (MC_TY, Eq, FromData),
+            (T_YEAR, Gt, Fixed(2000)),
+        ],
+    },
+    Shape {
+        satellites: &[MK, MC],
+        preds: &[(MC_CO, Eq, FromDomain), (T_YEAR, Gt, Fixed(2009))],
+    },
+    Shape {
+        satellites: &[MK, CI],
+        preds: &[(MK_KW, Eq, FromDomain), (CI_RO, Eq, FromData)],
+    },
+    Shape {
+        satellites: &[MK, CI],
+        preds: &[(MK_KW, Eq, FromDomain), (T_YEAR, Eq, Fixed(2010))],
+    },
+    Shape {
+        satellites: &[CI, MC],
+        preds: &[
+            (CI_RO, Eq, FromData),
+            (MC_TY, Eq, FromData),
+            (T_YEAR, Gt, Fixed(2005)),
+        ],
+    },
+    Shape {
+        satellites: &[CI, MC],
+        preds: &[
+            (CI_RO, Eq, FromData),
+            (MC_TY, Eq, FromData),
+            (T_YEAR, Gt, Fixed(2010)),
+        ],
+    },
+    Shape {
+        satellites: &[CI, MC],
+        preds: &[(CI_PE, Eq, FromDomain)],
+    },
+    Shape {
+        satellites: &[CI, MC],
+        preds: &[(MC_CO, Eq, FromDomain), (CI_RO, Eq, FromData)],
+    },
+    Shape {
+        satellites: &[CI, MX],
+        preds: &[
+            (CI_RO, Eq, FromData),
+            (MX_TY, Eq, FromData),
+            (T_YEAR, Gt, Fixed(2000)),
+        ],
+    },
+    Shape {
+        satellites: &[CI, MX],
+        preds: &[(MX_TY, Eq, FromData), (T_YEAR, Gt, Fixed(2005))],
+    },
+    Shape {
+        satellites: &[CI, MI],
+        preds: &[(MI_TY, Eq, FromData), (CI_RO, Eq, FromData)],
+    },
+    Shape {
+        satellites: &[CI, MI],
+        preds: &[(MI_TY, Eq, FromData), (T_YEAR, Gt, Fixed(2008))],
+    },
+    Shape {
+        satellites: &[MI, MX],
+        preds: &[(MI_TY, Eq, FromData), (MX_TY, Eq, FromData)],
+    },
+    Shape {
+        satellites: &[MI, MX],
+        preds: &[
+            (MI_TY, Eq, FromData),
+            (MX_TY, Eq, FromData),
+            (T_YEAR, Gt, Fixed(2010)),
+        ],
+    },
+    Shape {
+        satellites: &[MI, MX],
+        preds: &[
+            (MI_TY, Eq, FromData),
+            (MX_TY, Eq, FromData),
+            (T_YEAR, Gt, Fixed(1990)),
+        ],
+    },
+    Shape {
+        satellites: &[MI, MC],
+        preds: &[
+            (MI_TY, Eq, FromData),
+            (MC_TY, Eq, FromData),
+            (T_YEAR, Gt, Fixed(2005)),
+        ],
+    },
+    Shape {
+        satellites: &[MI, MC],
+        preds: &[
+            (MC_TY, Eq, FromData),
+            (T_YEAR, Gt, Fixed(2000)),
+            (T_YEAR, Lt, Fixed(2010)),
+        ],
+    },
+    Shape {
+        satellites: &[MI, MC],
+        preds: &[(MC_CO, Eq, FromDomain), (MI_TY, Eq, FromData)],
+    },
+    Shape {
+        satellites: &[MK, MI],
+        preds: &[(MK_KW, Eq, FromDomain), (MI_TY, Eq, FromData)],
+    },
+    Shape {
+        satellites: &[MK, MI],
+        preds: &[
+            (MK_KW, Eq, FromDomain),
+            (T_YEAR, Gt, Fixed(2005)),
+            (T_YEAR, Lt, Fixed(2012)),
+        ],
+    },
+    Shape {
+        satellites: &[MC, MX],
+        preds: &[(MC_TY, Eq, FromData), (T_YEAR, Gt, Fixed(2012))],
+    },
+    Shape {
+        satellites: &[MK, MX],
+        preds: &[(MK_KW, Eq, FromDomain), (T_YEAR, Lt, Fixed(1990))],
+    },
+    Shape {
+        satellites: &[CI, MC],
+        preds: &[(CI_RO, Eq, FromData), (T_KIND, Eq, Fixed(1))],
+    },
+    Shape {
+        satellites: &[MI, MX],
+        preds: &[(MX_TY, Eq, FromData), (T_KIND, Eq, Fixed(1))],
+    },
+    Shape {
+        satellites: &[MK, CI],
+        preds: &[(MK_KW, Eq, FromDomain), (T_KIND, Eq, Fixed(3))],
+    },
     // ---- 3 joins (4 tables) — 20 queries --------------------------------
-    Shape { satellites: &[CI, MI, MX], preds: &[(MI_TY, Eq, FromData), (MX_TY, Eq, FromData), (T_YEAR, Gt, Fixed(2000))] },
-    Shape { satellites: &[CI, MI, MX], preds: &[(MI_TY, Eq, FromData), (MX_TY, Eq, FromData)] },
-    Shape { satellites: &[CI, MI, MX], preds: &[(CI_RO, Eq, FromData), (MI_TY, Eq, FromData), (T_YEAR, Gt, Fixed(2009))] },
-    Shape { satellites: &[MC, MI, MX], preds: &[(MC_TY, Eq, FromData), (MI_TY, Eq, FromData), (T_YEAR, Gt, Fixed(2005))] },
-    Shape { satellites: &[MC, MI, MX], preds: &[(MC_TY, Eq, FromData), (MX_TY, Eq, FromData)] },
-    Shape { satellites: &[MC, MI, MX], preds: &[(MC_CO, Eq, FromDomain), (MX_TY, Eq, FromData), (T_YEAR, Gt, Fixed(2000))] },
-    Shape { satellites: &[MK, MI, MX], preds: &[(MK_KW, Eq, FromDomain), (MI_TY, Eq, FromData), (T_YEAR, Gt, Fixed(2005))] },
-    Shape { satellites: &[MK, MI, MX], preds: &[(MK_KW, Eq, FromDomain), (MX_TY, Eq, FromData)] },
-    Shape { satellites: &[MK, MC, MI], preds: &[(MK_KW, Eq, FromDomain), (MC_TY, Eq, FromData), (MI_TY, Eq, FromData)] },
-    Shape { satellites: &[MK, MC, MI], preds: &[(MK_KW, Eq, FromDomain), (MC_TY, Eq, FromData), (T_YEAR, Gt, Fixed(2008))] },
-    Shape { satellites: &[MK, MC, CI], preds: &[(MK_KW, Eq, FromDomain), (CI_RO, Eq, FromData)] },
-    Shape { satellites: &[MK, MC, CI], preds: &[(MK_KW, Eq, FromDomain), (MC_TY, Eq, FromData), (CI_RO, Eq, FromData)] },
-    Shape { satellites: &[MK, CI, MX], preds: &[(MK_KW, Eq, FromDomain), (MX_TY, Eq, FromData), (T_YEAR, Gt, Fixed(2000))] },
-    Shape { satellites: &[MK, CI, MI], preds: &[(MK_KW, Eq, FromDomain), (MI_TY, Eq, FromData), (T_YEAR, Gt, Fixed(2010))] },
-    Shape { satellites: &[MC, CI, MI], preds: &[(MC_TY, Eq, FromData), (MI_TY, Eq, FromData), (CI_RO, Eq, FromData)] },
-    Shape { satellites: &[MC, CI, MX], preds: &[(MC_TY, Eq, FromData), (MX_TY, Eq, FromData), (T_YEAR, Gt, Fixed(2005))] },
-    Shape { satellites: &[MC, CI, MX], preds: &[(CI_RO, Eq, FromData), (MX_TY, Eq, FromData)] },
-    Shape { satellites: &[MC, MI, MX], preds: &[(MI_TY, Eq, FromData), (MX_TY, Eq, FromData), (T_YEAR, Gt, Fixed(1995)), (T_YEAR, Lt, Fixed(2005))] },
-    Shape { satellites: &[MK, MC, MX], preds: &[(MK_KW, Eq, FromDomain), (MC_TY, Eq, FromData), (MX_TY, Eq, FromData)] },
-    Shape { satellites: &[MK, MI, MX], preds: &[(MI_TY, Eq, FromData), (T_KIND, Eq, Fixed(1)), (T_YEAR, Gt, Fixed(2000))] },
+    Shape {
+        satellites: &[CI, MI, MX],
+        preds: &[
+            (MI_TY, Eq, FromData),
+            (MX_TY, Eq, FromData),
+            (T_YEAR, Gt, Fixed(2000)),
+        ],
+    },
+    Shape {
+        satellites: &[CI, MI, MX],
+        preds: &[(MI_TY, Eq, FromData), (MX_TY, Eq, FromData)],
+    },
+    Shape {
+        satellites: &[CI, MI, MX],
+        preds: &[
+            (CI_RO, Eq, FromData),
+            (MI_TY, Eq, FromData),
+            (T_YEAR, Gt, Fixed(2009)),
+        ],
+    },
+    Shape {
+        satellites: &[MC, MI, MX],
+        preds: &[
+            (MC_TY, Eq, FromData),
+            (MI_TY, Eq, FromData),
+            (T_YEAR, Gt, Fixed(2005)),
+        ],
+    },
+    Shape {
+        satellites: &[MC, MI, MX],
+        preds: &[(MC_TY, Eq, FromData), (MX_TY, Eq, FromData)],
+    },
+    Shape {
+        satellites: &[MC, MI, MX],
+        preds: &[
+            (MC_CO, Eq, FromDomain),
+            (MX_TY, Eq, FromData),
+            (T_YEAR, Gt, Fixed(2000)),
+        ],
+    },
+    Shape {
+        satellites: &[MK, MI, MX],
+        preds: &[
+            (MK_KW, Eq, FromDomain),
+            (MI_TY, Eq, FromData),
+            (T_YEAR, Gt, Fixed(2005)),
+        ],
+    },
+    Shape {
+        satellites: &[MK, MI, MX],
+        preds: &[(MK_KW, Eq, FromDomain), (MX_TY, Eq, FromData)],
+    },
+    Shape {
+        satellites: &[MK, MC, MI],
+        preds: &[
+            (MK_KW, Eq, FromDomain),
+            (MC_TY, Eq, FromData),
+            (MI_TY, Eq, FromData),
+        ],
+    },
+    Shape {
+        satellites: &[MK, MC, MI],
+        preds: &[
+            (MK_KW, Eq, FromDomain),
+            (MC_TY, Eq, FromData),
+            (T_YEAR, Gt, Fixed(2008)),
+        ],
+    },
+    Shape {
+        satellites: &[MK, MC, CI],
+        preds: &[(MK_KW, Eq, FromDomain), (CI_RO, Eq, FromData)],
+    },
+    Shape {
+        satellites: &[MK, MC, CI],
+        preds: &[
+            (MK_KW, Eq, FromDomain),
+            (MC_TY, Eq, FromData),
+            (CI_RO, Eq, FromData),
+        ],
+    },
+    Shape {
+        satellites: &[MK, CI, MX],
+        preds: &[
+            (MK_KW, Eq, FromDomain),
+            (MX_TY, Eq, FromData),
+            (T_YEAR, Gt, Fixed(2000)),
+        ],
+    },
+    Shape {
+        satellites: &[MK, CI, MI],
+        preds: &[
+            (MK_KW, Eq, FromDomain),
+            (MI_TY, Eq, FromData),
+            (T_YEAR, Gt, Fixed(2010)),
+        ],
+    },
+    Shape {
+        satellites: &[MC, CI, MI],
+        preds: &[
+            (MC_TY, Eq, FromData),
+            (MI_TY, Eq, FromData),
+            (CI_RO, Eq, FromData),
+        ],
+    },
+    Shape {
+        satellites: &[MC, CI, MX],
+        preds: &[
+            (MC_TY, Eq, FromData),
+            (MX_TY, Eq, FromData),
+            (T_YEAR, Gt, Fixed(2005)),
+        ],
+    },
+    Shape {
+        satellites: &[MC, CI, MX],
+        preds: &[(CI_RO, Eq, FromData), (MX_TY, Eq, FromData)],
+    },
+    Shape {
+        satellites: &[MC, MI, MX],
+        preds: &[
+            (MI_TY, Eq, FromData),
+            (MX_TY, Eq, FromData),
+            (T_YEAR, Gt, Fixed(1995)),
+            (T_YEAR, Lt, Fixed(2005)),
+        ],
+    },
+    Shape {
+        satellites: &[MK, MC, MX],
+        preds: &[
+            (MK_KW, Eq, FromDomain),
+            (MC_TY, Eq, FromData),
+            (MX_TY, Eq, FromData),
+        ],
+    },
+    Shape {
+        satellites: &[MK, MI, MX],
+        preds: &[
+            (MI_TY, Eq, FromData),
+            (T_KIND, Eq, Fixed(1)),
+            (T_YEAR, Gt, Fixed(2000)),
+        ],
+    },
     // ---- 4 joins (5 tables) — 9 queries ---------------------------------
-    Shape { satellites: &[MK, MC, CI, MI], preds: &[(MK_KW, Eq, FromDomain), (MC_TY, Eq, FromData), (T_YEAR, Gt, Fixed(2005))] },
-    Shape { satellites: &[MK, MC, CI, MI], preds: &[(MK_KW, Eq, FromDomain), (MI_TY, Eq, FromData), (CI_RO, Eq, FromData)] },
-    Shape { satellites: &[MK, MC, CI, MX], preds: &[(MK_KW, Eq, FromDomain), (MX_TY, Eq, FromData)] },
-    Shape { satellites: &[MC, CI, MI, MX], preds: &[(MC_TY, Eq, FromData), (MI_TY, Eq, FromData), (MX_TY, Eq, FromData)] },
-    Shape { satellites: &[MC, CI, MI, MX], preds: &[(MC_TY, Eq, FromData), (MX_TY, Eq, FromData), (T_YEAR, Gt, Fixed(2000))] },
-    Shape { satellites: &[MK, CI, MI, MX], preds: &[(MK_KW, Eq, FromDomain), (MI_TY, Eq, FromData), (T_YEAR, Gt, Fixed(2005))] },
-    Shape { satellites: &[MK, MC, MI, MX], preds: &[(MK_KW, Eq, FromDomain), (MC_TY, Eq, FromData), (MI_TY, Eq, FromData), (MX_TY, Eq, FromData)] },
-    Shape { satellites: &[MK, MC, MI, MX], preds: &[(MC_TY, Eq, FromData), (MX_TY, Eq, FromData), (T_YEAR, Gt, Fixed(2010))] },
-    Shape { satellites: &[MK, MC, CI, MI], preds: &[(MC_TY, Eq, FromData), (CI_RO, Eq, FromData), (T_YEAR, Gt, Fixed(1990)), (T_YEAR, Lt, Fixed(2000))] },
+    Shape {
+        satellites: &[MK, MC, CI, MI],
+        preds: &[
+            (MK_KW, Eq, FromDomain),
+            (MC_TY, Eq, FromData),
+            (T_YEAR, Gt, Fixed(2005)),
+        ],
+    },
+    Shape {
+        satellites: &[MK, MC, CI, MI],
+        preds: &[
+            (MK_KW, Eq, FromDomain),
+            (MI_TY, Eq, FromData),
+            (CI_RO, Eq, FromData),
+        ],
+    },
+    Shape {
+        satellites: &[MK, MC, CI, MX],
+        preds: &[(MK_KW, Eq, FromDomain), (MX_TY, Eq, FromData)],
+    },
+    Shape {
+        satellites: &[MC, CI, MI, MX],
+        preds: &[
+            (MC_TY, Eq, FromData),
+            (MI_TY, Eq, FromData),
+            (MX_TY, Eq, FromData),
+        ],
+    },
+    Shape {
+        satellites: &[MC, CI, MI, MX],
+        preds: &[
+            (MC_TY, Eq, FromData),
+            (MX_TY, Eq, FromData),
+            (T_YEAR, Gt, Fixed(2000)),
+        ],
+    },
+    Shape {
+        satellites: &[MK, CI, MI, MX],
+        preds: &[
+            (MK_KW, Eq, FromDomain),
+            (MI_TY, Eq, FromData),
+            (T_YEAR, Gt, Fixed(2005)),
+        ],
+    },
+    Shape {
+        satellites: &[MK, MC, MI, MX],
+        preds: &[
+            (MK_KW, Eq, FromDomain),
+            (MC_TY, Eq, FromData),
+            (MI_TY, Eq, FromData),
+            (MX_TY, Eq, FromData),
+        ],
+    },
+    Shape {
+        satellites: &[MK, MC, MI, MX],
+        preds: &[
+            (MC_TY, Eq, FromData),
+            (MX_TY, Eq, FromData),
+            (T_YEAR, Gt, Fixed(2010)),
+        ],
+    },
+    Shape {
+        satellites: &[MK, MC, CI, MI],
+        preds: &[
+            (MC_TY, Eq, FromData),
+            (CI_RO, Eq, FromData),
+            (T_YEAR, Gt, Fixed(1990)),
+            (T_YEAR, Lt, Fixed(2000)),
+        ],
+    },
 ];
 
 /// Instantiates the 70 JOB-light queries against a synthetic IMDb database.
@@ -272,6 +621,9 @@ mod tests {
                 }
             }
         }
-        assert!(eq > range * 2, "JOB-light is equality-heavy: eq={eq} range={range}");
+        assert!(
+            eq > range * 2,
+            "JOB-light is equality-heavy: eq={eq} range={range}"
+        );
     }
 }

@@ -23,7 +23,10 @@ pub fn imdb_predicate_columns(db: &Database) -> Vec<ColRef> {
         "movie_keyword.keyword_id",
     ]
     .iter()
-    .map(|q| db.resolve(q).unwrap_or_else(|| panic!("missing column {q}")))
+    .map(|q| {
+        db.resolve(q)
+            .unwrap_or_else(|| panic!("missing column {q}"))
+    })
     .collect()
 }
 
@@ -45,7 +48,10 @@ pub fn tpch_predicate_columns(db: &Database) -> Vec<ColRef> {
         "supplier.s_acctbal",
     ]
     .iter()
-    .map(|q| db.resolve(q).unwrap_or_else(|| panic!("missing column {q}")))
+    .map(|q| {
+        db.resolve(q)
+            .unwrap_or_else(|| panic!("missing column {q}"))
+    })
     .collect()
 }
 
@@ -62,7 +68,10 @@ mod tests {
         // No id / movie_id columns.
         for cr in cols {
             let name = db.col_name(cr);
-            assert!(!name.ends_with(".id") && !name.ends_with(".movie_id"), "{name}");
+            assert!(
+                !name.ends_with(".id") && !name.ends_with(".movie_id"),
+                "{name}"
+            );
         }
     }
 

@@ -19,26 +19,122 @@ struct Shape {
 }
 
 static SHAPES: &[Shape] = &[
-    Shape { tables: &["orders"], preds: &[("orders.o_orderstatus", Eq, None), ("orders.o_orderdate", Gt, Some(1200))] },
-    Shape { tables: &["lineitem"], preds: &[("lineitem.l_quantity", Gt, Some(40))] },
-    Shape { tables: &["lineitem"], preds: &[("lineitem.l_discount", Eq, None), ("lineitem.l_quantity", Lt, Some(10))] },
-    Shape { tables: &["orders", "lineitem"], preds: &[("orders.o_orderpriority", Eq, None)] },
-    Shape { tables: &["orders", "lineitem"], preds: &[("lineitem.l_quantity", Gt, Some(25)), ("orders.o_orderdate", Gt, Some(1800))] },
-    Shape { tables: &["orders", "lineitem"], preds: &[("orders.o_orderstatus", Eq, None), ("lineitem.l_discount", Gt, Some(5))] },
-    Shape { tables: &["customer", "orders"], preds: &[("customer.c_mktsegment", Eq, None)] },
-    Shape { tables: &["customer", "orders"], preds: &[("customer.c_acctbal", Gt, Some(5000)), ("orders.o_orderdate", Lt, Some(600))] },
-    Shape { tables: &["lineitem", "part"], preds: &[("part.p_size", Eq, None)] },
-    Shape { tables: &["lineitem", "part"], preds: &[("part.p_brand", Eq, None), ("lineitem.l_quantity", Lt, Some(25))] },
-    Shape { tables: &["lineitem", "supplier"], preds: &[("supplier.s_acctbal", Gt, Some(0))] },
-    Shape { tables: &["customer", "orders", "lineitem"], preds: &[("customer.c_mktsegment", Eq, None), ("orders.o_orderdate", Lt, Some(1200))] },
-    Shape { tables: &["customer", "orders", "lineitem"], preds: &[("lineitem.l_quantity", Gt, Some(30)), ("customer.c_acctbal", Gt, Some(2000))] },
-    Shape { tables: &["orders", "lineitem", "part"], preds: &[("part.p_size", Lt, Some(20)), ("orders.o_orderpriority", Eq, None)] },
-    Shape { tables: &["orders", "lineitem", "part"], preds: &[("part.p_brand", Eq, None)] },
-    Shape { tables: &["orders", "lineitem", "supplier"], preds: &[("orders.o_orderstatus", Eq, None), ("supplier.s_acctbal", Lt, Some(5000))] },
-    Shape { tables: &["nation", "customer", "orders"], preds: &[("orders.o_orderdate", Gt, Some(2000))] },
-    Shape { tables: &["customer", "orders", "lineitem", "part"], preds: &[("customer.c_mktsegment", Eq, None), ("part.p_size", Gt, Some(30))] },
-    Shape { tables: &["customer", "orders", "lineitem", "supplier"], preds: &[("lineitem.l_discount", Lt, Some(3))] },
-    Shape { tables: &["region", "nation", "customer", "orders"], preds: &[("region.r_regionkey", Eq, None), ("orders.o_orderdate", Gt, Some(1000))] },
+    Shape {
+        tables: &["orders"],
+        preds: &[
+            ("orders.o_orderstatus", Eq, None),
+            ("orders.o_orderdate", Gt, Some(1200)),
+        ],
+    },
+    Shape {
+        tables: &["lineitem"],
+        preds: &[("lineitem.l_quantity", Gt, Some(40))],
+    },
+    Shape {
+        tables: &["lineitem"],
+        preds: &[
+            ("lineitem.l_discount", Eq, None),
+            ("lineitem.l_quantity", Lt, Some(10)),
+        ],
+    },
+    Shape {
+        tables: &["orders", "lineitem"],
+        preds: &[("orders.o_orderpriority", Eq, None)],
+    },
+    Shape {
+        tables: &["orders", "lineitem"],
+        preds: &[
+            ("lineitem.l_quantity", Gt, Some(25)),
+            ("orders.o_orderdate", Gt, Some(1800)),
+        ],
+    },
+    Shape {
+        tables: &["orders", "lineitem"],
+        preds: &[
+            ("orders.o_orderstatus", Eq, None),
+            ("lineitem.l_discount", Gt, Some(5)),
+        ],
+    },
+    Shape {
+        tables: &["customer", "orders"],
+        preds: &[("customer.c_mktsegment", Eq, None)],
+    },
+    Shape {
+        tables: &["customer", "orders"],
+        preds: &[
+            ("customer.c_acctbal", Gt, Some(5000)),
+            ("orders.o_orderdate", Lt, Some(600)),
+        ],
+    },
+    Shape {
+        tables: &["lineitem", "part"],
+        preds: &[("part.p_size", Eq, None)],
+    },
+    Shape {
+        tables: &["lineitem", "part"],
+        preds: &[
+            ("part.p_brand", Eq, None),
+            ("lineitem.l_quantity", Lt, Some(25)),
+        ],
+    },
+    Shape {
+        tables: &["lineitem", "supplier"],
+        preds: &[("supplier.s_acctbal", Gt, Some(0))],
+    },
+    Shape {
+        tables: &["customer", "orders", "lineitem"],
+        preds: &[
+            ("customer.c_mktsegment", Eq, None),
+            ("orders.o_orderdate", Lt, Some(1200)),
+        ],
+    },
+    Shape {
+        tables: &["customer", "orders", "lineitem"],
+        preds: &[
+            ("lineitem.l_quantity", Gt, Some(30)),
+            ("customer.c_acctbal", Gt, Some(2000)),
+        ],
+    },
+    Shape {
+        tables: &["orders", "lineitem", "part"],
+        preds: &[
+            ("part.p_size", Lt, Some(20)),
+            ("orders.o_orderpriority", Eq, None),
+        ],
+    },
+    Shape {
+        tables: &["orders", "lineitem", "part"],
+        preds: &[("part.p_brand", Eq, None)],
+    },
+    Shape {
+        tables: &["orders", "lineitem", "supplier"],
+        preds: &[
+            ("orders.o_orderstatus", Eq, None),
+            ("supplier.s_acctbal", Lt, Some(5000)),
+        ],
+    },
+    Shape {
+        tables: &["nation", "customer", "orders"],
+        preds: &[("orders.o_orderdate", Gt, Some(2000))],
+    },
+    Shape {
+        tables: &["customer", "orders", "lineitem", "part"],
+        preds: &[
+            ("customer.c_mktsegment", Eq, None),
+            ("part.p_size", Gt, Some(30)),
+        ],
+    },
+    Shape {
+        tables: &["customer", "orders", "lineitem", "supplier"],
+        preds: &[("lineitem.l_discount", Lt, Some(3))],
+    },
+    Shape {
+        tables: &["region", "nation", "customer", "orders"],
+        preds: &[
+            ("region.r_regionkey", Eq, None),
+            ("orders.o_orderdate", Gt, Some(1000)),
+        ],
+    },
 ];
 
 /// Instantiates the TPC-H evaluation workload (20 queries). Deterministic
@@ -48,7 +144,8 @@ pub fn tpch_workload(db: &Database, seed: u64) -> Vec<Query> {
         .iter()
         .enumerate()
         .map(|(i, s)| {
-            let mut rng = StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0xA24B_AED4_963E_E407));
+            let mut rng =
+                StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0xA24B_AED4_963E_E407));
             let mut q = Query::new();
             for t in s.tables {
                 q.add_table(db, t).expect("tpch schema");

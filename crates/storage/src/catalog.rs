@@ -249,10 +249,7 @@ mod tests {
 
         // Dangling reference: movie_id 99 has no title.
         let title = Table::new("title", vec![Column::new("id", vec![1, 1])]);
-        let mk = Table::new(
-            "movie_keyword",
-            vec![Column::new("movie_id", vec![1, 99])],
-        );
+        let mk = Table::new("movie_keyword", vec![Column::new("movie_id", vec![1, 99])]);
         let fk = ForeignKey {
             from: ColRef::new(TableId(1), 0),
             to: ColRef::new(TableId(0), 0),

@@ -33,7 +33,11 @@ impl Column {
     /// Panics if the mask length differs from the data length.
     pub fn with_nulls(name: impl Into<String>, data: Vec<i64>, nulls: Bitmap) -> Self {
         assert_eq!(data.len(), nulls.len(), "null mask length mismatch");
-        let nulls = if nulls.is_all_clear() { None } else { Some(nulls) };
+        let nulls = if nulls.is_all_clear() {
+            None
+        } else {
+            Some(nulls)
+        };
         Self {
             name: name.into(),
             data,

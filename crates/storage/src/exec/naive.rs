@@ -65,9 +65,15 @@ impl NaiveExecutor {
                 });
                 continue;
             } else if bound.contains(&a) {
-                (edge.side_of(a).expect("edge side"), edge.side_of(b).expect("edge side"))
+                (
+                    edge.side_of(a).expect("edge side"),
+                    edge.side_of(b).expect("edge side"),
+                )
             } else {
-                (edge.side_of(b).expect("edge side"), edge.side_of(a).expect("edge side"))
+                (
+                    edge.side_of(b).expect("edge side"),
+                    edge.side_of(a).expect("edge side"),
+                )
             };
 
             // Hash the new table's filtered rows by join key.
@@ -168,7 +174,10 @@ mod tests {
         );
         let b = Table::new(
             "b",
-            vec![Column::new("x", vec![1, 1, 2]), Column::new("y", vec![7, 9, 8])],
+            vec![
+                Column::new("x", vec![1, 1, 2]),
+                Column::new("y", vec![7, 9, 8]),
+            ],
         );
         let db = Database::new("cyc", vec![a, b], vec![]);
         let q = ExecQuery {

@@ -31,7 +31,10 @@ pub fn count_batch(
                 s.spawn(move |_| exec.count_all(db, qs))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     })
     .expect("scope panicked");
 
@@ -54,7 +57,10 @@ mod tests {
     fn db() -> Database {
         let a = Table::new(
             "a",
-            vec![Column::new("id", (0..100).collect()), Column::new("v", (0..100).map(|i| i % 10).collect())],
+            vec![
+                Column::new("id", (0..100).collect()),
+                Column::new("v", (0..100).map(|i| i % 10).collect()),
+            ],
         );
         let b = Table::new(
             "b",

@@ -276,7 +276,10 @@ mod tests {
             tables: vec![TableId(0), TableId(0)],
             ..Default::default()
         };
-        assert_eq!(dup.validate(&db), Err(ExecError::DuplicateTable(TableId(0))));
+        assert_eq!(
+            dup.validate(&db),
+            Err(ExecError::DuplicateTable(TableId(0)))
+        );
 
         let disc = ExecQuery {
             tables: vec![TableId(0), TableId(1)],
@@ -296,14 +299,20 @@ mod tests {
             predicates: vec![(TableId(0), ColPredicate::new(7, CmpOp::Eq, 1))],
             ..Default::default()
         };
-        assert_eq!(badcol.validate(&db), Err(ExecError::BadColumn(TableId(0), 7)));
+        assert_eq!(
+            badcol.validate(&db),
+            Err(ExecError::BadColumn(TableId(0), 7))
+        );
 
         let unknown_pred = ExecQuery {
             tables: vec![TableId(0)],
             predicates: vec![(TableId(2), ColPredicate::new(0, CmpOp::Eq, 1))],
             ..Default::default()
         };
-        assert_eq!(unknown_pred.validate(&db), Err(ExecError::UnknownTable(TableId(2))));
+        assert_eq!(
+            unknown_pred.validate(&db),
+            Err(ExecError::UnknownTable(TableId(2)))
+        );
     }
 
     #[test]

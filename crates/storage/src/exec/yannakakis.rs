@@ -77,7 +77,9 @@ impl CountExecutor {
                     // Hot path: predicate-free leaf — memoized per (table, col).
                     self.cached_leaf_message(db, t, key_col)
                 } else {
-                    Arc::new(Self::inner_message(table, &preds, key_col, children, &mut memo))
+                    Arc::new(Self::inner_message(
+                        table, &preds, key_col, children, &mut memo,
+                    ))
                 };
                 memo.insert(t, msg);
             }
@@ -394,10 +396,7 @@ mod tests {
                 Column::new("id", vec![10, 11, 12]),
             ],
         );
-        let c = Table::new(
-            "c",
-            vec![Column::new("b_id", vec![10, 10, 11, 12, 12, 12])],
-        );
+        let c = Table::new("c", vec![Column::new("b_id", vec![10, 10, 11, 12, 12, 12])]);
         let fks = vec![
             ForeignKey {
                 from: ColRef::new(TableId(1), 0),
@@ -440,10 +439,7 @@ mod tests {
         let a = Table::new("a", vec![Column::new("id", vec![1, 2])]);
         let mut nulls = Bitmap::new(3);
         nulls.set(2);
-        let b = Table::new(
-            "b",
-            vec![Column::with_nulls("a_id", vec![1, 2, 1], nulls)],
-        );
+        let b = Table::new("b", vec![Column::with_nulls("a_id", vec![1, 2, 1], nulls)]);
         let db = Database::new(
             "n",
             vec![a, b],

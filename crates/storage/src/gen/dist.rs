@@ -118,7 +118,10 @@ impl Categorical {
 /// Samples a Poisson(λ) variate with Knuth's product method. Suitable for
 /// the small λ (≲ 30) used by the fanout generators.
 pub fn poisson<R: Rng>(rng: &mut R, lambda: f64) -> u64 {
-    assert!(lambda >= 0.0 && lambda.is_finite(), "lambda must be finite and >= 0");
+    assert!(
+        lambda >= 0.0 && lambda.is_finite(),
+        "lambda must be finite and >= 0"
+    );
     if lambda == 0.0 {
         return 0;
     }

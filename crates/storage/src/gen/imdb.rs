@@ -162,8 +162,12 @@ pub fn imdb_database(cfg: &ImdbConfig) -> Database {
 
     // --- cast_info ---------------------------------------------------------
     let person_zipf = Zipf::new(cfg.persons, 1.02);
-    let role_movie = Categorical::new(&[0.42, 0.34, 0.05, 0.05, 0.02, 0.02, 0.02, 0.04, 0.02, 0.01, 0.01]);
-    let role_tv = Categorical::new(&[0.10, 0.08, 0.04, 0.04, 0.32, 0.22, 0.04, 0.10, 0.02, 0.02, 0.02]);
+    let role_movie = Categorical::new(&[
+        0.42, 0.34, 0.05, 0.05, 0.02, 0.02, 0.02, 0.04, 0.02, 0.01, 0.01,
+    ]);
+    let role_tv = Categorical::new(&[
+        0.10, 0.08, 0.04, 0.04, 0.32, 0.22, 0.04, 0.10, 0.02, 0.02, 0.02,
+    ]);
     let mut ci_movie = Vec::new();
     let mut ci_person = Vec::new();
     let mut ci_role = Vec::new();
@@ -256,7 +260,8 @@ pub fn imdb_database(cfg: &ImdbConfig) -> Database {
             let era = ((years[i] - YEAR_RANGE.0) / 20).clamp(0, 6);
             for _ in 0..cnt {
                 let ty = if rng.random::<f64>() < 0.6 {
-                    INFO_IDX_BASE + (era * 2 + rng.random_range(0..2)).min(NUM_INFO_IDX_TYPES as i64 - 1)
+                    INFO_IDX_BASE
+                        + (era * 2 + rng.random_range(0..2)).min(NUM_INFO_IDX_TYPES as i64 - 1)
                 } else {
                     INFO_IDX_BASE + rng.random_range(0..NUM_INFO_IDX_TYPES as i64)
                 };
@@ -333,7 +338,10 @@ mod tests {
         // All satellites join title on movie_id.
         for fk in db.foreign_keys() {
             assert_eq!(fk.to, ColRef::new(db.table_id("title").unwrap(), 0));
-            assert_eq!(db.table(fk.from.table).column(fk.from.col).name(), "movie_id");
+            assert_eq!(
+                db.table(fk.from.table).column(fk.from.col).name(),
+                "movie_id"
+            );
         }
     }
 

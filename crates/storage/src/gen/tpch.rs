@@ -65,7 +65,10 @@ pub fn tpch_database(cfg: &TpchConfig) -> Database {
     // --- region / nation (fixed small dimensions) ------------------------
     let region = Table::new(
         "region",
-        vec![Column::new("r_regionkey", (0..NUM_REGIONS as i64).collect())],
+        vec![Column::new(
+            "r_regionkey",
+            (0..NUM_REGIONS as i64).collect(),
+        )],
     );
     let nation = Table::new(
         "nation",
@@ -73,7 +76,9 @@ pub fn tpch_database(cfg: &TpchConfig) -> Database {
             Column::new("n_nationkey", (0..NUM_NATIONS as i64).collect()),
             Column::new(
                 "n_regionkey",
-                (0..NUM_NATIONS as i64).map(|k| k % NUM_REGIONS as i64).collect(),
+                (0..NUM_NATIONS as i64)
+                    .map(|k| k % NUM_REGIONS as i64)
+                    .collect(),
             ),
         ],
     );
@@ -86,7 +91,9 @@ pub fn tpch_database(cfg: &TpchConfig) -> Database {
             Column::new("c_custkey", (1..=nc as i64).collect()),
             Column::new(
                 "c_nationkey",
-                (0..nc).map(|_| rng.random_range(0..NUM_NATIONS as i64)).collect(),
+                (0..nc)
+                    .map(|_| rng.random_range(0..NUM_NATIONS as i64))
+                    .collect(),
             ),
             Column::new(
                 "c_acctbal",
@@ -107,7 +114,9 @@ pub fn tpch_database(cfg: &TpchConfig) -> Database {
             Column::new("s_suppkey", (1..=ns as i64).collect()),
             Column::new(
                 "s_nationkey",
-                (0..ns).map(|_| rng.random_range(0..NUM_NATIONS as i64)).collect(),
+                (0..ns)
+                    .map(|_| rng.random_range(0..NUM_NATIONS as i64))
+                    .collect(),
             ),
             Column::new(
                 "s_acctbal",
@@ -122,8 +131,14 @@ pub fn tpch_database(cfg: &TpchConfig) -> Database {
         "part",
         vec![
             Column::new("p_partkey", (1..=np as i64).collect()),
-            Column::new("p_size", (0..np).map(|_| rng.random_range(1..=50)).collect()),
-            Column::new("p_brand", (0..np).map(|_| rng.random_range(1..=25)).collect()),
+            Column::new(
+                "p_size",
+                (0..np).map(|_| rng.random_range(1..=50)).collect(),
+            ),
+            Column::new(
+                "p_brand",
+                (0..np).map(|_| rng.random_range(1..=25)).collect(),
+            ),
             Column::new(
                 "p_retailprice",
                 (0..np).map(|_| rng.random_range(900..=2000)).collect(),
@@ -236,7 +251,9 @@ mod tests {
         let db = tpch_database(&TpchConfig::tiny(1));
         assert_eq!(db.num_tables(), 7);
         assert_eq!(db.foreign_keys().len(), 6);
-        for name in ["region", "nation", "customer", "orders", "lineitem", "part", "supplier"] {
+        for name in [
+            "region", "nation", "customer", "orders", "lineitem", "part", "supplier",
+        ] {
             assert!(db.table_id(name).is_some(), "{name} missing");
         }
         // fk_between finds the lineitem→orders edge.
@@ -251,8 +268,16 @@ mod tests {
         let nc = db.table(db.table_id("customer").unwrap()).num_rows() as f64;
         let no = db.table(db.table_id("orders").unwrap()).num_rows() as f64;
         let nl = db.table(db.table_id("lineitem").unwrap()).num_rows() as f64;
-        assert!((no / nc) > 6.0 && (no / nc) < 14.0, "orders/customer={}", no / nc);
-        assert!((nl / no) > 2.5 && (nl / no) < 5.5, "lineitem/orders={}", nl / no);
+        assert!(
+            (no / nc) > 6.0 && (no / nc) < 14.0,
+            "orders/customer={}",
+            no / nc
+        );
+        assert!(
+            (nl / no) > 2.5 && (nl / no) < 5.5,
+            "lineitem/orders={}",
+            nl / no
+        );
     }
 
     #[test]

@@ -33,7 +33,8 @@ impl TableSample {
         let table = db.table(table_id);
         let n = table.num_rows();
         let mut ids: Vec<u32> = (0..n as u32).collect();
-        let mut rng = StdRng::seed_from_u64(seed ^ (table_id.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng =
+            StdRng::seed_from_u64(seed ^ (table_id.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
         ids.shuffle(&mut rng);
         ids.truncate(size.min(n));
         ids.sort_unstable(); // stable row order for reproducible bitmaps

@@ -28,7 +28,12 @@ impl Table {
         assert!(rows <= u32::MAX as usize, "table too large for u32 row ids");
         let mut by_name = HashMap::with_capacity(columns.len());
         for (i, c) in columns.iter().enumerate() {
-            assert_eq!(c.len(), rows, "column {} length mismatch in {name}", c.name());
+            assert_eq!(
+                c.len(),
+                rows,
+                "column {} length mismatch in {name}",
+                c.name()
+            );
             let prev = by_name.insert(c.name().to_string(), i);
             assert!(prev.is_none(), "duplicate column {} in {name}", c.name());
         }
@@ -211,10 +216,7 @@ mod tests {
         let preds = vec![ColPredicate::new(1, CmpOp::Gt, 1995)];
         let rows = t.filter_rows(&preds);
         let bm = t.filter_bitmap(&preds);
-        assert_eq!(
-            bm.iter_ones().map(|r| r as u32).collect::<Vec<_>>(),
-            rows
-        );
+        assert_eq!(bm.iter_ones().map(|r| r as u32).collect::<Vec<_>>(), rows);
     }
 
     #[test]

@@ -98,7 +98,10 @@ fn deep_chain_with_predicates_on_every_level() {
     // 4-level chain with fanout 2 per level and a predicate at each level.
     let l0 = Table::new(
         "l0",
-        vec![Column::new("id", (0..4).collect()), Column::new("v", vec![0, 1, 0, 1])],
+        vec![
+            Column::new("id", (0..4).collect()),
+            Column::new("v", vec![0, 1, 0, 1]),
+        ],
     );
     let mk_level = |name: &str, parents: i64| {
         let mut p = Vec::new();

@@ -49,18 +49,16 @@ fn main() {
     }
 
     // --- 2. build the fleet ----------------------------------------------
-    println!("\ntraining the fleet ({} focused sketches) …", advice.recommendations.len());
-    let fleet = SketchFleet::build_from_advice(
-        &db,
-        &advice,
-        imdb_predicate_columns(&db),
-        |b| {
-            b.training_queries(2_500)
-                .epochs(12)
-                .sample_size(100)
-                .hidden_units(64)
-        },
-    )
+    println!(
+        "\ntraining the fleet ({} focused sketches) …",
+        advice.recommendations.len()
+    );
+    let fleet = SketchFleet::build_from_advice(&db, &advice, imdb_predicate_columns(&db), |b| {
+        b.training_queries(2_500)
+            .epochs(12)
+            .sample_size(100)
+            .hidden_units(64)
+    })
     .expect("fleet");
 
     println!("training the monolithic whole-schema sketch …");
@@ -96,8 +94,14 @@ fn main() {
     );
     println!("\nq-errors on the routed queries:");
     println!("{}", QErrorSummary::table_header());
-    println!("{}", QErrorSummary::from_qerrors(&fleet_q).table_row("fleet"));
-    println!("{}", QErrorSummary::from_qerrors(&mono_q).table_row("monolith"));
+    println!(
+        "{}",
+        QErrorSummary::from_qerrors(&fleet_q).table_row("fleet")
+    );
+    println!(
+        "{}",
+        QErrorSummary::from_qerrors(&mono_q).table_row("monolith")
+    );
     println!(
         "\nfootprints: fleet {:.2} MiB across {} sketches vs monolith {:.2} MiB",
         fleet.footprint_bytes() as f64 / (1024.0 * 1024.0),

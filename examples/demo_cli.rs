@@ -44,7 +44,9 @@ fn main() {
         .seed(29)
         .build()
         .expect("default sketch");
-    store.insert("default", default_sketch).expect("fresh store");
+    store
+        .insert("default", default_sketch)
+        .expect("fresh store");
 
     let postgres = PostgresEstimator::build(&db);
     let hyper = SamplingEstimator::build(&db, 100, 31);
@@ -80,8 +82,7 @@ fn main() {
                     advice.recommendations.len()
                 );
                 for r in &advice.recommendations {
-                    let names: Vec<&str> =
-                        r.tables.iter().map(|&t| db.table(t).name()).collect();
+                    let names: Vec<&str> = r.tables.iter().map(|&t| db.table(t).name()).collect();
                     println!(
                         "    {{{}}} — {} queries, ≈{:.2} MiB",
                         names.join(", "),
@@ -112,10 +113,8 @@ fn main() {
             sql if sql.contains('?') => match QueryTemplate::parse_sql(&db, sql) {
                 Ok(template) => {
                     let sketch = store.get("default").expect("default sketch");
-                    let ours =
-                        template.evaluate(sketch.samples(), ValueFn::GroupBy(10), &*sketch);
-                    let truth =
-                        template.evaluate(sketch.samples(), ValueFn::GroupBy(10), &oracle);
+                    let ours = template.evaluate(sketch.samples(), ValueFn::GroupBy(10), &*sketch);
+                    let truth = template.evaluate(sketch.samples(), ValueFn::GroupBy(10), &oracle);
                     println!("  {:>10} {:>10} {:>10}", "group", "sketch", "true");
                     for (o, t) in ours.iter().zip(&truth) {
                         println!("  {:>10} {:>10.0} {:>10.0}", o.0 * 10, o.1, t.1);

@@ -40,10 +40,8 @@ fn main() {
 
     // Generate evaluation queries and keep those that hit a 0-tuple
     // situation on the *estimator's* sample.
-    let mut generator = QueryGenerator::new(
-        &db,
-        GeneratorConfig::new(imdb_predicate_columns(&db), 999),
-    );
+    let mut generator =
+        QueryGenerator::new(&db, GeneratorConfig::new(imdb_predicate_columns(&db), 999));
     let candidates = generator.generate_batch(2_000);
     let zero_tuple: Vec<_> = candidates
         .iter()

@@ -55,9 +55,9 @@ pub mod prelude {
     pub use ds_core::builder::{BuildProgress, SketchBuilder};
     pub use ds_core::fleet::{Route, SketchFleet};
     pub use ds_core::maintain::{detect_drift, refresh_samples, DriftReport};
-    pub use ds_core::store::{SketchStatus, SketchStore};
     pub use ds_core::metrics::{qerror, QErrorSummary};
     pub use ds_core::sketch::DeepSketch;
+    pub use ds_core::store::{SketchStatus, SketchStore};
     pub use ds_core::template::{QueryTemplate, ValueFn};
     pub use ds_est::{
         oracle::TrueCardinalityOracle, postgres::PostgresEstimator, sampling::SamplingEstimator,

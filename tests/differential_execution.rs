@@ -19,10 +19,7 @@ fn random_db(seed: u64, hub_rows: usize, sat_rows: usize) -> Database {
         "hub",
         vec![
             Column::new("id", (0..hub_rows as i64).collect()),
-            Column::new(
-                "a",
-                (0..hub_rows).map(|_| rng.random_range(0..5)).collect(),
-            ),
+            Column::new("a", (0..hub_rows).map(|_| rng.random_range(0..5)).collect()),
         ],
     );
     let mk_sat = |name: &str, rng: &mut StdRng| {

@@ -62,9 +62,7 @@ fn postgres_is_monotone_in_range_predicates() {
     for year in [2015, 2005, 1995, 1985, 1950] {
         let q = parse_query(
             &db,
-            &format!(
-                "SELECT COUNT(*) FROM title WHERE title.production_year > {year}"
-            ),
+            &format!("SELECT COUNT(*) FROM title WHERE title.production_year > {year}"),
         )
         .unwrap();
         let e = pg.estimate(&q);

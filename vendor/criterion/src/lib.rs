@@ -1,0 +1,242 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no network access, so this vendors a minimal
+//! wall-clock harness with the API subset the workspace's benches use:
+//! [`Criterion::bench_function`], [`Bencher::iter`],
+//! [`Bencher::iter_batched`], the builder knobs (`sample_size`,
+//! `measurement_time`, `warm_up_time`), and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Each benchmark reports min/mean/median per-iteration time to stdout.
+//! Statistical analysis, plots, and baseline comparison are out of scope.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark harness configuration and entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total time budget for the timed samples.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up running time before measurement starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark and prints its timing summary.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            samples_ns: Vec::new(),
+        };
+        f(&mut b);
+        b.report(id);
+        self
+    }
+}
+
+/// Passed to the benchmark closure; runs and times the workload.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`] (ignored: every batch
+/// is one routine call, which matches how the workspace uses it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly; each sample aggregates enough calls to
+    /// be measurable.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up, and calibrate iterations per sample while at it.
+        let warm_start = Instant::now();
+        let mut calls = 0u64;
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(routine());
+            calls += 1;
+        }
+        let per_call = warm_start.elapsed().as_secs_f64() / calls.max(1) as f64;
+        let budget = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let iters_per_sample = ((budget / per_call.max(1e-9)) as u64).clamp(1, 1 << 24);
+
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            self.samples_ns
+                .push(t.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+    }
+
+    /// Times `routine` on fresh inputs built by `setup` (setup excluded
+    /// from the measurement).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Warm-up: a few calls to stabilize caches/frequency.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(routine(setup()));
+        }
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.samples_ns.push(t.elapsed().as_nanos() as f64);
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples_ns.is_empty() {
+            println!("{id:<40} (no samples)");
+            return;
+        }
+        let mut sorted = self.samples_ns.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let min = sorted[0];
+        let median = sorted[sorted.len() / 2];
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        println!(
+            "{id:<40} min {:>12} median {:>12} mean {:>12}",
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(mean)
+        );
+    }
+
+    /// Median per-iteration nanoseconds of the last run (for callers that
+    /// post-process results, e.g. to export machine-readable output).
+    pub fn median_ns(&self) -> Option<f64> {
+        if self.samples_ns.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples_ns.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        Some(sorted[sorted.len() / 2])
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(50))
+            .warm_up_time(Duration::from_millis(5));
+        let mut saw_samples = false;
+        c.bench_function("smoke/iter", |b| {
+            b.iter(|| black_box(3u64).wrapping_mul(7));
+            saw_samples = b.median_ns().is_some();
+        });
+        assert!(saw_samples);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut c = Criterion::default()
+            .sample_size(4)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(2));
+        c.bench_function("smoke/batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput);
+            assert_eq!(b.median_ns().map(|n| n >= 0.0), Some(true));
+        });
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert_eq!(fmt_ns(12.0), "12.0 ns");
+        assert!(fmt_ns(2_500.0).ends_with("µs"));
+        assert!(fmt_ns(3_000_000.0).ends_with("ms"));
+        assert!(fmt_ns(4_000_000_000.0).ends_with('s'));
+    }
+}

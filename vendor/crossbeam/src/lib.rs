@@ -1,0 +1,93 @@
+//! Offline stand-in for `crossbeam`: the [`scope`] scoped-thread API this
+//! workspace uses, implemented over `std::thread::scope` (stable since
+//! Rust 1.63, which makes crossbeam's version unnecessary here).
+
+use std::any::Any;
+use std::thread;
+
+/// A scope handle that can spawn borrowing worker threads.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+/// Handle to a spawned scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Waits for the thread and returns its result (`Err` on panic).
+    pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a worker; the closure receives the scope again so workers can
+    /// spawn sub-workers (crossbeam's signature).
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner_scope = self.inner;
+        ScopedJoinHandle {
+            inner: inner_scope.spawn(move || f(&Scope { inner: inner_scope })),
+        }
+    }
+}
+
+/// Runs `f` with a scope in which borrowing threads can be spawned; all
+/// spawned threads are joined before `scope` returns. Mirrors
+/// `crossbeam::scope`, including the `Result` wrapper (always `Ok` here:
+/// panics of joined workers surface through their `join()`, and panics of
+/// unjoined workers propagate as panics, as with `std::thread::scope`).
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|c| s.spawn(move |_| c.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn worker_panic_surfaces_in_join() {
+        let caught = scope(|s| {
+            let h = s.spawn(|_| -> u32 { panic!("worker died") });
+            h.join().is_err()
+        })
+        .unwrap();
+        assert!(caught);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let v = [10u32, 20];
+        let sum: u32 = scope(|s| {
+            let h = s.spawn(|s2| {
+                let inner = s2.spawn(|_| v[1]);
+                v[0] + inner.join().unwrap()
+            });
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(sum, 30);
+    }
+}

@@ -1,0 +1,306 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container has no network access, so this vendors the subset
+//! the workspace's property tests use: the [`proptest!`] macro over
+//! functions with `pattern in strategy` arguments, numeric range
+//! strategies, [`prop::collection::vec`], simple `[a-b]{m,n}` string
+//! "regex" strategies, [`ProptestConfig::with_cases`], and the
+//! `prop_assert!`/`prop_assert_eq!` macros.
+//!
+//! No shrinking is performed: a failing case reports its seed and panics.
+//! Cases are deterministic per (test, case index), so failures reproduce.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Per-block configuration (only the case count is honoured).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Failure raised by `prop_assert!`-style macros.
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(msg: String) -> Self {
+        Self(msg)
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A generator of random values for one test argument.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! numeric_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+numeric_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Strategy for core::ops::Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut StdRng) -> f32 {
+        rng.random_range(self.clone())
+    }
+}
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        rng.random_range(self.clone())
+    }
+}
+
+/// String strategy from a `[lo-hi]{min,max}` character-class pattern — the
+/// only regex shape the workspace's fuzz tests use. Falls back to emitting
+/// the pattern literally when it does not parse as a class-with-repetition.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        match parse_class_repeat(self) {
+            Some((lo, hi, min, max)) => {
+                let len = rng.random_range(min..=max);
+                (0..len)
+                    .map(|_| rng.random_range(lo as u32..=hi as u32))
+                    .filter_map(char::from_u32)
+                    .collect()
+            }
+            None => (*self).to_string(),
+        }
+    }
+}
+
+/// Parses `[a-b]{m,n}` into `(a, b, m, n)`.
+fn parse_class_repeat(pat: &str) -> Option<(char, char, usize, usize)> {
+    let rest = pat.strip_prefix('[')?;
+    let (class, rest) = rest.split_once(']')?;
+    let mut chars = class.chars();
+    let lo = chars.next()?;
+    if chars.next()? != '-' {
+        return None;
+    }
+    let hi = chars.next()?;
+    if chars.next().is_some() {
+        return None;
+    }
+    let rest = rest.strip_prefix('{')?;
+    let (reps, tail) = rest.split_once('}')?;
+    if !tail.is_empty() {
+        return None;
+    }
+    let (min, max) = reps.split_once(',')?;
+    Some((lo, hi, min.trim().parse().ok()?, max.trim().parse().ok()?))
+}
+
+/// Strategy namespace mirroring `proptest::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::Strategy;
+        use rand::rngs::StdRng;
+        use rand::RngExt;
+
+        /// Generates `Vec`s whose length is drawn from `len` and whose
+        /// elements come from `elem`.
+        pub fn vec<S: Strategy>(elem: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+            VecStrategy { elem, len }
+        }
+
+        /// See [`vec`].
+        pub struct VecStrategy<S> {
+            elem: S,
+            len: core::ops::Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+                let n = rng.random_range(self.len.clone());
+                (0..n).map(|_| self.elem.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Generates one value from a strategy — the call the [`proptest!`]
+/// expansion uses (free function so auto-ref works on range expressions).
+pub fn generate_one<S: Strategy>(strategy: &S, rng: &mut StdRng) -> S::Value {
+    strategy.generate(rng)
+}
+
+/// Deterministic per-test RNG: seeded from the test name and case index.
+pub fn case_rng(test_name: &str, case: u32) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h ^ ((case as u64) << 32 | case as u64))
+}
+
+/// Everything the tests import.
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Property-test entry point; see the crate docs for the supported shape.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cases = ($cfg).cases;
+            for __case in 0..__cases {
+                let mut __rng = $crate::case_rng(stringify!($name), __case);
+                $(let $pat = $crate::generate_one(&$strat, &mut __rng);)+
+                let __result: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(e) = __result {
+                    panic!("property '{}' failed at case {}: {}", stringify!($name), __case, e);
+                }
+            }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+/// `assert!` that reports through the property harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the property harness.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (l, r) = (&$a, &$b);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{} != {} ({:?} vs {:?})", stringify!($a), stringify!($b), l, r
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$a, &$b);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{} != {} ({:?} vs {:?}): {}",
+                stringify!($a), stringify!($b), l, r, format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_vecs(x in 1i64..100, v in prop::collection::vec(0u64..10, 2..8)) {
+            prop_assert!((1..100).contains(&x));
+            prop_assert!((2..8).contains(&v.len()));
+            prop_assert!(v.iter().all(|&e| e < 10));
+        }
+
+        #[test]
+        fn string_class(s in "[a-c]{2,5}") {
+            prop_assert!((2..=5).contains(&s.len()), "len {}", s.len());
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+
+        #[test]
+        fn mut_patterns_work(mut v in prop::collection::vec(0i64..50, 1..10)) {
+            v.sort_unstable();
+            prop_assert!(v.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let a: Vec<u64> = (0..4)
+            .map(|c| crate::generate_one(&(0u64..1000), &mut crate::case_rng("t", c)))
+            .collect();
+        let b: Vec<u64> = (0..4)
+            .map(|c| crate::generate_one(&(0u64..1000), &mut crate::case_rng("t", c)))
+            .collect();
+        assert_eq!(a, b);
+    }
+}
