@@ -1,0 +1,188 @@
+//! E13 — serving throughput: request coalescing vs per-request dispatch.
+//!
+//! The same TCP server, the same 64 concurrent clients, the same
+//! JOB-light-style workload — measured twice: once with `max_batch = 1`
+//! (every request is its own forward pass) and once with `max_batch = 64`
+//! (concurrent requests coalesce into micro-batches answered by one
+//! `estimate_batch` pass). The batched compute backbone makes a coalesced
+//! pass far cheaper per query than independent passes, so coalescing should
+//! deliver ≥3× the end-to-end throughput at this concurrency.
+//!
+//! Writes machine-readable results to `BENCH_serve.json` at the repo root.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ds_bench::{banner, BENCH_SEED};
+use ds_core::builder::SketchBuilder;
+use ds_core::store::SketchStore;
+use ds_query::parser::parse_query;
+use ds_query::workloads::imdb_predicate_columns;
+use ds_serve::{Client, MetricsSnapshot, ServeConfig, Server};
+use ds_storage::catalog::Database;
+use ds_storage::gen::{imdb_database, ImdbConfig};
+
+const CLIENTS: usize = 64;
+const QUERIES_PER_CLIENT: usize = 24;
+
+// Join-heavy, JOB-light-shaped queries: multi-table featurization keeps
+// the forward pass (the thing coalescing amortizes) the dominant cost.
+const WORKLOAD: &[&str] = &[
+    "SELECT COUNT(*) FROM title t, movie_keyword mk \
+     WHERE mk.movie_id = t.id AND mk.keyword_id = 11",
+    "SELECT COUNT(*) FROM title t, movie_keyword mk \
+     WHERE mk.movie_id = t.id AND t.production_year > 1995",
+    "SELECT COUNT(*) FROM title t, movie_companies mc \
+     WHERE mc.movie_id = t.id AND mc.company_type_id = 1",
+    "SELECT COUNT(*) FROM title t, movie_info mi \
+     WHERE mi.movie_id = t.id AND mi.info_type_id < 50 AND t.kind_id = 1",
+    "SELECT COUNT(*) FROM title t, movie_keyword mk, movie_companies mc \
+     WHERE mk.movie_id = t.id AND mc.movie_id = t.id \
+     AND t.production_year > 1990",
+    "SELECT COUNT(*) FROM title t, cast_info ci, movie_info mi \
+     WHERE ci.movie_id = t.id AND mi.movie_id = t.id AND ci.role_id = 2",
+];
+
+/// Runs the full client fleet against a fresh server with the given batch
+/// cap; returns (elapsed, final metrics).
+fn run_fleet(
+    db: &Arc<Database>,
+    store: &Arc<SketchStore>,
+    max_batch: usize,
+) -> (Duration, MetricsSnapshot) {
+    let server = Server::start(
+        Arc::clone(db),
+        Arc::clone(store),
+        ServeConfig {
+            // Single worker: this host has one core, and one worker forms
+            // the largest (most amortized) batches.
+            workers: 1,
+            max_batch,
+            queue_capacity: 4096,
+            request_timeout: Duration::from_secs(60),
+            max_connections: CLIENTS + 8,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind server");
+    let addr = server.local_addr();
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|i| {
+                s.spawn(move || {
+                    let mut c = Client::connect(addr).expect("connect");
+                    for k in 0..QUERIES_PER_CLIENT {
+                        let sql = WORKLOAD[(i + k) % WORKLOAD.len()];
+                        c.estimate_value("imdb", sql).expect("wire estimate");
+                    }
+                    c.quit().expect("QUIT");
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("client thread");
+        }
+    });
+    let elapsed = t0.elapsed();
+    let snap = server.shutdown();
+    assert_eq!(snap.ok, (CLIENTS * QUERIES_PER_CLIENT) as u64);
+    assert_eq!(snap.errors + snap.shed + snap.timeouts, 0);
+    (elapsed, snap)
+}
+
+fn main() {
+    banner(
+        "E13",
+        "serving throughput (new experiment)",
+        "coalescing concurrent requests into micro-batches multiplies \
+         end-to-end serving throughput",
+    );
+
+    let db = Arc::new(imdb_database(&ImdbConfig {
+        movies: 6_000,
+        keywords: 2_000,
+        companies: 800,
+        persons: 10_000,
+        seed: BENCH_SEED ^ 13,
+    }));
+    println!("bench IMDb: {} rows", db.total_rows());
+
+    println!("training the serving sketch …");
+    let store = Arc::new(SketchStore::new());
+    let sketch = SketchBuilder::new(&db, imdb_predicate_columns(&db))
+        .training_queries(2_000)
+        .epochs(6)
+        .sample_size(256)
+        .hidden_units(256)
+        .max_tables(4)
+        .seed(BENCH_SEED ^ 14)
+        .build()
+        .expect("serving sketch");
+    store.insert("imdb", sketch).expect("fresh store");
+
+    // Correctness gate before timing anything: wire answers must be
+    // bit-identical to local estimate_one.
+    {
+        let s = store.get("imdb").unwrap();
+        let server = Server::start(Arc::clone(&db), Arc::clone(&store), ServeConfig::default())
+            .expect("bind server");
+        let mut c = Client::connect(server.local_addr()).expect("connect");
+        for sql in WORKLOAD {
+            let wire = c.estimate_value("imdb", sql).expect("wire estimate");
+            let local = s.estimate_one(&parse_query(&db, sql).expect("parse"));
+            assert_eq!(wire.to_bits(), local.to_bits(), "{sql}");
+        }
+        c.quit().expect("QUIT");
+        server.shutdown();
+    }
+
+    let total = CLIENTS * QUERIES_PER_CLIENT;
+    println!("\n[1] per-request dispatch (max_batch = 1), {CLIENTS} clients:");
+    // Warm-up run to stabilize allocator/page-cache effects, then measure.
+    let _ = run_fleet(&db, &store, 1);
+    let (per_req_elapsed, per_req) = run_fleet(&db, &store, 1);
+    let per_req_rps = total as f64 / per_req_elapsed.as_secs_f64();
+    println!(
+        "  {total} requests in {:.3}s  ->  {per_req_rps:.0} req/s (batches={}, mean {:.2})",
+        per_req_elapsed.as_secs_f64(),
+        per_req.batches,
+        per_req.mean_batch
+    );
+
+    println!("\n[2] coalesced dispatch (max_batch = 64), {CLIENTS} clients:");
+    let _ = run_fleet(&db, &store, 64);
+    let (coal_elapsed, coal) = run_fleet(&db, &store, 64);
+    let coal_rps = total as f64 / coal_elapsed.as_secs_f64();
+    println!(
+        "  {total} requests in {:.3}s  ->  {coal_rps:.0} req/s (batches={}, mean {:.2}, max {})",
+        coal_elapsed.as_secs_f64(),
+        coal.batches,
+        coal.mean_batch,
+        coal.max_batch
+    );
+
+    let speedup = coal_rps / per_req_rps;
+    println!("\ncoalescing speedup at {CLIENTS} clients: {speedup:.2}x (issue target: >=3x)");
+    assert!(
+        coal.batches < coal.ok,
+        "coalescing never engaged (batches={} ok={})",
+        coal.batches,
+        coal.ok
+    );
+
+    let json = format!(
+        "{{\n  \"experiment\": \"serve_throughput\",\n  \"clients\": {CLIENTS},\n  \"queries_per_client\": {QUERIES_PER_CLIENT},\n  \"per_request\": {{\"secs\": {:.4}, \"rps\": {per_req_rps:.1}, \"batches\": {}, \"mean_batch\": {:.3}}},\n  \"coalesced\": {{\"secs\": {:.4}, \"rps\": {coal_rps:.1}, \"batches\": {}, \"mean_batch\": {:.3}, \"max_batch\": {}, \"p99_us\": {}}},\n  \"speedup\": {speedup:.3}\n}}\n",
+        per_req_elapsed.as_secs_f64(),
+        per_req.batches,
+        per_req.mean_batch,
+        coal_elapsed.as_secs_f64(),
+        coal.batches,
+        coal.mean_batch,
+        coal.max_batch,
+        coal.p99_us,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    std::fs::write(path, &json).expect("write BENCH_serve.json");
+    println!("wrote {path}");
+}

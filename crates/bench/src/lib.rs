@@ -103,16 +103,19 @@ pub fn cache_sketch(path: &std::path::Path, sketch: &ds_core::sketch::DeepSketch
 }
 
 /// Evaluates an estimator against ground truth over a workload, returning
-/// the per-query q-errors.
+/// the per-query q-errors. Goes through the unified
+/// [`CardinalityEstimator::estimate_batch`] entry point, so estimators
+/// with a real batched path (the Deep Sketch, fleets) use it.
 pub fn qerrors_against_truth(
     estimator: &dyn CardinalityEstimator,
     truths: &[f64],
     workload: &[Query],
 ) -> Vec<f64> {
-    workload
-        .iter()
+    estimator
+        .estimate_batch(workload)
+        .into_iter()
         .zip(truths)
-        .map(|(q, &t)| ds_core::metrics::qerror(estimator.estimate(q), t))
+        .map(|(est, &t)| ds_core::metrics::qerror(est, t))
         .collect()
 }
 

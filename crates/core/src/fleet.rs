@@ -8,7 +8,7 @@
 //! keeps several focused sketches, each cheaper to train and more accurate
 //! on its slice of the workload.
 
-use ds_est::CardinalityEstimator;
+use ds_est::{CardinalityEstimator, EstimateError};
 use ds_query::query::Query;
 use ds_storage::catalog::{Database, TableId};
 
@@ -105,7 +105,7 @@ impl SketchFleet {
     }
 
     /// Estimates via the routed member, or `None` if uncovered.
-    pub fn try_estimate(&self, query: &Query) -> Option<f64> {
+    pub fn route_estimate(&self, query: &Query) -> Option<f64> {
         match self.route(query) {
             Route::Member(i) => Some(self.members[i].1.estimate_one(query)),
             Route::Uncovered => None,
@@ -124,9 +124,46 @@ impl CardinalityEstimator for SketchFleet {
     }
 
     /// Routed estimate; uncovered queries fall back to 1.0 (callers that
-    /// care should use [`SketchFleet::try_estimate`]).
+    /// care should use [`CardinalityEstimator::try_estimate`]).
     fn estimate(&self, query: &Query) -> f64 {
-        self.try_estimate(query).unwrap_or(1.0)
+        self.route_estimate(query).unwrap_or(1.0)
+    }
+
+    /// Routed estimate with uncovered queries (and queries a member cannot
+    /// validate) reported as typed errors.
+    fn try_estimate(&self, query: &Query) -> Result<f64, EstimateError> {
+        match self.route(query) {
+            Route::Member(i) => self.members[i].1.try_estimate(query),
+            Route::Uncovered => Err(EstimateError::Unroutable {
+                tables: query.tables.iter().map(|t| t.0).collect(),
+            }),
+        }
+    }
+
+    /// Batched estimation that routes first, then runs one coalesced
+    /// [`DeepSketch::estimate_batch`] per member instead of one forward
+    /// pass per query. Uncovered queries get the same 1.0 fallback as
+    /// [`CardinalityEstimator::estimate`]; results are bit-identical to the
+    /// looped path because each member's batch kernel is.
+    fn estimate_batch(&self, queries: &[Query]) -> Vec<f64> {
+        let mut out = vec![1.0f64; queries.len()];
+        // Per-member gather: (query index, query) grouped by routed member.
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); self.members.len()];
+        for (qi, q) in queries.iter().enumerate() {
+            if let Route::Member(i) = self.route(q) {
+                groups[i].push(qi);
+            }
+        }
+        for (member, idxs) in self.members.iter().zip(&groups) {
+            if idxs.is_empty() {
+                continue;
+            }
+            let grouped: Vec<Query> = idxs.iter().map(|&qi| queries[qi].clone()).collect();
+            for (&qi, est) in idxs.iter().zip(member.1.estimate_batch(&grouped)) {
+                out[qi] = est;
+            }
+        }
+        out
     }
 }
 
@@ -178,12 +215,38 @@ mod tests {
                     assert!(fleet.try_estimate(q).unwrap() >= 1.0);
                     covered += 1;
                 }
-                Route::Uncovered => assert!(fleet.try_estimate(q).is_none()),
+                Route::Uncovered => assert!(matches!(
+                    fleet.try_estimate(q),
+                    Err(EstimateError::Unroutable { .. })
+                )),
             }
         }
         let expected = (advice.coverage * wl.len() as f64).round() as usize;
         assert_eq!(covered, expected);
         assert!(fleet.footprint_bytes() > 0);
+    }
+
+    #[test]
+    fn batched_estimates_match_looped_routing() {
+        let db = db();
+        let wl = job_light_workload(&db, 2);
+        let advice = recommend(
+            &db,
+            &wl,
+            &AdvisorConfig {
+                max_tables_per_sketch: 3,
+                max_sketches: 2,
+                sample_size: 16,
+                hidden_units: 16,
+            },
+        );
+        let fleet =
+            SketchFleet::build_from_advice(&db, &advice, imdb_predicate_columns(&db), quick)
+                .expect("fleet");
+        // The per-member grouped batch path must return exactly what the
+        // looped single-query path does, covered and uncovered alike.
+        let looped: Vec<f64> = wl.iter().map(|q| fleet.estimate(q)).collect();
+        assert_eq!(fleet.estimate_batch(&wl), looped);
     }
 
     #[test]

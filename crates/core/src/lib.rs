@@ -40,6 +40,6 @@ pub use maintain::{detect_drift, refresh_samples, DriftReport};
 pub use metrics::{qerror, QErrorSummary};
 pub use mscn::{MscnConfig, MscnModel};
 pub use sketch::{DeepSketch, SketchInfo};
-pub use store::{SketchStatus, SketchStore};
+pub use store::{SketchStatus, SketchStore, StoreError, StoreHandle};
 pub use template::{QueryTemplate, TemplateInstance, ValueFn};
 pub use train::{LossKind, TrainConfig, TrainingReport};

@@ -9,7 +9,7 @@
 //! * [`detect_drift`] — compares the sketch's stored samples against fresh
 //!   samples from the live database with a two-sample Kolmogorov–Smirnov
 //!   statistic per column, yielding a retrain signal;
-//! * [`DeepSketch::refresh_samples`] (via [`refresh_samples`]) — redraws
+//! * [`refresh_samples`] — redraws
 //!   the materialized samples without retraining, which already repairs
 //!   the bitmap features and template literal pools cheaply.
 

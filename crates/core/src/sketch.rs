@@ -3,7 +3,7 @@
 //! returns a cardinality estimate (Figure 1b), fits in a few MiB, and
 //! answers within milliseconds.
 
-use ds_est::CardinalityEstimator;
+use ds_est::{CardinalityEstimator, EstimateError};
 use ds_nn::loss::LabelNormalizer;
 use ds_nn::serialize::{DecodeError, Decoder, Encoder};
 use ds_query::query::Query;
@@ -122,7 +122,7 @@ impl DeepSketch {
     }
 
     /// Estimates a batch of queries: featurizes and forwards
-    /// [`SERVE_CHUNK`]-query chunks, spreading chunks across the
+    /// `SERVE_CHUNK`-query chunks, spreading chunks across the
     /// configured serving threads. Returns exactly what a loop of
     /// [`DeepSketch::estimate_one`] calls would.
     pub fn estimate_batch(&self, queries: &[Query]) -> Vec<f64> {
@@ -162,6 +162,43 @@ impl DeepSketch {
         for (o, &y) in out.iter_mut().zip(cache.output().data()) {
             *o = self.normalizer.denormalize(y).max(1.0);
         }
+    }
+
+    /// Checks that every table and predicate column the query references
+    /// exists in this sketch's vocabulary and shipped samples — the
+    /// precondition for [`DeepSketch::estimate_batch`] to be panic-free.
+    /// Queries parsed against the database the sketch was trained over
+    /// always pass; queries from a different (larger) schema may not.
+    pub fn validate(&self, query: &Query) -> Result<(), EstimateError> {
+        let known = self.samples.len();
+        let check_table = |t: usize| {
+            if t >= known {
+                Err(EstimateError::UnknownTable {
+                    table: t,
+                    known_tables: known,
+                })
+            } else {
+                Ok(())
+            }
+        };
+        for &t in &query.tables {
+            check_table(t.0)?;
+        }
+        for j in &query.joins {
+            check_table(j.left.table.0)?;
+            check_table(j.right.table.0)?;
+        }
+        for (t, p) in &query.predicates {
+            check_table(t.0)?;
+            let cols = self.samples[t.0].rows().columns().len();
+            if p.col >= cols {
+                return Err(EstimateError::UnknownColumn {
+                    table: t.0,
+                    col: p.col,
+                });
+            }
+        }
+        Ok(())
     }
 
     /// The materialized samples shipped with the sketch.
@@ -384,6 +421,41 @@ impl CardinalityEstimator for DeepSketch {
     fn estimate(&self, query: &Query) -> f64 {
         self.estimate_one(query)
     }
+
+    /// Validated estimation: malformed requests (tables or columns outside
+    /// the sketch's vocabulary) become typed errors instead of panics.
+    fn try_estimate(&self, query: &Query) -> Result<f64, EstimateError> {
+        self.validate(query)?;
+        Ok(self.estimate_one(query))
+    }
+
+    /// The chunked, optionally threaded batch fast path (bit-identical to
+    /// the looped single-query estimates).
+    fn estimate_batch(&self, queries: &[Query]) -> Vec<f64> {
+        DeepSketch::estimate_batch(self, queries)
+    }
+
+    /// Batch path with per-query validation: invalid queries get their
+    /// error, the valid subset still runs through one coalesced forward
+    /// pass (results bit-identical to [`DeepSketch::estimate_one`]).
+    fn try_estimate_batch(&self, queries: &[Query]) -> Vec<Result<f64, EstimateError>> {
+        let mut out: Vec<Result<f64, EstimateError>> = queries
+            .iter()
+            .map(|q| self.validate(q).map(|()| 0.0))
+            .collect();
+        let valid: Vec<Query> = queries
+            .iter()
+            .zip(&out)
+            .filter(|(_, r)| r.is_ok())
+            .map(|(q, _)| q.clone())
+            .collect();
+        let estimates = DeepSketch::estimate_batch(self, &valid);
+        let mut it = estimates.into_iter();
+        for v in out.iter_mut().flatten() {
+            *v = it.next().expect("one estimate per valid query");
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -493,6 +565,49 @@ mod tests {
                 "batched serving diverged at threads={threads}"
             );
         }
+    }
+
+    #[test]
+    fn try_estimate_rejects_out_of_vocabulary_queries() {
+        use ds_est::EstimateError;
+        use ds_storage::predicate::{CmpOp, ColPredicate};
+
+        let (db, sketch) = tiny_sketch();
+        let good = parse_query(&db, "SELECT COUNT(*) FROM title WHERE title.kind_id = 1").unwrap();
+        assert_eq!(sketch.try_estimate(&good), Ok(sketch.estimate_one(&good)));
+
+        // A query naming a table id beyond the sketch's vocabulary — as a
+        // sketch deserialized next to a *larger* schema would see — errors
+        // instead of panicking.
+        let mut alien = good.clone();
+        alien.tables.push(ds_storage::catalog::TableId(99));
+        assert!(matches!(
+            sketch.try_estimate(&alien),
+            Err(EstimateError::UnknownTable { table: 99, .. })
+        ));
+
+        // Same for a predicate on a column the sampled table doesn't have.
+        let mut bad_col = good.clone();
+        bad_col.predicates.push((
+            bad_col.tables[0],
+            ColPredicate {
+                col: 999,
+                op: CmpOp::Eq,
+                literal: 1,
+            },
+        ));
+        assert!(matches!(
+            sketch.try_estimate(&bad_col),
+            Err(EstimateError::UnknownColumn { col: 999, .. })
+        ));
+
+        // The batch path isolates failures per query and keeps valid
+        // results bit-identical to the singles.
+        let results =
+            sketch.try_estimate_batch(&[good.clone(), alien.clone(), bad_col, good.clone()]);
+        assert_eq!(results[0], Ok(sketch.estimate_one(&good)));
+        assert!(results[1].is_err() && results[2].is_err());
+        assert_eq!(results[3], Ok(sketch.estimate_one(&good)));
     }
 
     #[test]

@@ -10,11 +10,12 @@
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 use parking_lot::RwLock;
 
+use ds_est::{CardinalityEstimator, EstimateError};
 use ds_nn::serialize::DecodeError;
 use ds_query::query::Query;
 use ds_storage::catalog::Database;
@@ -48,6 +49,8 @@ pub enum StoreError {
     Decode(DecodeError),
     /// Training failed.
     Build(BuildError),
+    /// The sketch was found but could not answer the query.
+    Estimate(EstimateError),
 }
 
 impl std::fmt::Display for StoreError {
@@ -59,6 +62,7 @@ impl std::fmt::Display for StoreError {
             StoreError::Io(e) => write!(f, "sketch store I/O error: {e}"),
             StoreError::Decode(e) => write!(f, "sketch decode error: {e}"),
             StoreError::Build(e) => write!(f, "sketch training failed: {e}"),
+            StoreError::Estimate(e) => write!(f, "estimation failed: {e}"),
         }
     }
 }
@@ -73,7 +77,9 @@ impl From<std::io::Error> for StoreError {
 
 enum Slot {
     Training {
-        rx: Receiver<Result<(DeepSketch, BuildReport), String>>,
+        // Mutex only to make the containing map `Sync`; the receiver is
+        // ever touched under the slots write lock.
+        rx: Mutex<Receiver<Result<(DeepSketch, BuildReport), String>>>,
         handle: Option<JoinHandle<()>>,
     },
     Ready {
@@ -152,7 +158,7 @@ impl SketchStore {
         slots.insert(
             name,
             Slot::Training {
-                rx,
+                rx: Mutex::new(rx),
                 handle: Some(handle),
             },
         );
@@ -209,9 +215,36 @@ impl SketchStore {
         }
     }
 
-    /// Convenience: estimate with a named sketch.
+    /// Convenience: estimate with a named sketch. Malformed queries (tables
+    /// or columns outside the sketch's vocabulary) surface as
+    /// [`StoreError::Estimate`] rather than panicking — this is the serving
+    /// route.
     pub fn estimate(&self, name: &str, query: &Query) -> Result<f64, StoreError> {
-        Ok(self.get(name)?.estimate_one(query))
+        self.get(name)?
+            .try_estimate(query)
+            .map_err(StoreError::Estimate)
+    }
+
+    /// Batched convenience: one coalesced forward pass through a named
+    /// sketch, with per-query results (bit-identical to looping
+    /// [`SketchStore::estimate`]).
+    pub fn estimate_batch(
+        &self,
+        name: &str,
+        queries: &[Query],
+    ) -> Result<Vec<Result<f64, EstimateError>>, StoreError> {
+        Ok(self.get(name)?.try_estimate_batch(queries))
+    }
+
+    /// A [`CardinalityEstimator`] handle bound to one named sketch, so the
+    /// store plugs into anything consuming the common trait. The handle
+    /// resolves the name on every call: it stays valid across background
+    /// retraining and swaps to the new model the moment it becomes ready.
+    pub fn handle<'a>(&'a self, name: &str) -> StoreHandle<'a> {
+        StoreHandle {
+            store: self,
+            name: name.to_string(),
+        }
     }
 
     /// The build report of a background-trained sketch, if available.
@@ -297,6 +330,7 @@ impl SketchStore {
                 let Slot::Training { rx, .. } = slots.get_mut(&name).expect("just listed") else {
                     continue;
                 };
+                let rx = rx.get_mut().expect("training receiver mutex");
                 match rx.try_recv() {
                     Ok(result) => Some(result),
                     Err(TryRecvError::Empty) => None,
@@ -315,6 +349,63 @@ impl SketchStore {
                 };
                 slots.insert(name, slot);
             }
+        }
+    }
+}
+
+/// A named-sketch view of a [`SketchStore`] implementing
+/// [`CardinalityEstimator`] — the store's entry into the workspace-wide
+/// estimator interface. Store-level failures (unknown name, still
+/// training) map to [`EstimateError::Unavailable`].
+pub struct StoreHandle<'a> {
+    store: &'a SketchStore,
+    name: String,
+}
+
+impl StoreHandle<'_> {
+    /// The sketch name this handle resolves.
+    pub fn sketch_name(&self) -> &str {
+        &self.name
+    }
+
+    fn resolve(&self) -> Result<Arc<DeepSketch>, EstimateError> {
+        self.store.get(&self.name).map_err(|e| match e {
+            StoreError::Decode(d) => EstimateError::Decode(d.to_string()),
+            other => EstimateError::Unavailable(other.to_string()),
+        })
+    }
+}
+
+impl CardinalityEstimator for StoreHandle<'_> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Infallible path: unavailable or unanswerable queries degrade to the
+    /// 1.0 floor every estimator clamps to.
+    fn estimate(&self, query: &Query) -> f64 {
+        self.try_estimate(query).unwrap_or(1.0)
+    }
+
+    fn try_estimate(&self, query: &Query) -> Result<f64, EstimateError> {
+        self.resolve()?.try_estimate(query)
+    }
+
+    fn estimate_batch(&self, queries: &[Query]) -> Vec<f64> {
+        match self.resolve() {
+            Ok(sketch) => sketch
+                .try_estimate_batch(queries)
+                .into_iter()
+                .map(|r| r.unwrap_or(1.0))
+                .collect(),
+            Err(_) => vec![1.0; queries.len()],
+        }
+    }
+
+    fn try_estimate_batch(&self, queries: &[Query]) -> Vec<Result<f64, EstimateError>> {
+        match self.resolve() {
+            Ok(sketch) => sketch.try_estimate_batch(queries),
+            Err(e) => queries.iter().map(|_| Err(e.clone())).collect(),
         }
     }
 }
@@ -347,6 +438,56 @@ mod tests {
         assert!(store.estimate("imdb", &q).unwrap() >= 1.0);
         assert!(matches!(
             store.estimate("nope", &q),
+            Err(StoreError::UnknownSketch(_))
+        ));
+    }
+
+    #[test]
+    fn handle_is_a_cardinality_estimator() {
+        let db = imdb_database(&ImdbConfig::tiny(6));
+        let store = SketchStore::new();
+        store.insert("imdb", tiny_sketch(&db, 3)).unwrap();
+        let q = parse_query(&db, "SELECT COUNT(*) FROM title WHERE title.kind_id = 1").unwrap();
+
+        let handle = store.handle("imdb");
+        assert_eq!(handle.name(), "imdb");
+        assert_eq!(handle.sketch_name(), "imdb");
+        let direct = store.get("imdb").unwrap().estimate_one(&q);
+        assert_eq!(handle.estimate(&q), direct);
+        assert_eq!(handle.try_estimate(&q), Ok(direct));
+        assert_eq!(
+            handle.estimate_batch(std::slice::from_ref(&q)),
+            vec![direct]
+        );
+        assert_eq!(
+            handle.try_estimate_batch(std::slice::from_ref(&q)),
+            vec![Ok(direct)]
+        );
+
+        // A handle to a missing sketch degrades (estimate) or errors
+        // (try_estimate) — it never panics.
+        let missing = store.handle("nope");
+        assert_eq!(missing.estimate(&q), 1.0);
+        assert!(matches!(
+            missing.try_estimate(&q),
+            Err(EstimateError::Unavailable(_))
+        ));
+        assert_eq!(missing.estimate_batch(std::slice::from_ref(&q)), vec![1.0]);
+        assert!(missing.try_estimate_batch(std::slice::from_ref(&q))[0].is_err());
+    }
+
+    #[test]
+    fn store_estimate_batch_matches_singles() {
+        let db = imdb_database(&ImdbConfig::tiny(7));
+        let store = SketchStore::new();
+        store.insert("s", tiny_sketch(&db, 4)).unwrap();
+        let wl = ds_query::workloads::job_light::job_light_workload(&db, 3);
+        let batch = store.estimate_batch("s", &wl).unwrap();
+        for (q, b) in wl.iter().zip(batch) {
+            assert_eq!(b, Ok(store.estimate("s", q).unwrap()));
+        }
+        assert!(matches!(
+            store.estimate_batch("missing", &wl),
             Err(StoreError::UnknownSketch(_))
         ));
     }

@@ -14,7 +14,7 @@
 use ds_query::query::Query;
 use ds_storage::catalog::Database;
 
-use crate::CardinalityEstimator;
+use crate::{check_tables, CardinalityEstimator, EstimateError};
 
 /// Exact per-table selectivities + the independence join formula.
 ///
@@ -65,6 +65,12 @@ impl CardinalityEstimator for IndependenceOracleEstimator<'_> {
             card /= nd_l.max(nd_r);
         }
         card.max(1.0)
+    }
+
+    /// As `estimate`, but rejects queries referencing unknown tables.
+    fn try_estimate(&self, query: &Query) -> Result<f64, EstimateError> {
+        check_tables(query, self.db.num_tables())?;
+        Ok(self.estimate(query))
     }
 }
 

@@ -22,7 +22,7 @@ use ds_storage::catalog::{Database, TableId};
 use ds_storage::column::Column;
 use ds_storage::exec::CountExecutor;
 
-use crate::CardinalityEstimator;
+use crate::{check_tables, CardinalityEstimator, EstimateError};
 
 /// Correlated join-sampling estimator over a star (hub + FK children)
 /// schema region. Queries outside the star fall back to scaled guessing.
@@ -169,6 +169,22 @@ impl CardinalityEstimator for JoinSamplingEstimator {
             // 0-tuple situation: educated guess of half a tuple.
             (0.5 / self.rate).max(1.0)
         }
+    }
+
+    /// As `estimate`, but unknown tables and executor failures become
+    /// typed errors instead of silent `1.0` guesses.
+    fn try_estimate(&self, query: &Query) -> Result<f64, EstimateError> {
+        check_tables(query, self.sub.num_tables())?;
+        self.exec
+            .count(&self.sub, &query.to_exec())
+            .map(|count| {
+                if count > 0 {
+                    (count as f64 / self.rate).max(1.0)
+                } else {
+                    (0.5 / self.rate).max(1.0)
+                }
+            })
+            .map_err(|e| EstimateError::Execution(e.to_string()))
     }
 }
 

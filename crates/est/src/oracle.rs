@@ -10,7 +10,7 @@ use ds_query::query::Query;
 use ds_storage::catalog::Database;
 use ds_storage::exec::{count_batch, CountExecutor, ExecError};
 
-use crate::CardinalityEstimator;
+use crate::{check_tables, CardinalityEstimator, EstimateError};
 
 /// Exact cardinalities with memoization. `Sync`; share freely.
 pub struct TrueCardinalityOracle<'a> {
@@ -69,8 +69,17 @@ impl CardinalityEstimator for TrueCardinalityOracle<'_> {
 
     /// The exact cardinality (clamped ≥ 1 like all estimators); panics on
     /// malformed queries, which cannot come out of this crate's generators.
+    /// Serving paths use [`CardinalityEstimator::try_estimate`] instead.
     fn estimate(&self, query: &Query) -> f64 {
         self.cardinality(query).expect("well-formed query") as f64
+    }
+
+    /// Exact cardinality with executor failures surfaced as typed errors.
+    fn try_estimate(&self, query: &Query) -> Result<f64, EstimateError> {
+        check_tables(query, self.db.num_tables())?;
+        self.cardinality(query)
+            .map(|c| c as f64)
+            .map_err(|e| EstimateError::Execution(e.to_string()))
     }
 }
 

@@ -14,7 +14,7 @@ use ds_query::query::Query;
 use ds_storage::catalog::Database;
 
 use crate::stats::{ColumnStats, DEFAULT_STATS_TARGET};
-use crate::CardinalityEstimator;
+use crate::{check_tables, CardinalityEstimator, EstimateError};
 
 /// PostgreSQL-style estimator. Build once per database; estimation is pure.
 #[derive(Debug)]
@@ -90,6 +90,31 @@ impl CardinalityEstimator for PostgresEstimator {
             card /= nd_l.max(nd_r);
         }
         card.max(1.0)
+    }
+
+    /// As [`PostgresEstimator::estimate`], but rejects queries referencing
+    /// tables the statistics were not built over.
+    fn try_estimate(&self, query: &Query) -> Result<f64, EstimateError> {
+        check_tables(query, self.table_rows.len())?;
+        // A table id can be in range while the column is not (statistics
+        // built over a schema with fewer columns); reject those too rather
+        // than panicking in `col_stats`.
+        let mut cols = query.predicates.iter().map(|(t, p)| (t.0, p.col));
+        let mut join_cols = query
+            .joins
+            .iter()
+            .flat_map(|j| [j.left, j.right])
+            .map(|c| (c.table.0, c.col));
+        if let Some((t, _)) = cols
+            .find(|k| !self.stats.contains_key(k))
+            .or_else(|| join_cols.find(|k| !self.stats.contains_key(k)))
+        {
+            return Err(EstimateError::UnknownTable {
+                table: t,
+                known_tables: self.table_rows.len(),
+            });
+        }
+        Ok(self.estimate(query))
     }
 }
 

@@ -10,7 +10,7 @@ use ds_query::query::Query;
 use ds_storage::catalog::{Database, TableId};
 use ds_storage::sample::{sample_all, TableSample};
 
-use crate::CardinalityEstimator;
+use crate::{check_tables, CardinalityEstimator, EstimateError};
 
 /// What to assume when no sampled tuple qualifies.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -124,6 +124,13 @@ impl CardinalityEstimator for SamplingEstimator {
             card /= nd_l.max(nd_r);
         }
         card.max(1.0)
+    }
+
+    /// As [`SamplingEstimator::estimate`], but rejects queries referencing
+    /// tables outside the sampled database.
+    fn try_estimate(&self, query: &Query) -> Result<f64, EstimateError> {
+        check_tables(query, self.table_rows.len())?;
+        Ok(self.estimate(query))
     }
 }
 

@@ -1,0 +1,130 @@
+//! A minimal blocking client for the serve protocol — used by the
+//! integration tests, the throughput bench, and `serve_demo`.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::protocol::{format_request, parse_response, Request, Response};
+
+/// One connection to a sketch server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        Self::from_stream(stream)
+    }
+
+    /// Connects with a connect + read deadline, so tests never hang on a
+    /// wedged server.
+    pub fn connect_timeout(addr: impl ToSocketAddrs, timeout: Duration) -> std::io::Result<Self> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "no address"))?;
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        Self::from_stream(stream)
+    }
+
+    fn from_stream(stream: TcpStream) -> std::io::Result<Self> {
+        // One-line request/response roundtrips die under Nagle + delayed ACK.
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Self {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    fn roundtrip(&mut self, req: &Request, estimate: bool) -> std::io::Result<Response> {
+        writeln!(self.writer, "{}", format_request(req))?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        parse_response(&line, estimate)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Sends `ESTIMATE` and returns the raw response ([`Response::Estimate`]
+    /// on success, or the typed `ERR`/`BUSY`).
+    pub fn estimate(&mut self, sketch: &str, sql: &str) -> std::io::Result<Response> {
+        self.roundtrip(
+            &Request::Estimate {
+                sketch: sketch.to_string(),
+                sql: sql.to_string(),
+            },
+            true,
+        )
+    }
+
+    /// `ESTIMATE` and unwrap the value; any non-`OK` response becomes an
+    /// `InvalidData` error carrying its wire line.
+    pub fn estimate_value(&mut self, sketch: &str, sql: &str) -> std::io::Result<f64> {
+        match self.estimate(sketch, sql)? {
+            Response::Estimate(v) => Ok(v),
+            other => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                crate::protocol::format_response(&other),
+            )),
+        }
+    }
+
+    /// Sends `INFO <sketch>`.
+    pub fn info(&mut self, sketch: &str) -> std::io::Result<Response> {
+        self.roundtrip(
+            &Request::Info {
+                sketch: sketch.to_string(),
+            },
+            false,
+        )
+    }
+
+    /// Sends `LIST`.
+    pub fn list(&mut self) -> std::io::Result<Response> {
+        self.roundtrip(&Request::List, false)
+    }
+
+    /// Sends `METRICS`.
+    pub fn metrics(&mut self) -> std::io::Result<Response> {
+        self.roundtrip(&Request::Metrics, false)
+    }
+
+    /// Sends `QUIT` and consumes the client.
+    pub fn quit(mut self) -> std::io::Result<()> {
+        match self.roundtrip(&Request::Quit, false)? {
+            Response::Bye => Ok(()),
+            other => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("expected BYE, got {other:?}"),
+            )),
+        }
+    }
+
+    /// Sends a raw line (possibly malformed — for protocol tests) and
+    /// returns the raw response line.
+    pub fn send_raw(&mut self, line: &str) -> std::io::Result<String> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        let mut resp = String::new();
+        let n = self.reader.read_line(&mut resp)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(resp.trim_end().to_string())
+    }
+}

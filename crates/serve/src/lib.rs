@@ -1,0 +1,48 @@
+//! `ds-serve`: a concurrent sketch-serving front end.
+//!
+//! A multi-threaded TCP server that exposes a [`SketchStore`] over a small
+//! line-based text protocol (`ESTIMATE`, `INFO`, `LIST`, `METRICS`,
+//! `QUIT`), built on the unified [`CardinalityEstimator`] API:
+//!
+//! * **Coalescing** — concurrent in-flight estimates against the same
+//!   sketch are gathered into micro-batches and answered through one
+//!   `estimate_batch` forward pass ([`batcher`]). Results are bit-identical
+//!   to per-request `estimate_one` calls.
+//! * **Robustness** — per-request deadlines, a bounded admission queue
+//!   that sheds with `BUSY`, a connection cap, and graceful shutdown that
+//!   drains in-flight work ([`server`]).
+//! * **Observability** — lock-free counters and log₂ latency/batch-size
+//!   histograms, exposed through the `METRICS` command ([`metrics`]).
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use ds_serve::{Client, ServeConfig, Server};
+//!
+//! # fn demo(db: Arc<ds_storage::catalog::Database>,
+//! #         store: Arc<ds_core::store::SketchStore>) -> std::io::Result<()> {
+//! let server = Server::start(db, store, ServeConfig::default())?;
+//! let mut client = Client::connect(server.local_addr())?;
+//! let card = client.estimate_value("imdb", "SELECT COUNT(*) FROM title")?;
+//! println!("estimated cardinality: {card}");
+//! client.quit()?;
+//! server.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! [`SketchStore`]: ds_core::store::SketchStore
+//! [`CardinalityEstimator`]: ds_est::CardinalityEstimator
+
+#![warn(missing_docs)]
+
+pub mod batcher;
+pub mod client;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+
+pub use batcher::{Batcher, BatcherConfig, Rejection, SharedEstimator};
+pub use client::Client;
+pub use metrics::{LogHistogram, Metrics, MetricsSnapshot};
+pub use protocol::{ErrorCode, Request, Response};
+pub use server::{ServeConfig, Server};

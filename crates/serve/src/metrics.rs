@@ -1,0 +1,328 @@
+//! Lock-free serving metrics: monotonic counters plus log₂ histograms for
+//! request latency and coalesced batch sizes.
+//!
+//! Every record operation is a handful of relaxed atomic adds — safe to
+//! call from every connection handler and batch worker with no shared
+//! locks on the hot path. Percentiles are derived from the histograms at
+//! snapshot time; with power-of-two buckets they are upper bounds accurate
+//! to 2×, which is the right fidelity for a serving dashboard (and costs
+//! nothing to maintain).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of log₂ buckets: covers values up to 2⁴⁷ µs (~4.5 years) — in
+/// practice every observable latency and batch size.
+const BUCKETS: usize = 48;
+
+/// A histogram over `u64` values with power-of-two buckets. Bucket `i`
+/// holds values `v` with `bit_len(v) == i`, i.e. `[2^(i-1), 2^i)`; bucket 0
+/// holds zeros.
+#[derive(Debug)]
+pub struct LogHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bucket_of(v: u64) -> usize {
+        ((u64::BITS - v.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+
+    /// Records one value.
+    pub fn record(&self, v: u64) {
+        self.buckets[Self::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum.load(Ordering::Relaxed) as f64 / n as f64
+        }
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile (`q` in
+    /// `[0, 1]`), i.e. a ≤2× overestimate of the true percentile. 0 when
+    /// empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return if i == 0 { 0 } else { 1u64 << i };
+            }
+        }
+        self.max()
+    }
+}
+
+/// Serving counters, shared via `Arc` between the acceptor, connection
+/// handlers, and batch workers.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Request lines received (all commands).
+    pub requests: AtomicU64,
+    /// Successful `OK` responses.
+    pub ok: AtomicU64,
+    /// `ERR` responses (parse, vocabulary, unknown sketch, …).
+    pub errors: AtomicU64,
+    /// Requests shed with `BUSY` (admission queue or connection limit).
+    pub shed: AtomicU64,
+    /// Requests that exceeded their deadline.
+    pub timeouts: AtomicU64,
+    /// Estimate micro-batches executed.
+    pub batches: AtomicU64,
+    /// Request latency in microseconds (ESTIMATE requests).
+    pub latency_us: LogHistogram,
+    /// Coalesced batch-size distribution.
+    pub batch_size: LogHistogram,
+}
+
+impl Metrics {
+    /// Creates zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts one received request line.
+    pub fn record_request(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a successful estimate with its end-to-end latency.
+    pub fn record_ok(&self, latency: Duration) {
+        self.ok.fetch_add(1, Ordering::Relaxed);
+        self.latency_us.record(latency.as_micros() as u64);
+    }
+
+    /// Counts an error response.
+    pub fn record_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a shed (`BUSY`) response.
+    pub fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a deadline miss.
+    pub fn record_timeout(&self) {
+        self.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one executed micro-batch of `size` coalesced queries.
+    pub fn record_batch(&self, size: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batch_size.record(size as u64);
+    }
+
+    /// A consistent-enough point-in-time copy for reporting.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            ok: self.ok.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            mean_batch: self.batch_size.mean(),
+            max_batch: self.batch_size.max(),
+            p50_us: self.latency_us.quantile(0.50),
+            p95_us: self.latency_us.quantile(0.95),
+            p99_us: self.latency_us.quantile(0.99),
+            max_us: self.latency_us.max(),
+        }
+    }
+}
+
+/// Point-in-time metric values, with derived percentiles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Request lines received.
+    pub requests: u64,
+    /// Successful estimates.
+    pub ok: u64,
+    /// Error responses.
+    pub errors: u64,
+    /// Shed requests.
+    pub shed: u64,
+    /// Deadline misses.
+    pub timeouts: u64,
+    /// Micro-batches executed.
+    pub batches: u64,
+    /// Mean coalesced batch size.
+    pub mean_batch: f64,
+    /// Largest coalesced batch.
+    pub max_batch: u64,
+    /// Median latency upper bound (µs).
+    pub p50_us: u64,
+    /// 95th-percentile latency upper bound (µs).
+    pub p95_us: u64,
+    /// 99th-percentile latency upper bound (µs).
+    pub p99_us: u64,
+    /// Worst observed latency (µs).
+    pub max_us: u64,
+}
+
+impl MetricsSnapshot {
+    /// Single-line `key=value` form for the `METRICS` wire response.
+    pub fn to_wire(&self) -> String {
+        format!(
+            "requests={} ok={} errors={} shed={} timeouts={} batches={} \
+             mean_batch={:.2} max_batch={} p50_us={} p95_us={} p99_us={} max_us={}",
+            self.requests,
+            self.ok,
+            self.errors,
+            self.shed,
+            self.timeouts,
+            self.batches,
+            self.mean_batch,
+            self.max_batch,
+            self.p50_us,
+            self.p95_us,
+            self.p99_us,
+            self.max_us
+        )
+    }
+}
+
+impl std::fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "serving metrics:")?;
+        writeln!(
+            f,
+            "  requests {:>8}   ok {:>8}   errors {:>6}   shed {:>6}   timeouts {:>6}",
+            self.requests, self.ok, self.errors, self.shed, self.timeouts
+        )?;
+        writeln!(
+            f,
+            "  batches  {:>8}   mean batch {:>6.2}   max batch {:>4}",
+            self.batches, self.mean_batch, self.max_batch
+        )?;
+        write!(
+            f,
+            "  latency  p50 {:>7}µs   p95 {:>7}µs   p99 {:>7}µs   max {:>7}µs",
+            self.p50_us, self.p95_us, self.p99_us, self.max_us
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bound_the_data() {
+        let h = LogHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.max(), 1000);
+        assert!((h.mean() - 500.5).abs() < 1e-9);
+        // Upper-bound property: quantile(q) >= true percentile, and within
+        // one power of two of it.
+        let p50 = h.quantile(0.5);
+        assert!((500..=1024).contains(&p50), "p50={p50}");
+        let p99 = h.quantile(0.99);
+        assert!((990..=1024).contains(&p99), "p99={p99}");
+        // Extremes.
+        assert!(h.quantile(0.0) >= 1);
+        assert_eq!(h.quantile(1.0), 1024);
+    }
+
+    #[test]
+    fn histogram_handles_zero_and_empty() {
+        let h = LogHistogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+        h.record(0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn snapshot_reflects_recorded_events() {
+        let m = Metrics::new();
+        m.record_request();
+        m.record_request();
+        m.record_ok(Duration::from_micros(100));
+        m.record_error();
+        m.record_shed();
+        m.record_timeout();
+        m.record_batch(8);
+        m.record_batch(16);
+        let s = m.snapshot();
+        assert_eq!(
+            (s.requests, s.ok, s.errors, s.shed, s.timeouts, s.batches),
+            (2, 1, 1, 1, 1, 2)
+        );
+        assert_eq!(s.mean_batch, 12.0);
+        assert_eq!(s.max_batch, 16);
+        assert!(s.p50_us >= 100 && s.p50_us <= 128);
+        // Wire and display forms carry the same numbers.
+        let wire = s.to_wire();
+        assert!(wire.contains("requests=2") && wire.contains("mean_batch=12.00"));
+        assert!(!wire.contains('\n'));
+        assert!(s.to_string().contains("p95"));
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let m = std::sync::Arc::new(Metrics::new());
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let m = std::sync::Arc::clone(&m);
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        m.record_request();
+                        m.record_ok(Duration::from_micros(i));
+                    }
+                });
+            }
+        });
+        let s = m.snapshot();
+        assert_eq!(s.requests, 8000);
+        assert_eq!(s.ok, 8000);
+        assert_eq!(m.latency_us.count(), 8000);
+    }
+}

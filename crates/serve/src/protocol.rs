@@ -1,0 +1,375 @@
+//! The wire protocol: one request line in, one response line out.
+//!
+//! Requests (keywords case-insensitive, arguments case-sensitive):
+//!
+//! ```text
+//! ESTIMATE <sketch> <sql…>     estimate one query with a named sketch
+//! INFO <sketch>                the sketch's summary card
+//! LIST                         every sketch and its status
+//! METRICS                      server counters and latency percentiles
+//! QUIT                         close the connection
+//! ```
+//!
+//! Responses (always exactly one line, `\n`-terminated):
+//!
+//! ```text
+//! OK <payload>                 success; payload depends on the request
+//! ERR <code> <message>         typed failure (codes in [`ErrorCode`])
+//! BUSY <message>               admission queue full — shed, retry later
+//! BYE                          answer to QUIT
+//! ```
+//!
+//! Everything is UTF-8 text. Embedded newlines in payloads are replaced by
+//! spaces so the one-line invariant holds unconditionally.
+
+use ds_core::store::StoreError;
+use ds_est::EstimateError;
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// `ESTIMATE <sketch> <sql>` — estimate `sql` with the named sketch.
+    Estimate {
+        /// Sketch name in the store.
+        sketch: String,
+        /// The `SELECT COUNT(*)` query text.
+        sql: String,
+    },
+    /// `INFO <sketch>` — summary card of the named sketch.
+    Info {
+        /// Sketch name in the store.
+        sketch: String,
+    },
+    /// `LIST` — all sketches and statuses.
+    List,
+    /// `METRICS` — serving counters and percentiles.
+    Metrics,
+    /// `QUIT` — close the connection.
+    Quit,
+}
+
+/// Machine-readable failure categories carried in `ERR` responses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request line itself is malformed.
+    Proto,
+    /// The SQL failed to parse.
+    Parse,
+    /// No sketch with that name.
+    UnknownSketch,
+    /// The sketch exists but is training or failed.
+    NotReady,
+    /// The query references tables/columns outside the sketch.
+    Vocabulary,
+    /// No fleet member covers the query.
+    Unroutable,
+    /// A persisted model failed to decode.
+    Decode,
+    /// The request exceeded its deadline.
+    Timeout,
+    /// Internal estimation failure.
+    Internal,
+}
+
+impl ErrorCode {
+    /// Stable wire token of the code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::Proto => "proto",
+            ErrorCode::Parse => "parse",
+            ErrorCode::UnknownSketch => "unknown-sketch",
+            ErrorCode::NotReady => "not-ready",
+            ErrorCode::Vocabulary => "vocabulary",
+            ErrorCode::Unroutable => "unroutable",
+            ErrorCode::Decode => "decode",
+            ErrorCode::Timeout => "timeout",
+            ErrorCode::Internal => "internal",
+        }
+    }
+
+    /// Parses a wire token back into a code (client side).
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "proto" => ErrorCode::Proto,
+            "parse" => ErrorCode::Parse,
+            "unknown-sketch" => ErrorCode::UnknownSketch,
+            "not-ready" => ErrorCode::NotReady,
+            "vocabulary" => ErrorCode::Vocabulary,
+            "unroutable" => ErrorCode::Unroutable,
+            "decode" => ErrorCode::Decode,
+            "timeout" => ErrorCode::Timeout,
+            "internal" => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// `OK <estimate>` — the estimated cardinality.
+    Estimate(f64),
+    /// `OK <text>` — free-form single-line payload (INFO, LIST, METRICS).
+    Text(String),
+    /// `ERR <code> <message>`.
+    Error {
+        /// Failure category.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// `BUSY <message>` — request shed at admission.
+    Busy(String),
+    /// `BYE` — connection closing.
+    Bye,
+}
+
+/// Parses one request line. Returns a [`Response::Error`] (proto code) on
+/// malformed input so callers can echo it straight back.
+pub fn parse_request(line: &str) -> Result<Request, Response> {
+    let line = line.trim();
+    let mut parts = line.splitn(2, char::is_whitespace);
+    let verb = parts.next().unwrap_or("").to_ascii_uppercase();
+    let rest = parts.next().unwrap_or("").trim();
+    match verb.as_str() {
+        "ESTIMATE" => {
+            let mut args = rest.splitn(2, char::is_whitespace);
+            let sketch = args.next().unwrap_or("").trim();
+            let sql = args.next().unwrap_or("").trim();
+            if sketch.is_empty() || sql.is_empty() {
+                return Err(Response::Error {
+                    code: ErrorCode::Proto,
+                    message: "usage: ESTIMATE <sketch> <sql>".to_string(),
+                });
+            }
+            Ok(Request::Estimate {
+                sketch: sketch.to_string(),
+                sql: sql.to_string(),
+            })
+        }
+        "INFO" => {
+            if rest.is_empty() {
+                return Err(Response::Error {
+                    code: ErrorCode::Proto,
+                    message: "usage: INFO <sketch>".to_string(),
+                });
+            }
+            Ok(Request::Info {
+                sketch: rest.to_string(),
+            })
+        }
+        "LIST" => Ok(Request::List),
+        "METRICS" => Ok(Request::Metrics),
+        "QUIT" | "EXIT" => Ok(Request::Quit),
+        other => Err(Response::Error {
+            code: ErrorCode::Proto,
+            message: format!("unknown command '{other}'"),
+        }),
+    }
+}
+
+/// Formats a request for the wire (client side).
+pub fn format_request(req: &Request) -> String {
+    match req {
+        Request::Estimate { sketch, sql } => format!("ESTIMATE {sketch} {sql}"),
+        Request::Info { sketch } => format!("INFO {sketch}"),
+        Request::List => "LIST".to_string(),
+        Request::Metrics => "METRICS".to_string(),
+        Request::Quit => "QUIT".to_string(),
+    }
+}
+
+/// Formats a response as its single wire line (no trailing newline).
+pub fn format_response(resp: &Response) -> String {
+    let one_line = |s: &str| s.replace(['\n', '\r'], " ");
+    match resp {
+        // `{:?}`-style shortest-roundtrip float formatting: the client
+        // reparses to the bit-identical f64.
+        Response::Estimate(v) => format!("OK {v:?}"),
+        Response::Text(t) => format!("OK {}", one_line(t)),
+        Response::Error { code, message } => {
+            format!("ERR {} {}", code.as_str(), one_line(message))
+        }
+        Response::Busy(m) => format!("BUSY {}", one_line(m)),
+        Response::Bye => "BYE".to_string(),
+    }
+}
+
+/// Parses a response line (client side). `estimate` selects whether an
+/// `OK` payload is interpreted as a number or as text.
+pub fn parse_response(line: &str, estimate: bool) -> Result<Response, String> {
+    let line = line.trim_end_matches(['\n', '\r']);
+    if let Some(rest) = line.strip_prefix("OK ") {
+        if estimate {
+            return rest
+                .trim()
+                .parse::<f64>()
+                .map(Response::Estimate)
+                .map_err(|e| format!("bad estimate payload '{rest}': {e}"));
+        }
+        return Ok(Response::Text(rest.to_string()));
+    }
+    if let Some(rest) = line.strip_prefix("ERR ") {
+        let mut parts = rest.splitn(2, ' ');
+        let code = parts.next().unwrap_or("");
+        let message = parts.next().unwrap_or("").to_string();
+        let code = ErrorCode::parse(code).ok_or_else(|| format!("bad error code '{code}'"))?;
+        return Ok(Response::Error { code, message });
+    }
+    if let Some(rest) = line.strip_prefix("BUSY") {
+        return Ok(Response::Busy(rest.trim().to_string()));
+    }
+    if line == "BYE" {
+        return Ok(Response::Bye);
+    }
+    Err(format!("unparseable response line: '{line}'"))
+}
+
+/// Maps an estimation failure to its wire error.
+pub fn estimate_error_response(e: &EstimateError) -> Response {
+    let code = match e {
+        EstimateError::UnknownTable { .. } | EstimateError::UnknownColumn { .. } => {
+            ErrorCode::Vocabulary
+        }
+        EstimateError::Unroutable { .. } => ErrorCode::Unroutable,
+        EstimateError::Decode(_) => ErrorCode::Decode,
+        EstimateError::Unavailable(_) => ErrorCode::NotReady,
+        EstimateError::Execution(_) => ErrorCode::Internal,
+    };
+    Response::Error {
+        code,
+        message: e.to_string(),
+    }
+}
+
+/// Maps a store failure to its wire error.
+pub fn store_error_response(e: &StoreError) -> Response {
+    let code = match e {
+        StoreError::UnknownSketch(_) => ErrorCode::UnknownSketch,
+        StoreError::NotReady(..) => ErrorCode::NotReady,
+        StoreError::Decode(_) => ErrorCode::Decode,
+        StoreError::Estimate(inner) => return estimate_error_response(inner),
+        _ => ErrorCode::Internal,
+    };
+    Response::Error {
+        code,
+        message: e.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_roundtrip_through_the_wire_format() {
+        let reqs = [
+            Request::Estimate {
+                sketch: "imdb".into(),
+                sql: "SELECT COUNT(*) FROM title WHERE title.kind_id = 1".into(),
+            },
+            Request::Info {
+                sketch: "imdb".into(),
+            },
+            Request::List,
+            Request::Metrics,
+            Request::Quit,
+        ];
+        for req in reqs {
+            let line = format_request(&req);
+            assert_eq!(parse_request(&line).unwrap(), req, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn request_keywords_are_case_insensitive() {
+        assert_eq!(
+            parse_request("estimate s SELECT COUNT(*) FROM t").unwrap(),
+            Request::Estimate {
+                sketch: "s".into(),
+                sql: "SELECT COUNT(*) FROM t".into()
+            }
+        );
+        assert_eq!(parse_request("list").unwrap(), Request::List);
+        assert_eq!(parse_request("exit").unwrap(), Request::Quit);
+    }
+
+    #[test]
+    fn malformed_requests_get_proto_errors() {
+        for bad in ["", "ESTIMATE", "ESTIMATE name-only", "INFO", "FROBNICATE x"] {
+            match parse_request(bad) {
+                Err(Response::Error { code, .. }) => assert_eq!(code, ErrorCode::Proto, "{bad}"),
+                other => panic!("expected proto error for '{bad}', got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip_including_exact_floats() {
+        // The estimate payload must survive the wire bit-for-bit — the
+        // coalesced-equals-looped guarantee is checked through this format.
+        for v in [1.0, 1234.5678, 1.0000000000000002, f64::MAX / 3.0] {
+            let line = format_response(&Response::Estimate(v));
+            match parse_response(&line, true).unwrap() {
+                Response::Estimate(parsed) => assert_eq!(parsed.to_bits(), v.to_bits()),
+                other => panic!("{other:?}"),
+            }
+        }
+        let err = Response::Error {
+            code: ErrorCode::UnknownSketch,
+            message: "unknown sketch 'x'".into(),
+        };
+        assert_eq!(parse_response(&format_response(&err), true).unwrap(), err);
+        let busy = Response::Busy("queue full".into());
+        assert_eq!(parse_response(&format_response(&busy), true).unwrap(), busy);
+        assert_eq!(
+            parse_response(&format_response(&Response::Bye), false).unwrap(),
+            Response::Bye
+        );
+        let text = Response::Text("a=1;b=2".into());
+        assert_eq!(
+            parse_response(&format_response(&text), false).unwrap(),
+            text
+        );
+    }
+
+    #[test]
+    fn payloads_are_always_one_line() {
+        let resp = Response::Error {
+            code: ErrorCode::Parse,
+            message: "line one\nline two\r\nthree".into(),
+        };
+        assert!(!format_response(&resp).contains('\n'));
+        assert!(!format_response(&Response::Text("a\nb".into())).contains('\n'));
+    }
+
+    #[test]
+    fn error_mapping_covers_every_estimate_error() {
+        let cases = [
+            (
+                EstimateError::UnknownTable {
+                    table: 9,
+                    known_tables: 6,
+                },
+                ErrorCode::Vocabulary,
+            ),
+            (
+                EstimateError::UnknownColumn { table: 1, col: 99 },
+                ErrorCode::Vocabulary,
+            ),
+            (
+                EstimateError::Unroutable { tables: vec![0, 1] },
+                ErrorCode::Unroutable,
+            ),
+            (EstimateError::Decode("x".into()), ErrorCode::Decode),
+            (EstimateError::Unavailable("x".into()), ErrorCode::NotReady),
+            (EstimateError::Execution("x".into()), ErrorCode::Internal),
+        ];
+        for (err, code) in cases {
+            match estimate_error_response(&err) {
+                Response::Error { code: got, .. } => assert_eq!(got, code, "{err:?}"),
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,351 @@
+//! The TCP front end: an acceptor thread plus one handler thread per
+//! connection, all funnelling `ESTIMATE` work into the shared [`Batcher`].
+//!
+//! Robustness properties (each covered by an integration test):
+//!
+//! * every malformed or unanswerable request gets a typed one-line `ERR` —
+//!   no panic is reachable from client input;
+//! * admission is bounded twice: a connection cap at accept time and the
+//!   batcher's queue bound per request, both shedding with `BUSY`;
+//! * `shutdown()` drains: in-flight requests finish, queued batches run,
+//!   every thread is joined before it returns.
+
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use ds_core::store::SketchStore;
+use ds_query::parser::parse_query;
+use ds_storage::catalog::Database;
+
+use crate::batcher::{Batcher, BatcherConfig, Rejection, SharedEstimator};
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::protocol::{
+    estimate_error_response, format_response, parse_request, store_error_response, ErrorCode,
+    Request, Response,
+};
+
+/// How often blocked reads wake up to check the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; use port 0 to let the OS pick one.
+    pub addr: String,
+    /// Batch worker threads.
+    pub workers: usize,
+    /// Maximum queries coalesced into one forward pass. 1 disables
+    /// coalescing (useful as a baseline).
+    pub max_batch: usize,
+    /// Admission-queue bound; beyond it `ESTIMATE` sheds with `BUSY`.
+    pub queue_capacity: usize,
+    /// Per-request deadline.
+    pub request_timeout: Duration,
+    /// Concurrent-connection cap; excess connections are told `BUSY` and
+    /// closed.
+    pub max_connections: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            max_batch: 64,
+            queue_capacity: 1024,
+            request_timeout: Duration::from_secs(2),
+            max_connections: 256,
+        }
+    }
+}
+
+struct Shared {
+    db: Arc<Database>,
+    store: Arc<SketchStore>,
+    batcher: Batcher,
+    metrics: Arc<Metrics>,
+    shutting_down: AtomicBool,
+    active_connections: AtomicUsize,
+    max_connections: usize,
+}
+
+/// A running sketch server. Dropping it shuts it down.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Binds, spawns the acceptor and batch workers, and returns
+    /// immediately. Estimates are parsed against `db` and answered by the
+    /// sketches in `store` (resolved by name per request, so background
+    /// retraining swaps take effect live).
+    pub fn start(
+        db: Arc<Database>,
+        store: Arc<SketchStore>,
+        cfg: ServeConfig,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let metrics = Arc::new(Metrics::new());
+        let batcher = Batcher::new(
+            BatcherConfig {
+                workers: cfg.workers,
+                max_batch: cfg.max_batch,
+                queue_capacity: cfg.queue_capacity,
+                request_timeout: cfg.request_timeout,
+            },
+            Arc::clone(&metrics),
+        );
+        let shared = Arc::new(Shared {
+            db,
+            store,
+            batcher,
+            metrics,
+            shutting_down: AtomicBool::new(false),
+            active_connections: AtomicUsize::new(0),
+            max_connections: cfg.max_connections.max(1),
+        });
+        let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let handlers = Arc::clone(&handlers);
+            std::thread::Builder::new()
+                .name("ds-serve-accept".to_string())
+                .spawn(move || accept_loop(&listener, &shared, &handlers))?
+        };
+        Ok(Self {
+            addr,
+            shared,
+            acceptor: Some(acceptor),
+            handlers,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live serving counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Graceful shutdown: stop accepting, let in-flight requests finish,
+    /// drain queued batches, join every thread. Returns the final metrics.
+    pub fn shutdown(mut self) -> MetricsSnapshot {
+        self.stop_and_join();
+        self.shared.metrics.snapshot()
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        // Unblock the acceptor's blocking accept() with a wake-up
+        // connection; it observes the flag and exits.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        let handlers: Vec<_> = self
+            .handlers
+            .lock()
+            .expect("handler registry")
+            .drain(..)
+            .collect();
+        for h in handlers {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.acceptor.is_some() {
+            self.stop_and_join();
+        }
+        // The batcher (owned by `shared`) drains in its own Drop once the
+        // last Arc goes away.
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    handlers: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    for stream in listener.incoming() {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let active = shared.active_connections.load(Ordering::SeqCst);
+        if active >= shared.max_connections {
+            shared.metrics.record_shed();
+            let mut s = stream;
+            let line = format_response(&Response::Busy(format!(
+                "connection limit {} reached",
+                shared.max_connections
+            )));
+            let _ = writeln!(s, "{line}");
+            continue;
+        }
+        shared.active_connections.fetch_add(1, Ordering::SeqCst);
+        let conn_shared = Arc::clone(shared);
+        let spawned = std::thread::Builder::new()
+            .name("ds-serve-conn".to_string())
+            .spawn(move || {
+                handle_connection(stream, &conn_shared);
+                conn_shared
+                    .active_connections
+                    .fetch_sub(1, Ordering::SeqCst);
+            });
+        match spawned {
+            Ok(handle) => {
+                let mut reg = handlers.lock().expect("handler registry");
+                // Reap finished handlers so the registry stays bounded.
+                reg.retain(|h| !h.is_finished());
+                reg.push(handle);
+            }
+            Err(_) => {
+                shared.active_connections.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    // Short read timeouts let the handler poll the shutdown flag while
+    // idle instead of blocking forever on a silent client.
+    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+        return;
+    }
+    // One-line request/response roundtrips die under Nagle + delayed ACK.
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            return;
+        }
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // EOF
+            Ok(_) => {}
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => continue,
+            Err(_) => return,
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, quit) = handle_line(&line, shared);
+        if writeln!(writer, "{}", format_response(&response)).is_err() || writer.flush().is_err() {
+            return;
+        }
+        if quit {
+            return;
+        }
+    }
+}
+
+/// Answers one request line. Total: every path, including malformed input,
+/// produces exactly one response.
+fn handle_line(line: &str, shared: &Shared) -> (Response, bool) {
+    shared.metrics.record_request();
+    let request = match parse_request(line) {
+        Ok(r) => r,
+        Err(resp) => {
+            shared.metrics.record_error();
+            return (resp, false);
+        }
+    };
+    match request {
+        Request::Estimate { sketch, sql } => (handle_estimate(&sketch, &sql, shared), false),
+        Request::Info { sketch } => match shared.store.get(&sketch) {
+            Ok(s) => (Response::Text(s.info().to_string()), false),
+            Err(e) => {
+                shared.metrics.record_error();
+                (store_error_response(&e), false)
+            }
+        },
+        Request::List => {
+            let mut entries: Vec<String> = shared
+                .store
+                .list()
+                .into_iter()
+                .map(|(name, status)| format!("{name}={status:?}"))
+                .collect();
+            entries.sort();
+            let payload = if entries.is_empty() {
+                "(no sketches)".to_string()
+            } else {
+                entries.join(" ")
+            };
+            (Response::Text(payload), false)
+        }
+        Request::Metrics => (Response::Text(shared.metrics.snapshot().to_wire()), false),
+        Request::Quit => (Response::Bye, true),
+    }
+}
+
+fn handle_estimate(sketch: &str, sql: &str, shared: &Shared) -> Response {
+    let t0 = Instant::now();
+    let estimator: SharedEstimator = match shared.store.get(sketch) {
+        Ok(s) => s,
+        Err(e) => {
+            shared.metrics.record_error();
+            return store_error_response(&e);
+        }
+    };
+    let query = match parse_query(&shared.db, sql) {
+        Ok(q) => q,
+        Err(e) => {
+            shared.metrics.record_error();
+            return Response::Error {
+                code: ErrorCode::Parse,
+                message: e.0,
+            };
+        }
+    };
+    match shared.batcher.estimate(estimator, query) {
+        Ok(v) => {
+            shared.metrics.record_ok(t0.elapsed());
+            Response::Estimate(v)
+        }
+        Err(Rejection::Busy { queued }) => {
+            // The batcher already counted the shed.
+            Response::Busy(format!("admission queue full ({queued} waiting)"))
+        }
+        Err(Rejection::Timeout) => {
+            // The batcher already counted the timeout.
+            Response::Error {
+                code: ErrorCode::Timeout,
+                message: "request deadline exceeded".to_string(),
+            }
+        }
+        Err(Rejection::ShuttingDown) => {
+            shared.metrics.record_error();
+            Response::Error {
+                code: ErrorCode::Internal,
+                message: "server shutting down".to_string(),
+            }
+        }
+        Err(Rejection::Estimate(e)) => {
+            shared.metrics.record_error();
+            estimate_error_response(&e)
+        }
+    }
+}

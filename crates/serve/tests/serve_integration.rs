@@ -1,0 +1,300 @@
+//! End-to-end tests for the serving front end: a real `DeepSketch` behind a
+//! real TCP server, hammered by concurrent clients.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ds_core::builder::SketchBuilder;
+use ds_core::store::SketchStore;
+use ds_query::parser::parse_query;
+use ds_query::workloads::imdb_predicate_columns;
+use ds_serve::{Client, ErrorCode, Response, ServeConfig, Server};
+use ds_storage::catalog::Database;
+use ds_storage::gen::{imdb_database, ImdbConfig};
+
+fn tiny_sketch(db: &Database, seed: u64) -> ds_core::sketch::DeepSketch {
+    SketchBuilder::new(db, imdb_predicate_columns(db))
+        .training_queries(120)
+        .epochs(2)
+        .sample_size(8)
+        .hidden_units(8)
+        .seed(seed)
+        .build()
+        .expect("tiny sketch")
+}
+
+fn fixture() -> (Arc<Database>, Arc<SketchStore>) {
+    let db = Arc::new(imdb_database(&ImdbConfig::tiny(42)));
+    let store = Arc::new(SketchStore::new());
+    store.insert("imdb", tiny_sketch(&db, 7)).unwrap();
+    (db, store)
+}
+
+const WORKLOAD: &[&str] = &[
+    "SELECT COUNT(*) FROM title",
+    "SELECT COUNT(*) FROM title WHERE title.kind_id = 1",
+    "SELECT COUNT(*) FROM title WHERE title.production_year > 1990",
+    "SELECT COUNT(*) FROM title WHERE title.production_year > 2000",
+    "SELECT COUNT(*) FROM title t, movie_keyword mk \
+     WHERE mk.movie_id = t.id AND mk.keyword_id = 11",
+    "SELECT COUNT(*) FROM title t, movie_keyword mk \
+     WHERE mk.movie_id = t.id AND t.production_year > 1995",
+];
+
+/// The tentpole guarantee: 64 concurrent clients, coalesced on the server,
+/// every answer bit-identical to a local per-query `estimate_one`.
+#[test]
+fn concurrent_coalesced_estimates_match_estimate_one() {
+    let (db, store) = fixture();
+    let sketch = store.get("imdb").unwrap();
+    let expected: Vec<f64> = WORKLOAD
+        .iter()
+        .map(|sql| sketch.estimate_one(&parse_query(&db, sql).unwrap()))
+        .collect();
+
+    let server = Server::start(
+        Arc::clone(&db),
+        Arc::clone(&store),
+        ServeConfig {
+            workers: 4,
+            max_batch: 32,
+            request_timeout: Duration::from_secs(30),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..64)
+            .map(|i| {
+                let expected = &expected;
+                s.spawn(move || {
+                    let mut client =
+                        Client::connect_timeout(addr, Duration::from_secs(60)).unwrap();
+                    // Each client walks the workload from a different offset
+                    // so distinct queries are in flight simultaneously.
+                    for k in 0..WORKLOAD.len() {
+                        let j = (i + k) % WORKLOAD.len();
+                        let got = client.estimate_value("imdb", WORKLOAD[j]).unwrap();
+                        assert_eq!(
+                            got.to_bits(),
+                            expected[j].to_bits(),
+                            "client {i} query {j}: {got} != {}",
+                            expected[j]
+                        );
+                    }
+                    client.quit().unwrap();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    });
+
+    let snap = server.shutdown();
+    assert_eq!(snap.ok, 64 * WORKLOAD.len() as u64);
+    assert_eq!(snap.errors, 0);
+    // With 64 clients against 4 workers, coalescing must have kicked in:
+    // strictly fewer forward passes than requests.
+    assert!(snap.batches > 0);
+    assert!(
+        snap.batches < snap.ok,
+        "no coalescing: {} batches for {} requests",
+        snap.batches,
+        snap.ok
+    );
+    assert!(snap.max_batch > 1);
+}
+
+#[test]
+fn protocol_commands_and_typed_errors() {
+    let (db, store) = fixture();
+    let server = Server::start(db, store, ServeConfig::default()).unwrap();
+    let mut c = Client::connect_timeout(server.local_addr(), Duration::from_secs(10)).unwrap();
+
+    // LIST names the sketch and its status.
+    match c.list().unwrap() {
+        Response::Text(t) => assert!(t.contains("imdb=Ready"), "{t}"),
+        other => panic!("{other:?}"),
+    }
+    // INFO returns the summary card.
+    match c.info("imdb").unwrap() {
+        Response::Text(t) => assert!(!t.is_empty()),
+        other => panic!("{other:?}"),
+    }
+    // METRICS is parseable key=value.
+    match c.metrics().unwrap() {
+        Response::Text(t) => assert!(t.contains("requests=") && t.contains("p99_us="), "{t}"),
+        other => panic!("{other:?}"),
+    }
+
+    // Typed errors, one per failure class — and the connection survives
+    // every one of them.
+    match c.estimate("nope", "SELECT COUNT(*) FROM title").unwrap() {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::UnknownSketch),
+        other => panic!("{other:?}"),
+    }
+    match c
+        .estimate("imdb", "SELECT COUNT(*) FROM bogus_table")
+        .unwrap()
+    {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::Parse),
+        other => panic!("{other:?}"),
+    }
+    match c.info("nope").unwrap() {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::UnknownSketch),
+        other => panic!("{other:?}"),
+    }
+    for raw in ["FROBNICATE", "ESTIMATE", "ESTIMATE imdb", "INFO", "???"] {
+        let line = c.send_raw(raw).unwrap();
+        assert!(line.starts_with("ERR proto "), "{raw:?} -> {line}");
+    }
+    // Still alive after all that abuse.
+    match c.estimate("imdb", "SELECT COUNT(*) FROM title").unwrap() {
+        Response::Estimate(v) => assert!(v.is_finite() && v >= 1.0),
+        other => panic!("{other:?}"),
+    }
+    c.quit().unwrap();
+    let snap = server.shutdown();
+    assert!(snap.errors >= 8);
+}
+
+/// A zero-length deadline forces every request down the timeout path; the
+/// server answers `ERR timeout` instead of hanging or panicking.
+#[test]
+fn zero_deadline_requests_time_out_cleanly() {
+    let (db, store) = fixture();
+    let server = Server::start(
+        db,
+        store,
+        ServeConfig {
+            request_timeout: Duration::from_nanos(1),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let mut c = Client::connect_timeout(server.local_addr(), Duration::from_secs(10)).unwrap();
+    match c.estimate("imdb", "SELECT COUNT(*) FROM title").unwrap() {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::Timeout),
+        other => panic!("{other:?}"),
+    }
+    c.quit().unwrap();
+    let snap = server.shutdown();
+    assert_eq!(snap.timeouts, 1);
+    assert_eq!(snap.ok, 0);
+}
+
+/// Beyond `max_connections`, new connections get one `BUSY` line.
+#[test]
+fn connection_cap_sheds_with_busy() {
+    let (db, store) = fixture();
+    let server = Server::start(
+        db,
+        store,
+        ServeConfig {
+            max_connections: 2,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    let a = Client::connect_timeout(addr, Duration::from_secs(10)).unwrap();
+    let b = Client::connect_timeout(addr, Duration::from_secs(10)).unwrap();
+    // The two admitted connections occupy the cap; the third is shed. Give
+    // the acceptor a moment to register both.
+    std::thread::sleep(Duration::from_millis(100));
+    let mut shed = Client::connect_timeout(addr, Duration::from_secs(10)).unwrap();
+    let line = shed
+        .send_raw("LIST")
+        .unwrap_or_else(|e| format!("ERR io {e}"));
+    assert!(
+        line.starts_with("BUSY") || line.starts_with("ERR io"),
+        "expected shed, got {line}"
+    );
+    drop(a);
+    drop(b);
+    let snap = server.shutdown();
+    assert!(snap.shed >= 1);
+}
+
+/// The store stays consistent under concurrent insert/estimate/remove from
+/// many threads (the serving scenario: queries racing retraining swaps).
+#[test]
+fn sketch_store_survives_concurrent_mutation() {
+    let db = Arc::new(imdb_database(&ImdbConfig::tiny(11)));
+    let store = Arc::new(SketchStore::new());
+    store.insert("stable", tiny_sketch(&db, 1)).unwrap();
+    let churn_sketch = tiny_sketch(&db, 2);
+    let q = parse_query(&db, "SELECT COUNT(*) FROM title WHERE title.kind_id = 1").unwrap();
+
+    std::thread::scope(|s| {
+        // Readers hammer the stable sketch and the churning one.
+        for _ in 0..4 {
+            let store = Arc::clone(&store);
+            let q = q.clone();
+            s.spawn(move || {
+                for _ in 0..200 {
+                    assert!(store.estimate("stable", &q).unwrap() >= 1.0);
+                    // "churn" may or may not exist right now — either a
+                    // value or a typed error, never a panic.
+                    match store.estimate("churn", &q) {
+                        Ok(v) => assert!(v >= 1.0),
+                        Err(e) => {
+                            let _ = e.to_string();
+                        }
+                    }
+                    let _ = store.list();
+                }
+            });
+        }
+        // One writer inserts and removes "churn" in a loop.
+        let store2 = Arc::clone(&store);
+        s.spawn(move || {
+            for _ in 0..50 {
+                let _ = store2.insert("churn", churn_sketch.clone());
+                std::thread::yield_now();
+                store2.remove("churn");
+            }
+        });
+    });
+    assert!(store.estimate("stable", &q).unwrap() >= 1.0);
+}
+
+/// Graceful shutdown: requests in flight when shutdown starts still get
+/// answers; the queue drains rather than drops.
+#[test]
+fn shutdown_drains_in_flight_work() {
+    let (db, store) = fixture();
+    let server = Server::start(
+        db,
+        store,
+        ServeConfig {
+            workers: 1,
+            request_timeout: Duration::from_secs(30),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    let answered = std::thread::spawn(move || {
+        let mut c = Client::connect_timeout(addr, Duration::from_secs(30)).unwrap();
+        let mut n = 0;
+        for _ in 0..20 {
+            if c.estimate_value("imdb", "SELECT COUNT(*) FROM title")
+                .is_ok()
+            {
+                n += 1;
+            } else {
+                break;
+            }
+        }
+        n
+    });
+    std::thread::sleep(Duration::from_millis(50));
+    let snap = server.shutdown();
+    let n = answered.join().unwrap();
+    // Every request the server acknowledged with OK was really answered.
+    assert_eq!(snap.ok, n);
+}

@@ -111,31 +111,41 @@ fn main() {
                 }
             }
             sql if sql.contains('?') => match QueryTemplate::parse_sql(&db, sql) {
-                Ok(template) => {
-                    let sketch = store.get("default").expect("default sketch");
-                    let ours = template.evaluate(sketch.samples(), ValueFn::GroupBy(10), &*sketch);
-                    let truth = template.evaluate(sketch.samples(), ValueFn::GroupBy(10), &oracle);
-                    println!("  {:>10} {:>10} {:>10}", "group", "sketch", "true");
-                    for (o, t) in ours.iter().zip(&truth) {
-                        println!("  {:>10} {:>10.0} {:>10.0}", o.0 * 10, o.1, t.1);
+                Ok(template) => match store.get("default") {
+                    Ok(sketch) => {
+                        let ours =
+                            template.evaluate(sketch.samples(), ValueFn::GroupBy(10), &*sketch);
+                        let truth =
+                            template.evaluate(sketch.samples(), ValueFn::GroupBy(10), &oracle);
+                        println!("  {:>10} {:>10} {:>10}", "group", "sketch", "true");
+                        for (o, t) in ours.iter().zip(&truth) {
+                            println!("  {:>10} {:>10.0} {:>10.0}", o.0 * 10, o.1, t.1);
+                        }
                     }
-                }
+                    Err(e) => println!("  error: {e}"),
+                },
                 Err(e) => println!("  {e}"),
             },
             sql => match parse_query(&db, sql) {
                 Ok(q) => {
                     let truth = oracle.estimate(&q);
-                    let sketch = store.get("default").expect("default sketch");
-                    println!(
-                        "  true {:>10.0} | sketch {:>10.0} (q={:.2}) | pg {:>10.0} (q={:.2}) | hyper {:>10.0} (q={:.2})",
-                        truth,
-                        sketch.estimate(&q),
-                        qerror(sketch.estimate(&q), truth),
-                        postgres.estimate(&q),
-                        qerror(postgres.estimate(&q), truth),
-                        hyper.estimate(&q),
-                        qerror(hyper.estimate(&q), truth),
-                    );
+                    // Every estimator goes through the one unified trait:
+                    // the store handle answers for the deep sketch (and
+                    // reports, rather than panics, if it's missing), the
+                    // baselines answer for themselves.
+                    let sketch = store.handle("default");
+                    let panel: [(&str, &dyn CardinalityEstimator); 3] =
+                        [("sketch", &sketch), ("pg", &postgres), ("hyper", &hyper)];
+                    print!("  true {truth:>10.0}");
+                    for (label, est) in panel {
+                        match est.try_estimate(&q) {
+                            Ok(v) => {
+                                print!(" | {label} {v:>10.0} (q={:.2})", qerror(v, truth));
+                            }
+                            Err(e) => print!(" | {label} unavailable: {e}"),
+                        }
+                    }
+                    println!();
                 }
                 Err(e) => println!("  {e}"),
             },

@@ -1,0 +1,139 @@
+//! The serving front end, end to end: train a sketch, start the TCP
+//! server, then hammer it with 64 concurrent clients and verify every
+//! answer over the wire is bit-identical to a local `estimate_one` call.
+//!
+//! This is the smoke test CI runs for `ds-serve` — it exercises the full
+//! stack (accept loop, protocol, coalescing batcher, metrics) in a few
+//! seconds and fails loudly on any mismatch.
+//!
+//! Run with: `cargo run --release --example serve_demo`
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use deep_sketches::prelude::*;
+use deep_sketches::serve::Response;
+
+const CLIENTS: usize = 64;
+
+fn main() {
+    let db = Arc::new(imdb_database(&ImdbConfig {
+        movies: 2_000,
+        keywords: 400,
+        companies: 150,
+        persons: 1_500,
+        seed: 23,
+    }));
+    println!("synthetic IMDb loaded: {} rows", db.total_rows());
+
+    println!("training the sketch …");
+    let store = Arc::new(SketchStore::new());
+    let sketch = SketchBuilder::new(&db, imdb_predicate_columns(&db))
+        .training_queries(1_000)
+        .epochs(8)
+        .sample_size(64)
+        .hidden_units(32)
+        .seed(5)
+        .build()
+        .expect("sketch construction");
+    store.insert("imdb", sketch).expect("fresh store");
+
+    let workload: Vec<&str> = vec![
+        "SELECT COUNT(*) FROM title",
+        "SELECT COUNT(*) FROM title WHERE title.kind_id = 1",
+        "SELECT COUNT(*) FROM title WHERE title.production_year > 1990",
+        "SELECT COUNT(*) FROM title WHERE title.production_year > 2005",
+        "SELECT COUNT(*) FROM title t, movie_keyword mk \
+         WHERE mk.movie_id = t.id AND mk.keyword_id = 11",
+        "SELECT COUNT(*) FROM title t, movie_keyword mk \
+         WHERE mk.movie_id = t.id AND t.production_year > 1995",
+    ];
+    // Ground truth for the wire check: local, single-query estimates.
+    let local: Vec<f64> = {
+        let s = store.get("imdb").expect("ready sketch");
+        workload
+            .iter()
+            .map(|sql| s.estimate_one(&parse_query(&db, sql).expect("parse")))
+            .collect()
+    };
+
+    let server = Server::start(
+        Arc::clone(&db),
+        Arc::clone(&store),
+        ServeConfig {
+            workers: 4,
+            request_timeout: Duration::from_secs(30),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind server");
+    let addr = server.local_addr();
+    println!("serving on {addr}");
+
+    // One warm-up client exercises the metadata commands.
+    {
+        let mut c = Client::connect(addr).expect("connect");
+        if let Response::Text(t) = c.list().expect("LIST") {
+            println!("LIST    -> {t}");
+        }
+        if let Response::Text(t) = c.info("imdb").expect("INFO") {
+            println!("INFO    -> {t}");
+        }
+        c.quit().expect("QUIT");
+    }
+
+    println!("running {CLIENTS} concurrent clients …");
+    let t0 = Instant::now();
+    let mut mismatches = 0usize;
+    let mut answered = 0usize;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|i| {
+                let workload = &workload;
+                let local = &local;
+                s.spawn(move || {
+                    let mut c = Client::connect(addr).expect("connect");
+                    let mut bad = 0usize;
+                    let mut n = 0usize;
+                    for k in 0..workload.len() * 2 {
+                        let j = (i + k) % workload.len();
+                        let got = c
+                            .estimate_value("imdb", workload[j])
+                            .expect("wire estimate");
+                        n += 1;
+                        if got.to_bits() != local[j].to_bits() {
+                            eprintln!(
+                                "MISMATCH client {i} query {j}: wire {got} vs local {}",
+                                local[j]
+                            );
+                            bad += 1;
+                        }
+                    }
+                    c.quit().expect("QUIT");
+                    (n, bad)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (n, bad) = h.join().expect("client thread");
+            answered += n;
+            mismatches += bad;
+        }
+    });
+    let elapsed = t0.elapsed();
+
+    let snap = server.shutdown();
+    println!("{snap}");
+    println!(
+        "{answered} estimates in {:.2}s ({:.0} req/s), {} coalesced batches (mean {:.1})",
+        elapsed.as_secs_f64(),
+        answered as f64 / elapsed.as_secs_f64(),
+        snap.batches,
+        snap.mean_batch
+    );
+
+    assert_eq!(mismatches, 0, "wire answers diverged from estimate_one");
+    assert_eq!(answered as u64, snap.ok, "request accounting diverged");
+    assert!(snap.batches < snap.ok, "coalescing never engaged");
+    println!("serve_demo OK: all {answered} wire answers bit-identical to estimate_one");
+}

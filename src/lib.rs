@@ -16,6 +16,8 @@
 //! * [`est`] — traditional estimators (PostgreSQL-style, sampling-based).
 //! * [`core`] — the paper's contribution: featurization, the MSCN model,
 //!   training, and the [`core::sketch::DeepSketch`] wrapper.
+//! * [`serve`] — concurrent TCP serving front end with request
+//!   coalescing over the [`core::store::SketchStore`].
 //!
 //! ## Quickstart
 //!
@@ -47,6 +49,7 @@ pub use ds_est as est;
 pub use ds_nn as nn;
 pub use ds_plan as plan;
 pub use ds_query as query;
+pub use ds_serve as serve;
 pub use ds_storage as storage;
 
 /// Convenient, flat imports for applications.
@@ -57,17 +60,18 @@ pub mod prelude {
     pub use ds_core::maintain::{detect_drift, refresh_samples, DriftReport};
     pub use ds_core::metrics::{qerror, QErrorSummary};
     pub use ds_core::sketch::DeepSketch;
-    pub use ds_core::store::{SketchStatus, SketchStore};
+    pub use ds_core::store::{SketchStatus, SketchStore, StoreHandle};
     pub use ds_core::template::{QueryTemplate, ValueFn};
     pub use ds_est::{
         oracle::TrueCardinalityOracle, postgres::PostgresEstimator, sampling::SamplingEstimator,
-        CardinalityEstimator,
+        CardinalityEstimator, EstimateError,
     };
     pub use ds_plan::{plan_regret, workload_regret, Optimizer};
     pub use ds_query::parser::parse_query;
     pub use ds_query::query::Query;
     pub use ds_query::workloads::job_light::job_light_workload;
     pub use ds_query::workloads::{imdb_predicate_columns, tpch_predicate_columns};
+    pub use ds_serve::{Client, ServeConfig, Server};
     pub use ds_storage::gen::{imdb_database, tpch_database, ImdbConfig, TpchConfig};
     pub use ds_storage::Database;
 }

@@ -148,7 +148,7 @@ pub mod prop {
             VecStrategy { elem, len }
         }
 
-        /// See [`vec`].
+        /// See [`vec()`].
         pub struct VecStrategy<S> {
             elem: S,
             len: core::ops::Range<usize>,
