@@ -122,16 +122,22 @@ fn main() {
     store.insert("imdb", sketch).expect("fresh store");
 
     // Correctness gate before timing anything: wire answers must be
-    // bit-identical to local estimate_one.
+    // bit-identical to local estimate_one — with the observability layer
+    // off AND on (tracing must never perturb an estimate).
     {
         let s = store.get("imdb").unwrap();
         let server = Server::start(Arc::clone(&db), Arc::clone(&store), ServeConfig::default())
             .expect("bind server");
         let mut c = Client::connect(server.local_addr()).expect("connect");
+        let obs = ds_obs::global();
         for sql in WORKLOAD {
-            let wire = c.estimate_value("imdb", sql).expect("wire estimate");
             let local = s.estimate_one(&parse_query(&db, sql).expect("parse"));
-            assert_eq!(wire.to_bits(), local.to_bits(), "{sql}");
+            let wire = c.estimate_value("imdb", sql).expect("wire estimate");
+            assert_eq!(wire.to_bits(), local.to_bits(), "untraced: {sql}");
+            obs.enable();
+            let traced = c.estimate_value("imdb", sql).expect("traced wire estimate");
+            obs.disable();
+            assert_eq!(traced.to_bits(), local.to_bits(), "traced: {sql}");
         }
         c.quit().expect("QUIT");
         server.shutdown();
@@ -171,8 +177,39 @@ fn main() {
         coal.ok
     );
 
+    // --- observability overhead: same coalesced fleet, tracer enabled ---
+    // Interleave untraced/traced pairs and take per-mode medians so slow
+    // drift (thermal, page cache) cancels instead of biasing one side.
+    println!("\n[3] observability overhead (max_batch = 64, tracer on):");
+    let obs = ds_obs::global();
+    let mut plain_secs = Vec::new();
+    let mut traced_secs = Vec::new();
+    for pair in 0..6 {
+        // Alternate which mode runs first: the second run of a pair is
+        // systematically warmer, and a fixed order biases the comparison.
+        let trace_first = pair % 2 == 1;
+        for step in 0..2 {
+            if (step == 0) == trace_first {
+                obs.enable();
+                traced_secs.push(run_fleet(&db, &store, 64).0.as_secs_f64());
+                obs.disable();
+            } else {
+                plain_secs.push(run_fleet(&db, &store, 64).0.as_secs_f64());
+            }
+        }
+    }
+    plain_secs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    traced_secs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let plain_med = plain_secs[plain_secs.len() / 2];
+    let traced_med = traced_secs[traced_secs.len() / 2];
+    let overhead_pct = (traced_med - plain_med) / plain_med * 100.0;
+    println!(
+        "  untraced {plain_med:.3}s vs traced {traced_med:.3}s -> overhead {overhead_pct:+.2}% \
+         (issue target: < 2%)"
+    );
+
     let json = format!(
-        "{{\n  \"experiment\": \"serve_throughput\",\n  \"clients\": {CLIENTS},\n  \"queries_per_client\": {QUERIES_PER_CLIENT},\n  \"per_request\": {{\"secs\": {:.4}, \"rps\": {per_req_rps:.1}, \"batches\": {}, \"mean_batch\": {:.3}}},\n  \"coalesced\": {{\"secs\": {:.4}, \"rps\": {coal_rps:.1}, \"batches\": {}, \"mean_batch\": {:.3}, \"max_batch\": {}, \"p99_us\": {}}},\n  \"speedup\": {speedup:.3}\n}}\n",
+        "{{\n  \"experiment\": \"serve_throughput\",\n  \"clients\": {CLIENTS},\n  \"queries_per_client\": {QUERIES_PER_CLIENT},\n  \"per_request\": {{\"secs\": {:.4}, \"rps\": {per_req_rps:.1}, \"batches\": {}, \"mean_batch\": {:.3}}},\n  \"coalesced\": {{\"secs\": {:.4}, \"rps\": {coal_rps:.1}, \"batches\": {}, \"mean_batch\": {:.3}, \"max_batch\": {}, \"p99_us\": {}}},\n  \"speedup\": {speedup:.3},\n  \"obs_overhead\": {{\"untraced_secs\": {plain_med:.4}, \"traced_secs\": {traced_med:.4}, \"overhead_pct\": {overhead_pct:.3}}}\n}}\n",
         per_req_elapsed.as_secs_f64(),
         per_req.batches,
         per_req.mean_batch,

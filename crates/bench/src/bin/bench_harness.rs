@@ -1,0 +1,421 @@
+//! `bench_harness` — the pinned quick-mode benchmark suite behind the CI
+//! `bench-smoke` gate.
+//!
+//! Runs three stages sized to finish in a couple of minutes on one core:
+//!
+//! 1. **kernels** — tiled/threaded matmul vs the reference kernel at the
+//!    MSCN-critical shapes (same shapes as the full `nn_kernels` bench);
+//! 2. **training** — a miniature fig1a build (small synthetic IMDb, 800
+//!    queries, 3 epochs) whose validation q-error is fully deterministic;
+//! 3. **serving** — a small coalescing-vs-per-request client fleet against
+//!    the TCP server, plus the tracing-enabled overhead measurement.
+//!
+//! The run is written to `target/BENCH_quick.latest.json` and diffed
+//! against the committed baseline `BENCH_quick.json`:
+//!
+//! ```text
+//! bench_harness --quick --check                # gate against the baseline
+//! bench_harness --quick --update               # refresh the baseline
+//! bench_harness --quick --check --threshold 0.35
+//! ```
+//!
+//! `--check` exits nonzero when any portable metric regressed past the
+//! threshold (add `--strict` to gate absolute timings too — only sensible
+//! when baseline and current ran on the same machine). `--trace` enables
+//! the global `ds-obs` tracer and prints the span/counter report to stderr
+//! after the run.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ds_bench::harness::{compare, BenchReport, Metric};
+use ds_bench::{banner, BENCH_SEED};
+use ds_core::builder::SketchBuilder;
+use ds_core::store::SketchStore;
+use ds_nn::pool::PoolConfig;
+use ds_nn::tensor::{reference, Kernel, Tensor};
+use ds_obs::{PrettySink, Sink, TraceReport};
+use ds_query::workloads::imdb_predicate_columns;
+use ds_serve::{Client, ServeConfig, Server};
+use ds_storage::catalog::Database;
+use ds_storage::gen::{imdb_database, ImdbConfig};
+
+const REPO_ROOT: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+const DEFAULT_THRESHOLD: f64 = 0.25;
+
+/// Quick-mode fleet size: small enough to finish in seconds, large enough
+/// for coalescing to engage.
+const CLIENTS: usize = 16;
+const QUERIES_PER_CLIENT: usize = 25;
+
+/// Same join-heavy workload shapes as the full `serve_throughput` bench.
+const WORKLOAD: &[&str] = &[
+    "SELECT COUNT(*) FROM title t, movie_keyword mk \
+     WHERE mk.movie_id = t.id AND mk.keyword_id = 11",
+    "SELECT COUNT(*) FROM title t, movie_keyword mk \
+     WHERE mk.movie_id = t.id AND t.production_year > 1995",
+    "SELECT COUNT(*) FROM title t, movie_companies mc \
+     WHERE mc.movie_id = t.id AND mc.company_type_id = 1",
+    "SELECT COUNT(*) FROM title t, movie_info mi \
+     WHERE mi.movie_id = t.id AND mi.info_type_id < 50 AND t.kind_id = 1",
+    "SELECT COUNT(*) FROM title t, movie_keyword mk, movie_companies mc \
+     WHERE mk.movie_id = t.id AND mc.movie_id = t.id \
+     AND t.production_year > 1990",
+    "SELECT COUNT(*) FROM title t, cast_info ci, movie_info mi \
+     WHERE ci.movie_id = t.id AND mi.movie_id = t.id AND ci.role_id = 2",
+];
+
+struct Options {
+    check: bool,
+    update: bool,
+    strict: bool,
+    trace: bool,
+    threshold: f64,
+    baseline: String,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_harness [--quick] [--check] [--update] [--strict] [--trace]\n\
+         \x20                    [--baseline <path>] [--threshold <frac>]\n\
+         \n\
+         --quick      run the pinned quick suite (default; only suite today)\n\
+         --check      diff against the baseline; exit 1 on regression\n\
+         --update     overwrite the baseline with this run\n\
+         --strict     gate absolute timings too (same-machine diffs only)\n\
+         --trace      enable the ds-obs tracer; print span report to stderr\n\
+         --baseline   baseline path (default: <repo>/BENCH_quick.json)\n\
+         --threshold  tolerated fractional worsening (default: {DEFAULT_THRESHOLD})"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        check: false,
+        update: false,
+        strict: false,
+        trace: false,
+        threshold: DEFAULT_THRESHOLD,
+        baseline: format!("{REPO_ROOT}/BENCH_quick.json"),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => {} // the only suite; accepted for CI-visible intent
+            "--check" => opts.check = true,
+            "--update" => opts.update = true,
+            "--strict" => opts.strict = true,
+            "--trace" => opts.trace = true,
+            "--baseline" => match args.next() {
+                Some(p) => opts.baseline = p,
+                None => usage(),
+            },
+            "--threshold" => match args.next().and_then(|t| t.parse::<f64>().ok()) {
+                Some(t) if t >= 0.0 => opts.threshold = t,
+                _ => usage(),
+            },
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage()
+            }
+        }
+    }
+    opts
+}
+
+/// Median wall-clock seconds of `iters` runs of `f`.
+fn median_secs<R>(iters: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut times = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        times.push(t.elapsed().as_secs_f64());
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+/// Minimum wall-clock seconds of `iters` runs of `f`. For microsecond-scale
+/// kernels the minimum is the noise-robust estimator: both variants of a
+/// ratio reach their unperturbed best case, where a median still carries
+/// scheduler and frequency-scaling jitter that skews speedup ratios.
+fn min_secs<R>(iters: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn filled(rows: usize, cols: usize, seed: u64) -> Tensor {
+    let mut s = seed | 1;
+    let data = (0..rows * cols)
+        .map(|_| {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((s >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+        })
+        .collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+/// Stage 1: matmul kernels at the MSCN-critical shapes, 25 iterations each
+/// (vs 30 in the full bench). The tiled-vs-reference speedup of the two
+/// substantial shapes is a dimensionless ratio and gates CI; the head
+/// shape's 40µs kernel is too short for a stable ratio, so it (and all
+/// absolute medians) only records for same-machine diffs.
+fn stage_kernels(report: &mut BenchReport) {
+    let shapes = [
+        ("input_384x106_x256", 384usize, 106usize, 256usize, true),
+        ("hidden_384x256_x256", 384, 256, 256, true),
+        ("head_384x256_x1", 384, 256, 1, false),
+    ];
+    println!(
+        "\n[1/3] matmul kernels ({} shapes, 25 iters):",
+        shapes.len()
+    );
+    for (name, m, k, n, gated) in shapes {
+        let a = filled(m, k, 0xA0 ^ m as u64);
+        let b = filled(k, n, 0xB0 ^ n as u64);
+        let t_ref = min_secs(25, || reference::matmul(&a, &b));
+        let t_tiled = min_secs(25, || {
+            a.matmul_pool(&b, Kernel::Dense, PoolConfig::single())
+        });
+        assert_eq!(
+            reference::matmul(&a, &b).data(),
+            a.matmul_pool(&b, Kernel::Dense, PoolConfig::single())
+                .data(),
+            "kernel paths diverged at {name}"
+        );
+        let speedup = t_ref / t_tiled;
+        println!("  {name:<22} tiled {t_tiled:>10.6}s  speedup {speedup:>5.2}x");
+        let speedup_name = format!("kernel/{name}/tiled_speedup");
+        report.push(if gated {
+            Metric::portable(speedup_name, speedup, true)
+        } else {
+            Metric::local(speedup_name, speedup, true)
+        });
+        report.push(Metric::local(
+            format!("kernel/{name}/tiled_secs"),
+            t_tiled,
+            false,
+        ));
+    }
+}
+
+/// Stage 2: a miniature fig1a build. Seeded end to end and bit-identical
+/// at any thread count, so the validation q-error is an exact, portable
+/// quality gate; wall-clock numbers ride along as local metrics.
+fn stage_training(report: &mut BenchReport) -> (Arc<Database>, Arc<SketchStore>) {
+    println!("\n[2/3] mini fig1a build (800 queries, 3 epochs):");
+    let db = Arc::new(imdb_database(&ImdbConfig {
+        movies: 2_000,
+        keywords: 1_000,
+        companies: 400,
+        persons: 5_000,
+        seed: BENCH_SEED ^ 21,
+    }));
+    let (sketch, build) = SketchBuilder::new(&db, imdb_predicate_columns(&db))
+        .training_queries(800)
+        .epochs(3)
+        .sample_size(256)
+        .hidden_units(256)
+        .max_tables(4)
+        .max_predicates(4)
+        .seed(BENCH_SEED ^ 22)
+        .build_with_report()
+        .expect("mini build");
+    let val_qerror = build.training.final_val_qerror().expect("validation split");
+    let total_secs =
+        (build.generation + build.execution + build.featurization + build.training.total_duration)
+            .as_secs_f64();
+    let rows_per_sec = build
+        .training
+        .epochs
+        .last()
+        .map(|e| e.rows_per_sec)
+        .unwrap_or(0.0);
+    println!(
+        "  val mean q-error {val_qerror:>8.3}   total {total_secs:>7.2}s   {rows_per_sec:>8.0} rows/s"
+    );
+    report.push(Metric::portable(
+        "train/final_val_qerror",
+        val_qerror,
+        false,
+    ));
+    report.push(Metric::local("train/total_secs", total_secs, false));
+    report.push(Metric::local("train/rows_per_sec", rows_per_sec, true));
+
+    let store = Arc::new(SketchStore::new());
+    store.insert("imdb", sketch).expect("fresh store");
+    (db, store)
+}
+
+/// Runs the quick client fleet; returns elapsed seconds.
+fn run_fleet(db: &Arc<Database>, store: &Arc<SketchStore>, max_batch: usize) -> f64 {
+    let server = Server::start(
+        Arc::clone(db),
+        Arc::clone(store),
+        ServeConfig {
+            workers: 1,
+            max_batch,
+            queue_capacity: 1024,
+            request_timeout: Duration::from_secs(60),
+            max_connections: CLIENTS + 4,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind server");
+    let addr = server.local_addr();
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|i| {
+                s.spawn(move || {
+                    let mut c = Client::connect(addr).expect("connect");
+                    for k in 0..QUERIES_PER_CLIENT {
+                        let sql = WORKLOAD[(i + k) % WORKLOAD.len()];
+                        c.estimate_value("imdb", sql).expect("wire estimate");
+                    }
+                    c.quit().expect("QUIT");
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("client thread");
+        }
+    });
+    let elapsed = t0.elapsed().as_secs_f64();
+    let snap = server.shutdown();
+    assert_eq!(snap.ok, (CLIENTS * QUERIES_PER_CLIENT) as u64);
+    assert_eq!(snap.errors + snap.shed + snap.timeouts, 0);
+    elapsed
+}
+
+/// Stage 3: coalesced vs per-request serving, plus the observability
+/// overhead: the same coalesced fleet with the global tracer enabled. The
+/// coalescing speedup is a ratio and gates CI; the overhead percentage is
+/// recorded (target <2%) but does not gate — at quick-mode run lengths it
+/// sits inside scheduler noise.
+fn stage_serving(report: &mut BenchReport, db: &Arc<Database>, store: &Arc<SketchStore>) {
+    let total = CLIENTS * QUERIES_PER_CLIENT;
+    println!("\n[3/3] serving fleet ({CLIENTS} clients x {QUERIES_PER_CLIENT} queries):");
+    let _ = run_fleet(db, store, 1); // warm-up
+    let per_req_secs = median_secs(3, || run_fleet(db, store, 1));
+    let coal_secs = median_secs(3, || run_fleet(db, store, 32));
+    let per_req_rps = total as f64 / per_req_secs;
+    let coal_rps = total as f64 / coal_secs;
+    let speedup = coal_rps / per_req_rps;
+    println!("  per-request {per_req_rps:>7.0} req/s   coalesced {coal_rps:>7.0} req/s   speedup {speedup:.2}x");
+
+    // Tracing overhead: identical coalesced fleet, global tracer on.
+    let obs = ds_obs::global();
+    let was_enabled = obs.is_enabled();
+    obs.enable();
+    let traced_secs = median_secs(3, || run_fleet(db, store, 32));
+    if !was_enabled {
+        obs.disable();
+    }
+    let overhead_pct = (traced_secs - coal_secs) / coal_secs * 100.0;
+    println!(
+        "  traced coalesced {:.0} req/s   overhead {overhead_pct:+.2}% (target < 2%)",
+        total as f64 / traced_secs
+    );
+
+    report.push(Metric::portable("serve/coalescing_speedup", speedup, true));
+    report.push(Metric::local("serve/per_request_rps", per_req_rps, true));
+    report.push(Metric::local("serve/coalesced_rps", coal_rps, true));
+    report.push(Metric::local("serve/obs_overhead_pct", overhead_pct, false));
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    banner(
+        "QUICK",
+        "bench_harness quick suite",
+        "pinned kernel/training/serving smoke benchmarks gating CI",
+    );
+    if opts.trace {
+        ds_obs::global().enable();
+    }
+
+    let mut current = BenchReport::new("quick");
+    stage_kernels(&mut current);
+    let (db, store) = stage_training(&mut current);
+    stage_serving(&mut current, &db, &store);
+
+    if opts.trace {
+        let obs = ds_obs::global();
+        obs.disable();
+        let trace = TraceReport::capture(obs);
+        if !trace.is_empty() {
+            let mut sink = PrettySink::stderr();
+            let _ = sink.emit(&trace);
+        }
+    }
+
+    // Always leave the latest run where CI can pick it up as an artifact.
+    let latest_path = format!("{REPO_ROOT}/target/BENCH_quick.latest.json");
+    if let Some(dir) = std::path::Path::new(&latest_path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    if let Err(e) = std::fs::write(&latest_path, current.to_json_string()) {
+        eprintln!("error: cannot write {latest_path}: {e}");
+        return ExitCode::from(2);
+    }
+    println!("\nwrote {latest_path}");
+
+    if opts.update {
+        if let Err(e) = std::fs::write(&opts.baseline, current.to_json_string()) {
+            eprintln!("error: cannot write baseline {}: {e}", opts.baseline);
+            return ExitCode::from(2);
+        }
+        println!("updated baseline {}", opts.baseline);
+        return ExitCode::SUCCESS;
+    }
+
+    if opts.check {
+        let text = match std::fs::read_to_string(&opts.baseline) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read baseline {}: {e}", opts.baseline);
+                eprintln!("hint: create one with `bench_harness --quick --update`");
+                return ExitCode::from(2);
+            }
+        };
+        let baseline = match BenchReport::from_json_str(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("error: malformed baseline {}: {e:?}", opts.baseline);
+                return ExitCode::from(2);
+            }
+        };
+        let regressions = compare(&baseline, &current, opts.threshold, opts.strict);
+        if regressions.is_empty() {
+            println!(
+                "check OK: no regression beyond {:.0}% vs {}",
+                opts.threshold * 100.0,
+                opts.baseline
+            );
+            return ExitCode::SUCCESS;
+        }
+        eprintln!(
+            "check FAILED: {} metric(s) regressed beyond {:.0}% vs {}:",
+            regressions.len(),
+            opts.threshold * 100.0,
+            opts.baseline
+        );
+        for r in &regressions {
+            eprintln!("  {r}");
+        }
+        return ExitCode::FAILURE;
+    }
+
+    ExitCode::SUCCESS
+}

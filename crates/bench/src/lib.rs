@@ -10,6 +10,8 @@
 //! `cargo bench -p ds-bench --bench <name>`; `cargo bench` regenerates
 //! everything.
 
+pub mod harness;
+
 use ds_core::builder::SketchBuilder;
 use ds_core::metrics::QErrorSummary;
 use ds_est::CardinalityEstimator;

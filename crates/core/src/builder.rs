@@ -81,7 +81,9 @@ pub struct BuildReport {
     pub generation: Duration,
     /// Step 3: executing training queries for labels.
     pub execution: Duration,
-    /// Step 4 (featurize + train).
+    /// Step 4a: building the featurizer (vocabulary + encoders).
+    pub featurization: Duration,
+    /// Step 4b (featurize the workload + train).
     pub training: TrainingReport,
     /// Number of training queries used.
     pub num_queries: usize,
@@ -260,8 +262,11 @@ impl<'a> SketchBuilder<'a> {
         self,
         on_progress: &mut dyn FnMut(BuildProgress),
     ) -> Result<(DeepSketch, BuildReport), BuildError> {
+        let obs = ds_obs::global();
+        let _build_span = obs.span("build");
         // Steps 1-2: samples + training queries.
         let t0 = Instant::now();
+        let gen_span = obs.span("generate");
         let samples = sample_all(self.db, self.sample_size, self.seed ^ 0x5A);
         let mut gen_cfg = GeneratorConfig::new(self.predicate_columns.clone(), self.seed ^ 0x9E);
         gen_cfg.max_tables = match &self.tables {
@@ -273,12 +278,17 @@ impl<'a> SketchBuilder<'a> {
         let mut generator = QueryGenerator::new(self.db, gen_cfg);
         let queries: Vec<Query> = generator.generate_batch(self.training_queries);
         let generation = t0.elapsed();
+        drop(gen_span);
+        if obs.is_enabled() {
+            obs.count("build/queries_generated", queries.len() as u64);
+        }
         on_progress(BuildProgress::QueriesGenerated {
             count: queries.len(),
         });
 
         // Step 3: execute for labels, in chunks so progress is observable.
         let t1 = Instant::now();
+        let exec_span = obs.span("execute");
         let exec_queries: Vec<_> = queries.iter().map(Query::to_exec).collect();
         let chunk_size = (exec_queries.len() / 20).max(1);
         let mut labels = Vec::with_capacity(exec_queries.len());
@@ -290,14 +300,19 @@ impl<'a> SketchBuilder<'a> {
             });
         }
         let execution = t1.elapsed();
+        drop(exec_span);
 
-        // Step 4: featurize + train.
+        // Step 4a: build the featurizer (vocabulary + encoders).
+        let t2 = Instant::now();
+        let feat_span = obs.span("featurize");
         let featurizer = Featurizer::build_with_options(
             self.db,
             &self.predicate_columns,
             self.sample_size,
             self.use_bitmaps,
         );
+        let featurization = t2.elapsed();
+        drop(feat_span);
         let normalizer = LabelNormalizer::fit(&labels);
         let mut model = MscnModel::new(
             featurizer.table_dim(),
@@ -350,6 +365,7 @@ impl<'a> SketchBuilder<'a> {
         let report = BuildReport {
             generation,
             execution,
+            featurization,
             training,
             num_queries: queries.len(),
             footprint_bytes,

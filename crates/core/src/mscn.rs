@@ -246,13 +246,25 @@ impl MscnModel {
     /// [`MscnModel::forward`] into a reusable cache; read the outputs via
     /// [`ForwardCache::output`]. This is the allocation-free hot path.
     pub fn forward_into(&self, batch: &FeatureBatch, cache: &mut ForwardCache) {
+        let obs = ds_obs::global();
+        let _fwd = obs.span("forward");
         let pool = self.pool;
-        self.tables
-            .forward_into(&batch.tables, &batch.table_segs, pool, &mut cache.t);
-        self.joins
-            .forward_into(&batch.joins, &batch.join_segs, pool, &mut cache.j);
-        self.preds
-            .forward_into(&batch.preds, &batch.pred_segs, pool, &mut cache.p);
+        {
+            let _s = obs.span("tables");
+            self.tables
+                .forward_into(&batch.tables, &batch.table_segs, pool, &mut cache.t);
+        }
+        {
+            let _s = obs.span("joins");
+            self.joins
+                .forward_into(&batch.joins, &batch.join_segs, pool, &mut cache.j);
+        }
+        {
+            let _s = obs.span("preds");
+            self.preds
+                .forward_into(&batch.preds, &batch.pred_segs, pool, &mut cache.p);
+        }
+        let _out = obs.span("output");
         Tensor::concat_cols_into(
             &[&cache.t.pooled, &cache.j.pooled, &cache.p.pooled],
             &mut cache.concat,
@@ -289,33 +301,45 @@ impl MscnModel {
         grad_y: &Tensor,
         s: &mut BackwardScratch,
     ) {
+        let obs = ds_obs::global();
+        let _bwd = obs.span("backward");
         let pool = self.pool;
-        sigmoid_backward_into(&cache.y, grad_y, &mut s.g_z4);
-        self.out2
-            .accumulate_grads(&cache.a3, &s.g_z4, Kernel::Dense, pool, &mut s.gw);
-        self.out2.input_grad_into(&s.g_z4, pool, &mut s.g_a3);
-        relu_backward_inplace(&cache.z3, &mut s.g_a3); // now ∂L/∂z3
-        self.out1
-            .accumulate_grads(&cache.concat, &s.g_a3, Kernel::Dense, pool, &mut s.gw);
-        self.out1.input_grad_into(&s.g_a3, pool, &mut s.g_concat);
+        {
+            let _s = obs.span("output");
+            sigmoid_backward_into(&cache.y, grad_y, &mut s.g_z4);
+            self.out2
+                .accumulate_grads(&cache.a3, &s.g_z4, Kernel::Dense, pool, &mut s.gw);
+            self.out2.input_grad_into(&s.g_z4, pool, &mut s.g_a3);
+            relu_backward_inplace(&cache.z3, &mut s.g_a3); // now ∂L/∂z3
+            self.out1
+                .accumulate_grads(&cache.concat, &s.g_a3, Kernel::Dense, pool, &mut s.gw);
+            self.out1.input_grad_into(&s.g_a3, pool, &mut s.g_concat);
+        }
         let h = self.hidden;
         s.g_concat.split_cols_into(&[h, h, h], &mut s.g_parts);
-        self.tables.backward_with(
-            &batch.tables,
-            &batch.table_segs,
-            &cache.t,
-            &s.g_parts[0],
-            pool,
-            &mut s.set,
-        );
-        self.joins.backward_with(
-            &batch.joins,
-            &batch.join_segs,
-            &cache.j,
-            &s.g_parts[1],
-            pool,
-            &mut s.set,
-        );
+        {
+            let _s = obs.span("tables");
+            self.tables.backward_with(
+                &batch.tables,
+                &batch.table_segs,
+                &cache.t,
+                &s.g_parts[0],
+                pool,
+                &mut s.set,
+            );
+        }
+        {
+            let _s = obs.span("joins");
+            self.joins.backward_with(
+                &batch.joins,
+                &batch.join_segs,
+                &cache.j,
+                &s.g_parts[1],
+                pool,
+                &mut s.set,
+            );
+        }
+        let _s = obs.span("preds");
         self.preds.backward_with(
             &batch.preds,
             &batch.pred_segs,

@@ -124,6 +124,7 @@ impl SketchStore {
                 report: None,
             },
         );
+        ds_obs::global().count("store/inserts", 1);
         Ok(())
     }
 
@@ -277,7 +278,11 @@ impl SketchStore {
 
     /// Removes a sketch (any state). Returns true if it existed.
     pub fn remove(&self, name: &str) -> bool {
-        self.slots.write().remove(name).is_some()
+        let existed = self.slots.write().remove(name).is_some();
+        if existed {
+            ds_obs::global().count("store/removes", 1);
+        }
+        existed
     }
 
     /// Persists every ready sketch to `dir` as `<name>.sketch`.
@@ -340,12 +345,21 @@ impl SketchStore {
                 }
             };
             if let Some(result) = done {
+                let obs = ds_obs::global();
                 let slot = match result {
-                    Ok((sketch, report)) => Slot::Ready {
-                        sketch: Arc::new(sketch),
-                        report: Some(report),
-                    },
-                    Err(e) => Slot::Failed(e),
+                    Ok((sketch, report)) => {
+                        // A Training slot becoming Ready is the atomic swap
+                        // serving traffic observes.
+                        obs.count("store/swaps_ready", 1);
+                        Slot::Ready {
+                            sketch: Arc::new(sketch),
+                            report: Some(report),
+                        }
+                    }
+                    Err(e) => {
+                        obs.count("store/swaps_failed", 1);
+                        Slot::Failed(e)
+                    }
                 };
                 slots.insert(name, slot);
             }

@@ -11,7 +11,7 @@ use ds_query::query::Query;
 use ds_storage::sample::TableSample;
 
 use crate::featurize::{Featurizer, QueryFeatures};
-use crate::metrics::qerror;
+use crate::metrics::{percentile, qerror};
 use crate::mscn::{BackwardScratch, ForwardCache, MscnModel};
 
 /// Which training objective to use.
@@ -83,6 +83,12 @@ pub struct EpochStats {
     pub train_loss: f64,
     /// Mean q-error on the validation split, if one exists.
     pub val_mean_qerror: Option<f64>,
+    /// Median q-error on the validation split, if one exists.
+    pub val_median_qerror: Option<f64>,
+    /// 95th-percentile q-error on the validation split, if one exists.
+    pub val_p95_qerror: Option<f64>,
+    /// Training examples processed per wall-clock second in this epoch.
+    pub rows_per_sec: f64,
     /// Wall-clock duration of the epoch.
     pub duration: Duration,
 }
@@ -94,6 +100,8 @@ pub struct TrainingReport {
     pub epochs: Vec<EpochStats>,
     /// Total wall-clock training time.
     pub total_duration: Duration,
+    /// Wall-clock time spent featurizing the workload up front.
+    pub featurize_duration: Duration,
     /// Number of training examples used (after the validation split).
     pub train_examples: usize,
     /// Number of validation examples.
@@ -124,16 +132,22 @@ impl TrainingReport {
             .min_by(|a, b| a.partial_cmp(b).expect("finite"))
     }
 
-    /// Writes the per-epoch curve as CSV (`epoch,train_loss,val_qerror,secs`)
-    /// — the reproduction's stand-in for the demo's TensorBoard pane.
+    /// Writes the per-epoch curve as CSV — the reproduction's stand-in for
+    /// the demo's TensorBoard pane.
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("epoch,train_loss,val_mean_qerror,seconds\n");
+        let mut out = String::from(
+            "epoch,train_loss,val_mean_qerror,val_median_qerror,val_p95_qerror,rows_per_sec,seconds\n",
+        );
+        let opt = |v: Option<f64>| v.map_or(String::new(), |v| v.to_string());
         for e in &self.epochs {
             out.push_str(&format!(
-                "{},{},{},{}\n",
+                "{},{},{},{},{},{},{}\n",
                 e.epoch,
                 e.train_loss,
-                e.val_mean_qerror.map_or(String::new(), |v| v.to_string()),
+                opt(e.val_mean_qerror),
+                opt(e.val_median_qerror),
+                opt(e.val_p95_qerror),
+                e.rows_per_sec,
                 e.duration.as_secs_f64()
             ));
         }
@@ -190,11 +204,17 @@ pub fn train_with_callback(
         "validation_frac must be in [0, 1)"
     );
 
+    let obs = ds_obs::global();
+    let _train_span = obs.span("train");
     let start = Instant::now();
-    let feats: Vec<QueryFeatures> = queries
-        .iter()
-        .map(|q| featurizer.featurize(q, samples))
-        .collect();
+    let feats: Vec<QueryFeatures> = {
+        let _s = obs.span("featurize");
+        queries
+            .iter()
+            .map(|q| featurizer.featurize(q, samples))
+            .collect()
+    };
+    let featurize_duration = start.elapsed();
 
     // Deterministic validation split.
     let mut idx: Vec<usize> = (0..queries.len()).collect();
@@ -231,6 +251,7 @@ pub fn train_with_callback(
     let val_batch = (!val_idx.is_empty()).then(|| featurizer.batch_indexed(&feats, val_idx));
 
     for epoch in 0..cfg.epochs {
+        let _epoch_span = obs.span("epoch");
         let epoch_start = Instant::now();
         if let Some(s) = &schedule {
             adam.set_lr(s.lr_at(epoch));
@@ -264,22 +285,39 @@ pub fn train_with_callback(
             batches += 1;
         }
 
-        let val_mean_qerror = val_batch.as_ref().map(|batch| {
+        let val_stats = val_batch.as_ref().map(|batch| {
+            let _s = obs.span("validate");
             model.forward_into(batch, &mut cache);
-            val_idx
+            let mut qerrs: Vec<f64> = val_idx
                 .iter()
                 .zip(cache.output().data())
                 .map(|(&i, &p)| qerror(normalizer.denormalize(p), labels[i] as f64))
-                .sum::<f64>()
-                / val_idx.len() as f64
+                .collect();
+            let mean = qerrs.iter().sum::<f64>() / qerrs.len() as f64;
+            qerrs.sort_by(|a, b| a.partial_cmp(b).expect("finite q-error"));
+            (mean, percentile(&qerrs, 0.5), percentile(&qerrs, 0.95))
         });
+        let val_mean_qerror = val_stats.map(|(m, _, _)| m);
 
+        let duration = epoch_start.elapsed();
         let stats = EpochStats {
             epoch,
             train_loss: loss_sum / batches.max(1) as f64,
             val_mean_qerror,
-            duration: epoch_start.elapsed(),
+            val_median_qerror: val_stats.map(|(_, m, _)| m),
+            val_p95_qerror: val_stats.map(|(_, _, p)| p),
+            rows_per_sec: train_idx.len() as f64 / duration.as_secs_f64().max(1e-9),
+            duration,
         };
+        if obs.is_enabled() {
+            obs.gauge("train/loss", stats.train_loss);
+            obs.gauge("train/rows_per_sec", stats.rows_per_sec);
+            if let Some((mean, median, p95)) = val_stats {
+                obs.gauge("train/val_mean_qerror", mean);
+                obs.gauge("train/val_median_qerror", median);
+                obs.gauge("train/val_p95_qerror", p95);
+            }
+        }
         on_epoch(&stats);
         epochs.push(stats);
 
@@ -320,6 +358,7 @@ pub fn train_with_callback(
     TrainingReport {
         epochs,
         total_duration: start.elapsed(),
+        featurize_duration,
         train_examples: train_idx.len(),
         val_examples: val_idx.len(),
         stopped_early,

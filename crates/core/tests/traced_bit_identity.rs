@@ -1,0 +1,54 @@
+//! Tracing must only ever *measure*: building the same sketch with the
+//! global tracer enabled and disabled has to produce bit-identical weights
+//! and bit-identical estimates. This test lives alone in its own binary so
+//! toggling the process-global tracer cannot race other tests.
+
+use ds_core::builder::SketchBuilder;
+use ds_query::workloads::imdb_predicate_columns;
+use ds_storage::gen::{imdb_database, ImdbConfig};
+
+fn build_bytes(db: &ds_storage::catalog::Database, threads: usize) -> Vec<u8> {
+    SketchBuilder::new(db, imdb_predicate_columns(db))
+        .training_queries(200)
+        .epochs(3)
+        .sample_size(32)
+        .hidden_units(16)
+        .threads(threads)
+        .seed(0x0B5)
+        .build()
+        .expect("build sketch")
+        .to_bytes()
+}
+
+#[test]
+fn traced_and_untraced_training_are_bit_identical() {
+    let db = imdb_database(&ImdbConfig::tiny(7));
+    let obs = ds_obs::global();
+    assert!(!obs.is_enabled(), "tracer must start disabled");
+
+    for threads in [1, 2] {
+        let untraced = build_bytes(&db, threads);
+
+        obs.enable();
+        let traced = build_bytes(&db, threads);
+        obs.disable();
+
+        assert_eq!(
+            untraced, traced,
+            "tracing perturbed the trained sketch at {threads} thread(s)"
+        );
+    }
+
+    // The traced runs must actually have recorded the lifecycle spans —
+    // otherwise this test would pass vacuously with instrumentation dead.
+    for path in ["build", "build/train", "build/train/epoch"] {
+        let stat = obs
+            .span_stat(path)
+            .unwrap_or_else(|| panic!("span {path} missing"));
+        assert!(stat.count > 0, "span {path} never completed");
+    }
+    assert!(
+        obs.counter_value("build/queries_generated") >= 200,
+        "builder counters missing"
+    );
+}

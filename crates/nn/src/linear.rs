@@ -89,6 +89,7 @@ impl Linear {
 
     /// [`Linear::forward`] into a reusable output tensor.
     pub fn forward_into(&self, x: &Tensor, kernel: Kernel, pool: PoolConfig, out: &mut Tensor) {
+        let _span = ds_obs::global().span("linear_fwd");
         x.matmul_into(&self.w, kernel, pool, out);
         out.add_row_broadcast(&self.b);
     }
@@ -124,6 +125,7 @@ impl Linear {
     ) {
         assert_eq!(grad_out.rows(), x.rows(), "batch mismatch");
         assert_eq!(grad_out.cols(), self.out_dim(), "grad width mismatch");
+        let _span = ds_obs::global().span("linear_bwd_grads");
         // ∂L/∂W = xᵀ · grad_out — computed in full, then accumulated, so
         // the FP order matches the original single-allocation backward.
         x.t_matmul_into(grad_out, kernel, pool, gw_scratch);
@@ -139,6 +141,7 @@ impl Linear {
     /// Computes `∂L/∂x = grad_out · Wᵀ` into a reusable tensor. Combined
     /// with [`Linear::accumulate_grads`] this is the full backward pass.
     pub fn input_grad_into(&self, grad_out: &Tensor, pool: PoolConfig, out: &mut Tensor) {
+        let _span = ds_obs::global().span("linear_bwd_input");
         grad_out.matmul_t_into(&self.w, pool, out);
     }
 

@@ -68,6 +68,17 @@ where
         return;
     }
     let t = threads.max(1).min(rows);
+    let obs = ds_obs::global();
+    if obs.is_enabled() {
+        // Dispatch accounting: how often kernels stay serial vs fan out,
+        // and how many workers the parallel dispatches actually used.
+        if t == 1 {
+            obs.count("nn/dispatch/serial", 1);
+        } else {
+            obs.count("nn/dispatch/parallel", 1);
+            obs.count("nn/dispatch/worker_threads", t as u64);
+        }
+    }
     if t == 1 {
         f(0, data);
         return;

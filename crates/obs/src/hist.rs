@@ -1,0 +1,209 @@
+//! Lock-free log₂ histograms — the workspace-wide latency/size
+//! distribution type, generalized out of the serving metrics.
+//!
+//! Every record operation is a handful of relaxed atomic updates — safe to
+//! call from every connection handler, batch worker, and training thread
+//! with no shared locks on the hot path. Percentiles are derived from the
+//! buckets at snapshot time; with power-of-two buckets they are upper
+//! bounds accurate to 2×, which is the right fidelity for a dashboard
+//! (and costs nothing to maintain).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log₂ buckets: covers values up to 2⁴⁷ µs (~4.5 years) — in
+/// practice every observable latency and batch size.
+const BUCKETS: usize = 48;
+
+/// A histogram over `u64` values with power-of-two buckets. Bucket `i`
+/// holds values `v` with `bit_len(v) == i`, i.e. `[2^(i-1), 2^i)`; bucket 0
+/// holds zeros.
+///
+/// Quantiles are **deterministic for every population**, including the
+/// edge cases the old serving histogram fudged:
+///
+/// * an empty histogram reports 0 for every quantile;
+/// * a single-sample histogram reports that sample exactly (the bucket
+///   bound is clamped to the observed `[min, max]` range);
+/// * `quantile(0.0)` is the observed minimum, `quantile(1.0)` the
+///   observed maximum — never a bucket bound beyond the data.
+#[derive(Debug)]
+pub struct LogHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bucket_of(v: u64) -> usize {
+        ((u64::BITS - v.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+
+    /// Records one value.
+    pub fn record(&self, v: u64) {
+        self.buckets[Self::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum.load(Ordering::Relaxed) as f64 / n as f64
+        }
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        let v = self.min.load(Ordering::Relaxed);
+        if v == u64::MAX && self.count() == 0 {
+            0
+        } else {
+            v
+        }
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile (`q` in
+    /// `[0, 1]`), clamped to the observed `[min, max]` range — a ≤2×
+    /// overestimate of the true percentile that never exceeds the data.
+    /// 0 when empty; the exact sample when only one value was recorded.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let (min, max) = (self.min(), self.max());
+        if q <= 0.0 {
+            return min;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                let upper = if i == 0 { 0 } else { 1u64 << i };
+                return upper.clamp(min, max);
+            }
+        }
+        max
+    }
+
+    /// Resets the histogram to empty.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_bound_the_data() {
+        let h = LogHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 1000);
+        assert!((h.mean() - 500.5).abs() < 1e-9);
+        // Upper-bound property: quantile(q) >= true percentile, within one
+        // power of two of it, and never beyond the observed max.
+        let p50 = h.quantile(0.5);
+        assert!((500..=1000).contains(&p50), "p50={p50}");
+        let p99 = h.quantile(0.99);
+        assert!((990..=1000).contains(&p99), "p99={p99}");
+        assert_eq!(h.quantile(0.0), 1);
+        assert_eq!(h.quantile(1.0), 1000);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = LogHistogram::new();
+        for q in [0.0, 0.5, 0.95, 1.0] {
+            assert_eq!(h.quantile(q), 0);
+        }
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn single_sample_is_exact_at_every_quantile() {
+        for v in [0u64, 1, 7, 100, 1 << 20, u64::MAX] {
+            let h = LogHistogram::new();
+            h.record(v);
+            for q in [0.0, 0.25, 0.5, 0.95, 0.99, 1.0] {
+                assert_eq!(h.quantile(q), v, "v={v} q={q}");
+            }
+        }
+    }
+
+    #[test]
+    fn zeros_land_in_bucket_zero() {
+        let h = LogHistogram::new();
+        h.record(0);
+        h.record(0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.max(), 0);
+        h.record(8);
+        assert_eq!(h.quantile(1.0), 8);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let h = LogHistogram::new();
+        h.record(5);
+        h.record(500);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        h.record(3);
+        assert_eq!(h.quantile(0.5), 3);
+    }
+}

@@ -1,0 +1,78 @@
+//! `ds-obs`: zero-dependency structured tracing and metrics for the Deep
+//! Sketches workspace.
+//!
+//! The sketch lifecycle — build, train, swap, serve — is instrumented
+//! against this crate:
+//!
+//! * **Spans** ([`Tracer::span`]) time hierarchical phases; completions
+//!   aggregate thread-safely under `/`-joined paths
+//!   (`build/train/epoch/forward/tables`), so a whole training run
+//!   produces a compact breakdown instead of an event stream.
+//! * **Typed scalars** — monotonic [`Counter`]s, last-value [`Gauge`]s
+//!   with min/max/mean aggregation, and lock-free log₂ [`LogHistogram`]s
+//!   for latency/size distributions (the same histogram the serving
+//!   `METRICS` command reports).
+//! * **Sinks** — [`TraceReport::capture`] snapshots a tracer;
+//!   [`PrettySink`] renders it for humans (stderr), [`JsonSink`] for
+//!   machines. The [`json`] module is the workspace's minimal JSON
+//!   parser/emitter (the offline build has no serde), also used by the
+//!   benchmark harness to diff `BENCH_*.json` baselines.
+//!
+//! Instrumentation is **off by default** and costs one relaxed atomic
+//! load per call site when disabled, so hot serving/training paths pay
+//! effectively nothing until someone turns tracing on. Tracing only
+//! measures — estimates and trained weights are bit-identical with
+//! tracing on or off.
+//!
+//! ```
+//! let tracer = ds_obs::global();
+//! tracer.enable();
+//! {
+//!     let _build = tracer.span("build");
+//!     let _train = tracer.span("train");
+//!     tracer.gauge("train/loss", 0.12);
+//! }
+//! let report = ds_obs::TraceReport::capture(tracer);
+//! assert!(report.spans.iter().any(|s| s.path == "build/train"));
+//! tracer.disable();
+//! # tracer.reset();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod counter;
+pub mod hist;
+pub mod json;
+pub mod sink;
+pub mod span;
+
+pub use counter::{Counter, Gauge};
+pub use hist::LogHistogram;
+pub use json::{JsonError, JsonValue};
+pub use sink::{GaugeReport, HistReport, JsonSink, PrettySink, Sink, SpanReport, TraceReport};
+pub use span::{Span, SpanStat, Tracer};
+
+use std::sync::OnceLock;
+
+static GLOBAL: OnceLock<Tracer> = OnceLock::new();
+
+/// The process-wide tracer every instrumented crate records into.
+/// Disabled until [`Tracer::enable`] is called on it.
+pub fn global() -> &'static Tracer {
+    GLOBAL.get_or_init(Tracer::new)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn global_is_a_disabled_singleton() {
+        let a = super::global();
+        let b = super::global();
+        assert!(std::ptr::eq(a, b));
+        // Off by default: recording without enable() is a no-op. (Other
+        // tests use their own Tracer instances, so the global stays
+        // untouched here.)
+        a.count("lib_test/noop", 1);
+        assert_eq!(a.counter_value("lib_test/noop"), 0);
+    }
+}

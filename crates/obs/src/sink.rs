@@ -1,0 +1,329 @@
+//! Trace reports and pluggable sinks.
+//!
+//! A [`TraceReport`] is a point-in-time snapshot of everything a
+//! [`Tracer`](crate::Tracer) aggregated: span timings, counters, gauges,
+//! and histograms. Sinks render it — [`PrettySink`] writes the
+//! human-readable table (stderr by default), [`JsonSink`] the
+//! machine-readable form dashboards and the benchmark harness consume.
+
+use std::io::Write;
+
+use crate::json::JsonValue;
+use crate::span::{SpanStat, Tracer};
+
+/// One span path with its aggregate timing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanReport {
+    /// `/`-joined hierarchical path.
+    pub path: String,
+    /// Aggregates across all completions.
+    pub stat: SpanStat,
+}
+
+/// One gauge with its aggregates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaugeReport {
+    /// Registered name.
+    pub name: String,
+    /// Latest observation.
+    pub last: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Mean across observations.
+    pub mean: f64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+/// One histogram with derived percentiles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistReport {
+    /// Registered name.
+    pub name: String,
+    /// Number of recorded values.
+    pub count: u64,
+    /// Mean value.
+    pub mean: f64,
+    /// Median upper bound.
+    pub p50: u64,
+    /// 95th-percentile upper bound.
+    pub p95: u64,
+    /// 99th-percentile upper bound.
+    pub p99: u64,
+    /// Largest recorded value.
+    pub max: u64,
+}
+
+/// A point-in-time snapshot of a tracer's aggregates, ready for a sink.
+/// All sections are sorted by name for deterministic output.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceReport {
+    /// Completed span paths.
+    pub spans: Vec<SpanReport>,
+    /// Counter values.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge aggregates.
+    pub gauges: Vec<GaugeReport>,
+    /// Histogram aggregates.
+    pub hists: Vec<HistReport>,
+}
+
+impl TraceReport {
+    /// Snapshots `tracer` (works whether or not it is currently enabled).
+    pub fn capture(tracer: &Tracer) -> Self {
+        let spans = tracer
+            .span_stats()
+            .into_iter()
+            .map(|(path, stat)| SpanReport { path, stat })
+            .collect();
+        let mut counters = Vec::new();
+        let mut gauges = Vec::new();
+        let mut hists = Vec::new();
+        tracer.visit_registries(
+            |name, c| counters.push((name.to_string(), c.get())),
+            |name, g| {
+                gauges.push(GaugeReport {
+                    name: name.to_string(),
+                    last: g.last(),
+                    min: g.min(),
+                    max: g.max(),
+                    mean: g.mean(),
+                    count: g.count(),
+                })
+            },
+            |name, h| {
+                hists.push(HistReport {
+                    name: name.to_string(),
+                    count: h.count(),
+                    mean: h.mean(),
+                    p50: h.quantile(0.50),
+                    p95: h.quantile(0.95),
+                    p99: h.quantile(0.99),
+                    max: h.max(),
+                })
+            },
+        );
+        Self {
+            spans,
+            counters,
+            gauges,
+            hists,
+        }
+    }
+
+    /// True if nothing was ever recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+            && self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.hists.is_empty()
+    }
+
+    /// The human-readable rendering written by [`PrettySink`].
+    pub fn to_pretty(&self) -> String {
+        fn secs(ns: u64) -> String {
+            let s = ns as f64 / 1e9;
+            if s >= 1.0 {
+                format!("{s:.3}s")
+            } else if s >= 1e-3 {
+                format!("{:.3}ms", s * 1e3)
+            } else {
+                format!("{:.1}µs", s * 1e6)
+            }
+        }
+        let mut out = String::from("== trace report ==\n");
+        if !self.spans.is_empty() {
+            out.push_str("spans:\n");
+            for s in &self.spans {
+                out.push_str(&format!(
+                    "  {:<48} n={:<8} total={:>10} mean={:>10} max={:>10}\n",
+                    s.path,
+                    s.stat.count,
+                    secs(s.stat.total_ns),
+                    secs(s.stat.mean_ns() as u64),
+                    secs(s.stat.max_ns),
+                ));
+            }
+        }
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (name, v) in &self.counters {
+                out.push_str(&format!("  {name:<48} {v}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for g in &self.gauges {
+                out.push_str(&format!(
+                    "  {:<48} last={:<12.4} min={:<12.4} max={:<12.4} mean={:<12.4} n={}\n",
+                    g.name, g.last, g.min, g.max, g.mean, g.count
+                ));
+            }
+        }
+        if !self.hists.is_empty() {
+            out.push_str("histograms:\n");
+            for h in &self.hists {
+                out.push_str(&format!(
+                    "  {:<48} n={:<8} mean={:<10.2} p50={:<8} p95={:<8} p99={:<8} max={}\n",
+                    h.name, h.count, h.mean, h.p50, h.p95, h.p99, h.max
+                ));
+            }
+        }
+        if self.is_empty() {
+            out.push_str("(empty)\n");
+        }
+        out
+    }
+
+    /// The machine-readable rendering written by [`JsonSink`].
+    pub fn to_json(&self) -> JsonValue {
+        let spans = self
+            .spans
+            .iter()
+            .map(|s| {
+                JsonValue::Obj(vec![
+                    ("path".into(), JsonValue::Str(s.path.clone())),
+                    ("count".into(), JsonValue::Num(s.stat.count as f64)),
+                    ("total_ns".into(), JsonValue::Num(s.stat.total_ns as f64)),
+                    ("mean_ns".into(), JsonValue::Num(s.stat.mean_ns())),
+                    ("min_ns".into(), JsonValue::Num(s.stat.min_ns as f64)),
+                    ("max_ns".into(), JsonValue::Num(s.stat.max_ns as f64)),
+                ])
+            })
+            .collect();
+        let counters = self
+            .counters
+            .iter()
+            .map(|(name, v)| {
+                JsonValue::Obj(vec![
+                    ("name".into(), JsonValue::Str(name.clone())),
+                    ("value".into(), JsonValue::Num(*v as f64)),
+                ])
+            })
+            .collect();
+        let gauges = self
+            .gauges
+            .iter()
+            .map(|g| {
+                JsonValue::Obj(vec![
+                    ("name".into(), JsonValue::Str(g.name.clone())),
+                    ("last".into(), JsonValue::Num(g.last)),
+                    ("min".into(), JsonValue::Num(g.min)),
+                    ("max".into(), JsonValue::Num(g.max)),
+                    ("mean".into(), JsonValue::Num(g.mean)),
+                    ("count".into(), JsonValue::Num(g.count as f64)),
+                ])
+            })
+            .collect();
+        let hists = self
+            .hists
+            .iter()
+            .map(|h| {
+                JsonValue::Obj(vec![
+                    ("name".into(), JsonValue::Str(h.name.clone())),
+                    ("count".into(), JsonValue::Num(h.count as f64)),
+                    ("mean".into(), JsonValue::Num(h.mean)),
+                    ("p50".into(), JsonValue::Num(h.p50 as f64)),
+                    ("p95".into(), JsonValue::Num(h.p95 as f64)),
+                    ("p99".into(), JsonValue::Num(h.p99 as f64)),
+                    ("max".into(), JsonValue::Num(h.max as f64)),
+                ])
+            })
+            .collect();
+        JsonValue::Obj(vec![
+            ("spans".into(), JsonValue::Arr(spans)),
+            ("counters".into(), JsonValue::Arr(counters)),
+            ("gauges".into(), JsonValue::Arr(gauges)),
+            ("histograms".into(), JsonValue::Arr(hists)),
+        ])
+    }
+}
+
+/// Where a trace report goes. Implementations must not panic on I/O
+/// failure — they surface it as `io::Error`.
+pub trait Sink {
+    /// Renders and writes one report.
+    fn emit(&mut self, report: &TraceReport) -> std::io::Result<()>;
+}
+
+/// Human-readable sink over any writer; `PrettySink::stderr()` is the
+/// interactive default.
+pub struct PrettySink<W: Write>(pub W);
+
+impl PrettySink<std::io::Stderr> {
+    /// A pretty-printer to stderr.
+    pub fn stderr() -> Self {
+        Self(std::io::stderr())
+    }
+}
+
+impl<W: Write> Sink for PrettySink<W> {
+    fn emit(&mut self, report: &TraceReport) -> std::io::Result<()> {
+        self.0.write_all(report.to_pretty().as_bytes())
+    }
+}
+
+/// Machine-readable sink: one pretty-printed JSON document per emit.
+pub struct JsonSink<W: Write>(pub W);
+
+impl<W: Write> Sink for JsonSink<W> {
+    fn emit(&mut self, report: &TraceReport) -> std::io::Result<()> {
+        self.0.write_all(report.to_json().to_pretty().as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> TraceReport {
+        let t = Tracer::new();
+        t.enable();
+        {
+            let _a = t.span("build");
+            let _b = t.span("train");
+        }
+        t.count("queries", 7);
+        t.gauge("loss", 0.25);
+        t.observe("latency_us", 100);
+        t.observe("latency_us", 300);
+        TraceReport::capture(&t)
+    }
+
+    #[test]
+    fn capture_collects_all_sections() {
+        let r = sample_report();
+        assert_eq!(r.spans.len(), 2);
+        assert_eq!(r.counters, vec![("queries".to_string(), 7)]);
+        assert_eq!(r.gauges.len(), 1);
+        assert_eq!(r.hists.len(), 1);
+        assert_eq!(r.hists[0].count, 2);
+        assert!(!r.is_empty());
+        assert!(TraceReport::default().is_empty());
+    }
+
+    #[test]
+    fn sinks_render_both_formats() {
+        let r = sample_report();
+        let mut pretty = Vec::new();
+        PrettySink(&mut pretty).emit(&r).unwrap();
+        let text = String::from_utf8(pretty).unwrap();
+        assert!(text.contains("build/train"));
+        assert!(text.contains("queries"));
+
+        let mut json = Vec::new();
+        JsonSink(&mut json).emit(&r).unwrap();
+        let doc = JsonValue::parse(std::str::from_utf8(&json).unwrap()).unwrap();
+        let spans = doc.get("spans").unwrap().as_array().unwrap();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(
+            doc.get("counters").unwrap().as_array().unwrap()[0]
+                .get("value")
+                .unwrap()
+                .as_f64(),
+            Some(7.0)
+        );
+    }
+}

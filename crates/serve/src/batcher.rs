@@ -273,8 +273,14 @@ fn worker_loop(inner: &Inner) {
         }
 
         // One coalesced forward pass outside the lock.
+        let obs = ds_obs::global();
+        let span = obs.span("serve/batch");
         let queries: Vec<Query> = batch.iter().map(|j| j.query.clone()).collect();
         let results = batch[0].estimator.try_estimate_batch(&queries);
+        drop(span);
+        if obs.is_enabled() {
+            obs.observe("serve/batch_size", batch.len() as u64);
+        }
         inner.metrics.record_batch(batch.len());
         for (job, result) in batch.into_iter().zip(results) {
             // A failed send means the waiter gave up; nothing to do.

@@ -1,116 +1,38 @@
-//! Lock-free serving metrics: monotonic counters plus log₂ histograms for
-//! request latency and coalesced batch sizes.
+//! Serving metrics built on the workspace observability layer (`ds-obs`):
+//! monotonic counters plus log₂ histograms for request latency and
+//! coalesced batch sizes.
 //!
 //! Every record operation is a handful of relaxed atomic adds — safe to
 //! call from every connection handler and batch worker with no shared
 //! locks on the hot path. Percentiles are derived from the histograms at
 //! snapshot time; with power-of-two buckets they are upper bounds accurate
 //! to 2×, which is the right fidelity for a serving dashboard (and costs
-//! nothing to maintain).
+//! nothing to maintain). Quantiles are deterministic at the edges: an
+//! empty histogram reports 0 everywhere, and a single-sample histogram
+//! reports exactly that sample at every quantile (the bucket upper bound
+//! is clamped to the observed min/max).
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-/// Number of log₂ buckets: covers values up to 2⁴⁷ µs (~4.5 years) — in
-/// practice every observable latency and batch size.
-const BUCKETS: usize = 48;
-
-/// A histogram over `u64` values with power-of-two buckets. Bucket `i`
-/// holds values `v` with `bit_len(v) == i`, i.e. `[2^(i-1), 2^i)`; bucket 0
-/// holds zeros.
-#[derive(Debug)]
-pub struct LogHistogram {
-    buckets: [AtomicU64; BUCKETS],
-    count: AtomicU64,
-    sum: AtomicU64,
-    max: AtomicU64,
-}
-
-impl Default for LogHistogram {
-    fn default() -> Self {
-        Self {
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-            count: AtomicU64::new(0),
-            sum: AtomicU64::new(0),
-            max: AtomicU64::new(0),
-        }
-    }
-}
-
-impl LogHistogram {
-    /// Creates an empty histogram.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    fn bucket_of(v: u64) -> usize {
-        ((u64::BITS - v.leading_zeros()) as usize).min(BUCKETS - 1)
-    }
-
-    /// Records one value.
-    pub fn record(&self, v: u64) {
-        self.buckets[Self::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(v, Ordering::Relaxed);
-        self.max.fetch_max(v, Ordering::Relaxed);
-    }
-
-    /// Number of recorded values.
-    pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
-    }
-
-    /// Mean of recorded values (0 when empty).
-    pub fn mean(&self) -> f64 {
-        let n = self.count();
-        if n == 0 {
-            0.0
-        } else {
-            self.sum.load(Ordering::Relaxed) as f64 / n as f64
-        }
-    }
-
-    /// Largest recorded value.
-    pub fn max(&self) -> u64 {
-        self.max.load(Ordering::Relaxed)
-    }
-
-    /// Upper bound of the bucket containing the `q`-quantile (`q` in
-    /// `[0, 1]`), i.e. a ≤2× overestimate of the true percentile. 0 when
-    /// empty.
-    pub fn quantile(&self, q: f64) -> u64 {
-        let total = self.count();
-        if total == 0 {
-            return 0;
-        }
-        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
-        let mut seen = 0u64;
-        for (i, b) in self.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
-            if seen >= rank {
-                return if i == 0 { 0 } else { 1u64 << i };
-            }
-        }
-        self.max()
-    }
-}
+use ds_obs::Counter;
+pub use ds_obs::LogHistogram;
 
 /// Serving counters, shared via `Arc` between the acceptor, connection
 /// handlers, and batch workers.
 #[derive(Debug, Default)]
 pub struct Metrics {
     /// Request lines received (all commands).
-    pub requests: AtomicU64,
+    pub requests: Counter,
     /// Successful `OK` responses.
-    pub ok: AtomicU64,
+    pub ok: Counter,
     /// `ERR` responses (parse, vocabulary, unknown sketch, …).
-    pub errors: AtomicU64,
+    pub errors: Counter,
     /// Requests shed with `BUSY` (admission queue or connection limit).
-    pub shed: AtomicU64,
+    pub shed: Counter,
     /// Requests that exceeded their deadline.
-    pub timeouts: AtomicU64,
+    pub timeouts: Counter,
     /// Estimate micro-batches executed.
-    pub batches: AtomicU64,
+    pub batches: Counter,
     /// Request latency in microseconds (ESTIMATE requests).
     pub latency_us: LogHistogram,
     /// Coalesced batch-size distribution.
@@ -125,45 +47,45 @@ impl Metrics {
 
     /// Counts one received request line.
     pub fn record_request(&self) {
-        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.requests.inc();
     }
 
     /// Counts a successful estimate with its end-to-end latency.
     pub fn record_ok(&self, latency: Duration) {
-        self.ok.fetch_add(1, Ordering::Relaxed);
+        self.ok.inc();
         self.latency_us.record(latency.as_micros() as u64);
     }
 
     /// Counts an error response.
     pub fn record_error(&self) {
-        self.errors.fetch_add(1, Ordering::Relaxed);
+        self.errors.inc();
     }
 
     /// Counts a shed (`BUSY`) response.
     pub fn record_shed(&self) {
-        self.shed.fetch_add(1, Ordering::Relaxed);
+        self.shed.inc();
     }
 
     /// Counts a deadline miss.
     pub fn record_timeout(&self) {
-        self.timeouts.fetch_add(1, Ordering::Relaxed);
+        self.timeouts.inc();
     }
 
     /// Counts one executed micro-batch of `size` coalesced queries.
     pub fn record_batch(&self, size: usize) {
-        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batches.inc();
         self.batch_size.record(size as u64);
     }
 
     /// A consistent-enough point-in-time copy for reporting.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
-            requests: self.requests.load(Ordering::Relaxed),
-            ok: self.ok.load(Ordering::Relaxed),
-            errors: self.errors.load(Ordering::Relaxed),
-            shed: self.shed.load(Ordering::Relaxed),
-            timeouts: self.timeouts.load(Ordering::Relaxed),
-            batches: self.batches.load(Ordering::Relaxed),
+            requests: self.requests.get(),
+            ok: self.ok.get(),
+            errors: self.errors.get(),
+            shed: self.shed.get(),
+            timeouts: self.timeouts.get(),
+            batches: self.batches.get(),
             mean_batch: self.batch_size.mean(),
             max_batch: self.batch_size.max(),
             p50_us: self.latency_us.quantile(0.50),
@@ -265,9 +187,9 @@ mod tests {
         assert!((500..=1024).contains(&p50), "p50={p50}");
         let p99 = h.quantile(0.99);
         assert!((990..=1024).contains(&p99), "p99={p99}");
-        // Extremes.
-        assert!(h.quantile(0.0) >= 1);
-        assert_eq!(h.quantile(1.0), 1024);
+        // Extremes are clamped to the observed range, never beyond it.
+        assert_eq!(h.quantile(0.0), 1);
+        assert_eq!(h.quantile(1.0), 1000);
     }
 
     #[test]
@@ -278,6 +200,17 @@ mod tests {
         h.record(0);
         assert_eq!(h.quantile(0.5), 0);
         assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn single_sample_quantiles_are_exact() {
+        // Regression guard: one sample must report itself at every
+        // quantile instead of its bucket's upper bound.
+        let h = LogHistogram::new();
+        h.record(100);
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 100, "q={q}");
+        }
     }
 
     #[test]
@@ -298,7 +231,7 @@ mod tests {
         );
         assert_eq!(s.mean_batch, 12.0);
         assert_eq!(s.max_batch, 16);
-        assert!(s.p50_us >= 100 && s.p50_us <= 128);
+        assert_eq!(s.p50_us, 100, "single sample is exact");
         // Wire and display forms carry the same numbers.
         let wire = s.to_wire();
         assert!(wire.contains("requests=2") && wire.contains("mean_batch=12.00"));

@@ -302,6 +302,7 @@ fn handle_line(line: &str, shared: &Shared) -> (Response, bool) {
 }
 
 fn handle_estimate(sketch: &str, sql: &str, shared: &Shared) -> Response {
+    let _span = ds_obs::global().span("serve/estimate");
     let t0 = Instant::now();
     let estimator: SharedEstimator = match shared.store.get(sketch) {
         Ok(s) => s,
