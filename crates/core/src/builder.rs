@@ -361,6 +361,11 @@ impl<'a> SketchBuilder<'a> {
             self.db.name().to_string(),
         );
         sketch.set_threads(self.threads);
+        // The selected epoch's holdout q-error distribution ships inside
+        // the sketch as the reference for online drift detection.
+        if let Some(baseline) = crate::monitor::baseline_from_qerrors(&training.holdout_qerrors) {
+            sketch.set_baseline(baseline);
+        }
         let footprint_bytes = sketch.footprint_bytes();
         let report = BuildReport {
             generation,

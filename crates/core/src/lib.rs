@@ -17,6 +17,8 @@
 //!   serializable, milliseconds to query.
 //! * [`template`] — query templates with placeholders (Figure 2).
 //! * [`metrics`] — q-error percentile summaries (Table 1).
+//! * [`monitor`] — online q-error monitoring from production feedback,
+//!   feeding the accuracy-drift detector in [`maintain`].
 
 pub mod advisor;
 pub mod builder;
@@ -25,19 +27,26 @@ pub mod flat;
 pub mod fleet;
 pub mod maintain;
 pub mod metrics;
+pub mod monitor;
 pub mod mscn;
 pub mod sketch;
 pub mod store;
 pub mod template;
 pub mod train;
 
-pub use advisor::{recommend, Advice, AdvisorConfig, SketchRecommendation};
+pub use advisor::{
+    recommend, recommend_retraining, Advice, AdvisorConfig, RetrainAdvice, SketchRecommendation,
+};
 pub use builder::{BuildProgress, BuildReport, SketchBuilder};
 pub use featurize::{FeatureBatch, Featurizer, QueryFeatures};
 pub use flat::{FlatFeaturizer, FlatModel};
 pub use fleet::{Route, SketchFleet};
-pub use maintain::{detect_drift, refresh_samples, DriftReport};
+pub use maintain::{
+    accuracy_drift, detect_drift, refresh_samples, AccuracyDrift, DriftReport, DEFAULT_DRIFT_RATIO,
+    DEFAULT_MIN_SAMPLES,
+};
 pub use metrics::{qerror, QErrorSummary};
+pub use monitor::{MonitorRegistry, QErrorMonitor};
 pub use mscn::{MscnConfig, MscnModel};
 pub use sketch::{DeepSketch, SketchInfo};
 pub use store::{SketchStatus, SketchStore, StoreError, StoreHandle};

@@ -6,6 +6,7 @@
 use ds_est::{CardinalityEstimator, EstimateError};
 use ds_nn::loss::LabelNormalizer;
 use ds_nn::serialize::{DecodeError, Decoder, Encoder};
+use ds_obs::HistogramSnapshot;
 use ds_query::query::Query;
 use ds_storage::bitmap::Bitmap;
 use ds_storage::catalog::{ColRef, TableId};
@@ -18,7 +19,13 @@ use crate::featurize::Featurizer;
 use crate::mscn::{ForwardCache, MscnModel};
 
 const MAGIC: &[u8; 4] = b"DSKT";
-const VERSION: u32 = 1;
+/// Current serialization version. Version 2 appended the optional
+/// training-time q-error baseline; version-1 blobs still load (with no
+/// baseline), so sketches serialized before the drift monitor existed
+/// keep working.
+const VERSION: u32 = 2;
+/// Oldest version [`DeepSketch::from_bytes`] accepts.
+const MIN_VERSION: u32 = 1;
 
 /// Queries per serving batch. Bounds the flattened set matrices (keeping
 /// them cache-resident) and is the unit of work parallelized across
@@ -85,6 +92,12 @@ pub struct DeepSketch {
     /// Serving threads for [`DeepSketch::estimate_batch`]. A runtime knob:
     /// never serialized, never affects results.
     threads: usize,
+    /// Training-time holdout q-error distribution (scaled ×1000 into log₂
+    /// buckets) — the accuracy the shipped weights actually achieved, and
+    /// the reference the online drift monitor compares rolling feedback
+    /// against. `None` for sketches built before the monitor existed
+    /// (version-1 blobs) or trained without a validation split.
+    baseline: Option<HistogramSnapshot>,
 }
 
 impl DeepSketch {
@@ -107,6 +120,7 @@ impl DeepSketch {
             database_name,
             name,
             threads: 1,
+            baseline: None,
         }
     }
 
@@ -114,6 +128,17 @@ impl DeepSketch {
     /// Estimates are bit-identical at any value; this only affects speed.
     pub fn set_threads(&mut self, threads: usize) {
         self.threads = threads.max(1);
+    }
+
+    /// Attaches the training-time q-error baseline (scaled ×1000, see
+    /// [`crate::monitor::QERR_SCALE`]). Serialized with the sketch.
+    pub fn set_baseline(&mut self, baseline: HistogramSnapshot) {
+        self.baseline = Some(baseline);
+    }
+
+    /// The training-time q-error baseline, if the sketch carries one.
+    pub fn baseline(&self) -> Option<&HistogramSnapshot> {
+        self.baseline.as_ref()
     }
 
     /// Estimated cardinality of one query (≥ 1).
@@ -308,6 +333,15 @@ impl DeepSketch {
 
         // Model.
         self.model.encode(&mut e);
+
+        // Accuracy baseline (v2+): optional flag + histogram words.
+        match &self.baseline {
+            Some(b) => {
+                e.u64(1);
+                e.u64_slice(&b.to_words());
+            }
+            None => e.u64(0),
+        }
         e.finish()
     }
 
@@ -315,7 +349,7 @@ impl DeepSketch {
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, DecodeError> {
         let mut d = Decoder::new(bytes);
         let version = d.header(MAGIC)?;
-        if version != VERSION {
+        if !(MIN_VERSION..=VERSION).contains(&version) {
             return Err(DecodeError::BadHeader(format!(
                 "unsupported sketch version {version}"
             )));
@@ -403,13 +437,20 @@ impl DeepSketch {
         // Model.
         let model = MscnModel::decode(&mut d)?;
 
-        Ok(Self::from_parts(
-            model,
-            featurizer,
-            samples,
-            normalizer,
-            database_name,
-        ))
+        // Accuracy baseline: absent before version 2.
+        let baseline = if version >= 2 && d.u64()? != 0 {
+            let words = d.u64_vec()?;
+            Some(
+                HistogramSnapshot::from_words(&words)
+                    .ok_or_else(|| DecodeError::Corrupt("bad baseline histogram".into()))?,
+            )
+        } else {
+            None
+        };
+
+        let mut sketch = Self::from_parts(model, featurizer, samples, normalizer, database_name);
+        sketch.baseline = baseline;
+        Ok(sketch)
     }
 }
 
@@ -506,6 +547,48 @@ mod tests {
         let after = restored.estimate_batch(&queries);
         assert_eq!(before, after);
         assert_eq!(restored.database_name(), "imdb");
+    }
+
+    #[test]
+    fn baseline_survives_serialization_and_v1_blobs_still_load() {
+        let (_db, mut sketch) = tiny_sketch();
+        assert!(
+            sketch.baseline().is_some(),
+            "builder must attach the holdout baseline"
+        );
+
+        // Attach a known baseline and roundtrip it.
+        let h = ds_obs::LogHistogram::new();
+        for q in [1000u64, 1200, 1500, 3000, 9000] {
+            h.record(q);
+        }
+        sketch.set_baseline(h.snapshot());
+        let restored = DeepSketch::from_bytes(&sketch.to_bytes()).unwrap();
+        assert_eq!(restored.baseline(), Some(&h.snapshot()));
+
+        // A version-1 blob is the v2 layout minus the trailing baseline
+        // flag word, with version 1 in the header: it must still load,
+        // with no baseline.
+        let mut plain = sketch.clone();
+        plain.baseline = None;
+        let mut v1 = plain.to_bytes();
+        v1.truncate(v1.len() - 8);
+        v1[4..8].copy_from_slice(&1u32.to_le_bytes());
+        let legacy = DeepSketch::from_bytes(&v1).expect("v1 blob must load");
+        assert!(legacy.baseline().is_none());
+        assert_eq!(
+            legacy.estimate_one(&parse_query(&_db, "SELECT COUNT(*) FROM title").unwrap()),
+            plain.estimate_one(&parse_query(&_db, "SELECT COUNT(*) FROM title").unwrap())
+        );
+
+        // A corrupt baseline payload is rejected, not silently zeroed.
+        let mut bad = sketch.to_bytes();
+        let n = bad.len();
+        bad[n - 9] ^= 0xFF; // inside the last bucket word
+        assert!(matches!(
+            DeepSketch::from_bytes(&bad),
+            Err(DecodeError::Corrupt(_))
+        ));
     }
 
     #[test]

@@ -111,6 +111,11 @@ pub struct TrainingReport {
     /// Epoch whose weights the returned model carries (differs from the
     /// last epoch only with `restore_best`).
     pub selected_epoch: usize,
+    /// Holdout q-errors of the selected epoch, sorted ascending (empty
+    /// without a validation split). This is the accuracy distribution the
+    /// shipped weights actually achieved at training time — stored in the
+    /// sketch as the baseline the online drift monitor compares against.
+    pub holdout_qerrors: Vec<f64>,
 }
 
 impl TrainingReport {
@@ -238,6 +243,10 @@ pub fn train_with_callback(
     let mut best: Option<(f64, usize, MscnModel)> = None;
     let mut since_best = 0usize;
     let mut stopped_early = false;
+    // Holdout q-errors of the latest / best validation pass, so the
+    // selected epoch's full distribution survives into the report.
+    let mut last_qerrs: Vec<f64> = Vec::new();
+    let mut best_qerrs: Vec<f64> = Vec::new();
 
     let schedule = cfg
         .lr_decay
@@ -295,7 +304,9 @@ pub fn train_with_callback(
                 .collect();
             let mean = qerrs.iter().sum::<f64>() / qerrs.len() as f64;
             qerrs.sort_by(|a, b| a.partial_cmp(b).expect("finite q-error"));
-            (mean, percentile(&qerrs, 0.5), percentile(&qerrs, 0.95))
+            let (p50, p95) = (percentile(&qerrs, 0.5), percentile(&qerrs, 0.95));
+            last_qerrs = qerrs;
+            (mean, p50, p95)
         });
         let val_mean_qerror = val_stats.map(|(m, _, _)| m);
 
@@ -325,6 +336,9 @@ pub fn train_with_callback(
             let improved = best.as_ref().is_none_or(|(b, _, _)| v < *b);
             if improved {
                 since_best = 0;
+                if cfg.restore_best {
+                    best_qerrs = last_qerrs.clone();
+                }
                 let snapshot = if cfg.restore_best {
                     model.clone()
                 } else {
@@ -348,10 +362,12 @@ pub fn train_with_callback(
     }
 
     let mut selected_epoch = epochs.len().saturating_sub(1);
+    let mut holdout_qerrors = last_qerrs;
     if cfg.restore_best {
         if let Some((_, e, m)) = best {
             *model = m;
             selected_epoch = e;
+            holdout_qerrors = best_qerrs;
         }
     }
 
@@ -363,6 +379,7 @@ pub fn train_with_callback(
         val_examples: val_idx.len(),
         stopped_early,
         selected_epoch,
+        holdout_qerrors,
     }
 }
 
@@ -431,6 +448,54 @@ mod tests {
             "training did not help: first={first} last={last}"
         );
         assert!(last < 20.0, "val q-error too high: {last}");
+    }
+
+    #[test]
+    fn holdout_qerrors_belong_to_the_selected_epoch() {
+        let (_db, samples, featurizer, queries, labels) = training_setup(300);
+        let normalizer = LabelNormalizer::fit(&labels);
+        let run = |restore_best: bool| {
+            let mut model = MscnModel::new(
+                featurizer.table_dim(),
+                featurizer.join_dim(),
+                featurizer.pred_dim(),
+                MscnConfig {
+                    hidden: 16,
+                    seed: 6,
+                },
+            );
+            train(
+                &mut model,
+                &featurizer,
+                &samples,
+                &queries,
+                &labels,
+                &normalizer,
+                &TrainConfig {
+                    epochs: 6,
+                    batch_size: 64,
+                    restore_best,
+                    ..Default::default()
+                },
+            )
+        };
+        for restore_best in [false, true] {
+            let report = run(restore_best);
+            let selected = &report.epochs[report.selected_epoch];
+            let q = &report.holdout_qerrors;
+            assert_eq!(q.len(), report.val_examples, "restore_best={restore_best}");
+            assert!(q.windows(2).all(|w| w[0] <= w[1]), "must be sorted");
+            assert_eq!(
+                Some(percentile(q, 0.5)),
+                selected.val_median_qerror,
+                "median must match the selected epoch (restore_best={restore_best})"
+            );
+            assert_eq!(
+                Some(percentile(q, 0.95)),
+                selected.val_p95_qerror,
+                "p95 must match the selected epoch (restore_best={restore_best})"
+            );
+        }
     }
 
     #[test]

@@ -12,6 +12,10 @@
 //!   with min/max/mean aggregation, and lock-free log₂ [`LogHistogram`]s
 //!   for latency/size distributions (the same histogram the serving
 //!   `METRICS` command reports).
+//! * **Request-level building blocks** — mergeable histogram
+//!   [`HistogramSnapshot`]s, rolling [`WindowedHistogram`]s for drift
+//!   monitoring, a non-blocking [`ExemplarRing`] for slow-request
+//!   exemplars, and [`prom`] text exposition for the `STATS` command.
 //! * **Sinks** — [`TraceReport::capture`] snapshots a tracer;
 //!   [`PrettySink`] renders it for humans (stderr), [`JsonSink`] for
 //!   machines. The [`json`] module is the workspace's minimal JSON
@@ -43,14 +47,20 @@
 pub mod counter;
 pub mod hist;
 pub mod json;
+pub mod prom;
+pub mod ring;
 pub mod sink;
 pub mod span;
+pub mod window;
 
 pub use counter::{Counter, Gauge};
-pub use hist::LogHistogram;
+pub use hist::{HistogramSnapshot, LogHistogram};
 pub use json::{JsonError, JsonValue};
+pub use prom::{PromSample, PromText};
+pub use ring::ExemplarRing;
 pub use sink::{GaugeReport, HistReport, JsonSink, PrettySink, Sink, SpanReport, TraceReport};
 pub use span::{Span, SpanStat, Tracer};
+pub use window::WindowedHistogram;
 
 use std::sync::OnceLock;
 

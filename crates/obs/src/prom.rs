@@ -1,0 +1,252 @@
+//! Prometheus-style text exposition of tracer aggregates.
+//!
+//! Renders every counter, gauge, histogram, and span a [`Tracer`] has
+//! aggregated in the classic `text/plain; version=0.0.4` shape — `# TYPE`
+//! headers, `name{label="value"} number` samples — the format every
+//! scraping stack already speaks. The serving layer's `STATS` wire
+//! command is this text (newline-escaped onto one line), optionally
+//! preceded by its own request/stage metrics rendered through
+//! [`PromText`].
+//!
+//! Naming: raw metric names use `/` as a hierarchy separator
+//! (`serve/batch_size`); exposition names must match
+//! `[a-zA-Z_:][a-zA-Z0-9_:]*`, so every other character maps to `_` and
+//! everything gets a `ds_` namespace prefix: `ds_serve_batch_size`.
+
+use crate::hist::HistogramSnapshot;
+use crate::span::Tracer;
+
+/// Sanitizes a raw `/`-separated metric name into a legal Prometheus
+/// name with the workspace `ds_` prefix.
+pub fn metric_name(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len() + 3);
+    out.push_str("ds_");
+    for c in raw.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Incremental builder for one exposition document. Metric families are
+/// emitted in call order; callers wanting determinism feed it sorted
+/// names (tracer registries iterate sorted already).
+#[derive(Debug, Default)]
+pub struct PromText {
+    out: String,
+}
+
+impl PromText {
+    /// An empty document.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn header(&mut self, name: &str, kind: &str) {
+        self.out.push_str("# TYPE ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(kind);
+        self.out.push('\n');
+    }
+
+    fn sample(&mut self, name: &str, labels: &str, value: f64) {
+        self.out.push_str(name);
+        self.out.push_str(labels);
+        self.out.push(' ');
+        // Integers render without a fraction; everything else shortest-
+        // roundtrip, matching the wire-float convention elsewhere.
+        if value.fract() == 0.0 && value.abs() < 1e15 {
+            self.out.push_str(&format!("{}", value as i64));
+        } else {
+            self.out.push_str(&format!("{value:?}"));
+        }
+        self.out.push('\n');
+    }
+
+    /// Emits one monotonic counter.
+    pub fn counter(&mut self, raw_name: &str, value: u64) -> &mut Self {
+        let name = metric_name(raw_name);
+        self.header(&name, "counter");
+        self.sample(&name, "", value as f64);
+        self
+    }
+
+    /// Emits one gauge (latest value of a continuous signal).
+    pub fn gauge(&mut self, raw_name: &str, value: f64) -> &mut Self {
+        let name = metric_name(raw_name);
+        self.header(&name, "gauge");
+        self.sample(&name, "", value);
+        self
+    }
+
+    /// Emits one distribution as a Prometheus summary: `quantile` samples
+    /// for p50/p95/p99, plus `_sum` and `_count`.
+    pub fn summary(&mut self, raw_name: &str, snap: &HistogramSnapshot) -> &mut Self {
+        let name = metric_name(raw_name);
+        self.header(&name, "summary");
+        for (label, q) in [("0.5", 0.50), ("0.95", 0.95), ("0.99", 0.99)] {
+            self.sample(
+                &name,
+                &format!("{{quantile=\"{label}\"}}"),
+                snap.quantile(q) as f64,
+            );
+        }
+        self.sample(&format!("{name}_sum"), "", snap.sum() as f64);
+        self.sample(&format!("{name}_count"), "", snap.count() as f64);
+        self
+    }
+
+    /// Appends everything `tracer` has aggregated: counters, gauges,
+    /// histograms (as summaries), and spans (as `_count`/`_total_ns`
+    /// counter pairs under `span/<path>`).
+    pub fn tracer(&mut self, tracer: &Tracer) -> &mut Self {
+        let mut gauges = Vec::new();
+        let mut hists = Vec::new();
+        let mut counters = Vec::new();
+        tracer.visit_registries(
+            |name, c| counters.push((name.to_string(), c.get())),
+            |name, g| gauges.push((name.to_string(), g.last())),
+            |name, h| hists.push((name.to_string(), h.snapshot())),
+        );
+        for (name, v) in counters {
+            self.counter(&name, v);
+        }
+        for (name, v) in gauges {
+            self.gauge(&name, v);
+        }
+        for (name, snap) in hists {
+            self.summary(&name, &snap);
+        }
+        for (path, stat) in tracer.span_stats() {
+            self.counter(&format!("span/{path}/count"), stat.count);
+            self.counter(&format!("span/{path}/total_ns"), stat.total_ns);
+        }
+        self
+    }
+
+    /// The finished exposition text.
+    pub fn finish(&self) -> &str {
+        &self.out
+    }
+
+    /// Consumes the builder, returning the document.
+    pub fn into_string(self) -> String {
+        self.out
+    }
+}
+
+/// One parsed exposition sample: `name{labels} value`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromSample {
+    /// Sanitized metric name (`ds_…`).
+    pub name: String,
+    /// `(key, value)` label pairs, in document order.
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+/// Parses an exposition document back into samples, skipping comment and
+/// blank lines. Returns `None` on the first malformed sample line — used
+/// by the typed `STATS` client. Label values must not contain escaped
+/// quotes (the renderer never emits them).
+pub fn parse_text(doc: &str) -> Option<Vec<PromSample>> {
+    let mut out = Vec::new();
+    for line in doc.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (head, value) = line.rsplit_once(' ')?;
+        let value: f64 = value.parse().ok()?;
+        let (name, labels) = match head.split_once('{') {
+            None => (head.to_string(), Vec::new()),
+            Some((name, rest)) => {
+                let body = rest.strip_suffix('}')?;
+                let mut labels = Vec::new();
+                for pair in body.split(',').filter(|p| !p.is_empty()) {
+                    let (k, v) = pair.split_once('=')?;
+                    let v = v.strip_prefix('"')?.strip_suffix('"')?;
+                    labels.push((k.to_string(), v.to_string()));
+                }
+                (name.to_string(), labels)
+            }
+        };
+        if name.is_empty() {
+            return None;
+        }
+        out.push(PromSample {
+            name,
+            labels,
+            value,
+        });
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::LogHistogram;
+
+    #[test]
+    fn names_are_sanitized_and_prefixed() {
+        assert_eq!(metric_name("serve/latency_us"), "ds_serve_latency_us");
+        assert_eq!(metric_name("a b-c.d"), "ds_a_b_c_d");
+    }
+
+    #[test]
+    fn renders_counters_gauges_and_summaries() {
+        let h = LogHistogram::new();
+        h.record(100);
+        h.record(300);
+        let mut p = PromText::new();
+        p.counter("serve/requests", 42)
+            .gauge("train/loss", 0.125)
+            .summary("serve/latency_us", &h.snapshot());
+        let doc = p.into_string();
+        assert!(doc.contains("# TYPE ds_serve_requests counter\nds_serve_requests 42\n"));
+        assert!(doc.contains("ds_train_loss 0.125"));
+        assert!(doc.contains("ds_serve_latency_us{quantile=\"0.5\"}"));
+        assert!(doc.contains("ds_serve_latency_us_sum 400"));
+        assert!(doc.contains("ds_serve_latency_us_count 2"));
+    }
+
+    #[test]
+    fn tracer_dump_roundtrips_through_the_parser() {
+        let t = Tracer::new();
+        t.enable();
+        {
+            let _s = t.span("work");
+        }
+        t.count("reqs", 7);
+        t.gauge("loss", 0.5);
+        t.observe("lat", 128);
+        let mut p = PromText::new();
+        p.tracer(&t);
+        let samples = parse_text(p.finish()).expect("parseable");
+        let get = |n: &str| samples.iter().find(|s| s.name == n).map(|s| s.value);
+        assert_eq!(get("ds_reqs"), Some(7.0));
+        assert_eq!(get("ds_loss"), Some(0.5));
+        assert_eq!(get("ds_lat_count"), Some(1.0));
+        assert_eq!(get("ds_span_work_count"), Some(1.0));
+        let quant = samples
+            .iter()
+            .find(|s| s.name == "ds_lat" && !s.labels.is_empty())
+            .expect("quantile sample");
+        assert_eq!(quant.labels[0].0, "quantile");
+        assert_eq!(quant.value, 128.0);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        assert!(parse_text("ds_ok 1\n# comment\n\n").is_some());
+        assert!(parse_text("no_value_here").is_none());
+        assert!(parse_text("name{unterminated 1").is_none());
+        assert!(parse_text("name x").is_none());
+    }
+}

@@ -1,0 +1,150 @@
+//! A bounded, last-N ring buffer for slow-request exemplars.
+//!
+//! Aggregate histograms answer "how bad is p99?" but not "*which*
+//! requests were bad, and where did their time go?". The serving layer
+//! pushes one [`ExemplarRing`] entry per slow request (full stage
+//! timeline + query template + sketch id); the `TRACE` wire command reads
+//! them back.
+//!
+//! The design keeps the producer path non-blocking: writers claim a slot
+//! with one atomic `fetch_add` (wait-free), then fill it under a per-slot
+//! `try_lock` — if another writer has lapped the ring and still holds
+//! that slot, the newer exemplar is dropped rather than ever blocking a
+//! request thread. Readers lock each slot briefly; they only race writers
+//! that wrapped a full ring length, in which case losing one entry is the
+//! correct outcome anyway (it was about to be overwritten).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// One ring slot: empty, or a value tagged with its push sequence number.
+type Slot<T> = Mutex<Option<(u64, T)>>;
+
+/// A fixed-capacity "keep the newest N" buffer, safe for many concurrent
+/// producers. Entries carry a monotonic sequence number so snapshots come
+/// back oldest-first even across wrap-around.
+#[derive(Debug)]
+pub struct ExemplarRing<T> {
+    slots: Box<[Slot<T>]>,
+    cursor: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl<T: Clone> ExemplarRing<T> {
+    /// Creates a ring holding the newest `capacity` entries. Panics if
+    /// `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be non-zero");
+        Self {
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            cursor: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Maximum number of retained entries.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total entries ever pushed (including since-overwritten ones).
+    pub fn pushed(&self) -> u64 {
+        self.cursor.load(Ordering::Relaxed)
+    }
+
+    /// Entries discarded because their slot was momentarily contended.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Stores `value`, overwriting the oldest entry once full. Never
+    /// blocks: on (rare) slot contention the value is counted as dropped.
+    pub fn push(&self, value: T) {
+        let seq = self.cursor.fetch_add(1, Ordering::Relaxed);
+        let idx = (seq % self.slots.len() as u64) as usize;
+        match self.slots[idx].try_lock() {
+            Ok(mut slot) => {
+                // A lapping writer may already have stored a *newer* entry
+                // here; keep whichever sequence is larger.
+                if slot.as_ref().is_none_or(|(s, _)| *s < seq) {
+                    *slot = Some((seq, value));
+                } else {
+                    self.dropped.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Err(_) => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Copies out every retained entry, oldest first.
+    pub fn snapshot(&self) -> Vec<T> {
+        let mut entries: Vec<(u64, T)> = self
+            .slots
+            .iter()
+            .filter_map(|slot| slot.lock().ok().and_then(|g| g.clone()))
+            .collect();
+        entries.sort_by_key(|(seq, _)| *seq);
+        entries.into_iter().map(|(_, v)| v).collect()
+    }
+
+    /// Empties the ring (sequence numbering keeps advancing).
+    pub fn clear(&self) {
+        for slot in self.slots.iter() {
+            if let Ok(mut g) = slot.lock() {
+                *g = None;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_the_newest_entries_in_order() {
+        let ring = ExemplarRing::new(4);
+        for i in 0..10 {
+            ring.push(i);
+        }
+        assert_eq!(ring.snapshot(), vec![6, 7, 8, 9]);
+        assert_eq!(ring.pushed(), 10);
+        assert_eq!(ring.capacity(), 4);
+    }
+
+    #[test]
+    fn partial_fill_returns_what_exists() {
+        let ring = ExemplarRing::new(8);
+        ring.push("a");
+        ring.push("b");
+        assert_eq!(ring.snapshot(), vec!["a", "b"]);
+        ring.clear();
+        assert!(ring.snapshot().is_empty());
+        ring.push("c");
+        assert_eq!(ring.snapshot(), vec!["c"]);
+    }
+
+    #[test]
+    fn concurrent_pushes_never_block_or_duplicate() {
+        let ring = std::sync::Arc::new(ExemplarRing::new(16));
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let ring = std::sync::Arc::clone(&ring);
+                s.spawn(move || {
+                    for i in 0..1000u64 {
+                        ring.push(t * 1_000_000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(ring.pushed(), 8000);
+        let snap = ring.snapshot();
+        assert!(snap.len() <= 16);
+        // Snapshot order must be strictly increasing in sequence.
+        let mut sorted = snap.clone();
+        sorted.sort_unstable();
+        assert_eq!(snap, sorted);
+    }
+}

@@ -1,7 +1,7 @@
 //! Trace reports and pluggable sinks.
 //!
 //! A [`TraceReport`] is a point-in-time snapshot of everything a
-//! [`Tracer`](crate::Tracer) aggregated: span timings, counters, gauges,
+//! [`Tracer`] aggregated: span timings, counters, gauges,
 //! and histograms. Sinks render it — [`PrettySink`] writes the
 //! human-readable table (stderr by default), [`JsonSink`] the
 //! machine-readable form dashboards and the benchmark harness consume.

@@ -1,0 +1,168 @@
+//! Rolling-window histograms: a ring of [`LogHistogram`] slots rotated by
+//! sample count, merged into one [`HistogramSnapshot`] on demand.
+//!
+//! A plain `LogHistogram` aggregates forever, which is the wrong shape for
+//! *drift* questions — "how is the model doing **lately**?" needs old
+//! observations to age out. A [`WindowedHistogram`] keeps `slots`
+//! generations; each fills up to `slot_capacity` samples, then the window
+//! rotates: the oldest generation is cleared and becomes the new current
+//! one. The merged view therefore always covers between
+//! `(slots - 1) × slot_capacity` and `slots × slot_capacity` of the most
+//! recent samples.
+//!
+//! Recording stays lock-free (the slots are `LogHistogram`s; the cursor is
+//! one atomic). Rotation races are benign by design: a thread recording
+//! into a slot that a concurrent rotation is clearing can lose that single
+//! sample — fine for a monitoring signal, never blocking the hot path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::hist::{HistogramSnapshot, LogHistogram};
+
+/// A bounded-history histogram over the last ~`slots × slot_capacity`
+/// recorded values. See the module docs for the rotation semantics.
+#[derive(Debug)]
+pub struct WindowedHistogram {
+    slots: Box<[LogHistogram]>,
+    /// Monotonic generation counter; `gen % slots` is the current slot.
+    generation: AtomicU64,
+    slot_capacity: u64,
+}
+
+impl WindowedHistogram {
+    /// Creates a window of `slots` generations of `slot_capacity` samples
+    /// each. Panics if either is zero.
+    pub fn new(slots: usize, slot_capacity: u64) -> Self {
+        assert!(slots > 0 && slot_capacity > 0, "window must be non-empty");
+        Self {
+            slots: (0..slots).map(|_| LogHistogram::new()).collect(),
+            generation: AtomicU64::new(0),
+            slot_capacity,
+        }
+    }
+
+    /// Number of generations in the ring.
+    pub fn slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Samples each generation holds before the window rotates.
+    pub fn slot_capacity(&self) -> u64 {
+        self.slot_capacity
+    }
+
+    /// Records one value into the current generation, rotating first if it
+    /// is full.
+    pub fn record(&self, v: u64) {
+        let generation = self.generation.load(Ordering::Relaxed);
+        let idx = (generation % self.slots.len() as u64) as usize;
+        if self.slots[idx].count() >= self.slot_capacity {
+            // Advance the window. Exactly one racing thread wins the CAS
+            // and clears the next slot; losers simply record into whatever
+            // the current generation is by then.
+            if self
+                .generation
+                .compare_exchange(
+                    generation,
+                    generation + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                )
+                .is_ok()
+            {
+                let next = ((generation + 1) % self.slots.len() as u64) as usize;
+                self.slots[next].reset();
+            }
+            let cur = self.generation.load(Ordering::Relaxed);
+            self.slots[(cur % self.slots.len() as u64) as usize].record(v);
+            return;
+        }
+        self.slots[idx].record(v);
+    }
+
+    /// Total samples currently inside the window (across all generations).
+    pub fn count(&self) -> u64 {
+        self.slots.iter().map(|s| s.count()).sum()
+    }
+
+    /// Merges every live generation into one snapshot — the rolling
+    /// distribution the drift detector compares against its baseline.
+    pub fn merged(&self) -> HistogramSnapshot {
+        let mut out = HistogramSnapshot::new();
+        for slot in self.slots.iter() {
+            out.merge(&slot.snapshot());
+        }
+        out
+    }
+
+    /// Clears the whole window.
+    pub fn reset(&self) {
+        for slot in self.slots.iter() {
+            slot.reset();
+        }
+        self.generation.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_forgets_old_generations() {
+        let w = WindowedHistogram::new(2, 10);
+        // Fill two generations with large values...
+        for _ in 0..20 {
+            w.record(1 << 20);
+        }
+        assert_eq!(w.count(), 20);
+        assert_eq!(w.merged().quantile(0.5), 1 << 20);
+        // ...then two more with small ones: the old data must age out.
+        for _ in 0..20 {
+            w.record(1);
+        }
+        let m = w.merged();
+        assert!(m.count() <= 20, "window kept too much: {}", m.count());
+        assert_eq!(m.quantile(0.5), 1);
+        assert_eq!(m.max(), 1, "old max must have aged out");
+    }
+
+    #[test]
+    fn partial_window_merges_all_live_slots() {
+        let w = WindowedHistogram::new(4, 100);
+        for v in [2u64, 4, 8] {
+            w.record(v);
+        }
+        let m = w.merged();
+        assert_eq!(m.count(), 3);
+        assert_eq!((m.min(), m.max()), (2, 8));
+    }
+
+    #[test]
+    fn concurrent_recording_is_approximately_lossless() {
+        let w = std::sync::Arc::new(WindowedHistogram::new(4, 1_000_000));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let w = std::sync::Arc::clone(&w);
+                s.spawn(move || {
+                    for i in 0..10_000u64 {
+                        w.record(i);
+                    }
+                });
+            }
+        });
+        // Capacity is never reached, so no rotation can drop samples.
+        assert_eq!(w.count(), 80_000);
+    }
+
+    #[test]
+    fn reset_empties_the_window() {
+        let w = WindowedHistogram::new(2, 4);
+        for v in 0..10 {
+            w.record(v);
+        }
+        w.reset();
+        assert_eq!(w.count(), 0);
+        assert_eq!(w.merged().quantile(0.99), 0);
+    }
+}

@@ -9,7 +9,7 @@
 //!   be lost, and per-thread span hierarchies must aggregate under the
 //!   same paths.
 
-use ds_obs::{LogHistogram, Tracer};
+use ds_obs::{LogHistogram, Tracer, WindowedHistogram};
 use proptest::prelude::*;
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
@@ -74,6 +74,63 @@ proptest! {
         let h = LogHistogram::new();
         h.record(v);
         prop_assert_eq!(h.quantile(q_permille as f64 / 1000.0), v);
+    }
+
+    /// The merge oracle: merging two histograms must be indistinguishable
+    /// — buckets, count, sum, min, max, and therefore every quantile —
+    /// from recording the concatenated raw sample streams into one.
+    #[test]
+    fn merge_matches_the_concatenated_stream_oracle(
+        a in prop::collection::vec(0u64..=(1u64 << 40), 0..150),
+        b in prop::collection::vec(0u64..=(1u64 << 40), 0..150),
+        qs_permille in prop::collection::vec(0u32..=1000, 1..8),
+    ) {
+        let ha = LogHistogram::new();
+        for &v in &a {
+            ha.record(v);
+        }
+        let hb = LogHistogram::new();
+        for &v in &b {
+            hb.record(v);
+        }
+        let oracle = LogHistogram::new();
+        for &v in a.iter().chain(b.iter()) {
+            oracle.record(v);
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.snapshot(), oracle.snapshot());
+        prop_assert_eq!(ha.count(), (a.len() + b.len()) as u64);
+        prop_assert_eq!(ha.min(), oracle.min());
+        prop_assert_eq!(ha.max(), oracle.max());
+        for &q in &qs_permille {
+            let q = q as f64 / 1000.0;
+            prop_assert_eq!(ha.quantile(q), oracle.quantile(q), "q={}", q);
+        }
+        // Snapshot-side merge agrees with the atomic-side merge.
+        let mut sa = LogHistogram::new().snapshot();
+        for &v in &a {
+            let h = LogHistogram::new();
+            h.record(v);
+            sa.merge(&h.snapshot());
+        }
+        let sb = hb.snapshot();
+        sa.merge(&sb);
+        prop_assert_eq!(sa, oracle.snapshot());
+    }
+
+    /// A windowed histogram that never rotates is exactly a plain one.
+    #[test]
+    fn unrotated_window_matches_plain_histogram(
+        values in prop::collection::vec(0u64..=(1u64 << 40), 1..100),
+    ) {
+        let w = WindowedHistogram::new(4, 1_000_000);
+        let h = LogHistogram::new();
+        for &v in &values {
+            w.record(v);
+            h.record(v);
+        }
+        prop_assert_eq!(w.count(), values.len() as u64);
+        prop_assert_eq!(w.merged(), h.snapshot());
     }
 }
 

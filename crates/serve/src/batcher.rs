@@ -90,6 +90,33 @@ impl Default for BatcherConfig {
     }
 }
 
+/// Monotonic stamps marking where a job's time went, taken by `submit`
+/// and the batch worker. The server stitches them into the request
+/// timeline (parse → queue-wait → batch-wait → forward → write); the
+/// stamps are strictly ordered, so consecutive differences are the stage
+/// durations and they sum to the span they cover by construction.
+#[derive(Debug, Clone, Copy)]
+pub struct StageStamps {
+    /// When `submit` placed the job in the admission queue.
+    pub enqueued: Instant,
+    /// When a worker swept the job out of the queue into a batch.
+    pub dequeued: Instant,
+    /// When the coalesced forward pass started.
+    pub forward_start: Instant,
+    /// When the coalesced forward pass finished.
+    pub forward_end: Instant,
+}
+
+/// One finished job as delivered on the response channel: the estimate
+/// (or error) plus its stage stamps.
+#[derive(Debug)]
+pub struct Completed {
+    /// The estimator's answer for this job's query.
+    pub result: Result<f64, EstimateError>,
+    /// Where the job's time went.
+    pub stamps: StageStamps,
+}
+
 struct Job {
     /// Coalescing key: the estimator instance's address. Two jobs batch
     /// together only if they target the same instance, so a store swap
@@ -97,7 +124,8 @@ struct Job {
     key: usize,
     estimator: SharedEstimator,
     query: Query,
-    tx: Sender<Result<f64, EstimateError>>,
+    tx: Sender<Completed>,
+    enqueued: Instant,
     deadline: Instant,
 }
 
@@ -159,7 +187,7 @@ impl Batcher {
         &self,
         estimator: SharedEstimator,
         query: Query,
-    ) -> Result<Receiver<Result<f64, EstimateError>>, Rejection> {
+    ) -> Result<Receiver<Completed>, Rejection> {
         let key = Arc::as_ptr(&estimator) as *const () as usize;
         let (tx, rx) = channel();
         let mut st = self.inner.state.lock().expect("batcher lock");
@@ -172,12 +200,14 @@ impl Batcher {
             self.inner.metrics.record_shed();
             return Err(Rejection::Busy { queued });
         }
+        let enqueued = Instant::now();
         st.queue.push_back(Job {
             key,
             estimator,
             query,
             tx,
-            deadline: Instant::now() + self.inner.cfg.request_timeout,
+            enqueued,
+            deadline: enqueued + self.inner.cfg.request_timeout,
         });
         drop(st);
         self.inner.work_ready.notify_one();
@@ -187,10 +217,23 @@ impl Batcher {
     /// Submits and waits for the result, enforcing the configured
     /// per-request timeout.
     pub fn estimate(&self, estimator: SharedEstimator, query: Query) -> Result<f64, Rejection> {
+        self.estimate_traced(estimator, query).map(|(v, _)| v)
+    }
+
+    /// Like [`Batcher::estimate`], but also returns the job's stage stamps
+    /// so the caller can attribute the latency.
+    pub fn estimate_traced(
+        &self,
+        estimator: SharedEstimator,
+        query: Query,
+    ) -> Result<(f64, StageStamps), Rejection> {
         let rx = self.submit(estimator, query)?;
         match rx.recv_timeout(self.inner.cfg.request_timeout) {
-            Ok(Ok(v)) => Ok(v),
-            Ok(Err(e)) => Err(Rejection::Estimate(e)),
+            Ok(Completed {
+                result: Ok(v),
+                stamps,
+            }) => Ok((v, stamps)),
+            Ok(Completed { result: Err(e), .. }) => Err(Rejection::Estimate(e)),
             Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
                 self.inner.metrics.record_timeout();
                 Err(Rejection::Timeout)
@@ -259,11 +302,13 @@ fn worker_loop(inner: &Inner) {
             }
             batch
         };
+        // The whole batch leaves the queue at one moment; the per-job
+        // queue-wait is measured from each job's own enqueue stamp.
+        let dequeued = Instant::now();
 
         // Skip jobs whose submitter already timed out.
-        let now = Instant::now();
         let before = batch.len();
-        batch.retain(|j| j.deadline > now);
+        batch.retain(|j| j.deadline > dequeued);
         let dropped = (before - batch.len()) as u64;
         if dropped > 0 {
             inner.expired.fetch_add(dropped, Ordering::Relaxed);
@@ -276,15 +321,23 @@ fn worker_loop(inner: &Inner) {
         let obs = ds_obs::global();
         let span = obs.span("serve/batch");
         let queries: Vec<Query> = batch.iter().map(|j| j.query.clone()).collect();
+        let forward_start = Instant::now();
         let results = batch[0].estimator.try_estimate_batch(&queries);
+        let forward_end = Instant::now();
         drop(span);
         if obs.is_enabled() {
             obs.observe("serve/batch_size", batch.len() as u64);
         }
         inner.metrics.record_batch(batch.len());
         for (job, result) in batch.into_iter().zip(results) {
+            let stamps = StageStamps {
+                enqueued: job.enqueued,
+                dequeued,
+                forward_start,
+                forward_end,
+            };
             // A failed send means the waiter gave up; nothing to do.
-            let _ = job.tx.send(result);
+            let _ = job.tx.send(Completed { result, stamps });
         }
     }
 }
@@ -396,8 +449,29 @@ mod tests {
         // Everything admitted still completes (drain on shutdown).
         batcher.shutdown();
         for rx in receivers {
-            assert!(rx.recv().unwrap().is_ok());
+            assert!(rx.recv().unwrap().result.is_ok());
         }
+    }
+
+    #[test]
+    fn stage_stamps_are_ordered_and_cover_the_forward_pass() {
+        let est: SharedEstimator = Arc::new(StubEstimator {
+            base: 1.0,
+            delay: Duration::from_millis(10),
+        });
+        let batcher = Batcher::new(BatcherConfig::default(), Arc::new(Metrics::new()));
+        let before = Instant::now();
+        let (v, stamps) = batcher
+            .estimate_traced(Arc::clone(&est), Query::new())
+            .expect("estimate");
+        assert_eq!(v, 1.0);
+        assert!(stamps.enqueued >= before);
+        assert!(stamps.dequeued >= stamps.enqueued);
+        assert!(stamps.forward_start >= stamps.dequeued);
+        assert!(stamps.forward_end >= stamps.forward_start);
+        // The forward stage contains the stub's 10ms sleep.
+        assert!(stamps.forward_end - stamps.forward_start >= Duration::from_millis(10));
+        batcher.shutdown();
     }
 
     #[test]

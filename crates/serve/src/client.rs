@@ -1,11 +1,77 @@
 //! A minimal blocking client for the serve protocol — used by the
-//! integration tests, the throughput bench, and `serve_demo`.
+//! integration tests, the throughput bench, and `serve_demo`. Beyond the
+//! raw [`Response`]-returning calls it offers typed accessors that parse
+//! the wire payloads into structs ([`Client::metrics_snapshot`],
+//! [`Client::info_card`], [`Client::stats`], [`Client::trace`]).
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
+use ds_obs::PromSample;
+
+use crate::metrics::{MetricsSnapshot, RequestTimeline};
 use crate::protocol::{format_request, parse_response, Request, Response};
+
+/// The `INFO` summary card parsed back into fields (client side).
+#[derive(Debug, Clone, PartialEq)]
+pub struct InfoCard {
+    /// Source database name.
+    pub database: String,
+    /// Tables in the featurization vocabulary.
+    pub tables: u64,
+    /// Joins in the vocabulary.
+    pub joins: u64,
+    /// Predicate columns in the vocabulary.
+    pub predicate_columns: u64,
+    /// MSCN hidden width.
+    pub hidden_units: u64,
+    /// Scalar model parameters.
+    pub model_params: u64,
+    /// Total materialized sample rows across tables.
+    pub sample_rows: u64,
+    /// Nominal sample size per table.
+    pub sample_size: u64,
+    /// Serialized size in MiB (two-decimal precision on the wire).
+    pub footprint_mib: f64,
+    /// Largest cardinality representable by the label normalizer.
+    pub max_label: u64,
+}
+
+impl InfoCard {
+    /// Parses the `INFO` wire line (the `SketchInfo` display form):
+    /// `sketch[<db>]: <t> tables, <j> joins, … ; max label <n>`.
+    pub fn from_wire(s: &str) -> Option<Self> {
+        let rest = s.strip_prefix("sketch[")?;
+        let (database, rest) = rest.split_once("]:")?;
+        // All remaining numbers appear in a fixed order; pull out every
+        // maximal digit/dot run and map positionally.
+        let mut nums = Vec::new();
+        let mut cur = String::new();
+        for c in rest.chars().chain(std::iter::once(' ')) {
+            if c.is_ascii_digit() || c == '.' {
+                cur.push(c);
+            } else if !cur.is_empty() {
+                nums.push(std::mem::take(&mut cur).parse::<f64>().ok()?);
+            }
+        }
+        if nums.len() != 9 {
+            return None;
+        }
+        Some(Self {
+            database: database.to_string(),
+            tables: nums[0] as u64,
+            joins: nums[1] as u64,
+            predicate_columns: nums[2] as u64,
+            hidden_units: nums[3] as u64,
+            model_params: nums[4] as u64,
+            sample_rows: nums[5] as u64,
+            sample_size: nums[6] as u64,
+            footprint_mib: nums[7],
+            max_label: nums[8] as u64,
+        })
+    }
+}
 
 /// One connection to a sketch server.
 pub struct Client {
@@ -96,9 +162,81 @@ impl Client {
         self.roundtrip(&Request::List, false)
     }
 
+    /// Sends `FEEDBACK`: estimates `sql` (bit-identical to `ESTIMATE`) and
+    /// records its q-error against the observed true cardinality `actual`
+    /// in the server's drift monitor. Returns the raw response.
+    pub fn feedback(&mut self, sketch: &str, actual: u64, sql: &str) -> std::io::Result<Response> {
+        self.roundtrip(
+            &Request::Feedback {
+                sketch: sketch.to_string(),
+                actual,
+                sql: sql.to_string(),
+            },
+            true,
+        )
+    }
+
+    /// [`Client::feedback`] and unwrap the estimate value.
+    pub fn feedback_value(&mut self, sketch: &str, actual: u64, sql: &str) -> std::io::Result<f64> {
+        match self.feedback(sketch, actual, sql)? {
+            Response::Estimate(v) => Ok(v),
+            other => Err(invalid_payload(&other)),
+        }
+    }
+
     /// Sends `METRICS`.
     pub fn metrics(&mut self) -> std::io::Result<Response> {
         self.roundtrip(&Request::Metrics, false)
+    }
+
+    /// Sends `METRICS` and parses the payload into a typed snapshot.
+    pub fn metrics_snapshot(&mut self) -> std::io::Result<MetricsSnapshot> {
+        match self.metrics()? {
+            Response::Text(t) => MetricsSnapshot::from_wire(&t)
+                .ok_or_else(|| invalid_data(format!("bad METRICS payload '{t}'"))),
+            other => Err(invalid_payload(&other)),
+        }
+    }
+
+    /// Sends `INFO` and parses the payload into a typed card.
+    pub fn info_card(&mut self, sketch: &str) -> std::io::Result<InfoCard> {
+        match self.info(sketch)? {
+            Response::Text(t) => InfoCard::from_wire(&t)
+                .ok_or_else(|| invalid_data(format!("bad INFO payload '{t}'"))),
+            other => Err(invalid_payload(&other)),
+        }
+    }
+
+    /// Sends `STATS` and parses the Prometheus exposition into samples.
+    /// The server escapes newlines as literal `\n` to fit the one-line
+    /// wire; this reverses that before parsing.
+    pub fn stats(&mut self) -> std::io::Result<Vec<PromSample>> {
+        match self.roundtrip(&Request::Stats, false)? {
+            Response::Text(t) => {
+                let doc = t.replace("\\n", "\n");
+                ds_obs::prom::parse_text(&doc)
+                    .ok_or_else(|| invalid_data(format!("bad STATS payload '{t}'")))
+            }
+            other => Err(invalid_payload(&other)),
+        }
+    }
+
+    /// Sends `TRACE` and parses the slow-request exemplars, oldest first.
+    pub fn trace(&mut self) -> std::io::Result<Vec<RequestTimeline>> {
+        match self.roundtrip(&Request::Trace, false)? {
+            Response::Text(t) => {
+                if t.trim() == "(none)" {
+                    return Ok(Vec::new());
+                }
+                t.split(';')
+                    .map(|rec| {
+                        RequestTimeline::from_wire(rec)
+                            .ok_or_else(|| invalid_data(format!("bad TRACE record '{rec}'")))
+                    })
+                    .collect()
+            }
+            other => Err(invalid_payload(&other)),
+        }
     }
 
     /// Sends `QUIT` and consumes the client.
@@ -126,5 +264,49 @@ impl Client {
             ));
         }
         Ok(resp.trim_end().to_string())
+    }
+}
+
+fn invalid_data(msg: String) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
+}
+
+fn invalid_payload(resp: &Response) -> std::io::Error {
+    invalid_data(crate::protocol::format_response(resp))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn info_card_parses_the_sketch_info_display_form() {
+        // Build the wire line from the real Display impl so the parser
+        // can never drift away from the server's format.
+        let info = ds_core::sketch::SketchInfo {
+            database: "imdb_v2".to_string(),
+            tables: 6,
+            joins: 5,
+            predicate_columns: 9,
+            hidden_units: 64,
+            model_params: 12345,
+            sample_size: 16,
+            sample_rows: 96,
+            footprint_bytes: 125_829, // 0.12 MiB
+            max_label: 987654,
+        };
+        let card = InfoCard::from_wire(&info.to_string()).expect("parse");
+        assert_eq!(card.database, "imdb_v2");
+        assert_eq!(card.tables, 6);
+        assert_eq!(card.joins, 5);
+        assert_eq!(card.predicate_columns, 9);
+        assert_eq!(card.hidden_units, 64);
+        assert_eq!(card.model_params, 12345);
+        assert_eq!(card.sample_rows, 96);
+        assert_eq!(card.sample_size, 16);
+        assert!((card.footprint_mib - 0.12).abs() < 1e-9);
+        assert_eq!(card.max_label, 987654);
+        assert!(InfoCard::from_wire("not a card").is_none());
+        assert!(InfoCard::from_wire("sketch[x]: truncated").is_none());
     }
 }

@@ -12,7 +12,16 @@
 //!   that sheds with `BUSY`, a connection cap, and graceful shutdown that
 //!   drains in-flight work ([`server`]).
 //! * **Observability** — lock-free counters and log₂ latency/batch-size
-//!   histograms, exposed through the `METRICS` command ([`metrics`]).
+//!   histograms, exposed through the `METRICS` command ([`metrics`]);
+//!   per-request stage timelines (parse → queue-wait → batch-wait →
+//!   forward → write) with slow-request exemplars behind `TRACE`, and a
+//!   full Prometheus-style exposition behind `STATS`.
+//! * **Model-quality feedback** — the `FEEDBACK` command replays observed
+//!   true cardinalities into per-sketch rolling q-error monitors
+//!   ([`ds_core::monitor`]); [`Server::monitors`] exposes them so
+//!   maintenance can compare against each sketch's training-time baseline
+//!   and recommend retraining
+//!   ([`ds_core::advisor::recommend_retraining`]).
 //!
 //! ```no_run
 //! use std::sync::Arc;
@@ -41,8 +50,8 @@ pub mod metrics;
 pub mod protocol;
 pub mod server;
 
-pub use batcher::{Batcher, BatcherConfig, Rejection, SharedEstimator};
-pub use client::Client;
-pub use metrics::{LogHistogram, Metrics, MetricsSnapshot};
+pub use batcher::{Batcher, BatcherConfig, Completed, Rejection, SharedEstimator, StageStamps};
+pub use client::{Client, InfoCard};
+pub use metrics::{LogHistogram, Metrics, MetricsSnapshot, RequestTimeline};
 pub use protocol::{ErrorCode, Request, Response};
-pub use server::{ServeConfig, Server};
+pub use server::{query_template, ServeConfig, Server, TemplateInterner};

@@ -14,12 +14,98 @@
 
 use std::time::Duration;
 
-use ds_obs::Counter;
 pub use ds_obs::LogHistogram;
+use ds_obs::{Counter, ExemplarRing};
+
+/// Slow-request exemplars retained for the `TRACE` command.
+const EXEMPLAR_CAPACITY: usize = 64;
+
+/// One request's monotonic timeline, decomposed into the five contiguous
+/// stages of the serving path. The stamps the stages derive from are
+/// strictly ordered, so the stage durations sum to `total_us` exactly
+/// (modulo independent sub-microsecond truncation per stage).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestTimeline {
+    /// Sketch the request targeted.
+    pub sketch: String,
+    /// Structural template of the query (no literals, no spaces).
+    pub template: String,
+    /// Wall time, request read → response flushed (µs).
+    pub total_us: u64,
+    /// Request parsing + store lookup + admission (µs).
+    pub parse_us: u64,
+    /// Waiting in the admission queue for a worker (µs).
+    pub queue_us: u64,
+    /// Batch assembly between dequeue and forward start (µs).
+    pub batch_wait_us: u64,
+    /// The coalesced model forward pass (µs).
+    pub forward_us: u64,
+    /// Response formatting + socket write + flush (µs).
+    pub write_us: u64,
+}
+
+impl RequestTimeline {
+    /// Sum of the five stage durations — within rounding of `total_us`.
+    pub fn stage_sum_us(&self) -> u64 {
+        self.parse_us + self.queue_us + self.batch_wait_us + self.forward_us + self.write_us
+    }
+
+    /// Single-token-per-field wire form for one `TRACE` record.
+    pub fn to_wire(&self) -> String {
+        format!(
+            "sketch={} template={} total_us={} parse_us={} queue_us={} \
+             batch_wait_us={} forward_us={} write_us={}",
+            self.sketch,
+            self.template,
+            self.total_us,
+            self.parse_us,
+            self.queue_us,
+            self.batch_wait_us,
+            self.forward_us,
+            self.write_us
+        )
+    }
+
+    /// Parses one `TRACE` record (client side).
+    pub fn from_wire(s: &str) -> Option<Self> {
+        let mut sketch = None;
+        let mut template = None;
+        let mut nums = [None::<u64>; 6];
+        const KEYS: [&str; 6] = [
+            "total_us",
+            "parse_us",
+            "queue_us",
+            "batch_wait_us",
+            "forward_us",
+            "write_us",
+        ];
+        for field in s.split_whitespace() {
+            let (key, value) = field.split_once('=')?;
+            match key {
+                "sketch" => sketch = Some(value.to_string()),
+                "template" => template = Some(value.to_string()),
+                _ => {
+                    let i = KEYS.iter().position(|k| *k == key)?;
+                    nums[i] = Some(value.parse().ok()?);
+                }
+            }
+        }
+        Some(Self {
+            sketch: sketch?,
+            template: template?,
+            total_us: nums[0]?,
+            parse_us: nums[1]?,
+            queue_us: nums[2]?,
+            batch_wait_us: nums[3]?,
+            forward_us: nums[4]?,
+            write_us: nums[5]?,
+        })
+    }
+}
 
 /// Serving counters, shared via `Arc` between the acceptor, connection
 /// handlers, and batch workers.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Metrics {
     /// Request lines received (all commands).
     pub requests: Counter,
@@ -37,12 +123,74 @@ pub struct Metrics {
     pub latency_us: LogHistogram,
     /// Coalesced batch-size distribution.
     pub batch_size: LogHistogram,
+    /// Stage histogram: parse + store lookup + admission (µs).
+    pub stage_parse_us: LogHistogram,
+    /// Stage histogram: admission-queue wait (µs).
+    pub stage_queue_us: LogHistogram,
+    /// Stage histogram: dequeue → forward start (µs).
+    pub stage_batch_wait_us: LogHistogram,
+    /// Stage histogram: coalesced forward pass (µs).
+    pub stage_forward_us: LogHistogram,
+    /// Stage histogram: response write + flush (µs).
+    pub stage_write_us: LogHistogram,
+    /// Slowest-request exemplars for `TRACE`.
+    pub slow: ExemplarRing<RequestTimeline>,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self {
+            requests: Counter::default(),
+            ok: Counter::default(),
+            errors: Counter::default(),
+            shed: Counter::default(),
+            timeouts: Counter::default(),
+            batches: Counter::default(),
+            latency_us: LogHistogram::new(),
+            batch_size: LogHistogram::new(),
+            stage_parse_us: LogHistogram::new(),
+            stage_queue_us: LogHistogram::new(),
+            stage_batch_wait_us: LogHistogram::new(),
+            stage_forward_us: LogHistogram::new(),
+            stage_write_us: LogHistogram::new(),
+            slow: ExemplarRing::new(EXEMPLAR_CAPACITY),
+        }
+    }
 }
 
 impl Metrics {
     /// Creates zeroed metrics.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Records one staged request into the per-stage histograms.
+    pub fn record_timeline(&self, t: &RequestTimeline) {
+        self.record_stages(
+            t.parse_us,
+            t.queue_us,
+            t.batch_wait_us,
+            t.forward_us,
+            t.write_us,
+        );
+    }
+
+    /// Records the five per-stage durations (µs) of one completed request
+    /// without requiring an assembled [`RequestTimeline`] — the hot path
+    /// for requests that never become exemplars.
+    pub fn record_stages(
+        &self,
+        parse_us: u64,
+        queue_us: u64,
+        batch_wait_us: u64,
+        forward_us: u64,
+        write_us: u64,
+    ) {
+        self.stage_parse_us.record(parse_us);
+        self.stage_queue_us.record(queue_us);
+        self.stage_batch_wait_us.record(batch_wait_us);
+        self.stage_forward_us.record(forward_us);
+        self.stage_write_us.record(write_us);
     }
 
     /// Counts one received request line.
@@ -144,6 +292,45 @@ impl MetricsSnapshot {
             self.p99_us,
             self.max_us
         )
+    }
+
+    /// Parses the `METRICS` wire line back into a snapshot (client side).
+    /// Unknown keys are ignored so older clients survive newer servers;
+    /// missing keys default to zero.
+    pub fn from_wire(s: &str) -> Option<Self> {
+        let mut snap = Self {
+            requests: 0,
+            ok: 0,
+            errors: 0,
+            shed: 0,
+            timeouts: 0,
+            batches: 0,
+            mean_batch: 0.0,
+            max_batch: 0,
+            p50_us: 0,
+            p95_us: 0,
+            p99_us: 0,
+            max_us: 0,
+        };
+        for field in s.split_whitespace() {
+            let (key, value) = field.split_once('=')?;
+            match key {
+                "requests" => snap.requests = value.parse().ok()?,
+                "ok" => snap.ok = value.parse().ok()?,
+                "errors" => snap.errors = value.parse().ok()?,
+                "shed" => snap.shed = value.parse().ok()?,
+                "timeouts" => snap.timeouts = value.parse().ok()?,
+                "batches" => snap.batches = value.parse().ok()?,
+                "mean_batch" => snap.mean_batch = value.parse().ok()?,
+                "max_batch" => snap.max_batch = value.parse().ok()?,
+                "p50_us" => snap.p50_us = value.parse().ok()?,
+                "p95_us" => snap.p95_us = value.parse().ok()?,
+                "p99_us" => snap.p99_us = value.parse().ok()?,
+                "max_us" => snap.max_us = value.parse().ok()?,
+                _ => {}
+            }
+        }
+        Some(snap)
     }
 }
 
@@ -257,5 +444,57 @@ mod tests {
         assert_eq!(s.requests, 8000);
         assert_eq!(s.ok, 8000);
         assert_eq!(m.latency_us.count(), 8000);
+    }
+
+    fn timeline(total: u64) -> RequestTimeline {
+        RequestTimeline {
+            sketch: "imdb".into(),
+            template: "title+movie_keyword".into(),
+            total_us: total,
+            parse_us: total / 10,
+            queue_us: total / 5,
+            batch_wait_us: total / 10,
+            forward_us: total / 2,
+            write_us: total - total / 10 - total / 5 - total / 10 - total / 2,
+        }
+    }
+
+    #[test]
+    fn timelines_roundtrip_the_trace_wire_format() {
+        let t = timeline(1000);
+        assert_eq!(t.stage_sum_us(), t.total_us);
+        let wire = t.to_wire();
+        assert!(!wire.contains(';') && !wire.contains('\n'), "{wire}");
+        assert_eq!(RequestTimeline::from_wire(&wire).unwrap(), t);
+        assert!(RequestTimeline::from_wire("sketch=x template=y").is_none());
+        assert!(RequestTimeline::from_wire("garbage").is_none());
+    }
+
+    #[test]
+    fn stage_histograms_and_exemplars_capture_timelines() {
+        let m = Metrics::new();
+        m.record_timeline(&timeline(1000));
+        m.record_timeline(&timeline(2000));
+        assert_eq!(m.stage_parse_us.count(), 2);
+        assert_eq!(m.stage_forward_us.max(), 1000);
+        m.slow.push(timeline(2000));
+        let slow = m.slow.snapshot();
+        assert_eq!(slow.len(), 1);
+        assert_eq!(slow[0].total_us, 2000);
+    }
+
+    #[test]
+    fn metrics_snapshot_roundtrips_its_wire_line() {
+        let m = Metrics::new();
+        m.record_request();
+        m.record_ok(Duration::from_micros(64));
+        m.record_batch(4);
+        let s = m.snapshot();
+        assert_eq!(MetricsSnapshot::from_wire(&s.to_wire()).unwrap(), s);
+        assert!(MetricsSnapshot::from_wire("requests=x").is_none());
+        // Unknown keys from a newer server are skipped, not fatal.
+        assert!(
+            MetricsSnapshot::from_wire("requests=3 brand_new=1").is_some_and(|p| p.requests == 3)
+        );
     }
 }

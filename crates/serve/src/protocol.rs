@@ -4,9 +4,17 @@
 //!
 //! ```text
 //! ESTIMATE <sketch> <sql…>     estimate one query with a named sketch
+//! FEEDBACK <sketch> <actual> <sql…>
+//!                              estimate AND record the observed true
+//!                              cardinality into the drift monitor
 //! INFO <sketch>                the sketch's summary card
 //! LIST                         every sketch and its status
 //! METRICS                      server counters and latency percentiles
+//! STATS                        Prometheus-style text exposition of every
+//!                              counter, gauge, and histogram (newlines
+//!                              escaped as literal `\n` on the wire)
+//! TRACE                        recent slow-request exemplars with their
+//!                              per-stage latency decomposition
 //! QUIT                         close the connection
 //! ```
 //!
@@ -35,6 +43,18 @@ pub enum Request {
         /// The `SELECT COUNT(*)` query text.
         sql: String,
     },
+    /// `FEEDBACK <sketch> <actual> <sql>` — estimate `sql` exactly like
+    /// `ESTIMATE` (same batcher path, bit-identical result), then record
+    /// the q-error against the observed true cardinality `actual` into the
+    /// sketch's rolling accuracy monitor.
+    Feedback {
+        /// Sketch name in the store.
+        sketch: String,
+        /// The true cardinality the system observed for this query.
+        actual: u64,
+        /// The `SELECT COUNT(*)` query text.
+        sql: String,
+    },
     /// `INFO <sketch>` — summary card of the named sketch.
     Info {
         /// Sketch name in the store.
@@ -44,6 +64,10 @@ pub enum Request {
     List,
     /// `METRICS` — serving counters and percentiles.
     Metrics,
+    /// `STATS` — full Prometheus-style exposition.
+    Stats,
+    /// `TRACE` — recent slow-request exemplars.
+    Trace,
     /// `QUIT` — close the connection.
     Quit,
 }
@@ -147,6 +171,25 @@ pub fn parse_request(line: &str) -> Result<Request, Response> {
                 sql: sql.to_string(),
             })
         }
+        "FEEDBACK" => {
+            let mut args = rest.splitn(3, char::is_whitespace);
+            let sketch = args.next().unwrap_or("").trim();
+            let actual = args.next().unwrap_or("").trim();
+            let sql = args.next().unwrap_or("").trim();
+            let usage = || Response::Error {
+                code: ErrorCode::Proto,
+                message: "usage: FEEDBACK <sketch> <actual-cardinality> <sql>".to_string(),
+            };
+            if sketch.is_empty() || sql.is_empty() {
+                return Err(usage());
+            }
+            let actual: u64 = actual.parse().map_err(|_| usage())?;
+            Ok(Request::Feedback {
+                sketch: sketch.to_string(),
+                actual,
+                sql: sql.to_string(),
+            })
+        }
         "INFO" => {
             if rest.is_empty() {
                 return Err(Response::Error {
@@ -160,6 +203,8 @@ pub fn parse_request(line: &str) -> Result<Request, Response> {
         }
         "LIST" => Ok(Request::List),
         "METRICS" => Ok(Request::Metrics),
+        "STATS" => Ok(Request::Stats),
+        "TRACE" => Ok(Request::Trace),
         "QUIT" | "EXIT" => Ok(Request::Quit),
         other => Err(Response::Error {
             code: ErrorCode::Proto,
@@ -172,9 +217,16 @@ pub fn parse_request(line: &str) -> Result<Request, Response> {
 pub fn format_request(req: &Request) -> String {
     match req {
         Request::Estimate { sketch, sql } => format!("ESTIMATE {sketch} {sql}"),
+        Request::Feedback {
+            sketch,
+            actual,
+            sql,
+        } => format!("FEEDBACK {sketch} {actual} {sql}"),
         Request::Info { sketch } => format!("INFO {sketch}"),
         Request::List => "LIST".to_string(),
         Request::Metrics => "METRICS".to_string(),
+        Request::Stats => "STATS".to_string(),
+        Request::Trace => "TRACE".to_string(),
         Request::Quit => "QUIT".to_string(),
     }
 }
@@ -268,11 +320,18 @@ mod tests {
                 sketch: "imdb".into(),
                 sql: "SELECT COUNT(*) FROM title WHERE title.kind_id = 1".into(),
             },
+            Request::Feedback {
+                sketch: "imdb".into(),
+                actual: 4321,
+                sql: "SELECT COUNT(*) FROM title WHERE title.kind_id = 1".into(),
+            },
             Request::Info {
                 sketch: "imdb".into(),
             },
             Request::List,
             Request::Metrics,
+            Request::Stats,
+            Request::Trace,
             Request::Quit,
         ];
         for req in reqs {
@@ -296,7 +355,18 @@ mod tests {
 
     #[test]
     fn malformed_requests_get_proto_errors() {
-        for bad in ["", "ESTIMATE", "ESTIMATE name-only", "INFO", "FROBNICATE x"] {
+        for bad in [
+            "",
+            "ESTIMATE",
+            "ESTIMATE name-only",
+            "INFO",
+            "FROBNICATE x",
+            "FEEDBACK",
+            "FEEDBACK s",
+            "FEEDBACK s 12",
+            "FEEDBACK s not-a-number SELECT COUNT(*) FROM t",
+            "FEEDBACK s -3 SELECT COUNT(*) FROM t",
+        ] {
             match parse_request(bad) {
                 Err(Response::Error { code, .. }) => assert_eq!(code, ErrorCode::Proto, "{bad}"),
                 other => panic!("expected proto error for '{bad}', got {other:?}"),

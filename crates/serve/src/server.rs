@@ -10,19 +10,23 @@
 //! * `shutdown()` drains: in-flight requests finish, queued batches run,
 //!   every thread is joined before it returns.
 
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use ds_core::monitor::MonitorRegistry;
 use ds_core::store::SketchStore;
+use ds_obs::PromText;
 use ds_query::parser::parse_query;
+use ds_query::query::Query;
 use ds_storage::catalog::Database;
 
-use crate::batcher::{Batcher, BatcherConfig, Rejection, SharedEstimator};
-use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::batcher::{Batcher, BatcherConfig, Rejection, SharedEstimator, StageStamps};
+use crate::metrics::{Metrics, MetricsSnapshot, RequestTimeline};
 use crate::protocol::{
     estimate_error_response, format_response, parse_request, store_error_response, ErrorCode,
     Request, Response,
@@ -48,6 +52,14 @@ pub struct ServeConfig {
     /// Concurrent-connection cap; excess connections are told `BUSY` and
     /// closed.
     pub max_connections: usize,
+    /// Record per-request stage timelines (parse/queue-wait/batch-wait/
+    /// forward/write histograms plus slow-request exemplars). Disabling
+    /// removes the per-request instrumentation from the hot path — the
+    /// baseline side of the traced-overhead benchmark.
+    pub timeline: bool,
+    /// Requests at least this slow end to end (line read → response
+    /// flushed) are kept as `TRACE` exemplars. Zero keeps every request.
+    pub slow_threshold: Duration,
 }
 
 impl Default for ServeConfig {
@@ -59,6 +71,8 @@ impl Default for ServeConfig {
             queue_capacity: 1024,
             request_timeout: Duration::from_secs(2),
             max_connections: 256,
+            timeline: true,
+            slow_threshold: Duration::from_millis(1),
         }
     }
 }
@@ -68,9 +82,13 @@ struct Shared {
     store: Arc<SketchStore>,
     batcher: Batcher,
     metrics: Arc<Metrics>,
+    monitors: Arc<MonitorRegistry>,
     shutting_down: AtomicBool,
     active_connections: AtomicUsize,
     max_connections: usize,
+    timeline: bool,
+    slow_threshold: Duration,
+    templates: TemplateInterner,
 }
 
 /// A running sketch server. Dropping it shuts it down.
@@ -108,9 +126,13 @@ impl Server {
             store,
             batcher,
             metrics,
+            monitors: Arc::new(MonitorRegistry::new()),
             shutting_down: AtomicBool::new(false),
             active_connections: AtomicUsize::new(0),
             max_connections: cfg.max_connections.max(1),
+            timeline: cfg.timeline,
+            slow_threshold: cfg.slow_threshold,
+            templates: TemplateInterner::new(),
         });
         let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let acceptor = {
@@ -136,6 +158,13 @@ impl Server {
     /// Live serving counters.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.shared.metrics.snapshot()
+    }
+
+    /// The rolling q-error monitors fed by `FEEDBACK` requests. Hand this
+    /// to [`ds_core::advisor::recommend_retraining`] together with the
+    /// store to turn drift into retraining recommendations.
+    pub fn monitors(&self) -> Arc<MonitorRegistry> {
+        Arc::clone(&self.shared.monitors)
     }
 
     /// Graceful shutdown: stop accepting, let in-flight requests finish,
@@ -251,9 +280,15 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
         if line.trim().is_empty() {
             continue;
         }
-        let (response, quit) = handle_line(&line, shared);
+        // t0 anchors the request timeline: everything from here to the
+        // post-flush stamp is attributed to exactly one stage.
+        let t0 = Instant::now();
+        let (response, quit, pending) = handle_line(&line, shared, t0);
         if writeln!(writer, "{}", format_response(&response)).is_err() || writer.flush().is_err() {
             return;
+        }
+        if let Some(p) = pending {
+            finish_timeline(p, t0, shared);
         }
         if quit {
             return;
@@ -261,24 +296,196 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
     }
 }
 
+/// A successful estimate's timeline, waiting for the final write stamp.
+struct PendingTimeline {
+    sketch: String,
+    template: Arc<str>,
+    stamps: StageStamps,
+}
+
+/// Stitches the stamps into the five contiguous stages, records them, and
+/// keeps the request as a `TRACE` exemplar when it crossed the slow
+/// threshold. Only kept exemplars materialize their strings; the common
+/// fast-request path records five histogram points and returns.
+fn finish_timeline(p: PendingTimeline, t0: Instant, shared: &Shared) {
+    let done = Instant::now();
+    let us = |d: Duration| d.as_micros() as u64;
+    let s = &p.stamps;
+    let total = done.saturating_duration_since(t0);
+    let parse_us = us(s.enqueued.saturating_duration_since(t0));
+    let queue_us = us(s.dequeued.saturating_duration_since(s.enqueued));
+    let batch_wait_us = us(s.forward_start.saturating_duration_since(s.dequeued));
+    let forward_us = us(s.forward_end.saturating_duration_since(s.forward_start));
+    let write_us = us(done.saturating_duration_since(s.forward_end));
+    shared
+        .metrics
+        .record_stages(parse_us, queue_us, batch_wait_us, forward_us, write_us);
+    if total >= shared.slow_threshold {
+        shared.metrics.slow.push(RequestTimeline {
+            sketch: p.sketch,
+            template: p.template.as_ref().to_string(),
+            total_us: us(total),
+            parse_us,
+            queue_us,
+            batch_wait_us,
+            forward_us,
+            write_us,
+        });
+    }
+}
+
+/// Interns structural templates: queries with the same shape share one
+/// rendered string, so the per-request timeline path pays a small numeric
+/// key build plus a read-locked map hit instead of re-rendering
+/// [`query_template`] (string sorts and a dozen allocations) on every
+/// request. Shared between the server's hot path and the bench harness's
+/// instrumentation-cost microbenchmark, so the gated number measures the
+/// code the server actually runs.
+pub struct TemplateInterner {
+    map: RwLock<HashMap<Vec<u32>, Arc<str>>>,
+}
+
+impl Default for TemplateInterner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TemplateInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self {
+            map: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Returns the interned [`query_template`] of `query`, rendering and
+    /// caching it on first sight of the query's structural shape.
+    pub fn get(&self, db: &Database, query: &Query) -> Arc<str> {
+        let key = template_key(query);
+        if let Some(t) = self.map.read().expect("template cache poisoned").get(&key) {
+            return Arc::clone(t);
+        }
+        let rendered: Arc<str> = query_template(db, query).into();
+        let mut map = self.map.write().expect("template cache poisoned");
+        // Bounded against unbounded shape churn; real workloads cycle a
+        // handful of shapes, so eviction is effectively unreachable.
+        if map.len() >= 4096 {
+            map.clear();
+        }
+        Arc::clone(map.entry(key).or_insert(rendered))
+    }
+}
+
+/// The canonical numeric shape of a query — the cache key behind
+/// [`query_template`]. Section lengths prefix the variable-size parts so
+/// table/join boundaries stay unambiguous; joins and predicates are
+/// canonicalized and sorted just like their rendered counterparts, so two
+/// queries share a key exactly when they render the same template.
+fn template_key(query: &Query) -> Vec<u32> {
+    let mut tables: Vec<u32> = query.tables.iter().map(|t| t.0 as u32).collect();
+    tables.sort_unstable();
+    let mut joins: Vec<[u32; 4]> = query
+        .joins
+        .iter()
+        .map(|j| {
+            let l = [j.left.table.0 as u32, j.left.col as u32];
+            let r = [j.right.table.0 as u32, j.right.col as u32];
+            let ([lt, lc], [rt, rc]) = if l <= r { (l, r) } else { (r, l) };
+            [lt, lc, rt, rc]
+        })
+        .collect();
+    joins.sort_unstable();
+    let mut preds: Vec<[u32; 3]> = query
+        .qualified_predicates()
+        .map(|(cr, op, _)| [cr.table.0 as u32, cr.col as u32, op as u32])
+        .collect();
+    preds.sort_unstable();
+    let mut key = Vec::with_capacity(2 + tables.len() + 4 * joins.len() + 3 * preds.len());
+    key.push(tables.len() as u32);
+    key.extend_from_slice(&tables);
+    key.push(joins.len() as u32);
+    for j in &joins {
+        key.extend_from_slice(j);
+    }
+    for p in &preds {
+        key.extend_from_slice(p);
+    }
+    key
+}
+
+/// The structural template of a query: sorted table names, join equalities,
+/// and predicate shapes with literals elided. Space-free by construction
+/// (identifier characters only plus `,|+=<>?.`), so it survives the
+/// one-token wire formats, and canonical, so the same query shape always
+/// feeds the same per-template drift monitor regardless of literal values
+/// or clause order.
+pub fn query_template(db: &Database, query: &Query) -> String {
+    let mut tables: Vec<&str> = query.tables.iter().map(|t| db.table(*t).name()).collect();
+    tables.sort_unstable();
+    let mut joins: Vec<String> = query
+        .joins
+        .iter()
+        .map(|j| {
+            let (l, r) = (db.col_name(j.left), db.col_name(j.right));
+            if l <= r {
+                format!("{l}={r}")
+            } else {
+                format!("{r}={l}")
+            }
+        })
+        .collect();
+    joins.sort();
+    let mut preds: Vec<String> = query
+        .qualified_predicates()
+        .map(|(cr, op, _)| format!("{}{}?", db.col_name(cr), op.sql()))
+        .collect();
+    preds.sort();
+    let mut out = tables.join(",");
+    if !joins.is_empty() {
+        out.push('|');
+        out.push_str(&joins.join("+"));
+    }
+    if !preds.is_empty() {
+        out.push('|');
+        out.push_str(&preds.join("+"));
+    }
+    out
+}
+
 /// Answers one request line. Total: every path, including malformed input,
 /// produces exactly one response.
-fn handle_line(line: &str, shared: &Shared) -> (Response, bool) {
+fn handle_line(
+    line: &str,
+    shared: &Shared,
+    t0: Instant,
+) -> (Response, bool, Option<PendingTimeline>) {
     shared.metrics.record_request();
     let request = match parse_request(line) {
         Ok(r) => r,
         Err(resp) => {
             shared.metrics.record_error();
-            return (resp, false);
+            return (resp, false, None);
         }
     };
     match request {
-        Request::Estimate { sketch, sql } => (handle_estimate(&sketch, &sql, shared), false),
+        Request::Estimate { sketch, sql } => {
+            let (resp, pending) = handle_estimate(&sketch, &sql, None, shared, t0);
+            (resp, false, pending)
+        }
+        Request::Feedback {
+            sketch,
+            actual,
+            sql,
+        } => {
+            let (resp, pending) = handle_estimate(&sketch, &sql, Some(actual), shared, t0);
+            (resp, false, pending)
+        }
         Request::Info { sketch } => match shared.store.get(&sketch) {
-            Ok(s) => (Response::Text(s.info().to_string()), false),
+            Ok(s) => (Response::Text(s.info().to_string()), false, None),
             Err(e) => {
                 shared.metrics.record_error();
-                (store_error_response(&e), false)
+                (store_error_response(&e), false, None)
             }
         },
         Request::List => {
@@ -294,59 +501,197 @@ fn handle_line(line: &str, shared: &Shared) -> (Response, bool) {
             } else {
                 entries.join(" ")
             };
-            (Response::Text(payload), false)
+            (Response::Text(payload), false, None)
         }
-        Request::Metrics => (Response::Text(shared.metrics.snapshot().to_wire()), false),
-        Request::Quit => (Response::Bye, true),
+        Request::Metrics => (
+            Response::Text(shared.metrics.snapshot().to_wire()),
+            false,
+            None,
+        ),
+        Request::Stats => (Response::Text(stats_payload(shared)), false, None),
+        Request::Trace => (Response::Text(trace_payload(shared)), false, None),
+        Request::Quit => (Response::Bye, true, None),
     }
 }
 
-fn handle_estimate(sketch: &str, sql: &str, shared: &Shared) -> Response {
+/// Estimates `sql` with the named sketch; with `feedback`, additionally
+/// records the q-error against the observed true cardinality. Both paths
+/// answer through the same batcher call, so a `FEEDBACK` estimate is
+/// bit-identical to the `ESTIMATE` it grades.
+fn handle_estimate(
+    sketch: &str,
+    sql: &str,
+    feedback: Option<u64>,
+    shared: &Shared,
+    t0: Instant,
+) -> (Response, Option<PendingTimeline>) {
     let _span = ds_obs::global().span("serve/estimate");
-    let t0 = Instant::now();
     let estimator: SharedEstimator = match shared.store.get(sketch) {
         Ok(s) => s,
         Err(e) => {
             shared.metrics.record_error();
-            return store_error_response(&e);
+            return (store_error_response(&e), None);
         }
     };
     let query = match parse_query(&shared.db, sql) {
         Ok(q) => q,
         Err(e) => {
             shared.metrics.record_error();
-            return Response::Error {
-                code: ErrorCode::Parse,
-                message: e.0,
-            };
+            return (
+                Response::Error {
+                    code: ErrorCode::Parse,
+                    message: e.0,
+                },
+                None,
+            );
         }
     };
-    match shared.batcher.estimate(estimator, query) {
-        Ok(v) => {
+    let template =
+        (shared.timeline || feedback.is_some()).then(|| shared.templates.get(&shared.db, &query));
+    match shared.batcher.estimate_traced(estimator, query) {
+        Ok((v, stamps)) => {
             shared.metrics.record_ok(t0.elapsed());
-            Response::Estimate(v)
+            if let Some(actual) = feedback {
+                shared.monitors.monitor(sketch).record(
+                    template.as_deref().unwrap_or(""),
+                    v,
+                    actual as f64,
+                );
+            }
+            let pending = shared.timeline.then(|| PendingTimeline {
+                sketch: sketch.to_string(),
+                template: Arc::clone(template.as_ref().expect("template built when timeline on")),
+                stamps,
+            });
+            (Response::Estimate(v), pending)
         }
         Err(Rejection::Busy { queued }) => {
             // The batcher already counted the shed.
-            Response::Busy(format!("admission queue full ({queued} waiting)"))
+            (
+                Response::Busy(format!("admission queue full ({queued} waiting)")),
+                None,
+            )
         }
         Err(Rejection::Timeout) => {
             // The batcher already counted the timeout.
-            Response::Error {
-                code: ErrorCode::Timeout,
-                message: "request deadline exceeded".to_string(),
-            }
+            (
+                Response::Error {
+                    code: ErrorCode::Timeout,
+                    message: "request deadline exceeded".to_string(),
+                },
+                None,
+            )
         }
         Err(Rejection::ShuttingDown) => {
             shared.metrics.record_error();
-            Response::Error {
-                code: ErrorCode::Internal,
-                message: "server shutting down".to_string(),
-            }
+            (
+                Response::Error {
+                    code: ErrorCode::Internal,
+                    message: "server shutting down".to_string(),
+                },
+                None,
+            )
         }
         Err(Rejection::Estimate(e)) => {
             shared.metrics.record_error();
-            estimate_error_response(&e)
+            (estimate_error_response(&e), None)
         }
+    }
+}
+
+/// Renders every counter, gauge, and histogram as Prometheus text
+/// exposition. Real newlines cannot cross the one-line wire, so they are
+/// escaped as literal `\n`; [`crate::Client::stats`] reverses this.
+fn stats_payload(shared: &Shared) -> String {
+    let m = &shared.metrics;
+    let mut p = PromText::new();
+    p.counter("serve/requests", m.requests.get())
+        .counter("serve/ok", m.ok.get())
+        .counter("serve/errors", m.errors.get())
+        .counter("serve/shed", m.shed.get())
+        .counter("serve/timeouts", m.timeouts.get())
+        .counter("serve/batches", m.batches.get())
+        .counter("serve/expired_jobs", shared.batcher.expired_jobs())
+        .gauge("serve/queue_len", shared.batcher.queue_len() as f64)
+        .gauge(
+            "serve/active_connections",
+            shared.active_connections.load(Ordering::SeqCst) as f64,
+        )
+        .summary("serve/latency_us", &m.latency_us.snapshot())
+        .summary("serve/batch_size", &m.batch_size.snapshot())
+        .summary("serve/stage/parse_us", &m.stage_parse_us.snapshot())
+        .summary("serve/stage/queue_us", &m.stage_queue_us.snapshot())
+        .summary(
+            "serve/stage/batch_wait_us",
+            &m.stage_batch_wait_us.snapshot(),
+        )
+        .summary("serve/stage/forward_us", &m.stage_forward_us.snapshot())
+        .summary("serve/stage/write_us", &m.stage_write_us.snapshot())
+        .counter(
+            "serve/trace/kept",
+            m.slow.pushed().saturating_sub(m.slow.dropped()),
+        )
+        .counter("serve/trace/dropped", m.slow.dropped());
+    for name in shared.monitors.names() {
+        if let Some(mon) = shared.monitors.get(&name) {
+            p.summary(&format!("feedback/{name}/qerror_scaled"), &mon.rolling());
+        }
+    }
+    p.tracer(ds_obs::global());
+    p.into_string().trim_end().replace('\n', "\\n")
+}
+
+/// Renders the slow-request exemplar ring as semicolon-separated records,
+/// oldest first.
+fn trace_payload(shared: &Shared) -> String {
+    let exemplars = shared.metrics.slow.snapshot();
+    if exemplars.is_empty() {
+        return "(none)".to_string();
+    }
+    exemplars
+        .iter()
+        .map(RequestTimeline::to_wire)
+        .collect::<Vec<_>>()
+        .join(";")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_storage::gen::{imdb_database, ImdbConfig};
+
+    #[test]
+    fn interner_shares_one_rendering_per_query_shape() {
+        let db = imdb_database(&ImdbConfig::tiny(3));
+        let interner = TemplateInterner::new();
+        // Same shape, different literals and clause order → one entry.
+        let a = parse_query(
+            &db,
+            "SELECT COUNT(*) FROM title t, movie_keyword mk \
+             WHERE mk.movie_id = t.id AND t.production_year > 1995",
+        )
+        .expect("parse");
+        let b = parse_query(
+            &db,
+            "SELECT COUNT(*) FROM movie_keyword mk, title t \
+             WHERE t.production_year > 2001 AND mk.movie_id = t.id",
+        )
+        .expect("parse");
+        let ta = interner.get(&db, &a);
+        let tb = interner.get(&db, &b);
+        assert!(Arc::ptr_eq(&ta, &tb), "same shape must intern to one Arc");
+        assert_eq!(ta.as_ref(), query_template(&db, &a));
+        assert_eq!(ta.as_ref(), query_template(&db, &b));
+
+        // A different operator on the same column is a different shape.
+        let c = parse_query(
+            &db,
+            "SELECT COUNT(*) FROM title t, movie_keyword mk \
+             WHERE mk.movie_id = t.id AND t.production_year < 1995",
+        )
+        .expect("parse");
+        let tc = interner.get(&db, &c);
+        assert!(!Arc::ptr_eq(&ta, &tc));
+        assert_eq!(tc.as_ref(), query_template(&db, &c));
     }
 }

@@ -262,6 +262,219 @@ fn sketch_store_survives_concurrent_mutation() {
     assert!(store.estimate("stable", &q).unwrap() >= 1.0);
 }
 
+/// The observability surface end to end: STATS exposition, TRACE stage
+/// decomposition, typed client accessors, and the FEEDBACK ↔ ESTIMATE
+/// bit-identity.
+#[test]
+fn stats_trace_and_feedback_expose_the_request_timeline() {
+    let (db, store) = fixture();
+    let server = Server::start(
+        Arc::clone(&db),
+        Arc::clone(&store),
+        ServeConfig {
+            request_timeout: Duration::from_secs(30),
+            // Keep every request as a TRACE exemplar.
+            slow_threshold: Duration::ZERO,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let mut c = Client::connect_timeout(server.local_addr(), Duration::from_secs(30)).unwrap();
+
+    // FEEDBACK answers through the same batcher path as ESTIMATE: the
+    // returned estimate is bit-identical.
+    let joined = WORKLOAD[4];
+    let est = c.estimate_value("imdb", joined).unwrap();
+    let fed = c.feedback_value("imdb", 123, joined).unwrap();
+    assert_eq!(est.to_bits(), fed.to_bits());
+    for sql in WORKLOAD {
+        c.estimate_value("imdb", sql).unwrap();
+    }
+    let answered = 2 + WORKLOAD.len() as u64;
+
+    // Typed METRICS and INFO.
+    let snap = c.metrics_snapshot().unwrap();
+    assert_eq!(snap.ok, answered);
+    assert_eq!(snap.errors, 0);
+    let card = c.info_card("imdb").unwrap();
+    assert_eq!(card.tables, 6);
+    assert!(card.model_params > 0 && card.footprint_mib > 0.0);
+
+    // STATS: the Prometheus exposition carries the counters, the stage
+    // summaries, and the feedback monitor's rolling q-error histogram.
+    let samples = c.stats().unwrap();
+    let value = |name: &str| {
+        samples
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| s.value)
+            .unwrap_or_else(|| panic!("missing sample {name}"))
+    };
+    assert_eq!(value("ds_serve_ok"), answered as f64);
+    assert!(value("ds_serve_requests") >= answered as f64);
+    for stage in ["parse", "queue", "batch_wait", "forward", "write"] {
+        let count = value(&format!("ds_serve_stage_{stage}_us_count"));
+        assert_eq!(count, answered as f64, "stage {stage}");
+    }
+    assert!(samples.iter().any(|s| {
+        s.name == "ds_serve_stage_forward_us"
+            && s.labels.iter().any(|(k, v)| k == "quantile" && v == "0.95")
+    }));
+    assert_eq!(value("ds_feedback_imdb_qerror_scaled_count"), 1.0);
+
+    // TRACE: every exemplar's stages sum to its wall time within 5%
+    // (plus sub-µs truncation slack per stage).
+    let traces = c.trace().unwrap();
+    assert_eq!(traces.len(), answered as usize);
+    for t in &traces {
+        assert_eq!(t.sketch, "imdb");
+        assert!(!t.template.is_empty());
+        let diff = t.stage_sum_us().abs_diff(t.total_us) as f64;
+        assert!(
+            diff <= 0.05 * t.total_us as f64 + 6.0,
+            "stages {} vs total {} in {t:?}",
+            t.stage_sum_us(),
+            t.total_us
+        );
+    }
+    // Templates are structural: the joined query names both tables and
+    // elides literals.
+    let tpl = &traces
+        .iter()
+        .find(|t| t.template.contains("movie_keyword"))
+        .expect("joined-query exemplar")
+        .template;
+    assert!(
+        tpl.contains("title") && tpl.contains('?') && !tpl.contains('1'),
+        "{tpl}"
+    );
+
+    c.quit().unwrap();
+    server.shutdown();
+}
+
+/// Timelines can be switched off entirely — the baseline side of the
+/// traced-overhead budget — without touching the wire responses.
+#[test]
+fn timeline_off_serves_identically_but_records_no_stages() {
+    let (db, store) = fixture();
+    let server = Server::start(
+        db,
+        store,
+        ServeConfig {
+            timeline: false,
+            request_timeout: Duration::from_secs(30),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let mut c = Client::connect_timeout(server.local_addr(), Duration::from_secs(30)).unwrap();
+    assert!(c.estimate_value("imdb", WORKLOAD[0]).unwrap() >= 1.0);
+    assert!(c.trace().unwrap().is_empty());
+    let samples = c.stats().unwrap();
+    let forward_count = samples
+        .iter()
+        .find(|s| s.name == "ds_serve_stage_forward_us_count")
+        .map(|s| s.value);
+    assert_eq!(forward_count, Some(0.0));
+    // FEEDBACK still grades the estimate — the monitor works without
+    // timelines.
+    c.feedback_value("imdb", 50, WORKLOAD[1]).unwrap();
+    assert_eq!(server.monitors().get("imdb").unwrap().samples(), 1);
+    c.quit().unwrap();
+    server.shutdown();
+}
+
+/// Satellite 3: replaying FEEDBACK with actuals from a shifted-skew,
+/// grown database drives the rolling q-error window away from the
+/// training-time holdout baseline and raises the staleness signal; the
+/// same replay with stationary actuals stays silent.
+#[test]
+fn injected_drift_fires_and_stationary_feedback_stays_silent() {
+    use ds_core::advisor::recommend_retraining;
+    use ds_core::maintain::{accuracy_drift, DEFAULT_DRIFT_RATIO, DEFAULT_MIN_SAMPLES};
+    use ds_est::oracle::TrueCardinalityOracle;
+    use ds_query::sqlgen::to_sql;
+    use ds_query::{GeneratorConfig, QueryGenerator};
+
+    let db = Arc::new(imdb_database(&ImdbConfig::tiny(42)));
+    let store = Arc::new(SketchStore::new());
+    store.insert("imdb", tiny_sketch(&db, 7)).unwrap();
+    let sketch = store.get("imdb").unwrap();
+    let baseline = sketch
+        .baseline()
+        .expect("builder attaches the holdout baseline")
+        .clone();
+
+    // Feedback queries drawn from the same uniform generator family the
+    // builder trains on, so a stationary replay matches the holdout.
+    let mut generator =
+        QueryGenerator::new(&db, GeneratorConfig::new(imdb_predicate_columns(&db), 4242));
+    let queries = generator.generate_batch(60);
+    let sqls: Vec<String> = queries.iter().map(|q| to_sql(&db, q)).collect();
+    let stationary_oracle = TrueCardinalityOracle::new(&db);
+    // The drifted world: 10x the movies, a third of the keywords — the
+    // sketch still answers from its training-time snapshot.
+    let evolved = imdb_database(&ImdbConfig {
+        movies: 5000,
+        keywords: 40,
+        companies: 40,
+        persons: 300,
+        seed: 777,
+    });
+    let evolved_oracle = TrueCardinalityOracle::new(&evolved);
+
+    let server = Server::start(
+        Arc::clone(&db),
+        Arc::clone(&store),
+        ServeConfig {
+            request_timeout: Duration::from_secs(30),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let monitors = server.monitors();
+    let mut c = Client::connect_timeout(server.local_addr(), Duration::from_secs(30)).unwrap();
+
+    // Phase 1: stationary — actuals from the database the sketch was
+    // trained on. The drift detector must stay silent.
+    for (q, sql) in queries.iter().zip(&sqls) {
+        let actual = stationary_oracle.cardinality(q).unwrap();
+        c.feedback_value("imdb", actual, sql).unwrap();
+    }
+    let monitor = monitors.get("imdb").expect("feedback created a monitor");
+    let drift = accuracy_drift(&baseline, &monitor.rolling()).expect("baseline present");
+    assert!(drift.samples >= DEFAULT_MIN_SAMPLES);
+    assert!(
+        !drift.is_stale(DEFAULT_DRIFT_RATIO, DEFAULT_MIN_SAMPLES),
+        "stationary feedback must not raise staleness: {drift}"
+    );
+    assert!(
+        recommend_retraining(&store, &monitors, DEFAULT_DRIFT_RATIO, DEFAULT_MIN_SAMPLES)
+            .is_empty()
+    );
+
+    // Phase 2: the database evolves under the sketch. Same queries, but
+    // the observed actuals now come from the evolved data.
+    monitor.reset();
+    for (q, sql) in queries.iter().zip(&sqls) {
+        let actual = evolved_oracle.cardinality(q).unwrap();
+        c.feedback_value("imdb", actual, sql).unwrap();
+    }
+    let drift = accuracy_drift(&baseline, &monitor.rolling()).expect("baseline present");
+    assert!(
+        drift.is_stale(DEFAULT_DRIFT_RATIO, DEFAULT_MIN_SAMPLES),
+        "injected drift must raise staleness: {drift}"
+    );
+    let advice = recommend_retraining(&store, &monitors, DEFAULT_DRIFT_RATIO, DEFAULT_MIN_SAMPLES);
+    assert_eq!(advice.len(), 1, "{advice:?}");
+    assert_eq!(advice[0].sketch, "imdb");
+    assert!(advice[0].drift.severity() > DEFAULT_DRIFT_RATIO);
+
+    c.quit().unwrap();
+    server.shutdown();
+}
+
 /// Graceful shutdown: requests in flight when shutdown starts still get
 /// answers; the queue drains rather than drops.
 #[test]

@@ -1,10 +1,14 @@
 //! The serving front end, end to end: train a sketch, start the TCP
 //! server, then hammer it with 64 concurrent clients and verify every
 //! answer over the wire is bit-identical to a local `estimate_one` call.
+//! Afterwards a single typed client walks the observability surface —
+//! `INFO`/`METRICS` as parsed structs, the `STATS` Prometheus exposition,
+//! `TRACE` request-stage exemplars — and replays exact cardinalities
+//! through `FEEDBACK` into the sketch's rolling q-error monitor.
 //!
 //! This is the smoke test CI runs for `ds-serve` — it exercises the full
-//! stack (accept loop, protocol, coalescing batcher, metrics) in a few
-//! seconds and fails loudly on any mismatch.
+//! stack (accept loop, protocol, coalescing batcher, metrics, timelines,
+//! feedback) in a few seconds and fails loudly on any mismatch.
 //!
 //! Run with: `cargo run --release --example serve_demo`
 
@@ -63,6 +67,9 @@ fn main() {
         ServeConfig {
             workers: 4,
             request_timeout: Duration::from_secs(30),
+            // Keep a timeline exemplar for every request so the TRACE
+            // check below always has something to decompose.
+            slow_threshold: Duration::ZERO,
             ..ServeConfig::default()
         },
     )
@@ -70,15 +77,25 @@ fn main() {
     let addr = server.local_addr();
     println!("serving on {addr}");
 
-    // One warm-up client exercises the metadata commands.
+    // One warm-up client exercises the metadata commands through the
+    // typed accessors.
     {
         let mut c = Client::connect(addr).expect("connect");
         if let Response::Text(t) = c.list().expect("LIST") {
             println!("LIST    -> {t}");
         }
-        if let Response::Text(t) = c.info("imdb").expect("INFO") {
-            println!("INFO    -> {t}");
-        }
+        let card = c.info_card("imdb").expect("INFO");
+        println!(
+            "INFO    -> {}: {} tables, {} joins, {} predicate columns, \
+             {} params, {:.2} MiB",
+            card.database,
+            card.tables,
+            card.joins,
+            card.predicate_columns,
+            card.model_params,
+            card.footprint_mib
+        );
+        assert_eq!(card.database, "imdb");
         c.quit().expect("QUIT");
     }
 
@@ -122,6 +139,73 @@ fn main() {
     });
     let elapsed = t0.elapsed();
 
+    // Walk the observability surface with one typed client while the
+    // server is still up, then replay ground truth through FEEDBACK.
+    {
+        let mut c = Client::connect(addr).expect("connect");
+
+        let snap = c.metrics_snapshot().expect("METRICS");
+        assert!(
+            snap.ok >= answered as u64,
+            "snapshot missing fleet requests"
+        );
+
+        let stats = c.stats().expect("STATS");
+        assert!(
+            stats.iter().any(|s| s.name.contains("forward")),
+            "STATS exposition lacks the forward-stage summary"
+        );
+        println!("STATS   -> {} Prometheus samples", stats.len());
+
+        let traces = c.trace().expect("TRACE");
+        assert!(!traces.is_empty(), "no timeline exemplars kept");
+        let t = &traces[0];
+        // The five stages decompose the request wall time (5% tolerance
+        // plus a few µs of per-stage integer truncation).
+        let diff = (t.total_us as f64 - t.stage_sum_us() as f64).abs();
+        assert!(
+            diff <= 0.05 * t.total_us as f64 + 6.0,
+            "stage decomposition off: {t:?}"
+        );
+        println!(
+            "TRACE   -> {} exemplars; e.g. [{}] {}µs = parse {} + queue {} \
+             + batch-wait {} + forward {} + write {}",
+            traces.len(),
+            t.template,
+            t.total_us,
+            t.parse_us,
+            t.queue_us,
+            t.batch_wait_us,
+            t.forward_us,
+            t.write_us
+        );
+
+        // FEEDBACK: replay the exact cardinality for every workload
+        // query. The returned estimate must still be bit-identical to
+        // the local one (feedback never perturbs the answer), and each
+        // observation lands in the sketch's rolling q-error monitor.
+        let oracle = TrueCardinalityOracle::new(&db);
+        for (j, sql) in workload.iter().enumerate() {
+            let actual = oracle
+                .cardinality(&parse_query(&db, sql).expect("parse"))
+                .expect("exact count");
+            let got = c.feedback_value("imdb", actual, sql).expect("FEEDBACK");
+            assert_eq!(
+                got.to_bits(),
+                local[j].to_bits(),
+                "feedback perturbed estimate"
+            );
+        }
+        let monitor = server.monitors().get("imdb").expect("feedback monitor");
+        assert_eq!(monitor.samples(), workload.len() as u64);
+        println!(
+            "FEEDBACK-> {} observations, rolling q-error p50 {:.2}",
+            monitor.samples(),
+            deep_sketches::core::monitor::descale_qerror(monitor.rolling().quantile(0.5))
+        );
+        c.quit().expect("QUIT");
+    }
+
     let snap = server.shutdown();
     println!("{snap}");
     println!(
@@ -133,7 +217,12 @@ fn main() {
     );
 
     assert_eq!(mismatches, 0, "wire answers diverged from estimate_one");
-    assert_eq!(answered as u64, snap.ok, "request accounting diverged");
+    // The fleet's estimates plus the feedback replays, each answered OK.
+    assert_eq!(
+        (answered + workload.len()) as u64,
+        snap.ok,
+        "request accounting diverged"
+    );
     assert!(snap.batches < snap.ok, "coalescing never engaged");
     println!("serve_demo OK: all {answered} wire answers bit-identical to estimate_one");
 }

@@ -17,7 +17,8 @@
 //! * [`core`] — the paper's contribution: featurization, the MSCN model,
 //!   training, and the [`core::sketch::DeepSketch`] wrapper.
 //! * [`serve`] — concurrent TCP serving front end with request
-//!   coalescing over the [`core::store::SketchStore`].
+//!   coalescing, per-request stage timelines, and online q-error
+//!   feedback monitoring over the [`core::store::SketchStore`].
 //!
 //! ## Quickstart
 //!
@@ -54,11 +55,17 @@ pub use ds_storage as storage;
 
 /// Convenient, flat imports for applications.
 pub mod prelude {
-    pub use ds_core::advisor::{recommend, Advice, AdvisorConfig};
+    pub use ds_core::advisor::{
+        recommend, recommend_retraining, Advice, AdvisorConfig, RetrainAdvice,
+    };
     pub use ds_core::builder::{BuildProgress, SketchBuilder};
     pub use ds_core::fleet::{Route, SketchFleet};
-    pub use ds_core::maintain::{detect_drift, refresh_samples, DriftReport};
+    pub use ds_core::maintain::{
+        accuracy_drift, detect_drift, refresh_samples, AccuracyDrift, DriftReport,
+        DEFAULT_DRIFT_RATIO, DEFAULT_MIN_SAMPLES,
+    };
     pub use ds_core::metrics::{qerror, QErrorSummary};
+    pub use ds_core::monitor::{MonitorRegistry, QErrorMonitor};
     pub use ds_core::sketch::DeepSketch;
     pub use ds_core::store::{SketchStatus, SketchStore, StoreHandle};
     pub use ds_core::template::{QueryTemplate, ValueFn};
@@ -71,7 +78,7 @@ pub mod prelude {
     pub use ds_query::query::Query;
     pub use ds_query::workloads::job_light::job_light_workload;
     pub use ds_query::workloads::{imdb_predicate_columns, tpch_predicate_columns};
-    pub use ds_serve::{Client, ServeConfig, Server};
+    pub use ds_serve::{Client, InfoCard, MetricsSnapshot, RequestTimeline, ServeConfig, Server};
     pub use ds_storage::gen::{imdb_database, tpch_database, ImdbConfig, TpchConfig};
     pub use ds_storage::Database;
 }
