@@ -79,12 +79,13 @@ struct Options {
     trace: bool,
     threshold: f64,
     baseline: String,
+    summary: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: bench_harness [--quick] [--check] [--update] [--strict] [--trace]\n\
-         \x20                    [--baseline <path>] [--threshold <frac>]\n\
+         \x20                    [--baseline <path>] [--threshold <frac>] [--summary <path>]\n\
          \n\
          --quick      run the pinned quick suite (default; only suite today)\n\
          --check      diff against the baseline; exit 1 on regression\n\
@@ -92,7 +93,8 @@ fn usage() -> ! {
          --strict     gate absolute timings too (same-machine diffs only)\n\
          --trace      enable the ds-obs tracer; print span report to stderr\n\
          --baseline   baseline path (default: <repo>/BENCH_quick.json)\n\
-         --threshold  tolerated fractional worsening (default: {DEFAULT_THRESHOLD})"
+         --threshold  tolerated fractional worsening (default: {DEFAULT_THRESHOLD})\n\
+         --summary    write a markdown diff table (for $GITHUB_STEP_SUMMARY)"
     );
     std::process::exit(2)
 }
@@ -105,6 +107,7 @@ fn parse_args() -> Options {
         trace: false,
         threshold: DEFAULT_THRESHOLD,
         baseline: format!("{REPO_ROOT}/BENCH_quick.json"),
+        summary: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -122,6 +125,10 @@ fn parse_args() -> Options {
                 Some(t) if t >= 0.0 => opts.threshold = t,
                 _ => usage(),
             },
+            "--summary" => match args.next() {
+                Some(p) => opts.summary = Some(p),
+                None => usage(),
+            },
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -130,6 +137,86 @@ fn parse_args() -> Options {
         }
     }
     opts
+}
+
+/// Compact metric formatting for the markdown table: enough digits to
+/// compare, no scientific noise.
+fn fmt_value(v: f64) -> String {
+    if v.abs() >= 100.0 {
+        format!("{v:.1}")
+    } else if v.abs() >= 0.001 || v == 0.0 {
+        format!("{v:.4}")
+    } else {
+        format!("{v:.2e}")
+    }
+}
+
+/// Renders the current-vs-baseline diff as a GitHub-flavored markdown
+/// table — the payload CI appends to `$GITHUB_STEP_SUMMARY` so a
+/// regression is readable from the run page without downloading
+/// artifacts. Written on success AND failure; `regressions` marks the
+/// failing rows.
+fn summary_markdown(
+    baseline: Option<&BenchReport>,
+    current: &BenchReport,
+    regressions: &[ds_bench::harness::Regression],
+    opts: &Options,
+) -> String {
+    use std::fmt::Write as _;
+    let mut md = String::new();
+    let _ = writeln!(md, "### bench_harness `{}` suite\n", current.suite);
+    let _ = writeln!(
+        md,
+        "Gate: portable metrics{} within ±{:.0}% of `{}`.\n",
+        if opts.strict {
+            " and absolute timings (strict)"
+        } else {
+            ""
+        },
+        opts.threshold * 100.0,
+        opts.baseline,
+    );
+    let _ = writeln!(md, "| metric | baseline | current | Δ | gated | status |");
+    let _ = writeln!(md, "|---|---:|---:|---:|---|---|");
+    for m in &current.metrics {
+        let base = baseline.and_then(|b| b.get(&m.name));
+        let (base_s, delta_s) = match base {
+            Some(b) if b.value != 0.0 => {
+                let delta = (m.value - b.value) / b.value * 100.0;
+                (fmt_value(b.value), format!("{delta:+.1}%"))
+            }
+            Some(b) => (fmt_value(b.value), "n/a".to_string()),
+            None => ("—".to_string(), "new".to_string()),
+        };
+        let gated = if m.portable {
+            "portable"
+        } else if opts.strict {
+            "strict"
+        } else {
+            "local"
+        };
+        let status = if regressions.iter().any(|r| r.name == m.name) {
+            "**REGRESSED**"
+        } else if base.is_some() {
+            "ok"
+        } else {
+            "—"
+        };
+        let _ = writeln!(
+            md,
+            "| `{}` | {} | {} | {} | {} | {} |",
+            m.name,
+            base_s,
+            fmt_value(m.value),
+            delta_s,
+            gated,
+            status,
+        );
+    }
+    if baseline.is_none() {
+        let _ = writeln!(md, "\nNo readable baseline at `{}`.", opts.baseline);
+    }
+    md
 }
 
 /// Minimum wall-clock seconds of `iters` runs of `f`. For the ratio-style
@@ -478,6 +565,24 @@ fn main() -> ExitCode {
     }
     println!("\nwrote {latest_path}");
 
+    // The summary is written unconditionally — before any gate can fail —
+    // so a red bench-smoke run still gets its diff table on the run page.
+    let baseline = std::fs::read_to_string(&opts.baseline)
+        .ok()
+        .and_then(|t| BenchReport::from_json_str(&t).ok());
+    let regressions = baseline
+        .as_ref()
+        .map(|b| compare(b, &current, opts.threshold, opts.strict))
+        .unwrap_or_default();
+    if let Some(path) = &opts.summary {
+        let md = summary_markdown(baseline.as_ref(), &current, &regressions, &opts);
+        if let Err(e) = std::fs::write(path, md) {
+            eprintln!("error: cannot write summary {path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("wrote summary {path}");
+    }
+
     if opts.update {
         if let Err(e) = std::fs::write(&opts.baseline, current.to_json_string()) {
             eprintln!("error: cannot write baseline {}: {e}", opts.baseline);
@@ -488,22 +593,11 @@ fn main() -> ExitCode {
     }
 
     if opts.check {
-        let text = match std::fs::read_to_string(&opts.baseline) {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("error: cannot read baseline {}: {e}", opts.baseline);
-                eprintln!("hint: create one with `bench_harness --quick --update`");
-                return ExitCode::from(2);
-            }
-        };
-        let baseline = match BenchReport::from_json_str(&text) {
-            Ok(b) => b,
-            Err(e) => {
-                eprintln!("error: malformed baseline {}: {e:?}", opts.baseline);
-                return ExitCode::from(2);
-            }
-        };
-        let regressions = compare(&baseline, &current, opts.threshold, opts.strict);
+        if baseline.is_none() {
+            eprintln!("error: cannot read baseline {}", opts.baseline);
+            eprintln!("hint: create one with `bench_harness --quick --update`");
+            return ExitCode::from(2);
+        }
         if regressions.is_empty() {
             println!(
                 "check OK: no regression beyond {:.0}% vs {}",

@@ -30,6 +30,7 @@ pub mod metrics;
 pub mod monitor;
 pub mod mscn;
 pub mod sketch;
+pub mod snapshot;
 pub mod store;
 pub mod template;
 pub mod train;
@@ -46,9 +47,10 @@ pub use maintain::{
     DEFAULT_MIN_SAMPLES,
 };
 pub use metrics::{qerror, QErrorSummary};
-pub use monitor::{MonitorRegistry, QErrorMonitor};
+pub use monitor::{MonitorRegistry, MonitorState, QErrorMonitor};
 pub use mscn::{MscnConfig, MscnModel};
 pub use sketch::{DeepSketch, SketchInfo};
-pub use store::{SketchStatus, SketchStore, StoreError, StoreHandle};
+pub use snapshot::{SketchSnapshot, SnapshotError, WriteFault};
+pub use store::{RecoveryReport, SketchStatus, SketchStore, StoreError, StoreHandle};
 pub use template::{QueryTemplate, TemplateInstance, ValueFn};
 pub use train::{LossKind, TrainConfig, TrainingReport};

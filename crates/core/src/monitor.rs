@@ -158,6 +158,60 @@ impl QErrorMonitor {
         self.overall.reset();
         self.templates.write().clear();
     }
+
+    /// Freezes the monitor's complete window state — geometry, rotation
+    /// cursors, and every per-template window — into a plain-data value
+    /// that snapshots can serialize. Restoring with
+    /// [`QErrorMonitor::from_state`] resumes drift tracking exactly where
+    /// the exported monitor left off.
+    pub fn export_state(&self) -> MonitorState {
+        let mut templates: Vec<(String, Vec<u64>)> = self
+            .templates
+            .read()
+            .iter()
+            .map(|(k, w)| (k.clone(), w.to_words()))
+            .collect();
+        templates.sort_by(|a, b| a.0.cmp(&b.0));
+        MonitorState {
+            overall: self.overall.to_words(),
+            templates,
+        }
+    }
+
+    /// Rebuilds a monitor from an exported state. Returns `None` when any
+    /// window fails validation or a template window's geometry disagrees
+    /// with the sketch-wide window (all windows of one monitor share
+    /// `slots`/`slot_capacity` by construction).
+    pub fn from_state(state: &MonitorState) -> Option<Self> {
+        let overall = WindowedHistogram::from_words(&state.overall)?;
+        let (slots, slot_capacity) = (overall.slots(), overall.slot_capacity());
+        let mut templates = HashMap::with_capacity(state.templates.len());
+        for (name, words) in &state.templates {
+            let w = WindowedHistogram::from_words(words)?;
+            if w.slots() != slots || w.slot_capacity() != slot_capacity {
+                return None;
+            }
+            templates.insert(name.clone(), Arc::new(w));
+        }
+        Some(Self {
+            overall,
+            templates: RwLock::new(templates),
+            slots,
+            slot_capacity,
+        })
+    }
+}
+
+/// Plain-data copy of a [`QErrorMonitor`]'s full rolling-window state, in
+/// the `u64`-word encoding of [`WindowedHistogram::to_words`]. This is
+/// what crash-safe snapshots persist so a warm restart keeps the drift
+/// signal instead of starting the windows cold.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MonitorState {
+    /// Sketch-wide window words.
+    pub overall: Vec<u64>,
+    /// Per-template window words, sorted by template name.
+    pub templates: Vec<(String, Vec<u64>)>,
 }
 
 /// Monitors for every served sketch, keyed by store name. Shared between
@@ -191,6 +245,14 @@ impl MonitorRegistry {
         let mut names: Vec<String> = self.monitors.read().keys().cloned().collect();
         names.sort();
         names
+    }
+
+    /// Installs a restored monitor for `sketch` (warm-restart recovery),
+    /// replacing any existing one.
+    pub fn restore(&self, sketch: &str, monitor: QErrorMonitor) {
+        self.monitors
+            .write()
+            .insert(sketch.to_string(), Arc::new(monitor));
     }
 
     /// Drops the monitor of a removed/retrained sketch.
@@ -260,6 +322,46 @@ mod tests {
         assert!(r.remove("imdb"));
         assert!(!r.remove("imdb"));
         assert!(r.get("imdb").is_none());
+    }
+
+    #[test]
+    fn monitor_state_roundtrips_and_resumes() {
+        let m = QErrorMonitor::new(3, 8);
+        for i in 0..20u32 {
+            m.record(&format!("tpl{}", i % 2), (i + 1) as f64, 1.0);
+        }
+        let state = m.export_state();
+        let restored = QErrorMonitor::from_state(&state).expect("roundtrip");
+        assert_eq!(restored.samples(), m.samples());
+        assert_eq!(restored.rolling(), m.rolling());
+        assert_eq!(restored.templates(), m.templates());
+        // Exporting the restored monitor is bit-identical.
+        assert_eq!(restored.export_state(), state);
+        // And it keeps recording/rotating like the original would.
+        restored.record("tpl0", 2.0, 1.0);
+        assert_eq!(restored.samples(), m.samples() + 1);
+    }
+
+    #[test]
+    fn monitor_state_rejects_corruption() {
+        let m = QErrorMonitor::new(2, 4);
+        m.record("t", 3.0, 1.0);
+        let good = m.export_state();
+        assert!(QErrorMonitor::from_state(&good).is_some());
+        let mut bad = good.clone();
+        bad.overall.pop();
+        assert!(QErrorMonitor::from_state(&bad).is_none());
+        // Template window with mismatched geometry is rejected.
+        let mut mismatched = good.clone();
+        mismatched
+            .templates
+            .push(("other".into(), WindowedHistogram::new(5, 4).to_words()));
+        assert!(QErrorMonitor::from_state(&mismatched).is_none());
+        let mut bad_template = good;
+        if let Some((_, words)) = bad_template.templates.first_mut() {
+            words[3] ^= 1; // slot count no longer matches its buckets
+        }
+        assert!(QErrorMonitor::from_state(&bad_template).is_none());
     }
 
     #[test]

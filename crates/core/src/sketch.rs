@@ -366,7 +366,11 @@ impl DeepSketch {
         let num_tables = d.u64()? as usize;
         let sample_size = d.u64()? as usize;
         let use_bitmaps = d.u64()? != 0;
-        let n_joins = d.u64()? as usize;
+        // Record counts are validated against the remaining input (a join
+        // is 4 u64s, a column entry 2 u64s + 2 f64s, …) so a corrupt
+        // length prefix fails typed instead of panicking in
+        // `Vec::with_capacity` — found by the snapshot fuzz smoke.
+        let n_joins = d.count(32)?;
         let mut joins = Vec::with_capacity(n_joins);
         for _ in 0..n_joins {
             let lt = d.u64()? as usize;
@@ -378,7 +382,7 @@ impl DeepSketch {
                 ColRef::new(TableId(rt), rc),
             ));
         }
-        let n_cols = d.u64()? as usize;
+        let n_cols = d.count(32)?;
         let mut columns = Vec::with_capacity(n_cols);
         let mut bounds = Vec::with_capacity(n_cols);
         for _ in 0..n_cols {
@@ -391,7 +395,7 @@ impl DeepSketch {
             Featurizer::from_parts(num_tables, sample_size, use_bitmaps, joins, columns, bounds);
 
         // Samples.
-        let n_samples = d.u64()? as usize;
+        let n_samples = d.count(40)?;
         let mut samples = Vec::with_capacity(n_samples);
         for _ in 0..n_samples {
             let table_id = TableId(d.u64()? as usize);
@@ -404,7 +408,7 @@ impl DeepSketch {
                 })
                 .collect::<Result<_, _>>()?;
             let tname = d.string()?;
-            let n_tcols = d.u64()? as usize;
+            let n_tcols = d.count(32)?;
             let mut cols = Vec::with_capacity(n_tcols);
             for _ in 0..n_tcols {
                 let cname = d.string()?;

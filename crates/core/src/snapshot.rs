@@ -1,0 +1,606 @@
+//! Crash-safe snapshot persistence for served sketches.
+//!
+//! A trained sketch is the paper's durable artifact — "a wrapper for a
+//! (serialized) neural network and a set of materialized samples" — but a
+//! serving process also accumulates state worth surviving a crash: the
+//! training-time q-error baseline travels inside the sketch bytes, and the
+//! rolling [`crate::monitor::QErrorMonitor`] windows carry the online
+//! drift signal. A snapshot freezes all of it into one self-validating
+//! file.
+//!
+//! ## On-disk format (`DSNP` version 1)
+//!
+//! All integers little-endian:
+//!
+//! ```text
+//! magic "DSNP" | version u32
+//! name          : u64 length + UTF-8 bytes
+//! generation    : u64
+//! sketch blob   : u64 length + DeepSketch::to_bytes payload
+//! monitor flag  : u64 (0 = absent, 1 = present)
+//! [ overall window : u64 count + words
+//!   template count : u64
+//!   per template   : name string + u64 count + words ]
+//! checksum      : FNV-1a 64 over every preceding byte
+//! ```
+//!
+//! The trailing checksum covers the entire body, so any truncation or
+//! bit-flip anywhere in the file fails validation — there is no padding or
+//! ignored region an undetected corruption could hide in.
+//!
+//! ## Write protocol
+//!
+//! [`write_snapshot_bytes`] is atomic against crashes: the payload goes to
+//! `<name>.<generation>.tmp`, is fsynced, renamed over the final
+//! `<name>.<generation>.snap`, and the directory is fsynced. A crash at
+//! any point leaves either the previous generation intact or both the
+//! previous generation and a temp/corrupt file that recovery discards —
+//! never a torn "latest" file that silently decodes.
+//!
+//! Fault injection is an explicit [`WriteFault`] parameter (production
+//! callers pass [`WriteFault::none`]), so the injection surface costs
+//! nothing and cannot be tripped accidentally at runtime.
+
+use std::fs::{self, File};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use ds_nn::serialize::DecodeError;
+
+use crate::monitor::MonitorState;
+use crate::sketch::DeepSketch;
+
+/// Magic bytes of a snapshot file.
+pub const SNAPSHOT_MAGIC: [u8; 4] = *b"DSNP";
+
+/// Current snapshot format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// File extension of durable snapshots (`<name>.<generation>.snap`).
+pub const SNAPSHOT_EXT: &str = "snap";
+
+/// File extension of in-flight temp files, never considered durable.
+pub const SNAPSHOT_TMP_EXT: &str = "tmp";
+
+/// Sanity caps on decoded lengths so corrupt prefixes fail fast instead of
+/// attempting huge allocations.
+const MAX_NAME_LEN: u64 = 256;
+const MAX_SKETCH_LEN: u64 = 1 << 31;
+const MAX_WORDS_LEN: u64 = 1 << 24;
+const MAX_TEMPLATES: u64 = 1 << 20;
+
+/// Typed failures of snapshot encode/decode/IO. Every corruption mode a
+/// truncation or bit-flip can produce maps here — the decoder never
+/// panics on untrusted bytes.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Disk I/O failed.
+    Io(std::io::Error),
+    /// The file is too short to even hold the header and checksum.
+    Truncated,
+    /// The magic bytes are not `DSNP` — not a snapshot file.
+    BadMagic,
+    /// A snapshot from an unknown (future) format version.
+    BadVersion(u32),
+    /// The trailing checksum does not match the body.
+    ChecksumMismatch {
+        /// Checksum stored in the file trailer.
+        stored: u64,
+        /// Checksum recomputed over the body.
+        actual: u64,
+    },
+    /// A structural invariant inside the body failed.
+    Corrupt(String),
+    /// The embedded sketch blob failed to decode.
+    Sketch(DecodeError),
+    /// The sketch name is not usable as a snapshot filename.
+    InvalidName(String),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot I/O error: {e}"),
+            SnapshotError::Truncated => write!(f, "snapshot file truncated"),
+            SnapshotError::BadMagic => write!(f, "not a snapshot file (bad magic)"),
+            SnapshotError::BadVersion(v) => write!(f, "unsupported snapshot version {v}"),
+            SnapshotError::ChecksumMismatch { stored, actual } => write!(
+                f,
+                "snapshot checksum mismatch: stored {stored:#018x}, computed {actual:#018x}"
+            ),
+            SnapshotError::Corrupt(m) => write!(f, "corrupt snapshot: {m}"),
+            SnapshotError::Sketch(e) => write!(f, "snapshot sketch payload: {e}"),
+            SnapshotError::InvalidName(n) => write!(f, "invalid sketch name for snapshot: '{n}'"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+/// FNV-1a 64-bit checksum — fast, dependency-free, and plenty to detect
+/// the accidental corruption (torn writes, bit rot) snapshots defend
+/// against. Not a cryptographic integrity guarantee.
+pub fn checksum(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// True when `name` can appear in a snapshot filename: non-empty, at most
+/// 128 bytes, and limited to `[A-Za-z0-9._-]` without leading dots (no
+/// path separators, no hidden files, round-trips through the
+/// `<name>.<generation>.snap` filename scheme).
+pub fn valid_snapshot_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 128
+        && !name.starts_with('.')
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'))
+}
+
+/// The durable path of `name`'s snapshot at `generation`. Generations are
+/// zero-padded so lexical directory order equals generation order.
+pub fn snapshot_path(dir: &Path, name: &str, generation: u64) -> PathBuf {
+    dir.join(format!("{name}.{generation:020}.{SNAPSHOT_EXT}"))
+}
+
+/// Parses `<name>.<generation>.snap` back into `(name, generation)`.
+/// Returns `None` for temp files, quarantined debris, and anything else.
+pub fn parse_snapshot_filename(file_name: &str) -> Option<(String, u64)> {
+    let stem = file_name.strip_suffix(&format!(".{SNAPSHOT_EXT}"))?;
+    let (name, generation) = stem.rsplit_once('.')?;
+    // Zero-padded fixed-width generations only; rejects e.g. "a.1.snap"
+    // debris that this writer never produced.
+    if generation.len() != 20 || !generation.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    let generation: u64 = generation.parse().ok()?;
+    if !valid_snapshot_name(name) {
+        return None;
+    }
+    Some((name.to_string(), generation))
+}
+
+/// A decoded snapshot: everything needed to resume serving a sketch where
+/// the crashed process left off.
+#[derive(Debug)]
+pub struct SketchSnapshot {
+    /// Store name the sketch was registered under.
+    pub name: String,
+    /// Store generation the snapshot captured.
+    pub generation: u64,
+    /// The sketch itself (model, samples, q-error baseline).
+    pub sketch: DeepSketch,
+    /// Rolling q-error monitor windows, when the sketch had feedback.
+    pub monitor: Option<MonitorState>,
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u64(buf, s.len() as u64);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn put_words(buf: &mut Vec<u8>, words: &[u64]) {
+    put_u64(buf, words.len() as u64);
+    for &w in words {
+        put_u64(buf, w);
+    }
+}
+
+/// Serializes one sketch (plus optional monitor state) into the checksummed
+/// `DSNP` byte layout described in the module docs.
+pub fn encode_snapshot(
+    name: &str,
+    generation: u64,
+    sketch: &DeepSketch,
+    monitor: Option<&MonitorState>,
+) -> Vec<u8> {
+    let sketch_bytes = sketch.to_bytes();
+    let mut buf = Vec::with_capacity(sketch_bytes.len() + 1024);
+    buf.extend_from_slice(&SNAPSHOT_MAGIC);
+    buf.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+    put_str(&mut buf, name);
+    put_u64(&mut buf, generation);
+    put_u64(&mut buf, sketch_bytes.len() as u64);
+    buf.extend_from_slice(&sketch_bytes);
+    match monitor {
+        None => put_u64(&mut buf, 0),
+        Some(state) => {
+            put_u64(&mut buf, 1);
+            put_words(&mut buf, &state.overall);
+            put_u64(&mut buf, state.templates.len() as u64);
+            for (template, words) in &state.templates {
+                put_str(&mut buf, template);
+                put_words(&mut buf, words);
+            }
+        }
+    }
+    let sum = checksum(&buf);
+    put_u64(&mut buf, sum);
+    buf
+}
+
+/// Bounded little-endian reader over the snapshot body.
+struct Cursor<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        if self.buf.len() < n {
+            return Err(SnapshotError::Truncated);
+        }
+        let (head, rest) = self.buf.split_at(n);
+        self.buf = rest;
+        Ok(head)
+    }
+
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn bounded_len(&mut self, cap: u64, what: &str) -> Result<usize, SnapshotError> {
+        let n = self.u64()?;
+        if n > cap {
+            return Err(SnapshotError::Corrupt(format!(
+                "{what} length {n} too large"
+            )));
+        }
+        Ok(n as usize)
+    }
+
+    fn string(&mut self, what: &str) -> Result<String, SnapshotError> {
+        let n = self.bounded_len(MAX_NAME_LEN, what)?;
+        String::from_utf8(self.take(n)?.to_vec())
+            .map_err(|_| SnapshotError::Corrupt(format!("{what} is not UTF-8")))
+    }
+
+    fn words(&mut self, what: &str) -> Result<Vec<u64>, SnapshotError> {
+        let n = self.bounded_len(MAX_WORDS_LEN, what)?;
+        let raw = self.take(n * 8)?;
+        Ok(raw
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+            .collect())
+    }
+}
+
+/// Decodes and fully validates a snapshot. Corruption anywhere — header,
+/// body, checksum trailer — returns a typed [`SnapshotError`]; this
+/// function never panics on arbitrary input.
+pub fn decode_snapshot(bytes: &[u8]) -> Result<SketchSnapshot, SnapshotError> {
+    // Header + checksum trailer are the minimum plausible file.
+    if bytes.len() < 4 + 4 + 8 {
+        return Err(SnapshotError::Truncated);
+    }
+    if bytes[..4] != SNAPSHOT_MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    if version == 0 || version > SNAPSHOT_VERSION {
+        return Err(SnapshotError::BadVersion(version));
+    }
+    let (body, trailer) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(trailer.try_into().expect("8 bytes"));
+    let actual = checksum(body);
+    if stored != actual {
+        return Err(SnapshotError::ChecksumMismatch { stored, actual });
+    }
+    let mut c = Cursor { buf: &body[8..] };
+    let name = c.string("sketch name")?;
+    if !valid_snapshot_name(&name) {
+        return Err(SnapshotError::Corrupt(format!(
+            "invalid sketch name '{name}'"
+        )));
+    }
+    let generation = c.u64()?;
+    let sketch_len = c.bounded_len(MAX_SKETCH_LEN, "sketch blob")?;
+    let sketch_bytes = c.take(sketch_len)?;
+    let sketch = DeepSketch::from_bytes(sketch_bytes).map_err(SnapshotError::Sketch)?;
+    let monitor = match c.u64()? {
+        0 => None,
+        1 => {
+            let overall = c.words("overall window")?;
+            let n = c.bounded_len(MAX_TEMPLATES, "template count")?;
+            let mut templates = Vec::with_capacity(n);
+            for _ in 0..n {
+                let template = c.string("template name")?;
+                let words = c.words("template window")?;
+                templates.push((template, words));
+            }
+            Some(MonitorState { overall, templates })
+        }
+        other => {
+            return Err(SnapshotError::Corrupt(format!("bad monitor flag {other}")));
+        }
+    };
+    if !c.buf.is_empty() {
+        return Err(SnapshotError::Corrupt(format!(
+            "{} trailing bytes after snapshot body",
+            c.buf.len()
+        )));
+    }
+    Ok(SketchSnapshot {
+        name,
+        generation,
+        sketch,
+        monitor,
+    })
+}
+
+/// Deterministic write-path fault, threaded in explicitly by crash tests.
+/// Production callers pass [`WriteFault::none`]; the faults model the
+/// failure points of the atomic write protocol:
+///
+/// * `truncate_at` — the process died after writing only a prefix;
+/// * `bit_flip` — the device corrupted a byte (mask XORed at an offset);
+/// * `crash_before_rename` — the temp file was fully written and synced
+///   but the publish rename never happened;
+/// * `skip_fsync` — the data never reached the platter (models a crash
+///   racing the page cache).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WriteFault {
+    /// Keep only this many bytes of the payload.
+    pub truncate_at: Option<usize>,
+    /// XOR this mask into the byte at this offset (ignored when out of range).
+    pub bit_flip: Option<(usize, u8)>,
+    /// Stop after the temp write, before the rename publishes the file.
+    pub crash_before_rename: bool,
+    /// Skip the file and directory fsyncs.
+    pub skip_fsync: bool,
+}
+
+impl WriteFault {
+    /// No fault: the production write path.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// True when every fault knob is off.
+    pub fn is_none(&self) -> bool {
+        *self == Self::default()
+    }
+}
+
+/// Outcome of a (possibly fault-injected) snapshot write.
+#[derive(Debug)]
+pub enum WriteOutcome {
+    /// The snapshot is durable at this path.
+    Durable(PathBuf),
+    /// The injected crash stopped the protocol before publish; only the
+    /// temp file at this path exists.
+    CrashedBeforeRename(PathBuf),
+}
+
+impl WriteOutcome {
+    /// The durable path, panicking on a simulated crash — convenience for
+    /// production callers that always pass [`WriteFault::none`].
+    pub fn durable(self) -> PathBuf {
+        match self {
+            WriteOutcome::Durable(p) => p,
+            WriteOutcome::CrashedBeforeRename(_) => {
+                unreachable!("crash faults are only injected by tests")
+            }
+        }
+    }
+}
+
+/// Atomically publishes pre-encoded snapshot bytes as
+/// `<dir>/<name>.<generation>.snap` using the write-temp → fsync → rename
+/// → fsync-dir protocol, applying `fault` at the corresponding step. See
+/// [`WriteFault`] for what each injected fault models.
+pub fn write_snapshot_bytes(
+    dir: &Path,
+    name: &str,
+    generation: u64,
+    bytes: &[u8],
+    fault: &WriteFault,
+) -> Result<WriteOutcome, SnapshotError> {
+    if !valid_snapshot_name(name) {
+        return Err(SnapshotError::InvalidName(name.to_string()));
+    }
+    fs::create_dir_all(dir)?;
+    let mut payload = bytes;
+    let truncated;
+    if let Some(keep) = fault.truncate_at {
+        truncated = &bytes[..keep.min(bytes.len())];
+        payload = truncated;
+    }
+    let mut flipped;
+    if let Some((offset, mask)) = fault.bit_flip {
+        if offset < payload.len() && mask != 0 {
+            flipped = payload.to_vec();
+            flipped[offset] ^= mask;
+            payload = &flipped;
+        }
+    }
+    let tmp = dir.join(format!("{name}.{generation:020}.{SNAPSHOT_TMP_EXT}"));
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(payload)?;
+        if !fault.skip_fsync {
+            f.sync_all()?;
+        }
+    }
+    if fault.crash_before_rename {
+        return Ok(WriteOutcome::CrashedBeforeRename(tmp));
+    }
+    let path = snapshot_path(dir, name, generation);
+    fs::rename(&tmp, &path)?;
+    if !fault.skip_fsync {
+        // Make the rename itself durable: fsync the containing directory.
+        File::open(dir)?.sync_all()?;
+    }
+    Ok(WriteOutcome::Durable(path))
+}
+
+/// Encodes and atomically publishes a snapshot (production path, no
+/// faults). Returns the durable path.
+pub fn write_snapshot(
+    dir: &Path,
+    name: &str,
+    generation: u64,
+    sketch: &DeepSketch,
+    monitor: Option<&MonitorState>,
+) -> Result<PathBuf, SnapshotError> {
+    let bytes = encode_snapshot(name, generation, sketch, monitor);
+    Ok(write_snapshot_bytes(dir, name, generation, &bytes, &WriteFault::none())?.durable())
+}
+
+/// Reads and validates one snapshot file.
+pub fn read_snapshot(path: &Path) -> Result<SketchSnapshot, SnapshotError> {
+    decode_snapshot(&fs::read(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checksum_is_stable_and_sensitive() {
+        assert_eq!(checksum(b""), 0xcbf2_9ce4_8422_2325);
+        let a = checksum(b"deep sketch");
+        assert_eq!(a, checksum(b"deep sketch"), "deterministic");
+        assert_ne!(a, checksum(b"deep sketcH"));
+        assert_ne!(a, checksum(b"deep sketc"));
+    }
+
+    #[test]
+    fn filenames_roundtrip_and_reject_debris() {
+        let p = snapshot_path(Path::new("/x"), "imdb", 42);
+        let file = p.file_name().unwrap().to_str().unwrap();
+        assert_eq!(parse_snapshot_filename(file), Some(("imdb".into(), 42)));
+        // Lexical order equals generation order thanks to zero padding.
+        let older = snapshot_path(Path::new("/x"), "imdb", 9);
+        assert!(older.file_name().unwrap() < p.file_name().unwrap());
+        for bad in [
+            "imdb.42.snap",                   // unpadded
+            "imdb.00000000000000000042.tmp",  // temp file
+            "imdb.00000000000000000042",      // no extension
+            ".00000000000000000042.snap",     // empty name
+            "a/b.00000000000000000042.snap",  // path separator
+            "imdb.0000000000000000004x.snap", // non-digit generation
+            "quarantine",                     // directory debris
+        ] {
+            assert_eq!(parse_snapshot_filename(bad), None, "{bad}");
+        }
+    }
+
+    #[test]
+    fn name_validation_blocks_path_tricks() {
+        assert!(valid_snapshot_name("imdb"));
+        assert!(valid_snapshot_name("imdb-v2.full_01"));
+        for bad in [
+            "",
+            ".hidden",
+            "a/b",
+            "a\\b",
+            "a b",
+            "a\nb",
+            &"x".repeat(129),
+        ] {
+            assert!(!valid_snapshot_name(bad), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn decoder_rejects_headers_without_panicking() {
+        assert!(matches!(
+            decode_snapshot(b""),
+            Err(SnapshotError::Truncated)
+        ));
+        assert!(matches!(
+            decode_snapshot(b"NOPE00000000000000000000"),
+            Err(SnapshotError::BadMagic)
+        ));
+        let mut future = Vec::new();
+        future.extend_from_slice(&SNAPSHOT_MAGIC);
+        future.extend_from_slice(&999u32.to_le_bytes());
+        future.extend_from_slice(&[0u8; 8]);
+        assert!(matches!(
+            decode_snapshot(&future),
+            Err(SnapshotError::BadVersion(999))
+        ));
+        // Valid header, garbage checksum trailer.
+        let mut bad_sum = Vec::new();
+        bad_sum.extend_from_slice(&SNAPSHOT_MAGIC);
+        bad_sum.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        bad_sum.extend_from_slice(&[7u8; 16]);
+        assert!(matches!(
+            decode_snapshot(&bad_sum),
+            Err(SnapshotError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn write_faults_apply_deterministically() {
+        let dir = std::env::temp_dir().join(format!("ds_snap_fault_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let bytes: Vec<u8> = (0..64u8).collect();
+
+        // Clean write publishes the final file and removes the temp.
+        let out = write_snapshot_bytes(&dir, "s", 1, &bytes, &WriteFault::none()).unwrap();
+        let WriteOutcome::Durable(path) = out else {
+            panic!("clean write must be durable")
+        };
+        assert_eq!(std::fs::read(&path).unwrap(), bytes);
+        assert!(!dir.join("s.00000000000000000001.tmp").exists());
+
+        // Truncation keeps a prefix.
+        let fault = WriteFault {
+            truncate_at: Some(10),
+            ..WriteFault::none()
+        };
+        let out = write_snapshot_bytes(&dir, "s", 2, &bytes, &fault).unwrap();
+        assert_eq!(std::fs::read(out.durable()).unwrap(), &bytes[..10]);
+
+        // Bit flip XORs exactly one byte.
+        let fault = WriteFault {
+            bit_flip: Some((3, 0x80)),
+            ..WriteFault::none()
+        };
+        let written = std::fs::read(
+            write_snapshot_bytes(&dir, "s", 3, &bytes, &fault)
+                .unwrap()
+                .durable(),
+        )
+        .unwrap();
+        assert_eq!(written[3], bytes[3] ^ 0x80);
+        assert_eq!(written[..3], bytes[..3]);
+        assert_eq!(written[4..], bytes[4..]);
+
+        // Crash-before-rename leaves only the temp file.
+        let fault = WriteFault {
+            crash_before_rename: true,
+            ..WriteFault::none()
+        };
+        let out = write_snapshot_bytes(&dir, "s", 4, &bytes, &fault).unwrap();
+        let WriteOutcome::CrashedBeforeRename(tmp) = out else {
+            panic!("crash fault must not publish")
+        };
+        assert!(tmp.exists());
+        assert!(!snapshot_path(&dir, "s", 4).exists());
+
+        assert!(matches!(
+            write_snapshot_bytes(&dir, "../evil", 1, &bytes, &WriteFault::none()),
+            Err(SnapshotError::InvalidName(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -9,6 +9,7 @@
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -21,7 +22,9 @@ use ds_query::query::Query;
 use ds_storage::catalog::Database;
 
 use crate::builder::{BuildError, BuildReport, SketchBuilder};
+use crate::monitor::{MonitorRegistry, QErrorMonitor};
 use crate::sketch::DeepSketch;
+use crate::snapshot::{self, SnapshotError};
 
 /// Status of a named sketch in the store.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -51,6 +54,8 @@ pub enum StoreError {
     Build(BuildError),
     /// The sketch was found but could not answer the query.
     Estimate(EstimateError),
+    /// A crash-safe snapshot failed to write or read.
+    Snapshot(SnapshotError),
 }
 
 impl std::fmt::Display for StoreError {
@@ -63,6 +68,7 @@ impl std::fmt::Display for StoreError {
             StoreError::Decode(e) => write!(f, "sketch decode error: {e}"),
             StoreError::Build(e) => write!(f, "sketch training failed: {e}"),
             StoreError::Estimate(e) => write!(f, "estimation failed: {e}"),
+            StoreError::Snapshot(e) => write!(f, "{e}"),
         }
     }
 }
@@ -72,6 +78,12 @@ impl std::error::Error for StoreError {}
 impl From<std::io::Error> for StoreError {
     fn from(e: std::io::Error) -> Self {
         StoreError::Io(e)
+    }
+}
+
+impl From<SnapshotError> for StoreError {
+    fn from(e: SnapshotError) -> Self {
+        StoreError::Snapshot(e)
     }
 }
 
@@ -85,6 +97,12 @@ enum Slot {
     Ready {
         sketch: Arc<DeepSketch>,
         report: Option<BuildReport>,
+        /// Store-wide monotonic generation assigned when this model became
+        /// ready. Every insert, recovery, and background-training swap gets
+        /// a fresh generation, so "same name" never implies "same model":
+        /// consumers that must not mix models across a swap (the serving
+        /// layer's request coalescer) key on the generation.
+        generation: u64,
     },
     Failed(String),
 }
@@ -93,6 +111,8 @@ enum Slot {
 /// background training. `Sync`: share one store across threads.
 pub struct SketchStore {
     slots: RwLock<HashMap<String, Slot>>,
+    /// Last generation handed out; see [`Slot::Ready::generation`].
+    generations: AtomicU64,
 }
 
 impl Default for SketchStore {
@@ -101,17 +121,50 @@ impl Default for SketchStore {
     }
 }
 
+/// What [`SketchStore::open_dir`] found on disk: the sketches it
+/// recovered, the corrupt files it moved aside, and the debris it cleaned
+/// up. Recovery never fails startup because of a bad file — it degrades to
+/// an older generation (or skips the sketch) and reports what happened.
+#[derive(Debug, Default)]
+pub struct RecoveryReport {
+    /// Recovered sketches: `(name, generation)` actually serving.
+    pub loaded: Vec<(String, u64)>,
+    /// Corrupt or mismatched snapshot files moved to `<dir>/quarantine/`.
+    pub quarantined: Vec<PathBuf>,
+    /// Valid snapshots superseded by a newer valid generation, left in
+    /// place (they are the rollback target if the newest is later lost).
+    pub stale: Vec<PathBuf>,
+    /// In-flight `.tmp` files from an interrupted write, deleted (they
+    /// were never durable, so removing them loses nothing).
+    pub removed_temps: Vec<PathBuf>,
+}
+
 impl SketchStore {
     /// Creates an empty store.
     pub fn new() -> Self {
         Self {
             slots: RwLock::new(HashMap::new()),
+            generations: AtomicU64::new(0),
         }
+    }
+
+    fn next_generation(&self) -> u64 {
+        self.generations.fetch_add(1, Ordering::Relaxed) + 1
     }
 
     /// Registers an already-trained sketch under `name` ("pre-built
     /// models that can be queried right away").
     pub fn insert(&self, name: impl Into<String>, sketch: DeepSketch) -> Result<(), StoreError> {
+        let generation = self.next_generation();
+        self.insert_with_generation(name, sketch, generation)
+    }
+
+    fn insert_with_generation(
+        &self,
+        name: impl Into<String>,
+        sketch: DeepSketch,
+        generation: u64,
+    ) -> Result<(), StoreError> {
         let name = name.into();
         let mut slots = self.slots.write();
         if slots.contains_key(&name) {
@@ -122,6 +175,7 @@ impl SketchStore {
             Slot::Ready {
                 sketch: Arc::new(sketch),
                 report: None,
+                generation,
             },
         );
         ds_obs::global().count("store/inserts", 1);
@@ -200,11 +254,22 @@ impl SketchStore {
 
     /// Fetches a ready sketch for querying.
     pub fn get(&self, name: &str) -> Result<Arc<DeepSketch>, StoreError> {
+        self.get_with_generation(name).map(|(sketch, _)| sketch)
+    }
+
+    /// Fetches a ready sketch together with its store generation. The
+    /// generation uniquely identifies *this* model: after a remove/insert
+    /// or background-training swap under the same name, the generation
+    /// changes, so holders can detect (and refuse to mix state across)
+    /// model swaps.
+    pub fn get_with_generation(&self, name: &str) -> Result<(Arc<DeepSketch>, u64), StoreError> {
         self.poll();
         let slots = self.slots.read();
         match slots.get(name) {
             None => Err(StoreError::UnknownSketch(name.to_string())),
-            Some(Slot::Ready { sketch, .. }) => Ok(Arc::clone(sketch)),
+            Some(Slot::Ready {
+                sketch, generation, ..
+            }) => Ok((Arc::clone(sketch), *generation)),
             Some(Slot::Training { .. }) => Err(StoreError::NotReady(
                 name.to_string(),
                 SketchStatus::Training,
@@ -214,6 +279,12 @@ impl SketchStore {
                 SketchStatus::Failed(e.clone()),
             )),
         }
+    }
+
+    /// The generation of a ready sketch, or `None` while it is missing,
+    /// training, or failed.
+    pub fn generation(&self, name: &str) -> Option<u64> {
+        self.get_with_generation(name).ok().map(|(_, g)| g)
     }
 
     /// Convenience: estimate with a named sketch. Malformed queries (tables
@@ -322,6 +393,172 @@ impl SketchStore {
         Ok(loaded)
     }
 
+    /// Atomically snapshots one ready sketch to `dir` at its current
+    /// generation, carrying its rolling q-error monitor state when
+    /// `monitors` has one for it (the sketch's training-time baseline
+    /// always travels inside the sketch bytes). Older durable generations
+    /// of the same name are pruned down to the previous one, so a crash
+    /// mid-write can never leave the sketch without a valid snapshot.
+    pub fn save_snapshot(
+        &self,
+        dir: &Path,
+        name: &str,
+        monitors: Option<&MonitorRegistry>,
+    ) -> Result<PathBuf, StoreError> {
+        let (sketch, generation) = self.get_with_generation(name)?;
+        let state = monitors.and_then(|m| m.get(name)).map(|m| m.export_state());
+        let path = snapshot::write_snapshot(dir, name, generation, &sketch, state.as_ref())?;
+        ds_obs::global().count("store/snapshots_written", 1);
+        Self::prune_snapshots(dir, name, generation);
+        Ok(path)
+    }
+
+    /// Snapshots every ready sketch (see [`SketchStore::save_snapshot`]).
+    /// Returns how many were written.
+    pub fn save_snapshots(
+        &self,
+        dir: &Path,
+        monitors: Option<&MonitorRegistry>,
+    ) -> Result<usize, StoreError> {
+        self.poll();
+        let names: Vec<String> = {
+            let slots = self.slots.read();
+            slots
+                .iter()
+                .filter(|(_, s)| matches!(s, Slot::Ready { .. }))
+                .map(|(n, _)| n.clone())
+                .collect()
+        };
+        let mut saved = 0;
+        for name in names {
+            match self.save_snapshot(dir, &name, monitors) {
+                Ok(_) => saved += 1,
+                // The sketch was removed between the listing and the save;
+                // nothing to persist.
+                Err(StoreError::UnknownSketch(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(saved)
+    }
+
+    /// Best-effort cleanup of durable generations older than the previous
+    /// one. Keeping `newest` *and* its predecessor means the crash window
+    /// of the next snapshot write still has a fallback on disk; everything
+    /// older is noise. Failures are ignored — pruning is an optimization,
+    /// never a correctness requirement.
+    fn prune_snapshots(dir: &Path, name: &str, newest: u64) {
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return;
+        };
+        let mut generations: Vec<(u64, PathBuf)> = entries
+            .flatten()
+            .filter_map(|e| {
+                let path = e.path();
+                let (n, generation) =
+                    snapshot::parse_snapshot_filename(path.file_name()?.to_str()?)?;
+                (n == name && generation < newest).then_some((generation, path))
+            })
+            .collect();
+        generations.sort_by_key(|(g, _)| std::cmp::Reverse(*g));
+        for (_, path) in generations.into_iter().skip(1) {
+            std::fs::remove_file(path).ok();
+        }
+    }
+
+    /// Warm-restart recovery: rebuilds a store (and the monitor registry
+    /// that goes with it) from the snapshots in `dir`.
+    ///
+    /// For every sketch name the newest snapshot that fully validates wins;
+    /// corrupt files — truncated, bit-flipped, or lying about their name or
+    /// generation — are moved to `<dir>/quarantine/` and recovery falls
+    /// back to the next older generation instead of failing startup.
+    /// Leftover `.tmp` files from an interrupted write are deleted (they
+    /// were never durable). Only I/O errors on the directory itself abort.
+    pub fn open_dir(dir: &Path) -> Result<(Self, MonitorRegistry, RecoveryReport), StoreError> {
+        let store = Self::new();
+        let monitors = MonitorRegistry::new();
+        let mut report = RecoveryReport::default();
+
+        // Group durable snapshot files by sketch name, newest first.
+        let mut by_name: HashMap<String, Vec<(u64, PathBuf)>> = HashMap::new();
+        for entry in std::fs::read_dir(dir)? {
+            let path = entry?.path();
+            if !path.is_file() {
+                continue;
+            }
+            let Some(file_name) = path.file_name().and_then(|f| f.to_str()) else {
+                continue;
+            };
+            match snapshot::parse_snapshot_filename(file_name) {
+                Some((name, generation)) => {
+                    by_name.entry(name).or_default().push((generation, path));
+                }
+                None if file_name.ends_with(&format!(".{}", snapshot::SNAPSHOT_TMP_EXT)) => {
+                    std::fs::remove_file(&path).ok();
+                    report.removed_temps.push(path);
+                }
+                None => {}
+            }
+        }
+
+        let mut max_generation = 0u64;
+        let mut names: Vec<String> = by_name.keys().cloned().collect();
+        names.sort();
+        for name in names {
+            let mut candidates = by_name.remove(&name).expect("listed above");
+            candidates.sort_by_key(|(g, _)| std::cmp::Reverse(*g));
+            let mut recovered = false;
+            for (generation, path) in candidates {
+                if recovered {
+                    report.stale.push(path);
+                    continue;
+                }
+                match snapshot::read_snapshot(&path) {
+                    // The filename is untrusted; the checksummed body is
+                    // authoritative and must agree with it.
+                    Ok(snap) if snap.name == name && snap.generation == generation => {
+                        if let Some(state) = &snap.monitor {
+                            match QErrorMonitor::from_state(state) {
+                                Some(m) => monitors.restore(&name, m),
+                                None => {
+                                    Self::quarantine(dir, &path, &mut report);
+                                    continue;
+                                }
+                            }
+                        }
+                        store.insert_with_generation(&name, snap.sketch, generation)?;
+                        max_generation = max_generation.max(generation);
+                        report.loaded.push((name.clone(), generation));
+                        recovered = true;
+                    }
+                    Ok(_) | Err(SnapshotError::Io(_)) if !path.exists() => {
+                        // Raced with a concurrent prune; nothing to recover.
+                    }
+                    Ok(_) | Err(_) => Self::quarantine(dir, &path, &mut report),
+                }
+            }
+        }
+        // Future generations must sort after everything recovered.
+        store.generations.store(max_generation, Ordering::Relaxed);
+        Ok((store, monitors, report))
+    }
+
+    /// Moves a corrupt snapshot into `<dir>/quarantine/` (falling back to
+    /// deletion if the move fails) so the next recovery does not re-read
+    /// it, and the bytes stay available for a post-mortem.
+    fn quarantine(dir: &Path, path: &Path, report: &mut RecoveryReport) {
+        let qdir = dir.join("quarantine");
+        let target = qdir.join(path.file_name().unwrap_or_else(|| "corrupt.snap".as_ref()));
+        let moved =
+            std::fs::create_dir_all(&qdir).is_ok() && std::fs::rename(path, &target).is_ok();
+        if !moved {
+            std::fs::remove_file(path).ok();
+        }
+        ds_obs::global().count("store/snapshots_quarantined", 1);
+        report.quarantined.push(target);
+    }
+
     /// Harvests finished background trainings into ready/failed slots.
     fn poll(&self) {
         let mut slots = self.slots.write();
@@ -354,6 +591,7 @@ impl SketchStore {
                         Slot::Ready {
                             sketch: Arc::new(sketch),
                             report: Some(report),
+                            generation: self.next_generation(),
                         }
                     }
                     Err(e) => {
@@ -571,6 +809,139 @@ mod tests {
             store.estimate("one", &q).unwrap(),
             restored.estimate("one", &q).unwrap()
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn generations_are_unique_across_swaps() {
+        let db = imdb_database(&ImdbConfig::tiny(8));
+        let store = SketchStore::new();
+        store.insert("a", tiny_sketch(&db, 1)).unwrap();
+        store.insert("b", tiny_sketch(&db, 2)).unwrap();
+        let (sketch_a, gen_a) = store.get_with_generation("a").unwrap();
+        let gen_b = store.generation("b").unwrap();
+        assert_ne!(gen_a, gen_b, "every ready slot gets its own generation");
+        // Remove + re-insert under the same name must change the generation
+        // even though the name is identical — that is what lets consumers
+        // detect a model swap.
+        assert!(store.remove("a"));
+        store.insert("a", tiny_sketch(&db, 3)).unwrap();
+        let (sketch_a2, gen_a2) = store.get_with_generation("a").unwrap();
+        assert_ne!(gen_a, gen_a2);
+        assert!(!Arc::ptr_eq(&sketch_a, &sketch_a2));
+        assert_eq!(store.generation("missing"), None);
+    }
+
+    #[test]
+    fn snapshot_save_and_open_dir_roundtrip() {
+        let db = imdb_database(&ImdbConfig::tiny(9));
+        let store = SketchStore::new();
+        store.insert("one", tiny_sketch(&db, 1)).unwrap();
+        store.insert("two", tiny_sketch(&db, 2)).unwrap();
+        let monitors = crate::monitor::MonitorRegistry::new();
+        for i in 0..10u32 {
+            monitors.monitor("one").record("t0", (i + 1) as f64, 1.0);
+        }
+        let dir = std::env::temp_dir().join(format!("ds_snap_rt_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(store.save_snapshots(&dir, Some(&monitors)).unwrap(), 2);
+
+        let (restored, restored_monitors, report) = SketchStore::open_dir(&dir).unwrap();
+        assert_eq!(report.loaded.len(), 2);
+        assert!(report.quarantined.is_empty());
+        // Models answer bit-identically and keep their generations.
+        let q = parse_query(&db, "SELECT COUNT(*) FROM title WHERE title.kind_id = 1").unwrap();
+        for name in ["one", "two"] {
+            assert_eq!(
+                restored.estimate(name, &q).unwrap(),
+                store.estimate(name, &q).unwrap(),
+                "{name}"
+            );
+            assert_eq!(restored.generation(name), store.generation(name), "{name}");
+        }
+        // Monitor windows survived the restart.
+        let m = restored_monitors.get("one").expect("monitor recovered");
+        assert_eq!(m.samples(), 10);
+        assert_eq!(
+            m.export_state(),
+            monitors.get("one").unwrap().export_state()
+        );
+        assert!(restored_monitors.get("two").is_none());
+        // New work on the recovered store sorts after everything restored.
+        let max_recovered = report.loaded.iter().map(|(_, g)| *g).max().unwrap();
+        restored.insert("three", tiny_sketch(&db, 3)).unwrap();
+        assert!(restored.generation("three").unwrap() > max_recovered);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_dir_quarantines_corruption_and_recovers_previous_generation() {
+        let db = imdb_database(&ImdbConfig::tiny(10));
+        let store = SketchStore::new();
+        store.insert("s", tiny_sketch(&db, 1)).unwrap();
+        let dir = std::env::temp_dir().join(format!("ds_snap_q_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let good = store.save_snapshot(&dir, "s", None).unwrap();
+
+        // A newer generation arrives torn: bit-flipped mid-file.
+        let gen = store.generation("s").unwrap();
+        let bytes = crate::snapshot::encode_snapshot("s", gen + 1, &store.get("s").unwrap(), None);
+        let fault = crate::snapshot::WriteFault {
+            bit_flip: Some((bytes.len() / 2, 0x10)),
+            ..Default::default()
+        };
+        crate::snapshot::write_snapshot_bytes(&dir, "s", gen + 1, &bytes, &fault).unwrap();
+        // Plus an interrupted write that never renamed.
+        let crash = crate::snapshot::WriteFault {
+            crash_before_rename: true,
+            ..Default::default()
+        };
+        crate::snapshot::write_snapshot_bytes(&dir, "s", gen + 2, &bytes, &crash).unwrap();
+
+        let (restored, _, report) = SketchStore::open_dir(&dir).unwrap();
+        // The torn newest generation is quarantined, the previous durable
+        // one serves, the tmp debris is gone.
+        assert_eq!(report.loaded, vec![("s".to_string(), gen)]);
+        assert_eq!(report.quarantined.len(), 1);
+        assert_eq!(report.removed_temps.len(), 1);
+        assert!(good.exists(), "durable previous generation left in place");
+        assert!(dir.join("quarantine").read_dir().unwrap().count() == 1);
+        let q = parse_query(&db, "SELECT COUNT(*) FROM title").unwrap();
+        assert_eq!(
+            restored.estimate("s", &q).unwrap(),
+            store.estimate("s", &q).unwrap()
+        );
+        // A filename/content mismatch is also quarantined, not trusted.
+        let lying = crate::snapshot::encode_snapshot("other", 99, &store.get("s").unwrap(), None);
+        crate::snapshot::write_snapshot_bytes(&dir, "s", gen + 3, &lying, &Default::default())
+            .unwrap();
+        let (_, _, report2) = SketchStore::open_dir(&dir).unwrap();
+        assert_eq!(report2.loaded, vec![("s".to_string(), gen)]);
+        assert_eq!(report2.quarantined.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_pruning_keeps_newest_two_generations() {
+        let db = imdb_database(&ImdbConfig::tiny(11));
+        let store = SketchStore::new();
+        store.insert("p", tiny_sketch(&db, 1)).unwrap();
+        let dir = std::env::temp_dir().join(format!("ds_snap_p_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        // Three swap cycles: remove + insert bumps the generation each time.
+        for seed in [2u64, 3, 4] {
+            store.save_snapshot(&dir, "p", None).unwrap();
+            store.remove("p");
+            store.insert("p", tiny_sketch(&db, seed)).unwrap();
+        }
+        store.save_snapshot(&dir, "p", None).unwrap();
+        let snaps: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .filter_map(|e| e.file_name().into_string().ok())
+            .filter(|f| f.ends_with(".snap"))
+            .collect();
+        assert_eq!(snaps.len(), 2, "newest + previous only: {snaps:?}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -193,6 +193,25 @@ impl<'a> Decoder<'a> {
         Ok(n as usize)
     }
 
+    /// Reads a length prefix that counts variable-size records, validating
+    /// it against the bytes actually remaining: each record occupies at
+    /// least `min_record_bytes`, so a count promising more records than
+    /// the buffer could possibly hold is corrupt. Callers may then
+    /// `Vec::with_capacity(count)` without an allocation-bomb risk from
+    /// untrusted input.
+    pub fn count(&mut self, min_record_bytes: usize) -> Result<usize, DecodeError> {
+        let n = self.u64()?;
+        let fits = n
+            .checked_mul(min_record_bytes.max(1) as u64)
+            .is_some_and(|need| need <= self.buf.remaining() as u64);
+        if !fits {
+            return Err(DecodeError::Corrupt(format!(
+                "record count {n} exceeds remaining input"
+            )));
+        }
+        Ok(n as usize)
+    }
+
     /// Reads a length-prefixed `f32` vector.
     pub fn f32_vec(&mut self) -> Result<Vec<f32>, DecodeError> {
         let n = self.len_prefix()?;
@@ -309,6 +328,28 @@ mod tests {
         let bytes = e.finish();
         let mut d = Decoder::new(&bytes[..bytes.len() - 2]);
         assert_eq!(d.f32_vec(), Err(DecodeError::UnexpectedEof));
+    }
+
+    #[test]
+    fn record_counts_are_bounded_by_remaining_input() {
+        let mut e = Encoder::new();
+        e.u64(3); // 3 records claimed…
+        e.u64(0);
+        e.u64(0);
+        e.u64(0); // …and 24 bytes present: fits at 8 bytes/record.
+        let bytes = e.finish();
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.count(8).unwrap(), 3);
+        // The same prefix with a larger minimum record size cannot fit.
+        let mut d = Decoder::new(&bytes);
+        assert!(matches!(d.count(9), Err(DecodeError::Corrupt(_))));
+        // An absurd count (the allocation-bomb shape) fails fast, even
+        // when `count * min_bytes` would overflow.
+        let mut e = Encoder::new();
+        e.u64(u64::MAX);
+        let bytes = e.finish();
+        let mut d = Decoder::new(&bytes);
+        assert!(matches!(d.count(32), Err(DecodeError::Corrupt(_))));
     }
 
     #[test]

@@ -141,6 +141,21 @@ impl LogHistogram {
             .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
     }
 
+    /// Rebuilds a live histogram from a frozen snapshot — the restore half
+    /// of [`LogHistogram::snapshot`]. The raw fields are copied verbatim
+    /// (including the `u64::MAX` empty-min sentinel), so
+    /// `LogHistogram::from_snapshot(&s).snapshot() == s` holds for every
+    /// snapshot, which is what warm-restart recovery relies on.
+    pub fn from_snapshot(s: &HistogramSnapshot) -> Self {
+        Self {
+            buckets: std::array::from_fn(|i| AtomicU64::new(s.buckets[i])),
+            count: AtomicU64::new(s.count),
+            sum: AtomicU64::new(s.sum),
+            min: AtomicU64::new(s.min),
+            max: AtomicU64::new(s.max),
+        }
+    }
+
     /// A plain-data point-in-time copy — cheap to clone, serialize, and
     /// compare. The snapshot answers the same quantile queries as the live
     /// histogram.
@@ -282,7 +297,14 @@ impl HistogramSnapshot {
             max: words[3],
             buckets: std::array::from_fn(|i| words[4 + i]),
         };
-        if snap.buckets.iter().sum::<u64>() != snap.count {
+        // Checked sum: untrusted bucket words can be large enough to
+        // overflow a plain `sum()`, which is itself proof of corruption —
+        // found by the snapshot fuzz smoke.
+        let total = snap
+            .buckets
+            .iter()
+            .try_fold(0u64, |acc, &b| acc.checked_add(b))?;
+        if total != snap.count {
             return None;
         }
         Some(snap)
@@ -403,6 +425,26 @@ mod tests {
         let mut bad = words.clone();
         bad[0] += 1; // count no longer matches the bucket sum
         assert!(HistogramSnapshot::from_words(&bad).is_none());
+    }
+
+    #[test]
+    fn from_snapshot_roundtrips_including_empty_sentinel() {
+        let h = LogHistogram::new();
+        for v in [0u64, 9, 1 << 33, u64::MAX] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let restored = LogHistogram::from_snapshot(&s);
+        assert_eq!(restored.snapshot(), s);
+        // The restored histogram keeps recording correctly.
+        restored.record(2);
+        assert_eq!(restored.count(), s.count() + 1);
+        // Empty snapshot restores to an empty histogram whose min sentinel
+        // still behaves (recording then reports the real min).
+        let empty = LogHistogram::from_snapshot(&HistogramSnapshot::new());
+        assert_eq!(empty.count(), 0);
+        empty.record(7);
+        assert_eq!(empty.min(), 7);
     }
 
     #[test]

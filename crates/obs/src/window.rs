@@ -95,6 +95,58 @@ impl WindowedHistogram {
         out
     }
 
+    /// Flattens the full window state — ring geometry, rotation cursor,
+    /// and every slot — to a `u64` word sequence for serialization:
+    /// `[slots, slot_capacity, generation, slot_0 words, slot_1 words, …]`
+    /// where each slot contributes its [`HistogramSnapshot::to_words`]
+    /// encoding. Restoring via [`WindowedHistogram::from_words`] resumes
+    /// rotation exactly where this window left off.
+    pub fn to_words(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(3 + self.slots.len() * 52);
+        out.extend([
+            self.slots.len() as u64,
+            self.slot_capacity,
+            self.generation.load(Ordering::Relaxed),
+        ]);
+        for slot in self.slots.iter() {
+            out.extend(slot.snapshot().to_words());
+        }
+        out
+    }
+
+    /// Inverse of [`WindowedHistogram::to_words`]. Returns `None` when the
+    /// geometry header is implausible, the word count does not match it, or
+    /// any slot fails [`HistogramSnapshot::from_words`] validation.
+    pub fn from_words(words: &[u64]) -> Option<Self> {
+        const MAX_SLOTS: u64 = 1 << 16;
+        let (&slots, rest) = words.split_first()?;
+        let (&slot_capacity, rest) = rest.split_first()?;
+        let (&generation, rest) = rest.split_first()?;
+        if slots == 0 || slots > MAX_SLOTS || slot_capacity == 0 {
+            return None;
+        }
+        let slot_words = HistogramSnapshot::new().to_words().len();
+        if rest.len() != slots as usize * slot_words {
+            return None;
+        }
+        let mut ring = Vec::with_capacity(slots as usize);
+        for chunk in rest.chunks_exact(slot_words) {
+            // Per-slot validation comes from `HistogramSnapshot::from_words`
+            // (bucket sum must equal count). Slot counts are deliberately
+            // not bounded by `slot_capacity`: racing recorders can push a
+            // live slot slightly past capacity, and that state must still
+            // round-trip.
+            ring.push(LogHistogram::from_snapshot(&HistogramSnapshot::from_words(
+                chunk,
+            )?));
+        }
+        Some(Self {
+            slots: ring.into_boxed_slice(),
+            generation: AtomicU64::new(generation),
+            slot_capacity,
+        })
+    }
+
     /// Clears the whole window.
     pub fn reset(&self) {
         for slot in self.slots.iter() {
@@ -153,6 +205,60 @@ mod tests {
         });
         // Capacity is never reached, so no rotation can drop samples.
         assert_eq!(w.count(), 80_000);
+    }
+
+    #[test]
+    fn window_words_roundtrip_and_resume_rotation() {
+        let w = WindowedHistogram::new(3, 5);
+        for v in 0..12u64 {
+            w.record(1 << (v % 8));
+        }
+        let words = w.to_words();
+        let restored = WindowedHistogram::from_words(&words).expect("roundtrip");
+        assert_eq!(restored.slots(), 3);
+        assert_eq!(restored.slot_capacity(), 5);
+        assert_eq!(restored.count(), w.count());
+        assert_eq!(restored.merged(), w.merged());
+        assert_eq!(restored.to_words(), words);
+        // Restored window keeps rotating with the same semantics: filling
+        // past capacity ages out old generations instead of accumulating.
+        for _ in 0..100 {
+            restored.record(1);
+        }
+        assert!(
+            restored.count() <= 15,
+            "rotation resumed: {}",
+            restored.count()
+        );
+    }
+
+    #[test]
+    fn window_words_reject_corruption() {
+        let w = WindowedHistogram::new(2, 4);
+        for v in 1..=6u64 {
+            w.record(v);
+        }
+        let words = w.to_words();
+        // Truncations and geometry lies are rejected, never panic.
+        for cut in 0..words.len() {
+            assert!(
+                WindowedHistogram::from_words(&words[..cut]).is_none(),
+                "cut={cut}"
+            );
+        }
+        let mut zero_slots = words.clone();
+        zero_slots[0] = 0;
+        assert!(WindowedHistogram::from_words(&zero_slots).is_none());
+        let mut huge_slots = words.clone();
+        huge_slots[0] = u64::MAX;
+        assert!(WindowedHistogram::from_words(&huge_slots).is_none());
+        let mut zero_cap = words.clone();
+        zero_cap[1] = 0;
+        assert!(WindowedHistogram::from_words(&zero_cap).is_none());
+        // Corrupting a slot's count breaks its bucket-sum invariant.
+        let mut bad_slot = words.clone();
+        bad_slot[3] += 1;
+        assert!(WindowedHistogram::from_words(&bad_slot).is_none());
     }
 
     #[test]

@@ -33,6 +33,7 @@ use std::time::{Duration, Instant};
 use ds_est::{CardinalityEstimator, EstimateError};
 use ds_query::query::Query;
 
+use crate::faults::FaultInjector;
 use crate::metrics::Metrics;
 
 /// The estimators a batcher serves: any trait object that can cross
@@ -118,10 +119,14 @@ pub struct Completed {
 }
 
 struct Job {
-    /// Coalescing key: the estimator instance's address. Two jobs batch
-    /// together only if they target the same instance, so a store swap
-    /// (background retraining) can never mix models inside one batch.
-    key: usize,
+    /// Coalescing key. The server passes the sketch's store *generation*
+    /// (unique per insert/swap for the store's lifetime), so a background
+    /// retraining swap can never mix models inside one batch — even if the
+    /// allocator reuses a freed sketch's address for its replacement, the
+    /// generations differ. Keyless submitters get the estimator's address;
+    /// the worker sweep additionally requires [`Arc::ptr_eq`] so an
+    /// address-reuse collision between the two key spaces is harmless.
+    key: u64,
     estimator: SharedEstimator,
     query: Query,
     tx: Sender<Completed>,
@@ -141,6 +146,9 @@ struct Inner {
     cfg: BatcherConfig,
     /// Jobs dropped unanswered because their deadline passed in-queue.
     expired: AtomicU64,
+    /// Test-only fault plan; `None` in production, and inert in release
+    /// builds even when set (see [`FaultInjector::armed`]).
+    faults: Option<Arc<FaultInjector>>,
 }
 
 /// The coalescing micro-batch executor. Share via the handle methods; one
@@ -153,6 +161,17 @@ pub struct Batcher {
 impl Batcher {
     /// Starts the worker threads.
     pub fn new(cfg: BatcherConfig, metrics: Arc<Metrics>) -> Self {
+        Self::with_faults(cfg, metrics, None)
+    }
+
+    /// Like [`Batcher::new`], with an optional fault plan whose
+    /// forward-delay faults stall coalesced forward passes (degradation
+    /// tests only — a configured injector is inert in release builds).
+    pub fn with_faults(
+        cfg: BatcherConfig,
+        metrics: Arc<Metrics>,
+        faults: Option<Arc<FaultInjector>>,
+    ) -> Self {
         let cfg = BatcherConfig {
             workers: cfg.workers.max(1),
             max_batch: cfg.max_batch.max(1),
@@ -168,6 +187,7 @@ impl Batcher {
             metrics,
             cfg,
             expired: AtomicU64::new(0),
+            faults,
         });
         let workers = (0..inner.cfg.workers)
             .map(|i| {
@@ -181,14 +201,28 @@ impl Batcher {
         Self { inner, workers }
     }
 
-    /// Enqueues one estimate without blocking. Returns the receiver the
-    /// result will arrive on, or sheds immediately when the queue is full.
+    /// Enqueues one estimate without blocking, keyed by the estimator
+    /// instance's address. Prefer [`Batcher::submit_keyed`] with a store
+    /// generation when one is available — addresses can be reused across a
+    /// drop/replace, generations cannot.
     pub fn submit(
         &self,
         estimator: SharedEstimator,
         query: Query,
     ) -> Result<Receiver<Completed>, Rejection> {
-        let key = Arc::as_ptr(&estimator) as *const () as usize;
+        let key = Arc::as_ptr(&estimator) as *const () as usize as u64;
+        self.submit_keyed(key, estimator, query)
+    }
+
+    /// Enqueues one estimate under a caller-supplied coalescing key (the
+    /// server uses the sketch's store generation). Returns the receiver the
+    /// result will arrive on, or sheds immediately when the queue is full.
+    pub fn submit_keyed(
+        &self,
+        key: u64,
+        estimator: SharedEstimator,
+        query: Query,
+    ) -> Result<Receiver<Completed>, Rejection> {
         let (tx, rx) = channel();
         let mut st = self.inner.state.lock().expect("batcher lock");
         if st.shutdown {
@@ -227,7 +261,18 @@ impl Batcher {
         estimator: SharedEstimator,
         query: Query,
     ) -> Result<(f64, StageStamps), Rejection> {
-        let rx = self.submit(estimator, query)?;
+        let key = Arc::as_ptr(&estimator) as *const () as usize as u64;
+        self.estimate_traced_keyed(key, estimator, query)
+    }
+
+    /// [`Batcher::estimate_traced`] under a caller-supplied coalescing key.
+    pub fn estimate_traced_keyed(
+        &self,
+        key: u64,
+        estimator: SharedEstimator,
+        query: Query,
+    ) -> Result<(f64, StageStamps), Rejection> {
+        let rx = self.submit_keyed(key, estimator, query)?;
         match rx.recv_timeout(self.inner.cfg.request_timeout) {
             Ok(Completed {
                 result: Ok(v),
@@ -291,10 +336,16 @@ fn worker_loop(inner: &Inner) {
             }
             let first = st.queue.pop_front().expect("non-empty queue");
             let mut batch = vec![first];
-            // Sweep the queue for jobs on the same estimator instance.
+            // Sweep the queue for jobs on the same estimator instance. The
+            // key match is the intent ("same model version"); the pointer
+            // check is the guarantee — two jobs whose keys collide across
+            // key spaces (address-derived vs generation-derived) can never
+            // hand different models to one forward pass.
             let mut i = 0;
             while batch.len() < inner.cfg.max_batch && i < st.queue.len() {
-                if st.queue[i].key == batch[0].key {
+                if st.queue[i].key == batch[0].key
+                    && Arc::ptr_eq(&st.queue[i].estimator, &batch[0].estimator)
+                {
                     batch.push(st.queue.remove(i).expect("index in range"));
                 } else {
                     i += 1;
@@ -321,6 +372,12 @@ fn worker_loop(inner: &Inner) {
         let obs = ds_obs::global();
         let span = obs.span("serve/batch");
         let queries: Vec<Query> = batch.iter().map(|j| j.query.clone()).collect();
+        // Injected stall (tests only): models a wedged forward pass so
+        // deadline handling and breaker trips are exercised on the real
+        // worker path.
+        if let Some(delay) = inner.faults.as_ref().and_then(|f| f.forward_delay()) {
+            std::thread::sleep(delay);
+        }
         let forward_start = Instant::now();
         let results = batch[0].estimator.try_estimate_batch(&queries);
         let forward_end = Instant::now();
@@ -577,6 +634,77 @@ mod tests {
                 h.join().unwrap();
             }
         });
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn colliding_keys_never_mix_estimator_instances() {
+        // Two distinct estimator instances submitted under the SAME key —
+        // the ABA shape a store generation collision would produce. The
+        // Arc::ptr_eq sweep guard must keep their batches separate.
+        let a: SharedEstimator = Arc::new(StubEstimator {
+            base: 100.0,
+            delay: Duration::from_millis(5),
+        });
+        let b: SharedEstimator = Arc::new(StubEstimator {
+            base: 200.0,
+            delay: Duration::from_millis(5),
+        });
+        let batcher = Batcher::new(
+            BatcherConfig {
+                workers: 1,
+                max_batch: 64,
+                queue_capacity: 256,
+                request_timeout: Duration::from_secs(10),
+            },
+            Arc::new(Metrics::new()),
+        );
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..32)
+                .map(|i| {
+                    let est = if i % 2 == 0 {
+                        Arc::clone(&a)
+                    } else {
+                        Arc::clone(&b)
+                    };
+                    let expected = if i % 2 == 0 { 100.0 } else { 200.0 };
+                    let batcher = &batcher;
+                    s.spawn(move || {
+                        let rx = batcher.submit_keyed(7, est, Query::new()).expect("submit");
+                        let got = rx.recv().expect("result").result.expect("estimate");
+                        assert_eq!(got, expected);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn forward_delay_fault_stalls_the_batch_worker() {
+        let faults = Arc::new(crate::faults::FaultInjector::new(11));
+        faults.delay_forwards(Duration::from_millis(40), 1.0);
+        let est: SharedEstimator = Arc::new(StubEstimator {
+            base: 1.0,
+            delay: Duration::ZERO,
+        });
+        let batcher = Batcher::with_faults(
+            BatcherConfig::default(),
+            Arc::new(Metrics::new()),
+            Some(Arc::clone(&faults)),
+        );
+        let t0 = Instant::now();
+        assert_eq!(batcher.estimate(Arc::clone(&est), Query::new()), Ok(1.0));
+        if crate::faults::FaultInjector::armed() {
+            assert!(
+                t0.elapsed() >= Duration::from_millis(40),
+                "injected stall skipped: {:?}",
+                t0.elapsed()
+            );
+        }
         batcher.shutdown();
     }
 

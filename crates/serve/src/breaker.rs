@@ -1,0 +1,325 @@
+//! Per-sketch circuit breakers: the first stage of the degradation chain.
+//!
+//! A sketch that keeps failing health-style (decode errors, execution
+//! failures, deadline misses) stops being asked: after
+//! [`BreakerConfig::failure_threshold`] *consecutive* failures the breaker
+//! opens and `ESTIMATE` traffic short-circuits to the configured fallback
+//! estimator instead of burning a worker on a forward pass that will fail
+//! again. After [`BreakerConfig::cooldown`] the breaker half-opens and
+//! admits exactly one probe request; a probe success closes it, a probe
+//! failure re-opens it for another cooldown.
+//!
+//! Client-caused errors (malformed SQL, out-of-vocabulary columns,
+//! unroutable joins) and load shedding never trip a breaker — they say
+//! nothing about the sketch's health. The server makes that classification
+//! in `handle_estimate`; the breaker only counts what it is told.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+/// Breaker tuning knobs (shared by every per-sketch breaker of a server).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive health failures that open the breaker.
+    pub failure_threshold: u32,
+    /// How long an open breaker waits before half-opening for one probe.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        Self {
+            failure_threshold: 3,
+            cooldown: Duration::from_secs(1),
+        }
+    }
+}
+
+/// The admission decision for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admit {
+    /// Send the request to the sketch (closed breaker, or the half-open
+    /// probe slot).
+    Allow,
+    /// Do not touch the sketch; answer via the degradation path.
+    ShortCircuit,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum State {
+    /// Healthy; counts consecutive failures toward the threshold.
+    Closed { consecutive_failures: u32 },
+    /// Tripped; short-circuits until the cooldown elapses.
+    Open { since: Instant },
+    /// One probe request is in flight; everyone else short-circuits.
+    HalfOpen,
+}
+
+/// One sketch's breaker. Cheap enough to sit on every estimate: a short
+/// mutex hold on admit/record, no allocation.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    state: Mutex<State>,
+    opened: AtomicU64,
+    short_circuits: AtomicU64,
+}
+
+impl CircuitBreaker {
+    /// Creates a closed breaker.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        Self {
+            cfg: BreakerConfig {
+                failure_threshold: cfg.failure_threshold.max(1),
+                ..cfg
+            },
+            state: Mutex::new(State::Closed {
+                consecutive_failures: 0,
+            }),
+            opened: AtomicU64::new(0),
+            short_circuits: AtomicU64::new(0),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Decides whether a request may reach the sketch. Transitions
+    /// `Open → HalfOpen` when the cooldown has elapsed, handing the `Allow`
+    /// to exactly one caller as the probe.
+    pub fn admit(&self) -> Admit {
+        let mut st = self.lock();
+        match *st {
+            State::Closed { .. } => Admit::Allow,
+            State::Open { since } => {
+                if since.elapsed() >= self.cfg.cooldown {
+                    *st = State::HalfOpen;
+                    Admit::Allow
+                } else {
+                    self.short_circuits.fetch_add(1, Ordering::Relaxed);
+                    Admit::ShortCircuit
+                }
+            }
+            State::HalfOpen => {
+                self.short_circuits.fetch_add(1, Ordering::Relaxed);
+                Admit::ShortCircuit
+            }
+        }
+    }
+
+    /// Records a healthy answer: closes the breaker and zeroes the
+    /// consecutive-failure count.
+    pub fn record_success(&self) {
+        *self.lock() = State::Closed {
+            consecutive_failures: 0,
+        };
+    }
+
+    /// Records a health failure: counts toward the threshold when closed,
+    /// re-opens immediately when it was the half-open probe.
+    pub fn record_failure(&self) {
+        let mut st = self.lock();
+        match *st {
+            State::Closed {
+                consecutive_failures,
+            } => {
+                let failures = consecutive_failures + 1;
+                if failures >= self.cfg.failure_threshold {
+                    *st = State::Open {
+                        since: Instant::now(),
+                    };
+                    self.opened.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    *st = State::Closed {
+                        consecutive_failures: failures,
+                    };
+                }
+            }
+            State::HalfOpen => {
+                *st = State::Open {
+                    since: Instant::now(),
+                };
+                self.opened.fetch_add(1, Ordering::Relaxed);
+            }
+            // Short-circuited requests never reach the sketch, so failures
+            // while open can only come from racing stragglers; the breaker
+            // is already open, keep the original cooldown clock.
+            State::Open { .. } => {}
+        }
+    }
+
+    /// Stable name of the current state: `closed`, `open`, or `half-open`.
+    pub fn state_name(&self) -> &'static str {
+        match *self.lock() {
+            State::Closed { .. } => "closed",
+            State::Open { .. } => "open",
+            State::HalfOpen => "half-open",
+        }
+    }
+
+    /// Whether the breaker currently short-circuits new traffic.
+    pub fn is_open(&self) -> bool {
+        !matches!(*self.lock(), State::Closed { .. })
+    }
+
+    /// Times this breaker transitioned to open.
+    pub fn opened(&self) -> u64 {
+        self.opened.load(Ordering::Relaxed)
+    }
+
+    /// Requests short-circuited away from the sketch.
+    pub fn short_circuits(&self) -> u64 {
+        self.short_circuits.load(Ordering::Relaxed)
+    }
+}
+
+/// Lazily-created per-sketch breakers, keyed by sketch name.
+#[derive(Debug)]
+pub struct BreakerRegistry {
+    cfg: BreakerConfig,
+    map: RwLock<HashMap<String, Arc<CircuitBreaker>>>,
+}
+
+impl BreakerRegistry {
+    /// Creates an empty registry; every breaker it mints uses `cfg`.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        Self {
+            cfg,
+            map: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The breaker for `sketch`, created closed on first sight.
+    pub fn breaker(&self, sketch: &str) -> Arc<CircuitBreaker> {
+        if let Some(b) = self.map.read().expect("breaker registry").get(sketch) {
+            return Arc::clone(b);
+        }
+        let mut map = self.map.write().expect("breaker registry");
+        Arc::clone(
+            map.entry(sketch.to_string())
+                .or_insert_with(|| Arc::new(CircuitBreaker::new(self.cfg))),
+        )
+    }
+
+    /// Every sketch name with a breaker, sorted (for stable stats output).
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .map
+            .read()
+            .expect("breaker registry")
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_cfg() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_millis(20),
+        }
+    }
+
+    #[test]
+    fn opens_only_after_consecutive_failures() {
+        let b = CircuitBreaker::new(fast_cfg());
+        b.record_failure();
+        b.record_failure();
+        // A success in between resets the consecutive count.
+        b.record_success();
+        b.record_failure();
+        b.record_failure();
+        assert_eq!(b.admit(), Admit::Allow);
+        assert_eq!(b.state_name(), "closed");
+        b.record_failure();
+        assert_eq!(b.state_name(), "open");
+        assert_eq!(b.admit(), Admit::ShortCircuit);
+        assert_eq!(b.opened(), 1);
+        assert!(b.short_circuits() >= 1);
+    }
+
+    #[test]
+    fn half_open_admits_exactly_one_probe() {
+        let b = CircuitBreaker::new(fast_cfg());
+        for _ in 0..3 {
+            b.record_failure();
+        }
+        assert_eq!(b.admit(), Admit::ShortCircuit);
+        std::thread::sleep(Duration::from_millis(25));
+        // First admit after cooldown is the probe; the next short-circuits.
+        assert_eq!(b.admit(), Admit::Allow);
+        assert_eq!(b.state_name(), "half-open");
+        assert_eq!(b.admit(), Admit::ShortCircuit);
+        // Probe failure re-opens for another full cooldown.
+        b.record_failure();
+        assert_eq!(b.state_name(), "open");
+        assert_eq!(b.admit(), Admit::ShortCircuit);
+        std::thread::sleep(Duration::from_millis(25));
+        assert_eq!(b.admit(), Admit::Allow);
+        // Probe success closes.
+        b.record_success();
+        assert_eq!(b.state_name(), "closed");
+        assert_eq!(b.admit(), Admit::Allow);
+        assert_eq!(b.opened(), 2);
+    }
+
+    #[test]
+    fn threshold_is_at_least_one() {
+        let b = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 0,
+            cooldown: Duration::from_secs(10),
+        });
+        b.record_failure();
+        assert_eq!(b.state_name(), "open");
+    }
+
+    #[test]
+    fn registry_hands_out_one_breaker_per_name() {
+        let reg = BreakerRegistry::new(fast_cfg());
+        let a = reg.breaker("imdb");
+        let b = reg.breaker("imdb");
+        assert!(Arc::ptr_eq(&a, &b));
+        let other = reg.breaker("tpch");
+        assert!(!Arc::ptr_eq(&a, &other));
+        assert_eq!(reg.names(), vec!["imdb".to_string(), "tpch".to_string()]);
+        // State is shared through the registry.
+        for _ in 0..3 {
+            a.record_failure();
+        }
+        assert_eq!(reg.breaker("imdb").admit(), Admit::ShortCircuit);
+    }
+
+    #[test]
+    fn concurrent_admits_race_for_a_single_probe() {
+        let b = Arc::new(CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 1,
+            cooldown: Duration::from_millis(5),
+        }));
+        b.record_failure();
+        std::thread::sleep(Duration::from_millis(10));
+        let allowed: u32 = std::thread::scope(|s| {
+            (0..8)
+                .map(|_| {
+                    let b = Arc::clone(&b);
+                    s.spawn(move || u32::from(b.admit() == Admit::Allow))
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum()
+        });
+        assert_eq!(allowed, 1, "exactly one thread wins the probe slot");
+    }
+}

@@ -136,14 +136,21 @@ impl Client {
     }
 
     /// `ESTIMATE` and unwrap the value; any non-`OK` response becomes an
-    /// `InvalidData` error carrying its wire line.
+    /// `InvalidData` error carrying its wire line. Degraded answers
+    /// (fallback-served) unwrap like healthy ones — use
+    /// [`Client::estimate_flagged`] to observe the flag.
     pub fn estimate_value(&mut self, sketch: &str, sql: &str) -> std::io::Result<f64> {
+        self.estimate_flagged(sketch, sql).map(|(v, _)| v)
+    }
+
+    /// `ESTIMATE` and unwrap the value together with the `degraded` flag:
+    /// `true` when the fallback estimator answered because the sketch is
+    /// unhealthy (open circuit breaker, poisoned model).
+    pub fn estimate_flagged(&mut self, sketch: &str, sql: &str) -> std::io::Result<(f64, bool)> {
         match self.estimate(sketch, sql)? {
-            Response::Estimate(v) => Ok(v),
-            other => Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                crate::protocol::format_response(&other),
-            )),
+            Response::Estimate(v) => Ok((v, false)),
+            Response::Degraded(v) => Ok((v, true)),
+            other => Err(invalid_payload(&other)),
         }
     }
 
@@ -176,10 +183,11 @@ impl Client {
         )
     }
 
-    /// [`Client::feedback`] and unwrap the estimate value.
+    /// [`Client::feedback`] and unwrap the estimate value (degraded
+    /// answers included — the server skips monitor recording for them).
     pub fn feedback_value(&mut self, sketch: &str, actual: u64, sql: &str) -> std::io::Result<f64> {
         match self.feedback(sketch, actual, sql)? {
-            Response::Estimate(v) => Ok(v),
+            Response::Estimate(v) | Response::Degraded(v) => Ok(v),
             other => Err(invalid_payload(&other)),
         }
     }

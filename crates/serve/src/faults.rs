@@ -1,0 +1,261 @@
+//! Deterministic fault injection for the serving path.
+//!
+//! Production code never branches on faults: every hook is a cheap
+//! `Option<Arc<FaultInjector>>` check that is `None` in real deployments,
+//! and even a configured injector is inert in release builds —
+//! [`FaultInjector::armed`] is `false` unless `debug_assertions` are on,
+//! so the degradation tests can wire failures through the *real* serving
+//! code without leaving a runtime injection surface in optimized builds.
+//!
+//! Faults are seeded and deterministic: the same seed and the same call
+//! sequence produce the same fault schedule, so a failing degradation test
+//! replays exactly.
+//!
+//! Supported faults:
+//!
+//! * **decode flips** — a per-sketch probability of downgrading a
+//!   successful forward pass into [`ds_est::EstimateError::Decode`], as if
+//!   the model bytes had rotted in memory;
+//! * **forward delays** — a probability of stalling a coalesced forward
+//!   pass long enough to blow request deadlines;
+//! * **poisoned sketches** — names whose every estimate fails with an
+//!   execution error before reaching the model;
+//! * **snapshot write faults** — a FIFO queue of
+//!   [`ds_core::snapshot::WriteFault`]s (truncations, bit flips, crashes
+//!   before rename) for persistence tests to pull while exercising the
+//!   store's snapshot writer.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use ds_core::snapshot::WriteFault;
+
+struct FaultState {
+    rng: u64,
+    decode_flip: HashMap<String, f64>,
+    forward_delay: Option<(Duration, f64)>,
+    poisoned: HashSet<String>,
+    write_faults: VecDeque<WriteFault>,
+}
+
+/// A seeded, thread-safe fault plan shared between a server, its batcher,
+/// and the test driving them. See the module docs for the fault kinds.
+pub struct FaultInjector {
+    state: Mutex<FaultState>,
+}
+
+impl FaultInjector {
+    /// Creates an injector with a deterministic seed. A zero seed is
+    /// remapped (xorshift has a zero fixed point).
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: Mutex::new(FaultState {
+                rng: if seed == 0 {
+                    0x9e37_79b9_7f4a_7c15
+                } else {
+                    seed
+                },
+                decode_flip: HashMap::new(),
+                forward_delay: None,
+                poisoned: HashSet::new(),
+                write_faults: VecDeque::new(),
+            }),
+        }
+    }
+
+    /// Whether injected faults fire at all. Always `false` in release
+    /// builds: an injector can be configured and passed around, but every
+    /// draw reports "no fault".
+    pub fn armed() -> bool {
+        cfg!(debug_assertions)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, FaultState> {
+        // A panic while holding the lock only happens in tests; the plan
+        // is still usable afterwards.
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// One xorshift64* draw in `[0, 1)`.
+    fn draw(state: &mut FaultState) -> f64 {
+        let mut x = state.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        state.rng = x;
+        (x.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Configures a probability of downgrading successful estimates against
+    /// `sketch` into decode errors. `rate` is clamped to `[0, 1]`.
+    pub fn flip_decode(&self, sketch: &str, rate: f64) {
+        self.lock()
+            .decode_flip
+            .insert(sketch.to_string(), rate.clamp(0.0, 1.0));
+    }
+
+    /// Draws whether this request's successful estimate should be flipped
+    /// into a decode error.
+    pub fn should_flip_decode(&self, sketch: &str) -> bool {
+        if !Self::armed() {
+            return false;
+        }
+        let mut st = self.lock();
+        let Some(&rate) = st.decode_flip.get(sketch) else {
+            return false;
+        };
+        Self::draw(&mut st) < rate
+    }
+
+    /// Configures a probability of delaying each coalesced forward pass by
+    /// `delay` (used to force deadline misses deterministically).
+    pub fn delay_forwards(&self, delay: Duration, rate: f64) {
+        self.lock().forward_delay = Some((delay, rate.clamp(0.0, 1.0)));
+    }
+
+    /// Draws the delay (if any) to apply to the forward pass starting now.
+    pub fn forward_delay(&self) -> Option<Duration> {
+        if !Self::armed() {
+            return None;
+        }
+        let mut st = self.lock();
+        let (delay, rate) = st.forward_delay?;
+        (Self::draw(&mut st) < rate).then_some(delay)
+    }
+
+    /// Marks `sketch` as poisoned: every estimate against it fails before
+    /// the forward pass, as if the in-memory model were corrupt.
+    pub fn poison(&self, sketch: &str) {
+        self.lock().poisoned.insert(sketch.to_string());
+    }
+
+    /// Clears a poison mark, letting the sketch serve again.
+    pub fn heal(&self, sketch: &str) {
+        self.lock().poisoned.remove(sketch);
+    }
+
+    /// Whether `sketch` is currently poisoned (and faults are armed).
+    pub fn is_poisoned(&self, sketch: &str) -> bool {
+        Self::armed() && self.lock().poisoned.contains(sketch)
+    }
+
+    /// Queues one snapshot write fault; persistence tests pull these with
+    /// [`FaultInjector::next_write_fault`] while driving the store's
+    /// snapshot writer.
+    pub fn push_write_fault(&self, fault: WriteFault) {
+        self.lock().write_faults.push_back(fault);
+    }
+
+    /// Pops the next queued snapshot write fault, or a no-op fault when the
+    /// queue is empty or faults are disarmed.
+    pub fn next_write_fault(&self) -> WriteFault {
+        if !Self::armed() {
+            return WriteFault::none();
+        }
+        self.lock().write_faults.pop_front().unwrap_or_default()
+    }
+
+    /// Drops every configured fault, returning the injector to a clean
+    /// pass-through state (the RNG keeps its position).
+    pub fn clear(&self) {
+        let mut st = self.lock();
+        st.decode_flip.clear();
+        st.forward_delay = None;
+        st.poisoned.clear();
+        st.write_faults.clear();
+    }
+}
+
+impl std::fmt::Debug for FaultInjector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.lock();
+        f.debug_struct("FaultInjector")
+            .field("armed", &Self::armed())
+            .field("decode_flip", &st.decode_flip)
+            .field("forward_delay", &st.forward_delay)
+            .field("poisoned", &st.poisoned)
+            .field("queued_write_faults", &st.write_faults.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_replays_the_same_fault_schedule() {
+        let a = FaultInjector::new(42);
+        let b = FaultInjector::new(42);
+        a.flip_decode("s", 0.5);
+        b.flip_decode("s", 0.5);
+        let seq_a: Vec<bool> = (0..64).map(|_| a.should_flip_decode("s")).collect();
+        let seq_b: Vec<bool> = (0..64).map(|_| b.should_flip_decode("s")).collect();
+        assert_eq!(seq_a, seq_b);
+        assert!(seq_a.iter().any(|&f| f), "rate 0.5 never fired in 64 draws");
+        assert!(!seq_a.iter().all(|&f| f), "rate 0.5 always fired");
+    }
+
+    #[test]
+    fn rate_extremes_are_deterministic() {
+        let f = FaultInjector::new(7);
+        f.flip_decode("always", 1.0);
+        f.flip_decode("never", 0.0);
+        for _ in 0..32 {
+            assert!(f.should_flip_decode("always"));
+            assert!(!f.should_flip_decode("never"));
+            assert!(!f.should_flip_decode("unconfigured"));
+        }
+    }
+
+    #[test]
+    fn poison_and_heal_toggle_per_sketch() {
+        let f = FaultInjector::new(1);
+        assert!(!f.is_poisoned("imdb"));
+        f.poison("imdb");
+        assert_eq!(f.is_poisoned("imdb"), FaultInjector::armed());
+        assert!(!f.is_poisoned("other"));
+        f.heal("imdb");
+        assert!(!f.is_poisoned("imdb"));
+    }
+
+    #[test]
+    fn write_faults_queue_fifo_and_default_to_none() {
+        let f = FaultInjector::new(1);
+        assert!(f.next_write_fault().is_none());
+        f.push_write_fault(WriteFault {
+            truncate_at: Some(3),
+            ..WriteFault::none()
+        });
+        f.push_write_fault(WriteFault {
+            crash_before_rename: true,
+            ..WriteFault::none()
+        });
+        if FaultInjector::armed() {
+            assert_eq!(f.next_write_fault().truncate_at, Some(3));
+            assert!(f.next_write_fault().crash_before_rename);
+        }
+        assert!(f.next_write_fault().is_none());
+    }
+
+    #[test]
+    fn clear_returns_to_pass_through() {
+        let f = FaultInjector::new(9);
+        f.flip_decode("s", 1.0);
+        f.poison("s");
+        f.delay_forwards(Duration::from_millis(5), 1.0);
+        f.push_write_fault(WriteFault {
+            truncate_at: Some(0),
+            ..WriteFault::none()
+        });
+        f.clear();
+        assert!(!f.should_flip_decode("s"));
+        assert!(!f.is_poisoned("s"));
+        assert!(f.forward_delay().is_none());
+        assert!(f.next_write_fault().is_none());
+    }
+}

@@ -22,6 +22,12 @@
 //!   maintenance can compare against each sketch's training-time baseline
 //!   and recommend retraining
 //!   ([`ds_core::advisor::recommend_retraining`]).
+//! * **Graceful degradation** — per-sketch circuit breakers ([`breaker`])
+//!   trip on consecutive health failures and route `ESTIMATE` traffic to a
+//!   configured fallback estimator, flagged `degraded` on the wire; a
+//!   deterministic fault-injection layer ([`faults`], inert in release
+//!   builds) lets the degradation tests drive decode errors, stalled
+//!   forward passes, and poisoned models through the real serving path.
 //!
 //! ```no_run
 //! use std::sync::Arc;
@@ -45,13 +51,17 @@
 #![warn(missing_docs)]
 
 pub mod batcher;
+pub mod breaker;
 pub mod client;
+pub mod faults;
 pub mod metrics;
 pub mod protocol;
 pub mod server;
 
 pub use batcher::{Batcher, BatcherConfig, Completed, Rejection, SharedEstimator, StageStamps};
+pub use breaker::{Admit, BreakerConfig, BreakerRegistry, CircuitBreaker};
 pub use client::{Client, InfoCard};
+pub use faults::FaultInjector;
 pub use metrics::{LogHistogram, Metrics, MetricsSnapshot, RequestTimeline};
 pub use protocol::{ErrorCode, Request, Response};
 pub use server::{query_template, ServeConfig, Server, TemplateInterner};

@@ -117,6 +117,9 @@ pub struct Metrics {
     pub shed: Counter,
     /// Requests that exceeded their deadline.
     pub timeouts: Counter,
+    /// Estimates answered by the fallback estimator with the `degraded`
+    /// wire flag (poisoned sketch, open circuit breaker).
+    pub degraded: Counter,
     /// Estimate micro-batches executed.
     pub batches: Counter,
     /// Request latency in microseconds (ESTIMATE requests).
@@ -145,6 +148,7 @@ impl Default for Metrics {
             errors: Counter::default(),
             shed: Counter::default(),
             timeouts: Counter::default(),
+            degraded: Counter::default(),
             batches: Counter::default(),
             latency_us: LogHistogram::new(),
             batch_size: LogHistogram::new(),
@@ -219,6 +223,11 @@ impl Metrics {
         self.timeouts.inc();
     }
 
+    /// Counts an estimate answered degraded through the fallback estimator.
+    pub fn record_degraded(&self) {
+        self.degraded.inc();
+    }
+
     /// Counts one executed micro-batch of `size` coalesced queries.
     pub fn record_batch(&self, size: usize) {
         self.batches.inc();
@@ -233,6 +242,7 @@ impl Metrics {
             errors: self.errors.get(),
             shed: self.shed.get(),
             timeouts: self.timeouts.get(),
+            degraded: self.degraded.get(),
             batches: self.batches.get(),
             mean_batch: self.batch_size.mean(),
             max_batch: self.batch_size.max(),
@@ -257,6 +267,8 @@ pub struct MetricsSnapshot {
     pub shed: u64,
     /// Deadline misses.
     pub timeouts: u64,
+    /// Estimates answered degraded through the fallback estimator.
+    pub degraded: u64,
     /// Micro-batches executed.
     pub batches: u64,
     /// Mean coalesced batch size.
@@ -277,13 +289,14 @@ impl MetricsSnapshot {
     /// Single-line `key=value` form for the `METRICS` wire response.
     pub fn to_wire(&self) -> String {
         format!(
-            "requests={} ok={} errors={} shed={} timeouts={} batches={} \
+            "requests={} ok={} errors={} shed={} timeouts={} degraded={} batches={} \
              mean_batch={:.2} max_batch={} p50_us={} p95_us={} p99_us={} max_us={}",
             self.requests,
             self.ok,
             self.errors,
             self.shed,
             self.timeouts,
+            self.degraded,
             self.batches,
             self.mean_batch,
             self.max_batch,
@@ -304,6 +317,7 @@ impl MetricsSnapshot {
             errors: 0,
             shed: 0,
             timeouts: 0,
+            degraded: 0,
             batches: 0,
             mean_batch: 0.0,
             max_batch: 0,
@@ -320,6 +334,7 @@ impl MetricsSnapshot {
                 "errors" => snap.errors = value.parse().ok()?,
                 "shed" => snap.shed = value.parse().ok()?,
                 "timeouts" => snap.timeouts = value.parse().ok()?,
+                "degraded" => snap.degraded = value.parse().ok()?,
                 "batches" => snap.batches = value.parse().ok()?,
                 "mean_batch" => snap.mean_batch = value.parse().ok()?,
                 "max_batch" => snap.max_batch = value.parse().ok()?,
@@ -339,8 +354,8 @@ impl std::fmt::Display for MetricsSnapshot {
         writeln!(f, "serving metrics:")?;
         writeln!(
             f,
-            "  requests {:>8}   ok {:>8}   errors {:>6}   shed {:>6}   timeouts {:>6}",
-            self.requests, self.ok, self.errors, self.shed, self.timeouts
+            "  requests {:>8}   ok {:>8}   errors {:>6}   shed {:>6}   timeouts {:>6}   degraded {:>6}",
+            self.requests, self.ok, self.errors, self.shed, self.timeouts, self.degraded
         )?;
         writeln!(
             f,
@@ -409,6 +424,7 @@ mod tests {
         m.record_error();
         m.record_shed();
         m.record_timeout();
+        m.record_degraded();
         m.record_batch(8);
         m.record_batch(16);
         let s = m.snapshot();
@@ -416,6 +432,7 @@ mod tests {
             (s.requests, s.ok, s.errors, s.shed, s.timeouts, s.batches),
             (2, 1, 1, 1, 1, 2)
         );
+        assert_eq!(s.degraded, 1);
         assert_eq!(s.mean_batch, 12.0);
         assert_eq!(s.max_batch, 16);
         assert_eq!(s.p50_us, 100, "single sample is exact");

@@ -133,6 +133,11 @@ impl ErrorCode {
 pub enum Response {
     /// `OK <estimate>` — the estimated cardinality.
     Estimate(f64),
+    /// `OK <estimate> degraded` — an estimate answered by the fallback
+    /// estimator because the requested sketch is unhealthy (poisoned model,
+    /// open circuit breaker). The value is real but comes from a coarser
+    /// model; clients that ignore the flag still parse the number.
+    Degraded(f64),
     /// `OK <text>` — free-form single-line payload (INFO, LIST, METRICS).
     Text(String),
     /// `ERR <code> <message>`.
@@ -236,8 +241,11 @@ pub fn format_response(resp: &Response) -> String {
     let one_line = |s: &str| s.replace(['\n', '\r'], " ");
     match resp {
         // `{:?}`-style shortest-roundtrip float formatting: the client
-        // reparses to the bit-identical f64.
+        // reparses to the bit-identical f64. The degraded form only
+        // *appends* a token, so the non-degraded line stays byte-identical
+        // to what it was before degradation existed.
         Response::Estimate(v) => format!("OK {v:?}"),
+        Response::Degraded(v) => format!("OK {v:?} degraded"),
         Response::Text(t) => format!("OK {}", one_line(t)),
         Response::Error { code, message } => {
             format!("ERR {} {}", code.as_str(), one_line(message))
@@ -253,10 +261,18 @@ pub fn parse_response(line: &str, estimate: bool) -> Result<Response, String> {
     let line = line.trim_end_matches(['\n', '\r']);
     if let Some(rest) = line.strip_prefix("OK ") {
         if estimate {
-            return rest
-                .trim()
+            let payload = rest.trim();
+            let (number, degraded) = match payload.strip_suffix(" degraded") {
+                Some(n) => (n.trim_end(), true),
+                None => (payload, false),
+            };
+            return number
                 .parse::<f64>()
-                .map(Response::Estimate)
+                .map(if degraded {
+                    Response::Degraded
+                } else {
+                    Response::Estimate
+                })
                 .map_err(|e| format!("bad estimate payload '{rest}': {e}"));
         }
         return Ok(Response::Text(rest.to_string()));
@@ -382,6 +398,14 @@ mod tests {
             let line = format_response(&Response::Estimate(v));
             match parse_response(&line, true).unwrap() {
                 Response::Estimate(parsed) => assert_eq!(parsed.to_bits(), v.to_bits()),
+                other => panic!("{other:?}"),
+            }
+            // The degraded form carries the same bit-exact value and is
+            // the non-degraded line plus one trailing token.
+            let degraded_line = format_response(&Response::Degraded(v));
+            assert_eq!(degraded_line, format!("{line} degraded"));
+            match parse_response(&degraded_line, true).unwrap() {
+                Response::Degraded(parsed) => assert_eq!(parsed.to_bits(), v.to_bits()),
                 other => panic!("{other:?}"),
             }
         }

@@ -20,12 +20,15 @@ use std::time::{Duration, Instant};
 
 use ds_core::monitor::MonitorRegistry;
 use ds_core::store::SketchStore;
+use ds_est::EstimateError;
 use ds_obs::PromText;
 use ds_query::parser::parse_query;
 use ds_query::query::Query;
 use ds_storage::catalog::Database;
 
 use crate::batcher::{Batcher, BatcherConfig, Rejection, SharedEstimator, StageStamps};
+use crate::breaker::{Admit, BreakerConfig, BreakerRegistry};
+use crate::faults::FaultInjector;
 use crate::metrics::{Metrics, MetricsSnapshot, RequestTimeline};
 use crate::protocol::{
     estimate_error_response, format_response, parse_request, store_error_response, ErrorCode,
@@ -36,7 +39,7 @@ use crate::protocol::{
 const POLL_INTERVAL: Duration = Duration::from_millis(50);
 
 /// Server tuning knobs.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ServeConfig {
     /// Bind address; use port 0 to let the OS pick one.
     pub addr: String,
@@ -60,6 +63,39 @@ pub struct ServeConfig {
     /// Requests at least this slow end to end (line read → response
     /// flushed) are kept as `TRACE` exemplars. Zero keeps every request.
     pub slow_threshold: Duration,
+    /// Fallback estimator for the degradation chain. When a sketch's
+    /// circuit breaker is open (or its model is fault-poisoned), `ESTIMATE`
+    /// answers through this estimator with the `degraded` wire flag instead
+    /// of erroring. `None` disables degradation: unhealthy sketches return
+    /// their typed errors.
+    pub fallback: Option<SharedEstimator>,
+    /// Per-sketch circuit-breaker thresholds (see [`BreakerConfig`]).
+    pub breaker: BreakerConfig,
+    /// Deterministic fault plan for degradation tests. `None` in
+    /// production; even when set, faults are inert in release builds
+    /// ([`FaultInjector::armed`]).
+    pub faults: Option<Arc<FaultInjector>>,
+}
+
+impl std::fmt::Debug for ServeConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeConfig")
+            .field("addr", &self.addr)
+            .field("workers", &self.workers)
+            .field("max_batch", &self.max_batch)
+            .field("queue_capacity", &self.queue_capacity)
+            .field("request_timeout", &self.request_timeout)
+            .field("max_connections", &self.max_connections)
+            .field("timeline", &self.timeline)
+            .field("slow_threshold", &self.slow_threshold)
+            .field(
+                "fallback",
+                &self.fallback.as_ref().map(|e| e.name().to_string()),
+            )
+            .field("breaker", &self.breaker)
+            .field("faults", &self.faults)
+            .finish()
+    }
 }
 
 impl Default for ServeConfig {
@@ -73,6 +109,9 @@ impl Default for ServeConfig {
             max_connections: 256,
             timeline: true,
             slow_threshold: Duration::from_millis(1),
+            fallback: None,
+            breaker: BreakerConfig::default(),
+            faults: None,
         }
     }
 }
@@ -89,6 +128,9 @@ struct Shared {
     timeline: bool,
     slow_threshold: Duration,
     templates: TemplateInterner,
+    breakers: BreakerRegistry,
+    fallback: Option<SharedEstimator>,
+    faults: Option<Arc<FaultInjector>>,
 }
 
 /// A running sketch server. Dropping it shuts it down.
@@ -112,7 +154,7 @@ impl Server {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
         let metrics = Arc::new(Metrics::new());
-        let batcher = Batcher::new(
+        let batcher = Batcher::with_faults(
             BatcherConfig {
                 workers: cfg.workers,
                 max_batch: cfg.max_batch,
@@ -120,6 +162,7 @@ impl Server {
                 request_timeout: cfg.request_timeout,
             },
             Arc::clone(&metrics),
+            cfg.faults.clone(),
         );
         let shared = Arc::new(Shared {
             db,
@@ -133,6 +176,9 @@ impl Server {
             timeline: cfg.timeline,
             slow_threshold: cfg.slow_threshold,
             templates: TemplateInterner::new(),
+            breakers: BreakerRegistry::new(cfg.breaker),
+            fallback: cfg.fallback,
+            faults: cfg.faults,
         });
         let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let acceptor = {
@@ -165,6 +211,13 @@ impl Server {
     /// store to turn drift into retraining recommendations.
     pub fn monitors(&self) -> Arc<MonitorRegistry> {
         Arc::clone(&self.shared.monitors)
+    }
+
+    /// The per-sketch circuit breaker for `sketch` (created on first use).
+    /// Tests and operators read its state/counters; the serving path owns
+    /// the transitions.
+    pub fn breaker(&self, sketch: &str) -> Arc<crate::breaker::CircuitBreaker> {
+        self.shared.breakers.breaker(sketch)
     }
 
     /// Graceful shutdown: stop accepting, let in-flight requests finish,
@@ -514,10 +567,46 @@ fn handle_line(
     }
 }
 
+/// Whether a rejection says something about the *sketch's* health (and
+/// should trip its circuit breaker / route to the fallback) rather than
+/// about the client's query or the server's load. Malformed/out-of-scope
+/// queries and load shedding are not the model's fault.
+fn health_failure(r: &Rejection) -> bool {
+    match r {
+        Rejection::Timeout => true,
+        Rejection::Estimate(e) => matches!(
+            e,
+            EstimateError::Decode(_) | EstimateError::Unavailable(_) | EstimateError::Execution(_)
+        ),
+        Rejection::Busy { .. } | Rejection::ShuttingDown => false,
+    }
+}
+
+/// Answers `query` through the configured fallback estimator, flagged
+/// `degraded` on the wire. `None` when no fallback is configured or it
+/// fails too (the caller then surfaces the original error).
+fn degraded_answer(query: &ds_query::query::Query, shared: &Shared) -> Option<Response> {
+    let fallback = shared.fallback.as_ref()?;
+    match fallback.try_estimate(query) {
+        Ok(v) => {
+            shared.metrics.record_degraded();
+            ds_obs::global().count("serve/degraded", 1);
+            Some(Response::Degraded(v))
+        }
+        Err(_) => None,
+    }
+}
+
 /// Estimates `sql` with the named sketch; with `feedback`, additionally
 /// records the q-error against the observed true cardinality. Both paths
 /// answer through the same batcher call, so a `FEEDBACK` estimate is
 /// bit-identical to the `ESTIMATE` it grades.
+///
+/// The degradation chain wraps the happy path: an open circuit breaker
+/// short-circuits straight to the fallback, and a health-style failure
+/// (decode/execution/unavailable/timeout) trips the breaker and answers
+/// through the fallback when one is configured — flagged `degraded` on the
+/// wire, never silently.
 fn handle_estimate(
     sketch: &str,
     sql: &str,
@@ -526,8 +615,8 @@ fn handle_estimate(
     t0: Instant,
 ) -> (Response, Option<PendingTimeline>) {
     let _span = ds_obs::global().span("serve/estimate");
-    let estimator: SharedEstimator = match shared.store.get(sketch) {
-        Ok(s) => s,
+    let (estimator, generation) = match shared.store.get_with_generation(sketch) {
+        Ok(p) => p,
         Err(e) => {
             shared.metrics.record_error();
             return (store_error_response(&e), None);
@@ -546,10 +635,64 @@ fn handle_estimate(
             );
         }
     };
+    let breaker = shared.breakers.breaker(sketch);
+    if breaker.admit() == Admit::ShortCircuit {
+        return match degraded_answer(&query, shared) {
+            Some(resp) => {
+                shared.metrics.record_ok(t0.elapsed());
+                (resp, None)
+            }
+            None => {
+                shared.metrics.record_error();
+                (
+                    Response::Error {
+                        code: ErrorCode::NotReady,
+                        message: format!("sketch '{sketch}' circuit open; no fallback configured"),
+                    },
+                    None,
+                )
+            }
+        };
+    }
     let template =
         (shared.timeline || feedback.is_some()).then(|| shared.templates.get(&shared.db, &query));
-    match shared.batcher.estimate_traced(estimator, query) {
+    // Keep a copy for the fallback only when degradation can happen; the
+    // non-degraded hot path stays clone-free.
+    let fallback_query = shared.fallback.as_ref().map(|_| query.clone());
+    let outcome = if shared
+        .faults
+        .as_ref()
+        .is_some_and(|f| f.is_poisoned(sketch))
+    {
+        // Injected fault: the in-memory model is corrupt; fail before the
+        // forward pass, exactly where a real poisoned model would.
+        Err(Rejection::Estimate(EstimateError::Execution(format!(
+            "sketch '{sketch}' model poisoned (fault injection)"
+        ))))
+    } else {
+        // The store generation keys the batch: jobs coalesce only within
+        // one model version, so a concurrent retraining swap or
+        // remove/re-insert can never mix models inside a batch.
+        let result = shared
+            .batcher
+            .estimate_traced_keyed(generation, estimator, query);
+        match result {
+            Ok(_)
+                if shared
+                    .faults
+                    .as_ref()
+                    .is_some_and(|f| f.should_flip_decode(sketch)) =>
+            {
+                Err(Rejection::Estimate(EstimateError::Decode(format!(
+                    "sketch '{sketch}' decode flipped (fault injection)"
+                ))))
+            }
+            other => other,
+        }
+    };
+    match outcome {
         Ok((v, stamps)) => {
+            breaker.record_success();
             shared.metrics.record_ok(t0.elapsed());
             if let Some(actual) = feedback {
                 shared.monitors.monitor(sketch).record(
@@ -565,36 +708,49 @@ fn handle_estimate(
             });
             (Response::Estimate(v), pending)
         }
-        Err(Rejection::Busy { queued }) => {
-            // The batcher already counted the shed.
-            (
-                Response::Busy(format!("admission queue full ({queued} waiting)")),
-                None,
-            )
-        }
-        Err(Rejection::Timeout) => {
-            // The batcher already counted the timeout.
-            (
-                Response::Error {
-                    code: ErrorCode::Timeout,
-                    message: "request deadline exceeded".to_string(),
-                },
-                None,
-            )
-        }
-        Err(Rejection::ShuttingDown) => {
-            shared.metrics.record_error();
-            (
-                Response::Error {
-                    code: ErrorCode::Internal,
-                    message: "server shutting down".to_string(),
-                },
-                None,
-            )
-        }
-        Err(Rejection::Estimate(e)) => {
-            shared.metrics.record_error();
-            (estimate_error_response(&e), None)
+        Err(rejection) => {
+            if health_failure(&rejection) {
+                breaker.record_failure();
+                if let Some(q) = fallback_query.as_ref() {
+                    if let Some(resp) = degraded_answer(q, shared) {
+                        shared.metrics.record_ok(t0.elapsed());
+                        return (resp, None);
+                    }
+                }
+            }
+            match rejection {
+                Rejection::Busy { queued } => {
+                    // The batcher already counted the shed.
+                    (
+                        Response::Busy(format!("admission queue full ({queued} waiting)")),
+                        None,
+                    )
+                }
+                Rejection::Timeout => {
+                    // The batcher already counted the timeout.
+                    (
+                        Response::Error {
+                            code: ErrorCode::Timeout,
+                            message: "request deadline exceeded".to_string(),
+                        },
+                        None,
+                    )
+                }
+                Rejection::ShuttingDown => {
+                    shared.metrics.record_error();
+                    (
+                        Response::Error {
+                            code: ErrorCode::Internal,
+                            message: "server shutting down".to_string(),
+                        },
+                        None,
+                    )
+                }
+                Rejection::Estimate(e) => {
+                    shared.metrics.record_error();
+                    (estimate_error_response(&e), None)
+                }
+            }
         }
     }
 }
@@ -610,6 +766,7 @@ fn stats_payload(shared: &Shared) -> String {
         .counter("serve/errors", m.errors.get())
         .counter("serve/shed", m.shed.get())
         .counter("serve/timeouts", m.timeouts.get())
+        .counter("serve/degraded", m.degraded.get())
         .counter("serve/batches", m.batches.get())
         .counter("serve/expired_jobs", shared.batcher.expired_jobs())
         .gauge("serve/queue_len", shared.batcher.queue_len() as f64)
@@ -632,6 +789,18 @@ fn stats_payload(shared: &Shared) -> String {
             m.slow.pushed().saturating_sub(m.slow.dropped()),
         )
         .counter("serve/trace/dropped", m.slow.dropped());
+    for name in shared.breakers.names() {
+        let b = shared.breakers.breaker(&name);
+        p.counter(&format!("serve/breaker/{name}/opened"), b.opened())
+            .counter(
+                &format!("serve/breaker/{name}/short_circuits"),
+                b.short_circuits(),
+            )
+            .gauge(
+                &format!("serve/breaker/{name}/open"),
+                if b.is_open() { 1.0 } else { 0.0 },
+            );
+    }
     for name in shared.monitors.names() {
         if let Some(mon) = shared.monitors.get(&name) {
             p.summary(&format!("feedback/{name}/qerror_scaled"), &mon.rolling());

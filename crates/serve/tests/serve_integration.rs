@@ -475,6 +475,83 @@ fn injected_drift_fires_and_stationary_feedback_stays_silent() {
     server.shutdown();
 }
 
+/// Regression test for the remove/swap-during-batch race: while clients
+/// hammer "churn" through the server's coalescing path, a writer keeps
+/// removing it and re-inserting alternating model versions. Batches are
+/// keyed by store generation (plus an `Arc::ptr_eq` sweep guard), so every
+/// answer must be bit-identical to ONE of the two versions' local
+/// estimates — a mixed batch would hand version A's request to version B.
+#[test]
+fn estimates_stay_version_consistent_under_store_churn() {
+    let db = Arc::new(imdb_database(&ImdbConfig::tiny(11)));
+    let store = Arc::new(SketchStore::new());
+    let version_a = tiny_sketch(&db, 1);
+    let version_b = tiny_sketch(&db, 2);
+    let sql = "SELECT COUNT(*) FROM title WHERE title.kind_id = 1";
+    let q = parse_query(&db, sql).unwrap();
+    let bits_a = version_a.estimate_one(&q).to_bits();
+    let bits_b = version_b.estimate_one(&q).to_bits();
+    assert_ne!(bits_a, bits_b, "fixture must distinguish the versions");
+    store.insert("churn", version_a.clone()).unwrap();
+
+    let server = Server::start(
+        Arc::clone(&db),
+        Arc::clone(&store),
+        ServeConfig {
+            workers: 2,
+            max_batch: 16,
+            request_timeout: Duration::from_secs(30),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            s.spawn(move || {
+                let mut c = Client::connect_timeout(addr, Duration::from_secs(30)).unwrap();
+                for _ in 0..100 {
+                    match c.estimate("churn", sql).unwrap() {
+                        Response::Estimate(v) => {
+                            let bits = v.to_bits();
+                            assert!(
+                                bits == bits_a || bits == bits_b,
+                                "answer {v} from neither model version"
+                            );
+                        }
+                        // Mid-swap the name can briefly be missing; typed
+                        // errors are fine, mixed models are not.
+                        Response::Error { code, .. } => {
+                            assert!(
+                                matches!(code, ErrorCode::UnknownSketch | ErrorCode::NotReady),
+                                "{code:?}"
+                            );
+                        }
+                        other => panic!("{other:?}"),
+                    }
+                }
+                c.quit().unwrap();
+            });
+        }
+        let store = Arc::clone(&store);
+        s.spawn(move || {
+            for i in 0..50 {
+                store.remove("churn");
+                std::thread::yield_now();
+                let next = if i % 2 == 0 {
+                    version_b.clone()
+                } else {
+                    version_a.clone()
+                };
+                store.insert("churn", next).unwrap();
+                std::thread::yield_now();
+            }
+        });
+    });
+    server.shutdown();
+}
+
 /// Graceful shutdown: requests in flight when shutdown starts still get
 /// answers; the queue drains rather than drops.
 #[test]

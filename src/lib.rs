@@ -15,10 +15,12 @@
 //! * [`nn`] — minimal CPU neural-network library with manual backprop.
 //! * [`est`] — traditional estimators (PostgreSQL-style, sampling-based).
 //! * [`core`] — the paper's contribution: featurization, the MSCN model,
-//!   training, and the [`core::sketch::DeepSketch`] wrapper.
+//!   training, the [`core::sketch::DeepSketch`] wrapper, and crash-safe
+//!   snapshot persistence ([`core::snapshot`], [`core::store::SketchStore::open_dir`]).
 //! * [`serve`] — concurrent TCP serving front end with request
-//!   coalescing, per-request stage timelines, and online q-error
-//!   feedback monitoring over the [`core::store::SketchStore`].
+//!   coalescing, per-request stage timelines, online q-error
+//!   feedback monitoring over the [`core::store::SketchStore`], and
+//!   per-sketch circuit breakers degrading to baseline estimators.
 //!
 //! ## Quickstart
 //!
@@ -67,7 +69,8 @@ pub mod prelude {
     pub use ds_core::metrics::{qerror, QErrorSummary};
     pub use ds_core::monitor::{MonitorRegistry, QErrorMonitor};
     pub use ds_core::sketch::DeepSketch;
-    pub use ds_core::store::{SketchStatus, SketchStore, StoreHandle};
+    pub use ds_core::snapshot::{decode_snapshot, encode_snapshot, SnapshotError, WriteFault};
+    pub use ds_core::store::{RecoveryReport, SketchStatus, SketchStore, StoreHandle};
     pub use ds_core::template::{QueryTemplate, ValueFn};
     pub use ds_est::{
         oracle::TrueCardinalityOracle, postgres::PostgresEstimator, sampling::SamplingEstimator,
@@ -78,7 +81,10 @@ pub mod prelude {
     pub use ds_query::query::Query;
     pub use ds_query::workloads::job_light::job_light_workload;
     pub use ds_query::workloads::{imdb_predicate_columns, tpch_predicate_columns};
-    pub use ds_serve::{Client, InfoCard, MetricsSnapshot, RequestTimeline, ServeConfig, Server};
+    pub use ds_serve::{
+        BreakerConfig, Client, FaultInjector, InfoCard, MetricsSnapshot, RequestTimeline,
+        ServeConfig, Server,
+    };
     pub use ds_storage::gen::{imdb_database, tpch_database, ImdbConfig, TpchConfig};
     pub use ds_storage::Database;
 }
