@@ -1,14 +1,17 @@
 //! `bench_harness` — the pinned quick-mode benchmark suite behind the CI
 //! `bench-smoke` gate.
 //!
-//! Runs three stages sized to finish in a couple of minutes on one core:
+//! Runs four stages sized to finish in a couple of minutes on one core:
 //!
 //! 1. **kernels** — tiled/threaded matmul vs the reference kernel at the
 //!    MSCN-critical shapes (same shapes as the full `nn_kernels` bench);
 //! 2. **training** — a miniature fig1a build (small synthetic IMDb, 800
 //!    queries, 3 epochs) whose validation q-error is fully deterministic;
-//! 3. **serving** — a small coalescing-vs-per-request client fleet against
-//!    the TCP server, plus the tracing-enabled overhead measurement.
+//! 3. **inference** — the frozen fused featurize-and-forward path vs the
+//!    training-shape reference, single uncached estimates;
+//! 4. **serving** — a small coalescing-vs-per-request client fleet against
+//!    the TCP server, the tracing-enabled overhead measurement, and the
+//!    warm-cache speedup of the template-keyed estimate cache.
 //!
 //! The run is written to `target/BENCH_quick.latest.json` and diffed
 //! against the committed baseline `BENCH_quick.json`:
@@ -273,7 +276,7 @@ fn stage_kernels(report: &mut BenchReport) {
         ("head_384x256_x1", 384, 256, 1, false),
     ];
     println!(
-        "\n[1/3] matmul kernels ({} shapes, 25 iters):",
+        "\n[1/4] matmul kernels ({} shapes, 25 iters):",
         shapes.len()
     );
     for (name, m, k, n, gated) in shapes {
@@ -309,7 +312,7 @@ fn stage_kernels(report: &mut BenchReport) {
 /// at any thread count, so the validation q-error is an exact, portable
 /// quality gate; wall-clock numbers ride along as local metrics.
 fn stage_training(report: &mut BenchReport) -> (Arc<Database>, Arc<SketchStore>) {
-    println!("\n[2/3] mini fig1a build (800 queries, 3 epochs):");
+    println!("\n[2/4] mini fig1a build (800 queries, 3 epochs):");
     let db = Arc::new(imdb_database(&ImdbConfig {
         movies: 2_000,
         keywords: 1_000,
@@ -353,6 +356,52 @@ fn stage_training(report: &mut BenchReport) -> (Arc<Database>, Arc<SketchStore>)
     (db, store)
 }
 
+/// Stage 3: single uncached estimates through the frozen fused
+/// featurize-and-forward path vs the training-shape reference forward. The
+/// speedup is a dimensionless ratio and gates CI; the absolute per-estimate
+/// latency records for same-machine diffs (the issue's sub-10µs target).
+/// The fused path must stay bit-identical to the reference — asserted here
+/// on the live workload before timing.
+fn stage_inference(report: &mut BenchReport, db: &Arc<Database>, store: &Arc<SketchStore>) {
+    println!("\n[3/4] frozen inference (fused featurize-and-forward):");
+    let frozen = store.get("imdb").expect("sketch");
+    assert!(
+        frozen.frozen().is_some(),
+        "builder finalize must attach the frozen artifact"
+    );
+    let mut reference = (*frozen).clone();
+    reference.clear_frozen();
+    let queries: Vec<_> = WORKLOAD
+        .iter()
+        .map(|sql| parse_query(db, sql).expect("parse workload"))
+        .collect();
+    for q in &queries {
+        assert_eq!(
+            frozen.estimate_one(q).to_bits(),
+            reference.estimate_one(q).to_bits(),
+            "fused path diverged from the reference"
+        );
+    }
+    let t_ref = min_secs(100, || {
+        for q in &queries {
+            std::hint::black_box(reference.estimate_one(q));
+        }
+    });
+    let t_frozen = min_secs(100, || {
+        for q in &queries {
+            std::hint::black_box(frozen.estimate_one(q));
+        }
+    });
+    let speedup = t_ref / t_frozen;
+    let single_us = t_frozen * 1e6 / queries.len() as f64;
+    println!(
+        "  reference {:>7.1} µs/est   frozen {single_us:>6.1} µs/est   speedup {speedup:.2}x",
+        t_ref * 1e6 / queries.len() as f64
+    );
+    report.push(Metric::portable("infer/frozen_speedup", speedup, true));
+    report.push(Metric::local("infer/single_estimate_us", single_us, false));
+}
+
 /// Runs a quick client fleet of `CLIENTS` connections issuing
 /// `queries_per_client` estimates each; returns elapsed seconds.
 /// `instrumented` turns on the per-request timeline pipeline with a zero
@@ -365,6 +414,7 @@ fn run_fleet(
     max_batch: usize,
     queries_per_client: usize,
     instrumented: bool,
+    cache_capacity: usize,
 ) -> f64 {
     let server = Server::start(
         Arc::clone(db),
@@ -377,6 +427,7 @@ fn run_fleet(
             max_connections: CLIENTS + 4,
             timeline: instrumented,
             slow_threshold: Duration::ZERO,
+            cache_capacity,
             ..ServeConfig::default()
         },
     )
@@ -428,19 +479,32 @@ fn run_fleet(
 /// the honest end-to-end overhead into `BENCH_serve.json`.
 fn stage_serving(report: &mut BenchReport, db: &Arc<Database>, store: &Arc<SketchStore>) {
     let total = CLIENTS * QUERIES_PER_CLIENT;
-    println!("\n[3/3] serving fleet ({CLIENTS} clients x {QUERIES_PER_CLIENT} queries):");
-    let _ = run_fleet(db, store, 1, QUERIES_PER_CLIENT, false); // warm-up
-    let per_req_secs = min_secs(3, || run_fleet(db, store, 1, QUERIES_PER_CLIENT, false));
-    let coal_secs = min_secs(3, || run_fleet(db, store, 32, QUERIES_PER_CLIENT, false));
+    println!("\n[4/4] serving fleet ({CLIENTS} clients x {QUERIES_PER_CLIENT} queries):");
+    // The coalescing and overhead fleets disable the estimate cache: they
+    // measure the forward-pass path, and the 6-template workload would
+    // otherwise be answered almost entirely from memory.
+    let _ = run_fleet(db, store, 1, QUERIES_PER_CLIENT, false, 0); // warm-up
+    let per_req_secs = min_secs(3, || run_fleet(db, store, 1, QUERIES_PER_CLIENT, false, 0));
+    let coal_secs = min_secs(3, || run_fleet(db, store, 32, QUERIES_PER_CLIENT, false, 0));
     let per_req_rps = total as f64 / per_req_secs;
     let coal_rps = total as f64 / coal_secs;
     let speedup = coal_rps / per_req_rps;
     println!("  per-request {per_req_rps:>7.0} req/s   coalesced {coal_rps:>7.0} req/s   speedup {speedup:.2}x");
 
+    // Warm-cache fleet: same coalesced config with the default cache on.
+    // The fleet cycles 6 templates, so after one cold pass every request is
+    // a hit — the ratio is the end-to-end value of the estimate cache.
+    let warm_secs = min_secs(3, || {
+        run_fleet(db, store, 32, QUERIES_PER_CLIENT, false, 4096)
+    });
+    let warm_rps = total as f64 / warm_secs;
+    let cache_speedup = warm_rps / coal_rps;
+    println!("  warm-cache  {warm_rps:>7.0} req/s   cache-hit speedup {cache_speedup:.2}x");
+
     // Per-request CPU budget of the coalesced path, from a longer fleet so
     // the /proc/self/stat tick granularity (~10ms) stays under 1%.
     let cpu0 = process_cpu_secs();
-    let _ = run_fleet(db, store, 32, OVERHEAD_QUERIES_PER_CLIENT, false);
+    let _ = run_fleet(db, store, 32, OVERHEAD_QUERIES_PER_CLIENT, false, 0);
     let request_cpu_us = (process_cpu_secs() - cpu0).max(1e-9) * 1e6
         / (CLIENTS * OVERHEAD_QUERIES_PER_CLIENT) as f64;
 
@@ -450,7 +514,7 @@ fn stage_serving(report: &mut BenchReport, db: &Arc<Database>, store: &Arc<Sketc
     let obs = ds_obs::global();
     let was_enabled = obs.is_enabled();
     obs.enable();
-    let traced_secs = run_fleet(db, store, 32, OVERHEAD_QUERIES_PER_CLIENT, true);
+    let traced_secs = run_fleet(db, store, 32, OVERHEAD_QUERIES_PER_CLIENT, true, 0);
     if !was_enabled {
         obs.disable();
     }
@@ -465,7 +529,13 @@ fn stage_serving(report: &mut BenchReport, db: &Arc<Database>, store: &Arc<Sketc
     );
 
     report.push(Metric::portable("serve/coalescing_speedup", speedup, true));
+    report.push(Metric::portable(
+        "serve/cache_hit_speedup",
+        cache_speedup,
+        true,
+    ));
     report.push(Metric::local("serve/per_request_rps", per_req_rps, true));
+    report.push(Metric::local("serve/warm_cache_rps", warm_rps, true));
     report.push(Metric::local("serve/coalesced_rps", coal_rps, true));
     report.push(Metric::local(
         "serve/traced_coalesced_rps",
@@ -542,6 +612,7 @@ fn main() -> ExitCode {
     let mut current = BenchReport::new("quick");
     stage_kernels(&mut current);
     let (db, store) = stage_training(&mut current);
+    stage_inference(&mut current, &db, &store);
     stage_serving(&mut current, &db, &store);
 
     if opts.trace {

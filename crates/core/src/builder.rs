@@ -11,6 +11,7 @@
 
 use std::time::{Duration, Instant};
 
+use ds_nn::frozen::QuantMode;
 use ds_nn::loss::LabelNormalizer;
 use ds_query::query::Query;
 use ds_query::{GeneratorConfig, QueryGenerator};
@@ -112,8 +113,14 @@ pub struct SketchBuilder<'a> {
     early_stop_patience: Option<usize>,
     restore_best: bool,
     threads: usize,
+    quantization: QuantMode,
     seed: u64,
 }
+
+/// Training queries probed by the freeze accuracy gate at finalize. A
+/// prefix of the training workload suffices: the gate compares two
+/// numerical paths over the *same* weights, not model generalization.
+const FREEZE_PROBES: usize = 256;
 
 impl<'a> SketchBuilder<'a> {
     /// Starts a builder over a database with the given predicate-eligible
@@ -138,6 +145,7 @@ impl<'a> SketchBuilder<'a> {
             early_stop_patience: None,
             restore_best: false,
             threads: 1,
+            quantization: QuantMode::F32,
             seed: 0xD5_5EED,
         }
     }
@@ -238,6 +246,14 @@ impl<'a> SketchBuilder<'a> {
     /// serving. Results are bit-identical at any thread count.
     pub fn threads(mut self, n: usize) -> Self {
         self.threads = n.max(1);
+        self
+    }
+
+    /// Quantization mode of the frozen serving artifact produced at
+    /// finalize (f32 by default; int8 halves the artifact's weight bytes
+    /// at a small, gate-bounded accuracy cost).
+    pub fn quantization(mut self, mode: QuantMode) -> Self {
+        self.quantization = mode;
         self
     }
 
@@ -365,6 +381,21 @@ impl<'a> SketchBuilder<'a> {
         // the sketch as the reference for online drift detection.
         if let Some(baseline) = crate::monitor::baseline_from_qerrors(&training.holdout_qerrors) {
             sketch.set_baseline(baseline);
+        }
+        // Freeze the serving artifact, gated on accuracy: a prefix of the
+        // training queries probes frozen-vs-reference estimates, and a
+        // gate miss leaves the sketch on the reference path with a
+        // warning counter instead of shipping a drifted artifact.
+        let probes = &queries[..queries.len().min(FREEZE_PROBES)];
+        if let Err(worst) = sketch.freeze_gated(
+            self.quantization,
+            probes,
+            crate::sketch::FREEZE_GATE_MAX_DELTA,
+        ) {
+            if obs.is_enabled() {
+                obs.count("build/freeze_gate_failures", 1);
+            }
+            let _ = worst;
         }
         let footprint_bytes = sketch.footprint_bytes();
         let report = BuildReport {

@@ -15,6 +15,7 @@
 
 use std::collections::HashMap;
 
+use ds_nn::frozen::IndexSet;
 use ds_nn::ops::Segments;
 use ds_nn::tensor::Tensor;
 use ds_query::query::Query;
@@ -229,6 +230,68 @@ impl Featurizer {
         }
     }
 
+    /// Featurizes one query as sparse index lists for the fused frozen
+    /// forward path — the exact same active `(index, value)` pairs as
+    /// [`Featurizer::featurize`], pushed in ascending index order per
+    /// element, without ever materializing the dense one-hot rows. Reuses
+    /// `out`'s buffers, so a serving loop allocates nothing per query.
+    pub fn featurize_indices(
+        &self,
+        query: &Query,
+        samples: &[TableSample],
+        out: &mut QueryIndexFeatures,
+    ) {
+        out.tables.clear();
+        out.joins.clear();
+        out.preds.clear();
+
+        // Table set: one-hot(table) then the bitmap tail (ascending).
+        for &t in &query.tables {
+            let start = out.tables.begin_elem();
+            if t.0 < self.num_tables {
+                out.tables.push(t.0 as u32, 1.0);
+            }
+            if self.use_bitmaps {
+                let preds = query.preds_of(t);
+                let sample = &samples[t.0];
+                let bm = sample.qualifying_bitmap(&preds);
+                debug_assert_eq!(bm.len(), self.sample_size);
+                for i in bm.iter_ones() {
+                    out.tables.push((self.num_tables + i) as u32, 1.0);
+                }
+            }
+            out.tables.finish_elem(start);
+        }
+
+        // Join set: a single one-hot, or an all-zero element for joins
+        // outside the vocabulary.
+        for j in &query.joins {
+            let start = out.joins.begin_elem();
+            if let Some(&idx) = self.join_index.get(&j.canonical()) {
+                out.joins.push(idx as u32, 1.0);
+            }
+            out.joins.finish_elem(start);
+        }
+
+        // Predicate set: one-hot(col), one-hot(op), normalized literal.
+        for (cr, op, lit) in query.qualified_predicates() {
+            let start = out.preds.begin_elem();
+            let (op_slot, lit_slot) = (
+                (self.columns.len() + op.index()) as u32,
+                (self.columns.len() + 3) as u32,
+            );
+            if let Some(&idx) = self.col_index.get(&cr) {
+                out.preds.push(idx as u32, 1.0);
+                out.preds.push(op_slot, 1.0);
+                out.preds.push(lit_slot, self.normalize_literal(idx, lit));
+            } else {
+                out.preds.push(op_slot, 1.0);
+                out.preds.push(lit_slot, 0.5);
+            }
+            out.preds.finish_elem(start);
+        }
+    }
+
     /// Assembles featurized queries into batched set matrices with segment
     /// descriptors for masked mean pooling.
     pub fn batch(&self, feats: &[QueryFeatures]) -> FeatureBatch {
@@ -276,6 +339,19 @@ impl Featurizer {
             queries.iter().map(|q| self.featurize(q, samples)).collect();
         self.batch(&feats)
     }
+}
+
+/// Sparse index-list featurization of one query, the input of the fused
+/// frozen forward. Holds the same information as [`QueryFeatures`] but as
+/// `(index, value)` gather lists instead of dense rows.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct QueryIndexFeatures {
+    /// Table-set elements: one-hot(table) + sample-bitmap indices.
+    pub tables: IndexSet,
+    /// Join-set elements: at most one active index each.
+    pub joins: IndexSet,
+    /// Predicate-set elements: column, operator, and literal slots.
+    pub preds: IndexSet,
 }
 
 /// The three feature-vector sets of one query.
@@ -435,6 +511,37 @@ mod tests {
         assert_eq!(batch.join_segs, vec![(0, 1), (1, 0)]); // q2 has no joins
         assert_eq!(batch.preds.rows(), 1);
         assert_eq!(batch.pred_segs, vec![(0, 0), (0, 1)]);
+    }
+
+    #[test]
+    fn index_features_match_dense_rows_exactly() {
+        let (db, samples, f) = setup();
+        let q = parse_query(
+            &db,
+            "SELECT COUNT(*) FROM title, movie_keyword \
+             WHERE movie_keyword.movie_id = title.id AND title.production_year > 2000",
+        )
+        .unwrap();
+        let dense = f.featurize(&q, &samples);
+        let mut sparse = QueryIndexFeatures::default();
+        f.featurize_indices(&q, &samples, &mut sparse);
+        let check = |rows: &Vec<Vec<f32>>, set: &IndexSet, dim: usize| {
+            assert_eq!(rows.len(), set.elems.len());
+            for (row, &(start, len)) in rows.iter().zip(&set.elems) {
+                assert_eq!(row.len(), dim);
+                let mut rebuilt = vec![0.0f32; dim];
+                let mut last = -1i64;
+                for &(i, v) in &set.entries[start as usize..(start + len) as usize] {
+                    assert!(i as i64 > last, "indices not strictly ascending");
+                    last = i as i64;
+                    rebuilt[i as usize] = v;
+                }
+                assert_eq!(&rebuilt, row);
+            }
+        };
+        check(&dense.table_rows, &sparse.tables, f.table_dim());
+        check(&dense.join_rows, &sparse.joins, f.join_dim());
+        check(&dense.pred_rows, &sparse.preds, f.pred_dim());
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub use advisor::{
     recommend, recommend_retraining, Advice, AdvisorConfig, RetrainAdvice, SketchRecommendation,
 };
 pub use builder::{BuildProgress, BuildReport, SketchBuilder};
-pub use featurize::{FeatureBatch, Featurizer, QueryFeatures};
+pub use featurize::{FeatureBatch, Featurizer, QueryFeatures, QueryIndexFeatures};
 pub use flat::{FlatFeaturizer, FlatModel};
 pub use fleet::{Route, SketchFleet};
 pub use maintain::{
@@ -49,7 +49,9 @@ pub use maintain::{
 pub use metrics::{qerror, QErrorSummary};
 pub use monitor::{MonitorRegistry, MonitorState, QErrorMonitor};
 pub use mscn::{MscnConfig, MscnModel};
-pub use sketch::{DeepSketch, SketchInfo};
+pub use sketch::{DeepSketch, SketchInfo, FREEZE_GATE_MAX_DELTA};
+
+pub use ds_nn::frozen::QuantMode;
 pub use snapshot::{SketchSnapshot, SnapshotError, WriteFault};
 pub use store::{RecoveryReport, SketchStatus, SketchStore, StoreError, StoreHandle};
 pub use template::{QueryTemplate, TemplateInstance, ValueFn};

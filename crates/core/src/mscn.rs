@@ -18,6 +18,7 @@
 //! row of the flattened batch matrix and the same [`Linear`] is applied to
 //! all rows; the segment mean then pools per query.
 
+use ds_nn::frozen::{FrozenLinear, FrozenModel, QuantMode};
 use ds_nn::linear::Linear;
 use ds_nn::ops::{
     relu_backward_inplace, relu_into, segment_mean_backward_into, segment_mean_into,
@@ -378,6 +379,24 @@ impl MscnModel {
         adam.step(5, &mut self.preds.l2);
         adam.step(6, &mut self.out1);
         adam.step(7, &mut self.out2);
+    }
+
+    /// Converts the trained weights into a serving-only [`FrozenModel`]:
+    /// every layer is copied (f32) or quantized (int8, per-input-row
+    /// scales) into the gather-friendly frozen layout. The reference
+    /// model keeps owning training and the batch path; the frozen
+    /// artifact only serves single-query estimates.
+    pub fn freeze(&self, mode: QuantMode) -> FrozenModel {
+        FrozenModel::new(
+            FrozenLinear::from_linear(&self.tables.l1, mode),
+            FrozenLinear::from_linear(&self.tables.l2, mode),
+            FrozenLinear::from_linear(&self.joins.l1, mode),
+            FrozenLinear::from_linear(&self.joins.l2, mode),
+            FrozenLinear::from_linear(&self.preds.l1, mode),
+            FrozenLinear::from_linear(&self.preds.l2, mode),
+            FrozenLinear::from_linear(&self.out1, mode),
+            FrozenLinear::from_linear(&self.out2, mode),
+        )
     }
 
     /// Serializes the model (versioned).

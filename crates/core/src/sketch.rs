@@ -3,7 +3,10 @@
 //! returns a cardinality estimate (Figure 1b), fits in a few MiB, and
 //! answers within milliseconds.
 
+use std::cell::RefCell;
+
 use ds_est::{CardinalityEstimator, EstimateError};
+use ds_nn::frozen::{FrozenModel, FrozenScratch, QuantMode};
 use ds_nn::loss::LabelNormalizer;
 use ds_nn::serialize::{DecodeError, Decoder, Encoder};
 use ds_obs::HistogramSnapshot;
@@ -15,15 +18,16 @@ use ds_storage::exec::JoinEdge;
 use ds_storage::sample::TableSample;
 use ds_storage::table::Table;
 
-use crate::featurize::Featurizer;
+use crate::featurize::{Featurizer, QueryIndexFeatures};
 use crate::mscn::{ForwardCache, MscnModel};
 
 const MAGIC: &[u8; 4] = b"DSKT";
 /// Current serialization version. Version 2 appended the optional
-/// training-time q-error baseline; version-1 blobs still load (with no
-/// baseline), so sketches serialized before the drift monitor existed
-/// keep working.
-const VERSION: u32 = 2;
+/// training-time q-error baseline; version 3 appended the optional frozen
+/// inference artifact (with its quantization mode). Older blobs still
+/// load: v1 gets no baseline, and both v1 and v2 get a fresh f32 freeze
+/// on decode, so pre-existing snapshots serve through the fused path.
+const VERSION: u32 = 3;
 /// Oldest version [`DeepSketch::from_bytes`] accepts.
 const MIN_VERSION: u32 = 1;
 
@@ -32,6 +36,21 @@ const MIN_VERSION: u32 = 1;
 /// serving threads. Chunking never changes results: every query's rows
 /// flow through row-independent kernels and its own pooling segments.
 const SERVE_CHUNK: usize = 256;
+
+/// Accuracy gate for freezing (see [`DeepSketch::freeze_gated`]): the worst
+/// per-probe q-style ratio `max(frozen/reference, reference/frozen)` must
+/// stay at or below this for the artifact to be adopted. The f32 mode is
+/// bit-identical to the reference kernels, so its delta is exactly 1.0;
+/// this bound is what actually guards int8 quantization.
+pub const FREEZE_GATE_MAX_DELTA: f64 = 1.05;
+
+thread_local! {
+    /// Per-thread scratch of the fused featurize-and-forward path: index
+    /// lists plus layer activations. Keeps single-query serving
+    /// allocation-free after the first estimate on each thread.
+    static FUSED_SCRATCH: RefCell<(QueryIndexFeatures, FrozenScratch)> =
+        RefCell::new((QueryIndexFeatures::default(), FrozenScratch::new()));
+}
 
 /// Summary card of a trained sketch.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -98,6 +117,11 @@ pub struct DeepSketch {
     /// against. `None` for sketches built before the monitor existed
     /// (version-1 blobs) or trained without a validation split.
     baseline: Option<HistogramSnapshot>,
+    /// The serving-only frozen artifact: gather-friendly f32 (or int8)
+    /// weights converted once from the trained model. `None` when freezing
+    /// was skipped or failed its accuracy gate — estimates then run the
+    /// reference batch path.
+    frozen: Option<FrozenModel>,
 }
 
 impl DeepSketch {
@@ -121,6 +145,7 @@ impl DeepSketch {
             name,
             threads: 1,
             baseline: None,
+            frozen: None,
         }
     }
 
@@ -141,8 +166,118 @@ impl DeepSketch {
         self.baseline.as_ref()
     }
 
-    /// Estimated cardinality of one query (≥ 1).
+    /// The frozen inference artifact, if one is attached.
+    pub fn frozen(&self) -> Option<&FrozenModel> {
+        self.frozen.as_ref()
+    }
+
+    /// Discards the frozen artifact: estimates fall back to the reference
+    /// batch path (and serialization drops the frozen section).
+    pub fn clear_frozen(&mut self) {
+        self.frozen = None;
+    }
+
+    /// Freezes the trained model into the serving artifact without an
+    /// accuracy check. For f32 this is always safe (the fused path is
+    /// bit-identical to the reference kernels); int8 callers should prefer
+    /// [`DeepSketch::freeze_gated`].
+    pub fn freeze(&mut self, mode: QuantMode) {
+        self.frozen = Some(self.model.freeze(mode));
+    }
+
+    /// Freezes with an accuracy gate: estimates every probe query through
+    /// both the reference path and the candidate artifact and adopts the
+    /// artifact only if the worst q-style ratio `max(f/r, r/f)` stays at
+    /// or below `max_delta` (see [`FREEZE_GATE_MAX_DELTA`]). Returns the
+    /// observed worst ratio either way: `Ok` when the artifact was
+    /// adopted, `Err` when it failed the gate and the previous frozen
+    /// state was kept.
+    pub fn freeze_gated(
+        &mut self,
+        mode: QuantMode,
+        probes: &[Query],
+        max_delta: f64,
+    ) -> Result<f64, f64> {
+        let prior = self.frozen.take();
+        let reference = self.estimate_batch(probes);
+        let candidate = self.model.freeze(mode);
+        let mut feats = QueryIndexFeatures::default();
+        let mut scratch = FrozenScratch::new();
+        let mut worst = 1.0f64;
+        for (q, &r) in probes.iter().zip(&reference) {
+            self.featurizer
+                .featurize_indices(q, &self.samples, &mut feats);
+            let y =
+                candidate.forward_query(&feats.tables, &feats.joins, &feats.preds, &mut scratch);
+            let f = self.normalizer.denormalize(y).max(1.0);
+            worst = worst.max((f / r).max(r / f));
+        }
+        if worst <= max_delta {
+            self.frozen = Some(candidate);
+            Ok(worst)
+        } else {
+            self.frozen = prior;
+            Err(worst)
+        }
+    }
+
+    /// Shape agreement between the frozen artifact and the reference
+    /// model: `None` when consistent (or when no artifact is attached),
+    /// otherwise a description of the first mismatch. Checked by
+    /// [`DeepSketch::validate`] on every request and by
+    /// [`DeepSketch::from_bytes`] on decode.
+    pub fn frozen_shape_mismatch(&self) -> Option<String> {
+        let frozen = self.frozen.as_ref()?;
+        let h = self.model.hidden();
+        if frozen.hidden() != h {
+            return Some(format!(
+                "frozen hidden width {} disagrees with reference {h}",
+                frozen.hidden()
+            ));
+        }
+        let (td, jd, pd) = self.model.input_dims();
+        let expect = [
+            ("tables1", td, h),
+            ("tables2", h, h),
+            ("joins1", jd, h),
+            ("joins2", h, h),
+            ("preds1", pd, h),
+            ("preds2", h, h),
+            ("out1", 3 * h, h),
+            ("out2", h, 1),
+        ];
+        for (l, &(name, in_d, out_d)) in frozen.layers().iter().zip(expect.iter()) {
+            if l.in_dim() != in_d || l.out_dim() != out_d {
+                return Some(format!(
+                    "frozen layer {name} is {}x{}, reference expects {in_d}x{out_d}",
+                    l.in_dim(),
+                    l.out_dim()
+                ));
+            }
+        }
+        None
+    }
+
+    /// One estimate through the fused featurize-and-forward path: sparse
+    /// index lists gathered straight into the frozen weight rows, no
+    /// feature tensor ever materialized.
+    fn estimate_fused(&self, frozen: &FrozenModel, query: &Query) -> f64 {
+        FUSED_SCRATCH.with(|cell| {
+            let (feats, scratch) = &mut *cell.borrow_mut();
+            self.featurizer
+                .featurize_indices(query, &self.samples, feats);
+            let y = frozen.forward_query(&feats.tables, &feats.joins, &feats.preds, scratch);
+            self.normalizer.denormalize(y).max(1.0)
+        })
+    }
+
+    /// Estimated cardinality of one query (≥ 1). Served through the fused
+    /// frozen path when an artifact is attached (bit-identical for f32,
+    /// gate-bounded for int8); the reference batch path otherwise.
     pub fn estimate_one(&self, query: &Query) -> f64 {
+        if let Some(frozen) = &self.frozen {
+            return self.estimate_fused(frozen, query);
+        }
         self.estimate_batch(std::slice::from_ref(query))[0]
     }
 
@@ -153,6 +288,19 @@ impl DeepSketch {
     pub fn estimate_batch(&self, queries: &[Query]) -> Vec<f64> {
         if queries.is_empty() {
             return Vec::new();
+        }
+        // Int8 artifacts are not bit-identical to the reference kernels,
+        // so the batch contract ("exactly the looped estimate_one
+        // results") forces the fused path here too. F32 artifacts *are*
+        // bit-identical (see `ds_nn::frozen`), so the chunked reference
+        // path below remains the batched fast path.
+        if let Some(frozen) = &self.frozen {
+            if frozen.mode() == QuantMode::Int8 {
+                return queries
+                    .iter()
+                    .map(|q| self.estimate_fused(frozen, q))
+                    .collect();
+            }
         }
         let mut out = vec![0.0f64; queries.len()];
         let n_chunks = queries.len().div_ceil(SERVE_CHUNK);
@@ -195,6 +343,12 @@ impl DeepSketch {
     /// Queries parsed against the database the sketch was trained over
     /// always pass; queries from a different (larger) schema may not.
     pub fn validate(&self, query: &Query) -> Result<(), EstimateError> {
+        // A frozen artifact whose shapes disagree with the reference
+        // weights would gather out of bounds — refuse to serve rather
+        // than panic. Cheap: eight integer comparisons.
+        if let Some(msg) = self.frozen_shape_mismatch() {
+            return Err(EstimateError::Unavailable(msg));
+        }
         let known = self.samples.len();
         let check_table = |t: usize| {
             if t >= known {
@@ -342,6 +496,16 @@ impl DeepSketch {
             }
             None => e.u64(0),
         }
+
+        // Frozen inference artifact (v3+): optional flag + payload, with
+        // the quantization mode recorded inside the payload.
+        match &self.frozen {
+            Some(f) => {
+                e.u64(1);
+                f.encode_into(&mut e);
+            }
+            None => e.u64(0),
+        }
         e.finish()
     }
 
@@ -452,8 +616,33 @@ impl DeepSketch {
             None
         };
 
+        // Frozen artifact: v3 records the builder's freeze decision
+        // (including "gate failed, none attached"). Older blobs pre-date
+        // the artifact and get a fresh f32 freeze below — bit-identical
+        // to their reference weights, so snapshots taken before this
+        // version serve through the fused path with unchanged results.
+        let (frozen, refreeze) = if version >= 3 {
+            if d.u64()? != 0 {
+                (Some(FrozenModel::decode_from(&mut d)?), false)
+            } else {
+                (None, false)
+            }
+        } else {
+            (None, true)
+        };
+
         let mut sketch = Self::from_parts(model, featurizer, samples, normalizer, database_name);
         sketch.baseline = baseline;
+        sketch.frozen = if refreeze {
+            Some(sketch.model.freeze(QuantMode::F32))
+        } else {
+            frozen
+        };
+        // Mismatched quantization metadata (artifact shapes that disagree
+        // with the reference weights) is corruption, not a servable state.
+        if let Some(msg) = sketch.frozen_shape_mismatch() {
+            return Err(DecodeError::Corrupt(msg));
+        }
         Ok(sketch)
     }
 }
@@ -570,25 +759,37 @@ mod tests {
         let restored = DeepSketch::from_bytes(&sketch.to_bytes()).unwrap();
         assert_eq!(restored.baseline(), Some(&h.snapshot()));
 
-        // A version-1 blob is the v2 layout minus the trailing baseline
-        // flag word, with version 1 in the header: it must still load,
-        // with no baseline.
+        // A version-1 blob is the v3 layout minus the trailing baseline
+        // and frozen flag words, with version 1 in the header: it must
+        // still load, with no baseline and a fresh f32 re-freeze whose
+        // fused estimates are bit-identical to the reference path.
         let mut plain = sketch.clone();
         plain.baseline = None;
+        plain.clear_frozen();
         let mut v1 = plain.to_bytes();
-        v1.truncate(v1.len() - 8);
+        v1.truncate(v1.len() - 16);
         v1[4..8].copy_from_slice(&1u32.to_le_bytes());
         let legacy = DeepSketch::from_bytes(&v1).expect("v1 blob must load");
         assert!(legacy.baseline().is_none());
+        assert!(legacy.frozen().is_some(), "legacy blobs re-freeze f32");
         assert_eq!(
             legacy.estimate_one(&parse_query(&_db, "SELECT COUNT(*) FROM title").unwrap()),
             plain.estimate_one(&parse_query(&_db, "SELECT COUNT(*) FROM title").unwrap())
         );
 
+        // A version-2 blob (no frozen section) loads the same way.
+        let mut v2 = plain.to_bytes();
+        v2.truncate(v2.len() - 8);
+        v2[4..8].copy_from_slice(&2u32.to_le_bytes());
+        let legacy2 = DeepSketch::from_bytes(&v2).expect("v2 blob must load");
+        assert!(legacy2.frozen().is_some(), "v2 blobs re-freeze f32");
+
         // A corrupt baseline payload is rejected, not silently zeroed.
-        let mut bad = sketch.to_bytes();
+        let mut no_frozen = sketch.clone();
+        no_frozen.clear_frozen();
+        let mut bad = no_frozen.to_bytes();
         let n = bad.len();
-        bad[n - 9] ^= 0xFF; // inside the last bucket word
+        bad[n - 17] ^= 0xFF; // inside the last bucket word, before the frozen flag
         assert!(matches!(
             DeepSketch::from_bytes(&bad),
             Err(DecodeError::Corrupt(_))
@@ -695,6 +896,84 @@ mod tests {
         assert_eq!(results[0], Ok(sketch.estimate_one(&good)));
         assert!(results[1].is_err() && results[2].is_err());
         assert_eq!(results[3], Ok(sketch.estimate_one(&good)));
+    }
+
+    #[test]
+    fn freeze_gated_adopts_f32_exactly_and_keeps_prior_on_failure() {
+        let (db, mut sketch) = tiny_sketch();
+        let probes = ds_query::workloads::job_light::job_light_workload(&db, 2);
+        sketch.clear_frozen();
+        // F32 is bit-identical to the reference path, so the observed
+        // worst ratio is exactly 1.0 and the gate always passes.
+        let delta = sketch
+            .freeze_gated(QuantMode::F32, &probes, FREEZE_GATE_MAX_DELTA)
+            .expect("f32 freeze must pass the gate");
+        assert_eq!(delta, 1.0);
+        assert!(sketch.frozen().is_some());
+        assert_eq!(sketch.frozen().unwrap().mode(), QuantMode::F32);
+
+        // An unsatisfiable gate (worst ratio is always ≥ 1.0) rejects the
+        // candidate and leaves the prior artifact untouched.
+        let prior = sketch.frozen().cloned();
+        let worst = sketch
+            .freeze_gated(QuantMode::Int8, &probes, 0.5)
+            .expect_err("no artifact can beat a 0.5 gate");
+        assert!(worst >= 1.0);
+        assert_eq!(sketch.frozen(), prior.as_ref());
+    }
+
+    #[test]
+    fn int8_freeze_tracks_reference_estimates() {
+        let (db, mut sketch) = tiny_sketch();
+        let probes = ds_query::workloads::job_light::job_light_workload(&db, 2);
+        sketch.clear_frozen();
+        let reference = sketch.estimate_batch(&probes);
+        sketch.freeze(QuantMode::Int8);
+        // Int8 is approximate: estimates stay within a loose q-style
+        // band of the reference, and batch == looped singles still holds
+        // (both run the fused path).
+        let quantized: Vec<f64> = probes.iter().map(|q| sketch.estimate_one(q)).collect();
+        for (&r, &f) in reference.iter().zip(&quantized) {
+            let ratio = (f / r).max(r / f);
+            assert!(ratio < 2.0, "int8 drifted: {f} vs reference {r}");
+        }
+        assert_eq!(sketch.estimate_batch(&probes), quantized);
+    }
+
+    #[test]
+    fn frozen_artifact_roundtrips_and_mismatches_are_rejected() {
+        use crate::mscn::MscnConfig;
+
+        let (db, sketch) = tiny_sketch();
+        assert!(
+            sketch.frozen().is_some(),
+            "builder must attach the artifact"
+        );
+        let restored = DeepSketch::from_bytes(&sketch.to_bytes()).unwrap();
+        assert_eq!(restored.frozen(), sketch.frozen());
+
+        // An artifact frozen from a different-width model is caught by
+        // validate() (typed error, no panic) and rejected on decode.
+        let f = sketch.featurizer();
+        let alien = MscnModel::new(
+            f.table_dim(),
+            f.join_dim(),
+            f.pred_dim(),
+            MscnConfig { hidden: 8, seed: 1 },
+        )
+        .freeze(QuantMode::F32);
+        let mut broken = sketch.clone();
+        broken.frozen = Some(alien);
+        assert!(broken.frozen_shape_mismatch().is_some());
+        let q = parse_query(&db, "SELECT COUNT(*) FROM title").unwrap();
+        assert!(matches!(
+            broken.try_estimate(&q),
+            Err(EstimateError::Unavailable(_))
+        ));
+        assert!(matches!(
+            DeepSketch::from_bytes(&broken.to_bytes()),
+            Err(DecodeError::Corrupt(_))
+        ));
     }
 
     #[test]

@@ -1,0 +1,873 @@
+//! Frozen serving-only inference artifacts.
+//!
+//! Training wants transposable, gradient-carrying layers; serving wants
+//! the opposite: immutable weights in exactly the layout the forward pass
+//! reads, no gradient buffers, and kernels shaped for *one query at a
+//! time*. A [`FrozenModel`] is that artifact: the eight MSCN layers
+//! converted once from the trained model into a flat row-major layout
+//! (f32, or int8 with per-input-row scales), driven by a fused
+//! featurize-and-forward entry point that consumes sparse *(index, value)*
+//! lists directly — the one-hot input layer becomes a gather over weight
+//! rows, and the sparse feature tensor is never materialized.
+//!
+//! ## Determinism contract
+//!
+//! In [`QuantMode::F32`] the fused forward is **bit-identical** to the
+//! training-shape forward pass. Every kernel in [`crate::tensor`]
+//! accumulates each output element in its own `f32` slot with the
+//! reduction index ascending, and the sparse input kernel skips zero
+//! terms — adding `±0.0` to a `+0.0`-started finite sum cannot change its
+//! bits, so zero-skipping is bit-neutral. The frozen kernels reproduce
+//! exactly that order: the input gather sums weight rows in ascending
+//! feature-index order, the hidden matrix–vector product accumulates
+//! `y[j] += x[p]·W[p][j]` with `p` ascending, and the AVX2 variants (one
+//! output column per lane, separate multiply and add, never a fused
+//! `vfmadd`) round identically to the portable fallback, which stays in
+//! the tree as the oracle the property tests pin against.
+//!
+//! [`QuantMode::Int8`] trades that exactness for a 4× smaller artifact:
+//! each weight row is quantized to `i8` against its own max-abs scale.
+//! Int8 outputs are *approximately* equal to the reference (the gate that
+//! decides whether an int8 artifact may serve lives in the sketch layer).
+
+use crate::linear::Linear;
+use crate::ops::sigmoid_scalar;
+use crate::serialize::{DecodeError, Decoder, Encoder};
+
+/// Weight storage mode of a frozen layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuantMode {
+    /// Exact f32 weights; fused forward is bit-identical to the reference.
+    F32,
+    /// `i8` weights with one f32 scale per input row (max-abs symmetric
+    /// quantization); forward is approximate.
+    Int8,
+}
+
+impl QuantMode {
+    /// Stable wire tag.
+    pub fn to_u64(self) -> u64 {
+        match self {
+            QuantMode::F32 => 0,
+            QuantMode::Int8 => 1,
+        }
+    }
+
+    /// Parses a wire tag, rejecting unknown modes.
+    pub fn from_u64(v: u64) -> Result<Self, DecodeError> {
+        match v {
+            0 => Ok(QuantMode::F32),
+            1 => Ok(QuantMode::Int8),
+            other => Err(DecodeError::Corrupt(format!(
+                "unknown quantization mode {other}"
+            ))),
+        }
+    }
+}
+
+/// One frozen fully-connected layer: immutable weights in row-major
+/// `(in_dim × out_dim)` layout — the forward pass walks *rows*, so both
+/// the sparse gather and the dense matrix–vector product stream
+/// contiguous memory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrozenLinear {
+    in_dim: usize,
+    out_dim: usize,
+    mode: QuantMode,
+    /// F32 mode: `in_dim × out_dim` weights. Empty in Int8 mode.
+    w: Vec<f32>,
+    /// Int8 mode: quantized weights, same layout. Empty in F32 mode.
+    q: Vec<i8>,
+    /// Int8 mode: per-input-row dequantization scales (`in_dim`).
+    scales: Vec<f32>,
+    b: Vec<f32>,
+}
+
+impl FrozenLinear {
+    /// Converts a trained layer. The training layout is already
+    /// `(in_dim × out_dim)` row-major, so F32 freezing is a plain copy;
+    /// Int8 quantizes each input row against its own max-abs scale.
+    pub fn from_linear(l: &Linear, mode: QuantMode) -> Self {
+        let (in_dim, out_dim) = (l.in_dim(), l.out_dim());
+        let w = l.weights().data();
+        match mode {
+            QuantMode::F32 => Self {
+                in_dim,
+                out_dim,
+                mode,
+                w: w.to_vec(),
+                q: Vec::new(),
+                scales: Vec::new(),
+                b: l.bias().to_vec(),
+            },
+            QuantMode::Int8 => {
+                let mut q = Vec::with_capacity(w.len());
+                let mut scales = Vec::with_capacity(in_dim);
+                for row in w.chunks(out_dim.max(1)) {
+                    let max = row.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+                    let scale = if max > 0.0 { max / 127.0 } else { 1.0 };
+                    scales.push(scale);
+                    q.extend(row.iter().map(|&v| (v / scale).round() as i8));
+                }
+                Self {
+                    in_dim,
+                    out_dim,
+                    mode,
+                    w: Vec::new(),
+                    q,
+                    scales,
+                    b: l.bias().to_vec(),
+                }
+            }
+        }
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Storage mode.
+    pub fn mode(&self) -> QuantMode {
+        self.mode
+    }
+
+    /// The dequantized weight at `(row, col)` — test/inspection helper.
+    pub fn weight(&self, row: usize, col: usize) -> f32 {
+        match self.mode {
+            QuantMode::F32 => self.w[row * self.out_dim + col],
+            QuantMode::Int8 => self.q[row * self.out_dim + col] as f32 * self.scales[row],
+        }
+    }
+
+    /// `y += value · W[row, :]` — one gathered input feature. `y` must be
+    /// `out_dim` long. This is the fused input layer: active feature
+    /// indices select weight rows directly, no sparse tensor in between.
+    #[inline]
+    pub fn accumulate_row(&self, row: usize, value: f32, y: &mut [f32]) {
+        debug_assert!(row < self.in_dim, "feature index out of range");
+        debug_assert_eq!(y.len(), self.out_dim);
+        match self.mode {
+            QuantMode::F32 => {
+                kernels::axpy(
+                    value,
+                    &self.w[row * self.out_dim..(row + 1) * self.out_dim],
+                    y,
+                );
+            }
+            QuantMode::Int8 => {
+                let t = value * self.scales[row];
+                let qrow = &self.q[row * self.out_dim..(row + 1) * self.out_dim];
+                for (o, &qv) in y.iter_mut().zip(qrow) {
+                    *o += t * qv as f32;
+                }
+            }
+        }
+    }
+
+    /// Adds the bias into `y` (after all rows were accumulated — the same
+    /// matmul-then-broadcast order as the training path).
+    #[inline]
+    pub fn add_bias(&self, y: &mut [f32]) {
+        for (o, &bv) in y.iter_mut().zip(&self.b) {
+            *o += bv;
+        }
+    }
+
+    /// Dense matrix–vector product `y = x·W + b` for one row `x`
+    /// (`in_dim`) into `y` (`out_dim`). Zero entries of `x` are skipped —
+    /// bit-neutral (see module docs) and fast on post-ReLU activations.
+    pub fn forward_vec(&self, x: &[f32], y: &mut [f32]) {
+        debug_assert_eq!(x.len(), self.in_dim);
+        debug_assert_eq!(y.len(), self.out_dim);
+        y.fill(0.0);
+        for (p, &xv) in x.iter().enumerate() {
+            if xv == 0.0 {
+                continue;
+            }
+            self.accumulate_row(p, xv, y);
+        }
+        self.add_bias(y);
+    }
+
+    /// Serialized + resident size in bytes (weights, scales, bias).
+    pub fn footprint_bytes(&self) -> usize {
+        self.w.len() * 4 + self.q.len() + self.scales.len() * 4 + self.b.len() * 4
+    }
+
+    fn encode(&self, e: &mut Encoder) {
+        e.u64(self.in_dim as u64);
+        e.u64(self.out_dim as u64);
+        match self.mode {
+            QuantMode::F32 => {
+                e.f32_slice(&self.w);
+            }
+            QuantMode::Int8 => {
+                let raw: Vec<u8> = self.q.iter().map(|&v| v as u8).collect();
+                e.bytes(&raw);
+                e.f32_slice(&self.scales);
+            }
+        }
+        e.f32_slice(&self.b);
+    }
+
+    /// Decodes one layer, validating every length against the declared
+    /// dims so corrupt or mismatched quantization metadata is rejected
+    /// rather than read out of bounds.
+    fn decode(d: &mut Decoder<'_>, mode: QuantMode) -> Result<Self, DecodeError> {
+        let in_dim = d.u64()? as usize;
+        let out_dim = d.u64()? as usize;
+        let expect = in_dim
+            .checked_mul(out_dim)
+            .ok_or_else(|| DecodeError::Corrupt("frozen layer dims overflow".into()))?;
+        let corrupt = |what: &str| DecodeError::Corrupt(format!("frozen layer {what} mismatch"));
+        let (w, q, scales) = match mode {
+            QuantMode::F32 => {
+                let w = d.f32_vec()?;
+                if w.len() != expect {
+                    return Err(corrupt("weight length"));
+                }
+                (w, Vec::new(), Vec::new())
+            }
+            QuantMode::Int8 => {
+                let raw = d.byte_vec()?;
+                if raw.len() != expect {
+                    return Err(corrupt("quantized weight length"));
+                }
+                let scales = d.f32_vec()?;
+                if scales.len() != in_dim {
+                    return Err(corrupt("scale length"));
+                }
+                if scales.iter().any(|s| !s.is_finite() || *s <= 0.0) {
+                    return Err(corrupt("scale value"));
+                }
+                (Vec::new(), raw.iter().map(|&v| v as i8).collect(), scales)
+            }
+        };
+        let b = d.f32_vec()?;
+        if b.len() != out_dim {
+            return Err(corrupt("bias length"));
+        }
+        Ok(Self {
+            in_dim,
+            out_dim,
+            mode,
+            w,
+            q,
+            scales,
+            b,
+        })
+    }
+}
+
+/// One set of a fused query: sparse element rows as flat
+/// *(feature index, value)* pairs plus one `(start, len)` span per set
+/// element. Within each element the indices must be ascending — that is
+/// what makes the gather bit-identical to the zero-skipping sparse matmul.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct IndexSet {
+    /// Flat `(feature index, value)` pairs of all elements.
+    pub entries: Vec<(u32, f32)>,
+    /// `(start, len)` spans into `entries`, one per set element.
+    pub elems: Vec<(u32, u32)>,
+}
+
+impl IndexSet {
+    /// Empties both buffers, keeping their allocations.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.elems.clear();
+    }
+
+    /// Opens a new element; returns a guard index for [`IndexSet::finish_elem`].
+    pub fn begin_elem(&mut self) -> usize {
+        self.entries.len()
+    }
+
+    /// Closes the element opened at `start` (as returned by
+    /// [`IndexSet::begin_elem`]).
+    pub fn finish_elem(&mut self, start: usize) {
+        self.elems
+            .push((start as u32, (self.entries.len() - start) as u32));
+    }
+
+    /// Appends one active feature to the current element.
+    #[inline]
+    pub fn push(&mut self, index: u32, value: f32) {
+        self.entries.push((index, value));
+    }
+}
+
+/// Reusable buffers for the fused single-query forward pass. One scratch
+/// per thread keeps the hot path allocation-free.
+#[derive(Debug, Default, Clone)]
+pub struct FrozenScratch {
+    z1: Vec<f32>,
+    z2: Vec<f32>,
+    pooled: Vec<f32>,
+    z3: Vec<f32>,
+}
+
+impl FrozenScratch {
+    /// An empty scratch; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn ensure(&mut self, hidden: usize) {
+        self.z1.resize(hidden, 0.0);
+        self.z2.resize(hidden, 0.0);
+        self.pooled.resize(3 * hidden, 0.0);
+        self.z3.resize(hidden, 0.0);
+    }
+}
+
+/// The frozen MSCN inference artifact: three set modules (two layers
+/// each), the two output layers, all in serving layout. Built once from a
+/// trained model, immutable afterwards.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrozenModel {
+    tables1: FrozenLinear,
+    tables2: FrozenLinear,
+    joins1: FrozenLinear,
+    joins2: FrozenLinear,
+    preds1: FrozenLinear,
+    preds2: FrozenLinear,
+    out1: FrozenLinear,
+    out2: FrozenLinear,
+    hidden: usize,
+}
+
+impl FrozenModel {
+    /// Assembles the artifact from the eight frozen layers, checking the
+    /// MSCN wiring (set modules `in → hidden → hidden`, output MLP
+    /// `3·hidden → hidden → 1`, one shared quantization mode).
+    ///
+    /// # Panics
+    /// Panics when the layer shapes do not form an MSCN or the modes
+    /// disagree — freezing a well-formed model cannot trip this.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        tables1: FrozenLinear,
+        tables2: FrozenLinear,
+        joins1: FrozenLinear,
+        joins2: FrozenLinear,
+        preds1: FrozenLinear,
+        preds2: FrozenLinear,
+        out1: FrozenLinear,
+        out2: FrozenLinear,
+    ) -> Self {
+        let hidden = tables1.out_dim();
+        let m = Self {
+            tables1,
+            tables2,
+            joins1,
+            joins2,
+            preds1,
+            preds2,
+            out1,
+            out2,
+            hidden,
+        };
+        assert!(m.check_wiring().is_ok(), "mis-wired frozen model");
+        m
+    }
+
+    /// Validates the MSCN wiring and shared mode; `Err` carries what is
+    /// wrong (decode uses this to reject corrupt artifacts).
+    fn check_wiring(&self) -> Result<(), String> {
+        let h = self.hidden;
+        let mode = self.tables1.mode();
+        for (name, l, in_ok, out_ok) in [
+            (
+                "tables1",
+                &self.tables1,
+                true,
+                l_eq(self.tables1.out_dim(), h),
+            ),
+            (
+                "tables2",
+                &self.tables2,
+                l_eq(self.tables2.in_dim(), h),
+                l_eq(self.tables2.out_dim(), h),
+            ),
+            (
+                "joins2",
+                &self.joins2,
+                l_eq(self.joins2.in_dim(), h),
+                l_eq(self.joins2.out_dim(), h),
+            ),
+            (
+                "preds2",
+                &self.preds2,
+                l_eq(self.preds2.in_dim(), h),
+                l_eq(self.preds2.out_dim(), h),
+            ),
+            ("joins1", &self.joins1, true, l_eq(self.joins1.out_dim(), h)),
+            ("preds1", &self.preds1, true, l_eq(self.preds1.out_dim(), h)),
+            (
+                "out1",
+                &self.out1,
+                l_eq(self.out1.in_dim(), 3 * h),
+                l_eq(self.out1.out_dim(), h),
+            ),
+            (
+                "out2",
+                &self.out2,
+                l_eq(self.out2.in_dim(), h),
+                l_eq(self.out2.out_dim(), 1),
+            ),
+        ] {
+            if !in_ok || !out_ok {
+                return Err(format!("{name} shape breaks the MSCN wiring"));
+            }
+            if l.mode() != mode {
+                return Err(format!("{name} quantization mode differs"));
+            }
+        }
+        if h == 0 {
+            return Err("zero hidden width".into());
+        }
+        Ok(())
+    }
+
+    /// Hidden width.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Quantization mode (shared by all layers).
+    pub fn mode(&self) -> QuantMode {
+        self.tables1.mode()
+    }
+
+    /// The eight layers in encode order:
+    /// `[t1, t2, j1, j2, p1, p2, out1, out2]`.
+    pub fn layers(&self) -> [&FrozenLinear; 8] {
+        [
+            &self.tables1,
+            &self.tables2,
+            &self.joins1,
+            &self.joins2,
+            &self.preds1,
+            &self.preds2,
+            &self.out1,
+            &self.out2,
+        ]
+    }
+
+    /// Resident weight bytes of the artifact.
+    pub fn footprint_bytes(&self) -> usize {
+        self.layers().iter().map(|l| l.footprint_bytes()).sum()
+    }
+
+    /// Fused featurize-and-forward for one query: consumes the three
+    /// sparse index sets directly and returns the normalized model output
+    /// (pre-denormalization, post-sigmoid) — bit-identical to the
+    /// training-shape forward in [`QuantMode::F32`].
+    pub fn forward_query(
+        &self,
+        tables: &IndexSet,
+        joins: &IndexSet,
+        preds: &IndexSet,
+        scratch: &mut FrozenScratch,
+    ) -> f32 {
+        scratch.ensure(self.hidden);
+        let h = self.hidden;
+        scratch.pooled.fill(0.0);
+        let (pooled_t, rest) = scratch.pooled.split_at_mut(h);
+        let (pooled_j, pooled_p) = rest.split_at_mut(h);
+        Self::forward_set(
+            &self.tables1,
+            &self.tables2,
+            tables,
+            pooled_t,
+            &mut scratch.z1,
+            &mut scratch.z2,
+        );
+        Self::forward_set(
+            &self.joins1,
+            &self.joins2,
+            joins,
+            pooled_j,
+            &mut scratch.z1,
+            &mut scratch.z2,
+        );
+        Self::forward_set(
+            &self.preds1,
+            &self.preds2,
+            preds,
+            pooled_p,
+            &mut scratch.z1,
+            &mut scratch.z2,
+        );
+        // Output MLP over the concatenated pooled representation.
+        self.out1.forward_vec(&scratch.pooled, &mut scratch.z3);
+        for v in scratch.z3.iter_mut() {
+            *v = v.max(0.0);
+        }
+        let mut y = [0.0f32];
+        self.out2.forward_vec(&scratch.z3, &mut y);
+        sigmoid_scalar(y[0])
+    }
+
+    /// One set module: gather → bias → ReLU → dense → bias → ReLU →
+    /// mean-pool, element by element in order. Matches the batched path's
+    /// arithmetic exactly: the pool accumulates `relu(z2)[j] · (1/len)`
+    /// with elements ascending, as `segment_mean` does row-ascending.
+    fn forward_set(
+        l1: &FrozenLinear,
+        l2: &FrozenLinear,
+        set: &IndexSet,
+        pooled: &mut [f32],
+        z1: &mut [f32],
+        z2: &mut [f32],
+    ) {
+        if set.elems.is_empty() {
+            return; // empty set → zero vector, like the masked mean
+        }
+        let inv = 1.0 / set.elems.len() as f32;
+        for &(start, len) in &set.elems {
+            let entries = &set.entries[start as usize..(start + len) as usize];
+            z1.fill(0.0);
+            for &(idx, val) in entries {
+                if val == 0.0 {
+                    continue; // the sparse kernel's zero skip (bit-neutral)
+                }
+                l1.accumulate_row(idx as usize, val, z1);
+            }
+            l1.add_bias(z1);
+            for v in z1.iter_mut() {
+                *v = v.max(0.0);
+            }
+            l2.forward_vec(z1, z2);
+            for (o, &v) in pooled.iter_mut().zip(z2.iter()) {
+                *o += v.max(0.0) * inv;
+            }
+        }
+    }
+
+    /// Appends the artifact to an encoder: mode word, hidden width, then
+    /// the eight layers in [`FrozenModel::layers`] order.
+    pub fn encode_into(&self, e: &mut Encoder) {
+        e.u64(self.mode().to_u64());
+        e.u64(self.hidden as u64);
+        for l in self.layers() {
+            l.encode(e);
+        }
+    }
+
+    /// Decodes an artifact written by [`FrozenModel::encode_into`],
+    /// rejecting unknown modes, mismatched lengths, and mis-wired shapes.
+    pub fn decode_from(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let mode = QuantMode::from_u64(d.u64()?)?;
+        let hidden = d.u64()? as usize;
+        let mut layers = Vec::with_capacity(8);
+        for _ in 0..8 {
+            layers.push(FrozenLinear::decode(d, mode)?);
+        }
+        let [t1, t2, j1, j2, p1, p2, o1, o2]: [FrozenLinear; 8] =
+            layers.try_into().expect("eight layers");
+        let m = Self {
+            tables1: t1,
+            tables2: t2,
+            joins1: j1,
+            joins2: j2,
+            preds1: p1,
+            preds2: p2,
+            out1: o1,
+            out2: o2,
+            hidden,
+        };
+        m.check_wiring().map_err(DecodeError::Corrupt)?;
+        Ok(m)
+    }
+}
+
+#[inline]
+fn l_eq(a: usize, b: usize) -> bool {
+    a == b
+}
+
+/// The frozen-path micro-kernels: a single `y += c · row` axpy, portable
+/// and AVX2. This is all the frozen forward needs — the gather, the dense
+/// matrix–vector product, and the pooled accumulation are all row-axpy
+/// shaped.
+pub mod kernels {
+    /// `y[j] += c · row[j]`, runtime-dispatched. Each output element takes
+    /// exactly one separately-rounded multiply and add, so the AVX2 and
+    /// portable variants are bit-identical by construction.
+    #[inline]
+    pub fn axpy(c: f32, row: &[f32], y: &mut [f32]) {
+        debug_assert_eq!(row.len(), y.len());
+        #[cfg(target_arch = "x86_64")]
+        if row.len() >= x86::LANES && std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 support was just verified at runtime.
+            unsafe { x86::axpy_avx2(c, row, y) };
+            return;
+        }
+        axpy_portable(c, row, y);
+    }
+
+    /// Portable fallback — the oracle the AVX2 variant is pinned against.
+    #[inline]
+    pub fn axpy_portable(c: f32, row: &[f32], y: &mut [f32]) {
+        for (o, &v) in y.iter_mut().zip(row) {
+            *o += c * v;
+        }
+    }
+
+    /// 8-lane AVX2 axpy, living next to the 4×16 training kernels in
+    /// [`crate::tensor`]. Same determinism rules: separate multiply and
+    /// add (never `vfmadd`), one output element per lane.
+    #[cfg(target_arch = "x86_64")]
+    pub mod x86 {
+        use std::arch::x86_64::{
+            _mm256_add_ps, _mm256_loadu_ps, _mm256_mul_ps, _mm256_set1_ps, _mm256_storeu_ps,
+        };
+
+        /// Vector width: one 8-lane f32 register.
+        pub const LANES: usize = 8;
+
+        /// AVX2 `y += c · row`; see [`super::axpy`].
+        ///
+        /// # Safety
+        /// The CPU must support AVX2.
+        #[target_feature(enable = "avx2")]
+        pub unsafe fn axpy_avx2(c: f32, row: &[f32], y: &mut [f32]) {
+            let n = row.len().min(y.len());
+            let cv = _mm256_set1_ps(c);
+            let rp = row.as_ptr();
+            let yp = y.as_mut_ptr();
+            let mut j = 0;
+            // Two independent 8-lane vectors per iteration.
+            while j + 2 * LANES <= n {
+                let y0 = _mm256_loadu_ps(yp.add(j));
+                let y1 = _mm256_loadu_ps(yp.add(j + LANES));
+                let r0 = _mm256_loadu_ps(rp.add(j));
+                let r1 = _mm256_loadu_ps(rp.add(j + LANES));
+                _mm256_storeu_ps(yp.add(j), _mm256_add_ps(y0, _mm256_mul_ps(cv, r0)));
+                _mm256_storeu_ps(yp.add(j + LANES), _mm256_add_ps(y1, _mm256_mul_ps(cv, r1)));
+                j += 2 * LANES;
+            }
+            while j + LANES <= n {
+                let yv = _mm256_loadu_ps(yp.add(j));
+                let rv = _mm256_loadu_ps(rp.add(j));
+                _mm256_storeu_ps(yp.add(j), _mm256_add_ps(yv, _mm256_mul_ps(cv, rv)));
+                j += LANES;
+            }
+            // Scalar remainder, same one-mul-one-add rounding.
+            while j < n {
+                *yp.add(j) += c * *rp.add(j);
+                j += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Tensor;
+
+    fn linear(in_dim: usize, out_dim: usize, seed: u64) -> Linear {
+        let mut s = seed | 1;
+        let mut next = move || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((s >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+        };
+        let w = Tensor::from_vec(
+            in_dim,
+            out_dim,
+            (0..in_dim * out_dim).map(|_| next()).collect(),
+        );
+        let b = (0..out_dim).map(|_| next()).collect();
+        Linear::from_params(w, b)
+    }
+
+    #[test]
+    fn axpy_avx2_matches_portable_oracle() {
+        for n in [1usize, 7, 8, 9, 16, 17, 31, 64, 129] {
+            let row: Vec<f32> = (0..n).map(|i| (i as f32 * 0.37 - 3.0).sin()).collect();
+            let mut fast: Vec<f32> = (0..n).map(|i| i as f32 * 0.01 - 0.5).collect();
+            let mut slow = fast.clone();
+            kernels::axpy(0.73, &row, &mut fast);
+            kernels::axpy_portable(0.73, &row, &mut slow);
+            assert_eq!(fast, slow, "n={n}");
+        }
+    }
+
+    #[test]
+    fn f32_freeze_preserves_weights_exactly() {
+        let l = linear(5, 9, 0xF0);
+        let f = FrozenLinear::from_linear(&l, QuantMode::F32);
+        assert_eq!(f.in_dim(), 5);
+        assert_eq!(f.out_dim(), 9);
+        for r in 0..5 {
+            for c in 0..9 {
+                assert_eq!(f.weight(r, c), l.weights().get(r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn int8_quantization_error_is_bounded_by_half_a_step() {
+        let l = linear(12, 33, 0x18);
+        let f = FrozenLinear::from_linear(&l, QuantMode::Int8);
+        for r in 0..12 {
+            let row = &l.weights().data()[r * 33..(r + 1) * 33];
+            let max = row.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+            let step = max / 127.0;
+            for c in 0..33 {
+                let err = (f.weight(r, c) - l.weights().get(r, c)).abs();
+                assert!(err <= step * 0.5 + 1e-7, "r={r} c={c} err={err}");
+            }
+        }
+    }
+
+    #[test]
+    fn forward_vec_matches_manual_dot() {
+        let l = linear(4, 3, 0x7);
+        let f = FrozenLinear::from_linear(&l, QuantMode::F32);
+        let x = [0.5f32, 0.0, -1.25, 2.0];
+        let mut y = [0.0f32; 3];
+        f.forward_vec(&x, &mut y);
+        for (j, &got) in y.iter().enumerate() {
+            let mut want = 0.0f32;
+            for (p, &xv) in x.iter().enumerate() {
+                if xv != 0.0 {
+                    want += xv * l.weights().get(p, j);
+                }
+            }
+            want += l.bias()[j];
+            assert_eq!(got, want, "j={j}");
+        }
+    }
+
+    fn tiny_model(mode: QuantMode) -> FrozenModel {
+        let h = 6;
+        FrozenModel::new(
+            FrozenLinear::from_linear(&linear(10, h, 1), mode),
+            FrozenLinear::from_linear(&linear(h, h, 2), mode),
+            FrozenLinear::from_linear(&linear(4, h, 3), mode),
+            FrozenLinear::from_linear(&linear(h, h, 4), mode),
+            FrozenLinear::from_linear(&linear(7, h, 5), mode),
+            FrozenLinear::from_linear(&linear(h, h, 6), mode),
+            FrozenLinear::from_linear(&linear(3 * h, h, 7), mode),
+            FrozenLinear::from_linear(&linear(h, 1, 8), mode),
+        )
+    }
+
+    fn demo_sets() -> (IndexSet, IndexSet, IndexSet) {
+        let mut tables = IndexSet::default();
+        let e = tables.begin_elem();
+        tables.push(1, 1.0);
+        tables.push(4, 1.0);
+        tables.finish_elem(e);
+        let e = tables.begin_elem();
+        tables.push(0, 1.0);
+        tables.finish_elem(e);
+        let mut joins = IndexSet::default();
+        let e = joins.begin_elem();
+        joins.push(2, 1.0);
+        joins.finish_elem(e);
+        let mut preds = IndexSet::default();
+        let e = preds.begin_elem();
+        preds.push(0, 1.0);
+        preds.push(5, 1.0);
+        preds.push(6, 0.625);
+        preds.finish_elem(e);
+        (tables, joins, preds)
+    }
+
+    #[test]
+    fn forward_query_is_deterministic_and_in_range() {
+        let m = tiny_model(QuantMode::F32);
+        let (t, j, p) = demo_sets();
+        let mut scratch = FrozenScratch::new();
+        let a = m.forward_query(&t, &j, &p, &mut scratch);
+        let b = m.forward_query(&t, &j, &p, &mut scratch);
+        assert_eq!(a.to_bits(), b.to_bits(), "scratch reuse must not leak");
+        assert!((0.0..=1.0).contains(&a));
+    }
+
+    #[test]
+    fn empty_sets_pool_to_zero_like_the_masked_mean() {
+        let m = tiny_model(QuantMode::F32);
+        let (t, _, p) = demo_sets();
+        let empty = IndexSet::default();
+        let mut scratch = FrozenScratch::new();
+        // An all-empty query still produces a finite sigmoid output driven
+        // purely by the output-MLP biases.
+        let v = m.forward_query(&empty, &empty, &empty, &mut scratch);
+        assert!(v.is_finite());
+        // And an empty join set alongside populated sets is fine too.
+        let v2 = m.forward_query(&t, &empty, &p, &mut scratch);
+        assert!((0.0..=1.0).contains(&v2));
+    }
+
+    #[test]
+    fn int8_forward_tracks_f32_forward() {
+        let f32m = tiny_model(QuantMode::F32);
+        let i8m = tiny_model(QuantMode::Int8);
+        let (t, j, p) = demo_sets();
+        let mut scratch = FrozenScratch::new();
+        let exact = f32m.forward_query(&t, &j, &p, &mut scratch);
+        let quant = i8m.forward_query(&t, &j, &p, &mut scratch);
+        assert!(
+            (exact - quant).abs() < 0.05,
+            "int8 drifted: {exact} vs {quant}"
+        );
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_both_modes() {
+        for mode in [QuantMode::F32, QuantMode::Int8] {
+            let m = tiny_model(mode);
+            let mut e = Encoder::new();
+            e.header(b"TEST", 1);
+            m.encode_into(&mut e);
+            let bytes = e.finish();
+            let mut d = Decoder::new(&bytes);
+            d.header(b"TEST").unwrap();
+            let back = FrozenModel::decode_from(&mut d).unwrap();
+            assert!(d.is_done());
+            assert_eq!(back, m);
+            let (t, j, p) = demo_sets();
+            let mut scratch = FrozenScratch::new();
+            assert_eq!(
+                m.forward_query(&t, &j, &p, &mut scratch).to_bits(),
+                back.forward_query(&t, &j, &p, &mut scratch).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn decode_rejects_unknown_mode_and_bad_shapes() {
+        assert!(QuantMode::from_u64(7).is_err());
+        let m = tiny_model(QuantMode::F32);
+        let mut e = Encoder::new();
+        e.header(b"TEST", 1);
+        m.encode_into(&mut e);
+        let bytes = e.finish();
+        // Flip the mode word to Int8 while the payload stays f32: the
+        // layer lengths no longer match and decode must reject, not read
+        // out of bounds.
+        let mut bad = bytes.clone();
+        bad[8] = 1;
+        let mut d = Decoder::new(&bad);
+        d.header(b"TEST").unwrap();
+        assert!(FrozenModel::decode_from(&mut d).is_err());
+        // Truncation is an error, not a panic.
+        let mut d = Decoder::new(&bytes[..bytes.len() / 2]);
+        d.header(b"TEST").unwrap();
+        assert!(FrozenModel::decode_from(&mut d).is_err());
+    }
+}

@@ -16,11 +16,14 @@
 //!   masked average-pooling over variable-size sets;
 //! * [`optim`] — SGD and Adam;
 //! * [`loss`] — the mean q-error objective of the paper, plus MSE;
-//! * [`serialize`] — a versioned binary codec for model weights.
+//! * [`serialize`] — a versioned binary codec for model weights;
+//! * [`frozen`] — serving-only frozen inference artifacts: f32 or int8
+//!   weights in gather-friendly layout with a fused per-query forward.
 //!
 //! Everything is deterministic given a seed, and every backward pass is
 //! validated against finite differences in the test suite.
 
+pub mod frozen;
 pub mod linear;
 pub mod loss;
 pub mod ops;
@@ -30,6 +33,7 @@ pub mod regularize;
 pub mod serialize;
 pub mod tensor;
 
+pub use frozen::{FrozenLinear, FrozenModel, FrozenScratch, IndexSet, QuantMode};
 pub use linear::Linear;
 pub use loss::{mse_loss, LabelNormalizer, QErrorLoss};
 pub use optim::{Adam, Sgd};

@@ -103,6 +103,12 @@ impl Encoder {
         self.buf.put_slice(s.as_bytes());
     }
 
+    /// Writes a length-prefixed raw byte slice (quantized weight rows).
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.buf.put_u64_le(v.len() as u64);
+        self.buf.put_slice(v);
+    }
+
     /// Writes a tensor (rows, cols, data).
     pub fn tensor(&mut self, t: &Tensor) {
         self.buf.put_u64_le(t.rows() as u64);
@@ -233,6 +239,15 @@ impl<'a> Decoder<'a> {
         Ok((0..n).map(|_| self.buf.get_i64_le()).collect())
     }
 
+    /// Reads a length-prefixed raw byte vector.
+    pub fn byte_vec(&mut self) -> Result<Vec<u8>, DecodeError> {
+        let n = self.len_prefix()?;
+        self.need(n)?;
+        let mut bytes = vec![0u8; n];
+        self.buf.copy_to_slice(&mut bytes);
+        Ok(bytes)
+    }
+
     /// Reads a length-prefixed UTF-8 string.
     pub fn string(&mut self) -> Result<String, DecodeError> {
         let n = self.len_prefix()?;
@@ -286,6 +301,7 @@ mod tests {
         e.f32_slice(&[1.0, -2.0]);
         e.u64_slice(&[9, 10]);
         e.i64_slice(&[-1, 0, 1]);
+        e.bytes(&[0x80, 0x7F, 0x00]);
         let bytes = e.finish();
 
         let mut d = Decoder::new(&bytes);
@@ -297,6 +313,7 @@ mod tests {
         assert_eq!(d.f32_vec().unwrap(), vec![1.0, -2.0]);
         assert_eq!(d.u64_vec().unwrap(), vec![9, 10]);
         assert_eq!(d.i64_vec().unwrap(), vec![-1, 0, 1]);
+        assert_eq!(d.byte_vec().unwrap(), vec![0x80, 0x7F, 0x00]);
         assert!(d.is_done());
     }
 

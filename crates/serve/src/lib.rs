@@ -8,6 +8,10 @@
 //!   sketch are gathered into micro-batches and answered through one
 //!   `estimate_batch` forward pass ([`batcher`]). Results are bit-identical
 //!   to per-request `estimate_one` calls.
+//! * **Caching** — a bounded, template-keyed estimate cache ([`cache`])
+//!   short-circuits repeat healthy `ESTIMATE`s with bit-identical answers;
+//!   entries are generation-keyed so sketch swaps invalidate structurally,
+//!   and `FEEDBACK`-detected accuracy drift purges the drifting template.
 //! * **Robustness** — per-request deadlines, a bounded admission queue
 //!   that sheds with `BUSY`, a connection cap, and graceful shutdown that
 //!   drains in-flight work ([`server`]).
@@ -52,6 +56,7 @@
 
 pub mod batcher;
 pub mod breaker;
+pub mod cache;
 pub mod client;
 pub mod faults;
 pub mod metrics;
@@ -60,6 +65,7 @@ pub mod server;
 
 pub use batcher::{Batcher, BatcherConfig, Completed, Rejection, SharedEstimator, StageStamps};
 pub use breaker::{Admit, BreakerConfig, BreakerRegistry, CircuitBreaker};
+pub use cache::{EstimateCache, EstimateKey};
 pub use client::{Client, InfoCard};
 pub use faults::FaultInjector;
 pub use metrics::{LogHistogram, Metrics, MetricsSnapshot, RequestTimeline};

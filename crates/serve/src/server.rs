@@ -28,6 +28,7 @@ use ds_storage::catalog::Database;
 
 use crate::batcher::{Batcher, BatcherConfig, Rejection, SharedEstimator, StageStamps};
 use crate::breaker::{Admit, BreakerConfig, BreakerRegistry};
+use crate::cache::EstimateCache;
 use crate::faults::FaultInjector;
 use crate::metrics::{Metrics, MetricsSnapshot, RequestTimeline};
 use crate::protocol::{
@@ -75,6 +76,13 @@ pub struct ServeConfig {
     /// production; even when set, faults are inert in release builds
     /// ([`FaultInjector::armed`]).
     pub faults: Option<Arc<FaultInjector>>,
+    /// Capacity of the template-keyed estimate cache ([`EstimateCache`]).
+    /// Healthy `ESTIMATE`/`FEEDBACK` answers are memoized by (sketch,
+    /// generation, template, literals) and served bit-identically without a
+    /// forward pass; degraded answers are never cached, and the cache is
+    /// bypassed unless the sketch's breaker is fully closed. `0` disables
+    /// caching.
+    pub cache_capacity: usize,
 }
 
 impl std::fmt::Debug for ServeConfig {
@@ -94,6 +102,7 @@ impl std::fmt::Debug for ServeConfig {
             )
             .field("breaker", &self.breaker)
             .field("faults", &self.faults)
+            .field("cache_capacity", &self.cache_capacity)
             .finish()
     }
 }
@@ -112,6 +121,7 @@ impl Default for ServeConfig {
             fallback: None,
             breaker: BreakerConfig::default(),
             faults: None,
+            cache_capacity: 4096,
         }
     }
 }
@@ -131,6 +141,7 @@ struct Shared {
     breakers: BreakerRegistry,
     fallback: Option<SharedEstimator>,
     faults: Option<Arc<FaultInjector>>,
+    cache: Option<EstimateCache>,
 }
 
 /// A running sketch server. Dropping it shuts it down.
@@ -179,6 +190,7 @@ impl Server {
             breakers: BreakerRegistry::new(cfg.breaker),
             fallback: cfg.fallback,
             faults: cfg.faults,
+            cache: (cfg.cache_capacity > 0).then(|| EstimateCache::new(cfg.cache_capacity, 8)),
         });
         let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let acceptor = {
@@ -656,9 +668,26 @@ fn handle_estimate(
     }
     let template =
         (shared.timeline || feedback.is_some()).then(|| shared.templates.get(&shared.db, &query));
+    // The cache is consulted only while the breaker is fully closed: an
+    // open circuit already short-circuited above, and a half-open probe
+    // must exercise the real model to prove recovery — a warm cache must
+    // never mask an unhealthy sketch.
+    let cache = shared
+        .cache
+        .as_ref()
+        .filter(|_| breaker.state_name() == "closed");
+    // Building the key notes the store generation, eagerly purging entries
+    // staled by a swap or remove/re-insert.
+    let cache_key = cache.map(|c| c.key(sketch, generation, &query));
+    // Drift detection compares this sketch's training-time baseline to the
+    // template's rolling feedback; grab it before `estimator` moves.
+    let baseline = (feedback.is_some() && cache.is_some())
+        .then(|| estimator.baseline().cloned())
+        .flatten();
     // Keep a copy for the fallback only when degradation can happen; the
     // non-degraded hot path stays clone-free.
     let fallback_query = shared.fallback.as_ref().map(|_| query.clone());
+    let mut cache_hit = false;
     let outcome = if shared
         .faults
         .as_ref()
@@ -669,6 +698,21 @@ fn handle_estimate(
         Err(Rejection::Estimate(EstimateError::Execution(format!(
             "sketch '{sketch}' model poisoned (fault injection)"
         ))))
+    } else if let Some(v) = cache_key.as_ref().and_then(|k| cache.unwrap().get(k)) {
+        // Warm cache: the memoized answer is bit-identical to what the
+        // forward pass produced when it was inserted, so the wire bytes
+        // match a cold estimate exactly.
+        cache_hit = true;
+        let now = Instant::now();
+        Ok((
+            v,
+            StageStamps {
+                enqueued: now,
+                dequeued: now,
+                forward_start: now,
+                forward_end: now,
+            },
+        ))
     } else {
         // The store generation keys the batch: jobs coalesce only within
         // one model version, so a concurrent retraining swap or
@@ -694,12 +738,37 @@ fn handle_estimate(
         Ok((v, stamps)) => {
             breaker.record_success();
             shared.metrics.record_ok(t0.elapsed());
+            let mut drifted = false;
             if let Some(actual) = feedback {
-                shared.monitors.monitor(sketch).record(
-                    template.as_deref().unwrap_or(""),
-                    v,
-                    actual as f64,
-                );
+                let monitor = shared.monitors.monitor(sketch);
+                let tmpl = template.as_deref().unwrap_or("");
+                monitor.record(tmpl, v, actual as f64);
+                // FEEDBACK doubles as the drift signal: once this
+                // template's rolling q-error degrades past the configured
+                // ratio versus the training-time baseline, its cached
+                // estimates are dropped (and this one is not re-inserted).
+                if let (Some(c), Some(k), Some(base)) =
+                    (cache, cache_key.as_ref(), baseline.as_ref())
+                {
+                    if let Some(rolling) = monitor.template_rolling(tmpl) {
+                        let stale =
+                            ds_core::maintain::accuracy_drift(base, &rolling).is_some_and(|d| {
+                                d.is_stale(
+                                    ds_core::maintain::DEFAULT_DRIFT_RATIO,
+                                    ds_core::maintain::DEFAULT_MIN_SAMPLES,
+                                )
+                            });
+                        if stale {
+                            c.invalidate_template(sketch, k.shape());
+                            drifted = true;
+                        }
+                    }
+                }
+            }
+            if !cache_hit && !drifted {
+                if let (Some(c), Some(k)) = (cache, cache_key) {
+                    c.insert(k, v);
+                }
             }
             let pending = shared.timeline.then(|| PendingTimeline {
                 sketch: sketch.to_string(),
@@ -767,8 +836,15 @@ fn stats_payload(shared: &Shared) -> String {
         .counter("serve/shed", m.shed.get())
         .counter("serve/timeouts", m.timeouts.get())
         .counter("serve/degraded", m.degraded.get())
-        .counter("serve/batches", m.batches.get())
-        .counter("serve/expired_jobs", shared.batcher.expired_jobs())
+        .counter("serve/batches", m.batches.get());
+    if let Some(c) = shared.cache.as_ref() {
+        p.counter("serve/cache/hits", c.hits())
+            .counter("serve/cache/misses", c.misses())
+            .counter("serve/cache/evictions", c.evictions())
+            .counter("serve/cache/invalidations", c.invalidations())
+            .gauge("serve/cache/len", c.len() as f64);
+    }
+    p.counter("serve/expired_jobs", shared.batcher.expired_jobs())
         .gauge("serve/queue_len", shared.batcher.queue_len() as f64)
         .gauge(
             "serve/active_connections",
