@@ -15,13 +15,20 @@
 //! measured throughput far below what the server sustains — to record the
 //! warm-cache ceiling (issue target: >100k req/s).
 //!
+//! A final **honest open-loop** scenario drives the cold path with Poisson
+//! arrivals at ~120% of the measured closed-loop capacity and records
+//! p50/p95/p99 latency measured from each request's *scheduled arrival*
+//! (`ds_bench::loadgen`), so coordinated omission cannot hide queueing
+//! under overload the way the closed-loop fleets structurally do.
+//!
 //! Writes machine-readable results to `BENCH_serve.json` at the repo root.
 
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::TcpStream;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use ds_bench::loadgen::{run_open_loop, OpenLoopConfig};
 use ds_bench::{banner, BENCH_SEED};
 use ds_core::builder::SketchBuilder;
 use ds_core::store::SketchStore;
@@ -66,21 +73,21 @@ fn run_fleet(
     let server = Server::start(
         Arc::clone(db),
         Arc::clone(store),
-        ServeConfig {
+        ServeConfig::builder()
             // Single worker: this host has one core, and one worker forms
             // the largest (most amortized) batches.
-            workers: 1,
-            max_batch,
-            queue_capacity: 4096,
-            request_timeout: Duration::from_secs(60),
-            max_connections: CLIENTS + 8,
-            timeline: instrumented,
-            slow_threshold: Duration::ZERO,
+            .workers(1)
+            .max_batch(max_batch)
+            .queue_capacity(4096)
+            .request_timeout(Duration::from_secs(60))
+            .max_connections(CLIENTS + 8)
+            .timeline(instrumented)
+            .slow_threshold(Duration::ZERO)
             // This fleet measures the forward-pass path; the 6-template
             // workload would otherwise be answered from the cache.
-            cache_capacity: 0,
-            ..ServeConfig::default()
-        },
+            .cache_capacity(0)
+            .build()
+            .expect("valid bench config"),
     )
     .expect("bind server");
     let addr = server.local_addr();
@@ -123,15 +130,15 @@ fn run_warm_cache_open_loop(db: &Arc<Database>, store: &Arc<SketchStore>) -> (Du
     let server = Server::start(
         Arc::clone(db),
         Arc::clone(store),
-        ServeConfig {
-            workers: 1,
-            max_batch: 64,
-            queue_capacity: 4096,
-            request_timeout: Duration::from_secs(60),
-            max_connections: CLIENTS + 8,
-            timeline: false,
-            ..ServeConfig::default()
-        },
+        ServeConfig::builder()
+            .workers(1)
+            .max_batch(64)
+            .queue_capacity(4096)
+            .request_timeout(Duration::from_secs(60))
+            .max_connections(CLIENTS + 8)
+            .timeline(false)
+            .build()
+            .expect("valid bench config"),
     )
     .expect("bind server");
     let addr = server.local_addr();
@@ -226,12 +233,12 @@ fn main() {
         let server = Server::start(
             Arc::clone(&db),
             Arc::clone(&store),
-            ServeConfig {
+            ServeConfig::builder()
                 // Keep a timeline exemplar for every request so the stage
                 // decomposition can be checked below.
-                slow_threshold: Duration::ZERO,
-                ..ServeConfig::default()
-            },
+                .slow_threshold(Duration::ZERO)
+                .build()
+                .expect("valid bench config"),
         )
         .expect("bind server");
         let mut c = Client::connect(server.local_addr()).expect("connect");
@@ -353,8 +360,72 @@ fn main() {
          (issue target: < 2%)"
     );
 
+    // --- honest open-loop tail latency under overload ---
+    // Poisson arrivals at ~120% of the measured closed-loop coalesced
+    // capacity, cold path (cache off). Latency is measured from each
+    // request's scheduled arrival, so time spent queueing behind an
+    // overloaded server lands in the percentiles instead of silently
+    // thinning the offered load.
+    const OPEN_LOOP_WORKERS: usize = 32;
+    let target_rps = coal_rps * 1.2;
+    let open_total = (target_rps * 3.0) as usize; // ~3s of offered load
+    println!(
+        "\n[5] honest open loop (Poisson arrivals at {target_rps:.0} req/s, \
+         {open_total} requests, cold path):"
+    );
+    let open = {
+        let server = Server::start(
+            Arc::clone(&db),
+            Arc::clone(&store),
+            ServeConfig::builder()
+                .workers(1)
+                .max_batch(64)
+                .queue_capacity(4096)
+                .request_timeout(Duration::from_secs(60))
+                .max_connections(OPEN_LOOP_WORKERS + 8)
+                .timeline(false)
+                .cache_capacity(0)
+                .build()
+                .expect("valid bench config"),
+        )
+        .expect("bind server");
+        let addr = server.local_addr();
+        let clients: Vec<Mutex<Client>> = (0..OPEN_LOOP_WORKERS)
+            .map(|_| Mutex::new(Client::connect(addr).expect("connect")))
+            .collect();
+        let cfg = OpenLoopConfig {
+            target_rps,
+            total: open_total,
+            workers: OPEN_LOOP_WORKERS,
+            seed: BENCH_SEED ^ 15,
+            deadline: Duration::from_secs(30),
+        };
+        let report = run_open_loop(&cfg, |i, worker| {
+            let sql = WORKLOAD[i % WORKLOAD.len()];
+            clients[worker]
+                .lock()
+                .expect("client slot")
+                .estimate_value("imdb", sql)
+                .map(|_| ())
+        });
+        let snap = server.shutdown();
+        assert_eq!(report.failed_forever, 0, "open loop lost requests");
+        assert!(snap.ok >= report.completed);
+        report
+    };
+    println!(
+        "  offered {:.0} req/s, achieved {:.0} req/s -> p50 {:.2} ms  p95 {:.2} ms  \
+         p99 {:.2} ms  max {:.2} ms",
+        open.offered_rps,
+        open.achieved_rps,
+        open.p50_us as f64 / 1e3,
+        open.p95_us as f64 / 1e3,
+        open.p99_us as f64 / 1e3,
+        open.max_us as f64 / 1e3,
+    );
+
     let json = format!(
-        "{{\n  \"experiment\": \"serve_throughput\",\n  \"clients\": {CLIENTS},\n  \"queries_per_client\": {QUERIES_PER_CLIENT},\n  \"per_request\": {{\"secs\": {:.4}, \"rps\": {per_req_rps:.1}, \"batches\": {}, \"mean_batch\": {:.3}}},\n  \"coalesced\": {{\"secs\": {:.4}, \"rps\": {coal_rps:.1}, \"batches\": {}, \"mean_batch\": {:.3}, \"max_batch\": {}, \"p99_us\": {}}},\n  \"speedup\": {speedup:.3},\n  \"warm_cache\": {{\"mode\": \"open-loop pipelined\", \"requests\": {warm_total}, \"secs\": {:.4}, \"rps\": {warm_rps:.1}, \"hit_rate\": {hit_rate:.4}}},\n  \"obs_overhead\": {{\"includes\": \"tracer+timelines+exemplars\", \"untraced_secs\": {plain_med:.4}, \"traced_secs\": {traced_med:.4}, \"overhead_pct\": {overhead_pct:.3}}}\n}}\n",
+        "{{\n  \"experiment\": \"serve_throughput\",\n  \"clients\": {CLIENTS},\n  \"queries_per_client\": {QUERIES_PER_CLIENT},\n  \"per_request\": {{\"secs\": {:.4}, \"rps\": {per_req_rps:.1}, \"batches\": {}, \"mean_batch\": {:.3}}},\n  \"coalesced\": {{\"secs\": {:.4}, \"rps\": {coal_rps:.1}, \"batches\": {}, \"mean_batch\": {:.3}, \"max_batch\": {}, \"p99_us\": {}}},\n  \"speedup\": {speedup:.3},\n  \"warm_cache\": {{\"mode\": \"open-loop pipelined\", \"requests\": {warm_total}, \"secs\": {:.4}, \"rps\": {warm_rps:.1}, \"hit_rate\": {hit_rate:.4}}},\n  \"open_loop\": {{\"mode\": \"poisson, latency from scheduled arrival\", \"requests\": {open_total}, \"offered_rps\": {:.1}, \"achieved_rps\": {:.1}, \"failed_forever\": {}, \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \"max_us\": {}}},\n  \"obs_overhead\": {{\"includes\": \"tracer+timelines+exemplars\", \"untraced_secs\": {plain_med:.4}, \"traced_secs\": {traced_med:.4}, \"overhead_pct\": {overhead_pct:.3}}}\n}}\n",
         per_req_elapsed.as_secs_f64(),
         per_req.batches,
         per_req.mean_batch,
@@ -364,6 +435,13 @@ fn main() {
         coal.max_batch,
         coal.p99_us,
         warm_elapsed.as_secs_f64(),
+        open.offered_rps,
+        open.achieved_rps,
+        open.failed_forever,
+        open.p50_us,
+        open.p95_us,
+        open.p99_us,
+        open.max_us,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
     std::fs::write(path, &json).expect("write BENCH_serve.json");

@@ -1,7 +1,7 @@
 //! `bench_harness` — the pinned quick-mode benchmark suite behind the CI
 //! `bench-smoke` gate.
 //!
-//! Runs four stages sized to finish in a couple of minutes on one core:
+//! Runs five stages sized to finish in a couple of minutes on one core:
 //!
 //! 1. **kernels** — tiled/threaded matmul vs the reference kernel at the
 //!    MSCN-critical shapes (same shapes as the full `nn_kernels` bench);
@@ -11,7 +11,14 @@
 //!    training-shape reference, single uncached estimates;
 //! 4. **serving** — a small coalescing-vs-per-request client fleet against
 //!    the TCP server, the tracing-enabled overhead measurement, and the
-//!    warm-cache speedup of the template-keyed estimate cache.
+//!    warm-cache speedup of the template-keyed estimate cache;
+//! 5. **fleet** — a 4-shard, R=2 replicated fleet behind the routing
+//!    client: closed-loop throughput vs a single shard (gated as
+//!    *scaling efficiency*, normalized by the cores actually available, so
+//!    the gate is meaningful on a 1-core host), plus an open-loop chaos
+//!    run that SIGKILLs a replica mid-traffic, restarts it, heals, and
+//!    gates on **zero failed-forever requests** and **zero lost sketch
+//!    generations**.
 //!
 //! The run is written to `target/BENCH_quick.latest.json` and diffed
 //! against the committed baseline `BENCH_quick.json`:
@@ -29,10 +36,11 @@
 //! after the run.
 
 use std::process::ExitCode;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use ds_bench::harness::{compare, BenchReport, Metric};
+use ds_bench::loadgen::{run_open_loop, OpenLoopConfig};
 use ds_bench::{banner, BENCH_SEED};
 use ds_core::builder::SketchBuilder;
 use ds_core::store::SketchStore;
@@ -41,7 +49,10 @@ use ds_nn::tensor::{reference, Kernel, Tensor};
 use ds_obs::{PrettySink, Sink, TraceReport};
 use ds_query::parser::parse_query;
 use ds_query::workloads::imdb_predicate_columns;
-use ds_serve::{Client, Metrics, RequestTimeline, ServeConfig, Server, TemplateInterner};
+use ds_serve::{
+    Client, FaultInjector, Fleet, FleetClient, FleetConfig, Metrics, RequestTimeline, ServeConfig,
+    Server, TemplateInterner,
+};
 use ds_storage::catalog::Database;
 use ds_storage::gen::{imdb_database, ImdbConfig};
 
@@ -276,7 +287,7 @@ fn stage_kernels(report: &mut BenchReport) {
         ("head_384x256_x1", 384, 256, 1, false),
     ];
     println!(
-        "\n[1/4] matmul kernels ({} shapes, 25 iters):",
+        "\n[1/5] matmul kernels ({} shapes, 25 iters):",
         shapes.len()
     );
     for (name, m, k, n, gated) in shapes {
@@ -312,7 +323,7 @@ fn stage_kernels(report: &mut BenchReport) {
 /// at any thread count, so the validation q-error is an exact, portable
 /// quality gate; wall-clock numbers ride along as local metrics.
 fn stage_training(report: &mut BenchReport) -> (Arc<Database>, Arc<SketchStore>) {
-    println!("\n[2/4] mini fig1a build (800 queries, 3 epochs):");
+    println!("\n[2/5] mini fig1a build (800 queries, 3 epochs):");
     let db = Arc::new(imdb_database(&ImdbConfig {
         movies: 2_000,
         keywords: 1_000,
@@ -363,7 +374,7 @@ fn stage_training(report: &mut BenchReport) -> (Arc<Database>, Arc<SketchStore>)
 /// The fused path must stay bit-identical to the reference — asserted here
 /// on the live workload before timing.
 fn stage_inference(report: &mut BenchReport, db: &Arc<Database>, store: &Arc<SketchStore>) {
-    println!("\n[3/4] frozen inference (fused featurize-and-forward):");
+    println!("\n[3/5] frozen inference (fused featurize-and-forward):");
     let frozen = store.get("imdb").expect("sketch");
     assert!(
         frozen.frozen().is_some(),
@@ -419,17 +430,17 @@ fn run_fleet(
     let server = Server::start(
         Arc::clone(db),
         Arc::clone(store),
-        ServeConfig {
-            workers: 1,
-            max_batch,
-            queue_capacity: 1024,
-            request_timeout: Duration::from_secs(60),
-            max_connections: CLIENTS + 4,
-            timeline: instrumented,
-            slow_threshold: Duration::ZERO,
-            cache_capacity,
-            ..ServeConfig::default()
-        },
+        ServeConfig::builder()
+            .workers(1)
+            .max_batch(max_batch)
+            .queue_capacity(1024)
+            .request_timeout(Duration::from_secs(60))
+            .max_connections(CLIENTS + 4)
+            .timeline(instrumented)
+            .slow_threshold(Duration::ZERO)
+            .cache_capacity(cache_capacity)
+            .build()
+            .expect("valid harness config"),
     )
     .expect("bind server");
     let addr = server.local_addr();
@@ -479,7 +490,7 @@ fn run_fleet(
 /// the honest end-to-end overhead into `BENCH_serve.json`.
 fn stage_serving(report: &mut BenchReport, db: &Arc<Database>, store: &Arc<SketchStore>) {
     let total = CLIENTS * QUERIES_PER_CLIENT;
-    println!("\n[4/4] serving fleet ({CLIENTS} clients x {QUERIES_PER_CLIENT} queries):");
+    println!("\n[4/5] serving fleet ({CLIENTS} clients x {QUERIES_PER_CLIENT} queries):");
     // The coalescing and overhead fleets disable the estimate cache: they
     // measure the forward-pass path, and the 6-template workload would
     // otherwise be answered almost entirely from memory.
@@ -598,6 +609,207 @@ fn time_instrumentation(db: &Arc<Database>) -> f64 {
     secs * 1e6 / iters as f64
 }
 
+/// Quick-mode fleet sizing: 4 shards, 2 copies of each sketch, a small
+/// closed-loop client pool, and a short open-loop chaos run.
+const FLEET_SHARDS: usize = 4;
+const FLEET_REPLICATION: usize = 2;
+const FLEET_CLIENTS: usize = 8;
+const FLEET_QUERIES_PER_CLIENT: usize = 40;
+
+fn fleet_config(shards: usize, replication: usize) -> FleetConfig {
+    FleetConfig {
+        shards,
+        replication,
+        server: ServeConfig::builder()
+            .workers(1)
+            .max_batch(32)
+            .queue_capacity(1024)
+            .request_timeout(Duration::from_secs(60))
+            .max_connections(64)
+            .timeline(false)
+            .slow_threshold(Duration::ZERO)
+            // Cold path: the fleet comparison measures the model, not the
+            // estimate cache.
+            .cache_capacity(0)
+            .build()
+            .expect("valid fleet config"),
+        timeout: Duration::from_secs(60),
+    }
+}
+
+/// Closed-loop fleet run: `FLEET_CLIENTS` threads, each with its own
+/// routing [`FleetClient`], hammering the deployed sketch. Returns elapsed
+/// seconds.
+fn run_fleet_closed_loop(fleet: &Fleet) -> f64 {
+    let topology = fleet.topology();
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..FLEET_CLIENTS)
+            .map(|i| {
+                let topology = topology.clone();
+                s.spawn(move || {
+                    let mut c = FleetClient::new(topology);
+                    for k in 0..FLEET_QUERIES_PER_CLIENT {
+                        let sql = WORKLOAD[(i + k) % WORKLOAD.len()];
+                        let (_, degraded) = c.estimate("imdb", sql).expect("fleet estimate");
+                        assert!(!degraded, "healthy fleet must not degrade");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("fleet client thread");
+        }
+    });
+    t0.elapsed().as_secs_f64()
+}
+
+/// Stage 5: the sharded fleet. Two measurements:
+///
+/// * **Scaling efficiency** — closed-loop throughput of the 4-shard fleet
+///   vs a single shard, normalized by `min(shards, cores)`. On a machine
+///   with ≥4 cores this is the issue's "≥3×" target expressed as a ratio
+///   (3×/4 shards = 0.75 efficiency); on this 1-core CI host the shards
+///   time-slice one core, so the honest expectation is parity (≈1.0) and
+///   the gate catches the fleet layer adding real overhead. The raw rps
+///   numbers ride along as local metrics.
+/// * **Chaos** — an open-loop Poisson run (coordinated-omission-free
+///   latencies measured from scheduled arrival) during which a
+///   seeded-drawn replica is killed mid-traffic (its store wiped — a
+///   machine loss), restarted, and healed from the surviving copy. Gated:
+///   zero requests fail forever and zero sketch generations are lost.
+///   The chaos p99 is recorded as a local metric (it includes the outage
+///   window by construction).
+fn stage_fleet(report: &mut BenchReport, db: &Arc<Database>, store: &Arc<SketchStore>) {
+    println!(
+        "\n[5/5] sharded fleet ({FLEET_SHARDS} shards, R={FLEET_REPLICATION}, \
+         {FLEET_CLIENTS} clients x {FLEET_QUERIES_PER_CLIENT} queries):"
+    );
+    let sketch = store.get("imdb").expect("stage-2 sketch");
+
+    // Single-shard baseline: the same serving config, the same routing
+    // client, one shard — so the ratio isolates sharding itself.
+    let mut single = Fleet::start(Arc::clone(db), fleet_config(1, 1)).expect("single-shard fleet");
+    single.deploy("imdb", (*sketch).clone()).expect("deploy");
+    let _ = run_fleet_closed_loop(&single); // warm-up
+    let single_secs = min_secs(3, || run_fleet_closed_loop(&single));
+    single.shutdown();
+
+    let mut fleet = Fleet::start(
+        Arc::clone(db),
+        fleet_config(FLEET_SHARDS, FLEET_REPLICATION),
+    )
+    .expect("4-shard fleet");
+    let replicas = fleet.deploy("imdb", (*sketch).clone()).expect("deploy");
+    let _ = run_fleet_closed_loop(&fleet); // warm-up
+    let fleet_secs = min_secs(3, || run_fleet_closed_loop(&fleet));
+
+    let total = (FLEET_CLIENTS * FLEET_QUERIES_PER_CLIENT) as f64;
+    let single_rps = total / single_secs;
+    let fleet_rps = total / fleet_secs;
+    let vs_single = fleet_rps / single_rps;
+    let slots = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(FLEET_SHARDS);
+    let efficiency = vs_single / slots as f64;
+    println!(
+        "  single-shard {single_rps:>7.0} req/s   {FLEET_SHARDS}-shard {fleet_rps:>7.0} req/s \
+         -> {vs_single:.2}x over {slots} usable core(s) = efficiency {efficiency:.2}"
+    );
+
+    // Chaos: open-loop traffic while a replica dies and comes back.
+    let faults = FaultInjector::new(BENCH_SEED ^ 31);
+    faults.schedule_chaos_kill(replicas[faults.draw_shard(replicas.len())]);
+    let generation_before = fleet
+        .store(replicas[0])
+        .generation("imdb")
+        .expect("deployed generation");
+    let fleet = Mutex::new(fleet);
+    let clients: Vec<Mutex<FleetClient>> = {
+        let topology = fleet.lock().unwrap().topology();
+        (0..6)
+            .map(|_| Mutex::new(FleetClient::new(topology.clone())))
+            .collect()
+    };
+    let cfg = OpenLoopConfig {
+        target_rps: 300.0,
+        total: 600,
+        workers: clients.len(),
+        seed: BENCH_SEED ^ 32,
+        deadline: Duration::from_secs(30),
+    };
+    let chaos = std::thread::scope(|s| {
+        s.spawn(|| {
+            // The chaos driver: kill the scheduled victim a fifth of the
+            // way in, bring a blank replacement up shortly after, and heal
+            // it from the surviving copy — all while the open loop keeps
+            // offering load.
+            std::thread::sleep(Duration::from_millis(400));
+            let victim = faults.next_chaos_kill().expect("scheduled kill");
+            fleet.lock().unwrap().kill(victim);
+            std::thread::sleep(Duration::from_millis(400));
+            let mut fleet = fleet.lock().unwrap();
+            fleet.restart(victim).expect("restart victim");
+            fleet.heal().expect("heal fleet");
+        });
+        run_open_loop(&cfg, |i, worker| {
+            let sql = WORKLOAD[i % WORKLOAD.len()];
+            let mut client = clients[worker].lock().unwrap();
+            client.estimate("imdb", sql).map(|_| ())
+        })
+    });
+    let fleet = fleet.into_inner().unwrap();
+
+    // Zero lost generations: every live replica still serves the deployed
+    // generation after the kill/restart/heal cycle.
+    let lost = replicas
+        .iter()
+        .filter(|&&shard| {
+            !fleet.is_alive(shard)
+                || fleet.store(shard).generation("imdb") != Some(generation_before)
+        })
+        .count();
+    let p99_ms = chaos.p99_us as f64 / 1e3;
+    println!(
+        "  chaos: {} completed / {} failed-forever at {:.0} req/s offered, \
+         p99 {p99_ms:.1} ms, lost generations {lost}",
+        chaos.completed, chaos.failed_forever, chaos.offered_rps
+    );
+    // The chaos contract is binary, so it gates harder than a ratio: any
+    // permanently failed request or lost generation aborts the suite.
+    assert_eq!(
+        chaos.failed_forever, 0,
+        "chaos run must not fail requests forever"
+    );
+    assert_eq!(lost, 0, "chaos run must not lose sketch generations");
+    fleet.shutdown();
+
+    report.push(Metric::portable(
+        "fleet/scaling_efficiency",
+        efficiency,
+        true,
+    ));
+    report.push(Metric::portable(
+        "fleet/chaos_failed_forever",
+        chaos.failed_forever as f64,
+        false,
+    ));
+    report.push(Metric::portable(
+        "fleet/chaos_lost_generations",
+        lost as f64,
+        false,
+    ));
+    report.push(Metric::local("fleet/rps", fleet_rps, true));
+    report.push(Metric::local("fleet/single_node_rps", single_rps, true));
+    report.push(Metric::local(
+        "fleet/throughput_vs_single_node",
+        vs_single,
+        true,
+    ));
+    report.push(Metric::local("fleet/chaos_p99_ms", p99_ms, false));
+}
+
 fn main() -> ExitCode {
     let opts = parse_args();
     banner(
@@ -614,6 +826,7 @@ fn main() -> ExitCode {
     let (db, store) = stage_training(&mut current);
     stage_inference(&mut current, &db, &store);
     stage_serving(&mut current, &db, &store);
+    stage_fleet(&mut current, &db, &store);
 
     if opts.trace {
         let obs = ds_obs::global();

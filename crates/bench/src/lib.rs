@@ -11,6 +11,7 @@
 //! everything.
 
 pub mod harness;
+pub mod loadgen;
 
 use ds_core::builder::SketchBuilder;
 use ds_core::metrics::QErrorSummary;

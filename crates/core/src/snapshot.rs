@@ -135,6 +135,40 @@ pub fn checksum(bytes: &[u8]) -> u64 {
     h
 }
 
+/// Hex-encodes snapshot bytes for wire shipping: a single whitespace-free
+/// token that survives the serving layer's one-line text protocol
+/// (`SNAPSHOT`/`SYNC`). Lowercase, two digits per byte.
+pub fn encode_hex(bytes: &[u8]) -> String {
+    const DIGITS: &[u8; 16] = b"0123456789abcdef";
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(DIGITS[(b >> 4) as usize] as char);
+        out.push(DIGITS[(b & 0x0f) as usize] as char);
+    }
+    out
+}
+
+/// Decodes [`encode_hex`] output back into bytes. `None` on odd length or
+/// any non-hex character — a garbled transfer fails here before the
+/// checksummed body is even looked at.
+pub fn decode_hex(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    let digit = |c: u8| -> Option<u8> {
+        match c {
+            b'0'..=b'9' => Some(c - b'0'),
+            b'a'..=b'f' => Some(c - b'a' + 10),
+            b'A'..=b'F' => Some(c - b'A' + 10),
+            _ => None,
+        }
+    };
+    s.as_bytes()
+        .chunks_exact(2)
+        .map(|pair| Some(digit(pair[0])? << 4 | digit(pair[1])?))
+        .collect()
+}
+
 /// True when `name` can appear in a snapshot filename: non-empty, at most
 /// 128 bytes, and limited to `[A-Za-z0-9._-]` without leading dots (no
 /// path separators, no hidden files, round-trips through the
@@ -479,6 +513,20 @@ mod tests {
         assert_eq!(a, checksum(b"deep sketch"), "deterministic");
         assert_ne!(a, checksum(b"deep sketcH"));
         assert_ne!(a, checksum(b"deep sketc"));
+    }
+
+    #[test]
+    fn hex_roundtrips_and_rejects_garble() {
+        let bytes: Vec<u8> = (0..=255u8).collect();
+        let hex = encode_hex(&bytes);
+        assert_eq!(hex.len(), 512);
+        assert!(hex.chars().all(|c| c.is_ascii_hexdigit()));
+        assert_eq!(decode_hex(&hex).unwrap(), bytes);
+        assert_eq!(decode_hex(&hex.to_ascii_uppercase()).unwrap(), bytes);
+        assert_eq!(decode_hex(""), Some(Vec::new()));
+        assert_eq!(decode_hex("abc"), None, "odd length");
+        assert_eq!(decode_hex("zz"), None, "non-hex digit");
+        assert_eq!(decode_hex("a b1"), None, "embedded space");
     }
 
     #[test]

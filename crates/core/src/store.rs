@@ -24,7 +24,7 @@ use ds_storage::catalog::Database;
 use crate::builder::{BuildError, BuildReport, SketchBuilder};
 use crate::monitor::{MonitorRegistry, QErrorMonitor};
 use crate::sketch::DeepSketch;
-use crate::snapshot::{self, SnapshotError};
+use crate::snapshot::{self, SketchSnapshot, SnapshotError};
 
 /// Status of a named sketch in the store.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -137,6 +137,23 @@ pub struct RecoveryReport {
     /// In-flight `.tmp` files from an interrupted write, deleted (they
     /// were never durable, so removing them loses nothing).
     pub removed_temps: Vec<PathBuf>,
+}
+
+/// What [`SketchStore::adopt_snapshot`] decided about an offered snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdoptOutcome {
+    /// The snapshot's generation won and now serves under its name.
+    Adopted {
+        /// The generation now serving.
+        generation: u64,
+    },
+    /// A generation at least as new already serves; the offer was ignored.
+    Stale {
+        /// The generation already serving.
+        current: u64,
+        /// The generation that was offered.
+        offered: u64,
+    },
 }
 
 impl SketchStore {
@@ -411,6 +428,84 @@ impl SketchStore {
         ds_obs::global().count("store/snapshots_written", 1);
         Self::prune_snapshots(dir, name, generation);
         Ok(path)
+    }
+
+    /// Encodes one ready sketch into the checksummed `DSNP` byte layout
+    /// without touching disk — the payload the fleet tier ships over the
+    /// wire (`SNAPSHOT`). Byte-identical to what [`SketchStore::save_snapshot`]
+    /// would persist for the same generation and monitor state, so a
+    /// receiver can validate a shipped blob exactly like a recovered file.
+    /// Returns the bytes together with the generation they capture.
+    pub fn export_snapshot(
+        &self,
+        name: &str,
+        monitors: Option<&MonitorRegistry>,
+    ) -> Result<(Vec<u8>, u64), StoreError> {
+        let (sketch, generation) = self.get_with_generation(name)?;
+        if !snapshot::valid_snapshot_name(name) {
+            return Err(StoreError::Snapshot(SnapshotError::InvalidName(
+                name.to_string(),
+            )));
+        }
+        let state = monitors.and_then(|m| m.get(name)).map(|m| m.export_state());
+        let bytes = snapshot::encode_snapshot(name, generation, &sketch, state.as_ref());
+        Ok((bytes, generation))
+    }
+
+    /// Adopts a decoded snapshot shipped from a fleet peer, newest-wins:
+    /// the offer is ignored when a ready sketch of the same name already
+    /// serves at an equal or newer generation, and otherwise replaces
+    /// whatever slot holds the name (including training or failed slots —
+    /// a validated remote model beats a broken local one). The store's
+    /// generation counter is raised to at least the adopted generation, so
+    /// later local inserts keep sorting after every adopted model, and the
+    /// sketch's rolling monitor state travels with it when `monitors` is
+    /// given.
+    pub fn adopt_snapshot(
+        &self,
+        snap: SketchSnapshot,
+        monitors: Option<&MonitorRegistry>,
+    ) -> Result<AdoptOutcome, StoreError> {
+        if !snapshot::valid_snapshot_name(&snap.name) {
+            return Err(StoreError::Snapshot(SnapshotError::InvalidName(snap.name)));
+        }
+        let monitor = match &snap.monitor {
+            None => None,
+            Some(state) => match QErrorMonitor::from_state(state) {
+                Some(m) => Some(m),
+                None => {
+                    return Err(StoreError::Snapshot(SnapshotError::Corrupt(
+                        "snapshot monitor state failed to restore".to_string(),
+                    )))
+                }
+            },
+        };
+        let mut slots = self.slots.write();
+        if let Some(Slot::Ready { generation, .. }) = slots.get(&snap.name) {
+            if *generation >= snap.generation {
+                return Ok(AdoptOutcome::Stale {
+                    current: *generation,
+                    offered: snap.generation,
+                });
+            }
+        }
+        slots.insert(
+            snap.name.clone(),
+            Slot::Ready {
+                sketch: Arc::new(snap.sketch),
+                report: None,
+                generation: snap.generation,
+            },
+        );
+        self.generations
+            .fetch_max(snap.generation, Ordering::Relaxed);
+        if let (Some(registry), Some(m)) = (monitors, monitor) {
+            registry.restore(&snap.name, m);
+        }
+        ds_obs::global().count("store/snapshots_adopted", 1);
+        Ok(AdoptOutcome::Adopted {
+            generation: snap.generation,
+        })
     }
 
     /// Snapshots every ready sketch (see [`SketchStore::save_snapshot`]).
@@ -943,6 +1038,70 @@ mod tests {
             .collect();
         assert_eq!(snaps.len(), 2, "newest + previous only: {snaps:?}");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn export_matches_save_snapshot_and_adopt_is_newest_wins() {
+        let db = imdb_database(&ImdbConfig::tiny(12));
+        let store = SketchStore::new();
+        store.insert("ship", tiny_sketch(&db, 1)).unwrap();
+        let monitors = MonitorRegistry::new();
+        for i in 0..5u32 {
+            monitors.monitor("ship").record("t", (i + 2) as f64, 1.0);
+        }
+        // The wire export is byte-identical to the durable snapshot file.
+        let (bytes, generation) = store.export_snapshot("ship", Some(&monitors)).unwrap();
+        let dir = std::env::temp_dir().join(format!("ds_export_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let path = store.save_snapshot(&dir, "ship", Some(&monitors)).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), bytes);
+        assert_eq!(generation, store.generation("ship").unwrap());
+        std::fs::remove_dir_all(&dir).ok();
+
+        // A replica adopts the shipped blob and serves bit-identically.
+        let replica = SketchStore::new();
+        let replica_monitors = MonitorRegistry::new();
+        let snap = crate::snapshot::decode_snapshot(&bytes).unwrap();
+        assert_eq!(
+            replica
+                .adopt_snapshot(snap, Some(&replica_monitors))
+                .unwrap(),
+            AdoptOutcome::Adopted { generation }
+        );
+        let q = parse_query(&db, "SELECT COUNT(*) FROM title").unwrap();
+        assert_eq!(
+            replica.estimate("ship", &q).unwrap(),
+            store.estimate("ship", &q).unwrap()
+        );
+        assert_eq!(replica.generation("ship"), Some(generation));
+        assert_eq!(replica_monitors.get("ship").unwrap().samples(), 5);
+
+        // Re-offering the same generation is stale, not a duplicate error.
+        let snap_again = crate::snapshot::decode_snapshot(&bytes).unwrap();
+        assert_eq!(
+            replica.adopt_snapshot(snap_again, None).unwrap(),
+            AdoptOutcome::Stale {
+                current: generation,
+                offered: generation
+            }
+        );
+        // Local inserts after adoption sort strictly newer.
+        replica.insert("local", tiny_sketch(&db, 2)).unwrap();
+        assert!(replica.generation("local").unwrap() > generation);
+        // A newer shipped generation replaces the served model.
+        let newer = crate::snapshot::SketchSnapshot {
+            name: "ship".to_string(),
+            generation: generation + 100,
+            sketch: tiny_sketch(&db, 3),
+            monitor: None,
+        };
+        assert_eq!(
+            replica.adopt_snapshot(newer, None).unwrap(),
+            AdoptOutcome::Adopted {
+                generation: generation + 100
+            }
+        );
+        assert_eq!(replica.generation("ship"), Some(generation + 100));
     }
 
     #[test]

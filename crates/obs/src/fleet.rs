@@ -1,0 +1,71 @@
+//! Counters for fleet-tier routing: one lock-free [`FleetCounters`] bundle
+//! shared between a routing client and whoever scrapes it.
+//!
+//! The serving layer's per-process counters live in `ds-serve`'s own
+//! `Metrics`; these are the *client-side* complement — how often routing
+//! picked a non-primary replica, how many sweeps a request needed, how
+//! many replicas were resynced after a loss. They live here rather than in
+//! the serve crate so benches and tests can aggregate them without linking
+//! the whole serving stack.
+
+use crate::counter::{Counter, Gauge};
+use crate::prom::PromText;
+
+/// Lock-free counters describing fleet routing behaviour.
+#[derive(Debug, Default)]
+pub struct FleetCounters {
+    /// Requests routed (one per request, however many replicas it tried).
+    pub routed: Counter,
+    /// Requests answered by a replica other than the first candidate.
+    pub failovers: Counter,
+    /// Individual replica attempts beyond the first, across all requests.
+    pub retries: Counter,
+    /// Requests that exhausted every replica in one sweep.
+    pub sweep_failures: Counter,
+    /// Replicas re-seeded from a surviving copy after a loss.
+    pub resyncs: Counter,
+    /// Shards currently steered away from by health gossip.
+    pub degraded_shards: Gauge,
+}
+
+impl FleetCounters {
+    /// A fresh, zeroed bundle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Renders every counter under `fleet/…` into `out` (for `STATS`-style
+    /// expositions and bench summaries).
+    pub fn render(&self, out: &mut PromText) {
+        out.counter("fleet/routed", self.routed.get())
+            .counter("fleet/failovers", self.failovers.get())
+            .counter("fleet/retries", self.retries.get())
+            .counter("fleet/sweep_failures", self.sweep_failures.get())
+            .counter("fleet/resyncs", self.resyncs.get())
+            .gauge("fleet/degraded_shards", self.degraded_shards.last());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_render_under_the_fleet_prefix() {
+        let c = FleetCounters::new();
+        c.routed.add(3);
+        c.failovers.add(1);
+        c.degraded_shards.set(2.0);
+        let mut p = PromText::new();
+        c.render(&mut p);
+        let text = p.into_string();
+        assert!(text.contains("ds_fleet_routed"), "{text}");
+        assert!(text.contains("ds_fleet_degraded_shards"), "{text}");
+        let samples = crate::prom::parse_text(&text).expect("parse");
+        let routed = samples
+            .iter()
+            .find(|s| s.name == "ds_fleet_routed")
+            .expect("routed sample");
+        assert_eq!(routed.value, 3.0);
+    }
+}

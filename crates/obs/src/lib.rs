@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod counter;
+pub mod fleet;
 pub mod hist;
 pub mod json;
 pub mod prom;
@@ -54,6 +55,7 @@ pub mod span;
 pub mod window;
 
 pub use counter::{Counter, Gauge};
+pub use fleet::FleetCounters;
 pub use hist::{HistogramSnapshot, LogHistogram};
 pub use json::{JsonError, JsonValue};
 pub use prom::{PromSample, PromText};

@@ -1,17 +1,23 @@
-//! A minimal blocking client for the serve protocol — used by the
-//! integration tests, the throughput bench, and `serve_demo`. Beyond the
-//! raw [`Response`]-returning calls it offers typed accessors that parse
-//! the wire payloads into structs ([`Client::metrics_snapshot`],
-//! [`Client::info_card`], [`Client::stats`], [`Client::trace`]).
+//! The single-node convenience client — a thin wrapper over
+//! [`Connection`].
+//!
+//! **Deprecated in spirit, kept for compatibility:** new code should use
+//! [`Connection`] (wire framing) directly, or [`crate::fleet::FleetClient`]
+//! (routing, retry-with-failover, per-sketch affinity) when talking to
+//! more than one shard. `Client` remains so every existing example, test,
+//! and bench compiles unchanged; it adds nothing the two layers don't
+//! already provide beyond typed payload accessors
+//! ([`Client::metrics_snapshot`], [`Client::info_card`], [`Client::stats`],
+//! [`Client::trace`]).
 
-use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::ToSocketAddrs;
 use std::time::Duration;
 
 use ds_obs::PromSample;
 
+use crate::connection::{invalid_data, invalid_payload, Connection, Handshake};
 use crate::metrics::{MetricsSnapshot, RequestTimeline};
-use crate::protocol::{format_request, parse_response, Request, Response};
+use crate::protocol::{Request, Response};
 
 /// The `INFO` summary card parsed back into fields (client side).
 #[derive(Debug, Clone, PartialEq)]
@@ -73,60 +79,43 @@ impl InfoCard {
     }
 }
 
-/// One connection to a sketch server.
+/// One connection to a sketch server, with typed single-node accessors.
+/// Prefer [`Connection`] or [`crate::fleet::FleetClient`] in new code.
 pub struct Client {
-    reader: BufReader<TcpStream>,
-    writer: TcpStream,
+    conn: Connection,
 }
 
 impl Client {
     /// Connects to a running server.
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
-        Self::from_stream(stream)
+        Ok(Self {
+            conn: Connection::connect(addr)?,
+        })
     }
 
     /// Connects with a connect + read deadline, so tests never hang on a
     /// wedged server.
     pub fn connect_timeout(addr: impl ToSocketAddrs, timeout: Duration) -> std::io::Result<Self> {
-        let addr = addr
-            .to_socket_addrs()?
-            .next()
-            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "no address"))?;
-        let stream = TcpStream::connect_timeout(&addr, timeout)?;
-        stream.set_read_timeout(Some(timeout))?;
-        Self::from_stream(stream)
-    }
-
-    fn from_stream(stream: TcpStream) -> std::io::Result<Self> {
-        // One-line request/response roundtrips die under Nagle + delayed ACK.
-        stream.set_nodelay(true)?;
-        let writer = stream.try_clone()?;
         Ok(Self {
-            reader: BufReader::new(stream),
-            writer,
+            conn: Connection::connect_timeout(addr, timeout)?,
         })
     }
 
-    fn roundtrip(&mut self, req: &Request, estimate: bool) -> std::io::Result<Response> {
-        writeln!(self.writer, "{}", format_request(req))?;
-        self.writer.flush()?;
-        let mut line = String::new();
-        let n = self.reader.read_line(&mut line)?;
-        if n == 0 {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "server closed the connection",
-            ));
-        }
-        parse_response(&line, estimate)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    /// Negotiates the protocol version and feature flags (optional — a
+    /// client that never calls this speaks v1).
+    pub fn hello(&mut self) -> std::io::Result<Handshake> {
+        self.conn.hello()
+    }
+
+    /// The underlying wire connection, for callers mixing layers.
+    pub fn connection(&mut self) -> &mut Connection {
+        &mut self.conn
     }
 
     /// Sends `ESTIMATE` and returns the raw response ([`Response::Estimate`]
     /// on success, or the typed `ERR`/`BUSY`).
     pub fn estimate(&mut self, sketch: &str, sql: &str) -> std::io::Result<Response> {
-        self.roundtrip(
+        self.conn.roundtrip(
             &Request::Estimate {
                 sketch: sketch.to_string(),
                 sql: sql.to_string(),
@@ -156,7 +145,7 @@ impl Client {
 
     /// Sends `INFO <sketch>`.
     pub fn info(&mut self, sketch: &str) -> std::io::Result<Response> {
-        self.roundtrip(
+        self.conn.roundtrip(
             &Request::Info {
                 sketch: sketch.to_string(),
             },
@@ -166,14 +155,14 @@ impl Client {
 
     /// Sends `LIST`.
     pub fn list(&mut self) -> std::io::Result<Response> {
-        self.roundtrip(&Request::List, false)
+        self.conn.roundtrip(&Request::List, false)
     }
 
     /// Sends `FEEDBACK`: estimates `sql` (bit-identical to `ESTIMATE`) and
     /// records its q-error against the observed true cardinality `actual`
     /// in the server's drift monitor. Returns the raw response.
     pub fn feedback(&mut self, sketch: &str, actual: u64, sql: &str) -> std::io::Result<Response> {
-        self.roundtrip(
+        self.conn.roundtrip(
             &Request::Feedback {
                 sketch: sketch.to_string(),
                 actual,
@@ -194,7 +183,7 @@ impl Client {
 
     /// Sends `METRICS`.
     pub fn metrics(&mut self) -> std::io::Result<Response> {
-        self.roundtrip(&Request::Metrics, false)
+        self.conn.roundtrip(&Request::Metrics, false)
     }
 
     /// Sends `METRICS` and parses the payload into a typed snapshot.
@@ -219,7 +208,7 @@ impl Client {
     /// The server escapes newlines as literal `\n` to fit the one-line
     /// wire; this reverses that before parsing.
     pub fn stats(&mut self) -> std::io::Result<Vec<PromSample>> {
-        match self.roundtrip(&Request::Stats, false)? {
+        match self.conn.roundtrip(&Request::Stats, false)? {
             Response::Text(t) => {
                 let doc = t.replace("\\n", "\n");
                 ds_obs::prom::parse_text(&doc)
@@ -231,7 +220,7 @@ impl Client {
 
     /// Sends `TRACE` and parses the slow-request exemplars, oldest first.
     pub fn trace(&mut self) -> std::io::Result<Vec<RequestTimeline>> {
-        match self.roundtrip(&Request::Trace, false)? {
+        match self.conn.roundtrip(&Request::Trace, false)? {
             Response::Text(t) => {
                 if t.trim() == "(none)" {
                     return Ok(Vec::new());
@@ -248,39 +237,15 @@ impl Client {
     }
 
     /// Sends `QUIT` and consumes the client.
-    pub fn quit(mut self) -> std::io::Result<()> {
-        match self.roundtrip(&Request::Quit, false)? {
-            Response::Bye => Ok(()),
-            other => Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                format!("expected BYE, got {other:?}"),
-            )),
-        }
+    pub fn quit(self) -> std::io::Result<()> {
+        self.conn.quit()
     }
 
     /// Sends a raw line (possibly malformed — for protocol tests) and
     /// returns the raw response line.
     pub fn send_raw(&mut self, line: &str) -> std::io::Result<String> {
-        writeln!(self.writer, "{line}")?;
-        self.writer.flush()?;
-        let mut resp = String::new();
-        let n = self.reader.read_line(&mut resp)?;
-        if n == 0 {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "server closed the connection",
-            ));
-        }
-        Ok(resp.trim_end().to_string())
+        self.conn.send_raw(line)
     }
-}
-
-fn invalid_data(msg: String) -> std::io::Error {
-    std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
-}
-
-fn invalid_payload(resp: &Response) -> std::io::Error {
-    invalid_data(crate::protocol::format_response(resp))
 }
 
 #[cfg(test)]

@@ -1,0 +1,371 @@
+//! Server configuration behind a validating builder.
+//!
+//! [`ServeConfig`] started as a flat struct mutated field-by-field across
+//! tests and benches; nothing checked that the knobs made sense together
+//! (a `queue_capacity` smaller than `max_batch` can never fill a batch, a
+//! tiny cache behind a large batch thrashes instead of helping). The
+//! builder is now the only way to construct a non-default config:
+//! [`ServeConfig::builder`] collects the knobs, [`ServeConfigBuilder::build`]
+//! validates the invariants once, and the server can trust every config it
+//! receives.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::batcher::SharedEstimator;
+use crate::breaker::BreakerConfig;
+use crate::faults::FaultInjector;
+
+/// Validated server tuning knobs. Construct the default with
+/// [`ServeConfig::default`] or anything else through
+/// [`ServeConfig::builder`]; the fields themselves are crate-private so an
+/// invalid combination cannot be assembled by hand.
+#[derive(Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 lets the OS pick one.
+    pub(crate) addr: String,
+    /// Batch worker threads.
+    pub(crate) workers: usize,
+    /// Maximum queries coalesced into one forward pass (1 disables
+    /// coalescing).
+    pub(crate) max_batch: usize,
+    /// Admission-queue bound; beyond it `ESTIMATE` sheds with `BUSY`.
+    pub(crate) queue_capacity: usize,
+    /// Per-request deadline.
+    pub(crate) request_timeout: Duration,
+    /// Concurrent-connection cap.
+    pub(crate) max_connections: usize,
+    /// Record per-request stage timelines.
+    pub(crate) timeline: bool,
+    /// Requests at least this slow become `TRACE` exemplars.
+    pub(crate) slow_threshold: Duration,
+    /// Fallback estimator for the degradation chain.
+    pub(crate) fallback: Option<SharedEstimator>,
+    /// Per-sketch circuit-breaker thresholds.
+    pub(crate) breaker: BreakerConfig,
+    /// Deterministic fault plan for degradation tests.
+    pub(crate) faults: Option<Arc<FaultInjector>>,
+    /// Capacity of the template-keyed estimate cache (0 disables).
+    pub(crate) cache_capacity: usize,
+    /// Directory for durable snapshots; when set, corrupt `SYNC` transfers
+    /// are quarantined under `<dir>/quarantine/` for post-mortems.
+    pub(crate) snapshot_dir: Option<PathBuf>,
+}
+
+impl ServeConfig {
+    /// Starts a builder seeded with the default knobs.
+    pub fn builder() -> ServeConfigBuilder {
+        ServeConfigBuilder {
+            cfg: Self::default(),
+        }
+    }
+
+    /// The bind address.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Batch worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Maximum queries coalesced into one forward pass.
+    pub fn max_batch(&self) -> usize {
+        self.max_batch
+    }
+
+    /// Capacity of the template-keyed estimate cache (0 = disabled).
+    pub fn cache_capacity(&self) -> usize {
+        self.cache_capacity
+    }
+
+    /// Per-request deadline.
+    pub fn request_timeout(&self) -> Duration {
+        self.request_timeout
+    }
+}
+
+impl std::fmt::Debug for ServeConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeConfig")
+            .field("addr", &self.addr)
+            .field("workers", &self.workers)
+            .field("max_batch", &self.max_batch)
+            .field("queue_capacity", &self.queue_capacity)
+            .field("request_timeout", &self.request_timeout)
+            .field("max_connections", &self.max_connections)
+            .field("timeline", &self.timeline)
+            .field("slow_threshold", &self.slow_threshold)
+            .field(
+                "fallback",
+                &self.fallback.as_ref().map(|e| e.name().to_string()),
+            )
+            .field("breaker", &self.breaker)
+            .field("faults", &self.faults)
+            .field("cache_capacity", &self.cache_capacity)
+            .field("snapshot_dir", &self.snapshot_dir)
+            .finish()
+    }
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            max_batch: 64,
+            queue_capacity: 1024,
+            request_timeout: Duration::from_secs(2),
+            max_connections: 256,
+            timeline: true,
+            slow_threshold: Duration::from_millis(1),
+            fallback: None,
+            breaker: BreakerConfig::default(),
+            faults: None,
+            cache_capacity: 4096,
+            snapshot_dir: None,
+        }
+    }
+}
+
+/// A knob combination [`ServeConfigBuilder::build`] refused, with the
+/// invariant it violates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError(pub String);
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid serve config: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl From<ConfigError> for std::io::Error {
+    fn from(e: ConfigError) -> Self {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, e)
+    }
+}
+
+/// Builder for [`ServeConfig`]. Setters collect; [`ServeConfigBuilder::build`]
+/// validates the cross-field invariants once:
+///
+/// * `workers`, `max_batch`, `max_connections` ≥ 1;
+/// * `queue_capacity` ≥ `max_batch` — a queue that cannot hold one full
+///   batch would make the configured batch size unreachable;
+/// * `cache_capacity` is 0 (disabled) or ≥ `max_batch` — a cache smaller
+///   than one coalesced batch evicts its own batchmates and thrashes;
+/// * `request_timeout` > 0 and `addr` non-empty.
+#[derive(Debug, Clone)]
+pub struct ServeConfigBuilder {
+    cfg: ServeConfig,
+}
+
+impl ServeConfigBuilder {
+    /// Bind address (`host:port`; port 0 lets the OS pick).
+    pub fn addr(mut self, addr: impl Into<String>) -> Self {
+        self.cfg.addr = addr.into();
+        self
+    }
+
+    /// Batch worker threads.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.cfg.workers = workers;
+        self
+    }
+
+    /// Maximum queries coalesced into one forward pass. 1 disables
+    /// coalescing (useful as a baseline).
+    pub fn max_batch(mut self, max_batch: usize) -> Self {
+        self.cfg.max_batch = max_batch;
+        self
+    }
+
+    /// Admission-queue bound; beyond it `ESTIMATE` sheds with `BUSY`.
+    pub fn queue_capacity(mut self, queue_capacity: usize) -> Self {
+        self.cfg.queue_capacity = queue_capacity;
+        self
+    }
+
+    /// Per-request deadline.
+    pub fn request_timeout(mut self, timeout: Duration) -> Self {
+        self.cfg.request_timeout = timeout;
+        self
+    }
+
+    /// Concurrent-connection cap; excess connections are told `BUSY` and
+    /// closed.
+    pub fn max_connections(mut self, max_connections: usize) -> Self {
+        self.cfg.max_connections = max_connections;
+        self
+    }
+
+    /// Record per-request stage timelines (parse/queue-wait/batch-wait/
+    /// forward/write histograms plus slow-request exemplars).
+    pub fn timeline(mut self, timeline: bool) -> Self {
+        self.cfg.timeline = timeline;
+        self
+    }
+
+    /// Requests at least this slow end to end are kept as `TRACE`
+    /// exemplars. Zero keeps every request.
+    pub fn slow_threshold(mut self, threshold: Duration) -> Self {
+        self.cfg.slow_threshold = threshold;
+        self
+    }
+
+    /// Fallback estimator for the degradation chain; `None` disables
+    /// degradation (unhealthy sketches return their typed errors).
+    pub fn fallback(mut self, fallback: Option<SharedEstimator>) -> Self {
+        self.cfg.fallback = fallback;
+        self
+    }
+
+    /// Per-sketch circuit-breaker thresholds.
+    pub fn breaker(mut self, breaker: BreakerConfig) -> Self {
+        self.cfg.breaker = breaker;
+        self
+    }
+
+    /// Deterministic fault plan for degradation tests (`None` in
+    /// production; inert in release builds).
+    pub fn faults(mut self, faults: Option<Arc<FaultInjector>>) -> Self {
+        self.cfg.faults = faults;
+        self
+    }
+
+    /// Capacity of the template-keyed estimate cache. `0` disables
+    /// caching; any other value must cover at least one full batch.
+    pub fn cache_capacity(mut self, cache_capacity: usize) -> Self {
+        self.cfg.cache_capacity = cache_capacity;
+        self
+    }
+
+    /// Directory for durable snapshots and the quarantine of corrupt
+    /// `SYNC` transfers.
+    pub fn snapshot_dir(mut self, dir: Option<PathBuf>) -> Self {
+        self.cfg.snapshot_dir = dir;
+        self
+    }
+
+    /// Validates the invariants and returns the config, or a
+    /// [`ConfigError`] naming the first violated one.
+    pub fn build(self) -> Result<ServeConfig, ConfigError> {
+        let c = &self.cfg;
+        if c.addr.trim().is_empty() {
+            return Err(ConfigError("addr must be non-empty".to_string()));
+        }
+        if c.workers == 0 {
+            return Err(ConfigError("workers must be >= 1".to_string()));
+        }
+        if c.max_batch == 0 {
+            return Err(ConfigError(
+                "max_batch must be >= 1 (1 disables coalescing)".to_string(),
+            ));
+        }
+        if c.queue_capacity < c.max_batch {
+            return Err(ConfigError(format!(
+                "queue_capacity {} cannot hold one full batch of {}",
+                c.queue_capacity, c.max_batch
+            )));
+        }
+        if c.max_connections == 0 {
+            return Err(ConfigError("max_connections must be >= 1".to_string()));
+        }
+        if c.request_timeout.is_zero() {
+            return Err(ConfigError("request_timeout must be > 0".to_string()));
+        }
+        if c.cache_capacity != 0 && c.cache_capacity < c.max_batch {
+            return Err(ConfigError(format!(
+                "cache_capacity {} is smaller than max_batch {}: one coalesced \
+                 batch would evict its own batchmates (use 0 to disable caching)",
+                c.cache_capacity, c.max_batch
+            )));
+        }
+        Ok(self.cfg)
+    }
+
+    /// [`ServeConfigBuilder::build`], panicking on an invalid combination
+    /// — for tests and benches whose configs are compile-time constants.
+    pub fn build_or_panic(self) -> ServeConfig {
+        self.build().expect("valid serve config")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        // The Default impl and the builder must never drift apart.
+        ServeConfig::builder().build().expect("default is valid");
+    }
+
+    #[test]
+    fn builder_sets_every_knob() {
+        let faults = Arc::new(FaultInjector::new(3));
+        let cfg = ServeConfig::builder()
+            .addr("0.0.0.0:0")
+            .workers(4)
+            .max_batch(8)
+            .queue_capacity(64)
+            .request_timeout(Duration::from_secs(30))
+            .max_connections(12)
+            .timeline(false)
+            .slow_threshold(Duration::ZERO)
+            .breaker(BreakerConfig {
+                failure_threshold: 1,
+                cooldown: Duration::from_millis(5),
+            })
+            .faults(Some(Arc::clone(&faults)))
+            .cache_capacity(0)
+            .snapshot_dir(Some(PathBuf::from("/tmp/snaps")))
+            .build()
+            .expect("valid");
+        assert_eq!(cfg.addr(), "0.0.0.0:0");
+        assert_eq!(cfg.workers(), 4);
+        assert_eq!(cfg.max_batch(), 8);
+        assert_eq!(cfg.cache_capacity(), 0);
+        assert_eq!(cfg.request_timeout(), Duration::from_secs(30));
+        assert!(!cfg.timeline);
+        assert_eq!(cfg.snapshot_dir.as_deref(), Some("/tmp/snaps".as_ref()));
+        assert!(cfg.faults.is_some());
+    }
+
+    #[test]
+    fn invariants_are_enforced() {
+        let violations: Vec<(&str, ServeConfigBuilder)> = vec![
+            ("empty addr", ServeConfig::builder().addr("  ")),
+            ("zero workers", ServeConfig::builder().workers(0)),
+            ("zero max_batch", ServeConfig::builder().max_batch(0)),
+            (
+                "queue smaller than batch",
+                ServeConfig::builder().max_batch(64).queue_capacity(8),
+            ),
+            (
+                "zero max_connections",
+                ServeConfig::builder().max_connections(0),
+            ),
+            (
+                "zero timeout",
+                ServeConfig::builder().request_timeout(Duration::ZERO),
+            ),
+            (
+                "cache smaller than batch",
+                ServeConfig::builder().max_batch(64).cache_capacity(8),
+            ),
+        ];
+        for (what, builder) in violations {
+            assert!(builder.build().is_err(), "{what} must be rejected");
+        }
+        // The documented escape hatches stay valid.
+        assert!(ServeConfig::builder()
+            .max_batch(1)
+            .cache_capacity(0)
+            .build()
+            .is_ok());
+    }
+}

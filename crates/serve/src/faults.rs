@@ -37,6 +37,7 @@ struct FaultState {
     forward_delay: Option<(Duration, f64)>,
     poisoned: HashSet<String>,
     write_faults: VecDeque<WriteFault>,
+    chaos_kills: VecDeque<usize>,
 }
 
 /// A seeded, thread-safe fault plan shared between a server, its batcher,
@@ -60,6 +61,7 @@ impl FaultInjector {
                 forward_delay: None,
                 poisoned: HashSet::new(),
                 write_faults: VecDeque::new(),
+                chaos_kills: VecDeque::new(),
             }),
         }
     }
@@ -159,6 +161,34 @@ impl FaultInjector {
         self.lock().write_faults.pop_front().unwrap_or_default()
     }
 
+    /// Queues a chaos kill of the given fleet shard. Unlike the in-process
+    /// faults above, the chaos schedule is **not** gated by
+    /// [`FaultInjector::armed`]: it models *external* process death (a
+    /// machine loss the supervisor reacts to), not a code-path injection,
+    /// and the fleet chaos benchmark runs in release builds. The injector
+    /// only carries the deterministic schedule; the driver does the
+    /// killing.
+    pub fn schedule_chaos_kill(&self, shard: usize) {
+        self.lock().chaos_kills.push_back(shard);
+    }
+
+    /// Pops the next scheduled chaos kill, if any. Works in release builds
+    /// (see [`FaultInjector::schedule_chaos_kill`]).
+    pub fn next_chaos_kill(&self) -> Option<usize> {
+        self.lock().chaos_kills.pop_front()
+    }
+
+    /// A seeded draw of a shard index in `0..n` — for chaos drivers that
+    /// want the victim chosen reproducibly rather than scripted. Also not
+    /// gated by [`FaultInjector::armed`].
+    pub fn draw_shard(&self, n: usize) -> usize {
+        if n == 0 {
+            return 0;
+        }
+        let mut st = self.lock();
+        (Self::draw(&mut st) * n as f64) as usize % n
+    }
+
     /// Drops every configured fault, returning the injector to a clean
     /// pass-through state (the RNG keeps its position).
     pub fn clear(&self) {
@@ -167,6 +197,7 @@ impl FaultInjector {
         st.forward_delay = None;
         st.poisoned.clear();
         st.write_faults.clear();
+        st.chaos_kills.clear();
     }
 }
 
@@ -179,6 +210,7 @@ impl std::fmt::Debug for FaultInjector {
             .field("forward_delay", &st.forward_delay)
             .field("poisoned", &st.poisoned)
             .field("queued_write_faults", &st.write_faults.len())
+            .field("queued_chaos_kills", &st.chaos_kills.len())
             .finish()
     }
 }
@@ -240,6 +272,27 @@ mod tests {
             assert!(f.next_write_fault().crash_before_rename);
         }
         assert!(f.next_write_fault().is_none());
+    }
+
+    #[test]
+    fn chaos_schedule_works_even_when_disarmed() {
+        // External process death is not an in-process injection: the
+        // schedule must survive release builds, where armed() is false.
+        let f = FaultInjector::new(5);
+        assert!(f.next_chaos_kill().is_none());
+        f.schedule_chaos_kill(2);
+        f.schedule_chaos_kill(0);
+        assert_eq!(f.next_chaos_kill(), Some(2));
+        assert_eq!(f.next_chaos_kill(), Some(0));
+        assert!(f.next_chaos_kill().is_none());
+        // Seeded victim draws are reproducible and in range.
+        let a = FaultInjector::new(11);
+        let b = FaultInjector::new(11);
+        let da: Vec<usize> = (0..16).map(|_| a.draw_shard(4)).collect();
+        let db: Vec<usize> = (0..16).map(|_| b.draw_shard(4)).collect();
+        assert_eq!(da, db);
+        assert!(da.iter().all(|&s| s < 4));
+        assert_eq!(a.draw_shard(0), 0);
     }
 
     #[test]

@@ -1,0 +1,274 @@
+//! The high-level routing client: picks replicas, retries across them,
+//! and learns which shards to avoid.
+//!
+//! A [`FleetClient`] owns at most one [`Connection`] per shard (opened
+//! lazily, dropped on the first IO error so a dead shard doesn't wedge
+//! the pool). Per request it walks the sketch's replica set in preference
+//! order: the *affinity* shard — whoever answered this sketch last —
+//! first, then the ring order, with shards that look unhealthy (open
+//! client-side circuit breaker, or marked degraded by gossip) demoted to
+//! the back rather than skipped, so a fleet that is entirely unhealthy
+//! still gets tried. Client-side breakers are keyed by shard index and
+//! reuse the server's [`CircuitBreaker`](crate::breaker::CircuitBreaker)
+//! implementation — the same
+//! open/half-open/closed state machine steers routing away from a flapping
+//! replica and probes it back in after the cooldown.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ds_obs::FleetCounters;
+
+use crate::breaker::{BreakerConfig, BreakerRegistry};
+use crate::connection::Connection;
+use crate::protocol::{ErrorCode, Request, Response};
+
+use super::FleetTopology;
+
+/// Tuning for [`FleetClient`].
+#[derive(Debug, Clone)]
+pub struct FleetClientConfig {
+    /// Per-connection connect/read deadline.
+    pub timeout: Duration,
+    /// Client-side per-shard circuit-breaker thresholds.
+    pub breaker: BreakerConfig,
+    /// Send `HELLO` on each new connection (disable only to talk to
+    /// pre-handshake peers under test).
+    pub handshake: bool,
+}
+
+impl Default for FleetClientConfig {
+    fn default() -> Self {
+        Self {
+            timeout: Duration::from_secs(10),
+            breaker: BreakerConfig::default(),
+            handshake: true,
+        }
+    }
+}
+
+/// A routing client over a [`FleetTopology`].
+pub struct FleetClient {
+    topology: FleetTopology,
+    cfg: FleetClientConfig,
+    conns: HashMap<usize, Connection>,
+    breakers: BreakerRegistry,
+    affinity: HashMap<String, usize>,
+    degraded: HashSet<usize>,
+    counters: Arc<FleetCounters>,
+}
+
+impl FleetClient {
+    /// A client with default tuning.
+    pub fn new(topology: FleetTopology) -> Self {
+        Self::with_config(topology, FleetClientConfig::default())
+    }
+
+    /// A client with explicit tuning.
+    pub fn with_config(topology: FleetTopology, cfg: FleetClientConfig) -> Self {
+        let breakers = BreakerRegistry::new(cfg.breaker);
+        Self {
+            topology,
+            cfg,
+            conns: HashMap::new(),
+            breakers,
+            affinity: HashMap::new(),
+            degraded: HashSet::new(),
+            counters: Arc::new(FleetCounters::new()),
+        }
+    }
+
+    /// The routing counters (shared — clone the `Arc` to aggregate).
+    pub fn counters(&self) -> Arc<FleetCounters> {
+        Arc::clone(&self.counters)
+    }
+
+    /// The topology this client routes over.
+    pub fn topology(&self) -> &FleetTopology {
+        &self.topology
+    }
+
+    /// Marks a shard (by index) as degraded or healthy. Gossip feeds this:
+    /// a shard whose `STATS` show open per-sketch breakers, or that
+    /// refuses connections, gets demoted to last-resort until cleared.
+    pub fn set_degraded(&mut self, shard: usize, degraded: bool) {
+        if degraded {
+            self.degraded.insert(shard);
+        } else {
+            self.degraded.remove(&shard);
+        }
+        self.counters
+            .degraded_shards
+            .set(self.degraded.len() as f64);
+    }
+
+    /// The replica candidates for `sketch` in the order this client would
+    /// try them right now: affinity first, then ring order, unhealthy
+    /// shards demoted to the back.
+    pub fn candidates(&self, sketch: &str) -> Vec<usize> {
+        let mut order = Vec::new();
+        if let Some(&aff) = self.affinity.get(sketch) {
+            order.push(aff);
+        }
+        for shard in self.topology.replicas(sketch) {
+            if !order.contains(&shard) {
+                order.push(shard);
+            }
+        }
+        // Stable partition: healthy first, demoted (open breaker or
+        // gossip-degraded) behind them — still tried, never skipped.
+        let (healthy, demoted): (Vec<_>, Vec<_>) = order.into_iter().partition(|s| {
+            !self.degraded.contains(s) && !self.breakers.breaker(&s.to_string()).is_open()
+        });
+        healthy.into_iter().chain(demoted).collect()
+    }
+
+    fn conn(&mut self, shard: usize) -> std::io::Result<&mut Connection> {
+        if !self.conns.contains_key(&shard) {
+            let addr = self.topology.shards.get(shard).copied().ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    format!("no shard {shard} in topology"),
+                )
+            })?;
+            let mut conn = Connection::connect_timeout(addr, self.cfg.timeout)?;
+            if self.cfg.handshake {
+                match conn.hello() {
+                    Ok(_) => {}
+                    // A pre-handshake (v1) peer answers `ERR proto` —
+                    // that's a legal downgrade, not a failure.
+                    Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {}
+                    Err(e) => return Err(e),
+                }
+            }
+            self.conns.insert(shard, conn);
+        }
+        Ok(self.conns.get_mut(&shard).expect("just inserted"))
+    }
+
+    /// Estimates `sql` with the named sketch, failing over across its
+    /// replicas: one sweep over [`FleetClient::candidates`], dropping the
+    /// connection and moving on when a replica is dead, busy, or doesn't
+    /// hold the sketch (yet). Definitive errors — a query that won't parse
+    /// anywhere — return immediately. On success the answering shard
+    /// becomes the sketch's affinity. Returns the estimate and its
+    /// `degraded` wire flag.
+    pub fn estimate(&mut self, sketch: &str, sql: &str) -> std::io::Result<(f64, bool)> {
+        self.counters.routed.inc();
+        let candidates = self.candidates(sketch);
+        let mut last_err: Option<std::io::Error> = None;
+        for (attempt, shard) in candidates.iter().copied().enumerate() {
+            if attempt > 0 {
+                self.counters.retries.inc();
+            }
+            let breaker = self.breakers.breaker(&shard.to_string());
+            let req = Request::Estimate {
+                sketch: sketch.to_string(),
+                sql: sql.to_string(),
+            };
+            let resp = match self.conn(shard) {
+                Ok(conn) => conn.roundtrip(&req, true),
+                Err(e) => Err(e),
+            };
+            // Flatten the two success variants into (value, degraded-flag)
+            // before matching, so the flag survives the move.
+            let resp = match resp {
+                Ok(Response::Estimate(v)) => Ok(Ok((v, false))),
+                Ok(Response::Degraded(v)) => Ok(Ok((v, true))),
+                Ok(other) => Ok(Err(other)),
+                Err(e) => Err(e),
+            };
+            match resp {
+                Ok(Ok((v, degraded))) => {
+                    breaker.record_success();
+                    if attempt > 0 {
+                        self.counters.failovers.inc();
+                    }
+                    self.affinity.insert(sketch.to_string(), shard);
+                    return Ok((v, degraded));
+                }
+                Ok(Err(Response::Error { code, message })) => match code {
+                    // Replica-local conditions: another copy may answer.
+                    ErrorCode::UnknownSketch
+                    | ErrorCode::NotReady
+                    | ErrorCode::Timeout
+                    | ErrorCode::Decode
+                    | ErrorCode::Internal => {
+                        breaker.record_failure();
+                        last_err = Some(std::io::Error::new(
+                            std::io::ErrorKind::NotFound,
+                            format!("shard {shard}: {} {message}", code.as_str()),
+                        ));
+                    }
+                    // Definitive: the query itself is bad everywhere.
+                    _ => {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::InvalidInput,
+                            format!("{} {message}", code.as_str()),
+                        ));
+                    }
+                },
+                Ok(Err(Response::Busy(m))) => {
+                    // Overload, not ill health: don't trip the breaker.
+                    last_err = Some(std::io::Error::new(
+                        std::io::ErrorKind::WouldBlock,
+                        format!("shard {shard} busy: {m}"),
+                    ));
+                }
+                Ok(Err(other)) => {
+                    breaker.record_failure();
+                    self.conns.remove(&shard);
+                    last_err = Some(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("shard {shard}: unexpected {other:?}"),
+                    ));
+                }
+                Err(e) => {
+                    // Dead or wedged: drop the pooled connection so the
+                    // next attempt redials instead of reusing a corpse.
+                    breaker.record_failure();
+                    self.conns.remove(&shard);
+                    last_err = Some(e);
+                }
+            }
+        }
+        self.counters.sweep_failures.inc();
+        Err(last_err.unwrap_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                format!("no replicas for sketch '{sketch}'"),
+            )
+        }))
+    }
+
+    /// [`FleetClient::estimate`] with retry-until-deadline: sweeps are
+    /// repeated (with a short backoff) until one succeeds or `deadline`
+    /// passes — the chaos tests' "zero failed-forever requests" contract.
+    /// Definitive errors (bad query) still return immediately.
+    pub fn estimate_with_deadline(
+        &mut self,
+        sketch: &str,
+        sql: &str,
+        deadline: Instant,
+    ) -> std::io::Result<(f64, bool)> {
+        loop {
+            match self.estimate(sketch, sql) {
+                Ok(v) => return Ok(v),
+                Err(e) if e.kind() == std::io::ErrorKind::InvalidInput => return Err(e),
+                Err(e) => {
+                    if Instant::now() >= deadline {
+                        return Err(e);
+                    }
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            }
+        }
+    }
+
+    /// Closes the pooled connection to `shard` (if any). The supervisor
+    /// calls this after killing a shard so the next request redials.
+    pub fn drop_connection(&mut self, shard: usize) {
+        self.conns.remove(&shard);
+    }
+}

@@ -1,0 +1,155 @@
+//! A deterministic consistent-hash ring over shard indices.
+//!
+//! Each shard contributes `VNODES` points on a 64-bit ring, placed by
+//! FNV-1a (the same hash the `DSNP` checksum trailer uses — one hash
+//! function for the whole system). A sketch name hashes to a point; its
+//! replica set is the next R *distinct* shards clockwise. Properties the
+//! fleet relies on:
+//!
+//! * **Coordinator-free agreement** — placement depends only on the shard
+//!   count and the name, so every client and every supervisor computes the
+//!   same replica set without talking to each other.
+//! * **Stability** — growing the fleet from N to N+1 shards moves only
+//!   ~1/(N+1) of the keyspace; everything else keeps its replicas (the
+//!   classic consistent-hashing argument, tested below).
+//! * **Balance** — 64 virtual nodes per shard keep the keyspace shares
+//!   within a small factor of each other (tested below).
+
+use ds_core::snapshot::checksum;
+
+/// Virtual nodes per shard: enough to balance small fleets without making
+/// ring construction measurable.
+const VNODES: usize = 64;
+
+/// Ring point hash: FNV-1a (the workspace hash) finished with a
+/// splitmix64-style avalanche. Raw FNV keeps nearly-identical short
+/// strings ("shard-0|vnode-1" vs "shard-0|vnode-2") too close together on
+/// the ring, which wrecks both balance and the move-little-on-growth
+/// property; the finalizer diffuses every input bit across the point.
+fn ring_hash(key: &str) -> u64 {
+    let mut h = checksum(key.as_bytes());
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+/// The ring: sorted `(point, shard)` pairs.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    points: Vec<(u64, usize)>,
+    nodes: usize,
+}
+
+impl HashRing {
+    /// Builds the ring for `nodes` shards (indices `0..nodes`).
+    pub fn new(nodes: usize) -> Self {
+        let mut points = Vec::with_capacity(nodes * VNODES);
+        for node in 0..nodes {
+            for vnode in 0..VNODES {
+                let key = format!("shard-{node}|vnode-{vnode}");
+                points.push((ring_hash(&key), node));
+            }
+        }
+        points.sort_unstable();
+        Self { points, nodes }
+    }
+
+    /// Number of shards on the ring.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// The shard owning `key`'s primary copy.
+    pub fn primary(&self, key: &str) -> Option<usize> {
+        self.replicas(key, 1).first().copied()
+    }
+
+    /// The first `r` *distinct* shards clockwise from `key`'s point, in
+    /// preference order. Fewer than `r` come back only when the fleet
+    /// itself is smaller than `r`.
+    pub fn replicas(&self, key: &str, r: usize) -> Vec<usize> {
+        if self.points.is_empty() || r == 0 {
+            return Vec::new();
+        }
+        let want = r.min(self.nodes);
+        let h = ring_hash(key);
+        let start = self.points.partition_point(|&(p, _)| p < h);
+        let mut out = Vec::with_capacity(want);
+        for i in 0..self.points.len() {
+            let (_, node) = self.points[(start + i) % self.points.len()];
+            if !out.contains(&node) {
+                out.push(node);
+                if out.len() == want {
+                    break;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn replica_sets_are_deterministic_and_distinct() {
+        let ring = HashRing::new(5);
+        for key in ["imdb", "tpch", "a", "some-very-long-sketch-name"] {
+            let a = ring.replicas(key, 3);
+            let b = HashRing::new(5).replicas(key, 3);
+            assert_eq!(a, b, "two independently built rings must agree");
+            assert_eq!(a.len(), 3);
+            let mut sorted = a.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 3, "replicas must be distinct shards");
+            assert_eq!(a[0], ring.primary(key).unwrap());
+        }
+        // R capped by fleet size; degenerate inputs behave.
+        assert_eq!(ring.replicas("imdb", 99).len(), 5);
+        assert!(HashRing::new(0).replicas("imdb", 2).is_empty());
+        assert!(ring.replicas("imdb", 0).is_empty());
+    }
+
+    #[test]
+    fn keyspace_is_balanced_across_shards() {
+        let ring = HashRing::new(4);
+        let mut counts: HashMap<usize, usize> = HashMap::new();
+        for i in 0..4000 {
+            let primary = ring.primary(&format!("sketch-{i}")).unwrap();
+            *counts.entry(primary).or_default() += 1;
+        }
+        let (min, max) = (
+            counts.values().copied().min().unwrap(),
+            counts.values().copied().max().unwrap(),
+        );
+        assert_eq!(counts.len(), 4, "every shard owns part of the keyspace");
+        // With 64 vnodes the spread stays well under 2x in practice.
+        assert!(
+            max < min * 3,
+            "keyspace imbalance: min={min} max={max} ({counts:?})"
+        );
+    }
+
+    #[test]
+    fn growing_the_fleet_moves_little_of_the_keyspace() {
+        let before = HashRing::new(4);
+        let after = HashRing::new(5);
+        let total = 2000;
+        let moved = (0..total)
+            .filter(|i| {
+                let key = format!("sketch-{i}");
+                before.primary(&key) != after.primary(&key)
+            })
+            .count();
+        // Ideal is 1/5 of keys; allow slack for vnode placement noise.
+        assert!(
+            moved < total * 2 / 5,
+            "adding one shard moved {moved}/{total} primaries"
+        );
+    }
+}

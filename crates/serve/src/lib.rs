@@ -32,6 +32,12 @@
 //!   deterministic fault-injection layer ([`faults`], inert in release
 //!   builds) lets the degradation tests drive decode errors, stalled
 //!   forward passes, and poisoned models through the real serving path.
+//! * **Fleet** — a sharded, replicated tier ([`fleet`]): consistent-hash
+//!   placement of sketches across shard servers with R-way replication,
+//!   replicas bootstrapped by shipping `DSNP` snapshots over the wire
+//!   (`SNAPSHOT`/`SYNC`), gossip-fed routing in [`FleetClient`], and
+//!   automatic failover with re-replication when a replica dies. The wire
+//!   protocol is versioned (`HELLO`) so old clients keep working.
 //!
 //! ```no_run
 //! use std::sync::Arc;
@@ -58,7 +64,10 @@ pub mod batcher;
 pub mod breaker;
 pub mod cache;
 pub mod client;
+pub mod config;
+pub mod connection;
 pub mod faults;
+pub mod fleet;
 pub mod metrics;
 pub mod protocol;
 pub mod server;
@@ -67,7 +76,12 @@ pub use batcher::{Batcher, BatcherConfig, Completed, Rejection, SharedEstimator,
 pub use breaker::{Admit, BreakerConfig, BreakerRegistry, CircuitBreaker};
 pub use cache::{EstimateCache, EstimateKey};
 pub use client::{Client, InfoCard};
+pub use config::{ConfigError, ServeConfig, ServeConfigBuilder};
+pub use connection::{Connection, Handshake, SyncAck};
 pub use faults::FaultInjector;
+pub use fleet::{
+    Fleet, FleetClient, FleetClientConfig, FleetConfig, FleetTopology, HashRing, ShardHealth,
+};
 pub use metrics::{LogHistogram, Metrics, MetricsSnapshot, RequestTimeline};
 pub use protocol::{ErrorCode, Request, Response};
-pub use server::{query_template, ServeConfig, Server, TemplateInterner};
+pub use server::{query_template, Server, TemplateInterner};

@@ -3,12 +3,23 @@
 //! Requests (keywords case-insensitive, arguments case-sensitive):
 //!
 //! ```text
+//! HELLO <version> [features]   negotiate protocol version + feature flags
+//!                              (comma-separated); the answer is
+//!                              `OK HELLO <negotiated> <features>` or a
+//!                              typed `ERR version-mismatch`
 //! ESTIMATE <sketch> <sql…>     estimate one query with a named sketch
 //! FEEDBACK <sketch> <actual> <sql…>
 //!                              estimate AND record the observed true
 //!                              cardinality into the drift monitor
 //! INFO <sketch>                the sketch's summary card
 //! LIST                         every sketch and its status
+//! SNAPSHOT <sketch>            export the sketch as a hex-encoded `DSNP`
+//!                              blob: `OK SNAPSHOT <name> <gen> <len> <hex>`
+//! SYNC <name> <gen> <len> <hex>
+//!                              offer a `DSNP` blob for adoption
+//!                              (newest-wins): `OK SYNC <name> <gen>
+//!                              adopted|stale`, or `ERR decode` when the
+//!                              transfer fails checksum validation
 //! METRICS                      server counters and latency percentiles
 //! STATS                        Prometheus-style text exposition of every
 //!                              counter, gauge, and histogram (newlines
@@ -17,6 +28,16 @@
 //!                              per-stage latency decomposition
 //! QUIT                         close the connection
 //! ```
+//!
+//! ## Versioning
+//!
+//! `HELLO` is optional and backward compatible: a peer that never sends it
+//! speaks protocol v1 (every pre-fleet command works unchanged). Sending
+//! it pins the connection to `min(client, server)` and tells each side
+//! which optional features ([`SUPPORTED_FEATURES`]) the other implements,
+//! so mixed-version fleet peers negotiate instead of desyncing — an
+//! incompatible version gets a typed [`ErrorCode::VersionMismatch`]
+//! instead of silent garbling.
 //!
 //! Responses (always exactly one line, `\n`-terminated):
 //!
@@ -33,9 +54,28 @@
 use ds_core::store::StoreError;
 use ds_est::EstimateError;
 
+/// Current wire protocol version. v1 is the pre-handshake protocol
+/// (everything up to `TRACE`); v2 adds `HELLO`/`SNAPSHOT`/`SYNC`.
+pub const PROTOCOL_VERSION: u32 = 2;
+
+/// Oldest protocol version this build still speaks.
+pub const MIN_PROTOCOL_VERSION: u32 = 1;
+
+/// Optional capabilities this build implements, advertised in the `HELLO`
+/// exchange: the template-keyed estimate cache, the `degraded` response
+/// token, and the fleet verbs (`SNAPSHOT`/`SYNC`).
+pub const SUPPORTED_FEATURES: &[&str] = &["cache", "degraded-token", "fleet"];
+
 /// A parsed client request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
+    /// `HELLO <version> [features]` — negotiate version + feature flags.
+    Hello {
+        /// The sender's protocol version.
+        version: u32,
+        /// Features the sender implements (comma-separated on the wire).
+        features: Vec<String>,
+    },
     /// `ESTIMATE <sketch> <sql>` — estimate `sql` with the named sketch.
     Estimate {
         /// Sketch name in the store.
@@ -62,6 +102,25 @@ pub enum Request {
     },
     /// `LIST` — all sketches and statuses.
     List,
+    /// `SNAPSHOT <sketch>` — export the named sketch as a hex-encoded,
+    /// checksum-authenticated `DSNP` blob at its current generation.
+    Snapshot {
+        /// Sketch name in the store.
+        sketch: String,
+    },
+    /// `SYNC <name> <generation> <len> <hex>` — offer a `DSNP` blob for
+    /// newest-wins adoption. `len` is the decoded byte length, a cheap
+    /// transfer-level guard in front of the blob's own checksum trailer.
+    Sync {
+        /// Sketch name the sender claims the blob carries.
+        name: String,
+        /// Generation the sender claims the blob captures.
+        generation: u64,
+        /// Decoded byte length of the blob.
+        len: u64,
+        /// The hex-encoded `DSNP` bytes.
+        hex: String,
+    },
     /// `METRICS` — serving counters and percentiles.
     Metrics,
     /// `STATS` — full Prometheus-style exposition.
@@ -91,6 +150,9 @@ pub enum ErrorCode {
     Decode,
     /// The request exceeded its deadline.
     Timeout,
+    /// The peer's protocol version is outside this build's supported
+    /// range — negotiation failed, no fallback possible.
+    VersionMismatch,
     /// Internal estimation failure.
     Internal,
 }
@@ -107,6 +169,7 @@ impl ErrorCode {
             ErrorCode::Unroutable => "unroutable",
             ErrorCode::Decode => "decode",
             ErrorCode::Timeout => "timeout",
+            ErrorCode::VersionMismatch => "version-mismatch",
             ErrorCode::Internal => "internal",
         }
     }
@@ -122,6 +185,7 @@ impl ErrorCode {
             "unroutable" => ErrorCode::Unroutable,
             "decode" => ErrorCode::Decode,
             "timeout" => ErrorCode::Timeout,
+            "version-mismatch" => ErrorCode::VersionMismatch,
             "internal" => ErrorCode::Internal,
             _ => return None,
         })
@@ -161,6 +225,55 @@ pub fn parse_request(line: &str) -> Result<Request, Response> {
     let verb = parts.next().unwrap_or("").to_ascii_uppercase();
     let rest = parts.next().unwrap_or("").trim();
     match verb.as_str() {
+        "HELLO" => {
+            let mut args = rest.splitn(2, char::is_whitespace);
+            let version = args.next().unwrap_or("").trim();
+            let features = args.next().unwrap_or("").trim();
+            let version: u32 = version.parse().map_err(|_| Response::Error {
+                code: ErrorCode::Proto,
+                message: "usage: HELLO <version> [feature,feature,…]".to_string(),
+            })?;
+            let features = features
+                .split(',')
+                .map(str::trim)
+                .filter(|f| !f.is_empty())
+                .map(str::to_string)
+                .collect();
+            Ok(Request::Hello { version, features })
+        }
+        "SNAPSHOT" => {
+            if rest.is_empty() || rest.contains(char::is_whitespace) {
+                return Err(Response::Error {
+                    code: ErrorCode::Proto,
+                    message: "usage: SNAPSHOT <sketch>".to_string(),
+                });
+            }
+            Ok(Request::Snapshot {
+                sketch: rest.to_string(),
+            })
+        }
+        "SYNC" => {
+            let mut args = rest.splitn(4, char::is_whitespace);
+            let name = args.next().unwrap_or("").trim();
+            let generation = args.next().unwrap_or("").trim();
+            let len = args.next().unwrap_or("").trim();
+            let hex = args.next().unwrap_or("").trim();
+            let usage = || Response::Error {
+                code: ErrorCode::Proto,
+                message: "usage: SYNC <name> <generation> <len> <hex>".to_string(),
+            };
+            if name.is_empty() || hex.is_empty() {
+                return Err(usage());
+            }
+            let generation: u64 = generation.parse().map_err(|_| usage())?;
+            let len: u64 = len.parse().map_err(|_| usage())?;
+            Ok(Request::Sync {
+                name: name.to_string(),
+                generation,
+                len,
+                hex: hex.to_string(),
+            })
+        }
         "ESTIMATE" => {
             let mut args = rest.splitn(2, char::is_whitespace);
             let sketch = args.next().unwrap_or("").trim();
@@ -221,6 +334,20 @@ pub fn parse_request(line: &str) -> Result<Request, Response> {
 /// Formats a request for the wire (client side).
 pub fn format_request(req: &Request) -> String {
     match req {
+        Request::Hello { version, features } => {
+            if features.is_empty() {
+                format!("HELLO {version}")
+            } else {
+                format!("HELLO {version} {}", features.join(","))
+            }
+        }
+        Request::Snapshot { sketch } => format!("SNAPSHOT {sketch}"),
+        Request::Sync {
+            name,
+            generation,
+            len,
+            hex,
+        } => format!("SYNC {name} {generation} {len} {hex}"),
         Request::Estimate { sketch, sql } => format!("ESTIMATE {sketch} {sql}"),
         Request::Feedback {
             sketch,
@@ -332,6 +459,23 @@ mod tests {
     #[test]
     fn requests_roundtrip_through_the_wire_format() {
         let reqs = [
+            Request::Hello {
+                version: 2,
+                features: vec!["cache".into(), "fleet".into()],
+            },
+            Request::Hello {
+                version: 1,
+                features: vec![],
+            },
+            Request::Snapshot {
+                sketch: "imdb".into(),
+            },
+            Request::Sync {
+                name: "imdb".into(),
+                generation: 7,
+                len: 4,
+                hex: "deadbeef".into(),
+            },
             Request::Estimate {
                 sketch: "imdb".into(),
                 sql: "SELECT COUNT(*) FROM title WHERE title.kind_id = 1".into(),
@@ -382,6 +526,16 @@ mod tests {
             "FEEDBACK s 12",
             "FEEDBACK s not-a-number SELECT COUNT(*) FROM t",
             "FEEDBACK s -3 SELECT COUNT(*) FROM t",
+            "HELLO",
+            "HELLO two",
+            "SNAPSHOT",
+            "SNAPSHOT two names",
+            "SYNC",
+            "SYNC s",
+            "SYNC s 1",
+            "SYNC s 1 2",
+            "SYNC s one 2 abcd",
+            "SYNC s 1 two abcd",
         ] {
             match parse_request(bad) {
                 Err(Response::Error { code, .. }) => assert_eq!(code, ErrorCode::Proto, "{bad}"),
@@ -414,6 +568,14 @@ mod tests {
             message: "unknown sketch 'x'".into(),
         };
         assert_eq!(parse_response(&format_response(&err), true).unwrap(), err);
+        let mismatch = Response::Error {
+            code: ErrorCode::VersionMismatch,
+            message: "server speaks 1..=2, client sent 9".into(),
+        };
+        assert_eq!(
+            parse_response(&format_response(&mismatch), false).unwrap(),
+            mismatch
+        );
         let busy = Response::Busy("queue full".into());
         assert_eq!(parse_response(&format_response(&busy), true).unwrap(), busy);
         assert_eq!(

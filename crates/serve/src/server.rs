@@ -13,13 +13,15 @@
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use ds_core::monitor::MonitorRegistry;
-use ds_core::store::SketchStore;
+use ds_core::snapshot::{decode_hex, decode_snapshot, encode_hex};
+use ds_core::store::{AdoptOutcome, SketchStore};
 use ds_est::EstimateError;
 use ds_obs::PromText;
 use ds_query::parser::parse_query;
@@ -27,104 +29,18 @@ use ds_query::query::Query;
 use ds_storage::catalog::Database;
 
 use crate::batcher::{Batcher, BatcherConfig, Rejection, SharedEstimator, StageStamps};
-use crate::breaker::{Admit, BreakerConfig, BreakerRegistry};
+use crate::breaker::{Admit, BreakerRegistry};
 use crate::cache::EstimateCache;
+use crate::config::ServeConfig;
 use crate::faults::FaultInjector;
 use crate::metrics::{Metrics, MetricsSnapshot, RequestTimeline};
 use crate::protocol::{
     estimate_error_response, format_response, parse_request, store_error_response, ErrorCode,
-    Request, Response,
+    Request, Response, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION, SUPPORTED_FEATURES,
 };
 
 /// How often blocked reads wake up to check the shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(50);
-
-/// Server tuning knobs.
-#[derive(Clone)]
-pub struct ServeConfig {
-    /// Bind address; use port 0 to let the OS pick one.
-    pub addr: String,
-    /// Batch worker threads.
-    pub workers: usize,
-    /// Maximum queries coalesced into one forward pass. 1 disables
-    /// coalescing (useful as a baseline).
-    pub max_batch: usize,
-    /// Admission-queue bound; beyond it `ESTIMATE` sheds with `BUSY`.
-    pub queue_capacity: usize,
-    /// Per-request deadline.
-    pub request_timeout: Duration,
-    /// Concurrent-connection cap; excess connections are told `BUSY` and
-    /// closed.
-    pub max_connections: usize,
-    /// Record per-request stage timelines (parse/queue-wait/batch-wait/
-    /// forward/write histograms plus slow-request exemplars). Disabling
-    /// removes the per-request instrumentation from the hot path — the
-    /// baseline side of the traced-overhead benchmark.
-    pub timeline: bool,
-    /// Requests at least this slow end to end (line read → response
-    /// flushed) are kept as `TRACE` exemplars. Zero keeps every request.
-    pub slow_threshold: Duration,
-    /// Fallback estimator for the degradation chain. When a sketch's
-    /// circuit breaker is open (or its model is fault-poisoned), `ESTIMATE`
-    /// answers through this estimator with the `degraded` wire flag instead
-    /// of erroring. `None` disables degradation: unhealthy sketches return
-    /// their typed errors.
-    pub fallback: Option<SharedEstimator>,
-    /// Per-sketch circuit-breaker thresholds (see [`BreakerConfig`]).
-    pub breaker: BreakerConfig,
-    /// Deterministic fault plan for degradation tests. `None` in
-    /// production; even when set, faults are inert in release builds
-    /// ([`FaultInjector::armed`]).
-    pub faults: Option<Arc<FaultInjector>>,
-    /// Capacity of the template-keyed estimate cache ([`EstimateCache`]).
-    /// Healthy `ESTIMATE`/`FEEDBACK` answers are memoized by (sketch,
-    /// generation, template, literals) and served bit-identically without a
-    /// forward pass; degraded answers are never cached, and the cache is
-    /// bypassed unless the sketch's breaker is fully closed. `0` disables
-    /// caching.
-    pub cache_capacity: usize,
-}
-
-impl std::fmt::Debug for ServeConfig {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ServeConfig")
-            .field("addr", &self.addr)
-            .field("workers", &self.workers)
-            .field("max_batch", &self.max_batch)
-            .field("queue_capacity", &self.queue_capacity)
-            .field("request_timeout", &self.request_timeout)
-            .field("max_connections", &self.max_connections)
-            .field("timeline", &self.timeline)
-            .field("slow_threshold", &self.slow_threshold)
-            .field(
-                "fallback",
-                &self.fallback.as_ref().map(|e| e.name().to_string()),
-            )
-            .field("breaker", &self.breaker)
-            .field("faults", &self.faults)
-            .field("cache_capacity", &self.cache_capacity)
-            .finish()
-    }
-}
-
-impl Default for ServeConfig {
-    fn default() -> Self {
-        Self {
-            addr: "127.0.0.1:0".to_string(),
-            workers: 2,
-            max_batch: 64,
-            queue_capacity: 1024,
-            request_timeout: Duration::from_secs(2),
-            max_connections: 256,
-            timeline: true,
-            slow_threshold: Duration::from_millis(1),
-            fallback: None,
-            breaker: BreakerConfig::default(),
-            faults: None,
-            cache_capacity: 4096,
-        }
-    }
-}
 
 struct Shared {
     db: Arc<Database>,
@@ -142,6 +58,12 @@ struct Shared {
     fallback: Option<SharedEstimator>,
     faults: Option<Arc<FaultInjector>>,
     cache: Option<EstimateCache>,
+    snapshot_dir: Option<PathBuf>,
+    /// Fleet replication counters, surfaced under `serve/sync/*` in STATS.
+    snapshots_shipped: AtomicU64,
+    sync_adopted: AtomicU64,
+    sync_stale: AtomicU64,
+    sync_rejected: AtomicU64,
 }
 
 /// A running sketch server. Dropping it shuts it down.
@@ -191,6 +113,11 @@ impl Server {
             fallback: cfg.fallback,
             faults: cfg.faults,
             cache: (cfg.cache_capacity > 0).then(|| EstimateCache::new(cfg.cache_capacity, 8)),
+            snapshot_dir: cfg.snapshot_dir,
+            snapshots_shipped: AtomicU64::new(0),
+            sync_adopted: AtomicU64::new(0),
+            sync_stale: AtomicU64::new(0),
+            sync_rejected: AtomicU64::new(0),
         });
         let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let acceptor = {
@@ -534,6 +461,18 @@ fn handle_line(
         }
     };
     match request {
+        Request::Hello { version, .. } => (handle_hello(version, shared), false, None),
+        Request::Snapshot { sketch } => (handle_snapshot(&sketch, shared), false, None),
+        Request::Sync {
+            name,
+            generation,
+            len,
+            hex,
+        } => (
+            handle_sync(&name, generation, len, &hex, shared),
+            false,
+            None,
+        ),
         Request::Estimate { sketch, sql } => {
             let (resp, pending) = handle_estimate(&sketch, &sql, None, shared, t0);
             (resp, false, pending)
@@ -576,6 +515,134 @@ fn handle_line(
         Request::Stats => (Response::Text(stats_payload(shared)), false, None),
         Request::Trace => (Response::Text(trace_payload(shared)), false, None),
         Request::Quit => (Response::Bye, true, None),
+    }
+}
+
+/// Negotiates the protocol version: the spoken version is the minimum of
+/// the client's and the server's, provided the client is at least at
+/// [`MIN_PROTOCOL_VERSION`]. The response advertises the server's feature
+/// flags so the client can discover capabilities (`cache`,
+/// `degraded-token`, `fleet`) instead of probing. A client that never
+/// sends `HELLO` keeps speaking v1 unchanged.
+fn handle_hello(version: u32, shared: &Shared) -> Response {
+    if version < MIN_PROTOCOL_VERSION {
+        shared.metrics.record_error();
+        return Response::Error {
+            code: ErrorCode::VersionMismatch,
+            message: format!(
+                "server speaks {MIN_PROTOCOL_VERSION}..={PROTOCOL_VERSION}, client sent {version}"
+            ),
+        };
+    }
+    let negotiated = version.min(PROTOCOL_VERSION);
+    Response::Text(format!(
+        "HELLO {negotiated} {}",
+        SUPPORTED_FEATURES.join(",")
+    ))
+}
+
+/// Ships the named sketch as a hex-encoded DSNP blob. The bytes are
+/// exactly what [`SketchStore::save_snapshot`] would write to disk —
+/// generation-keyed and checksum-trailed — so a replica adopting them gets
+/// a bit-identical model.
+fn handle_snapshot(sketch: &str, shared: &Shared) -> Response {
+    match shared.store.export_snapshot(sketch, Some(&shared.monitors)) {
+        Ok((bytes, generation)) => {
+            shared.snapshots_shipped.fetch_add(1, Ordering::Relaxed);
+            Response::Text(format!(
+                "SNAPSHOT {sketch} {generation} {} {}",
+                bytes.len(),
+                encode_hex(&bytes)
+            ))
+        }
+        Err(e) => {
+            shared.metrics.record_error();
+            store_error_response(&e)
+        }
+    }
+}
+
+/// Adopts a shipped DSNP blob into this shard's store, newest generation
+/// wins. Every corruption path — bad hex, length mismatch, checksum/decode
+/// failure, or a header that contradicts the announced name/generation —
+/// is rejected with a typed `ERR decode` and the raw bytes are quarantined
+/// under `<snapshot_dir>/quarantine/` for post-mortems; a corrupt transfer
+/// is never adopted.
+fn handle_sync(name: &str, generation: u64, len: u64, hex: &str, shared: &Shared) -> Response {
+    let reject = |message: String, bytes: Option<&[u8]>, shared: &Shared| -> Response {
+        shared.sync_rejected.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.record_error();
+        if let Some(bytes) = bytes {
+            quarantine_sync(bytes, shared);
+        }
+        Response::Error {
+            code: ErrorCode::Decode,
+            message,
+        }
+    };
+    let bytes = match decode_hex(hex) {
+        Some(b) => b,
+        None => {
+            return reject(
+                format!("SYNC {name}: payload is not valid hex"),
+                None,
+                shared,
+            )
+        }
+    };
+    if bytes.len() as u64 != len {
+        return reject(
+            format!("SYNC {name}: announced {len} bytes, got {}", bytes.len()),
+            Some(&bytes),
+            shared,
+        );
+    }
+    let snap = match decode_snapshot(&bytes) {
+        Ok(s) => s,
+        Err(e) => return reject(format!("SYNC {name}: {e}"), Some(&bytes), shared),
+    };
+    if snap.name != name || snap.generation != generation {
+        return reject(
+            format!(
+                "SYNC {name}@{generation}: blob is {}@{}",
+                snap.name, snap.generation
+            ),
+            Some(&bytes),
+            shared,
+        );
+    }
+    match shared.store.adopt_snapshot(snap, Some(&shared.monitors)) {
+        Ok(AdoptOutcome::Adopted { generation }) => {
+            shared.sync_adopted.fetch_add(1, Ordering::Relaxed);
+            Response::Text(format!("SYNC {name} {generation} adopted"))
+        }
+        Ok(AdoptOutcome::Stale { current, .. }) => {
+            shared.sync_stale.fetch_add(1, Ordering::Relaxed);
+            Response::Text(format!("SYNC {name} {current} stale"))
+        }
+        Err(e) => {
+            shared.sync_rejected.fetch_add(1, Ordering::Relaxed);
+            quarantine_sync(&bytes, shared);
+            shared.metrics.record_error();
+            store_error_response(&e)
+        }
+    }
+}
+
+/// Preserves a rejected `SYNC` payload under `<snapshot_dir>/quarantine/`
+/// (best effort, same policy as [`SketchStore::open_dir`] uses for corrupt
+/// files found on disk). No-op when the server runs without a snapshot
+/// directory.
+fn quarantine_sync(bytes: &[u8], shared: &Shared) {
+    let Some(dir) = shared.snapshot_dir.as_ref() else {
+        return;
+    };
+    let seq = shared.sync_rejected.load(Ordering::Relaxed);
+    let qdir = dir.join("quarantine");
+    if std::fs::create_dir_all(&qdir).is_ok()
+        && std::fs::write(qdir.join(format!("sync-reject-{seq}.dsnp")), bytes).is_ok()
+    {
+        ds_obs::global().count("serve/sync/quarantined", 1);
     }
 }
 
@@ -844,6 +911,22 @@ fn stats_payload(shared: &Shared) -> String {
             .counter("serve/cache/invalidations", c.invalidations())
             .gauge("serve/cache/len", c.len() as f64);
     }
+    p.counter(
+        "serve/snapshots_shipped",
+        shared.snapshots_shipped.load(Ordering::Relaxed),
+    )
+    .counter(
+        "serve/sync/adopted",
+        shared.sync_adopted.load(Ordering::Relaxed),
+    )
+    .counter(
+        "serve/sync/stale",
+        shared.sync_stale.load(Ordering::Relaxed),
+    )
+    .counter(
+        "serve/sync/rejected",
+        shared.sync_rejected.load(Ordering::Relaxed),
+    );
     p.counter("serve/expired_jobs", shared.batcher.expired_jobs())
         .gauge("serve/queue_len", shared.batcher.queue_len() as f64)
         .gauge(

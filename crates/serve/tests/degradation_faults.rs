@@ -62,11 +62,11 @@ fn healthy_wire_responses_are_byte_identical_with_degradation_configured() {
     let server = Server::start(
         Arc::clone(&db),
         store,
-        ServeConfig {
-            fallback: Some(fallback),
-            request_timeout: Duration::from_secs(30),
-            ..ServeConfig::default()
-        },
+        ServeConfig::builder()
+            .fallback(Some(fallback))
+            .request_timeout(Duration::from_secs(30))
+            .build()
+            .unwrap(),
     )
     .unwrap();
     let mut c = Client::connect_timeout(server.local_addr(), Duration::from_secs(30)).unwrap();
@@ -101,16 +101,16 @@ mod faulted {
         let server = Server::start(
             Arc::clone(&db),
             store,
-            ServeConfig {
-                fallback: Some(Arc::new(fallback_est)),
-                breaker: BreakerConfig {
+            ServeConfig::builder()
+                .fallback(Some(Arc::new(fallback_est)))
+                .breaker(BreakerConfig {
                     failure_threshold: 3,
                     cooldown: Duration::from_millis(100),
-                },
-                faults: Some(Arc::clone(&faults)),
-                request_timeout: Duration::from_secs(30),
-                ..ServeConfig::default()
-            },
+                })
+                .faults(Some(Arc::clone(&faults)))
+                .request_timeout(Duration::from_secs(30))
+                .build()
+                .unwrap(),
         )
         .unwrap();
         let mut c = Client::connect_timeout(server.local_addr(), Duration::from_secs(30)).unwrap();
@@ -166,15 +166,15 @@ mod faulted {
         let server = Server::start(
             db,
             store,
-            ServeConfig {
-                breaker: BreakerConfig {
+            ServeConfig::builder()
+                .breaker(BreakerConfig {
                     failure_threshold: 2,
                     cooldown: Duration::from_secs(300),
-                },
-                faults: Some(Arc::clone(&faults)),
-                request_timeout: Duration::from_secs(30),
-                ..ServeConfig::default()
-            },
+                })
+                .faults(Some(Arc::clone(&faults)))
+                .request_timeout(Duration::from_secs(30))
+                .build()
+                .unwrap(),
         )
         .unwrap();
         let mut c = Client::connect_timeout(server.local_addr(), Duration::from_secs(30)).unwrap();
@@ -236,16 +236,16 @@ mod faulted {
         let server = Server::start(
             Arc::clone(&db),
             store,
-            ServeConfig {
-                fallback: Some(fallback),
-                breaker: BreakerConfig {
+            ServeConfig::builder()
+                .fallback(Some(fallback))
+                .breaker(BreakerConfig {
                     failure_threshold: 100, // keep the breaker out of this test
                     cooldown: Duration::from_secs(300),
-                },
-                faults: Some(Arc::clone(&faults)),
-                request_timeout: Duration::from_millis(50),
-                ..ServeConfig::default()
-            },
+                })
+                .faults(Some(Arc::clone(&faults)))
+                .request_timeout(Duration::from_millis(50))
+                .build()
+                .unwrap(),
         )
         .unwrap();
         let mut c = Client::connect_timeout(server.local_addr(), Duration::from_secs(30)).unwrap();

@@ -63,10 +63,10 @@ fn cache_hit_returns_bit_identical_wire_bytes() {
     let server = Server::start(
         Arc::clone(&db),
         store,
-        ServeConfig {
-            request_timeout: Duration::from_secs(30),
-            ..ServeConfig::default()
-        },
+        ServeConfig::builder()
+            .request_timeout(Duration::from_secs(30))
+            .build()
+            .unwrap(),
     )
     .unwrap();
     let mut c = Client::connect_timeout(server.local_addr(), Duration::from_secs(30)).unwrap();
@@ -95,11 +95,11 @@ fn zero_capacity_disables_the_cache() {
     let server = Server::start(
         Arc::clone(&db),
         store,
-        ServeConfig {
-            cache_capacity: 0,
-            request_timeout: Duration::from_secs(30),
-            ..ServeConfig::default()
-        },
+        ServeConfig::builder()
+            .cache_capacity(0)
+            .request_timeout(Duration::from_secs(30))
+            .build()
+            .unwrap(),
     )
     .unwrap();
     let mut c = Client::connect_timeout(server.local_addr(), Duration::from_secs(30)).unwrap();
@@ -136,10 +136,10 @@ fn swap_invalidates_stale_generations() {
     let server = Server::start(
         Arc::clone(&db),
         Arc::clone(&store),
-        ServeConfig {
-            request_timeout: Duration::from_secs(30),
-            ..ServeConfig::default()
-        },
+        ServeConfig::builder()
+            .request_timeout(Duration::from_secs(30))
+            .build()
+            .unwrap(),
     )
     .unwrap();
     let mut c = Client::connect_timeout(server.local_addr(), Duration::from_secs(30)).unwrap();
@@ -187,10 +187,10 @@ fn feedback_drift_purges_the_template() {
     let server = Server::start(
         Arc::clone(&db),
         store,
-        ServeConfig {
-            request_timeout: Duration::from_secs(30),
-            ..ServeConfig::default()
-        },
+        ServeConfig::builder()
+            .request_timeout(Duration::from_secs(30))
+            .build()
+            .unwrap(),
     )
     .unwrap();
     let mut c = Client::connect_timeout(server.local_addr(), Duration::from_secs(30)).unwrap();
@@ -232,18 +232,18 @@ mod faulted {
         let server = Server::start(
             Arc::clone(&db),
             store,
-            ServeConfig {
-                fallback: Some(Arc::new(fallback_est) as SharedEstimator),
-                breaker: BreakerConfig {
+            ServeConfig::builder()
+                .fallback(Some(Arc::new(fallback_est) as SharedEstimator))
+                .breaker(BreakerConfig {
                     // Keep the breaker closed throughout: this test pins the
                     // cache's own behavior under faults, not the breaker's.
                     failure_threshold: 100,
                     cooldown: Duration::from_secs(300),
-                },
-                faults: Some(Arc::clone(&faults)),
-                request_timeout: Duration::from_secs(30),
-                ..ServeConfig::default()
-            },
+                })
+                .faults(Some(Arc::clone(&faults)))
+                .request_timeout(Duration::from_secs(30))
+                .build()
+                .unwrap(),
         )
         .unwrap();
         let mut c = Client::connect_timeout(server.local_addr(), Duration::from_secs(30)).unwrap();

@@ -55,12 +55,12 @@ fn concurrent_coalesced_estimates_match_estimate_one() {
     let server = Server::start(
         Arc::clone(&db),
         Arc::clone(&store),
-        ServeConfig {
-            workers: 4,
-            max_batch: 32,
-            request_timeout: Duration::from_secs(30),
-            ..ServeConfig::default()
-        },
+        ServeConfig::builder()
+            .workers(4)
+            .max_batch(32)
+            .request_timeout(Duration::from_secs(30))
+            .build()
+            .unwrap(),
     )
     .unwrap();
     let addr = server.local_addr();
@@ -169,10 +169,10 @@ fn zero_deadline_requests_time_out_cleanly() {
     let server = Server::start(
         db,
         store,
-        ServeConfig {
-            request_timeout: Duration::from_nanos(1),
-            ..ServeConfig::default()
-        },
+        ServeConfig::builder()
+            .request_timeout(Duration::from_nanos(1))
+            .build()
+            .unwrap(),
     )
     .unwrap();
     let mut c = Client::connect_timeout(server.local_addr(), Duration::from_secs(10)).unwrap();
@@ -193,10 +193,7 @@ fn connection_cap_sheds_with_busy() {
     let server = Server::start(
         db,
         store,
-        ServeConfig {
-            max_connections: 2,
-            ..ServeConfig::default()
-        },
+        ServeConfig::builder().max_connections(2).build().unwrap(),
     )
     .unwrap();
     let addr = server.local_addr();
@@ -271,12 +268,12 @@ fn stats_trace_and_feedback_expose_the_request_timeline() {
     let server = Server::start(
         Arc::clone(&db),
         Arc::clone(&store),
-        ServeConfig {
-            request_timeout: Duration::from_secs(30),
+        ServeConfig::builder()
+            .request_timeout(Duration::from_secs(30))
             // Keep every request as a TRACE exemplar.
-            slow_threshold: Duration::ZERO,
-            ..ServeConfig::default()
-        },
+            .slow_threshold(Duration::ZERO)
+            .build()
+            .unwrap(),
     )
     .unwrap();
     let mut c = Client::connect_timeout(server.local_addr(), Duration::from_secs(30)).unwrap();
@@ -361,11 +358,11 @@ fn timeline_off_serves_identically_but_records_no_stages() {
     let server = Server::start(
         db,
         store,
-        ServeConfig {
-            timeline: false,
-            request_timeout: Duration::from_secs(30),
-            ..ServeConfig::default()
-        },
+        ServeConfig::builder()
+            .timeline(false)
+            .request_timeout(Duration::from_secs(30))
+            .build()
+            .unwrap(),
     )
     .unwrap();
     let mut c = Client::connect_timeout(server.local_addr(), Duration::from_secs(30)).unwrap();
@@ -427,10 +424,10 @@ fn injected_drift_fires_and_stationary_feedback_stays_silent() {
     let server = Server::start(
         Arc::clone(&db),
         Arc::clone(&store),
-        ServeConfig {
-            request_timeout: Duration::from_secs(30),
-            ..ServeConfig::default()
-        },
+        ServeConfig::builder()
+            .request_timeout(Duration::from_secs(30))
+            .build()
+            .unwrap(),
     )
     .unwrap();
     let monitors = server.monitors();
@@ -497,12 +494,12 @@ fn estimates_stay_version_consistent_under_store_churn() {
     let server = Server::start(
         Arc::clone(&db),
         Arc::clone(&store),
-        ServeConfig {
-            workers: 2,
-            max_batch: 16,
-            request_timeout: Duration::from_secs(30),
-            ..ServeConfig::default()
-        },
+        ServeConfig::builder()
+            .workers(2)
+            .max_batch(16)
+            .request_timeout(Duration::from_secs(30))
+            .build()
+            .unwrap(),
     )
     .unwrap();
     let addr = server.local_addr();
@@ -560,11 +557,11 @@ fn shutdown_drains_in_flight_work() {
     let server = Server::start(
         db,
         store,
-        ServeConfig {
-            workers: 1,
-            request_timeout: Duration::from_secs(30),
-            ..ServeConfig::default()
-        },
+        ServeConfig::builder()
+            .workers(1)
+            .request_timeout(Duration::from_secs(30))
+            .build()
+            .unwrap(),
     )
     .unwrap();
     let addr = server.local_addr();

@@ -64,14 +64,14 @@ fn main() {
     let server = Server::start(
         Arc::clone(&db),
         Arc::clone(&store),
-        ServeConfig {
-            workers: 4,
-            request_timeout: Duration::from_secs(30),
+        ServeConfig::builder()
+            .workers(4)
+            .request_timeout(Duration::from_secs(30))
             // Keep a timeline exemplar for every request so the TRACE
             // check below always has something to decompose.
-            slow_threshold: Duration::ZERO,
-            ..ServeConfig::default()
-        },
+            .slow_threshold(Duration::ZERO)
+            .build()
+            .expect("valid demo config"),
     )
     .expect("bind server");
     let addr = server.local_addr();
