@@ -1,7 +1,7 @@
 //! `bench_harness` — the pinned quick-mode benchmark suite behind the CI
 //! `bench-smoke` gate.
 //!
-//! Runs five stages sized to finish in a couple of minutes on one core:
+//! Runs six stages sized to finish in a couple of minutes on one core:
 //!
 //! 1. **kernels** — tiled/threaded matmul vs the reference kernel at the
 //!    MSCN-critical shapes (same shapes as the full `nn_kernels` bench);
@@ -18,7 +18,12 @@
 //!    the gate is meaningful on a 1-core host), plus an open-loop chaos
 //!    run that SIGKILLs a replica mid-traffic, restarts it, heals, and
 //!    gates on **zero failed-forever requests** and **zero lost sketch
-//!    generations**.
+//!    generations**;
+//! 6. **lifecycle** — the retrain-and-hot-swap machinery's serving-path
+//!    cost: the generation-keyed store swap expressed as a fraction of one
+//!    request's CPU budget, and the shadow-mirror work (`shadowing` check,
+//!    query clone, job enqueue) microbenchmarked against the same budget —
+//!    gated under the issue's 2% serve-throughput allowance.
 //!
 //! The run is written to `target/BENCH_quick.latest.json` and diffed
 //! against the committed baseline `BENCH_quick.json`:
@@ -287,7 +292,7 @@ fn stage_kernels(report: &mut BenchReport) {
         ("head_384x256_x1", 384, 256, 1, false),
     ];
     println!(
-        "\n[1/5] matmul kernels ({} shapes, 25 iters):",
+        "\n[1/6] matmul kernels ({} shapes, 25 iters):",
         shapes.len()
     );
     for (name, m, k, n, gated) in shapes {
@@ -323,7 +328,7 @@ fn stage_kernels(report: &mut BenchReport) {
 /// at any thread count, so the validation q-error is an exact, portable
 /// quality gate; wall-clock numbers ride along as local metrics.
 fn stage_training(report: &mut BenchReport) -> (Arc<Database>, Arc<SketchStore>) {
-    println!("\n[2/5] mini fig1a build (800 queries, 3 epochs):");
+    println!("\n[2/6] mini fig1a build (800 queries, 3 epochs):");
     let db = Arc::new(imdb_database(&ImdbConfig {
         movies: 2_000,
         keywords: 1_000,
@@ -374,7 +379,7 @@ fn stage_training(report: &mut BenchReport) -> (Arc<Database>, Arc<SketchStore>)
 /// The fused path must stay bit-identical to the reference — asserted here
 /// on the live workload before timing.
 fn stage_inference(report: &mut BenchReport, db: &Arc<Database>, store: &Arc<SketchStore>) {
-    println!("\n[3/5] frozen inference (fused featurize-and-forward):");
+    println!("\n[3/6] frozen inference (fused featurize-and-forward):");
     let frozen = store.get("imdb").expect("sketch");
     assert!(
         frozen.frozen().is_some(),
@@ -488,9 +493,9 @@ fn run_fleet(
 /// still runs end to end (proving the traced path under concurrency) and
 /// records its wall clock as a local metric; `serve_throughput` reports
 /// the honest end-to-end overhead into `BENCH_serve.json`.
-fn stage_serving(report: &mut BenchReport, db: &Arc<Database>, store: &Arc<SketchStore>) {
+fn stage_serving(report: &mut BenchReport, db: &Arc<Database>, store: &Arc<SketchStore>) -> f64 {
     let total = CLIENTS * QUERIES_PER_CLIENT;
-    println!("\n[4/5] serving fleet ({CLIENTS} clients x {QUERIES_PER_CLIENT} queries):");
+    println!("\n[4/6] serving fleet ({CLIENTS} clients x {QUERIES_PER_CLIENT} queries):");
     // The coalescing and overhead fleets disable the estimate cache: they
     // measure the forward-pass path, and the 6-template workload would
     // otherwise be answered almost entirely from memory.
@@ -559,6 +564,7 @@ fn stage_serving(report: &mut BenchReport, db: &Arc<Database>, store: &Arc<Sketc
         overhead_pct,
         false,
     ));
+    request_cpu_us
 }
 
 /// Times one request's worth of timeline instrumentation — the exact extra
@@ -682,7 +688,7 @@ fn run_fleet_closed_loop(fleet: &Fleet) -> f64 {
 ///   window by construction).
 fn stage_fleet(report: &mut BenchReport, db: &Arc<Database>, store: &Arc<SketchStore>) {
     println!(
-        "\n[5/5] sharded fleet ({FLEET_SHARDS} shards, R={FLEET_REPLICATION}, \
+        "\n[5/6] sharded fleet ({FLEET_SHARDS} shards, R={FLEET_REPLICATION}, \
          {FLEET_CLIENTS} clients x {FLEET_QUERIES_PER_CLIENT} queries):"
     );
     let sketch = store.get("imdb").expect("stage-2 sketch");
@@ -810,6 +816,123 @@ fn stage_fleet(report: &mut BenchReport, db: &Arc<Database>, store: &Arc<SketchS
     report.push(Metric::local("fleet/chaos_p99_ms", p99_ms, false));
 }
 
+/// Stage 6: the lifecycle machinery's cost on the serving path. Two
+/// measurements, both expressed against the coalesced per-request CPU
+/// budget from stage 4 so the gated numbers are dimensionless:
+///
+/// * **Swap latency** — the generation-keyed [`SketchStore::swap`] is an
+///   RCU-style pointer publish; no in-flight request ever blocks on it,
+///   but it sits on the daemon's promote path and must stay trivially
+///   cheap. Timed in a tight loop over a prebuilt candidate `Arc`, gated
+///   as a fraction of one request's CPU budget (the absolute µs records
+///   for same-machine diffs).
+/// * **Shadow-mirror overhead** — the exact per-request work `ESTIMATE`
+///   pays while a candidate shadows: the `shadowing` check (lock + phase
+///   probe on the armed path), the query clone, and the job enqueue onto
+///   the bounded channel a draining thread empties (full queue drops the
+///   mirror, exactly like the server). Gated under the issue's 2%
+///   serve-throughput budget — and asserted in-stage, so even a
+///   baseline-free run fails loudly if mirroring gets expensive.
+///
+/// Both gated numbers sit at the tens-of-nanoseconds scale and jitter
+/// ±2x run to run on a shared host, so (like `serve/traced_overhead_pct`)
+/// the committed baselines pin the *budgets* — 2% for the mirror, 1% of a
+/// request's CPU for the swap — not a measured value: CI trips only when
+/// a change actually approaches the allowance, never on scheduler noise.
+fn stage_lifecycle(
+    report: &mut BenchReport,
+    db: &Arc<Database>,
+    store: &Arc<SketchStore>,
+    request_cpu_us: f64,
+) {
+    use ds_core::lifecycle::{LifecycleConfig, LifecycleManager};
+    use ds_query::query::Query;
+
+    println!("\n[6/6] lifecycle (hot-swap latency, shadow-mirror overhead):");
+    let sketch = store.get("imdb").expect("stage-2 sketch");
+
+    // Swap latency: identical weights keep every later consumer of the
+    // store unaffected; only the generation counter moves.
+    let candidate = Arc::new((*sketch).clone());
+    let swap_iters = 256usize;
+    let swap_secs = min_secs(5, || {
+        for _ in 0..swap_iters {
+            store
+                .swap("imdb", Arc::clone(&candidate))
+                .expect("bench swap");
+        }
+    });
+    let swap_us = swap_secs * 1e6 / swap_iters as f64;
+    let swap_latency = swap_us / request_cpu_us;
+    println!(
+        "  hot swap {swap_us:>8.3} µs = {:.4}x of one request's {request_cpu_us:.0} µs CPU budget",
+        swap_latency
+    );
+
+    // Shadow-mirror overhead: arm a real manager into the Shadow phase so
+    // `shadowing` takes the expensive path, then run the mirror work the
+    // server adds per ESTIMATE while a candidate scores.
+    let manager = LifecycleManager::new(LifecycleConfig::default()).expect("lifecycle config");
+    manager.install_candidate(store, "imdb", (*sketch).clone());
+    assert!(
+        manager.shadowing("imdb"),
+        "candidate install must arm the shadow phase"
+    );
+    let queries: Vec<_> = WORKLOAD
+        .iter()
+        .map(|sql| parse_query(db, sql).expect("parse workload"))
+        .collect();
+    let (tx, rx) = std::sync::mpsc::sync_channel::<(String, Query, f64, Option<u64>)>(1024);
+    let drain = std::thread::spawn(move || {
+        let mut drained = 0u64;
+        while rx.recv().is_ok() {
+            drained += 1;
+        }
+        drained
+    });
+    let mirror_iters = 20_000usize;
+    let mirror_secs = min_secs(5, || {
+        for i in 0..mirror_iters {
+            let q = &queries[i % queries.len()];
+            if manager.shadowing("imdb") {
+                let _ = tx.try_send(("imdb".to_string(), q.clone(), 1234.5, None));
+            }
+        }
+    });
+    drop(tx);
+    let drained = drain.join().expect("drain thread");
+    assert!(drained > 0, "the mirror queue must have seen traffic");
+    let mirror_us = mirror_secs * 1e6 / mirror_iters as f64;
+    let shadow_overhead_pct = mirror_us / request_cpu_us * 100.0;
+    println!(
+        "  shadow mirror {:>6.0} ns/req of {request_cpu_us:.0} µs/req \
+         -> overhead {shadow_overhead_pct:.3}% (budget < 2%)",
+        mirror_us * 1e3
+    );
+    assert!(
+        shadow_overhead_pct < 2.0,
+        "shadow mirroring must cost under 2% of serve throughput \
+         (measured {shadow_overhead_pct:.3}%)"
+    );
+
+    report.push(Metric::portable(
+        "lifecycle/swap_latency",
+        swap_latency,
+        false,
+    ));
+    report.push(Metric::local("lifecycle/swap_latency_us", swap_us, false));
+    report.push(Metric::portable(
+        "lifecycle/shadow_overhead_pct",
+        shadow_overhead_pct,
+        false,
+    ));
+    report.push(Metric::local(
+        "lifecycle/mirror_ns_per_request",
+        mirror_us * 1e3,
+        false,
+    ));
+}
+
 fn main() -> ExitCode {
     let opts = parse_args();
     banner(
@@ -825,8 +948,9 @@ fn main() -> ExitCode {
     stage_kernels(&mut current);
     let (db, store) = stage_training(&mut current);
     stage_inference(&mut current, &db, &store);
-    stage_serving(&mut current, &db, &store);
+    let request_cpu_us = stage_serving(&mut current, &db, &store);
     stage_fleet(&mut current, &db, &store);
+    stage_lifecycle(&mut current, &db, &store, request_cpu_us);
 
     if opts.trace {
         let obs = ds_obs::global();

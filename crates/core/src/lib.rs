@@ -19,12 +19,16 @@
 //! * [`metrics`] — q-error percentile summaries (Table 1).
 //! * [`monitor`] — online q-error monitoring from production feedback,
 //!   feeding the accuracy-drift detector in [`maintain`].
+//! * [`lifecycle`] — the closed loop on top of the advisor: harvest
+//!   graded queries, retrain off the hot path, shadow-score, hot-swap
+//!   with snapshot-first rollback.
 
 pub mod advisor;
 pub mod builder;
 pub mod featurize;
 pub mod flat;
 pub mod fleet;
+pub mod lifecycle;
 pub mod maintain;
 pub mod metrics;
 pub mod monitor;
@@ -42,6 +46,10 @@ pub use builder::{BuildProgress, BuildReport, SketchBuilder};
 pub use featurize::{FeatureBatch, Featurizer, QueryFeatures, QueryIndexFeatures};
 pub use flat::{FlatFeaturizer, FlatModel};
 pub use fleet::{Route, SketchFleet};
+pub use lifecycle::{
+    HarvestEntry, HarvestSet, LifecycleConfig, LifecycleCounters, LifecycleEvent, LifecycleManager,
+    LifecyclePhase, LifecycleStatus,
+};
 pub use maintain::{
     accuracy_drift, detect_drift, refresh_samples, AccuracyDrift, DriftReport, DEFAULT_DRIFT_RATIO,
     DEFAULT_MIN_SAMPLES,
@@ -53,6 +61,6 @@ pub use sketch::{DeepSketch, SketchInfo, FREEZE_GATE_MAX_DELTA};
 
 pub use ds_nn::frozen::QuantMode;
 pub use snapshot::{SketchSnapshot, SnapshotError, WriteFault};
-pub use store::{RecoveryReport, SketchStatus, SketchStore, StoreError, StoreHandle};
+pub use store::{RecoveryReport, SketchStatus, SketchStore, StoreError, StoreHandle, SwapOutcome};
 pub use template::{QueryTemplate, TemplateInstance, ValueFn};
 pub use train::{LossKind, TrainConfig, TrainingReport};

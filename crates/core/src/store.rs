@@ -139,6 +139,19 @@ pub struct RecoveryReport {
     pub removed_temps: Vec<PathBuf>,
 }
 
+/// What [`SketchStore::swap`] displaced: the previous model (kept alive by
+/// its `Arc`, so in-flight estimates and a later rollback both keep
+/// working) and the generations on either side of the swap.
+#[derive(Debug, Clone)]
+pub struct SwapOutcome {
+    /// The model that was serving until this swap.
+    pub previous: Arc<DeepSketch>,
+    /// The generation the previous model served under.
+    pub previous_generation: u64,
+    /// The fresh generation the replacement now serves under.
+    pub generation: u64,
+}
+
 /// What [`SketchStore::adopt_snapshot`] decided about an offered snapshot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AdoptOutcome {
@@ -255,6 +268,58 @@ impl SketchStore {
             .collect();
         out.sort_by(|a, b| a.0.cmp(&b.0));
         out
+    }
+
+    /// Reserves a fresh, never-served generation from the store's counter
+    /// without publishing anything under it. The lifecycle tier keys
+    /// shadow-scoring batches on a reserved generation so mirrored
+    /// candidate traffic can never coalesce with live traffic (the batcher
+    /// only merges jobs that share a key).
+    pub fn reserve_generation(&self) -> u64 {
+        self.next_generation()
+    }
+
+    /// Atomically replaces the ready model under `name` with `sketch`,
+    /// assigning a fresh generation — the hot-swap primitive behind the
+    /// retrain lifecycle. Requests already holding the old `Arc` finish
+    /// against the old model; every later lookup sees the new one. The
+    /// generation bump invalidates generation-keyed consumers (estimate
+    /// cache, request coalescer) exactly like a background-training swap.
+    /// Rolling back is just another `swap` with [`SwapOutcome::previous`]:
+    /// the restored model serves under a *newer* generation, never a
+    /// recycled one.
+    pub fn swap(&self, name: &str, sketch: Arc<DeepSketch>) -> Result<SwapOutcome, StoreError> {
+        let mut slots = self.slots.write();
+        match slots.get_mut(name) {
+            None => Err(StoreError::UnknownSketch(name.to_string())),
+            Some(Slot::Ready {
+                sketch: slot_sketch,
+                report,
+                generation,
+            }) => {
+                let next = self.next_generation();
+                let previous = std::mem::replace(slot_sketch, sketch);
+                let previous_generation = *generation;
+                *generation = next;
+                // The displaced model's build report no longer describes
+                // what serves.
+                *report = None;
+                ds_obs::global().count("store/hot_swaps", 1);
+                Ok(SwapOutcome {
+                    previous,
+                    previous_generation,
+                    generation: next,
+                })
+            }
+            Some(Slot::Training { .. }) => Err(StoreError::NotReady(
+                name.to_string(),
+                SketchStatus::Training,
+            )),
+            Some(Slot::Failed(e)) => Err(StoreError::NotReady(
+                name.to_string(),
+                SketchStatus::Failed(e.clone()),
+            )),
+        }
     }
 
     /// Status of one sketch.
@@ -787,6 +852,68 @@ mod tests {
             store.estimate("nope", &q),
             Err(StoreError::UnknownSketch(_))
         ));
+    }
+
+    #[test]
+    fn swap_replaces_the_ready_model_under_a_fresh_generation() {
+        let db = imdb_database(&ImdbConfig::tiny(31));
+        let store = SketchStore::new();
+        store.insert("imdb", tiny_sketch(&db, 11)).unwrap();
+        let (old, old_gen) = store.get_with_generation("imdb").unwrap();
+        let q = parse_query(&db, "SELECT COUNT(*) FROM title WHERE title.kind_id = 1").unwrap();
+        let old_estimate = old.estimate_one(&q);
+
+        let replacement = Arc::new(tiny_sketch(&db, 12));
+        let new_estimate = replacement.estimate_one(&q);
+        let outcome = store.swap("imdb", Arc::clone(&replacement)).unwrap();
+        assert_eq!(outcome.previous_generation, old_gen);
+        assert!(
+            outcome.generation > old_gen,
+            "swap must advance the generation"
+        );
+        assert!(
+            Arc::ptr_eq(&outcome.previous, &old),
+            "swap must hand back the displaced model"
+        );
+        assert_eq!(store.generation("imdb"), Some(outcome.generation));
+        assert_eq!(
+            store.estimate("imdb", &q).unwrap().to_bits(),
+            new_estimate.to_bits()
+        );
+        // The displaced Arc still answers — in-flight requests finish
+        // against the old model.
+        assert_eq!(
+            outcome.previous.estimate_one(&q).to_bits(),
+            old_estimate.to_bits()
+        );
+
+        // Rollback is just another swap; it gets a *newer* generation.
+        let rolled = store.swap("imdb", outcome.previous).unwrap();
+        assert!(rolled.generation > outcome.generation);
+        assert_eq!(
+            store.estimate("imdb", &q).unwrap().to_bits(),
+            old_estimate.to_bits()
+        );
+
+        assert!(matches!(
+            store.swap("nope", replacement),
+            Err(StoreError::UnknownSketch(_))
+        ));
+    }
+
+    #[test]
+    fn reserved_generations_never_collide_with_published_ones() {
+        let db = imdb_database(&ImdbConfig::tiny(32));
+        let store = SketchStore::new();
+        store.insert("imdb", tiny_sketch(&db, 13)).unwrap();
+        let live = store.generation("imdb").unwrap();
+        let shadow = store.reserve_generation();
+        assert!(shadow > live);
+        let outcome = store.swap("imdb", Arc::new(tiny_sketch(&db, 14))).unwrap();
+        assert!(
+            outcome.generation > shadow,
+            "a swap after a reservation must sort after it"
+        );
     }
 
     #[test]

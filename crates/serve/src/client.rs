@@ -158,6 +158,17 @@ impl Client {
         self.conn.roundtrip(&Request::List, false)
     }
 
+    /// Sends `LIFECYCLE <sketch>` — the retrain-and-hot-swap lifecycle
+    /// status line for one sketch.
+    pub fn lifecycle(&mut self, sketch: &str) -> std::io::Result<Response> {
+        self.conn.roundtrip(
+            &Request::Lifecycle {
+                sketch: sketch.to_string(),
+            },
+            false,
+        )
+    }
+
     /// Sends `FEEDBACK`: estimates `sql` (bit-identical to `ESTIMATE`) and
     /// records its q-error against the observed true cardinality `actual`
     /// in the server's drift monitor. Returns the raw response.

@@ -13,6 +13,8 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
+use ds_core::lifecycle::LifecycleConfig;
+
 use crate::batcher::SharedEstimator;
 use crate::breaker::BreakerConfig;
 use crate::faults::FaultInjector;
@@ -51,6 +53,9 @@ pub struct ServeConfig {
     /// Directory for durable snapshots; when set, corrupt `SYNC` transfers
     /// are quarantined under `<dir>/quarantine/` for post-mortems.
     pub(crate) snapshot_dir: Option<PathBuf>,
+    /// Retrain-and-hot-swap lifecycle; `None` disables the daemon (no
+    /// harvesting, no shadow mirroring, `LIFECYCLE` answers "disabled").
+    pub(crate) lifecycle: Option<LifecycleConfig>,
 }
 
 impl ServeConfig {
@@ -106,6 +111,7 @@ impl std::fmt::Debug for ServeConfig {
             .field("faults", &self.faults)
             .field("cache_capacity", &self.cache_capacity)
             .field("snapshot_dir", &self.snapshot_dir)
+            .field("lifecycle", &self.lifecycle)
             .finish()
     }
 }
@@ -126,6 +132,7 @@ impl Default for ServeConfig {
             faults: None,
             cache_capacity: 4096,
             snapshot_dir: None,
+            lifecycle: None,
         }
     }
 }
@@ -250,6 +257,13 @@ impl ServeConfigBuilder {
         self
     }
 
+    /// Enables the retrain-and-hot-swap lifecycle daemon. Its own
+    /// invariants are validated in [`ServeConfigBuilder::build`].
+    pub fn lifecycle(mut self, lifecycle: Option<LifecycleConfig>) -> Self {
+        self.cfg.lifecycle = lifecycle;
+        self
+    }
+
     /// Validates the invariants and returns the config, or a
     /// [`ConfigError`] naming the first violated one.
     pub fn build(self) -> Result<ServeConfig, ConfigError> {
@@ -283,6 +297,9 @@ impl ServeConfigBuilder {
                  batch would evict its own batchmates (use 0 to disable caching)",
                 c.cache_capacity, c.max_batch
             )));
+        }
+        if let Some(lc) = c.lifecycle.as_ref() {
+            lc.validate().map_err(ConfigError)?;
         }
         Ok(self.cfg)
     }
@@ -323,6 +340,7 @@ mod tests {
             .faults(Some(Arc::clone(&faults)))
             .cache_capacity(0)
             .snapshot_dir(Some(PathBuf::from("/tmp/snaps")))
+            .lifecycle(Some(LifecycleConfig::default()))
             .build()
             .expect("valid");
         assert_eq!(cfg.addr(), "0.0.0.0:0");
@@ -333,6 +351,7 @@ mod tests {
         assert!(!cfg.timeline);
         assert_eq!(cfg.snapshot_dir.as_deref(), Some("/tmp/snaps".as_ref()));
         assert!(cfg.faults.is_some());
+        assert!(cfg.lifecycle.is_some());
     }
 
     #[test]
@@ -356,6 +375,13 @@ mod tests {
             (
                 "cache smaller than batch",
                 ServeConfig::builder().max_batch(64).cache_capacity(8),
+            ),
+            (
+                "invalid lifecycle sub-config",
+                ServeConfig::builder().lifecycle(Some(LifecycleConfig {
+                    shadow_gate_ratio: 0.0,
+                    ..LifecycleConfig::default()
+                })),
             ),
         ];
         for (what, builder) in violations {

@@ -143,18 +143,26 @@ impl Fleet {
         self.nodes[shard].server.is_some()
     }
 
-    /// Deploys a sketch: inserts it into its primary replica's store, then
-    /// ships it to the remaining replicas over the wire (`SNAPSHOT` from
-    /// the primary → `SYNC` into each). Returns the replica set.
+    /// Deploys a sketch: inserts it into its primary replica's store —
+    /// or, when the name is already deployed (a promoted lifecycle
+    /// candidate), hot-swaps it under a fresh generation — then ships it
+    /// to the remaining replicas over the wire (`SNAPSHOT` from the
+    /// primary → `SYNC` into each, newest-wins). Returns the replica set.
     pub fn deploy(&mut self, name: &str, sketch: DeepSketch) -> std::io::Result<Vec<usize>> {
         let replicas = self.topology().replicas(name);
         let &primary = replicas.first().ok_or_else(|| {
             std::io::Error::new(std::io::ErrorKind::NotFound, "fleet has no shards")
         })?;
-        self.nodes[primary]
-            .store
-            .insert(name, sketch)
-            .map_err(|e| std::io::Error::other(e.to_string()))?;
+        let store = &self.nodes[primary].store;
+        if store.generation(name).is_some() {
+            store
+                .swap(name, Arc::new(sketch))
+                .map_err(|e| std::io::Error::other(e.to_string()))?;
+        } else {
+            store
+                .insert(name, sketch)
+                .map_err(|e| std::io::Error::other(e.to_string()))?;
+        }
         if !self.deployed.iter().any(|n| n == name) {
             self.deployed.push(name.to_string());
         }

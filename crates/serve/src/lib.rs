@@ -38,6 +38,14 @@
 //!   (`SNAPSHOT`/`SYNC`), gossip-fed routing in [`FleetClient`], and
 //!   automatic failover with re-replication when a replica dies. The wire
 //!   protocol is versioned (`HELLO`) so old clients keep working.
+//! * **Self-maintaining serving** — an optional lifecycle daemon
+//!   ([`ds_core::lifecycle`], enabled via
+//!   [`ServeConfigBuilder::lifecycle`]) harvests `FEEDBACK`-graded
+//!   queries, retrains a candidate off the hot path when drift fires,
+//!   shadow-scores it on mirrored `ESTIMATE` traffic, and hot-swaps it
+//!   under a fresh store generation — snapshotting first and rolling back
+//!   automatically if post-swap accuracy regresses. Status behind the
+//!   `LIFECYCLE` verb and `STATS` gauges.
 //!
 //! ```no_run
 //! use std::sync::Arc;
@@ -78,6 +86,9 @@ pub use cache::{EstimateCache, EstimateKey};
 pub use client::{Client, InfoCard};
 pub use config::{ConfigError, ServeConfig, ServeConfigBuilder};
 pub use connection::{Connection, Handshake, SyncAck};
+pub use ds_core::lifecycle::{
+    LifecycleConfig, LifecycleCounters, LifecycleManager, LifecyclePhase, LifecycleStatus,
+};
 pub use faults::FaultInjector;
 pub use fleet::{
     Fleet, FleetClient, FleetClientConfig, FleetConfig, FleetTopology, HashRing, ShardHealth,

@@ -20,6 +20,9 @@
 //!                              (newest-wins): `OK SYNC <name> <gen>
 //!                              adopted|stale`, or `ERR decode` when the
 //!                              transfer fails checksum validation
+//! LIFECYCLE <sketch>           the retrain-and-hot-swap lifecycle status
+//!                              of a sketch: phase, harvested count,
+//!                              shadow medians, swap/rollback counters
 //! METRICS                      server counters and latency percentiles
 //! STATS                        Prometheus-style text exposition of every
 //!                              counter, gauge, and histogram (newlines
@@ -63,8 +66,9 @@ pub const MIN_PROTOCOL_VERSION: u32 = 1;
 
 /// Optional capabilities this build implements, advertised in the `HELLO`
 /// exchange: the template-keyed estimate cache, the `degraded` response
-/// token, and the fleet verbs (`SNAPSHOT`/`SYNC`).
-pub const SUPPORTED_FEATURES: &[&str] = &["cache", "degraded-token", "fleet"];
+/// token, the fleet verbs (`SNAPSHOT`/`SYNC`), and the retrain lifecycle
+/// (`LIFECYCLE`).
+pub const SUPPORTED_FEATURES: &[&str] = &["cache", "degraded-token", "fleet", "lifecycle"];
 
 /// A parsed client request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -120,6 +124,13 @@ pub enum Request {
         len: u64,
         /// The hex-encoded `DSNP` bytes.
         hex: String,
+    },
+    /// `LIFECYCLE <sketch>` — the retrain-and-hot-swap lifecycle status of
+    /// a sketch (phase, harvest size, shadow medians, swap/rollback
+    /// counters).
+    Lifecycle {
+        /// Sketch name in the store.
+        sketch: String,
     },
     /// `METRICS` — serving counters and percentiles.
     Metrics,
@@ -319,6 +330,17 @@ pub fn parse_request(line: &str) -> Result<Request, Response> {
                 sketch: rest.to_string(),
             })
         }
+        "LIFECYCLE" => {
+            if rest.is_empty() || rest.contains(char::is_whitespace) {
+                return Err(Response::Error {
+                    code: ErrorCode::Proto,
+                    message: "usage: LIFECYCLE <sketch>".to_string(),
+                });
+            }
+            Ok(Request::Lifecycle {
+                sketch: rest.to_string(),
+            })
+        }
         "LIST" => Ok(Request::List),
         "METRICS" => Ok(Request::Metrics),
         "STATS" => Ok(Request::Stats),
@@ -355,6 +377,7 @@ pub fn format_request(req: &Request) -> String {
             sql,
         } => format!("FEEDBACK {sketch} {actual} {sql}"),
         Request::Info { sketch } => format!("INFO {sketch}"),
+        Request::Lifecycle { sketch } => format!("LIFECYCLE {sketch}"),
         Request::List => "LIST".to_string(),
         Request::Metrics => "METRICS".to_string(),
         Request::Stats => "STATS".to_string(),
@@ -488,6 +511,9 @@ mod tests {
             Request::Info {
                 sketch: "imdb".into(),
             },
+            Request::Lifecycle {
+                sketch: "imdb".into(),
+            },
             Request::List,
             Request::Metrics,
             Request::Stats,
@@ -530,6 +556,8 @@ mod tests {
             "HELLO two",
             "SNAPSHOT",
             "SNAPSHOT two names",
+            "LIFECYCLE",
+            "LIFECYCLE two names",
             "SYNC",
             "SYNC s",
             "SYNC s 1",

@@ -15,10 +15,12 @@ use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use ds_core::lifecycle::{LifecycleManager, LifecyclePhase};
 use ds_core::monitor::MonitorRegistry;
 use ds_core::snapshot::{decode_hex, decode_snapshot, encode_hex};
 use ds_core::store::{AdoptOutcome, SketchStore};
@@ -42,6 +44,30 @@ use crate::protocol::{
 /// How often blocked reads wake up to check the shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(50);
 
+/// Bound on queued shadow-mirror jobs: the hot path never blocks on the
+/// lifecycle daemon — when the scorer falls behind, mirrored jobs are
+/// dropped and counted instead.
+const SHADOW_QUEUE_CAPACITY: usize = 1024;
+
+/// One mirrored request for the lifecycle daemon's shadow scorer: the
+/// already-parsed query, the live model's answer, and (for FEEDBACK) the
+/// true cardinality that grades both models.
+struct ShadowJob {
+    sketch: String,
+    query: Query,
+    live: f64,
+    actual: Option<u64>,
+}
+
+/// Lifecycle plumbing shared between the request handlers (harvest and
+/// mirror hooks) and the maintain daemon (ticks and shadow scoring).
+struct LifecycleShared {
+    manager: Arc<LifecycleManager>,
+    shadow_tx: SyncSender<ShadowJob>,
+    mirrored: AtomicU64,
+    shadow_dropped: AtomicU64,
+}
+
 struct Shared {
     db: Arc<Database>,
     store: Arc<SketchStore>,
@@ -58,6 +84,7 @@ struct Shared {
     fallback: Option<SharedEstimator>,
     faults: Option<Arc<FaultInjector>>,
     cache: Option<EstimateCache>,
+    lifecycle: Option<LifecycleShared>,
     snapshot_dir: Option<PathBuf>,
     /// Fleet replication counters, surfaced under `serve/sync/*` in STATS.
     snapshots_shipped: AtomicU64,
@@ -72,6 +99,7 @@ pub struct Server {
     shared: Arc<Shared>,
     acceptor: Option<JoinHandle<()>>,
     handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    lifecycle_daemon: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -97,6 +125,30 @@ impl Server {
             Arc::clone(&metrics),
             cfg.faults.clone(),
         );
+        // Lifecycle plumbing is built before `Shared` so the manager can
+        // reload persisted harvest sets off the snapshot directory (the
+        // warm-restart path) ahead of the first request.
+        let mut shadow_rx: Option<Receiver<ShadowJob>> = None;
+        let lifecycle = match cfg.lifecycle {
+            Some(lc_cfg) => {
+                let manager = Arc::new(
+                    LifecycleManager::new(lc_cfg)
+                        .map_err(|e| std::io::Error::new(ErrorKind::InvalidInput, e))?,
+                );
+                if let Some(dir) = cfg.snapshot_dir.as_deref() {
+                    manager.load_harvests(dir);
+                }
+                let (tx, rx) = std::sync::mpsc::sync_channel(SHADOW_QUEUE_CAPACITY);
+                shadow_rx = Some(rx);
+                Some(LifecycleShared {
+                    manager,
+                    shadow_tx: tx,
+                    mirrored: AtomicU64::new(0),
+                    shadow_dropped: AtomicU64::new(0),
+                })
+            }
+            None => None,
+        };
         let shared = Arc::new(Shared {
             db,
             store,
@@ -113,12 +165,24 @@ impl Server {
             fallback: cfg.fallback,
             faults: cfg.faults,
             cache: (cfg.cache_capacity > 0).then(|| EstimateCache::new(cfg.cache_capacity, 8)),
+            lifecycle,
             snapshot_dir: cfg.snapshot_dir,
             snapshots_shipped: AtomicU64::new(0),
             sync_adopted: AtomicU64::new(0),
             sync_stale: AtomicU64::new(0),
             sync_rejected: AtomicU64::new(0),
         });
+        let lifecycle_daemon = match shadow_rx {
+            Some(rx) => {
+                let shared = Arc::clone(&shared);
+                Some(
+                    std::thread::Builder::new()
+                        .name("ds-serve-lifecycle".to_string())
+                        .spawn(move || run_lifecycle_daemon(&shared, &rx))?,
+                )
+            }
+            None => None,
+        };
         let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let acceptor = {
             let shared = Arc::clone(&shared);
@@ -132,6 +196,7 @@ impl Server {
             shared,
             acceptor: Some(acceptor),
             handlers,
+            lifecycle_daemon,
         })
     }
 
@@ -150,6 +215,16 @@ impl Server {
     /// store to turn drift into retraining recommendations.
     pub fn monitors(&self) -> Arc<MonitorRegistry> {
         Arc::clone(&self.shared.monitors)
+    }
+
+    /// The retrain-and-hot-swap lifecycle manager, when the server was
+    /// configured with one. Tests and drills use this to arm the poison
+    /// hook or to inspect phase and counters without a wire round-trip.
+    pub fn lifecycle(&self) -> Option<Arc<LifecycleManager>> {
+        self.shared
+            .lifecycle
+            .as_ref()
+            .map(|lc| Arc::clone(&lc.manager))
     }
 
     /// The per-sketch circuit breaker for `sketch` (created on first use).
@@ -181,6 +256,12 @@ impl Server {
             .drain(..)
             .collect();
         for h in handlers {
+            let _ = h.join();
+        }
+        // The daemon polls `shutting_down` between queue waits, so it
+        // exits within one poll interval (persisting harvests on the way
+        // out).
+        if let Some(h) = self.lifecycle_daemon.take() {
             let _ = h.join();
         }
     }
@@ -513,6 +594,7 @@ fn handle_line(
             None,
         ),
         Request::Stats => (Response::Text(stats_payload(shared)), false, None),
+        Request::Lifecycle { sketch } => (handle_lifecycle(&sketch, shared), false, None),
         Request::Trace => (Response::Text(trace_payload(shared)), false, None),
         Request::Quit => (Response::Bye, true, None),
     }
@@ -735,6 +817,19 @@ fn handle_estimate(
     }
     let template =
         (shared.timeline || feedback.is_some()).then(|| shared.templates.get(&shared.db, &query));
+    // Shadow mirroring clones the query only while this sketch is actually
+    // in the shadow phase — `shadowing` is one relaxed atomic load when no
+    // candidate exists anywhere, keeping the steady-state path clone-free.
+    let mirror_query = shared
+        .lifecycle
+        .as_ref()
+        .filter(|lc| lc.manager.shadowing(sketch))
+        .map(|_| query.clone());
+    // Harvest key: graded queries dedupe on template + literals, so
+    // re-grading the same concrete query refreshes (not duplicates) its
+    // harvest entry.
+    let harvest_key = (feedback.is_some() && shared.lifecycle.is_some())
+        .then(|| harvest_key(template.as_deref().unwrap_or(""), &query));
     // The cache is consulted only while the breaker is fully closed: an
     // open circuit already short-circuited above, and a half-open probe
     // must exercise the real model to prove recovery — a warm cache must
@@ -810,6 +905,12 @@ fn handle_estimate(
                 let monitor = shared.monitors.monitor(sketch);
                 let tmpl = template.as_deref().unwrap_or("");
                 monitor.record(tmpl, v, actual as f64);
+                // Graded queries feed the lifecycle harvest (and, post-swap,
+                // the guard window) — the raw SQL rides along so the daemon
+                // can re-parse it for incremental retraining.
+                if let (Some(lc), Some(key)) = (shared.lifecycle.as_ref(), harvest_key.as_deref()) {
+                    lc.manager.observe_feedback(sketch, key, sql, v, actual);
+                }
                 // FEEDBACK doubles as the drift signal: once this
                 // template's rolling q-error degrades past the configured
                 // ratio versus the training-time baseline, its cached
@@ -835,6 +936,25 @@ fn handle_estimate(
             if !cache_hit && !drifted {
                 if let (Some(c), Some(k)) = (cache, cache_key) {
                     c.insert(k, v);
+                }
+            }
+            // Mirror the request to the shadow scorer *after* answering is
+            // decided: the candidate never contributes to the wire response,
+            // and a full queue drops the mirror (counted), never the client.
+            if let (Some(lc), Some(q)) = (shared.lifecycle.as_ref(), mirror_query) {
+                let job = ShadowJob {
+                    sketch: sketch.to_string(),
+                    query: q,
+                    live: v,
+                    actual: feedback,
+                };
+                match lc.shadow_tx.try_send(job) {
+                    Ok(()) => {
+                        lc.mirrored.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(_) => {
+                        lc.shadow_dropped.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
             }
             let pending = shared.timeline.then(|| PendingTimeline {
@@ -889,6 +1009,132 @@ fn handle_estimate(
             }
         }
     }
+}
+
+/// The harvest deduplication key: the interner's canonical template plus
+/// the concrete literals in a sorted, stable rendering. Two gradings of
+/// the same concrete query collide (refreshing that harvest entry); the
+/// same template with different literals stays distinct.
+fn harvest_key(template: &str, query: &ds_query::query::Query) -> String {
+    use std::fmt::Write as _;
+    let mut preds: Vec<(usize, usize, u8, i64)> = query
+        .qualified_predicates()
+        .map(|(cr, op, lit)| {
+            let op = match op {
+                ds_storage::predicate::CmpOp::Eq => 0u8,
+                ds_storage::predicate::CmpOp::Lt => 1,
+                ds_storage::predicate::CmpOp::Gt => 2,
+            };
+            (cr.table.0, cr.col, op, lit)
+        })
+        .collect();
+    preds.sort_unstable();
+    let mut key = String::with_capacity(template.len() + preds.len() * 12);
+    key.push_str(template);
+    for (t, c, op, lit) in preds {
+        let _ = write!(key, "#{t}.{c}:{op}={lit}");
+    }
+    key
+}
+
+/// The lifecycle daemon loop: drains mirrored shadow jobs, steps the
+/// retrain state machine every `tick_interval`, and persists dirty
+/// harvest sets alongside the snapshots. Persists once more on shutdown
+/// so a graceful stop never loses harvested queries.
+fn run_lifecycle_daemon(shared: &Arc<Shared>, rx: &Receiver<ShadowJob>) {
+    let lc = shared
+        .lifecycle
+        .as_ref()
+        .expect("daemon spawned only with lifecycle configured");
+    let tick_every = lc.manager.config().tick_interval;
+    let mut last_tick = Instant::now();
+    while !shared.shutting_down.load(Ordering::SeqCst) {
+        match rx.recv_timeout(tick_every.min(POLL_INTERVAL)) {
+            Ok(job) => shadow_score(job, shared),
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+        if last_tick.elapsed() >= tick_every {
+            last_tick = Instant::now();
+            lc.manager.tick(
+                &shared.store,
+                &shared.monitors,
+                &shared.db,
+                shared.snapshot_dir.as_deref(),
+            );
+            if let Some(dir) = shared.snapshot_dir.as_deref() {
+                lc.manager.persist_harvests(dir);
+            }
+        }
+    }
+    if let Some(dir) = shared.snapshot_dir.as_deref() {
+        lc.manager.persist_harvests(dir);
+    }
+}
+
+/// Scores one mirrored request on the shadow candidate. The candidate
+/// answers through the same batcher as live traffic — bit-exact mirroring
+/// — but under its *reserved* generation, so mirrored jobs can never
+/// coalesce into a live batch and the candidate never serves a client.
+/// Graded mirrors (FEEDBACK) feed the shadow gate; ungraded ones still
+/// run to keep mirroring cost honest but record nothing.
+fn shadow_score(job: ShadowJob, shared: &Shared) {
+    let Some(lc) = shared.lifecycle.as_ref() else {
+        return;
+    };
+    let Some((candidate, shadow_generation)) = lc.manager.shadow_pair(&job.sketch) else {
+        return;
+    };
+    let Ok((candidate_v, _)) =
+        shared
+            .batcher
+            .estimate_traced_keyed(shadow_generation, candidate, job.query)
+    else {
+        return;
+    };
+    if let Some(actual) = job.actual {
+        let truth = actual.max(1) as f64;
+        lc.manager.observe_shadow(
+            &job.sketch,
+            ds_core::metrics::qerror(job.live, truth),
+            ds_core::metrics::qerror(candidate_v, truth),
+        );
+    }
+}
+
+/// `LIFECYCLE <sketch>`: one-line status of the retrain-and-hot-swap
+/// state machine. Per-sketch phase and shadow medians come from the
+/// manager; the counters are manager-wide so an operator can watch a
+/// drill converge over a single connection.
+fn handle_lifecycle(sketch: &str, shared: &Shared) -> Response {
+    let Some(lc) = shared.lifecycle.as_ref() else {
+        return Response::Text(format!("LIFECYCLE {sketch} disabled"));
+    };
+    let status = lc.manager.status(sketch);
+    // A sketch with no lifecycle state yet reads as Idle — but an unknown
+    // name should answer like INFO does, with the store error.
+    if status.phase == LifecyclePhase::Idle && status.harvested == 0 {
+        if let Err(e) = shared.store.get(sketch) {
+            return store_error_response(&e);
+        }
+    }
+    let c = lc.manager.counters();
+    Response::Text(format!(
+        "LIFECYCLE {sketch} phase={} generation={} harvested={} shadow_samples={} \
+         shadow_live_p50={:.3} shadow_candidate_p50={:.3} swaps={} rollbacks={} \
+         gate_rejects={} retrains={} promotions={}",
+        status.phase.as_str(),
+        shared.store.generation(sketch).unwrap_or(0),
+        status.harvested,
+        status.shadow_samples,
+        status.shadow_live_p50,
+        status.shadow_candidate_p50,
+        c.swaps,
+        c.rollbacks,
+        c.gate_rejects,
+        c.retrains_started,
+        c.promotions,
+    ))
 }
 
 /// Renders every counter, gauge, and histogram as Prometheus text
@@ -963,6 +1209,41 @@ fn stats_payload(shared: &Shared) -> String {
     for name in shared.monitors.names() {
         if let Some(mon) = shared.monitors.get(&name) {
             p.summary(&format!("feedback/{name}/qerror_scaled"), &mon.rolling());
+        }
+    }
+    if let Some(lc) = shared.lifecycle.as_ref() {
+        let c = lc.manager.counters();
+        p.counter("serve/lifecycle/harvested", c.harvested)
+            .counter("serve/lifecycle/retrains_started", c.retrains_started)
+            .counter("serve/lifecycle/retrains_failed", c.retrains_failed)
+            .counter("serve/lifecycle/gate_rejects", c.gate_rejects)
+            .counter("serve/lifecycle/swaps", c.swaps)
+            .counter("serve/lifecycle/rollbacks", c.rollbacks)
+            .counter("serve/lifecycle/promotions", c.promotions)
+            .counter(
+                "serve/lifecycle/mirrored",
+                lc.mirrored.load(Ordering::Relaxed),
+            )
+            .counter(
+                "serve/lifecycle/shadow_dropped",
+                lc.shadow_dropped.load(Ordering::Relaxed),
+            );
+        for status in lc.manager.statuses() {
+            let name = &status.sketch;
+            let delta = if status.shadow_live_p50 > 0.0 {
+                status.shadow_candidate_p50 / status.shadow_live_p50
+            } else {
+                0.0
+            };
+            p.gauge(
+                &format!("serve/lifecycle/{name}/phase"),
+                f64::from(status.phase.code()),
+            )
+            .gauge(
+                &format!("serve/lifecycle/{name}/harvested"),
+                status.harvested as f64,
+            )
+            .gauge(&format!("serve/lifecycle/{name}/shadow_delta"), delta);
         }
     }
     p.tracer(ds_obs::global());

@@ -251,3 +251,63 @@ fn fuzz_snapshot_decoder_never_panics_and_accepts_only_canonical_bytes() {
         "no mutant ever decoded — the accept path went unexercised"
     );
 }
+
+/// The harvested-set decoder (`DSHV`) faces whatever bytes a crash left
+/// next to the snapshots, so it gets the same treatment: mutants must
+/// never panic, and accepted bytes must be canonical — decode → encode is
+/// the identity, so a warm restart re-persists exactly what it read.
+#[test]
+fn fuzz_harvest_decoder_never_panics_and_accepts_only_canonical_bytes() {
+    use ds_core::lifecycle::HarvestSet;
+
+    const CAPACITY: usize = 1024;
+    // Runtime-built seeds: a populated set (varied key/SQL/actual shapes,
+    // including the dedup-refresh path bumping sequence numbers) and the
+    // valid-but-empty edge.
+    let mut set = HarvestSet::new(CAPACITY);
+    for i in 0..24u64 {
+        set.observe(
+            &format!("tmpl-{}#{}", i % 5, i),
+            &format!("SELECT COUNT(*) FROM title WHERE title.kind_id = {i}"),
+            i * 31 + 1,
+        );
+    }
+    set.observe("tmpl-0#0", "SELECT COUNT(*) FROM title", u64::MAX);
+    let mut seeds = vec![set.encode(), HarvestSet::new(CAPACITY).encode()];
+    for seed in &seeds {
+        assert!(
+            HarvestSet::decode(seed, CAPACITY).is_ok(),
+            "runtime harvest seed must be valid"
+        );
+    }
+    // Plus raw garbage so the magic/version gates see non-DSHV noise.
+    seeds.push(b"DSHV".to_vec());
+    seeds.push(vec![0xff; 64]);
+
+    let mut rng = Rng(0x00d5_11f3_c1e5_eed5);
+    let mut accepted = 0usize;
+    for _ in 0..fuzz_iters(2500) {
+        let mut bytes = mutate(&mut rng, &seeds);
+        // Structure-aware half: recompute the FNV trailer on a quarter of
+        // the mutants so corruption behind a valid checksum stresses the
+        // length-field bounds checks and the per-entry validation instead
+        // of stopping at the cheap checksum gate.
+        if bytes.len() >= 24 && rng.below(4) == 0 {
+            let body_len = bytes.len() - 8;
+            let sum = ds_core::snapshot::checksum(&bytes[..body_len]);
+            bytes[body_len..].copy_from_slice(&sum.to_le_bytes());
+        }
+        if let Ok(decoded) = HarvestSet::decode(&bytes, CAPACITY) {
+            accepted += 1;
+            assert_eq!(
+                decoded.encode(),
+                bytes,
+                "harvest decoder accepted non-canonical bytes"
+            );
+        }
+    }
+    assert!(
+        accepted > 0,
+        "no mutant ever decoded — the harvest accept path went unexercised"
+    );
+}
