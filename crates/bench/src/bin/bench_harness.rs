@@ -1,7 +1,7 @@
 //! `bench_harness` — the pinned quick-mode benchmark suite behind the CI
 //! `bench-smoke` gate.
 //!
-//! Runs six stages sized to finish in a couple of minutes on one core:
+//! Runs seven stages sized to finish in a couple of minutes on one core:
 //!
 //! 1. **kernels** — tiled/threaded matmul vs the reference kernel at the
 //!    MSCN-critical shapes (same shapes as the full `nn_kernels` bench);
@@ -23,7 +23,14 @@
 //!    cost: the generation-keyed store swap expressed as a fraction of one
 //!    request's CPU budget, and the shadow-mirror work (`shadowing` check,
 //!    query clone, job enqueue) microbenchmarked against the same budget —
-//!    gated under the issue's 2% serve-throughput allowance.
+//!    gated under the issue's 2% serve-throughput allowance;
+//! 7. **observability** — the fleet observability plane's serving-path
+//!    cost: the v3 trace-propagation work (client root mint + token
+//!    format, server parse + span mint + child derivation, exemplar hex
+//!    fields) as a fraction of the per-request CPU budget, gated under
+//!    2%, and the wall latency of a fleetmon-style sweep that scrapes a
+//!    4-shard fleet's `STATS` and merges the expositions (merge
+//!    correctness asserted inline).
 //!
 //! The run is written to `target/BENCH_quick.latest.json` and diffed
 //! against the committed baseline `BENCH_quick.json`:
@@ -55,8 +62,8 @@ use ds_obs::{PrettySink, Sink, TraceReport};
 use ds_query::parser::parse_query;
 use ds_query::workloads::imdb_predicate_columns;
 use ds_serve::{
-    Client, FaultInjector, Fleet, FleetClient, FleetConfig, Metrics, RequestTimeline, ServeConfig,
-    Server, TemplateInterner,
+    Client, Connection, FaultInjector, Fleet, FleetClient, FleetConfig, Metrics, Request,
+    RequestTimeline, Response, ServeConfig, Server, TemplateInterner,
 };
 use ds_storage::catalog::Database;
 use ds_storage::gen::{imdb_database, ImdbConfig};
@@ -292,7 +299,7 @@ fn stage_kernels(report: &mut BenchReport) {
         ("head_384x256_x1", 384, 256, 1, false),
     ];
     println!(
-        "\n[1/6] matmul kernels ({} shapes, 25 iters):",
+        "\n[1/7] matmul kernels ({} shapes, 25 iters):",
         shapes.len()
     );
     for (name, m, k, n, gated) in shapes {
@@ -328,7 +335,7 @@ fn stage_kernels(report: &mut BenchReport) {
 /// at any thread count, so the validation q-error is an exact, portable
 /// quality gate; wall-clock numbers ride along as local metrics.
 fn stage_training(report: &mut BenchReport) -> (Arc<Database>, Arc<SketchStore>) {
-    println!("\n[2/6] mini fig1a build (800 queries, 3 epochs):");
+    println!("\n[2/7] mini fig1a build (800 queries, 3 epochs):");
     let db = Arc::new(imdb_database(&ImdbConfig {
         movies: 2_000,
         keywords: 1_000,
@@ -379,7 +386,7 @@ fn stage_training(report: &mut BenchReport) -> (Arc<Database>, Arc<SketchStore>)
 /// The fused path must stay bit-identical to the reference — asserted here
 /// on the live workload before timing.
 fn stage_inference(report: &mut BenchReport, db: &Arc<Database>, store: &Arc<SketchStore>) {
-    println!("\n[3/6] frozen inference (fused featurize-and-forward):");
+    println!("\n[3/7] frozen inference (fused featurize-and-forward):");
     let frozen = store.get("imdb").expect("sketch");
     assert!(
         frozen.frozen().is_some(),
@@ -495,7 +502,7 @@ fn run_fleet(
 /// the honest end-to-end overhead into `BENCH_serve.json`.
 fn stage_serving(report: &mut BenchReport, db: &Arc<Database>, store: &Arc<SketchStore>) -> f64 {
     let total = CLIENTS * QUERIES_PER_CLIENT;
-    println!("\n[4/6] serving fleet ({CLIENTS} clients x {QUERIES_PER_CLIENT} queries):");
+    println!("\n[4/7] serving fleet ({CLIENTS} clients x {QUERIES_PER_CLIENT} queries):");
     // The coalescing and overhead fleets disable the estimate cache: they
     // measure the forward-pass path, and the 6-template workload would
     // otherwise be answered almost entirely from memory.
@@ -609,6 +616,10 @@ fn time_instrumentation(db: &Arc<Database>) -> f64 {
                 batch_wait_us: 0,
                 forward_us: 0,
                 write_us: 0,
+                trace_id: 0,
+                span_id: 0,
+                parent_span: 0,
+                batch_span: 0,
             });
         }
     });
@@ -688,7 +699,7 @@ fn run_fleet_closed_loop(fleet: &Fleet) -> f64 {
 ///   window by construction).
 fn stage_fleet(report: &mut BenchReport, db: &Arc<Database>, store: &Arc<SketchStore>) {
     println!(
-        "\n[5/6] sharded fleet ({FLEET_SHARDS} shards, R={FLEET_REPLICATION}, \
+        "\n[5/7] sharded fleet ({FLEET_SHARDS} shards, R={FLEET_REPLICATION}, \
          {FLEET_CLIENTS} clients x {FLEET_QUERIES_PER_CLIENT} queries):"
     );
     let sketch = store.get("imdb").expect("stage-2 sketch");
@@ -848,7 +859,7 @@ fn stage_lifecycle(
     use ds_core::lifecycle::{LifecycleConfig, LifecycleManager};
     use ds_query::query::Query;
 
-    println!("\n[6/6] lifecycle (hot-swap latency, shadow-mirror overhead):");
+    println!("\n[6/7] lifecycle (hot-swap latency, shadow-mirror overhead):");
     let sketch = store.get("imdb").expect("stage-2 sketch");
 
     // Swap latency: identical weights keep every later consumer of the
@@ -933,6 +944,146 @@ fn stage_lifecycle(
     ));
 }
 
+/// Stage 7: the fleet observability plane. Two measurements:
+///
+/// * **Propagation overhead** — the per-request cost of the v3 trace
+///   plumbing end to end: the client minting a root context and
+///   formatting its `trace=` token, the server parsing the token back,
+///   minting its own span, deriving the child context the batcher
+///   carries, and the exemplar's four extra hex fields on the `TRACE`
+///   wire. Expressed against the stage-4 per-request CPU budget and
+///   gated under the issue's 2% allowance via a budget-pinned baseline,
+///   exactly like `serve/traced_overhead_pct`.
+/// * **Aggregation scrape latency** — wall time of one fleetmon-style
+///   sweep over a 4-shard fleet: scrape every shard's `STATS` over
+///   pooled connections and merge the expositions. Merge correctness
+///   (counters sum across shards) is asserted inline.
+fn stage_obs(
+    report: &mut BenchReport,
+    db: &Arc<Database>,
+    store: &Arc<SketchStore>,
+    request_cpu_us: f64,
+) {
+    use ds_obs::{IdSource, TraceContext};
+
+    println!("\n[7/7] observability plane (trace propagation, 4-shard STATS merge):");
+
+    // Propagation: everything the traced path adds per request that the
+    // untraced path skips, client and server side together.
+    let client_ids = IdSource::from_entropy();
+    let server_ids = IdSource::from_entropy();
+    let prop_iters = 100_000usize;
+    let prop_secs = min_secs(5, || {
+        for _ in 0..prop_iters {
+            let root = client_ids.mint();
+            let token = root.to_token();
+            let parsed = TraceContext::parse_token(&token).expect("token round-trip");
+            let span = server_ids.next_span();
+            let child = parsed.child(span);
+            let batch_span = server_ids.next_span();
+            // The exemplar's extra wire fields (only traced timelines
+            // pay this formatting).
+            let wire = format!(
+                " trace_id={:032x} span_id={:016x} parent_span={:016x} batch_span={:016x}",
+                parsed.trace_id, span, parsed.span_id, batch_span
+            );
+            std::hint::black_box((child, wire));
+        }
+    });
+    let prop_us = prop_secs * 1e6 / prop_iters as f64;
+    let prop_overhead_pct = prop_us / request_cpu_us * 100.0;
+    println!(
+        "  trace propagation {:>6.0} ns/req of {request_cpu_us:.0} µs/req \
+         -> overhead {prop_overhead_pct:.3}% (budget < 2%)",
+        prop_us * 1e3
+    );
+    assert!(
+        prop_overhead_pct < 2.0,
+        "trace propagation must cost under 2% of serve throughput \
+         (measured {prop_overhead_pct:.3}%)"
+    );
+
+    // Aggregation: four real servers, a little estimate traffic on each,
+    // then a fleetmon sweep (pooled connections, full merge) timed end
+    // to end.
+    let servers: Vec<Server> = (0..4)
+        .map(|_| {
+            Server::start(Arc::clone(db), Arc::clone(store), ServeConfig::default())
+                .expect("obs-stage server")
+        })
+        .collect();
+    for (i, server) in servers.iter().enumerate() {
+        let mut c = Client::connect(server.local_addr()).expect("obs-stage client");
+        for k in 0..8 {
+            c.estimate_value("imdb", WORKLOAD[(i + k) % WORKLOAD.len()])
+                .expect("obs-stage estimate");
+        }
+        c.quit().ok();
+    }
+    let mut conns: Vec<Connection> = servers
+        .iter()
+        .map(|s| {
+            Connection::connect_timeout(s.local_addr(), Duration::from_secs(30))
+                .expect("obs-stage scrape connection")
+        })
+        .collect();
+    let scrape = |conns: &mut Vec<Connection>| -> String {
+        let docs: Vec<String> = conns
+            .iter_mut()
+            .map(|conn| {
+                match conn
+                    .roundtrip(&Request::Stats, false)
+                    .expect("scrape STATS")
+                {
+                    Response::Text(t) => t.replace("\\n", "\n"),
+                    other => panic!("unexpected STATS response {other:?}"),
+                }
+            })
+            .collect();
+        let refs: Vec<&str> = docs.iter().map(String::as_str).collect();
+        ds_obs::merge_expositions(&refs).expect("merge shard expositions")
+    };
+    let merged = scrape(&mut conns);
+    // Correctness before speed: the merged counter equals the per-shard
+    // sum (every shard answered the same 8 estimates).
+    let ok_of = |doc: &str| {
+        ds_obs::parse_families(doc)
+            .expect("parse exposition")
+            .iter()
+            .find(|f| f.name == "ds_serve_ok")
+            .and_then(|f| f.scalar())
+            .expect("ds_serve_ok sample")
+    };
+    assert_eq!(
+        ok_of(&merged),
+        32.0,
+        "merged ds_serve_ok must equal the per-shard sum"
+    );
+    let scrape_secs = min_secs(5, || {
+        std::hint::black_box(scrape(&mut conns));
+    });
+    let scrape_us = scrape_secs * 1e6;
+    println!("  4-shard STATS scrape + merge {scrape_us:>8.1} µs/sweep");
+    for conn in conns {
+        conn.quit().ok();
+    }
+    for server in servers {
+        server.shutdown();
+    }
+
+    report.push(Metric::portable(
+        "obs/propagation_overhead_pct",
+        prop_overhead_pct,
+        false,
+    ));
+    report.push(Metric::local(
+        "obs/propagation_ns_per_request",
+        prop_us * 1e3,
+        false,
+    ));
+    report.push(Metric::local("obs/agg_scrape_latency_us", scrape_us, false));
+}
+
 fn main() -> ExitCode {
     let opts = parse_args();
     banner(
@@ -951,6 +1102,7 @@ fn main() -> ExitCode {
     let request_cpu_us = stage_serving(&mut current, &db, &store);
     stage_fleet(&mut current, &db, &store);
     stage_lifecycle(&mut current, &db, &store, request_cpu_us);
+    stage_obs(&mut current, &db, &store, request_cpu_us);
 
     if opts.trace {
         let obs = ds_obs::global();

@@ -16,6 +16,11 @@
 //!   [`HistogramSnapshot`]s, rolling [`WindowedHistogram`]s for drift
 //!   monitoring, a non-blocking [`ExemplarRing`] for slow-request
 //!   exemplars, and [`prom`] text exposition for the `STATS` command.
+//! * **Fleet plane** — cross-process trace identity ([`trace`]:
+//!   128-bit [`TraceContext`] ids minted by a seeded [`IdSource`]),
+//!   exposition merging across shards ([`agg`]: counters sum,
+//!   histograms merge exactly, gauges take the worst), and declarative
+//!   SLOs with fast/slow-window burn-rate alerting ([`slo`]).
 //! * **Sinks** — [`TraceReport::capture`] snapshots a tracer;
 //!   [`PrettySink`] renders it for humans (stderr), [`JsonSink`] for
 //!   machines. The [`json`] module is the workspace's minimal JSON
@@ -44,6 +49,7 @@
 
 #![warn(missing_docs)]
 
+pub mod agg;
 pub mod counter;
 pub mod fleet;
 pub mod hist;
@@ -51,17 +57,22 @@ pub mod json;
 pub mod prom;
 pub mod ring;
 pub mod sink;
+pub mod slo;
 pub mod span;
+pub mod trace;
 pub mod window;
 
+pub use agg::merge_expositions;
 pub use counter::{Counter, Gauge};
 pub use fleet::FleetCounters;
 pub use hist::{HistogramSnapshot, LogHistogram};
 pub use json::{JsonError, JsonValue};
-pub use prom::{PromSample, PromText};
+pub use prom::{parse_families, FamilyKind, PromFamily, PromSample, PromText};
 pub use ring::ExemplarRing;
 pub use sink::{GaugeReport, HistReport, JsonSink, PrettySink, Sink, SpanReport, TraceReport};
+pub use slo::{BurnRates, SloSpec, SloTracker};
 pub use span::{Span, SpanStat, Tracer};
+pub use trace::{IdSource, TraceContext};
 pub use window::WindowedHistogram;
 
 use std::sync::OnceLock;

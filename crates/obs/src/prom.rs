@@ -45,7 +45,7 @@ impl PromText {
         Self::default()
     }
 
-    fn header(&mut self, name: &str, kind: &str) {
+    pub(crate) fn header(&mut self, name: &str, kind: &str) {
         self.out.push_str("# TYPE ");
         self.out.push_str(name);
         self.out.push(' ');
@@ -53,7 +53,7 @@ impl PromText {
         self.out.push('\n');
     }
 
-    fn sample(&mut self, name: &str, labels: &str, value: f64) {
+    pub(crate) fn sample(&mut self, name: &str, labels: &str, value: f64) {
         self.out.push_str(name);
         self.out.push_str(labels);
         self.out.push(' ');
@@ -98,6 +98,56 @@ impl PromText {
         self.sample(&format!("{name}_sum"), "", snap.sum() as f64);
         self.sample(&format!("{name}_count"), "", snap.count() as f64);
         self
+    }
+
+    /// Emits one distribution as a native Prometheus histogram —
+    /// cumulative `_bucket{le="…"}` samples (log₂ bucket upper bounds,
+    /// only non-empty buckets, plus `+Inf`), `_sum` and `_count` — and
+    /// two sibling gauges `<name>_min` / `<name>_max`.
+    ///
+    /// Unlike [`PromText::summary`] quantiles, this family is **exactly
+    /// mergeable** across processes: summing bucket/sum/count samples
+    /// (min of mins, max of maxes) reproduces
+    /// [`HistogramSnapshot::merge`], which is what the fleet aggregator
+    /// relies on. Values are exact up to f64 integer precision (2⁵³).
+    pub fn histogram(&mut self, raw_name: &str, snap: &HistogramSnapshot) -> &mut Self {
+        self.histogram_sanitized(&metric_name(raw_name), snap);
+        // The `_min` gauge merges by minimum (the aggregator special-cases
+        // histogram siblings); together with `_max` it completes the
+        // snapshot.
+        self.gauge(&format!("{raw_name}_min"), snap.min() as f64);
+        self.gauge(&format!("{raw_name}_max"), snap.max() as f64);
+        self
+    }
+
+    /// The histogram family body (`_bucket`/`_sum`/`_count`) for an
+    /// already-sanitized name — shared by [`PromText::histogram`] and the
+    /// fleet aggregator's re-emission path.
+    pub(crate) fn histogram_sanitized(&mut self, name: &str, snap: &HistogramSnapshot) {
+        self.header(name, "histogram");
+        let words = snap.to_words();
+        let mut cumulative = 0u64;
+        for (i, &b) in words[4..].iter().enumerate() {
+            if b == 0 {
+                continue;
+            }
+            cumulative += b;
+            // Bucket 0 holds zeros; bucket i holds [2^(i-1), 2^i), so its
+            // exact upper bound as an `le` is 2^i - 1.
+            let le = if i == 0 { 0 } else { (1u64 << i) - 1 };
+            self.sample(
+                &format!("{name}_bucket"),
+                &format!("{{le=\"{le}\"}}"),
+                cumulative as f64,
+            );
+        }
+        self.sample(
+            &format!("{name}_bucket"),
+            "{le=\"+Inf\"}",
+            snap.count() as f64,
+        );
+        self.sample(&format!("{name}_sum"), "", snap.sum() as f64);
+        self.sample(&format!("{name}_count"), "", snap.count() as f64);
     }
 
     /// Appends everything `tracer` has aggregated: counters, gauges,
@@ -188,6 +238,115 @@ pub fn parse_text(doc: &str) -> Option<Vec<PromSample>> {
     Some(out)
 }
 
+/// The declared type of one exposition family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FamilyKind {
+    /// Monotonic counter — fleet merge sums it.
+    Counter,
+    /// Point-in-time gauge — fleet merge takes the max (min for the
+    /// `_min` companions of histogram families).
+    Gauge,
+    /// Quantile summary — not exactly mergeable; quantiles merge by max
+    /// as an upper bound, `_sum`/`_count` by sum.
+    Summary,
+    /// Native histogram — exactly mergeable bucket-wise.
+    Histogram,
+    /// A sample with no preceding `# TYPE` header.
+    Untyped,
+}
+
+impl FamilyKind {
+    fn parse(s: &str) -> Self {
+        match s {
+            "counter" => Self::Counter,
+            "gauge" => Self::Gauge,
+            "summary" => Self::Summary,
+            "histogram" => Self::Histogram,
+            _ => Self::Untyped,
+        }
+    }
+}
+
+/// One metric family: a `# TYPE` header plus every sample belonging to
+/// it (same name, or the name plus a `_bucket`/`_sum`/`_count`-style
+/// suffix), in document order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromFamily {
+    /// Sanitized family name as declared by the header.
+    pub name: String,
+    /// Declared family type.
+    pub kind: FamilyKind,
+    /// The family's samples, in document order.
+    pub samples: Vec<PromSample>,
+}
+
+impl PromFamily {
+    /// The value of this family's only unlabeled sample named exactly
+    /// `name` — the common case for counters and gauges.
+    pub fn scalar(&self) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|s| s.name == self.name && s.labels.is_empty())
+            .map(|s| s.value)
+    }
+
+    /// The value of the `<family>_<suffix>` sample, if present.
+    pub fn suffixed(&self, suffix: &str) -> Option<f64> {
+        let want = format!("{}_{suffix}", self.name);
+        self.samples
+            .iter()
+            .find(|s| s.name == want && s.labels.is_empty())
+            .map(|s| s.value)
+    }
+}
+
+/// Parses an exposition document into typed families — the structured
+/// counterpart of [`parse_text`], consuming the `# TYPE` headers that
+/// `parse_text` skips. Samples appearing before any header (or not
+/// matching the current family's name) become their own
+/// [`FamilyKind::Untyped`] families. Returns `None` on the first
+/// malformed header or sample line.
+pub fn parse_families(doc: &str) -> Option<Vec<PromFamily>> {
+    fn belongs(family: &str, sample: &str) -> bool {
+        sample == family
+            || sample
+                .strip_prefix(family)
+                .is_some_and(|rest| rest.starts_with('_'))
+    }
+    let mut out: Vec<PromFamily> = Vec::new();
+    for line in doc.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix("# TYPE ") {
+            let (name, kind) = header.split_once(' ')?;
+            if name.is_empty() {
+                return None;
+            }
+            out.push(PromFamily {
+                name: name.to_string(),
+                kind: FamilyKind::parse(kind.trim()),
+                samples: Vec::new(),
+            });
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // other comments (e.g. # HELP)
+        }
+        let sample = parse_text(line)?.pop()?;
+        match out.last_mut() {
+            Some(fam) if belongs(&fam.name, &sample.name) => fam.samples.push(sample),
+            _ => out.push(PromFamily {
+                name: sample.name.clone(),
+                kind: FamilyKind::Untyped,
+                samples: vec![sample],
+            }),
+        }
+    }
+    Some(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -248,5 +407,71 @@ mod tests {
         assert!(parse_text("no_value_here").is_none());
         assert!(parse_text("name{unterminated 1").is_none());
         assert!(parse_text("name x").is_none());
+    }
+
+    #[test]
+    fn histograms_render_cumulative_buckets_with_min_max_gauges() {
+        let h = LogHistogram::new();
+        for v in [0u64, 3, 3, 100] {
+            h.record(v);
+        }
+        let mut p = PromText::new();
+        p.histogram("serve/latency_us", &h.snapshot());
+        let doc = p.into_string();
+        assert!(doc.contains("# TYPE ds_serve_latency_us histogram"));
+        assert!(doc.contains("ds_serve_latency_us_bucket{le=\"0\"} 1"));
+        assert!(doc.contains("ds_serve_latency_us_bucket{le=\"3\"} 3"));
+        assert!(doc.contains("ds_serve_latency_us_bucket{le=\"127\"} 4"));
+        assert!(doc.contains("ds_serve_latency_us_bucket{le=\"+Inf\"} 4"));
+        assert!(doc.contains("ds_serve_latency_us_sum 106"));
+        assert!(doc.contains("ds_serve_latency_us_count 4"));
+        assert!(doc.contains("ds_serve_latency_us_min 0"));
+        assert!(doc.contains("ds_serve_latency_us_max 100"));
+    }
+
+    #[test]
+    fn families_parse_back_typed_with_suffix_attachment() {
+        let h = LogHistogram::new();
+        h.record(5);
+        let mut p = PromText::new();
+        p.counter("serve/requests", 3)
+            .gauge("queue/len", 2.0)
+            .histogram("lat", &h.snapshot())
+            .summary("q", &h.snapshot());
+        let fams = parse_families(p.finish()).expect("parseable");
+        let get = |n: &str| fams.iter().find(|f| f.name == n).expect(n);
+        let reqs = get("ds_serve_requests");
+        assert_eq!(reqs.kind, FamilyKind::Counter);
+        assert_eq!(reqs.scalar(), Some(3.0));
+        assert_eq!(get("ds_queue_len").kind, FamilyKind::Gauge);
+        let lat = get("ds_lat");
+        assert_eq!(lat.kind, FamilyKind::Histogram);
+        assert_eq!(lat.suffixed("count"), Some(1.0));
+        assert_eq!(lat.suffixed("sum"), Some(5.0));
+        // _min/_max carry their own gauge headers, so they are their own
+        // families, not swallowed by the histogram.
+        assert_eq!(get("ds_lat_min").kind, FamilyKind::Gauge);
+        assert_eq!(get("ds_lat_min").scalar(), Some(5.0));
+        assert_eq!(get("ds_q").kind, FamilyKind::Summary);
+    }
+
+    #[test]
+    fn headerless_and_mismatched_samples_become_untyped_families() {
+        let fams = parse_families("stray 1\n# TYPE ds_a counter\nds_a 2\nother 3\n").unwrap();
+        assert_eq!(fams.len(), 3);
+        assert_eq!(
+            (fams[0].name.as_str(), fams[0].kind),
+            ("stray", FamilyKind::Untyped)
+        );
+        assert_eq!(
+            (fams[1].name.as_str(), fams[1].kind),
+            ("ds_a", FamilyKind::Counter)
+        );
+        assert_eq!(
+            (fams[2].name.as_str(), fams[2].kind),
+            ("other", FamilyKind::Untyped)
+        );
+        assert!(parse_families("# TYPE  counter\n").is_none());
+        assert!(parse_families("bad line here extra\n").is_none());
     }
 }

@@ -31,6 +31,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use ds_est::{CardinalityEstimator, EstimateError};
+use ds_obs::{IdSource, TraceContext};
 use ds_query::query::Query;
 
 use crate::faults::FaultInjector;
@@ -106,6 +107,11 @@ pub struct StageStamps {
     pub forward_start: Instant,
     /// When the coalesced forward pass finished.
     pub forward_end: Instant,
+    /// Span id of the coalesced batch this job rode in — one id shared
+    /// by every traced job in the batch, so a fleet aggregator can show
+    /// which requests amortized one forward pass. Zero when no job in
+    /// the batch was traced.
+    pub batch_span: u64,
 }
 
 /// One finished job as delivered on the response channel: the estimate
@@ -129,6 +135,9 @@ struct Job {
     key: u64,
     estimator: SharedEstimator,
     query: Query,
+    /// Trace context of the request (v3 peers), if any. Traced jobs make
+    /// their batch mint a shared batch span id.
+    trace: Option<TraceContext>,
     tx: Sender<Completed>,
     enqueued: Instant,
     deadline: Instant,
@@ -146,6 +155,8 @@ struct Inner {
     cfg: BatcherConfig,
     /// Jobs dropped unanswered because their deadline passed in-queue.
     expired: AtomicU64,
+    /// Mints batch span ids for batches containing traced jobs.
+    ids: IdSource,
     /// Test-only fault plan; `None` in production, and inert in release
     /// builds even when set (see [`FaultInjector::armed`]).
     faults: Option<Arc<FaultInjector>>,
@@ -187,6 +198,7 @@ impl Batcher {
             metrics,
             cfg,
             expired: AtomicU64::new(0),
+            ids: IdSource::from_entropy(),
             faults,
         });
         let workers = (0..inner.cfg.workers)
@@ -223,6 +235,19 @@ impl Batcher {
         estimator: SharedEstimator,
         query: Query,
     ) -> Result<Receiver<Completed>, Rejection> {
+        self.submit_with_trace(key, estimator, query, None)
+    }
+
+    /// [`Batcher::submit_keyed`] carrying the request's trace context.
+    /// A batch containing at least one traced job mints a shared batch
+    /// span id, returned to every job via [`StageStamps::batch_span`].
+    pub fn submit_with_trace(
+        &self,
+        key: u64,
+        estimator: SharedEstimator,
+        query: Query,
+        trace: Option<TraceContext>,
+    ) -> Result<Receiver<Completed>, Rejection> {
         let (tx, rx) = channel();
         let mut st = self.inner.state.lock().expect("batcher lock");
         if st.shutdown {
@@ -239,6 +264,7 @@ impl Batcher {
             key,
             estimator,
             query,
+            trace,
             tx,
             enqueued,
             deadline: enqueued + self.inner.cfg.request_timeout,
@@ -272,7 +298,19 @@ impl Batcher {
         estimator: SharedEstimator,
         query: Query,
     ) -> Result<(f64, StageStamps), Rejection> {
-        let rx = self.submit_keyed(key, estimator, query)?;
+        self.estimate_with_trace(key, estimator, query, None)
+    }
+
+    /// [`Batcher::estimate_traced_keyed`] carrying the request's trace
+    /// context into the batch (see [`Batcher::submit_with_trace`]).
+    pub fn estimate_with_trace(
+        &self,
+        key: u64,
+        estimator: SharedEstimator,
+        query: Query,
+        trace: Option<TraceContext>,
+    ) -> Result<(f64, StageStamps), Rejection> {
+        let rx = self.submit_with_trace(key, estimator, query, trace)?;
         match rx.recv_timeout(self.inner.cfg.request_timeout) {
             Ok(Completed {
                 result: Ok(v),
@@ -386,12 +424,20 @@ fn worker_loop(inner: &Inner) {
             obs.observe("serve/batch_size", batch.len() as u64);
         }
         inner.metrics.record_batch(batch.len());
+        // One batch span links every traced request that shared this
+        // forward pass; untraced batches mint nothing.
+        let batch_span = if batch.iter().any(|j| j.trace.is_some()) {
+            inner.ids.next_span()
+        } else {
+            0
+        };
         for (job, result) in batch.into_iter().zip(results) {
             let stamps = StageStamps {
                 enqueued: job.enqueued,
                 dequeued,
                 forward_start,
                 forward_end,
+                batch_span,
             };
             // A failed send means the waiter gave up; nothing to do.
             let _ = job.tx.send(Completed { result, stamps });
@@ -705,6 +751,30 @@ mod tests {
                 t0.elapsed()
             );
         }
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn traced_batches_mint_one_shared_batch_span() {
+        let est: SharedEstimator = Arc::new(StubEstimator {
+            base: 1.0,
+            delay: Duration::ZERO,
+        });
+        let batcher = Batcher::new(BatcherConfig::default(), Arc::new(Metrics::new()));
+        // Untraced job: no batch span.
+        let (_, stamps) = batcher
+            .estimate_traced(Arc::clone(&est), Query::new())
+            .expect("estimate");
+        assert_eq!(stamps.batch_span, 0);
+        // Traced job: a nonzero span.
+        let ctx = TraceContext {
+            trace_id: 7,
+            span_id: 9,
+        };
+        let (_, stamps) = batcher
+            .estimate_with_trace(3, Arc::clone(&est), Query::new(), Some(ctx))
+            .expect("estimate");
+        assert_ne!(stamps.batch_span, 0);
         batcher.shutdown();
     }
 

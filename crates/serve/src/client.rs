@@ -13,7 +13,7 @@
 use std::net::ToSocketAddrs;
 use std::time::Duration;
 
-use ds_obs::PromSample;
+use ds_obs::{PromFamily, PromSample};
 
 use crate::connection::{invalid_data, invalid_payload, Connection, Handshake};
 use crate::metrics::{MetricsSnapshot, RequestTimeline};
@@ -119,6 +119,7 @@ impl Client {
             &Request::Estimate {
                 sketch: sketch.to_string(),
                 sql: sql.to_string(),
+                trace: None,
             },
             true,
         )
@@ -178,6 +179,7 @@ impl Client {
                 sketch: sketch.to_string(),
                 actual,
                 sql: sql.to_string(),
+                trace: None,
             },
             true,
         )
@@ -223,6 +225,22 @@ impl Client {
             Response::Text(t) => {
                 let doc = t.replace("\\n", "\n");
                 ds_obs::prom::parse_text(&doc)
+                    .ok_or_else(|| invalid_data(format!("bad STATS payload '{t}'")))
+            }
+            other => Err(invalid_payload(&other)),
+        }
+    }
+
+    /// Sends `STATS` and parses the exposition into typed metric
+    /// families — counters, gauges, summaries, histograms — via
+    /// [`ds_obs::parse_families`]. Prefer this over grepping the raw
+    /// text: `families.iter().find(|f| f.name == "ds_serve_requests")`
+    /// then [`PromFamily::scalar`]/[`PromFamily::suffixed`].
+    pub fn stats_families(&mut self) -> std::io::Result<Vec<PromFamily>> {
+        match self.conn.roundtrip(&Request::Stats, false)? {
+            Response::Text(t) => {
+                let doc = t.replace("\\n", "\n");
+                ds_obs::parse_families(&doc)
                     .ok_or_else(|| invalid_data(format!("bad STATS payload '{t}'")))
             }
             other => Err(invalid_payload(&other)),

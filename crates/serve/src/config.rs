@@ -14,10 +14,78 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use ds_core::lifecycle::LifecycleConfig;
+use ds_obs::SloSpec;
 
 use crate::batcher::SharedEstimator;
 use crate::breaker::BreakerConfig;
 use crate::faults::FaultInjector;
+
+/// The serving signal a declarative SLO grades requests against.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SloSignal {
+    /// Latency objective: a request is good when it finishes within the
+    /// threshold (µs).
+    LatencyUs(u64),
+    /// Availability objective: a request is good unless it produced an
+    /// `ERR`/`BUSY` response.
+    Errors,
+    /// Accuracy objective: a graded `FEEDBACK` request is good when its
+    /// q-error stays at or below this bound.
+    QErrorMax(f64),
+}
+
+/// One declarative serving SLO: the burn-rate spec plus the signal that
+/// classifies each request as good or bad.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeSlo {
+    /// Windows, objective, and burn thresholds.
+    pub spec: SloSpec,
+    /// What the SLO measures.
+    pub signal: SloSignal,
+}
+
+impl ServeSlo {
+    /// A paging-priority latency SLO: `objective` of requests finish
+    /// within `threshold_us`.
+    pub fn latency(name: &str, objective: f64, threshold_us: u64) -> Self {
+        Self {
+            spec: SloSpec::paging(name, objective),
+            signal: SloSignal::LatencyUs(threshold_us),
+        }
+    }
+
+    /// A paging-priority availability SLO: `objective` of requests do not
+    /// error.
+    pub fn errors(name: &str, objective: f64) -> Self {
+        Self {
+            spec: SloSpec::paging(name, objective),
+            signal: SloSignal::Errors,
+        }
+    }
+
+    /// A paging-priority accuracy SLO over graded `FEEDBACK` requests:
+    /// `objective` of them land at or below `max_qerror`.
+    pub fn accuracy(name: &str, objective: f64, max_qerror: f64) -> Self {
+        Self {
+            spec: SloSpec::paging(name, objective),
+            signal: SloSignal::QErrorMax(max_qerror),
+        }
+    }
+
+    /// Validates the spec plus the signal's own bounds.
+    pub fn validate(&self) -> Result<(), String> {
+        self.spec.validate()?;
+        if let SloSignal::QErrorMax(q) = self.signal {
+            if !q.is_finite() || q < 1.0 {
+                return Err(format!(
+                    "slo '{}': q-error bound must be finite and >= 1, got {q}",
+                    self.spec.name
+                ));
+            }
+        }
+        Ok(())
+    }
+}
 
 /// Validated server tuning knobs. Construct the default with
 /// [`ServeConfig::default`] or anything else through
@@ -56,6 +124,9 @@ pub struct ServeConfig {
     /// Retrain-and-hot-swap lifecycle; `None` disables the daemon (no
     /// harvesting, no shadow mirroring, `LIFECYCLE` answers "disabled").
     pub(crate) lifecycle: Option<LifecycleConfig>,
+    /// Declarative serving SLOs, evaluated per request and exported with
+    /// burn rates in `STATS`. Empty disables SLO tracking.
+    pub(crate) slos: Vec<ServeSlo>,
 }
 
 impl ServeConfig {
@@ -112,6 +183,7 @@ impl std::fmt::Debug for ServeConfig {
             .field("cache_capacity", &self.cache_capacity)
             .field("snapshot_dir", &self.snapshot_dir)
             .field("lifecycle", &self.lifecycle)
+            .field("slos", &self.slos)
             .finish()
     }
 }
@@ -133,6 +205,7 @@ impl Default for ServeConfig {
             cache_capacity: 4096,
             snapshot_dir: None,
             lifecycle: None,
+            slos: Vec::new(),
         }
     }
 }
@@ -264,6 +337,14 @@ impl ServeConfigBuilder {
         self
     }
 
+    /// Declarative serving SLOs evaluated per request (latency, errors,
+    /// accuracy), exported with burn rates in `STATS`. Names must be
+    /// unique; each is validated in [`ServeConfigBuilder::build`].
+    pub fn slos(mut self, slos: Vec<ServeSlo>) -> Self {
+        self.cfg.slos = slos;
+        self
+    }
+
     /// Validates the invariants and returns the config, or a
     /// [`ConfigError`] naming the first violated one.
     pub fn build(self) -> Result<ServeConfig, ConfigError> {
@@ -300,6 +381,15 @@ impl ServeConfigBuilder {
         }
         if let Some(lc) = c.lifecycle.as_ref() {
             lc.validate().map_err(ConfigError)?;
+        }
+        for (i, slo) in c.slos.iter().enumerate() {
+            slo.validate().map_err(ConfigError)?;
+            if c.slos[..i].iter().any(|s| s.spec.name == slo.spec.name) {
+                return Err(ConfigError(format!(
+                    "duplicate slo name '{}'",
+                    slo.spec.name
+                )));
+            }
         }
         Ok(self.cfg)
     }
@@ -341,6 +431,11 @@ mod tests {
             .cache_capacity(0)
             .snapshot_dir(Some(PathBuf::from("/tmp/snaps")))
             .lifecycle(Some(LifecycleConfig::default()))
+            .slos(vec![
+                ServeSlo::latency("latency-p99", 0.99, 5_000),
+                ServeSlo::errors("availability", 0.999),
+                ServeSlo::accuracy("qerror", 0.95, 16.0),
+            ])
             .build()
             .expect("valid");
         assert_eq!(cfg.addr(), "0.0.0.0:0");
@@ -352,6 +447,7 @@ mod tests {
         assert_eq!(cfg.snapshot_dir.as_deref(), Some("/tmp/snaps".as_ref()));
         assert!(cfg.faults.is_some());
         assert!(cfg.lifecycle.is_some());
+        assert_eq!(cfg.slos.len(), 3);
     }
 
     #[test]
@@ -382,6 +478,21 @@ mod tests {
                     shadow_gate_ratio: 0.0,
                     ..LifecycleConfig::default()
                 })),
+            ),
+            (
+                "slo objective out of range",
+                ServeConfig::builder().slos(vec![ServeSlo::latency("lat", 1.5, 1000)]),
+            ),
+            (
+                "slo q-error bound below 1",
+                ServeConfig::builder().slos(vec![ServeSlo::accuracy("acc", 0.99, 0.5)]),
+            ),
+            (
+                "duplicate slo names",
+                ServeConfig::builder().slos(vec![
+                    ServeSlo::latency("dup", 0.99, 1000),
+                    ServeSlo::errors("dup", 0.999),
+                ]),
             ),
         ];
         for (what, builder) in violations {

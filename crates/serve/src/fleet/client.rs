@@ -18,7 +18,7 @@ use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use ds_obs::FleetCounters;
+use ds_obs::{FleetCounters, IdSource, TraceContext};
 
 use crate::breaker::{BreakerConfig, BreakerRegistry};
 use crate::connection::Connection;
@@ -57,6 +57,11 @@ pub struct FleetClient {
     affinity: HashMap<String, usize>,
     degraded: HashSet<usize>,
     counters: Arc<FleetCounters>,
+    /// Mints one root trace per routed request (v3 `trace=` tokens).
+    ids: IdSource,
+    /// The trace minted for the most recent [`FleetClient::estimate`]
+    /// sweep — tests join it against the shards' `TRACE` exemplars.
+    last_trace: Option<TraceContext>,
 }
 
 impl FleetClient {
@@ -76,12 +81,29 @@ impl FleetClient {
             affinity: HashMap::new(),
             degraded: HashSet::new(),
             counters: Arc::new(FleetCounters::new()),
+            ids: IdSource::from_entropy(),
+            last_trace: None,
         }
     }
 
     /// The routing counters (shared — clone the `Arc` to aggregate).
     pub fn counters(&self) -> Arc<FleetCounters> {
         Arc::clone(&self.counters)
+    }
+
+    /// The routing counters rendered as Prometheus exposition — the
+    /// scrapeable form a fleet aggregator merges beside shard `STATS`.
+    pub fn counters_exposition(&self) -> String {
+        let mut p = ds_obs::PromText::new();
+        self.counters.render(&mut p);
+        p.into_string()
+    }
+
+    /// The root trace context minted for the most recent
+    /// [`FleetClient::estimate`] call. It was sent on the wire only to
+    /// shards that negotiated the v3 `trace` feature.
+    pub fn last_trace(&self) -> Option<TraceContext> {
+        self.last_trace
     }
 
     /// The topology this client routes over.
@@ -156,6 +178,12 @@ impl FleetClient {
     /// `degraded` wire flag.
     pub fn estimate(&mut self, sketch: &str, sql: &str) -> std::io::Result<(f64, bool)> {
         self.counters.routed.inc();
+        // One root trace covers the whole sweep: every shard tried (the
+        // failed attempt and the failover that answered) parents its
+        // server span under the same client span, so the aggregator can
+        // stitch the full causal tree.
+        let root = self.ids.mint();
+        self.last_trace = Some(root);
         let candidates = self.candidates(sketch);
         let mut last_err: Option<std::io::Error> = None;
         for (attempt, shard) in candidates.iter().copied().enumerate() {
@@ -163,12 +191,21 @@ impl FleetClient {
                 self.counters.retries.inc();
             }
             let breaker = self.breakers.breaker(&shard.to_string());
-            let req = Request::Estimate {
-                sketch: sketch.to_string(),
-                sql: sql.to_string(),
-            };
             let resp = match self.conn(shard) {
-                Ok(conn) => conn.roundtrip(&req, true),
+                Ok(conn) => {
+                    // Attach the token only to peers that negotiated the
+                    // v3 `trace` feature; older shards never see it.
+                    let trace = conn
+                        .handshake()
+                        .is_some_and(|h| h.has_feature("trace"))
+                        .then_some(root);
+                    let req = Request::Estimate {
+                        sketch: sketch.to_string(),
+                        sql: sql.to_string(),
+                        trace,
+                    };
+                    conn.roundtrip(&req, true)
+                }
                 Err(e) => Err(e),
             };
             // Flatten the two success variants into (value, degraded-flag)

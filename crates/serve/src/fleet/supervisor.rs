@@ -73,12 +73,16 @@ pub struct ShardHealth {
     pub alive: bool,
     /// Sketches whose server-side circuit breaker is currently open.
     pub open_breakers: Vec<String>,
+    /// SLOs whose multi-window burn-rate alert is firing on this shard
+    /// (sanitized metric names from the exposition). A sustained
+    /// latency/q-error burn demotes the shard exactly like a breaker trip.
+    pub firing_slos: Vec<String>,
 }
 
 impl ShardHealth {
     /// Whether routing should steer away from this shard.
     pub fn degraded(&self) -> bool {
-        !self.alive || !self.open_breakers.is_empty()
+        !self.alive || !self.open_breakers.is_empty() || !self.firing_slos.is_empty()
     }
 }
 
@@ -278,15 +282,17 @@ impl Fleet {
     pub fn gossip(&self) -> Vec<ShardHealth> {
         (0..self.nodes.len())
             .map(|shard| match self.probe(shard) {
-                Some(open_breakers) => ShardHealth {
+                Some((open_breakers, firing_slos)) => ShardHealth {
                     shard,
                     alive: true,
                     open_breakers,
+                    firing_slos,
                 },
                 None => ShardHealth {
                     shard,
                     alive: false,
                     open_breakers: Vec::new(),
+                    firing_slos: Vec::new(),
                 },
             })
             .collect()
@@ -300,32 +306,36 @@ impl Fleet {
         }
     }
 
-    /// Probes one shard: `None` when unreachable, otherwise the list of
-    /// sketches with open server-side breakers, parsed from the `STATS`
-    /// Prometheus exposition (`ds_serve_breaker_<name>_open` gauges).
-    fn probe(&self, shard: usize) -> Option<Vec<String>> {
+    /// Probes one shard: `None` when unreachable, otherwise the sketches
+    /// with open server-side breakers plus the SLOs whose burn-rate alert
+    /// fires, parsed from the typed `STATS` families
+    /// (`ds_serve_breaker_<name>_open` / `ds_slo_<name>_firing` gauges).
+    fn probe(&self, shard: usize) -> Option<(Vec<String>, Vec<String>)> {
         let mut conn =
             Connection::connect_timeout(self.nodes[shard].addr, self.cfg.timeout).ok()?;
         let Response::Text(text) = conn.roundtrip(&Request::Stats, false).ok()? else {
             return None;
         };
         let doc = text.replace("\\n", "\n");
-        let samples = ds_obs::prom::parse_text(&doc)?;
-        let open = samples
-            .iter()
-            .filter(|s| {
-                s.name.starts_with("ds_serve_breaker_")
-                    && s.name.ends_with("_open")
-                    && s.value > 0.0
-            })
-            .map(|s| {
-                s.name
-                    .trim_start_matches("ds_serve_breaker_")
-                    .trim_end_matches("_open")
-                    .to_string()
-            })
-            .collect();
-        Some(open)
+        let families = ds_obs::parse_families(&doc)?;
+        let flagged = |prefix: &str, suffix: &str| -> Vec<String> {
+            families
+                .iter()
+                .filter(|f| f.kind == ds_obs::FamilyKind::Gauge)
+                .filter_map(|f| f.scalar().map(|v| (f, v)))
+                .filter(|&(f, v)| f.name.starts_with(prefix) && f.name.ends_with(suffix) && v > 0.0)
+                .map(|(f, _)| {
+                    f.name
+                        .trim_start_matches(prefix)
+                        .trim_end_matches(suffix)
+                        .to_string()
+                })
+                .collect()
+        };
+        Some((
+            flagged("ds_serve_breaker_", "_open"),
+            flagged("ds_slo_", "_firing"),
+        ))
     }
 
     fn connect(&self, shard: usize) -> std::io::Result<Connection> {

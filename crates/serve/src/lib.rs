@@ -38,6 +38,16 @@
 //!   (`SNAPSHOT`/`SYNC`), gossip-fed routing in [`FleetClient`], and
 //!   automatic failover with re-replication when a replica dies. The wire
 //!   protocol is versioned (`HELLO`) so old clients keep working.
+//! * **Fleet observability** — cross-process trace propagation: a
+//!   [`FleetClient`] mints one 128-bit trace per routed request and
+//!   attaches it as a v3 `trace=` token; every shard records its spans
+//!   into `TRACE` exemplars, and the `ds_fleetmon` aggregator scrapes
+//!   all shards, merges their `STATS` expositions exactly (counters sum,
+//!   histograms merge bucket-wise), and stitches cross-shard exemplars
+//!   into one causal tree per trace. Declarative SLOs
+//!   ([`ServeConfigBuilder::slos`]) grade every request and export
+//!   multi-window burn rates; a firing burn alert demotes the shard in
+//!   gossip-fed routing exactly like a breaker trip.
 //! * **Self-maintaining serving** — an optional lifecycle daemon
 //!   ([`ds_core::lifecycle`], enabled via
 //!   [`ServeConfigBuilder::lifecycle`]) harvests `FEEDBACK`-graded
@@ -84,7 +94,7 @@ pub use batcher::{Batcher, BatcherConfig, Completed, Rejection, SharedEstimator,
 pub use breaker::{Admit, BreakerConfig, BreakerRegistry, CircuitBreaker};
 pub use cache::{EstimateCache, EstimateKey};
 pub use client::{Client, InfoCard};
-pub use config::{ConfigError, ServeConfig, ServeConfigBuilder};
+pub use config::{ConfigError, ServeConfig, ServeConfigBuilder, ServeSlo, SloSignal};
 pub use connection::{Connection, Handshake, SyncAck};
 pub use ds_core::lifecycle::{
     LifecycleConfig, LifecycleCounters, LifecycleManager, LifecyclePhase, LifecycleStatus,
@@ -94,5 +104,8 @@ pub use fleet::{
     Fleet, FleetClient, FleetClientConfig, FleetConfig, FleetTopology, HashRing, ShardHealth,
 };
 pub use metrics::{LogHistogram, Metrics, MetricsSnapshot, RequestTimeline};
-pub use protocol::{ErrorCode, Request, Response};
+pub use protocol::{
+    format_response, parse_request, ErrorCode, Request, Response, PROTOCOL_VERSION,
+    SUPPORTED_FEATURES,
+};
 pub use server::{query_template, Server, TemplateInterner};

@@ -42,6 +42,15 @@ pub struct RequestTimeline {
     pub forward_us: u64,
     /// Response formatting + socket write + flush (µs).
     pub write_us: u64,
+    /// Distributed trace this request belongs to (0 = untraced). Set
+    /// when the peer sent a v3 `trace=` token with the request.
+    pub trace_id: u128,
+    /// This server's span within the trace (0 = untraced).
+    pub span_id: u64,
+    /// The caller's span id — the parent of `span_id` (0 = unknown).
+    pub parent_span: u64,
+    /// Span of the coalesced batch this request rode in (0 = none).
+    pub batch_span: u64,
 }
 
 impl RequestTimeline {
@@ -50,9 +59,11 @@ impl RequestTimeline {
         self.parse_us + self.queue_us + self.batch_wait_us + self.forward_us + self.write_us
     }
 
-    /// Single-token-per-field wire form for one `TRACE` record.
+    /// Single-token-per-field wire form for one `TRACE` record. Trace
+    /// identity fields are appended only for traced requests, so
+    /// untraced records are byte-identical to the pre-v3 format.
     pub fn to_wire(&self) -> String {
-        format!(
+        let mut line = format!(
             "sketch={} template={} total_us={} parse_us={} queue_us={} \
              batch_wait_us={} forward_us={} write_us={}",
             self.sketch,
@@ -63,7 +74,14 @@ impl RequestTimeline {
             self.batch_wait_us,
             self.forward_us,
             self.write_us
-        )
+        );
+        if self.trace_id != 0 {
+            line.push_str(&format!(
+                " trace_id={:032x} span_id={:016x} parent_span={:016x} batch_span={:016x}",
+                self.trace_id, self.span_id, self.parent_span, self.batch_span
+            ));
+        }
+        line
     }
 
     /// Parses one `TRACE` record (client side).
@@ -71,6 +89,8 @@ impl RequestTimeline {
         let mut sketch = None;
         let mut template = None;
         let mut nums = [None::<u64>; 6];
+        let mut trace_id = 0u128;
+        let mut spans = [0u64; 3];
         const KEYS: [&str; 6] = [
             "total_us",
             "parse_us",
@@ -79,14 +99,20 @@ impl RequestTimeline {
             "forward_us",
             "write_us",
         ];
+        const SPAN_KEYS: [&str; 3] = ["span_id", "parent_span", "batch_span"];
         for field in s.split_whitespace() {
             let (key, value) = field.split_once('=')?;
             match key {
                 "sketch" => sketch = Some(value.to_string()),
                 "template" => template = Some(value.to_string()),
+                "trace_id" => trace_id = u128::from_str_radix(value, 16).ok()?,
                 _ => {
-                    let i = KEYS.iter().position(|k| *k == key)?;
-                    nums[i] = Some(value.parse().ok()?);
+                    if let Some(i) = SPAN_KEYS.iter().position(|k| *k == key) {
+                        spans[i] = u64::from_str_radix(value, 16).ok()?;
+                    } else {
+                        let i = KEYS.iter().position(|k| *k == key)?;
+                        nums[i] = Some(value.parse().ok()?);
+                    }
                 }
             }
         }
@@ -99,6 +125,10 @@ impl RequestTimeline {
             batch_wait_us: nums[3]?,
             forward_us: nums[4]?,
             write_us: nums[5]?,
+            trace_id,
+            span_id: spans[0],
+            parent_span: spans[1],
+            batch_span: spans[2],
         })
     }
 }
@@ -473,6 +503,10 @@ mod tests {
             batch_wait_us: total / 10,
             forward_us: total / 2,
             write_us: total - total / 10 - total / 5 - total / 10 - total / 2,
+            trace_id: 0,
+            span_id: 0,
+            parent_span: 0,
+            batch_span: 0,
         }
     }
 
@@ -482,9 +516,31 @@ mod tests {
         assert_eq!(t.stage_sum_us(), t.total_us);
         let wire = t.to_wire();
         assert!(!wire.contains(';') && !wire.contains('\n'), "{wire}");
+        // Untraced records never mention the trace keys — pre-v3 shape.
+        assert!(!wire.contains("trace_id"), "{wire}");
         assert_eq!(RequestTimeline::from_wire(&wire).unwrap(), t);
         assert!(RequestTimeline::from_wire("sketch=x template=y").is_none());
         assert!(RequestTimeline::from_wire("garbage").is_none());
+    }
+
+    #[test]
+    fn traced_timelines_carry_their_span_identity() {
+        let mut t = timeline(500);
+        t.trace_id = 0xdead_beef_cafe_f00d_1234_5678_9abc_def0;
+        t.span_id = 0x1;
+        t.parent_span = 0x2;
+        t.batch_span = 0x3;
+        let wire = t.to_wire();
+        assert!(
+            wire.contains("trace_id=deadbeefcafef00d123456789abcdef0"),
+            "{wire}"
+        );
+        assert_eq!(RequestTimeline::from_wire(&wire).unwrap(), t);
+        // Malformed hex in a trace field is a parse failure, not a panic.
+        assert!(RequestTimeline::from_wire(
+            &wire.replace("span_id=0000000000000001", "span_id=zz")
+        )
+        .is_none());
     }
 
     #[test]

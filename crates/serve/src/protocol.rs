@@ -7,8 +7,11 @@
 //!                              (comma-separated); the answer is
 //!                              `OK HELLO <negotiated> <features>` or a
 //!                              typed `ERR version-mismatch`
-//! ESTIMATE <sketch> <sql…>     estimate one query with a named sketch
-//! FEEDBACK <sketch> <actual> <sql…>
+//! ESTIMATE <sketch> <sql…> [trace=<id>.<span>]
+//!                              estimate one query with a named sketch;
+//!                              the optional trailing token carries a
+//!                              propagated [`TraceContext`] (v3)
+//! FEEDBACK <sketch> <actual> <sql…> [trace=<id>.<span>]
 //!                              estimate AND record the observed true
 //!                              cardinality into the drift monitor
 //! INFO <sketch>                the sketch's summary card
@@ -56,19 +59,21 @@
 
 use ds_core::store::StoreError;
 use ds_est::EstimateError;
+use ds_obs::TraceContext;
 
 /// Current wire protocol version. v1 is the pre-handshake protocol
-/// (everything up to `TRACE`); v2 adds `HELLO`/`SNAPSHOT`/`SYNC`.
-pub const PROTOCOL_VERSION: u32 = 2;
+/// (everything up to `TRACE`); v2 adds `HELLO`/`SNAPSHOT`/`SYNC`; v3
+/// adds the optional trailing `trace=` token on `ESTIMATE`/`FEEDBACK`.
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// Oldest protocol version this build still speaks.
 pub const MIN_PROTOCOL_VERSION: u32 = 1;
 
 /// Optional capabilities this build implements, advertised in the `HELLO`
 /// exchange: the template-keyed estimate cache, the `degraded` response
-/// token, the fleet verbs (`SNAPSHOT`/`SYNC`), and the retrain lifecycle
-/// (`LIFECYCLE`).
-pub const SUPPORTED_FEATURES: &[&str] = &["cache", "degraded-token", "fleet", "lifecycle"];
+/// token, the fleet verbs (`SNAPSHOT`/`SYNC`), the retrain lifecycle
+/// (`LIFECYCLE`), and cross-process trace propagation (`trace`).
+pub const SUPPORTED_FEATURES: &[&str] = &["cache", "degraded-token", "fleet", "lifecycle", "trace"];
 
 /// A parsed client request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -80,17 +85,21 @@ pub enum Request {
         /// Features the sender implements (comma-separated on the wire).
         features: Vec<String>,
     },
-    /// `ESTIMATE <sketch> <sql>` — estimate `sql` with the named sketch.
+    /// `ESTIMATE <sketch> <sql> [trace=…]` — estimate `sql` with the
+    /// named sketch.
     Estimate {
         /// Sketch name in the store.
         sketch: String,
         /// The `SELECT COUNT(*)` query text.
         sql: String,
+        /// Propagated trace identity from the optional trailing
+        /// `trace=` token (v3 feature; `None` from older peers).
+        trace: Option<TraceContext>,
     },
-    /// `FEEDBACK <sketch> <actual> <sql>` — estimate `sql` exactly like
-    /// `ESTIMATE` (same batcher path, bit-identical result), then record
-    /// the q-error against the observed true cardinality `actual` into the
-    /// sketch's rolling accuracy monitor.
+    /// `FEEDBACK <sketch> <actual> <sql> [trace=…]` — estimate `sql`
+    /// exactly like `ESTIMATE` (same batcher path, bit-identical
+    /// result), then record the q-error against the observed true
+    /// cardinality `actual` into the sketch's rolling accuracy monitor.
     Feedback {
         /// Sketch name in the store.
         sketch: String,
@@ -98,6 +107,9 @@ pub enum Request {
         actual: u64,
         /// The `SELECT COUNT(*)` query text.
         sql: String,
+        /// Propagated trace identity from the optional trailing
+        /// `trace=` token (v3 feature; `None` from older peers).
+        trace: Option<TraceContext>,
     },
     /// `INFO <sketch>` — summary card of the named sketch.
     Info {
@@ -228,6 +240,27 @@ pub enum Response {
     Bye,
 }
 
+/// Splits an optional trailing `trace=<token>` off a request's SQL tail.
+/// A last token that *claims* to be a trace (`trace=` prefix) but fails
+/// the strict [`TraceContext::parse_token`] validation is a protocol
+/// error — it is never silently passed through as SQL.
+fn split_trace(tail: &str) -> Result<(&str, Option<TraceContext>), Response> {
+    let (head, last) = match tail.rsplit_once(char::is_whitespace) {
+        Some((head, last)) => (head, last),
+        None => ("", tail),
+    };
+    let Some(token) = last.strip_prefix("trace=") else {
+        return Ok((tail, None));
+    };
+    match TraceContext::parse_token(token) {
+        Some(ctx) => Ok((head.trim_end(), Some(ctx))),
+        None => Err(Response::Error {
+            code: ErrorCode::Proto,
+            message: format!("malformed trace token '{last}'"),
+        }),
+    }
+}
+
 /// Parses one request line. Returns a [`Response::Error`] (proto code) on
 /// malformed input so callers can echo it straight back.
 pub fn parse_request(line: &str) -> Result<Request, Response> {
@@ -288,27 +321,31 @@ pub fn parse_request(line: &str) -> Result<Request, Response> {
         "ESTIMATE" => {
             let mut args = rest.splitn(2, char::is_whitespace);
             let sketch = args.next().unwrap_or("").trim();
-            let sql = args.next().unwrap_or("").trim();
+            let tail = args.next().unwrap_or("").trim();
+            let (sql, trace) = split_trace(tail)?;
             if sketch.is_empty() || sql.is_empty() {
                 return Err(Response::Error {
                     code: ErrorCode::Proto,
-                    message: "usage: ESTIMATE <sketch> <sql>".to_string(),
+                    message: "usage: ESTIMATE <sketch> <sql> [trace=<id>.<span>]".to_string(),
                 });
             }
             Ok(Request::Estimate {
                 sketch: sketch.to_string(),
                 sql: sql.to_string(),
+                trace,
             })
         }
         "FEEDBACK" => {
             let mut args = rest.splitn(3, char::is_whitespace);
             let sketch = args.next().unwrap_or("").trim();
             let actual = args.next().unwrap_or("").trim();
-            let sql = args.next().unwrap_or("").trim();
+            let tail = args.next().unwrap_or("").trim();
             let usage = || Response::Error {
                 code: ErrorCode::Proto,
-                message: "usage: FEEDBACK <sketch> <actual-cardinality> <sql>".to_string(),
+                message: "usage: FEEDBACK <sketch> <actual-cardinality> <sql> [trace=<id>.<span>]"
+                    .to_string(),
             };
+            let (sql, trace) = split_trace(tail)?;
             if sketch.is_empty() || sql.is_empty() {
                 return Err(usage());
             }
@@ -317,6 +354,7 @@ pub fn parse_request(line: &str) -> Result<Request, Response> {
                 sketch: sketch.to_string(),
                 actual,
                 sql: sql.to_string(),
+                trace,
             })
         }
         "INFO" => {
@@ -370,12 +408,19 @@ pub fn format_request(req: &Request) -> String {
             len,
             hex,
         } => format!("SYNC {name} {generation} {len} {hex}"),
-        Request::Estimate { sketch, sql } => format!("ESTIMATE {sketch} {sql}"),
+        Request::Estimate { sketch, sql, trace } => match trace {
+            Some(t) => format!("ESTIMATE {sketch} {sql} trace={}", t.to_token()),
+            None => format!("ESTIMATE {sketch} {sql}"),
+        },
         Request::Feedback {
             sketch,
             actual,
             sql,
-        } => format!("FEEDBACK {sketch} {actual} {sql}"),
+            trace,
+        } => match trace {
+            Some(t) => format!("FEEDBACK {sketch} {actual} {sql} trace={}", t.to_token()),
+            None => format!("FEEDBACK {sketch} {actual} {sql}"),
+        },
         Request::Info { sketch } => format!("INFO {sketch}"),
         Request::Lifecycle { sketch } => format!("LIFECYCLE {sketch}"),
         Request::List => "LIST".to_string(),
@@ -502,11 +547,30 @@ mod tests {
             Request::Estimate {
                 sketch: "imdb".into(),
                 sql: "SELECT COUNT(*) FROM title WHERE title.kind_id = 1".into(),
+                trace: None,
+            },
+            Request::Estimate {
+                sketch: "imdb".into(),
+                sql: "SELECT COUNT(*) FROM title WHERE title.kind_id = 1".into(),
+                trace: Some(TraceContext {
+                    trace_id: 0xdead_beef_cafe_f00d_1234_5678_9abc_def0,
+                    span_id: 0x0fed_cba9_8765_4321,
+                }),
             },
             Request::Feedback {
                 sketch: "imdb".into(),
                 actual: 4321,
                 sql: "SELECT COUNT(*) FROM title WHERE title.kind_id = 1".into(),
+                trace: None,
+            },
+            Request::Feedback {
+                sketch: "imdb".into(),
+                actual: 4321,
+                sql: "SELECT COUNT(*) FROM title WHERE title.kind_id = 1".into(),
+                trace: Some(TraceContext {
+                    trace_id: 7,
+                    span_id: 9,
+                }),
             },
             Request::Info {
                 sketch: "imdb".into(),
@@ -532,7 +596,8 @@ mod tests {
             parse_request("estimate s SELECT COUNT(*) FROM t").unwrap(),
             Request::Estimate {
                 sketch: "s".into(),
-                sql: "SELECT COUNT(*) FROM t".into()
+                sql: "SELECT COUNT(*) FROM t".into(),
+                trace: None,
             }
         );
         assert_eq!(parse_request("list").unwrap(), Request::List);
@@ -564,11 +629,64 @@ mod tests {
             "SYNC s 1 2",
             "SYNC s one 2 abcd",
             "SYNC s 1 two abcd",
+            // Trailing tokens that claim to be traces must validate
+            // strictly — a typed proto error, never SQL passthrough.
+            "ESTIMATE s SELECT COUNT(*) FROM t trace=",
+            "ESTIMATE s SELECT COUNT(*) FROM t trace=xyz",
+            "ESTIMATE s SELECT COUNT(*) FROM t trace=00000000000000000000000000000007.zzzzzzzzzzzzzzzz",
+            "ESTIMATE s SELECT COUNT(*) FROM t trace=00000000000000000000000000000000.0000000000000009",
+            "ESTIMATE s SELECT COUNT(*) FROM t trace=00000000000000000000000000000007,0000000000000009",
+            // A lone valid trace token leaves no SQL behind.
+            "ESTIMATE s trace=00000000000000000000000000000007.0000000000000009",
+            "FEEDBACK s 12 trace=00000000000000000000000000000007.0000000000000009",
+            "FEEDBACK s 12 SELECT COUNT(*) FROM t trace=tooshort",
         ] {
             match parse_request(bad) {
                 Err(Response::Error { code, .. }) => assert_eq!(code, ErrorCode::Proto, "{bad}"),
                 other => panic!("expected proto error for '{bad}', got {other:?}"),
             }
+        }
+    }
+
+    #[test]
+    fn trace_tokens_ride_the_tail_of_both_verbs() {
+        let tok = "000102030405060708090a0b0c0d0e0f.1122334455667788";
+        let want = TraceContext {
+            trace_id: 0x0001_0203_0405_0607_0809_0a0b_0c0d_0e0f,
+            span_id: 0x1122_3344_5566_7788,
+        };
+        match parse_request(&format!("ESTIMATE s SELECT COUNT(*) FROM t trace={tok}")).unwrap() {
+            Request::Estimate { sql, trace, .. } => {
+                assert_eq!(sql, "SELECT COUNT(*) FROM t");
+                assert_eq!(trace, Some(want));
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse_request(&format!("FEEDBACK s 42 SELECT COUNT(*) FROM t trace={tok}")).unwrap() {
+            Request::Feedback { actual, trace, .. } => {
+                assert_eq!(actual, 42);
+                assert_eq!(trace, Some(want));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Uppercase hex is tolerated on parse and canonicalized on format
+        // — the parse→format→parse fixed point the fuzzer checks.
+        let upper = format!(
+            "ESTIMATE s SELECT COUNT(*) FROM t trace={}",
+            tok.to_uppercase()
+        );
+        let parsed = parse_request(&upper).unwrap();
+        let canonical = format_request(&parsed);
+        assert_eq!(parse_request(&canonical).unwrap(), parsed);
+        assert!(canonical.ends_with(&format!("trace={tok}")));
+        // A `trace=` in the middle of the SQL is not a trailing token and
+        // passes through untouched.
+        match parse_request("ESTIMATE s SELECT trace=x FROM t").unwrap() {
+            Request::Estimate { sql, trace, .. } => {
+                assert_eq!(sql, "SELECT trace=x FROM t");
+                assert_eq!(trace, None);
+            }
+            other => panic!("{other:?}"),
         }
     }
 

@@ -25,7 +25,7 @@ use ds_core::monitor::MonitorRegistry;
 use ds_core::snapshot::{decode_hex, decode_snapshot, encode_hex};
 use ds_core::store::{AdoptOutcome, SketchStore};
 use ds_est::EstimateError;
-use ds_obs::PromText;
+use ds_obs::{IdSource, PromText, SloTracker, TraceContext};
 use ds_query::parser::parse_query;
 use ds_query::query::Query;
 use ds_storage::catalog::Database;
@@ -33,7 +33,7 @@ use ds_storage::catalog::Database;
 use crate::batcher::{Batcher, BatcherConfig, Rejection, SharedEstimator, StageStamps};
 use crate::breaker::{Admit, BreakerRegistry};
 use crate::cache::EstimateCache;
-use crate::config::ServeConfig;
+use crate::config::{ServeConfig, SloSignal};
 use crate::faults::FaultInjector;
 use crate::metrics::{Metrics, MetricsSnapshot, RequestTimeline};
 use crate::protocol::{
@@ -57,6 +57,15 @@ struct ShadowJob {
     query: Query,
     live: f64,
     actual: Option<u64>,
+    /// Trace of the mirrored request, so shadow-scoring cost shows up in
+    /// the same causal tree as the request that caused it.
+    trace: Option<TraceContext>,
+}
+
+/// One configured SLO with its live burn-rate tracker.
+struct SloState {
+    tracker: SloTracker,
+    signal: SloSignal,
 }
 
 /// Lifecycle plumbing shared between the request handlers (harvest and
@@ -91,6 +100,55 @@ struct Shared {
     sync_adopted: AtomicU64,
     sync_stale: AtomicU64,
     sync_rejected: AtomicU64,
+    /// Mints this server's span ids for traced (v3) requests.
+    ids: IdSource,
+    /// Monotonic epoch anchoring SLO window timestamps — no wall clock
+    /// on the request path.
+    epoch: Instant,
+    /// Configured SLOs with their burn-rate trackers (empty = disabled).
+    slos: Vec<SloState>,
+}
+
+impl Shared {
+    /// Milliseconds since the server started — the SLO clock.
+    fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+
+    /// Grades one finished request against every configured SLO.
+    /// `latency` is the end-to-end wall time; `errored` marks `ERR`/`BUSY`
+    /// responses; `qerror` is present only for graded `FEEDBACK` requests.
+    fn record_slos(&self, latency: Option<Duration>, errored: bool, qerror: Option<f64>) {
+        if self.slos.is_empty() {
+            return;
+        }
+        let now = self.now_ms();
+        for slo in &self.slos {
+            match slo.signal {
+                SloSignal::LatencyUs(limit) => {
+                    if let Some(lat) = latency {
+                        slo.tracker.record(now, lat.as_micros() as u64 <= limit);
+                    }
+                }
+                SloSignal::Errors => slo.tracker.record(now, !errored),
+                SloSignal::QErrorMax(limit) => {
+                    if let Some(q) = qerror {
+                        slo.tracker.record(now, q <= limit);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Names of SLOs currently firing their burn-rate alert.
+    fn firing_slos(&self) -> Vec<String> {
+        let now = self.now_ms();
+        self.slos
+            .iter()
+            .filter(|s| s.tracker.firing(now))
+            .map(|s| s.tracker.spec().name.clone())
+            .collect()
+    }
 }
 
 /// A running sketch server. Dropping it shuts it down.
@@ -171,6 +229,16 @@ impl Server {
             sync_adopted: AtomicU64::new(0),
             sync_stale: AtomicU64::new(0),
             sync_rejected: AtomicU64::new(0),
+            ids: IdSource::from_entropy(),
+            epoch: Instant::now(),
+            slos: cfg
+                .slos
+                .into_iter()
+                .map(|s| SloState {
+                    tracker: SloTracker::new(s.spec),
+                    signal: s.signal,
+                })
+                .collect(),
         });
         let lifecycle_daemon = match shadow_rx {
             Some(rx) => {
@@ -232,6 +300,12 @@ impl Server {
     /// the transitions.
     pub fn breaker(&self, sketch: &str) -> Arc<crate::breaker::CircuitBreaker> {
         self.shared.breakers.breaker(sketch)
+    }
+
+    /// Names of configured SLOs whose multi-window burn-rate alert is
+    /// currently firing. Empty when no SLOs are configured or none burn.
+    pub fn firing_slos(&self) -> Vec<String> {
+        self.shared.firing_slos()
     }
 
     /// Graceful shutdown: stop accepting, let in-flight requests finish,
@@ -374,12 +448,17 @@ struct PendingTimeline {
     sketch: String,
     template: Arc<str>,
     stamps: StageStamps,
+    /// Incoming trace context plus this server's own span id, when the
+    /// request carried a v3 `trace=` token.
+    trace: Option<(TraceContext, u64)>,
 }
 
 /// Stitches the stamps into the five contiguous stages, records them, and
 /// keeps the request as a `TRACE` exemplar when it crossed the slow
-/// threshold. Only kept exemplars materialize their strings; the common
-/// fast-request path records five histogram points and returns.
+/// threshold — or when it was traced, so a cross-process trace always has
+/// its server-side spans available to the aggregator. Only kept exemplars
+/// materialize their strings; the common fast-request path records five
+/// histogram points and returns.
 fn finish_timeline(p: PendingTimeline, t0: Instant, shared: &Shared) {
     let done = Instant::now();
     let us = |d: Duration| d.as_micros() as u64;
@@ -393,7 +472,11 @@ fn finish_timeline(p: PendingTimeline, t0: Instant, shared: &Shared) {
     shared
         .metrics
         .record_stages(parse_us, queue_us, batch_wait_us, forward_us, write_us);
-    if total >= shared.slow_threshold {
+    if total >= shared.slow_threshold || p.trace.is_some() {
+        let (trace_id, parent_span, span_id) = match p.trace {
+            Some((ctx, span)) => (ctx.trace_id, ctx.span_id, span),
+            None => (0, 0, 0),
+        };
         shared.metrics.slow.push(RequestTimeline {
             sketch: p.sketch,
             template: p.template.as_ref().to_string(),
@@ -403,6 +486,10 @@ fn finish_timeline(p: PendingTimeline, t0: Instant, shared: &Shared) {
             batch_wait_us,
             forward_us,
             write_us,
+            trace_id,
+            span_id,
+            parent_span,
+            batch_span: s.batch_span,
         });
     }
 }
@@ -554,16 +641,17 @@ fn handle_line(
             false,
             None,
         ),
-        Request::Estimate { sketch, sql } => {
-            let (resp, pending) = handle_estimate(&sketch, &sql, None, shared, t0);
+        Request::Estimate { sketch, sql, trace } => {
+            let (resp, pending) = handle_estimate(&sketch, &sql, trace, None, shared, t0);
             (resp, false, pending)
         }
         Request::Feedback {
             sketch,
             actual,
             sql,
+            trace,
         } => {
-            let (resp, pending) = handle_estimate(&sketch, &sql, Some(actual), shared, t0);
+            let (resp, pending) = handle_estimate(&sketch, &sql, trace, Some(actual), shared, t0);
             (resp, false, pending)
         }
         Request::Info { sketch } => match shared.store.get(&sketch) {
@@ -771,15 +859,22 @@ fn degraded_answer(query: &ds_query::query::Query, shared: &Shared) -> Option<Re
 fn handle_estimate(
     sketch: &str,
     sql: &str,
+    trace: Option<TraceContext>,
     feedback: Option<u64>,
     shared: &Shared,
     t0: Instant,
 ) -> (Response, Option<PendingTimeline>) {
     let _span = ds_obs::global().span("serve/estimate");
+    // A traced request gets this server's own span, parented under the
+    // caller's; everything downstream (batch, mirror, exemplar) carries
+    // the child context.
+    let server_trace = trace.map(|ctx| (ctx, shared.ids.next_span()));
+    let child_ctx = server_trace.map(|(ctx, span)| ctx.child(span));
     let (estimator, generation) = match shared.store.get_with_generation(sketch) {
         Ok(p) => p,
         Err(e) => {
             shared.metrics.record_error();
+            shared.record_slos(None, true, None);
             return (store_error_response(&e), None);
         }
     };
@@ -787,6 +882,7 @@ fn handle_estimate(
         Ok(q) => q,
         Err(e) => {
             shared.metrics.record_error();
+            shared.record_slos(None, true, None);
             return (
                 Response::Error {
                     code: ErrorCode::Parse,
@@ -801,10 +897,12 @@ fn handle_estimate(
         return match degraded_answer(&query, shared) {
             Some(resp) => {
                 shared.metrics.record_ok(t0.elapsed());
+                shared.record_slos(Some(t0.elapsed()), false, None);
                 (resp, None)
             }
             None => {
                 shared.metrics.record_error();
+                shared.record_slos(None, true, None);
                 (
                     Response::Error {
                         code: ErrorCode::NotReady,
@@ -873,6 +971,7 @@ fn handle_estimate(
                 dequeued: now,
                 forward_start: now,
                 forward_end: now,
+                batch_span: 0,
             },
         ))
     } else {
@@ -881,7 +980,7 @@ fn handle_estimate(
         // remove/re-insert can never mix models inside a batch.
         let result = shared
             .batcher
-            .estimate_traced_keyed(generation, estimator, query);
+            .estimate_with_trace(generation, estimator, query, child_ctx);
         match result {
             Ok(_)
                 if shared
@@ -900,6 +999,8 @@ fn handle_estimate(
         Ok((v, stamps)) => {
             breaker.record_success();
             shared.metrics.record_ok(t0.elapsed());
+            let qerror = feedback.map(|actual| ds_core::metrics::qerror(v, actual.max(1) as f64));
+            shared.record_slos(Some(t0.elapsed()), false, qerror);
             let mut drifted = false;
             if let Some(actual) = feedback {
                 let monitor = shared.monitors.monitor(sketch);
@@ -947,6 +1048,7 @@ fn handle_estimate(
                     query: q,
                     live: v,
                     actual: feedback,
+                    trace: child_ctx,
                 };
                 match lc.shadow_tx.try_send(job) {
                     Ok(()) => {
@@ -961,6 +1063,7 @@ fn handle_estimate(
                 sketch: sketch.to_string(),
                 template: Arc::clone(template.as_ref().expect("template built when timeline on")),
                 stamps,
+                trace: server_trace,
             });
             (Response::Estimate(v), pending)
         }
@@ -970,10 +1073,12 @@ fn handle_estimate(
                 if let Some(q) = fallback_query.as_ref() {
                     if let Some(resp) = degraded_answer(q, shared) {
                         shared.metrics.record_ok(t0.elapsed());
+                        shared.record_slos(Some(t0.elapsed()), false, None);
                         return (resp, None);
                     }
                 }
             }
+            shared.record_slos(None, true, None);
             match rejection {
                 Rejection::Busy { queued } => {
                     // The batcher already counted the shed.
@@ -1088,7 +1193,7 @@ fn shadow_score(job: ShadowJob, shared: &Shared) {
     let Ok((candidate_v, _)) =
         shared
             .batcher
-            .estimate_traced_keyed(shadow_generation, candidate, job.query)
+            .estimate_with_trace(shadow_generation, candidate, job.query, job.trace)
     else {
         return;
     };
@@ -1181,6 +1286,11 @@ fn stats_payload(shared: &Shared) -> String {
         )
         .summary("serve/latency_us", &m.latency_us.snapshot())
         .summary("serve/batch_size", &m.batch_size.snapshot())
+        // Native histogram exposition beside the summaries: unlike
+        // summary quantiles, cumulative buckets merge exactly across
+        // shards (the fleet aggregator reconstructs and re-merges them).
+        .histogram("serve/latency_us/hist", &m.latency_us.snapshot())
+        .histogram("serve/batch_size/hist", &m.batch_size.snapshot())
         .summary("serve/stage/parse_us", &m.stage_parse_us.snapshot())
         .summary("serve/stage/queue_us", &m.stage_queue_us.snapshot())
         .summary(
@@ -1244,6 +1354,12 @@ fn stats_payload(shared: &Shared) -> String {
                 status.harvested as f64,
             )
             .gauge(&format!("serve/lifecycle/{name}/shadow_delta"), delta);
+        }
+    }
+    if !shared.slos.is_empty() {
+        let now = shared.now_ms();
+        for slo in &shared.slos {
+            slo.tracker.render(now, &mut p);
         }
     }
     p.tracer(ds_obs::global());

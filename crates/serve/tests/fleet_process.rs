@@ -100,12 +100,14 @@ fn fleet_of_processes_survives_sigkill_and_reseeds_the_replacement() {
     let replicas = topology.replicas("imdb");
     assert_eq!(replicas.len(), 2);
 
-    // Handshake: every shard speaks protocol v2 and advertises `fleet`.
+    // Handshake: every shard speaks protocol v3 and advertises `fleet`
+    // plus `trace` (cross-process trace propagation).
     for shard in &shards {
         let mut conn = connect(shard.addr);
         let hs = conn.hello().expect("HELLO");
-        assert_eq!(hs.version, 2);
+        assert_eq!(hs.version, 3);
         assert!(hs.has_feature("fleet"), "{:?}", hs.features);
+        assert!(hs.has_feature("trace"), "{:?}", hs.features);
     }
 
     // Seed both replicas over the wire, exactly as a deployer would.
@@ -173,6 +175,7 @@ fn fleet_of_processes_survives_sigkill_and_reseeds_the_replacement() {
             &ds_serve::Request::Estimate {
                 sketch: "imdb".to_string(),
                 sql: SQL.to_string(),
+                trace: None,
             },
             true,
         )
