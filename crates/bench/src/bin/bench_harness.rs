@@ -1,7 +1,7 @@
 //! `bench_harness` — the pinned quick-mode benchmark suite behind the CI
 //! `bench-smoke` gate.
 //!
-//! Runs seven stages sized to finish in a couple of minutes on one core:
+//! Runs eight stages sized to finish in a couple of minutes on one core:
 //!
 //! 1. **kernels** — tiled/threaded matmul vs the reference kernel at the
 //!    MSCN-critical shapes (same shapes as the full `nn_kernels` bench);
@@ -30,7 +30,13 @@
 //!    fields) as a fraction of the per-request CPU budget, gated under
 //!    2%, and the wall latency of a fleetmon-style sweep that scrapes a
 //!    4-shard fleet's `STATS` and merges the expositions (merge
-//!    correctness asserted inline).
+//!    correctness asserted inline);
+//! 8. **featurization** — the extended-operator feature path: the extra
+//!    per-query cost of the schema-v2 per-predicate sampling-bitmap
+//!    features (every predicate — `=`,`<`,`>`,`IN`,`LIKE` — evaluated
+//!    against the materialized table samples) over the v1 featurizer on
+//!    the same workload, expressed against the stage-4 per-request CPU
+//!    budget and gated under 2% via a budget-pinned baseline.
 //!
 //! The run is written to `target/BENCH_quick.latest.json` and diffed
 //! against the committed baseline `BENCH_quick.json`:
@@ -299,7 +305,7 @@ fn stage_kernels(report: &mut BenchReport) {
         ("head_384x256_x1", 384, 256, 1, false),
     ];
     println!(
-        "\n[1/7] matmul kernels ({} shapes, 25 iters):",
+        "\n[1/8] matmul kernels ({} shapes, 25 iters):",
         shapes.len()
     );
     for (name, m, k, n, gated) in shapes {
@@ -335,7 +341,7 @@ fn stage_kernels(report: &mut BenchReport) {
 /// at any thread count, so the validation q-error is an exact, portable
 /// quality gate; wall-clock numbers ride along as local metrics.
 fn stage_training(report: &mut BenchReport) -> (Arc<Database>, Arc<SketchStore>) {
-    println!("\n[2/7] mini fig1a build (800 queries, 3 epochs):");
+    println!("\n[2/8] mini fig1a build (800 queries, 3 epochs):");
     let db = Arc::new(imdb_database(&ImdbConfig {
         movies: 2_000,
         keywords: 1_000,
@@ -386,7 +392,7 @@ fn stage_training(report: &mut BenchReport) -> (Arc<Database>, Arc<SketchStore>)
 /// The fused path must stay bit-identical to the reference — asserted here
 /// on the live workload before timing.
 fn stage_inference(report: &mut BenchReport, db: &Arc<Database>, store: &Arc<SketchStore>) {
-    println!("\n[3/7] frozen inference (fused featurize-and-forward):");
+    println!("\n[3/8] frozen inference (fused featurize-and-forward):");
     let frozen = store.get("imdb").expect("sketch");
     assert!(
         frozen.frozen().is_some(),
@@ -502,7 +508,7 @@ fn run_fleet(
 /// the honest end-to-end overhead into `BENCH_serve.json`.
 fn stage_serving(report: &mut BenchReport, db: &Arc<Database>, store: &Arc<SketchStore>) -> f64 {
     let total = CLIENTS * QUERIES_PER_CLIENT;
-    println!("\n[4/7] serving fleet ({CLIENTS} clients x {QUERIES_PER_CLIENT} queries):");
+    println!("\n[4/8] serving fleet ({CLIENTS} clients x {QUERIES_PER_CLIENT} queries):");
     // The coalescing and overhead fleets disable the estimate cache: they
     // measure the forward-pass path, and the 6-template workload would
     // otherwise be answered almost entirely from memory.
@@ -699,7 +705,7 @@ fn run_fleet_closed_loop(fleet: &Fleet) -> f64 {
 ///   window by construction).
 fn stage_fleet(report: &mut BenchReport, db: &Arc<Database>, store: &Arc<SketchStore>) {
     println!(
-        "\n[5/7] sharded fleet ({FLEET_SHARDS} shards, R={FLEET_REPLICATION}, \
+        "\n[5/8] sharded fleet ({FLEET_SHARDS} shards, R={FLEET_REPLICATION}, \
          {FLEET_CLIENTS} clients x {FLEET_QUERIES_PER_CLIENT} queries):"
     );
     let sketch = store.get("imdb").expect("stage-2 sketch");
@@ -859,7 +865,7 @@ fn stage_lifecycle(
     use ds_core::lifecycle::{LifecycleConfig, LifecycleManager};
     use ds_query::query::Query;
 
-    println!("\n[6/7] lifecycle (hot-swap latency, shadow-mirror overhead):");
+    println!("\n[6/8] lifecycle (hot-swap latency, shadow-mirror overhead):");
     let sketch = store.get("imdb").expect("stage-2 sketch");
 
     // Swap latency: identical weights keep every later consumer of the
@@ -966,7 +972,7 @@ fn stage_obs(
 ) {
     use ds_obs::{IdSource, TraceContext};
 
-    println!("\n[7/7] observability plane (trace propagation, 4-shard STATS merge):");
+    println!("\n[7/8] observability plane (trace propagation, 4-shard STATS merge):");
 
     // Propagation: everything the traced path adds per request that the
     // untraced path skips, client and server side together.
@@ -1084,6 +1090,66 @@ fn stage_obs(
     report.push(Metric::local("obs/agg_scrape_latency_us", scrape_us, false));
 }
 
+/// Stage 8: the extended-operator featurization path. The schema-v2
+/// featurizer adds per-predicate sampling-bitmap features: every predicate
+/// — `=`,`<`,`>`,`IN`-list, `LIKE` pattern — is evaluated row by row
+/// against the materialized table sample. That work rides the serving
+/// path of every v2 sketch, so its *extra* cost over the v1 featurizer on
+/// the identical workload is gated against the stage-4 per-request CPU
+/// budget, under the same 2% allowance (and the same budget-pinned
+/// baseline discipline) as the tracing and shadow-mirror gates.
+fn stage_featurize(report: &mut BenchReport, db: &Arc<Database>, request_cpu_us: f64) {
+    use ds_core::featurize::{Featurizer, QueryIndexFeatures};
+    use ds_query::{GeneratorConfig, QueryGenerator};
+    use ds_storage::sample::sample_all;
+
+    const SAMPLE: usize = 256;
+    const PRED_BITMAP_BITS: usize = 64;
+    println!(
+        "\n[8/8] featurization (v2 per-predicate bitmaps, {SAMPLE}-row samples, \
+         {PRED_BITMAP_BITS} bits):"
+    );
+    let cols = imdb_predicate_columns(db);
+    let samples = sample_all(db, SAMPLE, BENCH_SEED ^ 41);
+    let v1 = Featurizer::build(db, &cols, SAMPLE);
+    let v2 = Featurizer::build(db, &cols, SAMPLE).with_schema_v2(PRED_BITMAP_BITS);
+    let mut cfg = GeneratorConfig::new(cols, BENCH_SEED ^ 42).with_extended_ops();
+    cfg.max_in_list = 6;
+    let queries = QueryGenerator::new(db, cfg).generate_batch(64);
+
+    let mut feats = QueryIndexFeatures::default();
+    let mut time_featurizer = |fz: &Featurizer| {
+        min_secs(5, || {
+            for q in &queries {
+                fz.featurize_indices(q, &samples, &mut feats);
+            }
+        }) * 1e6
+            / queries.len() as f64
+    };
+    let v1_us = time_featurizer(&v1);
+    let v2_us = time_featurizer(&v2);
+    let extra_us = (v2_us - v1_us).max(0.0);
+    let bitmap_overhead_pct = extra_us / request_cpu_us * 100.0;
+    println!(
+        "  v1 {v1_us:>7.2} µs/query   v2 {v2_us:>7.2} µs/query   extra {:.0} ns/query \
+         of {request_cpu_us:.0} µs/req -> overhead {bitmap_overhead_pct:.3}% (budget < 2%)",
+        extra_us * 1e3
+    );
+    assert!(
+        bitmap_overhead_pct < 2.0,
+        "per-predicate bitmap featurization must cost under 2% of serve \
+         throughput (measured {bitmap_overhead_pct:.3}%)"
+    );
+
+    report.push(Metric::portable(
+        "featurize/bitmap_overhead_pct",
+        bitmap_overhead_pct,
+        false,
+    ));
+    report.push(Metric::local("featurize/v1_us_per_query", v1_us, false));
+    report.push(Metric::local("featurize/v2_us_per_query", v2_us, false));
+}
+
 fn main() -> ExitCode {
     let opts = parse_args();
     banner(
@@ -1103,6 +1169,7 @@ fn main() -> ExitCode {
     stage_fleet(&mut current, &db, &store);
     stage_lifecycle(&mut current, &db, &store, request_cpu_us);
     stage_obs(&mut current, &db, &store, request_cpu_us);
+    stage_featurize(&mut current, &db, request_cpu_us);
 
     if opts.trace {
         let obs = ds_obs::global();

@@ -115,6 +115,11 @@ pub struct SketchBuilder<'a> {
     threads: usize,
     quantization: QuantMode,
     seed: u64,
+    in_frac: f64,
+    like_frac: f64,
+    max_in_list: usize,
+    schema_v2: bool,
+    pred_bitmap_bits: usize,
 }
 
 /// Training queries probed by the freeze accuracy gate at finalize. A
@@ -147,6 +152,11 @@ impl<'a> SketchBuilder<'a> {
             threads: 1,
             quantization: QuantMode::F32,
             seed: 0xD5_5EED,
+            in_frac: 0.0,
+            like_frac: 0.0,
+            max_in_list: 4,
+            schema_v2: false,
+            pred_bitmap_bits: 0,
         }
     }
 
@@ -263,6 +273,35 @@ impl<'a> SketchBuilder<'a> {
         self
     }
 
+    /// Mixes `IN (…)` and `LIKE` predicates into the training workload at
+    /// the given per-predicate fractions. Off by default — the default
+    /// query stream stays bit-identical to the comparison-only generator.
+    pub fn extended_ops(mut self, in_frac: f64, like_frac: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&(in_frac + like_frac)),
+            "in_frac + like_frac must lie in [0, 1]"
+        );
+        self.in_frac = in_frac;
+        self.like_frac = like_frac;
+        self
+    }
+
+    /// Maximum literal count in generated `IN` lists (default 4).
+    pub fn max_in_list(mut self, n: usize) -> Self {
+        self.max_in_list = n.max(2);
+        self
+    }
+
+    /// Switches the featurizer to the extended schema v2 (operator-kind
+    /// one-hots + per-predicate sample-bitmap features of the given width).
+    /// Bits are clamped to the sample size. Schema v1 sketches remain the
+    /// default and stay byte-compatible on the wire.
+    pub fn feature_schema_v2(mut self, pred_bitmap_bits: usize) -> Self {
+        self.schema_v2 = true;
+        self.pred_bitmap_bits = pred_bitmap_bits;
+        self
+    }
+
     /// Runs the pipeline and returns the sketch.
     pub fn build(self) -> Result<DeepSketch, BuildError> {
         self.build_with_report().map(|(s, _)| s)
@@ -291,6 +330,9 @@ impl<'a> SketchBuilder<'a> {
         };
         gen_cfg.max_predicates = self.max_predicates;
         gen_cfg.allowed_tables = self.tables.clone();
+        gen_cfg.in_frac = self.in_frac;
+        gen_cfg.like_frac = self.like_frac;
+        gen_cfg.max_in_list = self.max_in_list;
         let mut generator = QueryGenerator::new(self.db, gen_cfg);
         let queries: Vec<Query> = generator.generate_batch(self.training_queries);
         let generation = t0.elapsed();
@@ -321,12 +363,15 @@ impl<'a> SketchBuilder<'a> {
         // Step 4a: build the featurizer (vocabulary + encoders).
         let t2 = Instant::now();
         let feat_span = obs.span("featurize");
-        let featurizer = Featurizer::build_with_options(
+        let mut featurizer = Featurizer::build_with_options(
             self.db,
             &self.predicate_columns,
             self.sample_size,
             self.use_bitmaps,
         );
+        if self.schema_v2 {
+            featurizer = featurizer.with_schema_v2(self.pred_bitmap_bits);
+        }
         let featurization = t2.elapsed();
         drop(feat_span);
         let normalizer = LabelNormalizer::fit(&labels);
@@ -524,6 +569,38 @@ mod tests {
         assert_eq!(a.to_bytes(), b.to_bytes());
         let c = build(2);
         assert_ne!(a.to_bytes(), c.to_bytes());
+    }
+
+    #[test]
+    fn v2_schema_with_extended_ops_trains_and_roundtrips() {
+        let db = imdb_database(&ImdbConfig::tiny(7));
+        let sketch = SketchBuilder::new(&db, imdb_predicate_columns(&db))
+            .training_queries(200)
+            .epochs(3)
+            .sample_size(16)
+            .hidden_units(16)
+            .extended_ops(0.2, 0.2)
+            .feature_schema_v2(8)
+            .seed(21)
+            .build()
+            .expect("pipeline");
+        assert_eq!(
+            sketch.featurizer().schema(),
+            crate::featurize::FeatureSchema::V2
+        );
+        assert_eq!(sketch.featurizer().pred_bitmap_bits(), 8);
+        let bytes = sketch.to_bytes();
+        let back = crate::sketch::DeepSketch::from_bytes(&bytes).expect("roundtrip");
+        assert_eq!(back.to_bytes(), bytes);
+        // IN and LIKE queries flow through the full estimate path.
+        for sql in [
+            "SELECT COUNT(*) FROM title WHERE title.production_year IN (1990, 1995, 2000)",
+            "SELECT COUNT(*) FROM title WHERE title.production_year LIKE '19%'",
+        ] {
+            let q = ds_query::parser::parse_query(&db, sql).unwrap();
+            let e = sketch.estimate(&q);
+            assert!(e.is_finite() && e >= 1.0, "{sql} -> {e}");
+        }
     }
 
     #[test]

@@ -12,6 +12,15 @@
 //! * table set: `one-hot(table) ++ sample-bitmap`
 //! * join set: `one-hot(join)`
 //! * predicate set: `one-hot(column) ++ one-hot(op) ++ [normalized literal]`
+//!
+//! Two predicate-schema generations exist. [`FeatureSchema::V1`] is the
+//! paper's encoding above, bit-identical to every sketch ever shipped.
+//! [`FeatureSchema::V2`] widens the operator one-hot to the extended
+//! vocabulary (`=, <, >, IN, LIKE`), adds an auxiliary scalar (IN-list
+//! size / LIKE literal-character fraction), and appends a per-predicate
+//! sampling bitmap (`NUM_BITMAP_SAMPLE`-style: the predicate evaluated
+//! alone against a prefix of its table's materialized sample) — the
+//! MSCN+ features that close the gap on correlated predicates.
 
 use std::collections::HashMap;
 
@@ -21,7 +30,42 @@ use ds_nn::tensor::Tensor;
 use ds_query::query::Query;
 use ds_storage::catalog::{ColRef, Database};
 use ds_storage::exec::JoinEdge;
+use ds_storage::predicate::{ColPredicate, PredTest};
 use ds_storage::sample::TableSample;
+
+/// Predicate-encoding generation of a [`Featurizer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FeatureSchema {
+    /// The paper's 3-operator encoding: `one-hot(col) ++ one-hot{=,<,>} ++
+    /// [literal]`. `IN`/`LIKE` predicates degrade gracefully (zero op
+    /// one-hot, mid-scale literal). Every pre-v2 sketch uses this.
+    V1,
+    /// Extended encoding: `one-hot(col) ++ one-hot{=,<,>,IN,LIKE} ++
+    /// [literal, aux] ++ per-predicate sample bitmap`.
+    V2,
+}
+
+impl FeatureSchema {
+    /// Stable wire tag (sketch serialization).
+    pub fn tag(self) -> u8 {
+        match self {
+            FeatureSchema::V1 => 1,
+            FeatureSchema::V2 => 2,
+        }
+    }
+
+    /// Inverse of [`FeatureSchema::tag`].
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            1 => Some(FeatureSchema::V1),
+            2 => Some(FeatureSchema::V2),
+            _ => None,
+        }
+    }
+}
+
+/// IN-list length that saturates the auxiliary scalar of schema v2.
+const IN_LIST_AUX_SCALE: f32 = 16.0;
 
 /// The featurization vocabulary: stable one-hot ids for tables, joins, and
 /// predicate columns, plus per-column normalization bounds. Serialized as
@@ -39,6 +83,12 @@ pub struct Featurizer {
     columns: Vec<ColRef>,
     /// Per predicate-column (min, max) for literal normalization.
     col_bounds: Vec<(f64, f64)>,
+    /// Predicate-encoding generation.
+    schema: FeatureSchema,
+    /// Per-predicate bitmap width of schema v2 (0 under v1): the predicate
+    /// is evaluated alone against the first `pred_bitmap_bits` rows of its
+    /// table's materialized sample.
+    pred_bitmap_bits: usize,
     join_index: HashMap<JoinEdge, usize>,
     col_index: HashMap<ColRef, usize>,
 }
@@ -86,12 +136,24 @@ impl Featurizer {
             joins,
             columns: predicate_columns.to_vec(),
             col_bounds,
+            schema: FeatureSchema::V1,
+            pred_bitmap_bits: 0,
             join_index,
             col_index,
         }
     }
 
+    /// Upgrades this vocabulary to schema v2 with the given per-predicate
+    /// bitmap width (clamped to the sample size; 0 disables the bitmap
+    /// tail but keeps the widened operator one-hot and aux scalar).
+    pub fn with_schema_v2(mut self, pred_bitmap_bits: usize) -> Self {
+        self.schema = FeatureSchema::V2;
+        self.pred_bitmap_bits = pred_bitmap_bits.min(self.sample_size);
+        self
+    }
+
     /// Reassembles a featurizer from serialized parts.
+    #[allow(clippy::too_many_arguments)]
     pub fn from_parts(
         num_tables: usize,
         sample_size: usize,
@@ -99,8 +161,14 @@ impl Featurizer {
         joins: Vec<JoinEdge>,
         columns: Vec<ColRef>,
         col_bounds: Vec<(f64, f64)>,
+        schema: FeatureSchema,
+        pred_bitmap_bits: usize,
     ) -> Self {
         assert_eq!(columns.len(), col_bounds.len(), "bounds/columns mismatch");
+        assert!(
+            schema == FeatureSchema::V2 || pred_bitmap_bits == 0,
+            "schema v1 has no per-predicate bitmap"
+        );
         let join_index = joins.iter().enumerate().map(|(i, &j)| (j, i)).collect();
         let col_index = columns.iter().enumerate().map(|(i, &c)| (c, i)).collect();
         Self {
@@ -110,6 +178,8 @@ impl Featurizer {
             joins,
             columns,
             col_bounds,
+            schema,
+            pred_bitmap_bits,
             join_index,
             col_index,
         }
@@ -130,9 +200,23 @@ impl Featurizer {
         self.joins.len().max(1)
     }
 
-    /// Width of a predicate-set element: `columns + 3 ops + 1 literal`.
+    /// Width of a predicate-set element. Schema v1: `columns + 3 ops +
+    /// 1 literal`. Schema v2: `columns + 5 ops + 2 scalars + bitmap bits`.
     pub fn pred_dim(&self) -> usize {
-        self.columns.len() + 3 + 1
+        match self.schema {
+            FeatureSchema::V1 => self.columns.len() + 3 + 1,
+            FeatureSchema::V2 => self.columns.len() + 5 + 2 + self.pred_bitmap_bits,
+        }
+    }
+
+    /// Predicate-encoding generation.
+    pub fn schema(&self) -> FeatureSchema {
+        self.schema
+    }
+
+    /// Per-predicate bitmap width (0 under schema v1).
+    pub fn pred_bitmap_bits(&self) -> usize {
+        self.pred_bitmap_bits
     }
 
     /// Nominal sample size (bitmap length).
@@ -174,6 +258,67 @@ impl Featurizer {
         (((literal as f64) - lo) / (hi - lo)).clamp(0.0, 1.0) as f32
     }
 
+    /// Scalar slots of one predicate under schema v2: `(literal, aux)`.
+    /// Comparison: normalized literal, aux 0. `IN`: mean normalized list
+    /// value, aux = saturating list-size fraction. `LIKE`: mid-scale
+    /// literal, aux = literal-character fraction of the pattern.
+    fn v2_scalars(&self, idx: Option<usize>, p: &ColPredicate) -> (f32, f32) {
+        match &p.test {
+            PredTest::Cmp(_, lit) => (idx.map_or(0.5, |i| self.normalize_literal(i, *lit)), 0.0),
+            PredTest::In(vals) => {
+                let primary = match idx {
+                    Some(i) => {
+                        let sum: f32 = vals.iter().map(|&v| self.normalize_literal(i, v)).sum();
+                        sum / vals.len() as f32
+                    }
+                    None => 0.5,
+                };
+                (primary, (vals.len() as f32 / IN_LIST_AUX_SCALE).min(1.0))
+            }
+            PredTest::Like(pat) => {
+                let len = pat.as_str().len();
+                let aux = if len == 0 {
+                    0.0
+                } else {
+                    let literal_chars = pat
+                        .as_str()
+                        .bytes()
+                        .filter(|&c| c != b'%' && c != b'_')
+                        .count();
+                    literal_chars as f32 / len as f32
+                };
+                (0.5, aux)
+            }
+        }
+    }
+
+    /// Invokes `f` with each set bit of the per-predicate sample bitmap:
+    /// the predicate evaluated alone against the first
+    /// `pred_bitmap_bits` materialized rows of its table's sample.
+    fn for_each_pred_bitmap_bit(
+        &self,
+        samples: &[TableSample],
+        table: usize,
+        p: &ColPredicate,
+        mut f: impl FnMut(usize),
+    ) {
+        if self.pred_bitmap_bits == 0 {
+            return;
+        }
+        let Some(sample) = samples.get(table) else {
+            return;
+        };
+        if p.col >= sample.rows().columns().len() {
+            return;
+        }
+        let col = sample.rows().column(p.col);
+        for row in 0..sample.len().min(self.pred_bitmap_bits) {
+            if p.eval_row(col, row) {
+                f(row);
+            }
+        }
+    }
+
     /// Featurizes one query. `samples` must be the database-wide sample
     /// vector (indexed by table id) the sketch ships.
     pub fn featurize(&self, query: &Query, samples: &[TableSample]) -> QueryFeatures {
@@ -207,18 +352,42 @@ impl Featurizer {
         }
 
         // Predicate set.
+        let nc = self.columns.len();
         let mut pred_rows = Vec::with_capacity(query.predicates.len());
-        for (cr, op, lit) in query.qualified_predicates() {
+        for (cr, p) in query.qualified_predicates() {
             let mut row = vec![0.0f32; self.pred_dim()];
-            if let Some(&idx) = self.col_index.get(&cr) {
-                row[idx] = 1.0;
-                row[self.columns.len() + op.index()] = 1.0;
-                row[self.columns.len() + 3] = self.normalize_literal(idx, lit);
-            } else {
-                // Unknown column: op and a mid-scale literal still carry
-                // signal.
-                row[self.columns.len() + op.index()] = 1.0;
-                row[self.columns.len() + 3] = 0.5;
+            let idx = self.col_index.get(&cr).copied();
+            if let Some(i) = idx {
+                row[i] = 1.0;
+            }
+            match self.schema {
+                FeatureSchema::V1 => {
+                    // Bit-identical to the original encoding for
+                    // comparisons; IN/LIKE degrade to a zero op one-hot
+                    // and a mid-scale literal.
+                    match (&p.test, idx) {
+                        (PredTest::Cmp(op, lit), Some(i)) => {
+                            row[nc + op.index()] = 1.0;
+                            row[nc + 3] = self.normalize_literal(i, *lit);
+                        }
+                        (PredTest::Cmp(op, _), None) => {
+                            // Unknown column: op and a mid-scale literal
+                            // still carry signal.
+                            row[nc + op.index()] = 1.0;
+                            row[nc + 3] = 0.5;
+                        }
+                        _ => row[nc + 3] = 0.5,
+                    }
+                }
+                FeatureSchema::V2 => {
+                    row[nc + p.op_kind().index()] = 1.0;
+                    let (primary, aux) = self.v2_scalars(idx, p);
+                    row[nc + 5] = primary;
+                    row[nc + 6] = aux;
+                    self.for_each_pred_bitmap_bit(samples, cr.table.0, p, |bit| {
+                        row[nc + 7 + bit] = 1.0;
+                    });
+                }
             }
             pred_rows.push(row);
         }
@@ -273,20 +442,39 @@ impl Featurizer {
             out.joins.finish_elem(start);
         }
 
-        // Predicate set: one-hot(col), one-hot(op), normalized literal.
-        for (cr, op, lit) in query.qualified_predicates() {
+        // Predicate set: one-hot(col), one-hot(op), scalar slots, and (v2)
+        // the per-predicate bitmap tail — ascending index order.
+        let nc = self.columns.len();
+        for (cr, p) in query.qualified_predicates() {
             let start = out.preds.begin_elem();
-            let (op_slot, lit_slot) = (
-                (self.columns.len() + op.index()) as u32,
-                (self.columns.len() + 3) as u32,
-            );
-            if let Some(&idx) = self.col_index.get(&cr) {
-                out.preds.push(idx as u32, 1.0);
-                out.preds.push(op_slot, 1.0);
-                out.preds.push(lit_slot, self.normalize_literal(idx, lit));
-            } else {
-                out.preds.push(op_slot, 1.0);
-                out.preds.push(lit_slot, 0.5);
+            let idx = self.col_index.get(&cr).copied();
+            if let Some(i) = idx {
+                out.preds.push(i as u32, 1.0);
+            }
+            match self.schema {
+                FeatureSchema::V1 => {
+                    let lit_slot = (nc + 3) as u32;
+                    match (&p.test, idx) {
+                        (PredTest::Cmp(op, lit), Some(i)) => {
+                            out.preds.push((nc + op.index()) as u32, 1.0);
+                            out.preds.push(lit_slot, self.normalize_literal(i, *lit));
+                        }
+                        (PredTest::Cmp(op, _), None) => {
+                            out.preds.push((nc + op.index()) as u32, 1.0);
+                            out.preds.push(lit_slot, 0.5);
+                        }
+                        _ => out.preds.push(lit_slot, 0.5),
+                    }
+                }
+                FeatureSchema::V2 => {
+                    out.preds.push((nc + p.op_kind().index()) as u32, 1.0);
+                    let (primary, aux) = self.v2_scalars(idx, p);
+                    out.preds.push((nc + 5) as u32, primary);
+                    out.preds.push((nc + 6) as u32, aux);
+                    self.for_each_pred_bitmap_bit(samples, cr.table.0, p, |bit| {
+                        out.preds.push((nc + 7 + bit) as u32, 1.0);
+                    });
+                }
             }
             out.preds.finish_elem(start);
         }
@@ -554,6 +742,8 @@ mod tests {
             f.joins().to_vec(),
             f.columns().to_vec(),
             f.col_bounds().to_vec(),
+            f.schema(),
+            f.pred_bitmap_bits(),
         );
         let q = parse_query(
             &db,

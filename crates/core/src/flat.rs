@@ -68,11 +68,18 @@ impl FlatFeaturizer {
                 v[nt + idx] = 1.0;
             }
         }
-        for (cr, op, lit) in query.qualified_predicates() {
+        for (cr, p) in query.qualified_predicates() {
             if let Some(idx) = self.vocab.columns().iter().position(|c| *c == cr) {
                 let base = nt + nj + 4 * idx;
-                v[base + op.index()] = 1.0;
-                v[base + 3] = self.vocab.normalize_literal(idx, lit);
+                // The flat slots keep the paper's 3-op layout; IN/LIKE
+                // collapse to a mid-scale literal with no op bit — the
+                // flat ablation is measured on the cmp vocabulary.
+                if let Some((op, lit)) = p.as_cmp() {
+                    v[base + op.index()] = 1.0;
+                    v[base + 3] = self.vocab.normalize_literal(idx, lit);
+                } else {
+                    v[base + 3] = 0.5;
+                }
             }
         }
         if self.vocab.use_bitmaps() {

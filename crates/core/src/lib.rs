@@ -61,6 +61,9 @@ pub use sketch::{DeepSketch, SketchInfo, FREEZE_GATE_MAX_DELTA};
 
 pub use ds_nn::frozen::QuantMode;
 pub use snapshot::{SketchSnapshot, SnapshotError, WriteFault};
-pub use store::{RecoveryReport, SketchStatus, SketchStore, StoreError, StoreHandle, SwapOutcome};
+pub use store::{
+    QuarantineReason, RecoveryReport, SketchStatus, SketchStore, StoreError, StoreHandle,
+    SwapOutcome,
+};
 pub use template::{QueryTemplate, TemplateInstance, ValueFn};
 pub use train::{LossKind, TrainConfig, TrainingReport};

@@ -18,16 +18,19 @@ use ds_storage::exec::JoinEdge;
 use ds_storage::sample::TableSample;
 use ds_storage::table::Table;
 
-use crate::featurize::{Featurizer, QueryIndexFeatures};
+use crate::featurize::{FeatureSchema, Featurizer, QueryIndexFeatures};
 use crate::mscn::{ForwardCache, MscnModel};
 
 const MAGIC: &[u8; 4] = b"DSKT";
 /// Current serialization version. Version 2 appended the optional
 /// training-time q-error baseline; version 3 appended the optional frozen
-/// inference artifact (with its quantization mode). Older blobs still
-/// load: v1 gets no baseline, and both v1 and v2 get a fresh f32 freeze
-/// on decode, so pre-existing snapshots serve through the fused path.
-const VERSION: u32 = 3;
+/// inference artifact (with its quantization mode); version 4 inserted
+/// the feature-schema generation and per-predicate bitmap width after
+/// the `use_bitmaps` flag. Older blobs still load: v1 gets no baseline,
+/// v1 and v2 get a fresh f32 freeze on decode, and everything before v4
+/// decodes as feature schema v1 — the byte-identical paper encoding — so
+/// pre-existing snapshots keep answering exactly as they always did.
+const VERSION: u32 = 4;
 /// Oldest version [`DeepSketch::from_bytes`] accepts.
 const MIN_VERSION: u32 = 1;
 
@@ -440,6 +443,9 @@ impl DeepSketch {
         e.u64(self.featurizer.num_tables() as u64);
         e.u64(self.featurizer.sample_size() as u64);
         e.u64(self.featurizer.use_bitmaps() as u64);
+        // Feature schema (v4+): generation tag + per-predicate bitmap bits.
+        e.u64(self.featurizer.schema().tag() as u64);
+        e.u64(self.featurizer.pred_bitmap_bits() as u64);
         e.u64(self.featurizer.joins().len() as u64);
         for j in self.featurizer.joins() {
             e.u64(j.left.table.0 as u64);
@@ -530,6 +536,28 @@ impl DeepSketch {
         let num_tables = d.u64()? as usize;
         let sample_size = d.u64()? as usize;
         let use_bitmaps = d.u64()? != 0;
+        // Feature schema: everything before v4 is the paper's encoding.
+        let (schema, pred_bitmap_bits) = if version >= 4 {
+            let tag = d.u64()?;
+            let schema = u8::try_from(tag)
+                .ok()
+                .and_then(FeatureSchema::from_tag)
+                .ok_or_else(|| DecodeError::Corrupt(format!("unknown feature schema tag {tag}")))?;
+            let bits = d.u64()? as usize;
+            if schema == FeatureSchema::V1 && bits != 0 {
+                return Err(DecodeError::Corrupt(
+                    "schema v1 with per-predicate bitmap bits".into(),
+                ));
+            }
+            if bits > sample_size {
+                return Err(DecodeError::Corrupt(
+                    "per-predicate bitmap wider than sample".into(),
+                ));
+            }
+            (schema, bits)
+        } else {
+            (FeatureSchema::V1, 0)
+        };
         // Record counts are validated against the remaining input (a join
         // is 4 u64s, a column entry 2 u64s + 2 f64s, …) so a corrupt
         // length prefix fails typed instead of panicking in
@@ -555,8 +583,16 @@ impl DeepSketch {
             columns.push(ColRef::new(TableId(t), c));
             bounds.push((d.f64()?, d.f64()?));
         }
-        let featurizer =
-            Featurizer::from_parts(num_tables, sample_size, use_bitmaps, joins, columns, bounds);
+        let featurizer = Featurizer::from_parts(
+            num_tables,
+            sample_size,
+            use_bitmaps,
+            joins,
+            columns,
+            bounds,
+            schema,
+            pred_bitmap_bits,
+        );
 
         // Samples.
         let n_samples = d.count(40)?;
@@ -759,6 +795,15 @@ mod tests {
         let restored = DeepSketch::from_bytes(&sketch.to_bytes()).unwrap();
         assert_eq!(restored.baseline(), Some(&h.snapshot()));
 
+        // Pre-v4 layouts lack the 16 schema bytes v4 writes after the
+        // `use_bitmaps` flag; splice them out to reconstruct the old
+        // stream (the sketch under test is schema v1, so the spliced
+        // bytes carry no information).
+        let strip_schema_words = |bytes: &mut Vec<u8>, name_len: usize| {
+            let off = 8 + (8 + name_len) + 16 + 24;
+            bytes.drain(off..off + 16);
+        };
+
         // A version-1 blob is the v3 layout minus the trailing baseline
         // and frozen flag words, with version 1 in the header: it must
         // still load, with no baseline and a fresh f32 re-freeze whose
@@ -766,7 +811,9 @@ mod tests {
         let mut plain = sketch.clone();
         plain.baseline = None;
         plain.clear_frozen();
+        let name_len = plain.database_name().len();
         let mut v1 = plain.to_bytes();
+        strip_schema_words(&mut v1, name_len);
         v1.truncate(v1.len() - 16);
         v1[4..8].copy_from_slice(&1u32.to_le_bytes());
         let legacy = DeepSketch::from_bytes(&v1).expect("v1 blob must load");
@@ -779,10 +826,23 @@ mod tests {
 
         // A version-2 blob (no frozen section) loads the same way.
         let mut v2 = plain.to_bytes();
+        strip_schema_words(&mut v2, name_len);
         v2.truncate(v2.len() - 8);
         v2[4..8].copy_from_slice(&2u32.to_le_bytes());
         let legacy2 = DeepSketch::from_bytes(&v2).expect("v2 blob must load");
         assert!(legacy2.frozen().is_some(), "v2 blobs re-freeze f32");
+
+        // A version-3 blob (pre-schema) decodes as feature schema v1 and
+        // estimates byte-identically to its v4 re-encoding.
+        let mut v3 = sketch.to_bytes();
+        strip_schema_words(&mut v3, name_len);
+        v3[4..8].copy_from_slice(&3u32.to_le_bytes());
+        let legacy3 = DeepSketch::from_bytes(&v3).expect("v3 blob must load");
+        assert_eq!(
+            legacy3.featurizer().schema(),
+            crate::featurize::FeatureSchema::V1
+        );
+        assert_eq!(legacy3.to_bytes(), sketch.to_bytes());
 
         // A corrupt baseline payload is rejected, not silently zeroed.
         let mut no_frozen = sketch.clone();
@@ -876,14 +936,9 @@ mod tests {
 
         // Same for a predicate on a column the sampled table doesn't have.
         let mut bad_col = good.clone();
-        bad_col.predicates.push((
-            bad_col.tables[0],
-            ColPredicate {
-                col: 999,
-                op: CmpOp::Eq,
-                literal: 1,
-            },
-        ));
+        bad_col
+            .predicates
+            .push((bad_col.tables[0], ColPredicate::new(999, CmpOp::Eq, 1)));
         assert!(matches!(
             sketch.try_estimate(&bad_col),
             Err(EstimateError::UnknownColumn { col: 999, .. })

@@ -121,6 +121,47 @@ impl Default for SketchStore {
     }
 }
 
+/// Why [`SketchStore::open_dir`] refused a snapshot file and moved it to
+/// `<dir>/quarantine/`. The reason is typed so operators (and the serving
+/// layer's startup log) can tell data corruption apart from a
+/// configuration problem without re-reading the bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QuarantineReason {
+    /// The bytes failed to decode: truncated, bit-flipped, or a checksum
+    /// mismatch.
+    Corrupt(String),
+    /// The checksummed body is valid but disagrees with the filename about
+    /// the sketch name or generation — the filename is untrusted and lost.
+    NameMismatch,
+    /// The embedded rolling-monitor state failed to restore.
+    MonitorState,
+    /// The sketch decodes cleanly but its feature schema does not match
+    /// the vocabulary this server was configured to serve — loading it
+    /// would answer queries with features the model was never trained on.
+    SchemaMismatch {
+        /// The schema the server expects.
+        expected: crate::featurize::FeatureSchema,
+        /// The schema the snapshot actually carries.
+        found: crate::featurize::FeatureSchema,
+    },
+}
+
+impl std::fmt::Display for QuarantineReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QuarantineReason::Corrupt(e) => write!(f, "corrupt snapshot: {e}"),
+            QuarantineReason::NameMismatch => {
+                write!(f, "snapshot body disagrees with its filename")
+            }
+            QuarantineReason::MonitorState => write!(f, "monitor state failed to restore"),
+            QuarantineReason::SchemaMismatch { expected, found } => write!(
+                f,
+                "feature schema mismatch: server vocabulary expects {expected:?}, snapshot carries {found:?}"
+            ),
+        }
+    }
+}
+
 /// What [`SketchStore::open_dir`] found on disk: the sketches it
 /// recovered, the corrupt files it moved aside, and the debris it cleaned
 /// up. Recovery never fails startup because of a bad file — it degrades to
@@ -129,8 +170,9 @@ impl Default for SketchStore {
 pub struct RecoveryReport {
     /// Recovered sketches: `(name, generation)` actually serving.
     pub loaded: Vec<(String, u64)>,
-    /// Corrupt or mismatched snapshot files moved to `<dir>/quarantine/`.
-    pub quarantined: Vec<PathBuf>,
+    /// Corrupt or mismatched snapshot files moved to `<dir>/quarantine/`,
+    /// each with the typed reason it was refused.
+    pub quarantined: Vec<(PathBuf, QuarantineReason)>,
     /// Valid snapshots superseded by a newer valid generation, left in
     /// place (they are the rollback target if the newest is later lost).
     pub stale: Vec<PathBuf>,
@@ -636,6 +678,20 @@ impl SketchStore {
     /// Leftover `.tmp` files from an interrupted write are deleted (they
     /// were never durable). Only I/O errors on the directory itself abort.
     pub fn open_dir(dir: &Path) -> Result<(Self, MonitorRegistry, RecoveryReport), StoreError> {
+        Self::open_dir_with_vocabulary(dir, None)
+    }
+
+    /// As [`SketchStore::open_dir`], but additionally enforces the server's
+    /// configured feature-schema vocabulary: a snapshot that decodes
+    /// cleanly but carries a different [`crate::featurize::FeatureSchema`]
+    /// is quarantined with [`QuarantineReason::SchemaMismatch`] instead of
+    /// silently serving features its model was never trained on. Recovery
+    /// falls back to the next older generation of the same name, exactly as
+    /// for corruption.
+    pub fn open_dir_with_vocabulary(
+        dir: &Path,
+        expected_schema: Option<crate::featurize::FeatureSchema>,
+    ) -> Result<(Self, MonitorRegistry, RecoveryReport), StoreError> {
         let store = Self::new();
         let monitors = MonitorRegistry::new();
         let mut report = RecoveryReport::default();
@@ -678,11 +734,28 @@ impl SketchStore {
                     // The filename is untrusted; the checksummed body is
                     // authoritative and must agree with it.
                     Ok(snap) if snap.name == name && snap.generation == generation => {
+                        let found = snap.sketch.featurizer().schema();
+                        if let Some(expected) = expected_schema {
+                            if found != expected {
+                                Self::quarantine(
+                                    dir,
+                                    &path,
+                                    &mut report,
+                                    QuarantineReason::SchemaMismatch { expected, found },
+                                );
+                                continue;
+                            }
+                        }
                         if let Some(state) = &snap.monitor {
                             match QErrorMonitor::from_state(state) {
                                 Some(m) => monitors.restore(&name, m),
                                 None => {
-                                    Self::quarantine(dir, &path, &mut report);
+                                    Self::quarantine(
+                                        dir,
+                                        &path,
+                                        &mut report,
+                                        QuarantineReason::MonitorState,
+                                    );
                                     continue;
                                 }
                             }
@@ -695,7 +768,15 @@ impl SketchStore {
                     Ok(_) | Err(SnapshotError::Io(_)) if !path.exists() => {
                         // Raced with a concurrent prune; nothing to recover.
                     }
-                    Ok(_) | Err(_) => Self::quarantine(dir, &path, &mut report),
+                    Ok(_) => {
+                        Self::quarantine(dir, &path, &mut report, QuarantineReason::NameMismatch)
+                    }
+                    Err(e) => Self::quarantine(
+                        dir,
+                        &path,
+                        &mut report,
+                        QuarantineReason::Corrupt(e.to_string()),
+                    ),
                 }
             }
         }
@@ -707,7 +788,7 @@ impl SketchStore {
     /// Moves a corrupt snapshot into `<dir>/quarantine/` (falling back to
     /// deletion if the move fails) so the next recovery does not re-read
     /// it, and the bytes stay available for a post-mortem.
-    fn quarantine(dir: &Path, path: &Path, report: &mut RecoveryReport) {
+    fn quarantine(dir: &Path, path: &Path, report: &mut RecoveryReport, reason: QuarantineReason) {
         let qdir = dir.join("quarantine");
         let target = qdir.join(path.file_name().unwrap_or_else(|| "corrupt.snap".as_ref()));
         let moved =
@@ -716,7 +797,7 @@ impl SketchStore {
             std::fs::remove_file(path).ok();
         }
         ds_obs::global().count("store/snapshots_quarantined", 1);
-        report.quarantined.push(target);
+        report.quarantined.push((target, reason));
     }
 
     /// Harvests finished background trainings into ready/failed slots.
@@ -1140,6 +1221,56 @@ mod tests {
         let (_, _, report2) = SketchStore::open_dir(&dir).unwrap();
         assert_eq!(report2.loaded, vec![("s".to_string(), gen)]);
         assert_eq!(report2.quarantined.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_dir_with_vocabulary_quarantines_schema_mismatch() {
+        use crate::featurize::FeatureSchema;
+        let db = imdb_database(&ImdbConfig::tiny(13));
+        let v2 = SketchBuilder::new(&db, imdb_predicate_columns(&db))
+            .training_queries(120)
+            .epochs(2)
+            .sample_size(8)
+            .hidden_units(8)
+            .feature_schema_v2(4)
+            .seed(1)
+            .build()
+            .expect("v2 sketch");
+        let store = SketchStore::new();
+        store.insert("mixed", v2).unwrap();
+        let dir = std::env::temp_dir().join(format!("ds_snap_vocab_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        store.save_snapshot(&dir, "mixed", None).unwrap();
+
+        // A v1-vocabulary server refuses the v2 snapshot with a typed
+        // reason instead of serving features the model never saw.
+        let (restored, _, report) =
+            SketchStore::open_dir_with_vocabulary(&dir, Some(FeatureSchema::V1)).unwrap();
+        assert!(report.loaded.is_empty());
+        assert_eq!(report.quarantined.len(), 1);
+        assert_eq!(
+            report.quarantined[0].1,
+            QuarantineReason::SchemaMismatch {
+                expected: FeatureSchema::V1,
+                found: FeatureSchema::V2,
+            }
+        );
+        assert!(matches!(
+            restored.get("mixed"),
+            Err(StoreError::UnknownSketch(_))
+        ));
+        let rendered = report.quarantined[0].1.to_string();
+        assert!(rendered.contains("server vocabulary"), "{rendered}");
+
+        // A matching vocabulary (or no vocabulary at all) loads it fine.
+        std::fs::remove_dir_all(&dir).ok();
+        store.save_snapshot(&dir, "mixed", None).unwrap();
+        let (ok_store, _, ok_report) =
+            SketchStore::open_dir_with_vocabulary(&dir, Some(FeatureSchema::V2)).unwrap();
+        assert_eq!(ok_report.loaded.len(), 1);
+        assert!(ok_report.quarantined.is_empty());
+        assert!(ok_store.get("mixed").is_ok());
         std::fs::remove_dir_all(&dir).ok();
     }
 

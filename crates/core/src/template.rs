@@ -202,7 +202,7 @@ mod tests {
                 .query
                 .predicates
                 .iter()
-                .any(|(_, p)| p.op == CmpOp::Eq && p.literal == *v && p.col == year_col));
+                .any(|(_, p)| p.as_cmp() == Some((CmpOp::Eq, *v)) && p.col == year_col));
         }
         // Labels ascend.
         assert!(instances.windows(2).all(|w| w[0].label < w[1].label));

@@ -60,7 +60,7 @@ impl PostgresEstimator {
         let mut sel = 1.0;
         for (t, p) in &query.predicates {
             if t.0 == table {
-                sel *= self.col_stats(table, p.col).selectivity(p.op, p.literal);
+                sel *= self.col_stats(table, p.col).pred_selectivity(&p.test);
             }
         }
         sel.clamp(0.0, 1.0)

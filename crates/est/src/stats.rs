@@ -5,7 +5,12 @@
 use std::collections::HashMap;
 
 use ds_storage::column::Column;
-use ds_storage::predicate::CmpOp;
+use ds_storage::predicate::{CmpOp, PredTest};
+
+/// Default selectivity assumed for the non-MCV remainder under a `LIKE`
+/// pattern — the analogue of PostgreSQL's `DEFAULT_MATCH_SEL` constant,
+/// scaled up because decimal-rendered integer domains are dense.
+const DEFAULT_LIKE_REST_SEL: f64 = 0.05;
 
 /// Statistics of one column, computed from a full scan (PostgreSQL samples;
 /// scanning fully only makes the baseline *stronger*).
@@ -158,6 +163,35 @@ impl ColumnStats {
             CmpOp::Eq => self.eq_selectivity(literal),
             CmpOp::Lt => self.range_selectivity(literal, /*less_than=*/ true),
             CmpOp::Gt => self.range_selectivity(literal, /*less_than=*/ false),
+        }
+    }
+
+    /// Selectivity of an arbitrary predicate test. Comparisons delegate to
+    /// [`ColumnStats::selectivity`]; `IN` sums the per-value equality
+    /// selectivities (the list is deduplicated by construction); `LIKE`
+    /// matches the MCV list exactly and assumes a default fraction of the
+    /// non-MCV remainder, like PostgreSQL's pattern-selectivity default.
+    pub fn pred_selectivity(&self, test: &PredTest) -> f64 {
+        if self.n_rows == 0 || self.n_distinct == 0 {
+            return 0.0;
+        }
+        match test {
+            PredTest::Cmp(op, lit) => self.selectivity(*op, *lit),
+            PredTest::In(vals) => vals
+                .iter()
+                .map(|&v| self.eq_selectivity(v))
+                .sum::<f64>()
+                .clamp(0.0, 1.0),
+            PredTest::Like(pat) => {
+                let mcv_part: f64 = self
+                    .mcvs
+                    .iter()
+                    .filter(|&&(v, _)| pat.matches(v))
+                    .map(|&(_, f)| f)
+                    .sum();
+                let rest = (1.0 - self.null_frac - self.mcv_frac).max(0.0);
+                (mcv_part + rest * DEFAULT_LIKE_REST_SEL).clamp(0.0, 1.0)
+            }
         }
     }
 
@@ -323,6 +357,34 @@ mod tests {
         let s2 = ColumnStats::build(&all_null, 100);
         assert_eq!(s2.selectivity(CmpOp::Eq, 5), 0.0);
         assert_eq!(s2.null_frac(), 1.0);
+    }
+
+    #[test]
+    fn in_selectivity_sums_eq_parts() {
+        let c = uniform_col(1000, 10);
+        let s = ColumnStats::build(&c, 100);
+        let sel = s.pred_selectivity(&PredTest::In(vec![2, 5, 7]));
+        assert!((sel - 0.3).abs() < 1e-9, "sel={sel}");
+        // Out-of-domain members contribute nothing.
+        let sel = s.pred_selectivity(&PredTest::In(vec![2, 500]));
+        assert!((sel - 0.1).abs() < 1e-9, "sel={sel}");
+    }
+
+    #[test]
+    fn like_selectivity_matches_mcvs_exactly() {
+        use ds_storage::predicate::LikePattern;
+        // Values 0..10, all MCVs (repeat 100×) — pattern mass is exact.
+        let c = uniform_col(1000, 10);
+        let s = ColumnStats::build(&c, 100);
+        // '%' matches every value: full non-null mass.
+        let sel = s.pred_selectivity(&PredTest::Like(LikePattern::new("%")));
+        assert!((sel - 1.0).abs() < 1e-9, "sel={sel}");
+        // Single digit '3' matches one of ten values.
+        let sel = s.pred_selectivity(&PredTest::Like(LikePattern::new("3")));
+        assert!((sel - 0.1).abs() < 1e-9, "sel={sel}");
+        // No match in MCVs and no remainder → 0.
+        let sel = s.pred_selectivity(&PredTest::Like(LikePattern::new("77")));
+        assert!(sel.abs() < 1e-9, "sel={sel}");
     }
 
     #[test]

@@ -213,8 +213,8 @@ fn induced_subquery(query: &Query, mask: u32, index: &HashMap<TableId, usize>) -
     let predicates = query
         .predicates
         .iter()
-        .copied()
         .filter(|(t, _)| mask & (1 << index[t]) != 0)
+        .cloned()
         .collect();
     Query {
         tables,

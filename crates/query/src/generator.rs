@@ -36,21 +36,41 @@ pub struct GeneratorConfig {
     /// Restrict generation to these tables (the demo's "select a subset of
     /// tables" step). `None` allows the whole schema.
     pub allowed_tables: Option<Vec<TableId>>,
+    /// Fraction of predicates drawn as `IN`-lists. 0 (the default) keeps
+    /// the paper's three-operator uniform mix and an RNG stream that is
+    /// bit-identical to the pre-extension generator.
+    pub in_frac: f64,
+    /// Fraction of predicates drawn as `LIKE` prefix patterns (over the
+    /// decimal rendering of a data-drawn literal). 0 by default.
+    pub like_frac: f64,
+    /// Maximum `IN`-list length before dedup (≥ 2 when `in_frac > 0`).
+    pub max_in_list: usize,
     /// RNG seed.
     pub seed: u64,
 }
 
 impl GeneratorConfig {
     /// A sensible default over the given eligible columns: up to 3 tables,
-    /// up to 3 predicates.
+    /// up to 3 predicates, comparison operators only.
     pub fn new(predicate_columns: Vec<ColRef>, seed: u64) -> Self {
         Self {
             max_tables: 3,
             max_predicates: 3,
             predicate_columns,
             allowed_tables: None,
+            in_frac: 0.0,
+            like_frac: 0.0,
+            max_in_list: 4,
             seed,
         }
+    }
+
+    /// Enables the extended operator vocabulary: 20% `IN`, 20% `LIKE`,
+    /// remainder uniform over `{=, <, >}` — the MSCN+ operator mix.
+    pub fn with_extended_ops(mut self) -> Self {
+        self.in_frac = 0.2;
+        self.like_frac = 0.2;
+        self
     }
 }
 
@@ -149,7 +169,28 @@ impl<'a> QueryGenerator<'a> {
         let max = self.cfg.max_predicates.min(eligible.len());
         let n = self.rng.random_range(0..=max);
         let mut out = Vec::with_capacity(n);
+        let ext = self.cfg.in_frac + self.cfg.like_frac;
         for cr in eligible.into_iter().take(n) {
+            // Only consume randomness for the op-kind draw when the
+            // extended vocabulary is enabled, so cmp-only streams stay
+            // bit-identical to the original generator.
+            let kind = if ext > 0.0 {
+                self.rng.random_range(0.0..1.0)
+            } else {
+                1.0
+            };
+            if kind < self.cfg.in_frac {
+                if let Some(p) = self.draw_in_predicate(cr) {
+                    out.push((cr.table, p));
+                }
+                continue;
+            }
+            if kind < ext {
+                if let Some(p) = self.draw_like_predicate(cr) {
+                    out.push((cr.table, p));
+                }
+                continue;
+            }
             let op = CmpOp::ALL[self.rng.random_range(0..CmpOp::ALL.len())];
             let Some(literal) = self.draw_literal(cr) else {
                 continue;
@@ -157,6 +198,32 @@ impl<'a> QueryGenerator<'a> {
             out.push((cr.table, ColPredicate::new(cr.col, op, literal)));
         }
         out
+    }
+
+    /// Draws an `IN`-list predicate: 2..=max_in_list data-drawn literals
+    /// (duplicates collapse in the canonical form).
+    fn draw_in_predicate(&mut self, cr: ColRef) -> Option<ColPredicate> {
+        let k = self.rng.random_range(2..=self.cfg.max_in_list.max(2));
+        let mut values = Vec::with_capacity(k);
+        for _ in 0..k {
+            values.push(self.draw_literal(cr)?);
+        }
+        Some(ColPredicate::is_in(cr.col, values))
+    }
+
+    /// Draws a `LIKE` prefix predicate: a data-drawn literal rendered in
+    /// decimal, truncated to a random non-empty prefix, suffixed with `%`.
+    fn draw_like_predicate(&mut self, cr: ColRef) -> Option<ColPredicate> {
+        let literal = self.draw_literal(cr)?;
+        let s = literal.to_string();
+        let len = self.rng.random_range(1..=s.len());
+        let mut pat: String = s.chars().take(len).collect();
+        // A bare "-" prefix matches every negative; extend by one digit.
+        if pat == "-" && s.len() > 1 {
+            pat = s.chars().take(2).collect();
+        }
+        pat.push('%');
+        Some(ColPredicate::like(cr.col, pat))
     }
 
     /// Draws a literal from a uniformly random row of the column, retrying
@@ -233,7 +300,8 @@ mod tests {
         let mut counts = [0usize; 3];
         for q in g.generate_batch(600) {
             for (_, p) in &q.predicates {
-                counts[p.op.index()] += 1;
+                let (op, _) = p.as_cmp().expect("default generator is cmp-only");
+                counts[op.index()] += 1;
             }
         }
         let total: usize = counts.iter().sum();
@@ -254,10 +322,11 @@ mod tests {
             exec.count(&db, &q.to_exec()).expect("executable");
             for (t, p) in &q.predicates {
                 let col = db.table(*t).column(p.col);
+                let (_, literal) = p.as_cmp().expect("default generator is cmp-only");
                 assert!(
-                    col.data().contains(&p.literal),
+                    col.data().contains(&literal),
                     "literal {} not present in column {}",
-                    p.literal,
+                    literal,
                     col.name()
                 );
             }
@@ -299,6 +368,50 @@ mod tests {
                 assert!(*t == title || *t == mk);
             }
         }
+    }
+
+    #[test]
+    fn extended_ops_generate_in_and_like() {
+        use ds_storage::predicate::{PredOpKind, PredTest};
+        let db = imdb_database(&ImdbConfig::tiny(7));
+        let cfg = GeneratorConfig::new(imdb_pred_cols(&db), 41).with_extended_ops();
+        let mut g = QueryGenerator::new(&db, cfg);
+        let exec = CountExecutor::new();
+        let mut kinds = [0usize; 5];
+        for q in g.generate_batch(400) {
+            exec.count(&db, &q.to_exec()).expect("executable");
+            for (_, p) in &q.predicates {
+                kinds[p.op_kind().index()] += 1;
+                match &p.test {
+                    PredTest::In(vals) => {
+                        assert!(!vals.is_empty() && vals.len() <= 4);
+                        assert!(vals.windows(2).all(|w| w[0] < w[1]), "not canonical");
+                    }
+                    PredTest::Like(pat) => assert!(pat.is_prefix(), "{pat}"),
+                    PredTest::Cmp(..) => {}
+                }
+            }
+        }
+        assert!(kinds[PredOpKind::In.index()] > 20, "{kinds:?}");
+        assert!(kinds[PredOpKind::Like.index()] > 20, "{kinds:?}");
+        assert!(kinds[PredOpKind::Eq.index()] > 20, "{kinds:?}");
+    }
+
+    #[test]
+    fn default_stream_unchanged_by_extension_knobs() {
+        // in_frac = like_frac = 0 must not consume extra randomness: the
+        // generated workload is the op-kind-draw-free original stream.
+        let db = imdb_database(&ImdbConfig::tiny(8));
+        let a = QueryGenerator::new(&db, GeneratorConfig::new(imdb_pred_cols(&db), 77))
+            .generate_batch(50);
+        for q in &a {
+            for (_, p) in &q.predicates {
+                assert!(p.as_cmp().is_some());
+            }
+        }
+        let b = QueryGenerator::new(&db, GeneratorConfig::new(imdb_pred_cols(&db), 77))
+            .generate_batch(50);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -9,6 +9,7 @@ pub mod generator;
 pub mod graph;
 pub mod parser;
 pub mod query;
+pub mod shift;
 pub mod sqlgen;
 pub mod workloads;
 
@@ -16,3 +17,4 @@ pub use generator::{GeneratorConfig, QueryGenerator};
 pub use graph::JoinGraph;
 pub use parser::{parse_query, ParseError};
 pub use query::Query;
+pub use shift::{ShiftKind, ShiftSweep, SweepConfig};

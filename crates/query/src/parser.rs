@@ -12,8 +12,10 @@
 //! Supported: `SELECT COUNT(*)`, comma-separated `FROM` list with optional
 //! aliases, conjunctive `WHERE` with column-column equi-joins, column-literal
 //! comparisons (`=`, `<`, `>`), inclusive `BETWEEN a AND b` (desugared to a
-//! `>`/`<` pair over integers), and at most one `?` placeholder (for query
-//! templates). Case-insensitive keywords, negative integer literals.
+//! `>`/`<` pair over integers), `IN (v1, …, vk)` lists, `LIKE 'pattern'`
+//! over the decimal rendering of the value, and at most one `?` placeholder
+//! (for query templates). Case-insensitive keywords, negative integer
+//! literals, single-quoted string literals (no escapes).
 
 use std::collections::HashMap;
 
@@ -80,6 +82,7 @@ pub fn parse(db: &Database, sql: &str) -> Result<ParsedQuery, ParseError> {
 enum Token {
     Word(String), // identifiers and keywords (lowercased)
     Number(i64),  // integer literal
+    Str(String),  // single-quoted string literal (verbatim, unquoted)
     Symbol(char), // ( ) , = < > . * ?
 }
 
@@ -137,6 +140,22 @@ fn tokenize(sql: &str) -> Result<Vec<Token>, ParseError> {
                 chars.next();
                 out.push(Token::Symbol('.'));
             }
+            '\'' => {
+                chars.next();
+                let mut s = String::new();
+                let mut terminated = false;
+                for d in chars.by_ref() {
+                    if d == '\'' {
+                        terminated = true;
+                        break;
+                    }
+                    s.push(d);
+                }
+                if !terminated {
+                    return err("unterminated string literal");
+                }
+                out.push(Token::Str(s));
+            }
             other => return err(format!("unexpected character '{other}'")),
         }
     }
@@ -160,6 +179,8 @@ struct RawCol {
 enum Term {
     Join(RawCol, RawCol),
     Pred(RawCol, CmpOp, i64),
+    InList(RawCol, Vec<i64>),
+    LikePat(RawCol, String),
     Placeholder(RawCol, CmpOp),
 }
 
@@ -281,6 +302,35 @@ impl<'a> Parser<'a> {
                 Term::Pred(lhs, CmpOp::Lt, hi_excl),
             ]);
         }
+        // IN-list: `col IN (v1, v2, …)` — non-empty, integers only.
+        if matches!(self.peek(), Some(Token::Word(w)) if w == "in") {
+            self.next();
+            self.expect_symbol('(')?;
+            let mut values = Vec::new();
+            loop {
+                values.push(self.expect_number()?);
+                match self.next() {
+                    Some(Token::Symbol(',')) => {}
+                    Some(Token::Symbol(')')) => break,
+                    other => {
+                        return err(format!("expected ',' or ')' in IN list, found {other:?}"))
+                    }
+                }
+            }
+            return Ok(vec![Term::InList(lhs, values)]);
+        }
+        // LIKE: `col LIKE 'pattern'` — pattern is a string literal.
+        if matches!(self.peek(), Some(Token::Word(w)) if w == "like") {
+            self.next();
+            match self.next() {
+                Some(Token::Str(pat)) => return Ok(vec![Term::LikePat(lhs, pat)]),
+                other => {
+                    return err(format!(
+                        "expected quoted pattern after LIKE, found {other:?}"
+                    ))
+                }
+            }
+        }
         let op = match self.next() {
             Some(Token::Symbol('=')) => CmpOp::Eq,
             Some(Token::Symbol('<')) => CmpOp::Lt,
@@ -303,6 +353,7 @@ impl<'a> Parser<'a> {
                 }
                 Ok(vec![Term::Join(lhs, rhs)])
             }
+            Some(Token::Str(_)) => err("string literals are only allowed after LIKE"),
             other => err(format!("expected literal, '?', or column, found {other:?}")),
         }
     }
@@ -373,6 +424,18 @@ impl<'a> Parser<'a> {
                     query
                         .predicates
                         .push((cr.table, ColPredicate::new(cr.col, op, lit)));
+                }
+                Term::InList(c, values) => {
+                    let cr = self.resolve(&aliases, &c)?;
+                    query
+                        .predicates
+                        .push((cr.table, ColPredicate::is_in(cr.col, values)));
+                }
+                Term::LikePat(c, pat) => {
+                    let cr = self.resolve(&aliases, &c)?;
+                    query
+                        .predicates
+                        .push((cr.table, ColPredicate::like(cr.col, pat)));
                 }
                 Term::Placeholder(c, op) => {
                     if placeholder.is_some() {
@@ -447,7 +510,61 @@ mod tests {
     fn negative_literals() {
         let db = db();
         let q = parse_query(&db, "SELECT COUNT(*) FROM title WHERE title.kind_id > -5").unwrap();
-        assert_eq!(q.predicates[0].1.literal, -5);
+        assert_eq!(q.predicates[0].1.as_cmp(), Some((CmpOp::Gt, -5)));
+    }
+
+    #[test]
+    fn parses_in_list_and_canonicalizes() {
+        let db = db();
+        let q = parse_query(
+            &db,
+            "SELECT COUNT(*) FROM title WHERE title.kind_id IN (5, 2, 5, 3)",
+        )
+        .unwrap();
+        assert_eq!(q.num_predicates(), 1);
+        assert_eq!(q.predicates[0].1, ColPredicate::is_in(1, vec![2, 3, 5]));
+        // Canonical re-rendering sorts and dedups the list.
+        assert_eq!(
+            to_sql(&db, &q),
+            "SELECT COUNT(*) FROM title WHERE title.kind_id IN (2, 3, 5)"
+        );
+    }
+
+    #[test]
+    fn parses_like_pattern_verbatim() {
+        let db = db();
+        let q = parse_query(
+            &db,
+            "SELECT COUNT(*) FROM title t WHERE t.production_year LIKE '19%'",
+        )
+        .unwrap();
+        assert_eq!(q.num_predicates(), 1);
+        assert_eq!(q.predicates[0].1, ColPredicate::like(2, "19%"));
+        // Pattern case is preserved even though keywords fold.
+        let q = parse_query(
+            &db,
+            "SELECT COUNT(*) FROM title WHERE title.kind_id like '_2'",
+        )
+        .unwrap();
+        assert_eq!(q.predicates[0].1, ColPredicate::like(1, "_2"));
+    }
+
+    #[test]
+    fn rejects_malformed_in_and_like() {
+        let db = db();
+        for bad in [
+            "SELECT COUNT(*) FROM title WHERE title.kind_id IN ()",
+            "SELECT COUNT(*) FROM title WHERE title.kind_id IN (1,)",
+            "SELECT COUNT(*) FROM title WHERE title.kind_id IN (1, 2",
+            "SELECT COUNT(*) FROM title WHERE title.kind_id IN 1",
+            "SELECT COUNT(*) FROM title WHERE title.kind_id IN ('a')",
+            "SELECT COUNT(*) FROM title WHERE title.kind_id LIKE 19",
+            "SELECT COUNT(*) FROM title WHERE title.kind_id LIKE '19",
+            "SELECT COUNT(*) FROM title WHERE title.kind_id LIKE",
+            "SELECT COUNT(*) FROM title WHERE title.kind_id = '2'",
+        ] {
+            assert!(parse(&db, bad).is_err(), "should reject: {bad}");
+        }
     }
 
     #[test]
@@ -508,7 +625,7 @@ mod tests {
         let preds: Vec<_> = q
             .predicates
             .iter()
-            .map(|(_, p)| (p.op, p.literal))
+            .filter_map(|(_, p)| p.as_cmp())
             .collect();
         assert!(preds.contains(&(CmpOp::Gt, 1989)));
         assert!(preds.contains(&(CmpOp::Lt, 2000)));

@@ -6,6 +6,23 @@ use ds_storage::catalog::{ColRef, Database, TableId};
 use ds_storage::exec::{ExecQuery, JoinEdge};
 use ds_storage::predicate::{CmpOp, ColPredicate};
 
+/// Resolves a qualified column name against a query's table set.
+fn resolve_on_query(
+    q: &Query,
+    db: &Database,
+    qualified_col: &str,
+) -> Result<ColRef, QueryBuildError> {
+    let cr = db
+        .resolve(qualified_col)
+        .ok_or_else(|| QueryBuildError::UnknownColumn(qualified_col.to_string()))?;
+    if !q.tables.contains(&cr.table) {
+        return Err(QueryBuildError::UnknownTable(
+            db.table(cr.table).name().to_string(),
+        ));
+    }
+    Ok(cr)
+}
+
 /// A `SELECT COUNT(*)` query. Structurally identical to
 /// [`ExecQuery`] but offers name-based construction against a
 /// [`Database`] and SQL printing (see [`crate::sqlgen`]).
@@ -88,16 +105,37 @@ impl Query {
         op: CmpOp,
         literal: i64,
     ) -> Result<(), QueryBuildError> {
-        let cr = db
-            .resolve(qualified_col)
-            .ok_or_else(|| QueryBuildError::UnknownColumn(qualified_col.to_string()))?;
-        if !self.tables.contains(&cr.table) {
-            return Err(QueryBuildError::UnknownTable(
-                db.table(cr.table).name().to_string(),
-            ));
-        }
+        let cr = resolve_on_query(self, db, qualified_col)?;
         self.predicates
             .push((cr.table, ColPredicate::new(cr.col, op, literal)));
+        Ok(())
+    }
+
+    /// Adds an `IN`-list predicate by qualified column name. The table
+    /// must already be part of the query and the list non-empty.
+    pub fn add_in_predicate(
+        &mut self,
+        db: &Database,
+        qualified_col: &str,
+        values: Vec<i64>,
+    ) -> Result<(), QueryBuildError> {
+        let cr = resolve_on_query(self, db, qualified_col)?;
+        self.predicates
+            .push((cr.table, ColPredicate::is_in(cr.col, values)));
+        Ok(())
+    }
+
+    /// Adds a `LIKE` predicate by qualified column name. The pattern is
+    /// matched against the decimal rendering of the column value.
+    pub fn add_like_predicate(
+        &mut self,
+        db: &Database,
+        qualified_col: &str,
+        pattern: &str,
+    ) -> Result<(), QueryBuildError> {
+        let cr = resolve_on_query(self, db, qualified_col)?;
+        self.predicates
+            .push((cr.table, ColPredicate::like(cr.col, pattern)));
         Ok(())
     }
 
@@ -116,15 +154,15 @@ impl Query {
         self.predicates
             .iter()
             .filter(|(tid, _)| *tid == t)
-            .map(|(_, p)| *p)
+            .map(|(_, p)| p.clone())
             .collect()
     }
 
     /// All predicates with fully-qualified column references.
-    pub fn qualified_predicates(&self) -> impl Iterator<Item = (ColRef, CmpOp, i64)> + '_ {
+    pub fn qualified_predicates(&self) -> impl Iterator<Item = (ColRef, &ColPredicate)> + '_ {
         self.predicates
             .iter()
-            .map(|(t, p)| (ColRef::new(*t, p.col), p.op, p.literal))
+            .map(|(t, p)| (ColRef::new(*t, p.col), p))
     }
 
     /// Lowers to the executable form.
@@ -208,10 +246,9 @@ mod tests {
         q.add_predicate(&db, "title.production_year", CmpOp::Gt, 2000)
             .unwrap();
         assert_eq!(q.num_predicates(), 1);
-        let (cr, op, lit) = q.qualified_predicates().next().unwrap();
+        let (cr, p) = q.qualified_predicates().next().unwrap();
         assert_eq!(db.col_name(cr), "title.production_year");
-        assert_eq!(op, CmpOp::Gt);
-        assert_eq!(lit, 2000);
+        assert_eq!(p.as_cmp(), Some((CmpOp::Gt, 2000)));
     }
 
     #[test]

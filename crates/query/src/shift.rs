@@ -1,0 +1,373 @@
+//! Controlled workload-shift sweeps — CEB-style parameterized templates.
+//!
+//! The Cardinality Estimation Benchmark methodology separates a query's
+//! *template* (tables, joins, predicate columns and operators) from its
+//! *parameters* (the literals), then studies estimators under controlled
+//! distribution shift of the parameters. This module reproduces that
+//! setup over the synthetic databases:
+//!
+//! 1. a pool of templates is drawn from the **training** generator, so
+//!    template shapes match what a sketch was trained on;
+//! 2. each sweep point re-instantiates the templates with literals drawn
+//!    under a [`ShiftKind`] at a `severity` knob in `[0, 1]`:
+//!    - [`ShiftKind::Stationary`] — literals redrawn from the data
+//!      distribution, exactly like training (severity is ignored). A
+//!      drift monitor must stay **silent** here;
+//!    - [`ShiftKind::Granularity`] — a severity-fraction of equality
+//!      predicates coarsens into `IN`-lists and `LIKE` prefixes, shifting
+//!      the operator mix away from the training vocabulary;
+//!    - [`ShiftKind::Selectivity`] — literals are pushed toward the
+//!      distribution tails by quantile interpolation (`q' = u·(1−s) + s`
+//!      for `>`-style predicates, mirrored for `<`), shrinking true
+//!      cardinalities as severity grows. Severity 0 degenerates to the
+//!      stationary draw.
+//!
+//! Instantiation is deterministic given the seed, so a sweep is a
+//! reproducible CI artifact, not a flaky sample.
+
+use std::collections::HashMap;
+
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+use ds_storage::catalog::{ColRef, Database, TableId};
+use ds_storage::predicate::{CmpOp, ColPredicate, PredTest};
+
+use crate::generator::{GeneratorConfig, QueryGenerator};
+use crate::query::Query;
+
+/// What the sweep shifts about the parameter distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShiftKind {
+    /// Literals redrawn from the training distribution; the null case a
+    /// drift monitor must not fire on.
+    Stationary,
+    /// Point predicates coarsen into `IN`-lists and `LIKE` prefixes.
+    Granularity,
+    /// Literals migrate toward the distribution tails.
+    Selectivity,
+}
+
+/// One sweep point: the shift kind, how hard to push it, and how many
+/// instances to emit.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// The kind of shift applied at this point.
+    pub kind: ShiftKind,
+    /// Shift severity in `[0, 1]`; 0 is indistinguishable from stationary.
+    pub severity: f64,
+    /// Queries instantiated at this point (templates cycle round-robin).
+    pub queries: usize,
+    /// Longest `IN`-list the granularity shift may introduce.
+    pub max_in_list: usize,
+    /// Instantiation seed — one sweep point, one reproducible workload.
+    pub seed: u64,
+}
+
+impl SweepConfig {
+    /// A sweep point with the default sizing (100 queries, lists ≤ 6).
+    pub fn new(kind: ShiftKind, severity: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&severity), "severity must be in [0,1]");
+        Self {
+            kind,
+            severity,
+            queries: 100,
+            max_in_list: 6,
+            seed,
+        }
+    }
+
+    /// Overrides the number of instantiated queries.
+    pub fn queries(mut self, n: usize) -> Self {
+        self.queries = n;
+        self
+    }
+}
+
+/// A pool of parameterized templates over one database, ready to
+/// instantiate sweep points.
+#[derive(Debug)]
+pub struct ShiftSweep {
+    templates: Vec<Query>,
+    /// Sorted non-NULL values (with duplicates) per predicate column —
+    /// the quantile axis of the selectivity shift. Drawing a uniform
+    /// index reproduces the data distribution.
+    sorted: HashMap<(usize, usize), Vec<i64>>,
+}
+
+impl ShiftSweep {
+    /// Draws `num_templates` template shapes from the *training* generator
+    /// configuration (comparison-only operator mix), so the stationary
+    /// sweep point reproduces the training workload distribution.
+    pub fn new(
+        db: &Database,
+        predicate_columns: Vec<ColRef>,
+        num_templates: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(num_templates > 0, "need at least one template");
+        let cfg = GeneratorConfig::new(predicate_columns.clone(), seed);
+        let templates = QueryGenerator::new(db, cfg).generate_batch(num_templates);
+        let mut sorted = HashMap::new();
+        for cr in &predicate_columns {
+            let col = db.table(cr.table).column(cr.col);
+            let mut vals: Vec<i64> = (0..col.len()).filter_map(|r| col.get(r)).collect();
+            vals.sort_unstable();
+            sorted.insert((cr.table.0, cr.col), vals);
+        }
+        Self { templates, sorted }
+    }
+
+    /// The template pool (shapes only; literals are placeholders from the
+    /// draw that built the pool).
+    pub fn templates(&self) -> &[Query] {
+        &self.templates
+    }
+
+    /// Instantiates one sweep point: `cfg.queries` concrete queries,
+    /// templates cycled round-robin, literals rebound under the point's
+    /// shift kind and severity. Deterministic given `cfg.seed`.
+    pub fn instantiate(&self, cfg: &SweepConfig) -> Vec<Query> {
+        assert!(
+            (0.0..=1.0).contains(&cfg.severity),
+            "severity must be in [0,1]"
+        );
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        (0..cfg.queries)
+            .map(|i| {
+                let template = &self.templates[i % self.templates.len()];
+                self.rebind(template, cfg, &mut rng)
+            })
+            .collect()
+    }
+
+    /// Rebinds every predicate of one template.
+    fn rebind(&self, template: &Query, cfg: &SweepConfig, rng: &mut StdRng) -> Query {
+        let mut q = template.clone();
+        for (table, pred) in &mut q.predicates {
+            *pred = self.rebind_predicate(*table, pred, cfg, rng);
+        }
+        q
+    }
+
+    fn rebind_predicate(
+        &self,
+        table: TableId,
+        pred: &ColPredicate,
+        cfg: &SweepConfig,
+        rng: &mut StdRng,
+    ) -> ColPredicate {
+        let col = pred.col;
+        match (&pred.test, cfg.kind) {
+            // Stationary: redraw the parameter from the data distribution,
+            // keeping the template's operator. Severity is ignored.
+            (PredTest::Cmp(op, _), ShiftKind::Stationary) => {
+                ColPredicate::new(col, *op, self.draw_quantile(table, col, rng, 0.0, *op))
+            }
+            (PredTest::Cmp(op, _), ShiftKind::Selectivity) => ColPredicate::new(
+                col,
+                *op,
+                self.draw_quantile(table, col, rng, cfg.severity, *op),
+            ),
+            (PredTest::Cmp(op, _), ShiftKind::Granularity) => {
+                let lit = self.draw_quantile(table, col, rng, 0.0, *op);
+                // Only point predicates coarsen; ranges keep their shape.
+                if *op != CmpOp::Eq || rng.random_range(0.0..1.0) >= cfg.severity {
+                    return ColPredicate::new(col, *op, lit);
+                }
+                if rng.random_range(0..2) == 0 {
+                    let k = 2
+                        + ((cfg.max_in_list.saturating_sub(2)) as f64 * cfg.severity).round()
+                            as usize;
+                    let values: Vec<i64> = (0..k)
+                        .map(|_| self.draw_quantile(table, col, rng, 0.0, CmpOp::Eq))
+                        .collect();
+                    ColPredicate::is_in(col, values)
+                } else {
+                    let s = lit.to_string();
+                    let digits = s.trim_start_matches('-').len();
+                    let keep =
+                        (digits as f64 - cfg.severity * (digits as f64 - 1.0)).round() as usize;
+                    let keep = keep.clamp(1, digits) + usize::from(s.starts_with('-'));
+                    let mut pat: String = s.chars().take(keep).collect();
+                    pat.push('%');
+                    ColPredicate::like(col, pat)
+                }
+            }
+            // Templates drawn from the training generator are
+            // comparison-only; if a caller supplies extended templates,
+            // rebind their parameters stationary-style.
+            (PredTest::In(values), _) => {
+                let k = values.len().max(1);
+                let fresh: Vec<i64> = (0..k)
+                    .map(|_| self.draw_quantile(table, col, rng, 0.0, CmpOp::Eq))
+                    .collect();
+                ColPredicate::is_in(col, fresh)
+            }
+            (PredTest::Like(pat), _) => {
+                let keep = pat.as_str().trim_end_matches('%').len().max(1);
+                let s = self
+                    .draw_quantile(table, col, rng, 0.0, CmpOp::Eq)
+                    .to_string();
+                let mut fresh: String = s.chars().take(keep).collect();
+                fresh.push('%');
+                ColPredicate::like(col, fresh)
+            }
+        }
+    }
+
+    /// Draws a literal at a severity-shifted quantile of the column's
+    /// value distribution. Severity 0 is a uniform index into the sorted
+    /// multiset — the data distribution itself. Positive severity
+    /// interpolates the quantile toward the tail that *shrinks* the
+    /// predicate's selectivity: the upper tail for `>` and `=`, the lower
+    /// tail for `<`.
+    fn draw_quantile(
+        &self,
+        table: TableId,
+        col: usize,
+        rng: &mut StdRng,
+        severity: f64,
+        op: CmpOp,
+    ) -> i64 {
+        let vals = self
+            .sorted
+            .get(&(table.0, col))
+            .filter(|v| !v.is_empty())
+            .expect("template predicates target non-empty predicate columns");
+        let u = rng.random_range(0.0..1.0);
+        let q = match op {
+            CmpOp::Lt => u * (1.0 - severity),
+            CmpOp::Gt | CmpOp::Eq => u * (1.0 - severity) + severity,
+        };
+        let idx = ((q * vals.len() as f64) as usize).min(vals.len() - 1);
+        vals[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_storage::exec::CountExecutor;
+    use ds_storage::gen::{imdb_database, ImdbConfig};
+    use ds_storage::predicate::PredOpKind;
+
+    fn pred_cols(db: &Database) -> Vec<ColRef> {
+        [
+            "title.kind_id",
+            "title.production_year",
+            "movie_keyword.keyword_id",
+        ]
+        .iter()
+        .map(|q| db.resolve(q).unwrap())
+        .collect()
+    }
+
+    #[test]
+    fn sweep_points_are_deterministic_and_executable() {
+        let db = imdb_database(&ImdbConfig::tiny(1));
+        let sweep = ShiftSweep::new(&db, pred_cols(&db), 10, 3);
+        let exec = CountExecutor::new();
+        for kind in [
+            ShiftKind::Stationary,
+            ShiftKind::Granularity,
+            ShiftKind::Selectivity,
+        ] {
+            let cfg = SweepConfig::new(kind, 0.7, 11).queries(40);
+            let a = sweep.instantiate(&cfg);
+            let b = sweep.instantiate(&cfg);
+            assert_eq!(a, b, "{kind:?} must be reproducible");
+            for q in &a {
+                assert_eq!(q.to_exec().validate(&db), Ok(()));
+                exec.count(&db, &q.to_exec()).expect("executable");
+            }
+        }
+    }
+
+    #[test]
+    fn stationary_point_keeps_the_training_vocabulary() {
+        let db = imdb_database(&ImdbConfig::tiny(2));
+        let sweep = ShiftSweep::new(&db, pred_cols(&db), 8, 5);
+        let qs = sweep.instantiate(&SweepConfig::new(ShiftKind::Stationary, 1.0, 7).queries(60));
+        for q in &qs {
+            for (_, p) in &q.predicates {
+                assert!(p.as_cmp().is_some(), "stationary must stay cmp-only");
+            }
+        }
+    }
+
+    #[test]
+    fn granularity_shift_introduces_in_and_like_with_severity() {
+        let db = imdb_database(&ImdbConfig::tiny(3));
+        let sweep = ShiftSweep::new(&db, pred_cols(&db), 12, 9);
+        let count_ext = |severity: f64| {
+            let qs = sweep
+                .instantiate(&SweepConfig::new(ShiftKind::Granularity, severity, 13).queries(150));
+            qs.iter()
+                .flat_map(|q| &q.predicates)
+                .filter(|(_, p)| matches!(p.op_kind(), PredOpKind::In | PredOpKind::Like))
+                .count()
+        };
+        assert_eq!(count_ext(0.0), 0, "severity 0 is stationary");
+        let lo = count_ext(0.3);
+        let hi = count_ext(0.9);
+        assert!(hi > lo, "coarsening must grow with severity: {lo} vs {hi}");
+        assert!(hi > 10, "severe shift must actually coarsen: {hi}");
+    }
+
+    #[test]
+    fn selectivity_shift_pushes_literals_to_the_tail() {
+        let db = imdb_database(&ImdbConfig::tiny(4));
+        let sweep = ShiftSweep::new(&db, pred_cols(&db), 12, 17);
+        let mean_gt_literal = |severity: f64| {
+            let qs = sweep
+                .instantiate(&SweepConfig::new(ShiftKind::Selectivity, severity, 23).queries(200));
+            let lits: Vec<i64> = qs
+                .iter()
+                .flat_map(|q| &q.predicates)
+                .filter_map(|(_, p)| match p.as_cmp() {
+                    Some((CmpOp::Gt, lit)) => Some(lit),
+                    _ => None,
+                })
+                .collect();
+            assert!(!lits.is_empty());
+            lits.iter().sum::<i64>() as f64 / lits.len() as f64
+        };
+        let base = mean_gt_literal(0.0);
+        let shifted = mean_gt_literal(0.9);
+        assert!(
+            shifted > base,
+            "severity must raise > thresholds: {base} vs {shifted}"
+        );
+    }
+
+    #[test]
+    fn extended_templates_rebind_their_parameters() {
+        let db = imdb_database(&ImdbConfig::tiny(5));
+        let mut sweep = ShiftSweep::new(&db, pred_cols(&db), 4, 21);
+        // Splice an extended-template pool in: IN and LIKE shapes survive
+        // rebinding with fresh parameters.
+        let kid = db.resolve("title.kind_id").unwrap();
+        let q = Query {
+            tables: vec![kid.table],
+            joins: vec![],
+            predicates: vec![
+                (kid.table, ColPredicate::is_in(kid.col, vec![1, 2])),
+                (kid.table, ColPredicate::like(kid.col, "1%")),
+            ],
+        };
+        q.to_exec().validate(&db).unwrap();
+        sweep.templates = vec![q];
+        let out = sweep.instantiate(&SweepConfig::new(ShiftKind::Selectivity, 0.5, 29).queries(20));
+        for q in &out {
+            assert_eq!(q.predicates[0].1.op_kind(), PredOpKind::In);
+            assert_eq!(q.predicates[1].1.op_kind(), PredOpKind::Like);
+            q.to_exec().validate(&db).unwrap();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "severity must be in [0,1]")]
+    fn severity_out_of_range_rejected() {
+        SweepConfig::new(ShiftKind::Stationary, 1.5, 1);
+    }
+}

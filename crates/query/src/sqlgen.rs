@@ -3,12 +3,15 @@
 //! parser round-trips.
 
 use ds_storage::catalog::Database;
+use ds_storage::predicate::PredTest;
 
 use crate::query::Query;
 
 /// Renders the query as `SELECT COUNT(*) FROM … WHERE …` with fully
 /// qualified column names and no aliases. Join predicates come first, then
-/// base-table predicates in insertion order.
+/// base-table predicates in insertion order. `IN` lists render in their
+/// canonical (sorted, deduplicated) order, so sqlgen→parser→sqlgen is
+/// bit-identical.
 pub fn to_sql(db: &Database, query: &Query) -> String {
     let tables: Vec<&str> = query.tables.iter().map(|&t| db.table(t).name()).collect();
     let mut conds: Vec<String> = query
@@ -16,11 +19,17 @@ pub fn to_sql(db: &Database, query: &Query) -> String {
         .iter()
         .map(|j| format!("{} = {}", db.col_name(j.left), db.col_name(j.right)))
         .collect();
-    conds.extend(
-        query
-            .qualified_predicates()
-            .map(|(cr, op, lit)| format!("{} {} {}", db.col_name(cr), op.sql(), lit)),
-    );
+    conds.extend(query.qualified_predicates().map(|(cr, p)| {
+        let col = db.col_name(cr);
+        match &p.test {
+            PredTest::Cmp(op, lit) => format!("{} {} {}", col, op.sql(), lit),
+            PredTest::In(vals) => {
+                let list: Vec<String> = vals.iter().map(|v| v.to_string()).collect();
+                format!("{} IN ({})", col, list.join(", "))
+            }
+            PredTest::Like(pat) => format!("{} LIKE '{}'", col, pat.as_str()),
+        }
+    }));
     let mut sql = format!("SELECT COUNT(*) FROM {}", tables.join(", "));
     if !conds.is_empty() {
         sql.push_str(" WHERE ");
@@ -60,6 +69,23 @@ mod tests {
              WHERE title.id = movie_keyword.movie_id \
              AND title.production_year > 2000 \
              AND movie_keyword.keyword_id = 42"
+        );
+    }
+
+    #[test]
+    fn in_and_like_render_canonically() {
+        let db = imdb_database(&ImdbConfig::tiny(1));
+        let mut q = Query::new();
+        q.add_table(&db, "title").unwrap();
+        q.add_in_predicate(&db, "title.kind_id", vec![5, 2, 2, 3])
+            .unwrap();
+        q.add_like_predicate(&db, "title.production_year", "19%")
+            .unwrap();
+        assert_eq!(
+            to_sql(&db, &q),
+            "SELECT COUNT(*) FROM title \
+             WHERE title.kind_id IN (2, 3, 5) \
+             AND title.production_year LIKE '19%'"
         );
     }
 }

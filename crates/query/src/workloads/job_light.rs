@@ -562,7 +562,8 @@ mod tests {
             assert!(q.to_exec().validate(&db).is_ok());
             // Range predicates only on production_year.
             for (t, p) in &q.predicates {
-                if p.op != CmpOp::Eq {
+                let (op, _) = p.as_cmp().expect("JOB-light is cmp-only");
+                if op != CmpOp::Eq {
                     assert_eq!(*t, title);
                     assert_eq!(p.col, year_col);
                 }
@@ -614,7 +615,7 @@ mod tests {
         let (mut eq, mut range) = (0usize, 0usize);
         for q in &wl {
             for (_, p) in &q.predicates {
-                if p.op == CmpOp::Eq {
+                if p.as_cmp().map(|(op, _)| op) == Some(CmpOp::Eq) {
                     eq += 1;
                 } else {
                     range += 1;

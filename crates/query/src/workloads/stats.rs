@@ -6,7 +6,7 @@
 use std::collections::HashMap;
 
 use ds_storage::catalog::{Database, TableId};
-use ds_storage::predicate::CmpOp;
+use ds_storage::predicate::{CmpOp, PredOpKind};
 
 use crate::query::Query;
 
@@ -17,8 +17,9 @@ pub struct WorkloadProfile {
     pub queries: usize,
     /// Histogram over join counts: `joins[k]` = queries with `k` joins.
     pub joins: Vec<usize>,
-    /// Predicate-operator counts indexed by [`CmpOp::index`].
-    pub ops: [usize; 3],
+    /// Predicate-operator counts indexed by [`PredOpKind::index`] (the
+    /// first three slots agree with [`CmpOp::index`]).
+    pub ops: [usize; 5],
     /// Queries per table (how often each table participates).
     pub table_usage: HashMap<TableId, usize>,
     /// Histogram over predicate counts per query.
@@ -30,7 +31,7 @@ impl WorkloadProfile {
     pub fn of(workload: &[Query]) -> Self {
         let mut joins: Vec<usize> = Vec::new();
         let mut predicates: Vec<usize> = Vec::new();
-        let mut ops = [0usize; 3];
+        let mut ops = [0usize; 5];
         let mut table_usage: HashMap<TableId, usize> = HashMap::new();
         for q in workload {
             let j = q.num_joins();
@@ -44,7 +45,7 @@ impl WorkloadProfile {
             }
             predicates[p] += 1;
             for (_, pred) in &q.predicates {
-                ops[pred.op.index()] += 1;
+                ops[pred.op_kind().index()] += 1;
             }
             for &t in &q.tables {
                 *table_usage.entry(t).or_insert(0) += 1;
@@ -59,13 +60,20 @@ impl WorkloadProfile {
         }
     }
 
-    /// Fraction of predicates using `op` (0 if there are no predicates).
+    /// Fraction of predicates using comparison `op` (0 if there are no
+    /// predicates).
     pub fn op_fraction(&self, op: CmpOp) -> f64 {
+        self.kind_fraction(PredOpKind::ALL[op.index()])
+    }
+
+    /// Fraction of predicates of operator kind `kind` (0 if there are no
+    /// predicates).
+    pub fn kind_fraction(&self, kind: PredOpKind) -> f64 {
         let total: usize = self.ops.iter().sum();
         if total == 0 {
             return 0.0;
         }
-        self.ops[op.index()] as f64 / total as f64
+        self.ops[kind.index()] as f64 / total as f64
     }
 
     /// Mean joins per query.
@@ -85,10 +93,12 @@ impl WorkloadProfile {
             out.push_str(&format!("{j}⋈×{n} "));
         }
         out.push_str(&format!(
-            "\nops: ={} <{} >{} (eq fraction {:.0}%)\n",
+            "\nops: ={} <{} >{} IN×{} LIKE×{} (eq fraction {:.0}%)\n",
             self.ops[0],
             self.ops[1],
             self.ops[2],
+            self.ops[3],
+            self.ops[4],
             self.op_fraction(CmpOp::Eq) * 100.0
         ));
         let mut usage: Vec<(&TableId, &usize)> = self.table_usage.iter().collect();

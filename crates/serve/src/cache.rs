@@ -64,11 +64,29 @@ impl EstimateKey {
     }
 }
 
+/// The canonical `(op code, literal vector)` of one predicate. Op codes
+/// 0/1/2 are the comparison operators (`=`, `<`, `>`, one literal each —
+/// unchanged from the pre-extension encoding, so comparison-only keys stay
+/// bit-identical across versions); 3 is `IN` (the canonical sorted list)
+/// and 4 is `LIKE` (the pattern's bytes, one per element, which keeps the
+/// key exact — no hashing, no collisions).
+pub(crate) fn pred_code_and_lits(p: &ds_storage::predicate::ColPredicate) -> (u32, Vec<i64>) {
+    use ds_storage::predicate::PredTest;
+    match &p.test {
+        PredTest::Cmp(op, lit) => (op.index() as u32, vec![*lit]),
+        PredTest::In(values) => (3, values.clone()),
+        PredTest::Like(pat) => (4, pat.as_str().bytes().map(i64::from).collect()),
+    }
+}
+
 /// The canonical `(shape, literals)` of a query. The shape mirrors the
 /// template interner's numeric key — sorted tables, sorted canonical join
 /// quads, sorted predicate triples — except predicates are sorted as
-/// `[table, col, op, literal]` quads so the literal vector stays aligned
+/// `[table, col, op, literals]` so the literal vector stays aligned
 /// with the shape even when two predicates share a column and operator.
+/// Variable-width predicates (`IN`, `LIKE`) additionally carry their
+/// literal count in the shape, so the literal vector never becomes
+/// ambiguous; fixed-width comparisons keep the legacy 3-word layout.
 fn canonical_parts(query: &Query) -> (Vec<u32>, Vec<i64>) {
     let mut tables: Vec<u32> = query.tables.iter().map(|t| t.0 as u32).collect();
     tables.sort_unstable();
@@ -83,12 +101,15 @@ fn canonical_parts(query: &Query) -> (Vec<u32>, Vec<i64>) {
         })
         .collect();
     joins.sort_unstable();
-    let mut preds: Vec<(u32, u32, u32, i64)> = query
+    let mut preds: Vec<(u32, u32, u32, Vec<i64>)> = query
         .qualified_predicates()
-        .map(|(cr, op, lit)| (cr.table.0 as u32, cr.col as u32, op as u32, lit))
+        .map(|(cr, p)| {
+            let (op, plits) = pred_code_and_lits(p);
+            (cr.table.0 as u32, cr.col as u32, op, plits)
+        })
         .collect();
     preds.sort_unstable();
-    let mut shape = Vec::with_capacity(2 + tables.len() + 4 * joins.len() + 3 * preds.len());
+    let mut shape = Vec::with_capacity(2 + tables.len() + 4 * joins.len() + 4 * preds.len());
     shape.push(tables.len() as u32);
     shape.extend_from_slice(&tables);
     shape.push(joins.len() as u32);
@@ -96,9 +117,12 @@ fn canonical_parts(query: &Query) -> (Vec<u32>, Vec<i64>) {
         shape.extend_from_slice(j);
     }
     let mut lits = Vec::with_capacity(preds.len());
-    for &(t, c, op, lit) in &preds {
-        shape.extend_from_slice(&[t, c, op]);
-        lits.push(lit);
+    for (t, c, op, plits) in &preds {
+        shape.extend_from_slice(&[*t, *c, *op]);
+        if *op >= 3 {
+            shape.push(plits.len() as u32);
+        }
+        lits.extend_from_slice(plits);
     }
     (shape, lits)
 }

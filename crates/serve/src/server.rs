@@ -558,7 +558,7 @@ fn template_key(query: &Query) -> Vec<u32> {
     joins.sort_unstable();
     let mut preds: Vec<[u32; 3]> = query
         .qualified_predicates()
-        .map(|(cr, op, _)| [cr.table.0 as u32, cr.col as u32, op as u32])
+        .map(|(cr, p)| [cr.table.0 as u32, cr.col as u32, p.op_kind().index() as u32])
         .collect();
     preds.sort_unstable();
     let mut key = Vec::with_capacity(2 + tables.len() + 4 * joins.len() + 3 * preds.len());
@@ -598,7 +598,17 @@ pub fn query_template(db: &Database, query: &Query) -> String {
     joins.sort();
     let mut preds: Vec<String> = query
         .qualified_predicates()
-        .map(|(cr, op, _)| format!("{}{}?", db.col_name(cr), op.sql()))
+        .map(|(cr, p)| {
+            // Comparison tokens keep their legacy spelling; the word-like
+            // operators get dot delimiters so the template stays
+            // unambiguous against identifier characters.
+            let tok = match p.op_kind() {
+                ds_storage::predicate::PredOpKind::In => ".IN.",
+                ds_storage::predicate::PredOpKind::Like => ".LIKE.",
+                k => k.sql(),
+            };
+            format!("{}{}?", db.col_name(cr), tok)
+        })
         .collect();
     preds.sort();
     let mut out = tables.join(",");
@@ -1122,22 +1132,27 @@ fn handle_estimate(
 /// same template with different literals stays distinct.
 fn harvest_key(template: &str, query: &ds_query::query::Query) -> String {
     use std::fmt::Write as _;
-    let mut preds: Vec<(usize, usize, u8, i64)> = query
+    let mut preds: Vec<(usize, usize, u32, Vec<i64>)> = query
         .qualified_predicates()
-        .map(|(cr, op, lit)| {
-            let op = match op {
-                ds_storage::predicate::CmpOp::Eq => 0u8,
-                ds_storage::predicate::CmpOp::Lt => 1,
-                ds_storage::predicate::CmpOp::Gt => 2,
-            };
-            (cr.table.0, cr.col, op, lit)
+        .map(|(cr, p)| {
+            let (op, lits) = crate::cache::pred_code_and_lits(p);
+            (cr.table.0, cr.col, op, lits)
         })
         .collect();
     preds.sort_unstable();
     let mut key = String::with_capacity(template.len() + preds.len() * 12);
     key.push_str(template);
-    for (t, c, op, lit) in preds {
-        let _ = write!(key, "#{t}.{c}:{op}={lit}");
+    for (t, c, op, lits) in preds {
+        // Op codes < 3 are single-literal comparisons and keep the legacy
+        // `#{t}.{c}:{op}={lit}` spelling; IN/LIKE render their full
+        // literal vector so distinct lists and patterns stay distinct.
+        let _ = write!(key, "#{t}.{c}:{op}=");
+        for (i, lit) in lits.iter().enumerate() {
+            if i > 0 {
+                key.push(',');
+            }
+            let _ = write!(key, "{lit}");
+        }
     }
     key
 }

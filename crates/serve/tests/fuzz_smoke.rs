@@ -156,6 +156,91 @@ fn as_wire_line(bytes: &[u8]) -> String {
     text.split(['\n', '\r']).next().unwrap_or("").to_string()
 }
 
+/// End-to-end half of the protocol property: every corpus request line —
+/// including the `IN`/`LIKE` entries with malformed lists, unterminated
+/// string literals, and `%`-pattern edge cases — plus a budget of seeded
+/// mutants goes through a **live server**. Every line must be answered
+/// with a typed protocol line (`OK`/`ERR <code>`/`BUSY`/`BYE`); the server
+/// must never panic and must keep serving afterwards.
+#[test]
+fn fuzz_live_server_answers_every_corpus_line_with_a_typed_response() {
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    use ds_serve::{Client, ServeConfig, Server};
+
+    let db = Arc::new(ds_storage::gen::imdb_database(
+        &ds_storage::gen::ImdbConfig::tiny(42),
+    ));
+    let sketch =
+        ds_core::builder::SketchBuilder::new(&db, ds_query::workloads::imdb_predicate_columns(&db))
+            .training_queries(120)
+            .epochs(2)
+            .sample_size(8)
+            .hidden_units(8)
+            .seed(7)
+            .build()
+            .expect("tiny sketch");
+    let store = Arc::new(ds_core::store::SketchStore::new());
+    store.insert("imdb", sketch).unwrap();
+    let server = Server::start(
+        Arc::clone(&db),
+        store,
+        ServeConfig::builder()
+            .request_timeout(Duration::from_secs(30))
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    let connect = || Client::connect_timeout(server.local_addr(), Duration::from_secs(30)).unwrap();
+    let mut client = connect();
+
+    let seeds = load_lines("requests.txt");
+    let mut rng = Rng(0x0011_ab5e_4ded_5eed);
+    let mutants: Vec<String> = (0..fuzz_iters(400))
+        .map(|_| as_wire_line(&mutate(&mut rng, &seeds)))
+        .collect();
+    let lines = seeds
+        .iter()
+        .map(|s| as_wire_line(s))
+        .chain(mutants)
+        .filter(|l| !l.trim().is_empty());
+
+    for line in lines {
+        let reply = match client.send_raw(&line) {
+            Ok(reply) => reply,
+            // QUIT/EXIT mutants close the connection mid-conversation;
+            // reconnect and keep going — the *server* must survive.
+            Err(_) => {
+                client = connect();
+                continue;
+            }
+        };
+        let typed = reply.starts_with("OK ")
+            || reply == "OK"
+            || reply.starts_with("BUSY")
+            || reply == "BYE"
+            || reply
+                .strip_prefix("ERR ")
+                .is_some_and(|rest| !rest.split_whitespace().next().unwrap_or("").is_empty());
+        assert!(typed, "untyped reply '{reply}' to line '{line}'");
+        if reply == "BYE" {
+            client = connect();
+        }
+    }
+
+    // The server is still healthy: a well-formed extended-operator line
+    // round-trips after the whole barrage.
+    let ok = client
+        .send_raw(
+            "ESTIMATE imdb SELECT COUNT(*) FROM title \
+             WHERE title.kind_id IN (1, 2) AND title.production_year LIKE '19%'",
+        )
+        .unwrap();
+    assert!(ok.starts_with("OK "), "server unhealthy after fuzz: {ok}");
+    server.shutdown();
+}
+
 #[test]
 fn fuzz_protocol_parsers_never_panic_and_accepted_lines_are_canonical() {
     let mut seeds = load_lines("requests.txt");

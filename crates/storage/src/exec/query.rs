@@ -126,7 +126,7 @@ impl ExecQuery {
         self.predicates
             .iter()
             .filter(|(tid, _)| *tid == t)
-            .map(|(_, p)| *p)
+            .map(|(_, p)| p.clone())
             .collect()
     }
 
